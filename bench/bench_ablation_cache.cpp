@@ -1,0 +1,90 @@
+// Ablation: shared-cache contention vs CU count.
+//
+// The paper's Table III shows xcorr getting *slower* from 4 to 8 CUs
+// (1467k -> 2079k cycles) and parallel_sel saturating — "data dependency
+// and global memory communication limit parallelism". This bench sweeps
+// the shared-cache geometry (capacity, banks, miss-handling registers) to
+// map where that inversion lives: once eight CUs' working sets thrash the
+// direct-mapped cache AND the outstanding-miss window is too small to hide
+// the DRAM latency, adding CUs makes xcorr slower.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/kern/benchmark.hpp"
+
+namespace {
+
+struct Geometry {
+  std::uint32_t kb;
+  std::uint32_t banks;
+  std::uint32_t mshr;
+  std::uint32_t dram_latency;
+};
+
+std::uint64_t run_cycles(const char* kernel, int cu, const Geometry& g,
+                         double* hit_rate = nullptr) {
+  const auto* benchmark = gpup::kern::benchmark_by_name(kernel);
+  gpup::sim::GpuConfig config;
+  config.cu_count = cu;
+  config.cache_bytes = g.kb * 1024;
+  config.cache_banks = g.banks;
+  config.mshr_per_bank = g.mshr;
+  config.dram_latency = g.dram_latency;
+  gpup::rt::Device device(config);
+  const auto run = gpup::kern::run_gpu(*benchmark, device, benchmark->gpu_input());
+  GPUP_CHECK(run.valid);
+  if (hit_rate != nullptr) *hit_rate = run.stats.counters.cache_hit_rate();
+  return run.stats.cycles;
+}
+
+void sweep(const char* kernel) {
+  std::printf("=== %s: 4CU vs 8CU cycles (k) across cache geometries ===\n", kernel);
+  std::printf("| cache | banks | MSHR | DRAM lat | 4CU     | 8CU     | 4->8 gain | 8CU hit |\n");
+  const Geometry geometries[] = {
+      {8, 2, 8, 80},    // latency-exposed: the paper-like inversion region
+      {8, 2, 16, 60},   // repo default: thrash visible, latency partly hidden
+      {8, 4, 16, 60},
+      {16, 4, 16, 60},
+      {64, 4, 16, 60},  // everything fits: clean scaling
+  };
+  for (const Geometry& g : geometries) {
+    double hit8 = 0.0;
+    const auto c4 = run_cycles(kernel, 4, g);
+    const auto c8 = run_cycles(kernel, 8, g, &hit8);
+    std::printf("| %3u KB| %-5u | %-4u | %-8u | %-7.1f | %-7.1f | %-9.2f | %-7.2f |%s\n",
+                g.kb, g.banks, g.mshr, g.dram_latency, c4 / 1000.0, c8 / 1000.0,
+                static_cast<double>(c4) / c8, hit8,
+                c8 > c4 ? "  << INVERSION (paper's 8-CU xcorr)" : "");
+  }
+  std::printf("\n");
+}
+
+void BM_XcorrContention(benchmark::State& state) {
+  const auto* xcorr = gpup::kern::benchmark_by_name("xcorr");
+  gpup::sim::GpuConfig config;
+  config.cu_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gpup::rt::Device device(config);
+    auto run = gpup::kern::run_gpu(*xcorr, device, 1024);
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+}
+BENCHMARK(BM_XcorrContention)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ablation: shared-cache geometry vs CU scaling.\n\n");
+  sweep("xcorr");
+  sweep("parallel_sel");
+  std::printf(
+      "Reading: xcorr's 8-CU hit rate collapses once eight work-groups' windows\n"
+      "exceed the direct-mapped capacity; whether that shows as inversion (paper)\n"
+      "or weak scaling depends on how much DRAM latency the MSHRs still hide.\n"
+      "parallel_sel is insensitive: its NDRange (4 work-groups of 512) can only\n"
+      "feed 4 CUs, which is the saturation the paper reports.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Figs. 3 and 4: the four tapeout-ready floorplans
+// (1CU@500, 1CU@667, 8CU@500, 8CU@600) with the paper's die dimensions,
+// optimised-memory highlighting, and SVG exports written next to the
+// binary (fig3_*.svg / fig4_*.svg) plus DEF-like text dumps.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/fp/layout_writer.hpp"
+#include "src/plan/planner.hpp"
+
+namespace {
+
+const gpup::tech::Technology& technology() {
+  static const auto tech = gpup::tech::Technology::generic65();
+  return tech;
+}
+
+void print_layouts() {
+  const gpup::plan::Planner planner(&technology());
+  struct Case {
+    int cu;
+    double freq;
+    const char* label;
+    const char* file;
+    const char* paper_die;
+  };
+  const Case cases[] = {
+      {1, 500.0, "1CU@500MHz", "fig3_1cu_500.svg", "2700 x 2500"},
+      {1, 667.0, "1CU@667MHz", "fig3_1cu_667.svg", "3200 x 2800"},
+      {8, 500.0, "8CU@500MHz", "fig4_8cu_500.svg", "7150 x 6250"},
+      {8, 667.0, "8CU@600MHz", "fig4_8cu_600.svg", "8350 x 7450"},
+  };
+  for (const Case& c : cases) {
+    const auto logic = planner.logic_synthesis({c.cu, c.freq, {}, {}});
+    const auto physical = planner.physical_synthesis(logic);
+
+    int untouched = 0;
+    int optimized = 0;
+    for (const auto& macro : physical.floorplan.macros) {
+      if (macro.group == gpup::netlist::MemGroup::kUntouched) ++untouched;
+      else ++optimized;
+    }
+    std::printf("[fig3/4] %-11s die %.0f x %.0f um (paper %s), %d untouched + %d optimised "
+                "macros, closes at %.0f MHz\n",
+                c.label, physical.floorplan.die_w_um, physical.floorplan.die_h_um,
+                c.paper_die, untouched, optimized, physical.achieved_mhz);
+    for (const auto& note : physical.notes) std::printf("[fig3/4]   note: %s\n", note.c_str());
+
+    std::ofstream svg(c.file);
+    svg << gpup::fp::LayoutWriter::to_svg(physical.floorplan, c.label);
+    std::ofstream def(std::string(c.file) + ".def.txt");
+    def << gpup::fp::LayoutWriter::to_text(physical.floorplan, c.label);
+  }
+  std::printf("\nSVG + DEF-like dumps written to the working directory.\n\n");
+}
+
+void BM_FloorplanAndRoute8Cu(benchmark::State& state) {
+  const gpup::plan::Planner planner(&technology());
+  const auto logic = planner.logic_synthesis({8, 667.0, {}, {}});
+  for (auto _ : state) {
+    auto physical = planner.physical_synthesis(logic);
+    benchmark::DoNotOptimize(physical.routing.total_um());
+  }
+}
+BENCHMARK(BM_FloorplanAndRoute8Cu);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_layouts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

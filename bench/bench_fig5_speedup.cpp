@@ -1,0 +1,59 @@
+// Regenerates Fig. 5: raw speed-up of the G-GPU over the RISC-V baseline
+// per kernel and CU count, using the paper's input-size scaling rule.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/repro/repro.hpp"
+
+namespace {
+
+std::uint32_t bench_scale() {
+  const char* env = std::getenv("GPUP_BENCH_SCALE");
+  const int value = (env != nullptr) ? std::atoi(env) : 1;
+  return value >= 1 ? static_cast<std::uint32_t>(value) : 1u;
+}
+
+void print_fig5() {
+  const auto rows = gpup::repro::run_cycle_matrix(bench_scale());
+  std::printf("=== Fig. 5: speed-up over RISC-V (this repo) ===\n%s\n",
+              gpup::repro::format_fig5(rows).to_console().c_str());
+
+  // Paper-derived reference (from Table III counts and the scaling rule).
+  std::printf("=== Fig. 5 (derived from the paper's Table III) ===\n");
+  std::printf("| Kernel        | 1CU   | 2CU   | 4CU   | 8CU   |\n");
+  for (const auto& paper : gpup::repro::paper_table3()) {
+    const auto* benchmark = gpup::kern::benchmark_by_name(paper.name);
+    const double ratio =
+        static_cast<double>(benchmark->gpu_input()) / benchmark->riscv_input();
+    std::printf("| %-13s | %-5.1f | %-5.1f | %-5.1f | %-5.1f |\n", paper.name,
+                paper.riscv_kcycles * ratio / paper.gpu_kcycles[0],
+                paper.riscv_kcycles * ratio / paper.gpu_kcycles[1],
+                paper.riscv_kcycles * ratio / paper.gpu_kcycles[2],
+                paper.riscv_kcycles * ratio / paper.gpu_kcycles[3]);
+  }
+  std::printf("\nPaper headline: up to ~223x (mat_mul, 8 CUs); as low as ~1.2x "
+              "(div_int, 1 CU).\n\n");
+}
+
+void BM_SpeedupPipelineMatMul(benchmark::State& state) {
+  const auto* mat_mul = gpup::kern::benchmark_by_name("mat_mul");
+  gpup::sim::GpuConfig config;
+  config.cu_count = 8;
+  for (auto _ : state) {
+    gpup::rt::Device device(config);
+    auto run = gpup::kern::run_gpu(*mat_mul, device, 2048);
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+}
+BENCHMARK(BM_SpeedupPipelineMatMul);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates Fig. 6: speed-up over RISC-V derated by the G-GPU/RISC-V
+// area ratio per CU configuration. Area ratios come from the planner's
+// logic synthesis of the 667 MHz versions against the CV32E40P-class
+// netlist — the paper reports 6.5 / 11.6 / 21.4 / 41.0.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/plan/planner.hpp"
+#include "src/repro/repro.hpp"
+
+namespace {
+
+std::uint32_t bench_scale() {
+  const char* env = std::getenv("GPUP_BENCH_SCALE");
+  const int value = (env != nullptr) ? std::atoi(env) : 1;
+  return value >= 1 ? static_cast<std::uint32_t>(value) : 1u;
+}
+
+std::array<double, 4> area_ratios() {
+  const auto technology = gpup::tech::Technology::generic65();
+  const gpup::plan::Planner planner(&technology);
+  const double riscv_area =
+      gpup::gen::generate_riscv(technology).stats().total_area_mm2();
+  std::array<double, 4> ratios{};
+  for (std::size_t i = 0; i < gpup::repro::kCuConfigs.size(); ++i) {
+    const auto version =
+        planner.logic_synthesis({gpup::repro::kCuConfigs[i], 667.0, {}, {}});
+    ratios[i] = version.stats.total_area_mm2() / riscv_area;
+  }
+  return ratios;
+}
+
+void print_fig6() {
+  const auto ratios = area_ratios();
+  std::printf("[fig6] area ratios vs RISC-V: %.1f / %.1f / %.1f / %.1f "
+              "(paper 6.5 / 11.6 / 21.4 / 41.0)\n\n",
+              ratios[0], ratios[1], ratios[2], ratios[3]);
+
+  const auto rows = gpup::repro::run_cycle_matrix(bench_scale());
+  std::printf("=== Fig. 6: speed-up derated by area (this repo) ===\n%s\n",
+              gpup::repro::format_fig6(rows, ratios).to_console().c_str());
+
+  std::printf("=== Fig. 6 (derived from the paper) ===\n");
+  std::printf("| Kernel        | 1CU  | 2CU  | 4CU  | 8CU  |\n");
+  const std::array<double, 4> paper_ratios = {6.5, 11.6, 21.4, 41.0};
+  for (const auto& paper : gpup::repro::paper_table3()) {
+    const auto* benchmark = gpup::kern::benchmark_by_name(paper.name);
+    const double input_ratio =
+        static_cast<double>(benchmark->gpu_input()) / benchmark->riscv_input();
+    std::printf("| %-13s | %-4.2f | %-4.2f | %-4.2f | %-4.2f |\n", paper.name,
+                paper.riscv_kcycles * input_ratio / paper.gpu_kcycles[0] / paper_ratios[0],
+                paper.riscv_kcycles * input_ratio / paper.gpu_kcycles[1] / paper_ratios[1],
+                paper.riscv_kcycles * input_ratio / paper.gpu_kcycles[2] / paper_ratios[2],
+                paper.riscv_kcycles * input_ratio / paper.gpu_kcycles[3] / paper_ratios[3]);
+  }
+  std::printf("\nPaper headline: 1 CU gives the best performance-per-area (~10.2x on "
+              "mat_mul); 8 CUs the worst (~5.7x).\n\n");
+}
+
+void BM_AreaRatioComputation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ratios = area_ratios();
+    benchmark::DoNotOptimize(ratios[0]);
+  }
+}
+BENCHMARK(BM_AreaRatioComputation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

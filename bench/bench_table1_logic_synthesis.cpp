@@ -1,0 +1,67 @@
+// Regenerates Table I: characteristics of the 12 G-GPU solutions after
+// logic synthesis ({1,2,4,8} CUs x {500,590,667} MHz), side by side with
+// the paper's published rows. Then times the synthesis flow itself with
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+namespace {
+
+const gpup::tech::Technology& technology() {
+  static const auto tech = gpup::tech::Technology::generic65();
+  return tech;
+}
+
+void print_table1() {
+  const gpup::plan::Planner planner(&technology());
+  const auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+  std::printf("=== Table I: 12 G-GPU solutions after logic synthesis (this repo) ===\n%s\n",
+              gpup::plan::table1(versions).to_console().c_str());
+
+  std::printf(
+      "=== Table I (paper, for comparison) ===\n"
+      "| #CU & Freq. | Area | MemArea | #FF    | #Comb  | #Mem | Leak(mW) | Dyn(W) | Tot(W) |\n"
+      "| 1@500MHz    | 4.19 | 2.68    | 119778 | 127826 | 51   | 4.62     | 1.97   | 2.055  |\n"
+      "| 2@500MHz    | 7.45 | 4.64    | 229171 | 214243 | 93   | 8.54     | 3.63   | 3.77   |\n"
+      "| 4@500MHz    | 13.84| 8.56    | 437318 | 387246 | 177  | 16.07    | 6.88   | 7.14   |\n"
+      "| 8@500MHz    | 26.51| 16.39   | 852094 | 714256 | 345  | 30.79    | 13.33  | 13.86  |\n"
+      "| 1@590MHz    | 4.66 | 3.15    | 120035 | 128894 | 68   | 4.73     | 2.57   | 2.66   |\n"
+      "| 2@590MHz    | 8.16 | 5.34    | 229172 | 221946 | 120  | 8.73     | 4.63   | 4.81   |\n"
+      "| 4@590MHz    | 15.03| 9.72    | 436807 | 397995 | 224  | 16.41    | 8.70   | 9.02   |\n"
+      "| 8@590MHz    | 28.65| 18.49   | 850559 | 737232 | 432  | 31.25    | 16.81  | 17.40  |\n"
+      "| 1@667MHz    | 4.77 | 3.26    | 120035 | 130802 | 71   | 4.65     | 2.62   | 2.72   |\n"
+      "| 2@667MHz    | 8.27 | 5.45    | 229172 | 222028 | 123  | 8.72     | 4.69   | 4.87   |\n"
+      "| 4@667MHz    | 15.15| 9.83    | 436807 | 398124 | 227  | 16.43    | 8.75   | 9.07   |\n"
+      "| 8@667MHz    | 28.69| 18.60   | 848511 | 730506 | 435  | 30.21    | 19.10  | 19.76  |\n\n");
+}
+
+void BM_LogicSynthesis1Cu667(benchmark::State& state) {
+  const gpup::plan::Planner planner(&technology());
+  for (auto _ : state) {
+    auto result = planner.logic_synthesis({1, 667.0, {}, {}});
+    benchmark::DoNotOptimize(result.stats.memory_count);
+  }
+}
+BENCHMARK(BM_LogicSynthesis1Cu667);
+
+void BM_FullTable1Dse(benchmark::State& state) {
+  const gpup::plan::Planner planner(&technology());
+  for (auto _ : state) {
+    auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+    benchmark::DoNotOptimize(versions.size());
+  }
+}
+BENCHMARK(BM_FullTable1Dse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

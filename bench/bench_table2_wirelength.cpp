@@ -1,0 +1,68 @@
+// Regenerates Table II: routing wirelength per metal layer for the four
+// physically synthesised versions (1CU@500, 1CU@667, 8CU@500, 8CU@600 —
+// the 8CU@667 netlist that closes at 600 MHz).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+namespace {
+
+const gpup::tech::Technology& technology() {
+  static const auto tech = gpup::tech::Technology::generic65();
+  return tech;
+}
+
+void print_table2() {
+  const gpup::plan::Planner planner(&technology());
+
+  std::vector<std::pair<std::string, gpup::route::RouteReport>> layouts;
+  struct Case {
+    int cu;
+    double freq;
+    const char* label;
+  };
+  for (const Case c : {Case{1, 500.0, "1CU@500MHz"}, Case{1, 667.0, "1CU@667MHz"},
+                       Case{8, 500.0, "8CU@500MHz"}, Case{8, 667.0, "8CU@600MHz"}}) {
+    const auto logic = planner.logic_synthesis({c.cu, c.freq, {}, {}});
+    const auto physical = planner.physical_synthesis(logic);
+    layouts.emplace_back(c.label, physical.routing);
+    std::printf("[table2] %-11s die %.0f x %.0f um, achieved %.0f MHz%s\n", c.label,
+                physical.floorplan.die_w_um, physical.floorplan.die_h_um,
+                physical.achieved_mhz,
+                physical.meets_target ? "" : " (falls back, see notes)");
+  }
+
+  std::printf("\n=== Table II: routing length per metal layer, um (this repo) ===\n%s\n",
+              gpup::plan::table2(layouts).to_console().c_str());
+  std::printf(
+      "=== Table II (paper, um) ===\n"
+      "| Layer | 1CU@500   | 1CU@667    | 8CU@500    | 8CU@600    |\n"
+      "| M2    | 3185110   | 15340072   | 20314957   | 25637608   |\n"
+      "| M3    | 5132356   | 21219705   | 27928578   | 34890963   |\n"
+      "| M4    | 2987163   | 9866798    | 19209669   | 22387405   |\n"
+      "| M5    | 2713788   | 11293663   | 21953276   | 26355211   |\n"
+      "| M6    | 1430594   | 8801517    | 14074944   | 11111664   |\n"
+      "| M7    | 616666    | 2915533    | 6316321    | 5315697    |\n\n");
+}
+
+void BM_PhysicalSynthesis8Cu(benchmark::State& state) {
+  const gpup::plan::Planner planner(&technology());
+  const auto logic = planner.logic_synthesis({8, 667.0, {}, {}});
+  for (auto _ : state) {
+    auto physical = planner.physical_synthesis(logic);
+    benchmark::DoNotOptimize(physical.achieved_mhz);
+  }
+}
+BENCHMARK(BM_PhysicalSynthesis8Cu);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Table III: benchmark input sizes and measured cycle counts
+// on the RISC-V baseline and on 1/2/4/8-CU G-GPUs.
+//
+// GPUP_BENCH_SCALE=N divides the input sizes by N for quick smoke runs
+// (default 1 = paper sizes).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/repro/repro.hpp"
+
+namespace {
+
+std::uint32_t bench_scale() {
+  const char* env = std::getenv("GPUP_BENCH_SCALE");
+  const int value = (env != nullptr) ? std::atoi(env) : 1;
+  return value >= 1 ? static_cast<std::uint32_t>(value) : 1u;
+}
+
+void print_table3() {
+  const auto rows = gpup::repro::run_cycle_matrix(bench_scale());
+  std::printf("=== Table III: input sizes and cycle counts (this repo, k-cycles) ===\n%s\n",
+              gpup::repro::format_table3(rows).to_console().c_str());
+
+  std::printf("=== Table III (paper, k-cycles) ===\n");
+  std::printf("| Kernel        | RISC-V | 1CU  | 2CU  | 4CU  | 8CU  |\n");
+  for (const auto& row : gpup::repro::paper_table3()) {
+    std::printf("| %-13s | %-6.0f | %-4.0f | %-4.0f | %-4.0f | %-4.0f |\n", row.name,
+                row.riscv_kcycles, row.gpu_kcycles[0], row.gpu_kcycles[1], row.gpu_kcycles[2],
+                row.gpu_kcycles[3]);
+  }
+  std::printf("\n");
+}
+
+void BM_SimulatorThroughputCopy(benchmark::State& state) {
+  const auto* copy = gpup::kern::benchmark_by_name("copy");
+  gpup::sim::GpuConfig config;
+  config.cu_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gpup::rt::Device device(config);
+    auto run = gpup::kern::run_gpu(*copy, device, 4096);
+    benchmark::DoNotOptimize(run.stats.cycles);
+    state.counters["sim_cycles"] = static_cast<double>(run.stats.cycles);
+  }
+}
+BENCHMARK(BM_SimulatorThroughputCopy)->Arg(1)->Arg(8);
+
+void BM_RiscvCoreThroughput(benchmark::State& state) {
+  const auto* copy = gpup::kern::benchmark_by_name("copy");
+  for (auto _ : state) {
+    auto run = gpup::kern::run_riscv(*copy, 512, /*optimized=*/false);
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+}
+BENCHMARK(BM_RiscvCoreThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

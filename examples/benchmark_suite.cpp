@@ -1,0 +1,51 @@
+// Run the paper's seven-benchmark suite on any simulated G-GPU
+// configuration and compare with the RISC-V baseline — a miniature,
+// configurable version of the Table III / Fig. 5 experiment.
+//
+//   $ ./benchmark_suite [cu_count] [scale]
+//   $ ./benchmark_suite 8 4        # 8 CUs, inputs divided by 4
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/kern/benchmark.hpp"
+
+int main(int argc, char** argv) {
+  const int cu_count = (argc > 1) ? std::atoi(argv[1]) : 4;
+  const std::uint32_t scale = (argc > 2) ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1;
+  if (cu_count < 1 || cu_count > 8 || scale < 1) {
+    std::printf("usage: %s [cu_count 1..8] [input scale >= 1]\n", argv[0]);
+    return 1;
+  }
+
+  gpup::sim::GpuConfig config;
+  config.cu_count = cu_count;
+
+  std::printf("G-GPU %d CU(s) vs CV32E40P-class RISC-V (naive OpenCL port)\n\n", cu_count);
+  std::printf("| kernel        | G-GPU cycles | RISC-V cycles | input ratio | speed-up |\n");
+  std::printf("|---------------|--------------|---------------|-------------|----------|\n");
+
+  bool all_valid = true;
+  for (const auto* benchmark : gpup::kern::all_benchmarks()) {
+    std::uint32_t gpu_size = std::max(64u, benchmark->gpu_input() / scale);
+    std::uint32_t riscv_size = std::max(32u, benchmark->riscv_input() / scale);
+    if (benchmark->name() == "mat_mul") {
+      gpu_size = std::max(64u, gpu_size & ~31u);
+      riscv_size = std::max(32u, riscv_size & ~31u);
+    }
+
+    gpup::rt::Device device(config);
+    const auto gpu = gpup::kern::run_gpu(*benchmark, device, gpu_size);
+    const auto riscv = gpup::kern::run_riscv(*benchmark, riscv_size, /*optimized=*/false);
+    all_valid = all_valid && gpu.valid && riscv.valid;
+
+    const double ratio = static_cast<double>(gpu_size) / riscv_size;
+    const double speedup =
+        static_cast<double>(riscv.stats.cycles) * ratio / static_cast<double>(gpu.stats.cycles);
+    std::printf("| %-13s | %-12llu | %-13llu | %-11.0f | %-8.1f |\n",
+                benchmark->name().c_str(), static_cast<unsigned long long>(gpu.stats.cycles),
+                static_cast<unsigned long long>(riscv.stats.cycles), ratio, speedup);
+  }
+  std::printf("\nresults %s\n", all_valid ? "validated against host golden references"
+                                          : "INVALID — simulator bug");
+  return all_valid ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Design-space exploration: the paper's GPUPlanner workflow (Fig. 2) from
+// specification to the full 12-version Table I sweep, including the
+// "dynamic spreadsheet" optimisation map and the PPA check against a
+// user budget.
+#include <cstdio>
+
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+int main() {
+  const auto technology = gpup::tech::Technology::generic65();
+  const gpup::plan::Planner planner(&technology);
+
+  // --- step 1: first-order estimation across the whole space -----------
+  std::printf("=== First-order estimates (pre-synthesis) ===\n");
+  for (int cu : {1, 2, 4, 8}) {
+    for (double freq : {500.0, 590.0, 667.0}) {
+      const gpup::plan::Spec spec{.cu_count = cu, .freq_mhz = freq};
+      const auto estimate = planner.estimate(spec);
+      std::printf("  %-10s ~%.1f mm^2, ~%.1f W  %s\n", spec.name().c_str(),
+                  estimate.area_mm2, estimate.total_power_w,
+                  estimate.feasible ? "" : "(infeasible)");
+    }
+  }
+
+  // --- step 2: the optimisation map for one target ----------------------
+  auto working = gpup::gen::generate_ggpu(gpup::gen::GgpuArchSpec::baseline(1), technology);
+  const auto map590 = planner.derive_map(working, 590.0);
+  std::printf("\n=== Optimisation map: baseline -> 590 MHz ===\n%s",
+              gpup::plan::map_table(map590).to_console().c_str());
+  const auto map667 = planner.derive_map(working, 667.0);
+  std::printf("\n=== Optimisation map: 590 -> 667 MHz (incremental) ===\n%s",
+              gpup::plan::map_table(map667).to_console().c_str());
+
+  // --- step 3: the push-button 12-version sweep (Table I) ---------------
+  const auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+  std::printf("\n=== Logic-synthesis results for all 12 versions ===\n%s",
+              gpup::plan::table1(versions).to_console().c_str());
+
+  // --- step 4: PPA check against a user budget --------------------------
+  gpup::plan::Spec budgeted{.cu_count = 8, .freq_mhz = 667.0};
+  budgeted.max_area_mm2 = 20.0;  // deliberately too tight
+  const auto checked = planner.logic_synthesis(budgeted);
+  std::printf("\n=== PPA check: %s with a 20 mm^2 budget ===\n", budgeted.name().c_str());
+  if (checked.warnings.empty()) {
+    std::printf("  within budget\n");
+  } else {
+    for (const auto& warning : checked.warnings) std::printf("  warning: %s\n", warning.c_str());
+    std::printf("  -> the designer should adapt the spec and restart (paper Fig. 2 loop)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Floorplan viewer: physically synthesise any G-GPU version and export the
+// layout as SVG + DEF-like text (the open-source stand-in for the paper's
+// GDSII screenshots).
+//
+//   $ ./floorplan_viewer [cu_count] [freq_mhz] [out.svg]
+//   $ ./floorplan_viewer 8 667 fig4.svg
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/fp/layout_writer.hpp"
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+int main(int argc, char** argv) {
+  const int cu_count = (argc > 1) ? std::atoi(argv[1]) : 8;
+  const double freq = (argc > 2) ? std::atof(argv[2]) : 667.0;
+  const std::string out_file = (argc > 3) ? argv[3] : "floorplan.svg";
+  if (cu_count < 1 || cu_count > 8 || freq <= 0) {
+    std::printf("usage: %s [cu_count 1..8] [freq_mhz] [out.svg]\n", argv[0]);
+    return 1;
+  }
+
+  const auto technology = gpup::tech::Technology::generic65();
+  const gpup::plan::Planner planner(&technology);
+  const gpup::plan::Spec spec{.cu_count = cu_count, .freq_mhz = freq};
+
+  const auto logic = planner.logic_synthesis(spec);
+  const auto physical = planner.physical_synthesis(logic);
+
+  std::printf("%s: die %.0f x %.0f um (%.2f mm^2), %zu macros placed\n", spec.name().c_str(),
+              physical.floorplan.die_w_um, physical.floorplan.die_h_um,
+              physical.floorplan.die_area_mm2(), physical.floorplan.macros.size());
+  std::printf("timing after layout: %.0f MHz achieved", physical.achieved_mhz);
+  if (!physical.meets_target) {
+    std::printf(" (misses the %.0f MHz target; best standard point %.0f MHz)",
+                spec.freq_mhz, physical.recommended_mhz);
+  }
+  std::printf("\n\nworst paths (wire-annotated):\n%s\n",
+              gpup::plan::timing_table(physical.timing, 5).to_console().c_str());
+
+  std::printf("CU -> memory-controller routed distances (mm):");
+  for (double d : physical.floorplan.cu_distance_mm) std::printf(" %.2f", d);
+  std::printf("\n");
+
+  std::ofstream svg(out_file);
+  svg << gpup::fp::LayoutWriter::to_svg(physical.floorplan, spec.name());
+  std::ofstream text(out_file + ".def.txt");
+  text << gpup::fp::LayoutWriter::to_text(physical.floorplan, spec.name());
+  std::printf("\nwrote %s and %s.def.txt\n", out_file.c_str(), out_file.c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// gpuplanner_cli — the push-button tool of the paper's Fig. 2: from a
+// specification on the command line to a full logic + physical synthesis
+// run with reports and a layout on disk.
+//
+//   usage: gpuplanner_cli [options]
+//     --cus N            compute units, 1..8           (default 4)
+//     --freq MHZ         target frequency              (default 667)
+//     --tech 65|45       technology node               (default 65)
+//     --replicate-mc     duplicate the memory controller (future work)
+//     --max-area MM2     area budget for the PPA check
+//     --out FILE.svg     layout output                 (default layout.svg)
+//     --map              print the optimisation map and the delay sheet
+//
+//   examples:
+//     gpuplanner_cli --cus 8 --freq 667            # hits the paper's wall
+//     gpuplanner_cli --cus 8 --freq 667 --replicate-mc
+//     gpuplanner_cli --cus 2 --freq 590 --map
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/fp/layout_writer.hpp"
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+int main(int argc, char** argv) {
+  gpup::plan::Spec spec{4, 667.0, {}, {}, false};
+  std::string tech_name = "65";
+  std::string out_file = "layout.svg";
+  bool print_map = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cus") spec.cu_count = std::atoi(next());
+    else if (arg == "--freq") spec.freq_mhz = std::atof(next());
+    else if (arg == "--tech") tech_name = next();
+    else if (arg == "--replicate-mc") spec.replicate_memctrl = true;
+    else if (arg == "--max-area") spec.max_area_mm2 = std::atof(next());
+    else if (arg == "--out") out_file = next();
+    else if (arg == "--map") print_map = true;
+    else {
+      std::fprintf(stderr, "unknown option '%s' (see the header comment)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (spec.cu_count < 1 || spec.cu_count > 8 || spec.freq_mhz <= 0) {
+    std::fprintf(stderr, "invalid spec: %d CUs @ %.0f MHz\n", spec.cu_count, spec.freq_mhz);
+    return 1;
+  }
+
+  const auto technology = (tech_name == "45") ? gpup::tech::Technology::generic45()
+                                              : gpup::tech::Technology::generic65();
+  const gpup::plan::Planner planner(&technology);
+
+  std::printf("GPUPlanner — %s on %s\n\n", spec.name().c_str(), technology.name.c_str());
+
+  // Fig. 2 stage 1: first-order estimation.
+  const auto estimate = planner.estimate(spec);
+  std::printf("[1/4] first-order estimate: %.2f mm^2, %.2f W — %s\n", estimate.area_mm2,
+              estimate.total_power_w, estimate.comment.c_str());
+  if (!estimate.feasible) {
+    std::printf("      specification infeasible; adapt it and retry (Fig. 2 loop)\n");
+    return 2;
+  }
+
+  // Stage 2: logic synthesis with the optimisation map.
+  const auto logic = planner.logic_synthesis(spec);
+  std::printf("[2/4] logic synthesis: fmax %.0f MHz, %.2f mm^2 (%.2f memory), "
+              "%llu FF / %llu gates / %llu macros, %.2f W\n",
+              logic.timing.fmax_mhz(), logic.stats.total_area_mm2(),
+              logic.stats.memory_area_mm2(),
+              static_cast<unsigned long long>(logic.stats.ff_count),
+              static_cast<unsigned long long>(logic.stats.gate_count),
+              static_cast<unsigned long long>(logic.stats.memory_count),
+              logic.power.total_w());
+  for (const auto& warning : logic.warnings) std::printf("      warning: %s\n", warning.c_str());
+  if (print_map) {
+    std::printf("\noptimisation map (%zu actions):\n%s\n", logic.applied.size(),
+                gpup::plan::map_table(logic.applied).to_console().c_str());
+    const auto baseline = gpup::gen::generate_ggpu(
+        gpup::gen::GgpuArchSpec::baseline(spec.cu_count), technology);
+    std::printf("memory delay sheet (the paper's 'dynamic spreadsheet' input):\n%s\n",
+                gpup::plan::delay_sheet(baseline).to_console().c_str());
+  }
+
+  // Stage 3: physical synthesis.
+  const auto physical = planner.physical_synthesis(logic);
+  std::printf("[3/4] physical synthesis: die %.0f x %.0f um, closes at %.0f MHz%s\n",
+              physical.floorplan.die_w_um, physical.floorplan.die_h_um,
+              physical.achieved_mhz,
+              physical.meets_target ? "" : " — TARGET MISSED");
+  for (const auto& note : physical.notes) std::printf("      note: %s\n", note.c_str());
+  std::printf("      routed wire: %.1f Mum (M2..M7)\n", physical.routing.total_um() / 1e6);
+
+  // Stage 4: sign-off + export.
+  std::ofstream svg(out_file);
+  svg << gpup::fp::LayoutWriter::to_svg(physical.floorplan, spec.name());
+  std::ofstream def(out_file + ".def.txt");
+  def << gpup::fp::LayoutWriter::to_text(physical.floorplan, spec.name());
+  std::printf("[4/4] tapeout-ready layout written to %s (+ .def.txt)\n", out_file.c_str());
+
+  return physical.meets_target && logic.warnings.empty() ? 0 : 3;
+}

@@ -1,0 +1,221 @@
+#include "src/fp/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.hpp"
+
+namespace gpup::fp {
+
+namespace {
+
+using netlist::Partition;
+
+/// Effective placement area of a partition: cell+macro area over target
+/// density, inflated by the macro-count halo penalty.
+double effective_area_um2(const netlist::Netlist& design, Partition partition,
+                          double density, double halo, int scopes) {
+  const auto stats = design.stats(partition);
+  double area = stats.total_area_um2() / density;
+
+  // Macro pieces vs architecture roots: Σ 1/factor counts each divided
+  // macro group once.
+  double pieces = 0.0;
+  double roots = 0.0;
+  for (const auto& mem : design.memories()) {
+    if (mem.partition != partition) continue;
+    pieces += 1.0;
+    roots += 1.0 / mem.division_factor;
+  }
+  if (roots > 0.0) {
+    const double ratio = pieces / roots;
+    area *= 1.0 + halo * (ratio - 1.0);
+  }
+  return area / std::max(scopes, 1);
+}
+
+/// Shelf-pack the macros of one partition scope inside its rectangle
+/// (bottom-up rows). Purely for visualisation / pin-distance modelling.
+void place_macros(const netlist::Netlist& design, const PlacedPartition& partition,
+                  std::vector<PlacedMacro>& out) {
+  const double margin = 12.0;
+  double cursor_x = partition.rect.x + margin;
+  double cursor_y = partition.rect.y + margin;
+  double row_h = 0.0;
+  for (const auto& mem : design.memories()) {
+    if (mem.partition != partition.kind || mem.cu_index != partition.cu_index) continue;
+    const double w = mem.macro.width_um;
+    const double h = mem.macro.height_um;
+    if (cursor_x + w > partition.rect.x + partition.rect.w - margin) {
+      cursor_x = partition.rect.x + margin;
+      cursor_y += row_h + margin;
+      row_h = 0.0;
+    }
+    PlacedMacro placed;
+    placed.name = mem.name;
+    placed.class_id = mem.class_id;
+    placed.partition = mem.partition;
+    placed.group = mem.group;
+    placed.cu_index = mem.cu_index;
+    placed.rect = {cursor_x, cursor_y, w, h};
+    out.push_back(placed);
+    cursor_x += w + margin;
+    row_h = std::max(row_h, h);
+  }
+}
+
+}  // namespace
+
+const PlacedPartition* Floorplan::memctrl() const {
+  for (const auto& partition : partitions) {
+    if (partition.kind == Partition::kMemController) return &partition;
+  }
+  return nullptr;
+}
+
+const PlacedPartition* Floorplan::compute_unit(int cu_index) const {
+  for (const auto& partition : partitions) {
+    if (partition.kind == Partition::kComputeUnit && partition.cu_index == cu_index)
+      return &partition;
+  }
+  return nullptr;
+}
+
+Floorplan Floorplanner::plan(const netlist::Netlist& design) const {
+  const int cu_count = design.cu_count();
+  GPUP_CHECK_MSG(cu_count >= 1, "floorplanner needs at least one CU");
+
+  Floorplan plan;
+  const double gap = options_.gap_um;
+
+  const double cu_area = effective_area_um2(design, Partition::kComputeUnit,
+                                            options_.cu_density, options_.macro_halo, cu_count);
+  const double cu_side = std::sqrt(cu_area);
+  const double mc_area = effective_area_um2(design, Partition::kMemController,
+                                            options_.memctrl_density, options_.macro_halo, 1);
+
+  // --- core placement -------------------------------------------------
+  // 1..3 CUs: one row of CUs with the controller as a slab below.
+  // 4..7 CUs: two rows with the controller slab between them.
+  // 8 CUs: 3x3 grid with the controller in the centre cell (the paper's
+  // Fig. 4 arrangement, which creates the peripheral-CU problem).
+  auto add_cu = [&](int index, double x, double y) {
+    plan.partitions.push_back({Partition::kComputeUnit, index,
+                               {x, y, cu_side, cu_side}, options_.cu_density});
+  };
+
+  const int memctrl_count = design.memctrl_count();
+
+  double core_w = 0.0;
+  double core_h = 0.0;
+  if (memctrl_count == 2) {
+    // Future-work layout: two controller copies between two CU rows, so
+    // every CU reaches a nearby controller (the paper's proposed fix for
+    // the 8-CU routing wall).
+    const int top_row = (cu_count + 1) / 2;
+    const int bottom_row = cu_count - top_row;
+    const double row_w = top_row * cu_side + (top_row - 1) * gap;
+    const double mc_w = std::max((row_w - gap) / 2.0, cu_side / 2.0);
+    const double mc_h = (mc_area / 2.0) / mc_w;
+    double y = 0.0;
+    if (bottom_row > 0) {
+      for (int i = 0; i < bottom_row; ++i) add_cu(top_row + i, i * (cu_side + gap), y);
+      y += cu_side + gap;
+    }
+    plan.partitions.push_back(
+        {Partition::kMemController, 0, {0.0, y, mc_w, mc_h}, options_.memctrl_density});
+    plan.partitions.push_back({Partition::kMemController, 1,
+                               {row_w - mc_w, y, mc_w, mc_h}, options_.memctrl_density});
+    y += mc_h + gap;
+    for (int i = 0; i < top_row; ++i) add_cu(i, i * (cu_side + gap), y);
+    core_w = row_w;
+    core_h = y + cu_side;
+  } else if (cu_count == 8) {
+    const double cell = cu_side + gap;
+    int placed = 0;
+    for (int row = 0; row < 3; ++row) {
+      for (int col = 0; col < 3; ++col) {
+        if (row == 1 && col == 1) continue;  // centre cell: controller
+        add_cu(placed++, col * cell, row * cell);
+      }
+    }
+    const double mc_side = std::min(std::sqrt(mc_area), cu_side);
+    const double mc_x = cell + (cu_side - mc_side) / 2.0;
+    const double mc_y = cell + (cu_side - mc_side) / 2.0;
+    plan.partitions.push_back({Partition::kMemController, 0,
+                               {mc_x, mc_y, mc_side, mc_area / mc_side},
+                               options_.memctrl_density});
+    core_w = 3 * cu_side + 2 * gap;
+    core_h = core_w;
+  } else {
+    const int top_row = (cu_count <= 3) ? cu_count : (cu_count + 1) / 2;
+    const int bottom_row = cu_count - top_row;
+    const double row_w = top_row * cu_side + (top_row - 1) * gap;
+    const double mc_w = row_w;
+    const double mc_h = mc_area / mc_w;
+    double y = 0.0;
+    if (bottom_row > 0) {
+      for (int i = 0; i < bottom_row; ++i) add_cu(top_row + i, i * (cu_side + gap), y);
+      y += cu_side + gap;
+    }
+    plan.partitions.push_back(
+        {Partition::kMemController, 0, {0.0, y, mc_w, mc_h}, options_.memctrl_density});
+    y += mc_h + gap;
+    for (int i = 0; i < top_row; ++i) add_cu(i, i * (cu_side + gap), y);
+    core_w = row_w;
+    core_h = y + cu_side;
+  }
+
+  // --- top ring --------------------------------------------------------
+  // The top partition (WG dispatcher, control regs, AXI glue) wraps the
+  // core at 30 % density: solve (W+2t)(H+2t) - W*H = A_top for t.
+  const double top_area = effective_area_um2(design, Partition::kTop,
+                                             options_.top_density, options_.macro_halo, 1);
+  const double b = 2.0 * (core_w + core_h);
+  const double t = (-b + std::sqrt(b * b + 16.0 * top_area)) / 8.0;
+  // Shift core inside the ring.
+  for (auto& partition : plan.partitions) {
+    partition.rect.x += t;
+    partition.rect.y += t;
+  }
+  plan.die_w_um = core_w + 2 * t;
+  plan.die_h_um = core_h + 2 * t;
+  plan.partitions.push_back(
+      {Partition::kTop, -1, {0.0, 0.0, plan.die_w_um, plan.die_h_um}, options_.top_density});
+
+  // --- CU -> controller route distances --------------------------------
+  // Each CU talks to its nearest controller copy.
+  GPUP_CHECK(plan.memctrl() != nullptr);
+  plan.cu_distance_mm.resize(static_cast<std::size_t>(cu_count), 0.0);
+  for (const auto& partition : plan.partitions) {
+    if (partition.kind != Partition::kComputeUnit) continue;
+    double best_mm = 1e30;
+    for (const auto& mc : plan.partitions) {
+      if (mc.kind != Partition::kMemController) continue;
+      const double dx = partition.rect.cx() - mc.rect.cx();
+      const double dy = partition.rect.cy() - mc.rect.cy();
+      const double center_dist = std::hypot(dx, dy);
+      const double edge_dist = std::max(
+          0.0, center_dist - std::hypot(partition.rect.w, partition.rect.h) / 2.0 -
+                   std::min(mc.rect.w, mc.rect.h) / 2.0);
+      best_mm = std::min(best_mm, edge_dist * 1e-3 + options_.route_detour_mm);
+    }
+    plan.cu_distance_mm[static_cast<std::size_t>(partition.cu_index)] = best_mm;
+  }
+
+  // --- macro placement (visualisation + routing model) ----------------
+  for (const auto& partition : plan.partitions) {
+    if (partition.kind == Partition::kTop && partition.cu_index == -1 &&
+        partition.rect.w == plan.die_w_um) {
+      // Top-ring macros: place along the bottom edge band.
+      PlacedPartition band = partition;
+      band.rect = {t, 0.0, core_w, t > 0 ? t : 40.0};
+      place_macros(design, band, plan.macros);
+      continue;
+    }
+    place_macros(design, partition, plan.macros);
+  }
+  return plan;
+}
+
+}  // namespace gpup::fp

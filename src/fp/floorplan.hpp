@@ -1,0 +1,79 @@
+// Partition-based floorplanner.
+//
+// Mirrors the paper's physical-synthesis strategy: the design is broken
+// into three partition kinds — the CU (cloned per compute unit), the
+// general memory controller, and the top — with densities 70/70/30 %.
+// CU partitions are placed around the central memory controller; for the
+// 8-CU configuration this produces peripheral CUs whose long routes to the
+// controller break 667 MHz timing (Fig. 4 / Table II story).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace gpup::fp {
+
+struct Rect {
+  double x = 0.0, y = 0.0, w = 0.0, h = 0.0;  // um
+  [[nodiscard]] double cx() const { return x + w / 2.0; }
+  [[nodiscard]] double cy() const { return y + h / 2.0; }
+  [[nodiscard]] double area() const { return w * h; }
+};
+
+struct PlacedPartition {
+  netlist::Partition kind = netlist::Partition::kTop;
+  int cu_index = -1;  ///< which CU clone; -1 for controller/top
+  Rect rect;
+  double target_density = 0.7;
+};
+
+struct PlacedMacro {
+  std::string name;
+  std::string class_id;
+  netlist::Partition partition = netlist::Partition::kTop;
+  netlist::MemGroup group = netlist::MemGroup::kUntouched;
+  int cu_index = -1;
+  Rect rect;
+};
+
+struct Floorplan {
+  double die_w_um = 0.0;
+  double die_h_um = 0.0;
+  std::vector<PlacedPartition> partitions;
+  std::vector<PlacedMacro> macros;
+  /// Routed CU -> memory-controller distance per CU (mm), edge-to-edge
+  /// plus routing detour; feeds sta::WireAnnotations.
+  std::vector<double> cu_distance_mm;
+
+  [[nodiscard]] double die_area_mm2() const { return die_w_um * die_h_um * 1e-6; }
+  [[nodiscard]] const PlacedPartition* memctrl() const;
+  [[nodiscard]] const PlacedPartition* compute_unit(int cu_index) const;
+};
+
+struct FloorplanOptions {
+  double cu_density = 0.70;       // paper: CU partition density 70 %
+  double memctrl_density = 0.70;  // paper: controller density 70 %
+  double top_density = 0.30;      // paper: top partition density 30 %
+  double gap_um = 100.0;          // channel between partitions
+  double route_detour_mm = 0.15;  // fixed routing detour on global routes
+  /// Placement-halo penalty: optimised versions have more macros, which
+  /// costs achievable density (effective area multiplier
+  /// 1 + halo * (pieces/baseline - 1)).
+  double macro_halo = 0.9;
+};
+
+class Floorplanner {
+ public:
+  explicit Floorplanner(FloorplanOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Floorplan plan(const netlist::Netlist& design) const;
+
+  [[nodiscard]] const FloorplanOptions& options() const { return options_; }
+
+ private:
+  FloorplanOptions options_;
+};
+
+}  // namespace gpup::fp

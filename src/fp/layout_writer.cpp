@@ -1,0 +1,96 @@
+#include "src/fp/layout_writer.hpp"
+
+#include <sstream>
+
+#include "src/util/strings.hpp"
+
+namespace gpup::fp {
+
+namespace {
+
+const char* fill_for(netlist::MemGroup group) {
+  switch (group) {
+    case netlist::MemGroup::kUntouched: return "#9e9e9e";
+    case netlist::MemGroup::kCuOptimized: return "#4caf50";
+    case netlist::MemGroup::kMemCtrlOptimized: return "#ff9800";
+    case netlist::MemGroup::kTopOptimized: return "#2196f3";
+  }
+  return "#000000";
+}
+
+const char* fill_for(netlist::Partition partition) {
+  switch (partition) {
+    case netlist::Partition::kComputeUnit: return "#eceff1";
+    case netlist::Partition::kMemController: return "#fff3e0";
+    case netlist::Partition::kTop: return "#fafafa";
+  }
+  return "#ffffff";
+}
+
+}  // namespace
+
+std::string LayoutWriter::to_svg(const Floorplan& plan, const std::string& title) {
+  const double scale = 0.1;  // 10 um per SVG unit
+  const double margin = 24.0;
+  const double w = plan.die_w_um * scale + 2 * margin;
+  const double h = plan.die_h_um * scale + 2 * margin;
+
+  std::ostringstream svg;
+  svg << format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" "
+      "viewBox=\"0 0 %.0f %.0f\">\n",
+      w, h + 20, w, h + 20);
+  svg << format("<title>%s</title>\n", title.c_str());
+  auto rect = [&](const Rect& r, const char* fill, const char* stroke,
+                  const std::string& tooltip) {
+    svg << format(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\" "
+        "stroke=\"%s\" stroke-width=\"0.6\">",
+        margin + r.x * scale, margin + (plan.die_h_um - r.y - r.h) * scale, r.w * scale,
+        r.h * scale, fill, stroke);
+    svg << format("<title>%s</title></rect>\n", tooltip.c_str());
+  };
+
+  rect({0, 0, plan.die_w_um, plan.die_h_um}, "#ffffff", "#000000",
+       format("die %.0f x %.0f um", plan.die_w_um, plan.die_h_um));
+  for (const auto& partition : plan.partitions) {
+    if (partition.kind == netlist::Partition::kTop) continue;  // ring = die background
+    rect(partition.rect, fill_for(partition.kind), "#607d8b",
+         to_string(partition.kind) +
+             (partition.cu_index >= 0 ? format(" %d", partition.cu_index) : ""));
+  }
+  for (const auto& macro : plan.macros) {
+    rect(macro.rect, fill_for(macro.group), "#37474f",
+         macro.name + " (" + to_string(macro.group) + ")");
+  }
+  svg << format(
+      "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" font-family=\"monospace\">%s — "
+      "%.0f x %.0f um</text>\n",
+      margin, h + 12, title.c_str(), plan.die_w_um, plan.die_h_um);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string LayoutWriter::to_text(const Floorplan& plan, const std::string& title) {
+  std::ostringstream out;
+  out << format("DESIGN %s\nDIEAREA ( 0 0 ) ( %.0f %.0f ) ;\n", title.c_str(), plan.die_w_um,
+                plan.die_h_um);
+  out << "PARTITIONS\n";
+  for (const auto& partition : plan.partitions) {
+    out << format("  - %s%s ( %.0f %.0f ) ( %.0f %.0f ) DENSITY %.0f%% ;\n",
+                  to_string(partition.kind).c_str(),
+                  partition.cu_index >= 0 ? format("_%d", partition.cu_index).c_str() : "",
+                  partition.rect.x, partition.rect.y, partition.rect.x + partition.rect.w,
+                  partition.rect.y + partition.rect.h, partition.target_density * 100.0);
+  }
+  out << format("MACROS %zu\n", plan.macros.size());
+  for (const auto& macro : plan.macros) {
+    out << format("  - %s PLACED ( %.0f %.0f ) SIZE ( %.0f %.0f ) GROUP %s ;\n",
+                  macro.name.c_str(), macro.rect.x, macro.rect.y, macro.rect.w, macro.rect.h,
+                  to_string(macro.group).c_str());
+  }
+  out << "END DESIGN\n";
+  return out.str();
+}
+
+}  // namespace gpup::fp

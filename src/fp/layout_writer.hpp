@@ -1,0 +1,24 @@
+// Layout export: SVG rendering (the open-source stand-in for the paper's
+// GDSII screenshots, Figs. 3/4) and a DEF-like text dump.
+//
+// Memory macros are coloured by optimisation group exactly like the paper:
+// untouched (grey), CU-optimised (green), controller-optimised (orange),
+// top-optimised (blue).
+#pragma once
+
+#include <string>
+
+#include "src/fp/floorplan.hpp"
+
+namespace gpup::fp {
+
+class LayoutWriter {
+ public:
+  /// SVG rendering of the floorplan.
+  [[nodiscard]] static std::string to_svg(const Floorplan& plan, const std::string& title);
+
+  /// Compact DEF-like text dump (die, partitions, macro placements).
+  [[nodiscard]] static std::string to_text(const Floorplan& plan, const std::string& title);
+};
+
+}  // namespace gpup::fp

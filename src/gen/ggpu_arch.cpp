@@ -1,0 +1,254 @@
+#include "src/gen/ggpu_arch.hpp"
+
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::gen {
+
+using netlist::Partition;
+using tech::PortKind;
+
+GgpuArchSpec GgpuArchSpec::baseline(int cu_count, int memctrl_count) {
+  GPUP_CHECK_MSG(cu_count >= 1 && cu_count <= 8, "G-GPU supports 1..8 CUs");
+  GPUP_CHECK_MSG(memctrl_count >= 1 && memctrl_count <= 2,
+                 "1 controller (paper) or 2 (future-work replication)");
+
+  GgpuArchSpec arch;
+  arch.cu_count = cu_count;
+  arch.memctrl_count = memctrl_count;
+
+  // ---- Compute Unit memory classes: 42 macros per CU ------------------
+  // The big 4096-word macros carry the critical paths of the unoptimised
+  // design; GPUPlanner's 590/667 MHz versions divide them (see src/plan).
+  // sp_convertible marks structures that tolerate port arbitration (the
+  // paper's single-port future work); the rest are hard dual-port.
+  arch.mem_classes = {
+      {"cu.rf", Partition::kComputeUnit, 16, 1024, 32, PortKind::kDualPort, 8, 0.0, 32, false,
+       "PE register file banks (512 work-items x 32 regs, banked per PE pair)"},
+      {"cu.cram", Partition::kComputeUnit, 2, 4096, 32, PortKind::kDualPort, 3, 0.04, 256, false,
+       "kernel instruction store slices (fetch bundle path)"},
+      {"cu.lram", Partition::kComputeUnit, 4, 4096, 24, PortKind::kDualPort, 3, 0.05, 96, false,
+       "local scratchpad banks"},
+      {"cu.lsu_buf", Partition::kComputeUnit, 2, 4096, 18, PortKind::kDualPort, 3, 0.06, 72,
+       true, "load/store coalescing buffers"},
+      {"cu.wf_ctx", Partition::kComputeUnit, 2, 4096, 24, PortKind::kDualPort, 3, 0.065, 64,
+       false, "wavefront context / per-item PC tables (divergence tracking)"},
+      {"cu.sched", Partition::kComputeUnit, 2, 512, 64, PortKind::kDualPort, 8, 0.0, 64, true,
+       "wavefront scheduler scoreboards"},
+      {"cu.opbuf", Partition::kComputeUnit, 6, 256, 128, PortKind::kDualPort, 6, 0.0, 128, true,
+       "operand collector buffers"},
+      {"cu.lsu_fifo", Partition::kComputeUnit, 8, 128, 64, PortKind::kDualPort, 8, 0.0, 64, true,
+       "LSU request FIFOs"},
+      // ---- shared (controller + top) classes: 9 macros ----------------
+      {"top.cache_data", Partition::kMemController, 4, 4096, 32, PortKind::kSinglePort, 2, 0.05,
+       32, false, "direct-mapped write-back data cache banks (64 KB total)"},
+      {"top.cache_tag", Partition::kMemController, 1, 4096, 26, PortKind::kSinglePort, 3, 0.0,
+       26, false, "cache tag array"},
+      {"top.cache_dirty", Partition::kMemController, 1, 4096, 8, PortKind::kSinglePort, 2, 0.05,
+       8, false, "cache dirty/valid bits"},
+      {"top.rtm", Partition::kMemController, 1, 4096, 32, PortKind::kDualPort, 2, 0.02, 32,
+       false, "runtime memory (kernel descriptors, NDRange geometry)"},
+      {"top.wg_table", Partition::kTop, 1, 4096, 18, PortKind::kDualPort, 2, 0.04, 18, false,
+       "work-group dispatcher queue"},
+      {"top.axi_fifo", Partition::kTop, 1, 4096, 16, PortKind::kDualPort, 1, 0.03, 16, true,
+       "AXI data-mover FIFO"},
+  };
+
+  // ---- flip-flop groups -----------------------------------------------
+  // Per-CU ~105.8 k FFs, shared ~14.0 k; Table I (1 CU) lists 119,778.
+  arch.flops = {
+      {"cu.pe_pipeline", Partition::kComputeUnit, 79200},  // 8 PEs x 9,900
+      {"cu.wf_sched", Partition::kComputeUnit, 7200},
+      {"cu.lsu", Partition::kComputeUnit, 9100},
+      {"cu.fetch_decode", Partition::kComputeUnit, 3800},
+      {"cu.misc", Partition::kComputeUnit, 6500},
+      {"top.memctrl", Partition::kMemController, 8900},
+      {"top.axi_movers", Partition::kMemController, 3200},
+      {"top.ctrl_regs", Partition::kTop, 1150},
+      {"top.wg_dispatch", Partition::kTop, 750},
+  };
+
+  // ---- combinational clouds -------------------------------------------
+  // Per-CU ~86.5 k gates, shared ~41.3 k; Table I (1 CU) lists 127,826.
+  arch.combs = {
+      {"cu.pe_alu", Partition::kComputeUnit, 63200},  // 8 PEs x 7,900
+      {"cu.sched_comb", Partition::kComputeUnit, 6100},
+      {"cu.lsu_comb", Partition::kComputeUnit, 7900},
+      {"cu.decode_comb", Partition::kComputeUnit, 9300},
+      {"top.memctrl_comb", Partition::kMemController, 25400},
+      {"top.cache_ctl_comb", Partition::kMemController, 9600},
+      {"top.axi_comb", Partition::kMemController, 4300},
+      {"top.ctrl_comb", Partition::kTop, 2000},
+  };
+
+  // ---- register-to-register path classes ------------------------------
+  arch.reg_paths = {
+      // Wavefront issue arbitration: deep priority network; the 590 MHz
+      // version pipelines it (the paper's "pipelines were introduced in
+      // those paths" for non-memory critical paths).
+      {"cu.issue_arbiter", Partition::kComputeUnit, 26, 0.0, 256,
+       /*pipeline_allowed=*/true, /*handshake=*/false, /*crosses=*/false},
+      {"cu.decode", Partition::kComputeUnit, 20, 0.0, 64, true, false, false},
+      // CU <-> global memory controller request/grant handshake. Round-trip
+      // protocol: cannot be pipelined (matches the paper's failed attempt
+      // to fix the 8-CU layout with pipeline insertion). Gets wire delay
+      // after physical synthesis.
+      {"top.interface", Partition::kTop, 20, 0.05, 512,
+       /*pipeline_allowed=*/false, /*handshake=*/true, /*crosses=*/true},
+      {"top.ctrl", Partition::kTop, 10, 0.0, 32, true, false, false},
+  };
+
+  return arch;
+}
+
+std::vector<const MemClassSpec*> GgpuArchSpec::classes_in(Partition partition) const {
+  std::vector<const MemClassSpec*> out;
+  for (const auto& mem_class : mem_classes) {
+    if (mem_class.partition == partition) out.push_back(&mem_class);
+  }
+  return out;
+}
+
+int GgpuArchSpec::baseline_cu_macros() const {
+  int count = 0;
+  for (const auto& mem_class : mem_classes) {
+    if (mem_class.partition == Partition::kComputeUnit) count += mem_class.count;
+  }
+  return count;
+}
+
+int GgpuArchSpec::baseline_shared_macros() const {
+  int count = 0;
+  for (const auto& mem_class : mem_classes) {
+    if (mem_class.partition != Partition::kComputeUnit) count += mem_class.count;
+  }
+  return count;
+}
+
+netlist::Netlist generate_ggpu(const GgpuArchSpec& arch, const tech::Technology& technology) {
+  netlist::Netlist design(format("ggpu_%dcu", arch.cu_count), &technology);
+
+  auto emit_mem = [&](const MemClassSpec& spec, int cu_index, const std::string& prefix) {
+    for (int i = 0; i < spec.count; ++i) {
+      netlist::MemInstance instance;
+      instance.name = format("%s%s%d", prefix.c_str(), spec.id.c_str(), i);
+      instance.class_id = spec.id;
+      instance.partition = spec.partition;
+      instance.cu_index = cu_index;
+      instance.sp_convertible = spec.sp_convertible;
+      const tech::MemoryRequest request{spec.words, spec.bits, spec.ports};
+      instance.macro = technology.memories.compile(request);
+      design.add_memory(std::move(instance));
+    }
+  };
+
+  // Scope expansion: CU classes clone per compute unit, controller classes
+  // per controller copy (cu_index doubles as the controller index there),
+  // top-level classes stay singular.
+  for (const auto& spec : arch.mem_classes) {
+    if (spec.partition == Partition::kComputeUnit) {
+      for (int cu = 0; cu < arch.cu_count; ++cu) {
+        emit_mem(spec, cu, format("cu%d.", cu));
+      }
+    } else if (spec.partition == Partition::kMemController) {
+      for (int mc = 0; mc < arch.memctrl_count; ++mc) {
+        emit_mem(spec, mc, format("mc%d.", mc));
+      }
+    } else {
+      emit_mem(spec, -1, "");
+    }
+  }
+
+  for (const auto& spec : arch.flops) {
+    if (spec.partition == Partition::kComputeUnit) {
+      for (int cu = 0; cu < arch.cu_count; ++cu) {
+        design.add_flops({format("cu%d.%s", cu, spec.id.c_str()), spec.partition, cu, spec.count});
+      }
+    } else if (spec.partition == Partition::kMemController) {
+      for (int mc = 0; mc < arch.memctrl_count; ++mc) {
+        design.add_flops({format("mc%d.%s", mc, spec.id.c_str()), spec.partition, mc, spec.count});
+      }
+    } else {
+      design.add_flops({spec.id, spec.partition, -1, spec.count});
+    }
+  }
+
+  for (const auto& spec : arch.combs) {
+    if (spec.partition == Partition::kComputeUnit) {
+      for (int cu = 0; cu < arch.cu_count; ++cu) {
+        design.add_comb(
+            {format("cu%d.%s", cu, spec.id.c_str()), spec.partition, cu, spec.gate_count});
+      }
+    } else if (spec.partition == Partition::kMemController) {
+      for (int mc = 0; mc < arch.memctrl_count; ++mc) {
+        design.add_comb(
+            {format("mc%d.%s", mc, spec.id.c_str()), spec.partition, mc, spec.gate_count});
+      }
+    } else {
+      design.add_comb({spec.id, spec.partition, -1, spec.gate_count});
+    }
+  }
+
+  // Timing paths: memory-launched paths (one per memory class) ...
+  for (const auto& spec : arch.mem_classes) {
+    netlist::TimingPath path;
+    path.name = spec.id + ".read_path";
+    path.partition = spec.partition;
+    path.start_mem_class = spec.id;
+    path.logic_depth = spec.logic_depth;
+    path.extra_delay_ns = spec.extra_ns;
+    path.width_bits = spec.width_bits;
+    path.pipeline_allowed = false;  // splitting, not pipelining, fixes these
+    design.add_path(std::move(path));
+  }
+  // ... plus the register-to-register path classes.
+  for (const auto& spec : arch.reg_paths) {
+    netlist::TimingPath path;
+    path.name = spec.id;
+    path.partition = spec.partition;
+    path.logic_depth = spec.logic_depth;
+    path.extra_delay_ns = spec.extra_ns;
+    path.width_bits = spec.width_bits;
+    path.pipeline_allowed = spec.pipeline_allowed;
+    path.handshake = spec.handshake;
+    path.crosses_to_memctrl = spec.crosses_to_memctrl;
+    design.add_path(std::move(path));
+  }
+
+  return design;
+}
+
+netlist::Netlist generate_riscv(const tech::Technology& technology) {
+  netlist::Netlist design("riscv_cv32e40p", &technology);
+
+  // Core + MCU subsystem wrapper (debug, bus fabric, peripherals) —
+  // CV32E40P-class, sized to the paper-implied ~0.7 mm^2 footprint.
+  design.add_flops({"core.ff", Partition::kTop, -1, 30000});
+  design.add_comb({"core.comb", Partition::kTop, -1, 60000});
+
+  // 32 KB of single-port tightly-coupled memory in four banks (the paper
+  // synthesised "RISC-V having 32kb memory" at 667 MHz, so the banks must
+  // individually meet the 1.5 ns period).
+  for (int i = 0; i < 4; ++i) {
+    netlist::MemInstance tcm;
+    tcm.name = format("tcm%d", i);
+    tcm.class_id = "riscv.tcm";
+    tcm.partition = Partition::kTop;
+    tcm.macro =
+        technology.memories.compile({2048, 32, tech::PortKind::kSinglePort});
+    design.add_memory(std::move(tcm));
+  }
+
+  netlist::TimingPath path;
+  path.name = "riscv.tcm.read_path";
+  path.partition = Partition::kTop;
+  path.start_mem_class = "riscv.tcm";
+  path.logic_depth = 4;
+  path.width_bits = 32;
+  path.pipeline_allowed = false;
+  design.add_path(std::move(path));
+
+  return design;
+}
+
+}  // namespace gpup::gen

@@ -1,0 +1,100 @@
+// Parametric architecture description of the G-GPU (FGPU-class SIMT GPU).
+//
+// This is the "RTL" GPUPlanner generates from: a table of memory classes
+// (what the FPGA original inferred as block RAM and the ASIC migration
+// hand-instantiates as SRAM macros), flip-flop groups, combinational
+// clouds, and timing path classes. The default tables reproduce the
+// structural columns of the paper's Table I: 42 memory macros per CU and
+// 9 at top level in the unoptimised design, ~106 k FFs and ~87 k gates per
+// CU, ~14 k FFs and ~41 k gates shared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/tech/technology.hpp"
+
+namespace gpup::gen {
+
+/// One architecture-level memory class, instantiated `count` times per
+/// scope (per CU for kComputeUnit classes, once overall otherwise).
+struct MemClassSpec {
+  std::string id;
+  netlist::Partition partition = netlist::Partition::kComputeUnit;
+  int count = 1;
+  std::uint32_t words = 0;
+  std::uint32_t bits = 0;
+  tech::PortKind ports = tech::PortKind::kDualPort;
+  int logic_depth = 0;       ///< logic levels after the read port
+  double extra_ns = 0.0;     ///< fixed path extra (heavy cells / detour)
+  double width_bits = 32.0;  ///< downstream datapath width
+  /// True if the structure tolerates port arbitration and may be retargeted
+  /// to single-port macros (the paper's future-work item: "further
+  /// development for single-port memories").
+  bool sp_convertible = false;
+  std::string description;
+};
+
+/// Register-to-register timing path class.
+struct PathSpec {
+  std::string id;
+  netlist::Partition partition = netlist::Partition::kComputeUnit;
+  int logic_depth = 0;
+  double extra_ns = 0.0;
+  double width_bits = 32.0;
+  bool pipeline_allowed = true;
+  bool handshake = false;
+  bool crosses_to_memctrl = false;
+};
+
+struct FlopSpec {
+  std::string id;
+  netlist::Partition partition = netlist::Partition::kComputeUnit;
+  std::uint64_t count = 0;
+};
+
+struct CombSpec {
+  std::string id;
+  netlist::Partition partition = netlist::Partition::kComputeUnit;
+  std::uint64_t gate_count = 0;
+};
+
+/// Full architecture specification for one G-GPU configuration.
+struct GgpuArchSpec {
+  int cu_count = 1;
+  /// Copies of the general memory controller. 1 matches the paper's
+  /// implemented design; 2 realises its future-work fix for the 8-CU
+  /// routing wall ("replicating the general memory controller").
+  int memctrl_count = 1;
+
+  std::vector<MemClassSpec> mem_classes;   // CU + top classes
+  std::vector<FlopSpec> flops;
+  std::vector<CombSpec> combs;
+  std::vector<PathSpec> reg_paths;
+
+  /// Baseline (unoptimised) FGPU-derived architecture, as migrated to
+  /// ASIC in the paper. cu_count in [1, 8]; memctrl_count in [1, 2].
+  [[nodiscard]] static GgpuArchSpec baseline(int cu_count, int memctrl_count = 1);
+
+  /// Memory classes of one partition.
+  [[nodiscard]] std::vector<const MemClassSpec*> classes_in(
+      netlist::Partition partition) const;
+
+  /// Baseline macro count for one CU / for the shared logic — Table I
+  /// sanity anchors (42 and 9 in the shipped architecture).
+  [[nodiscard]] int baseline_cu_macros() const;
+  [[nodiscard]] int baseline_shared_macros() const;
+};
+
+/// Elaborate the architecture into a flat structural netlist: every memory
+/// macro instance is compiled through the technology's memory compiler.
+[[nodiscard]] netlist::Netlist generate_ggpu(const GgpuArchSpec& arch,
+                                             const tech::Technology& technology);
+
+/// CV32E40P-class RISC-V MCU netlist (core + bus wrapper + two 32 KB TCM
+/// banks) used for the paper's area comparison (Fig. 6 area ratios).
+[[nodiscard]] netlist::Netlist generate_riscv(const tech::Technology& technology);
+
+}  // namespace gpup::gen

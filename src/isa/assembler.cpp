@@ -1,0 +1,299 @@
+#include "src/isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/util/bits.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::isa {
+
+namespace {
+
+struct SourceLine {
+  int number = 0;
+  std::string label;          // empty if none
+  std::string mnemonic;       // empty if label-only
+  std::vector<std::string> operands;
+};
+
+/// Parse an integer literal (decimal or 0x hex, optional leading '-').
+std::optional<std::int64_t> parse_int(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::size_t index = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    index = 1;
+  }
+  if (index >= token.size()) return std::nullopt;
+  std::int64_t value = 0;
+  if (token.size() > index + 2 && token[index] == '0' &&
+      (token[index + 1] == 'x' || token[index + 1] == 'X')) {
+    for (std::size_t i = index + 2; i < token.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(token[i])));
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else return std::nullopt;
+      value = value * 16 + digit;
+    }
+  } else {
+    for (std::size_t i = index; i < token.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(token[i]))) return std::nullopt;
+      value = value * 10 + (token[i] - '0');
+    }
+  }
+  return negative ? -value : value;
+}
+
+/// "imm(rN)" -> (imm-token, reg); plain "rN" -> ("", reg).
+bool parse_mem_operand(const std::string& token, std::string& imm_out, std::string& reg_out) {
+  const auto open = token.find('(');
+  if (open == std::string::npos || token.back() != ')') return false;
+  imm_out = token.substr(0, open);
+  reg_out = token.substr(open + 1, token.size() - open - 2);
+  if (imm_out.empty()) imm_out = "0";
+  return true;
+}
+
+std::optional<Opcode> opcode_by_mnemonic(const std::string& mnemonic) {
+  for (int op = 0; op < static_cast<int>(Opcode::kCount); ++op) {
+    if (mnemonic == info(static_cast<Opcode>(op)).mnemonic) {
+      return static_cast<Opcode>(op);
+    }
+  }
+  return std::nullopt;
+}
+
+Error at_line(int line, const std::string& message) {
+  return Error{message, format("line %d", line)};
+}
+
+}  // namespace
+
+Result<Program> Assembler::assemble(const std::string& source, const std::string& default_name) {
+  std::string program_name = default_name;
+
+  // ---- tokenize ---------------------------------------------------------
+  std::vector<SourceLine> lines;
+  {
+    int number = 0;
+    for (const auto& raw : split(source, "\n")) {
+      ++number;
+      std::string text = raw;
+      const auto comment = text.find_first_of(";#");
+      if (comment != std::string::npos) text.resize(comment);
+      std::string_view view = trim(text);
+      if (view.empty()) continue;
+
+      SourceLine line;
+      line.number = number;
+      // Leading label(s).
+      while (true) {
+        const auto colon = view.find(':');
+        const auto space = view.find_first_of(" \t");
+        if (colon != std::string_view::npos && (space == std::string_view::npos || colon < space)) {
+          if (!line.label.empty()) {
+            return at_line(number, "multiple labels on one line");
+          }
+          line.label = std::string(trim(view.substr(0, colon)));
+          view = trim(view.substr(colon + 1));
+          if (view.empty()) break;
+          continue;
+        }
+        break;
+      }
+      if (!view.empty()) {
+        if (view[0] == '.') {
+          // Directive: only ".kernel <name>" is defined.
+          const auto pieces = split(view, " \t");
+          if (pieces[0] == ".kernel" && pieces.size() == 2) {
+            program_name = pieces[1];
+          } else {
+            return at_line(number, "unknown directive '" + pieces[0] + "'");
+          }
+          if (line.label.empty()) continue;
+        } else {
+          const auto space = view.find_first_of(" \t");
+          line.mnemonic = to_lower(view.substr(0, space));
+          if (space != std::string_view::npos) {
+            for (auto& operand : split(view.substr(space + 1), ", \t")) {
+              line.operands.push_back(operand);
+            }
+          }
+        }
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+
+  // ---- pass 1: label addresses (expanding pseudo-instruction sizes) -----
+  std::map<std::string, std::uint32_t> labels;
+  {
+    std::uint32_t pc = 0;
+    for (const auto& line : lines) {
+      if (!line.label.empty()) {
+        if (labels.count(line.label) != 0) {
+          return at_line(line.number, "duplicate label '" + line.label + "'");
+        }
+        labels[line.label] = pc;
+      }
+      if (line.mnemonic.empty()) continue;
+      if (line.mnemonic == "li") {
+        if (line.operands.size() != 2) return at_line(line.number, "li needs rd, imm");
+        const auto value = parse_int(line.operands[1]);
+        if (!value) return at_line(line.number, "bad li immediate");
+        pc += fits_signed(*value, 16) ? 1 : 2;
+      } else {
+        pc += 1;
+      }
+    }
+  }
+
+  // ---- pass 2: encode ----------------------------------------------------
+  std::vector<std::uint32_t> words;
+  auto resolve = [&](const std::string& token, int line,
+                     std::int64_t& out) -> std::optional<Error> {
+    if (const auto literal = parse_int(token)) {
+      out = *literal;
+      return std::nullopt;
+    }
+    const auto label = labels.find(token);
+    if (label == labels.end()) {
+      return at_line(line, "undefined symbol '" + token + "'");
+    }
+    out = label->second;
+    return std::nullopt;
+  };
+  auto need_reg = [&](const std::string& token, int line, std::uint8_t& out)
+      -> std::optional<Error> {
+    const int reg = parse_register(token);
+    if (reg < 0) return at_line(line, "expected register, got '" + token + "'");
+    out = static_cast<std::uint8_t>(reg);
+    return std::nullopt;
+  };
+
+  for (const auto& line : lines) {
+    if (line.mnemonic.empty()) continue;
+    const int n = line.number;
+    const auto& ops = line.operands;
+
+    // ---- pseudo-instructions ----
+    if (line.mnemonic == "li") {
+      std::uint8_t rd = 0;
+      if (auto err = need_reg(ops[0], n, rd)) return *err;
+      std::int64_t value = 0;
+      if (auto err = resolve(ops[1], n, value)) return *err;
+      if (fits_signed(value, 16)) {
+        words.push_back(Instruction{Opcode::kAddi, rd, 0, 0,
+                                    static_cast<std::int32_t>(value)}.encode());
+      } else {
+        const auto uvalue = static_cast<std::uint32_t>(value);
+        words.push_back(Instruction{Opcode::kLui, rd, 0, 0,
+                                    static_cast<std::int32_t>(uvalue >> 16)}.encode());
+        words.push_back(Instruction{Opcode::kOri, rd, rd, 0,
+                                    static_cast<std::int32_t>(uvalue & 0xffffu)}.encode());
+      }
+      continue;
+    }
+    if (line.mnemonic == "mov") {
+      if (ops.size() != 2) return at_line(n, "mov needs rd, rs");
+      std::uint8_t rd = 0;
+      std::uint8_t rs = 0;
+      if (auto err = need_reg(ops[0], n, rd)) return *err;
+      if (auto err = need_reg(ops[1], n, rs)) return *err;
+      words.push_back(Instruction{Opcode::kOr, rd, rs, 0, 0}.encode());
+      continue;
+    }
+
+    const auto opcode = opcode_by_mnemonic(line.mnemonic);
+    if (!opcode) return at_line(n, "unknown mnemonic '" + line.mnemonic + "'");
+    const OpInfo& op = info(*opcode);
+    Instruction instruction;
+    instruction.opcode = *opcode;
+
+    switch (op.op_class) {
+      case OpClass::kGlobalMem:
+      case OpClass::kLocalMem: {
+        if (ops.size() != 2) return at_line(n, "expected: <op> rd, imm(rbase)");
+        if (auto err = need_reg(ops[0], n, instruction.rd)) return *err;
+        std::string imm_token;
+        std::string base_token;
+        if (!parse_mem_operand(ops[1], imm_token, base_token)) {
+          return at_line(n, "expected imm(rbase), got '" + ops[1] + "'");
+        }
+        if (auto err = need_reg(base_token, n, instruction.rs)) return *err;
+        std::int64_t imm = 0;
+        if (auto err = resolve(imm_token, n, imm)) return *err;
+        if (!fits_signed(imm, 16)) return at_line(n, "offset out of range");
+        instruction.imm = static_cast<std::int32_t>(imm);
+        break;
+      }
+      case OpClass::kBranch: {
+        if (ops.size() != 3) return at_line(n, "expected: <op> ra, rb, target");
+        if (auto err = need_reg(ops[0], n, instruction.rd)) return *err;
+        if (auto err = need_reg(ops[1], n, instruction.rs)) return *err;
+        std::int64_t target = 0;
+        if (auto err = resolve(ops[2], n, target)) return *err;
+        const auto pc = static_cast<std::int64_t>(words.size());
+        const std::int64_t offset = target - (pc + 1);
+        if (!fits_signed(offset, 16)) return at_line(n, "branch target out of range");
+        instruction.imm = static_cast<std::int32_t>(offset);
+        break;
+      }
+      case OpClass::kJump: {
+        if (*opcode == Opcode::kJr) {
+          if (ops.size() != 1) return at_line(n, "expected: jr rs");
+          if (auto err = need_reg(ops[0], n, instruction.rs)) return *err;
+          break;
+        }
+        if (ops.size() != 1) return at_line(n, "expected: <op> target");
+        std::int64_t target = 0;
+        if (auto err = resolve(ops[0], n, target)) return *err;
+        if (!fits_signed(target, 26)) return at_line(n, "jump target out of range");
+        instruction.imm = static_cast<std::int32_t>(target);
+        if (*opcode == Opcode::kJal) instruction.rd = kLinkRegister;
+        break;
+      }
+      default: {
+        std::size_t index = 0;
+        if (op.has_rd || op.reads_rd) {
+          if (index >= ops.size()) return at_line(n, "missing destination register");
+          if (auto err = need_reg(ops[index++], n, instruction.rd)) return *err;
+        }
+        if (op.reads_rs) {
+          if (index >= ops.size()) return at_line(n, "missing source register");
+          if (auto err = need_reg(ops[index++], n, instruction.rs)) return *err;
+        }
+        if (op.reads_rt) {
+          if (index >= ops.size()) return at_line(n, "missing second source register");
+          if (auto err = need_reg(ops[index++], n, instruction.rt)) return *err;
+        }
+        if (op.has_imm16) {
+          if (index >= ops.size()) return at_line(n, "missing immediate");
+          std::int64_t imm = 0;
+          if (auto err = resolve(ops[index++], n, imm)) return *err;
+          const bool unsigned_ok =
+              (*opcode == Opcode::kAndi || *opcode == Opcode::kOri || *opcode == Opcode::kXori ||
+               *opcode == Opcode::kLui) &&
+              fits_unsigned(imm, 16);
+          if (!fits_signed(imm, 16) && !unsigned_ok) {
+            return at_line(n, "immediate out of range");
+          }
+          instruction.imm = static_cast<std::int32_t>(imm);
+        }
+        if (index != ops.size()) return at_line(n, "too many operands");
+        break;
+      }
+    }
+    words.push_back(instruction.encode());
+  }
+
+  if (words.empty()) return Error{"empty program", program_name};
+  return Program(program_name, std::move(words), std::move(labels));
+}
+
+}  // namespace gpup::isa

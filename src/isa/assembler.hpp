@@ -1,0 +1,33 @@
+// Two-pass text assembler for the FGPU-class ISA.
+//
+// Syntax (one instruction per line; ';' or '#' start comments):
+//
+//   .kernel vec_mul          ; program name (optional, first directive)
+//   loop:                    ; labels end with ':'
+//     add   r3, r1, r2
+//     lw    r4, 0(r3)        ; loads/stores use imm(base)
+//     beq   r4, r0, done     ; branch targets are labels (or immediates)
+//     jmp   loop
+//   done:
+//     ret
+//
+// Pseudo-instructions:
+//   li  rd, imm32            ; expands to lui+ori (or a single addi)
+//   mov rd, rs               ; or rd, rs, r0
+#pragma once
+
+#include <string>
+
+#include "src/isa/program.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::isa {
+
+class Assembler {
+ public:
+  /// Assemble source text; errors carry "line N" context.
+  [[nodiscard]] static Result<Program> assemble(const std::string& source,
+                                                const std::string& default_name = "kernel");
+};
+
+}  // namespace gpup::isa

@@ -1,0 +1,150 @@
+#include "src/isa/isa.hpp"
+
+#include <array>
+
+#include "src/util/bits.hpp"
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::isa {
+
+namespace {
+
+// The FGPU is deeply pipelined: results come back after more cycles than
+// the 8-beat issue occupancy, so dependent instructions of the *same*
+// wavefront stall unless another wavefront fills the gap.
+constexpr int kAluLatency = 10;
+constexpr int kMulLatency = 12;
+constexpr int kDivLatency = 36;  // iterative divider
+constexpr int kRtmLatency = 8;
+constexpr int kLramLatency = 10;
+
+// columns: mnemonic, class, has_rd, reads_rd, reads_rs, reads_rt, has_imm16, latency
+const std::array<OpInfo, static_cast<std::size_t>(Opcode::kCount)> kOpTable = {{
+    /* kNop   */ {"nop", OpClass::kMisc, false, false, false, false, false, 0},
+    /* kAdd   */ {"add", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSub   */ {"sub", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kMul   */ {"mul", OpClass::kMul, true, false, true, true, false, kMulLatency},
+    /* kMulhu */ {"mulhu", OpClass::kMul, true, false, true, true, false, kMulLatency},
+    /* kAnd   */ {"and", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kOr    */ {"or", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kXor   */ {"xor", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kNor   */ {"nor", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSll   */ {"sll", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSrl   */ {"srl", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSra   */ {"sra", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSlt   */ {"slt", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kSltu  */ {"sltu", OpClass::kAlu, true, false, true, true, false, kAluLatency},
+    /* kDiv   */ {"div", OpClass::kDiv, true, false, true, true, false, kDivLatency},
+    /* kRem   */ {"rem", OpClass::kDiv, true, false, true, true, false, kDivLatency},
+    /* kAddi  */ {"addi", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kAndi  */ {"andi", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kOri   */ {"ori", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kXori  */ {"xori", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kSlti  */ {"slti", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kSltiu */ {"sltiu", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kSlli  */ {"slli", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kSrli  */ {"srli", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kSrai  */ {"srai", OpClass::kAlu, true, false, true, false, true, kAluLatency},
+    /* kLui   */ {"lui", OpClass::kAlu, true, false, false, false, true, kAluLatency},
+    /* kLw    */ {"lw", OpClass::kGlobalMem, true, false, true, false, true, 0},
+    /* kSw    */ {"sw", OpClass::kGlobalMem, false, true, true, false, true, 0},
+    /* kLwl   */ {"lwl", OpClass::kLocalMem, true, false, true, false, true, kLramLatency},
+    /* kSwl   */ {"swl", OpClass::kLocalMem, false, true, true, false, true, 0},
+    /* kBeq   */ {"beq", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kBne   */ {"bne", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kBlt   */ {"blt", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kBge   */ {"bge", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kBltu  */ {"bltu", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kBgeu  */ {"bgeu", OpClass::kBranch, false, true, true, false, true, 0},
+    /* kJmp   */ {"jmp", OpClass::kJump, false, false, false, false, true, 0},
+    /* kJal   */ {"jal", OpClass::kJump, true, false, false, false, true, kAluLatency},
+    /* kJr    */ {"jr", OpClass::kJump, false, false, true, false, false, 0},
+    /* kTid   */ {"tid", OpClass::kRtm, true, false, false, false, false, 2},
+    /* kLid   */ {"lid", OpClass::kRtm, true, false, false, false, false, 2},
+    /* kWgid  */ {"wgid", OpClass::kRtm, true, false, false, false, false, 2},
+    /* kWgsize*/ {"wgsize", OpClass::kRtm, true, false, false, false, false, 2},
+    /* kGsize */ {"gsize", OpClass::kRtm, true, false, false, false, false, 2},
+    /* kParam */ {"param", OpClass::kRtm, true, false, false, false, true, kRtmLatency},
+    /* kBar   */ {"bar", OpClass::kSync, false, false, false, false, false, 0},
+    /* kRet   */ {"ret", OpClass::kSync, false, false, false, false, false, 0},
+}};
+
+}  // namespace
+
+const OpInfo& info(Opcode opcode) {
+  const auto index = static_cast<std::size_t>(opcode);
+  GPUP_CHECK(index < kOpTable.size());
+  return kOpTable[index];
+}
+
+std::uint32_t Instruction::encode() const {
+  const auto op = static_cast<std::uint32_t>(opcode);
+  if (opcode == Opcode::kJmp || opcode == Opcode::kJal) {
+    return (op << 26) | (static_cast<std::uint32_t>(imm) & 0x03ffffffu);
+  }
+  std::uint32_t word = (op << 26) | (static_cast<std::uint32_t>(rd & 31) << 21) |
+                       (static_cast<std::uint32_t>(rs & 31) << 16);
+  if (info(opcode).has_imm16) {
+    word |= static_cast<std::uint32_t>(imm) & 0xffffu;
+  } else {
+    word |= static_cast<std::uint32_t>(rt & 31) << 11;
+  }
+  return word;
+}
+
+Instruction Instruction::decode(std::uint32_t word) {
+  Instruction instruction;
+  const auto op = (word >> 26) & 63u;
+  GPUP_CHECK_MSG(op < static_cast<std::uint32_t>(Opcode::kCount), "bad opcode in word");
+  instruction.opcode = static_cast<Opcode>(op);
+  if (instruction.opcode == Opcode::kJmp || instruction.opcode == Opcode::kJal) {
+    instruction.imm = sign_extend(word & 0x03ffffffu, 26);
+    if (instruction.opcode == Opcode::kJal) instruction.rd = kLinkRegister;
+    return instruction;
+  }
+  instruction.rd = static_cast<std::uint8_t>((word >> 21) & 31u);
+  instruction.rs = static_cast<std::uint8_t>((word >> 16) & 31u);
+  if (info(instruction.opcode).has_imm16) {
+    instruction.imm = sign_extend(word & 0xffffu, 16);
+  } else {
+    instruction.rt = static_cast<std::uint8_t>((word >> 11) & 31u);
+  }
+  return instruction;
+}
+
+std::string Instruction::to_string() const {
+  const OpInfo& op = info(opcode);
+  switch (op.op_class) {
+    case OpClass::kGlobalMem:
+    case OpClass::kLocalMem:
+      // Loads and stores both name the data register in the rd slot.
+      return format("%s r%d, %d(r%d)", op.mnemonic, rd, imm, rs);
+    case OpClass::kBranch:
+      return format("%s r%d, r%d, %d", op.mnemonic, rd, rs, imm);
+    case OpClass::kJump:
+      if (opcode == Opcode::kJr) return format("jr r%d", rs);
+      return format("%s %d", op.mnemonic, imm);
+    default:
+      break;
+  }
+  if (opcode == Opcode::kParam) return format("param r%d, %d", rd, imm);
+  if (opcode == Opcode::kLui) return format("lui r%d, %d", rd, imm);
+  if (op.has_imm16) return format("%s r%d, r%d, %d", op.mnemonic, rd, rs, imm);
+  if (op.has_rd && op.reads_rs && op.reads_rt)
+    return format("%s r%d, r%d, r%d", op.mnemonic, rd, rs, rt);
+  if (op.has_rd) return format("%s r%d", op.mnemonic, rd);
+  return op.mnemonic;
+}
+
+int parse_register(const std::string& token) {
+  if (token.size() < 2 || token.size() > 3 || token[0] != 'r') return -1;
+  int value = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return -1;
+    value = value * 10 + (token[i] - '0');
+  }
+  return (value < kRegisterCount) ? value : -1;
+}
+
+}  // namespace gpup::isa

@@ -1,0 +1,88 @@
+// Clean-room FGPU-class SIMT instruction set ("GIR" — G-GPU IR).
+//
+// 32-bit fixed-width MIPS-flavoured encoding, matching the capabilities
+// the FGPU paper describes: scalar integer ALU per PE, global memory
+// through the shared cache, local scratchpad (LRAM), runtime-memory reads
+// for kernel parameters / NDRange geometry, work-group barrier, and
+// per-work-item control flow (full thread divergence).
+//
+// Encoding:
+//   [31:26] opcode
+//   [25:21] rd    [20:16] rs    [15:11] rt        (R-type)
+//   [25:21] rd    [20:16] rs    [15:0]  imm16     (I-type)
+//   [25:0]  imm26                                  (J-type)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpup::isa {
+
+inline constexpr int kRegisterCount = 32;
+inline constexpr std::uint8_t kLinkRegister = 31;  // JAL writes the return PC here
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // R-type ALU
+  kAdd, kSub, kMul, kMulhu, kAnd, kOr, kXor, kNor,
+  kSll, kSrl, kSra, kSlt, kSltu,
+  kDiv, kRem,  // optional hardware divider (GpuConfig::hw_divider)
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlti, kSltiu,
+  kSlli, kSrli, kSrai, kLui,
+  // memory
+  kLw, kSw,    // global memory (through the shared data cache)
+  kLwl, kSwl,  // CU-local scratchpad (LRAM)
+  // control flow (per work-item; divergence handled by the CU)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJmp, kJal, kJr,
+  // SIMT / runtime-memory reads
+  kTid,     // global work-item id (flat NDRange)
+  kLid,     // local id within the work-group
+  kWgid,    // work-group id
+  kWgsize,  // work-group size
+  kGsize,   // global NDRange size
+  kParam,   // kernel argument word #imm16 from the RTM
+  // synchronisation / termination
+  kBar,  // work-group barrier
+  kRet,  // end of work-item
+  kCount
+};
+
+enum class OpClass { kAlu, kMul, kDiv, kGlobalMem, kLocalMem, kBranch, kJump, kRtm, kSync, kMisc };
+
+struct OpInfo {
+  const char* mnemonic;
+  OpClass op_class;
+  bool has_rd;      // writes the rd register
+  bool reads_rd;    // rd field is a *source* (stores: data; branches: lhs)
+  bool reads_rs;
+  bool reads_rt;    // R-type second source
+  bool has_imm16;
+  int result_latency;  // cycles until rd may be consumed (memory: dynamic)
+};
+
+/// Static properties of an opcode (mnemonics double as assembler keys).
+[[nodiscard]] const OpInfo& info(Opcode opcode);
+
+/// One decoded instruction.
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::int32_t imm = 0;  // sign-extended imm16, or imm26 for jumps
+
+  [[nodiscard]] std::uint32_t encode() const;
+  [[nodiscard]] static Instruction decode(std::uint32_t word);
+
+  /// Disassembly, e.g. "add r3, r1, r2" or "lw r4, 16(r2)".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// "r0".."r31" -> register index; returns -1 if not a register name.
+[[nodiscard]] int parse_register(const std::string& token);
+
+}  // namespace gpup::isa

@@ -1,0 +1,34 @@
+#include "src/isa/program.hpp"
+
+#include <sstream>
+
+#include "src/util/strings.hpp"
+
+namespace gpup::isa {
+
+std::string Program::disassemble() const {
+  // Invert the label map for annotation.
+  std::map<std::uint32_t, std::string> names;
+  for (const auto& [label, address] : labels_) names[address] = label;
+
+  std::ostringstream out;
+  out << ".kernel " << name_ << "\n";
+  for (std::uint32_t pc = 0; pc < words_.size(); ++pc) {
+    const auto label = names.find(pc);
+    if (label != names.end()) out << label->second << ":\n";
+    const Instruction instruction = at(pc);
+    std::string text = instruction.to_string();
+    // Branches encode pc-relative offsets but the assembler takes absolute
+    // targets; print the resolved target so listings re-assemble verbatim.
+    if (info(instruction.opcode).op_class == OpClass::kBranch) {
+      const auto target = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(pc) + 1 + instruction.imm);
+      text = format("%s r%d, r%d, %u", info(instruction.opcode).mnemonic, instruction.rd,
+                    instruction.rs, target);
+    }
+    out << format("  %04x:  %08x  %s\n", pc, words_[pc], text.c_str());
+  }
+  return out.str();
+}
+
+}  // namespace gpup::isa

@@ -1,0 +1,43 @@
+// Assembled kernel program: the binary image the host runtime writes into
+// the G-GPU's instruction store (CRAM) plus the metadata the WG dispatcher
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.hpp"
+
+namespace gpup::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<std::uint32_t> words,
+          std::map<std::string, std::uint32_t> labels)
+      : name_(std::move(name)), words_(std::move(words)), labels_(std::move(labels)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+  [[nodiscard]] bool empty() const { return words_.empty(); }
+
+  [[nodiscard]] Instruction at(std::uint32_t pc) const {
+    return Instruction::decode(words_.at(pc));
+  }
+
+  /// Label address, if defined.
+  [[nodiscard]] const std::map<std::string, std::uint32_t>& labels() const { return labels_; }
+
+  /// Full disassembly listing.
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::uint32_t> labels_;
+};
+
+}  // namespace gpup::isa

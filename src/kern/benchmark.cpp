@@ -1,0 +1,43 @@
+#include "src/kern/benchmark.hpp"
+
+#include "src/util/status.hpp"
+
+namespace gpup::kern {
+
+GpuRun run_gpu(const Benchmark& benchmark, rt::Device& device, std::uint32_t size) {
+  device.reset();
+  const auto program = rt::Device::compile(benchmark.gpu_source());
+  GPUP_CHECK_MSG(program.ok(), "kernel assembly failed: " +
+                                   (program.ok() ? "" : program.error().to_string()));
+
+  GpuWorkload work = benchmark.prepare(device, size);
+  GpuRun run;
+  run.stats =
+      device.run(program.value(), work.params, {work.global_size, work.wg_size});
+  const auto output = device.read(work.out);
+  run.valid = (output == work.golden);
+  return run;
+}
+
+RvRun run_riscv(const Benchmark& benchmark, std::uint32_t size, bool optimized,
+                std::uint32_t mem_bytes) {
+  const auto program =
+      rv::RvAssembler::assemble(benchmark.riscv_source(optimized), benchmark.name());
+  GPUP_CHECK_MSG(program.ok(), "riscv assembly failed: " +
+                                   (program.ok() ? "" : program.error().to_string()));
+
+  rv::RvCoreConfig config;
+  config.mem_bytes = mem_bytes;
+  rv::RvCore core(config);
+  core.reserve_program(static_cast<std::uint32_t>(program.value().words.size() * 4));
+  RvWorkload work = benchmark.prepare_riscv(core, size);
+
+  RvRun run;
+  run.stats = core.run(program.value(), work.param_addr);
+  std::vector<std::uint32_t> output(work.out_words);
+  core.read_words(work.out_addr, output);
+  run.valid = (output == work.golden);
+  return run;
+}
+
+}  // namespace gpup::kern

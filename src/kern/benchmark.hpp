@@ -1,0 +1,85 @@
+// The seven micro-benchmarks of the paper's Table III (AMD OpenCL SDK
+// style): mat_mul, copy, vec_mul, fir, div_int, xcorr, parallel_sel.
+//
+// Every benchmark provides:
+//   * the G-GPU kernel (FGPU-class assembly, compiled by src/isa),
+//   * two RISC-V ports: `naive` — a faithful port of the OpenCL execution
+//     model (per-work-item dispatch loop, -O0-style stack traffic), which
+//     is what the paper's "RISC-V and its compiler" measurements reflect —
+//     and `optimized` (tight native loop) kept as an ablation,
+//   * deterministic workload generation and a host golden reference used
+//     to validate every simulated run.
+//
+// Input-size semantics follow the paper: the "input size" is the number of
+// work-items; per-kernel inner dimensions derive from it (see each file).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rt/device.hpp"
+#include "src/rv/core.hpp"
+
+namespace gpup::kern {
+
+/// Device-side prepared workload (G-GPU).
+struct GpuWorkload {
+  std::vector<std::uint32_t> params;
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 256;
+  rt::Buffer out;
+  std::vector<std::uint32_t> golden;
+};
+
+/// Prepared workload on the RISC-V core.
+struct RvWorkload {
+  std::uint32_t param_addr = 0;
+  std::uint32_t out_addr = 0;
+  std::uint32_t out_words = 0;
+  std::vector<std::uint32_t> golden;
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Paper Table III input sizes.
+  [[nodiscard]] virtual std::uint32_t riscv_input() const = 0;
+  [[nodiscard]] virtual std::uint32_t gpu_input() const = 0;
+
+  [[nodiscard]] virtual std::string gpu_source() const = 0;
+  [[nodiscard]] virtual std::string riscv_source(bool optimized) const = 0;
+
+  /// Allocate + upload inputs, compute the golden output.
+  [[nodiscard]] virtual GpuWorkload prepare(rt::Device& device, std::uint32_t size) const = 0;
+  [[nodiscard]] virtual RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const = 0;
+};
+
+/// All seven benchmarks, in the paper's Table III order.
+[[nodiscard]] const std::vector<const Benchmark*>& all_benchmarks();
+[[nodiscard]] const Benchmark* benchmark_by_name(const std::string& name);
+
+// ---- run helpers ------------------------------------------------------
+
+struct GpuRun {
+  sim::LaunchStats stats;
+  bool valid = false;
+};
+
+struct RvRun {
+  rv::RvRunStats stats;
+  bool valid = false;
+};
+
+/// Run on a fresh device: prepare, launch, read back, validate.
+[[nodiscard]] GpuRun run_gpu(const Benchmark& benchmark, rt::Device& device,
+                             std::uint32_t size);
+
+/// Run the RISC-V port (naive or optimized) on a fresh core and validate.
+[[nodiscard]] RvRun run_riscv(const Benchmark& benchmark, std::uint32_t size, bool optimized,
+                              std::uint32_t mem_bytes = 32 * 1024);
+
+}  // namespace gpup::kern

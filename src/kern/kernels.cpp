@@ -1,0 +1,1177 @@
+// The seven benchmarks: G-GPU assembly, RISC-V naive/optimized ports,
+// workload generation, golden references.
+//
+// Input-size semantics (calibrated so cycle-count *shapes* track the
+// paper's Table III):
+//   mat_mul      size = output elements; C[M x 32] = A[M x 32] * B[32 x 32]
+//   copy         size = elements copied
+//   vec_mul      size = elements multiplied
+//   fir          size = output elements, 128 taps
+//   div_int      size = element-wise integer divisions (GPU: software
+//                division loop — the FGPU has no divider by default)
+//   xcorr        size = lags; window = size/4 MACs per lag
+//   parallel_sel size = elements; rank-and-scatter selection sort (O(n^2),
+//                data-dependent divergence)
+#include "src/kern/benchmark.hpp"
+
+#include <algorithm>
+
+#include "src/util/rng.hpp"
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::kern {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared RISC-V scaffolding
+// ---------------------------------------------------------------------------
+
+// Naive OpenCL-port dispatcher: walks the NDRange one work-item at a time,
+// calling the kernel body with (gid, params) — induction variable spilled
+// to the stack the way an -O0 port keeps it.
+constexpr const char* kRvDispatcher = R"(
+main:
+  addi sp, sp, -16
+  sw   ra, 12(sp)
+  sw   s0, 8(sp)
+  mv   s0, a0
+  li   t0, 0
+  sw   t0, 4(sp)
+main_loop:
+  lw   t0, 0(s0)
+  lw   t1, 4(sp)
+  bge  t1, t0, main_done
+  lw   a0, 4(sp)
+  mv   a1, s0
+  call kernel_body
+  lw   t1, 4(sp)
+  addi t1, t1, 1
+  sw   t1, 4(sp)
+  j    main_loop
+main_done:
+  lw   ra, 12(sp)
+  lw   s0, 8(sp)
+  addi sp, sp, 16
+  halt
+)";
+
+std::string naive_port(const std::string& body) { return std::string(kRvDispatcher) + body; }
+
+// Deterministic per-benchmark seeds.
+std::uint64_t seed_of(const std::string& name) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : name) hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return hash;
+}
+
+std::vector<std::uint32_t> random_words(const std::string& tag, std::size_t count,
+                                        std::uint32_t bound) {
+  Rng rng(seed_of(tag));
+  std::vector<std::uint32_t> words(count);
+  for (auto& word : words) word = rng.next_below(bound) + 1;  // strictly positive
+  return words;
+}
+
+rt::Buffer upload(rt::Device& device, const std::vector<std::uint32_t>& words) {
+  rt::Buffer buffer = device.alloc_words(static_cast<std::uint32_t>(words.size()));
+  device.write(buffer, words);
+  return buffer;
+}
+
+std::uint32_t rv_upload(rv::RvCore& core, const std::vector<std::uint32_t>& words) {
+  const std::uint32_t addr = core.alloc_words(static_cast<std::uint32_t>(words.size()));
+  core.write_words(addr, words);
+  return addr;
+}
+
+// Work-group sizing: the O(n^2) kernels use full-CU 512-item groups (the
+// FGPU's maximum, which caps how many CUs the small NDRanges can feed —
+// the paper's parallel_sel saturation); the streaming kernels use 256.
+std::uint32_t pick_wg_size(std::uint32_t global, bool full_cu_groups = false) {
+  const std::uint32_t preferred = full_cu_groups ? 512u : 256u;
+  return global >= preferred ? preferred : global;
+}
+
+// ---------------------------------------------------------------------------
+// copy
+// ---------------------------------------------------------------------------
+
+class CopyBenchmark final : public Benchmark {
+ public:
+  std::string name() const override { return "copy"; }
+  std::uint32_t riscv_input() const override { return 512; }
+  std::uint32_t gpu_input() const override { return 32768; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel copy
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  param r6, 3
+  add   r6, r6, r3
+  sw    r5, 0(r6)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)
+  lw   t1, 4(a0)
+  lw   t2, 12(a0)
+  li   t3, 0
+loop:
+  bge  t3, t0, done
+  lw   t4, 0(t1)
+  sw   t4, 0(t2)
+  addi t1, t1, 4
+  addi t2, t2, 4
+  addi t3, t3, 1
+  j    loop
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -32
+  sw   a0, 28(sp)
+  sw   a1, 24(sp)
+  lw   t0, 24(sp)
+  lw   t1, 4(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 0(t1)
+  sw   t3, 20(sp)
+  lw   t0, 24(sp)
+  lw   t1, 12(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 20(sp)
+  sw   t3, 0(t1)
+  addi sp, sp, 32
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const auto input = random_words("copy.in", size, 1u << 30);
+    GpuWorkload work;
+    const rt::Buffer in = upload(device, input);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args().add(size).add(in).add(0u).add(work.out).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size);
+    work.golden = input;
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const auto input = random_words("copy.in", size, 1u << 30);
+    RvWorkload work;
+    const std::uint32_t in = rv_upload(core, input);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden = input;
+    work.param_addr = rv_upload(core, {size, in, 0, work.out_addr});
+    return work;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// vec_mul
+// ---------------------------------------------------------------------------
+
+class VecMulBenchmark final : public Benchmark {
+ public:
+  std::string name() const override { return "vec_mul"; }
+  std::uint32_t riscv_input() const override { return 1024; }
+  std::uint32_t gpu_input() const override { return 65536; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel vec_mul
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  param r6, 2
+  add   r6, r6, r3
+  lw    r7, 0(r6)
+  mul   r8, r5, r7
+  param r9, 3
+  add   r9, r9, r3
+  sw    r8, 0(r9)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)
+  lw   t1, 4(a0)
+  lw   t2, 8(a0)
+  lw   t3, 12(a0)
+  li   t4, 0
+loop:
+  bge  t4, t0, done
+  lw   t5, 0(t1)
+  lw   t6, 0(t2)
+  mul  t5, t5, t6
+  sw   t5, 0(t3)
+  addi t1, t1, 4
+  addi t2, t2, 4
+  addi t3, t3, 4
+  addi t4, t4, 1
+  j    loop
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -32
+  sw   a0, 28(sp)
+  sw   a1, 24(sp)
+  lw   t0, 24(sp)
+  lw   t1, 4(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 0(t1)
+  sw   t3, 20(sp)
+  lw   t0, 24(sp)
+  lw   t1, 8(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t4, 0(t1)
+  lw   t3, 20(sp)
+  mul  t5, t3, t4
+  sw   t5, 16(sp)
+  lw   t0, 24(sp)
+  lw   t1, 12(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t5, 16(sp)
+  sw   t5, 0(t1)
+  addi sp, sp, 32
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const auto a = random_words("vec_mul.a", size, 1u << 15);
+    const auto b = random_words("vec_mul.b", size, 1u << 15);
+    GpuWorkload work;
+    const rt::Buffer buf_a = upload(device, a);
+    const rt::Buffer buf_b = upload(device, b);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args().add(size).add(buf_a).add(buf_b).add(work.out).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size);
+    work.golden.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) work.golden[i] = a[i] * b[i];
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const auto a = random_words("vec_mul.a", size, 1u << 15);
+    const auto b = random_words("vec_mul.b", size, 1u << 15);
+    RvWorkload work;
+    const std::uint32_t addr_a = rv_upload(core, a);
+    const std::uint32_t addr_b = rv_upload(core, b);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) work.golden[i] = a[i] * b[i];
+    work.param_addr = rv_upload(core, {size, addr_a, addr_b, work.out_addr});
+    return work;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// mat_mul: C[M x N] = A[M x K] * B[K x N], N = K = 32, M = size / 32.
+// ---------------------------------------------------------------------------
+
+class MatMulBenchmark final : public Benchmark {
+ public:
+  static constexpr std::uint32_t kN = 32;
+  static constexpr std::uint32_t kLog2N = 5;
+  static constexpr std::uint32_t kK = 32;
+
+  std::string name() const override { return "mat_mul"; }
+  std::uint32_t riscv_input() const override { return 128; }
+  std::uint32_t gpu_input() const override { return 2048; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel mat_mul
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  param r3, 4          ; log2 N
+  srl   r4, r1, r3     ; row
+  param r5, 6          ; mask (N-1)
+  and   r6, r1, r5     ; col
+  param r7, 5          ; K
+  mul   r8, r4, r7
+  slli  r8, r8, 2
+  param r9, 1
+  add   r8, r8, r9     ; &A[row*K]
+  slli  r10, r6, 2
+  param r11, 2
+  add   r10, r10, r11  ; &B[col]
+  addi  r12, r0, 4
+  sll   r12, r12, r3   ; row stride of B in bytes
+  addi  r13, r0, 0     ; acc
+  addi  r14, r0, 0     ; k
+loop:
+  lw    r15, 0(r8)
+  lw    r16, 0(r10)
+  mul   r17, r15, r16
+  add   r13, r13, r17
+  addi  r8, r8, 4
+  add   r10, r10, r12
+  addi  r14, r14, 1
+  blt   r14, r7, loop
+  slli  r18, r1, 2
+  param r19, 3
+  add   r18, r18, r19
+  sw    r13, 0(r18)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)       # n (outputs)
+  lw   s2, 4(a0)       # A
+  lw   s3, 8(a0)       # B
+  lw   s4, 12(a0)      # C
+  lw   s5, 20(a0)      # K
+  li   s6, 0           # gid
+outer:
+  bge  s6, t0, done
+  lw   t1, 16(a0)      # log2N
+  srl  t2, s6, t1      # row
+  lw   t3, 24(a0)      # mask
+  and  t4, s6, t3      # col
+  mul  t5, t2, s5
+  slli t5, t5, 2
+  add  t5, t5, s2      # &A[row*K]
+  slli t6, t4, 2
+  add  t6, t6, s3      # &B[col]
+  li   a2, 4
+  sll  a2, a2, t1      # B row stride
+  li   a3, 0           # acc
+  li   a4, 0           # k
+inner:
+  lw   a5, 0(t5)
+  lw   a6, 0(t6)
+  mul  a5, a5, a6
+  add  a3, a3, a5
+  addi t5, t5, 4
+  add  t6, t6, a2
+  addi a4, a4, 1
+  blt  a4, s5, inner
+  slli a7, s6, 2
+  add  a7, a7, s4
+  sw   a3, 0(a7)
+  addi s6, s6, 1
+  j    outer
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -48
+  sw   a0, 44(sp)
+  sw   a1, 40(sp)
+  lw   t0, 40(sp)
+  lw   t1, 16(t0)      # log2N
+  lw   t2, 44(sp)
+  srl  t3, t2, t1
+  sw   t3, 36(sp)      # row
+  lw   t0, 40(sp)
+  lw   t1, 24(t0)      # mask
+  lw   t2, 44(sp)
+  and  t3, t2, t1
+  sw   t3, 32(sp)      # col
+  li   t0, 0
+  sw   t0, 28(sp)      # acc
+  li   t0, 0
+  sw   t0, 24(sp)      # k
+body_loop:
+  lw   t0, 40(sp)
+  lw   t1, 20(t0)      # K
+  lw   t2, 24(sp)
+  bge  t2, t1, body_done
+  lw   t0, 40(sp)
+  lw   t1, 4(t0)       # A
+  lw   t2, 36(sp)
+  lw   t3, 20(t0)
+  mul  t2, t2, t3
+  lw   t4, 24(sp)
+  add  t2, t2, t4
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t5, 0(t1)       # a value
+  lw   t0, 40(sp)
+  lw   t1, 8(t0)       # B
+  lw   t2, 24(sp)
+  lw   t3, 16(t0)
+  sll  t2, t2, t3
+  lw   t4, 32(sp)
+  add  t2, t2, t4
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t6, 0(t1)       # b value
+  mul  t5, t5, t6
+  lw   t0, 28(sp)
+  add  t0, t0, t5
+  sw   t0, 28(sp)
+  lw   t0, 24(sp)
+  addi t0, t0, 1
+  sw   t0, 24(sp)
+  j    body_loop
+body_done:
+  lw   t0, 40(sp)
+  lw   t1, 12(t0)      # C
+  lw   t2, 44(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 28(sp)
+  sw   t3, 0(t1)
+  addi sp, sp, 48
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    GPUP_CHECK_MSG(size % kN == 0, "mat_mul size must be a multiple of 32");
+    const std::uint32_t m = size / kN;
+    const auto a = random_words("mat_mul.a", m * kK, 1u << 10);
+    const auto b = random_words("mat_mul.b", kK * kN, 1u << 10);
+    GpuWorkload work;
+    const rt::Buffer buf_a = upload(device, a);
+    const rt::Buffer buf_b = upload(device, b);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args()
+                      .add(size).add(buf_a).add(buf_b).add(work.out)
+                      .add(kLog2N).add(kK).add(kN - 1)
+                      .words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size);
+    work.golden = golden(a, b, m);
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    GPUP_CHECK_MSG(size % kN == 0, "mat_mul size must be a multiple of 32");
+    const std::uint32_t m = size / kN;
+    const auto a = random_words("mat_mul.a", m * kK, 1u << 10);
+    const auto b = random_words("mat_mul.b", kK * kN, 1u << 10);
+    RvWorkload work;
+    const std::uint32_t addr_a = rv_upload(core, a);
+    const std::uint32_t addr_b = rv_upload(core, b);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden = golden(a, b, m);
+    work.param_addr =
+        rv_upload(core, {size, addr_a, addr_b, work.out_addr, kLog2N, kK, kN - 1});
+    return work;
+  }
+
+ private:
+  static std::vector<std::uint32_t> golden(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b,
+                                           std::uint32_t m) {
+    std::vector<std::uint32_t> c(m * kN, 0);
+    for (std::uint32_t row = 0; row < m; ++row) {
+      for (std::uint32_t col = 0; col < kN; ++col) {
+        std::uint32_t acc = 0;
+        for (std::uint32_t k = 0; k < kK; ++k) {
+          acc += a[row * kK + k] * b[k * kN + col];
+        }
+        c[row * kN + col] = acc;
+      }
+    }
+    return c;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fir: out[i] = sum_{t<128} h[t] * x[i+t]
+// ---------------------------------------------------------------------------
+
+class FirBenchmark final : public Benchmark {
+ public:
+  static constexpr std::uint32_t kTaps = 128;
+
+  std::string name() const override { return "fir"; }
+  std::uint32_t riscv_input() const override { return 128; }
+  std::uint32_t gpu_input() const override { return 4096; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel fir
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  param r3, 1          ; x
+  slli  r4, r1, 2
+  add   r3, r3, r4     ; &x[i]
+  param r5, 2          ; h
+  param r6, 4          ; taps
+  addi  r7, r0, 0      ; acc
+  addi  r8, r0, 0      ; t
+loop:
+  lw    r9, 0(r3)
+  lw    r10, 0(r5)
+  mul   r11, r9, r10
+  add   r7, r7, r11
+  addi  r3, r3, 4
+  addi  r5, r5, 4
+  addi  r8, r8, 1
+  blt   r8, r6, loop
+  param r12, 3
+  add   r12, r12, r4
+  sw    r7, 0(r12)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)       # n
+  lw   s2, 4(a0)       # x
+  lw   s3, 8(a0)       # h
+  lw   s4, 12(a0)      # out
+  lw   s5, 16(a0)      # taps
+  li   s6, 0
+outer:
+  bge  s6, t0, done
+  slli t1, s6, 2
+  add  t1, t1, s2      # &x[i]
+  mv   t2, s3
+  li   t3, 0           # acc
+  li   t4, 0           # t
+inner:
+  lw   t5, 0(t1)
+  lw   t6, 0(t2)
+  mul  t5, t5, t6
+  add  t3, t3, t5
+  addi t1, t1, 4
+  addi t2, t2, 4
+  addi t4, t4, 1
+  blt  t4, s5, inner
+  slli t1, s6, 2
+  add  t1, t1, s4
+  sw   t3, 0(t1)
+  addi s6, s6, 1
+  j    outer
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -48
+  sw   a0, 44(sp)
+  sw   a1, 40(sp)
+  li   t0, 0
+  sw   t0, 36(sp)      # acc
+  li   t0, 0
+  sw   t0, 32(sp)      # t
+body_loop:
+  lw   t0, 40(sp)
+  lw   t1, 16(t0)      # taps
+  lw   t2, 32(sp)
+  bge  t2, t1, body_done
+  lw   t0, 40(sp)
+  lw   t1, 4(t0)       # x
+  lw   t2, 44(sp)      # gid
+  lw   t3, 32(sp)      # t
+  add  t2, t2, t3
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t4, 0(t1)       # x[i+t]
+  lw   t0, 40(sp)
+  lw   t1, 8(t0)       # h
+  lw   t3, 32(sp)
+  slli t3, t3, 2
+  add  t1, t1, t3
+  lw   t5, 0(t1)       # h[t]
+  mul  t4, t4, t5
+  lw   t0, 36(sp)
+  add  t0, t0, t4
+  sw   t0, 36(sp)
+  lw   t0, 32(sp)
+  addi t0, t0, 1
+  sw   t0, 32(sp)
+  j    body_loop
+body_done:
+  lw   t0, 40(sp)
+  lw   t1, 12(t0)      # out
+  lw   t2, 44(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 36(sp)
+  sw   t3, 0(t1)
+  addi sp, sp, 48
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const auto x = random_words("fir.x", size + kTaps, 1u << 10);
+    const auto h = random_words("fir.h", kTaps, 1u << 8);
+    GpuWorkload work;
+    const rt::Buffer buf_x = upload(device, x);
+    const rt::Buffer buf_h = upload(device, h);
+    work.out = device.alloc_words(size);
+    work.params =
+        rt::Args().add(size).add(buf_x).add(buf_h).add(work.out).add(kTaps).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size);
+    work.golden = golden(x, h, size);
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const auto x = random_words("fir.x", size + kTaps, 1u << 10);
+    const auto h = random_words("fir.h", kTaps, 1u << 8);
+    RvWorkload work;
+    const std::uint32_t addr_x = rv_upload(core, x);
+    const std::uint32_t addr_h = rv_upload(core, h);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden = golden(x, h, size);
+    work.param_addr = rv_upload(core, {size, addr_x, addr_h, work.out_addr, kTaps});
+    return work;
+  }
+
+ private:
+  static std::vector<std::uint32_t> golden(const std::vector<std::uint32_t>& x,
+                                           const std::vector<std::uint32_t>& h,
+                                           std::uint32_t size) {
+    std::vector<std::uint32_t> out(size, 0);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      std::uint32_t acc = 0;
+      for (std::uint32_t t = 0; t < kTaps; ++t) acc += x[i + t] * h[t];
+      out[i] = acc;
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// div_int: out[i] = a[i] / b[i]. The G-GPU kernel uses a restoring software
+// division loop (the FGPU ships without a divider); the RISC-V port uses
+// the CV32E40P's hardware divider — which is exactly why the paper sees the
+// GPU barely winning on this kernel.
+// ---------------------------------------------------------------------------
+
+class DivIntBenchmark final : public Benchmark {
+ public:
+  std::string name() const override { return "div_int"; }
+  std::uint32_t riscv_input() const override { return 512; }
+  std::uint32_t gpu_input() const override { return 4096; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel div_int
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, end
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)      ; a
+  param r6, 2
+  add   r6, r6, r3
+  lw    r7, 0(r6)      ; b
+  addi  r8, r0, 0      ; quotient
+  addi  r9, r0, 0      ; remainder
+  addi  r10, r0, 31    ; bit index
+loop:
+  slli  r9, r9, 1
+  srl   r11, r5, r10
+  andi  r11, r11, 1
+  or    r9, r9, r11
+  bltu  r9, r7, skip
+  sub   r9, r9, r7
+  addi  r12, r0, 1
+  sll   r12, r12, r10
+  or    r8, r8, r12
+skip:
+  addi  r10, r10, -1
+  bge   r10, r0, loop
+  param r13, 3
+  add   r13, r13, r3
+  sw    r8, 0(r13)
+end:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)
+  lw   t1, 4(a0)
+  lw   t2, 8(a0)
+  lw   t3, 12(a0)
+  li   t4, 0
+loop:
+  bge  t4, t0, done
+  lw   t5, 0(t1)
+  lw   t6, 0(t2)
+  divu t5, t5, t6
+  sw   t5, 0(t3)
+  addi t1, t1, 4
+  addi t2, t2, 4
+  addi t3, t3, 4
+  addi t4, t4, 1
+  j    loop
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -32
+  sw   a0, 28(sp)
+  sw   a1, 24(sp)
+  lw   t0, 24(sp)
+  lw   t1, 4(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 0(t1)
+  sw   t3, 20(sp)      # a
+  lw   t0, 24(sp)
+  lw   t1, 8(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t4, 0(t1)
+  lw   t3, 20(sp)
+  divu t5, t3, t4
+  sw   t5, 16(sp)
+  lw   t0, 24(sp)
+  lw   t1, 12(t0)
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t5, 16(sp)
+  sw   t5, 0(t1)
+  addi sp, sp, 32
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const auto a = random_words("div_int.a", size, 1u << 20);
+    const auto b = random_words("div_int.b", size, 1u << 10);
+    GpuWorkload work;
+    const rt::Buffer buf_a = upload(device, a);
+    const rt::Buffer buf_b = upload(device, b);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args().add(size).add(buf_a).add(buf_b).add(work.out).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size);
+    work.golden.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) work.golden[i] = a[i] / b[i];
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const auto a = random_words("div_int.a", size, 1u << 20);
+    const auto b = random_words("div_int.b", size, 1u << 10);
+    RvWorkload work;
+    const std::uint32_t addr_a = rv_upload(core, a);
+    const std::uint32_t addr_b = rv_upload(core, b);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden.resize(size);
+    for (std::uint32_t i = 0; i < size; ++i) work.golden[i] = a[i] / b[i];
+    work.param_addr = rv_upload(core, {size, addr_a, addr_b, work.out_addr});
+    return work;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// xcorr: out[lag] = sum_{i<W} x[i] * y[i+lag], W = size/4
+// ---------------------------------------------------------------------------
+
+class XcorrBenchmark final : public Benchmark {
+ public:
+  std::string name() const override { return "xcorr"; }
+  std::uint32_t riscv_input() const override { return 256; }
+  std::uint32_t gpu_input() const override { return 4096; }
+
+  static std::uint32_t window(std::uint32_t size) { return size / 4; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel xcorr
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  param r3, 1          ; x
+  param r4, 2          ; y
+  slli  r5, r1, 2
+  add   r4, r4, r5     ; &y[lag]
+  param r6, 4          ; W
+  addi  r7, r0, 0      ; acc
+  addi  r8, r0, 0      ; i
+loop:
+  lw    r9, 0(r3)
+  lw    r10, 0(r4)
+  mul   r11, r9, r10
+  add   r7, r7, r11
+  addi  r3, r3, 4
+  addi  r4, r4, 4
+  addi  r8, r8, 1
+  blt   r8, r6, loop
+  param r12, 3
+  add   r12, r12, r5
+  sw    r7, 0(r12)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)       # n (lags)
+  lw   s2, 4(a0)       # x
+  lw   s3, 8(a0)       # y
+  lw   s4, 12(a0)      # out
+  lw   s5, 16(a0)      # W
+  li   s6, 0
+outer:
+  bge  s6, t0, done
+  mv   t1, s2
+  slli t2, s6, 2
+  add  t2, t2, s3
+  li   t3, 0
+  li   t4, 0
+inner:
+  lw   t5, 0(t1)
+  lw   t6, 0(t2)
+  mul  t5, t5, t6
+  add  t3, t3, t5
+  addi t1, t1, 4
+  addi t2, t2, 4
+  addi t4, t4, 1
+  blt  t4, s5, inner
+  slli t1, s6, 2
+  add  t1, t1, s4
+  sw   t3, 0(t1)
+  addi s6, s6, 1
+  j    outer
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -48
+  sw   a0, 44(sp)
+  sw   a1, 40(sp)
+  li   t0, 0
+  sw   t0, 36(sp)      # acc
+  li   t0, 0
+  sw   t0, 32(sp)      # i
+body_loop:
+  lw   t0, 40(sp)
+  lw   t1, 16(t0)      # W
+  lw   t2, 32(sp)
+  bge  t2, t1, body_done
+  lw   t0, 40(sp)
+  lw   t1, 4(t0)       # x
+  lw   t3, 32(sp)
+  slli t3, t3, 2
+  add  t1, t1, t3
+  lw   t4, 0(t1)       # x[i]
+  lw   t0, 40(sp)
+  lw   t1, 8(t0)       # y
+  lw   t2, 44(sp)      # lag
+  lw   t3, 32(sp)
+  add  t2, t2, t3
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t5, 0(t1)       # y[i+lag]
+  mul  t4, t4, t5
+  lw   t0, 36(sp)
+  add  t0, t0, t4
+  sw   t0, 36(sp)
+  lw   t0, 32(sp)
+  addi t0, t0, 1
+  sw   t0, 32(sp)
+  j    body_loop
+body_done:
+  lw   t0, 40(sp)
+  lw   t1, 12(t0)      # out
+  lw   t2, 44(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 36(sp)
+  sw   t3, 0(t1)
+  addi sp, sp, 48
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const std::uint32_t w = window(size);
+    const auto x = random_words("xcorr.x", w, 1u << 8);
+    const auto y = random_words("xcorr.y", size + w, 1u << 8);
+    GpuWorkload work;
+    const rt::Buffer buf_x = upload(device, x);
+    const rt::Buffer buf_y = upload(device, y);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args().add(size).add(buf_x).add(buf_y).add(work.out).add(w).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size, /*full_cu_groups=*/true);
+    work.golden = golden(x, y, size, w);
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const std::uint32_t w = window(size);
+    const auto x = random_words("xcorr.x", w, 1u << 8);
+    const auto y = random_words("xcorr.y", size + w, 1u << 8);
+    RvWorkload work;
+    const std::uint32_t addr_x = rv_upload(core, x);
+    const std::uint32_t addr_y = rv_upload(core, y);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden = golden(x, y, size, w);
+    work.param_addr = rv_upload(core, {size, addr_x, addr_y, work.out_addr, w});
+    return work;
+  }
+
+ private:
+  static std::vector<std::uint32_t> golden(const std::vector<std::uint32_t>& x,
+                                           const std::vector<std::uint32_t>& y,
+                                           std::uint32_t size, std::uint32_t w) {
+    std::vector<std::uint32_t> out(size, 0);
+    for (std::uint32_t lag = 0; lag < size; ++lag) {
+      std::uint32_t acc = 0;
+      for (std::uint32_t i = 0; i < w; ++i) acc += x[i] * y[i + lag];
+      out[lag] = acc;
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// parallel_sel: rank-and-scatter selection sort. out[rank(i)] = in[i] where
+// rank counts smaller elements (ties broken by index). Heavily divergent.
+// ---------------------------------------------------------------------------
+
+class ParallelSelBenchmark final : public Benchmark {
+ public:
+  std::string name() const override { return "parallel_sel"; }
+  std::uint32_t riscv_input() const override { return 128; }
+  std::uint32_t gpu_input() const override { return 2048; }
+
+  std::string gpu_source() const override {
+    return R"(.kernel parallel_sel
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; in
+  add   r5, r4, r3
+  lw    r6, 0(r5)      ; xi
+  addi  r7, r0, 0      ; j
+  addi  r8, r0, 0      ; rank
+  or    r9, r4, r0     ; ptr
+loop:
+  lw    r10, 0(r9)
+  blt   r10, r6, inc
+  bne   r10, r6, skip
+  bgeu  r7, r1, skip
+inc:
+  addi  r8, r8, 1
+skip:
+  addi  r9, r9, 4
+  addi  r7, r7, 1
+  blt   r7, r2, loop
+  slli  r11, r8, 2
+  param r12, 3
+  add   r12, r12, r11
+  sw    r6, 0(r12)
+done:
+  ret
+)";
+  }
+
+  std::string riscv_source(bool optimized) const override {
+    if (optimized) {
+      return R"(
+main:
+  lw   t0, 0(a0)       # n
+  lw   s2, 4(a0)       # in
+  lw   s4, 12(a0)      # out
+  li   s6, 0           # i
+outer:
+  bge  s6, t0, done
+  slli t1, s6, 2
+  add  t1, t1, s2
+  lw   t2, 0(t1)       # xi
+  li   t3, 0           # j
+  li   t4, 0           # rank
+  mv   t5, s2
+inner:
+  lw   t6, 0(t5)
+  blt  t6, t2, inc
+  bne  t6, t2, skip
+  bgeu t3, s6, skip
+inc:
+  addi t4, t4, 1
+skip:
+  addi t5, t5, 4
+  addi t3, t3, 1
+  blt  t3, t0, inner
+  slli t1, t4, 2
+  add  t1, t1, s4
+  sw   t2, 0(t1)
+  addi s6, s6, 1
+  j    outer
+done:
+  halt
+)";
+    }
+    return naive_port(R"(
+kernel_body:
+  addi sp, sp, -48
+  sw   a0, 44(sp)
+  sw   a1, 40(sp)
+  lw   t0, 40(sp)
+  lw   t1, 4(t0)       # in
+  lw   t2, 44(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 0(t1)
+  sw   t3, 36(sp)      # xi
+  li   t0, 0
+  sw   t0, 32(sp)      # j
+  li   t0, 0
+  sw   t0, 28(sp)      # rank
+body_loop:
+  lw   t0, 40(sp)
+  lw   t1, 0(t0)       # n
+  lw   t2, 32(sp)
+  bge  t2, t1, body_done
+  lw   t0, 40(sp)
+  lw   t1, 4(t0)
+  lw   t2, 32(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t4, 0(t1)       # xj
+  lw   t3, 36(sp)
+  blt  t4, t3, body_inc
+  bne  t4, t3, body_skip
+  lw   t5, 32(sp)
+  lw   t6, 44(sp)
+  bgeu t5, t6, body_skip
+body_inc:
+  lw   t0, 28(sp)
+  addi t0, t0, 1
+  sw   t0, 28(sp)
+body_skip:
+  lw   t0, 32(sp)
+  addi t0, t0, 1
+  sw   t0, 32(sp)
+  j    body_loop
+body_done:
+  lw   t0, 40(sp)
+  lw   t1, 12(t0)      # out
+  lw   t2, 28(sp)
+  slli t2, t2, 2
+  add  t1, t1, t2
+  lw   t3, 36(sp)
+  sw   t3, 0(t1)
+  addi sp, sp, 48
+  ret
+)");
+  }
+
+  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+    const auto input = random_words("parallel_sel.in", size, 1u << 28);
+    GpuWorkload work;
+    const rt::Buffer in = upload(device, input);
+    work.out = device.alloc_words(size);
+    work.params = rt::Args().add(size).add(in).add(0u).add(work.out).words();
+    work.global_size = size;
+    work.wg_size = pick_wg_size(size, /*full_cu_groups=*/true);
+    work.golden = input;
+    std::sort(work.golden.begin(), work.golden.end());
+    return work;
+  }
+
+  RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const override {
+    const auto input = random_words("parallel_sel.in", size, 1u << 28);
+    RvWorkload work;
+    const std::uint32_t in = rv_upload(core, input);
+    work.out_addr = core.alloc_words(size);
+    work.out_words = size;
+    work.golden = input;
+    std::sort(work.golden.begin(), work.golden.end());
+    work.param_addr = rv_upload(core, {size, in, 0, work.out_addr});
+    return work;
+  }
+};
+
+}  // namespace
+
+const std::vector<const Benchmark*>& all_benchmarks() {
+  static const MatMulBenchmark mat_mul;
+  static const CopyBenchmark copy;
+  static const VecMulBenchmark vec_mul;
+  static const FirBenchmark fir;
+  static const DivIntBenchmark div_int;
+  static const XcorrBenchmark xcorr;
+  static const ParallelSelBenchmark parallel_sel;
+  static const std::vector<const Benchmark*> all = {
+      &mat_mul, &copy, &vec_mul, &fir, &div_int, &xcorr, &parallel_sel};
+  return all;
+}
+
+const Benchmark* benchmark_by_name(const std::string& name) {
+  for (const Benchmark* benchmark : all_benchmarks()) {
+    if (benchmark->name() == name) return benchmark;
+  }
+  return nullptr;
+}
+
+}  // namespace gpup::kern

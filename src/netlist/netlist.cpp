@@ -1,0 +1,113 @@
+#include "src/netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace gpup::netlist {
+
+std::string to_string(Partition partition) {
+  switch (partition) {
+    case Partition::kComputeUnit: return "CU";
+    case Partition::kMemController: return "MemCtrl";
+    case Partition::kTop: return "Top";
+  }
+  return "?";
+}
+
+std::string to_string(MemGroup group) {
+  switch (group) {
+    case MemGroup::kUntouched: return "untouched";
+    case MemGroup::kCuOptimized: return "cu-optimized";
+    case MemGroup::kMemCtrlOptimized: return "memctrl-optimized";
+    case MemGroup::kTopOptimized: return "top-optimized";
+  }
+  return "?";
+}
+
+std::vector<const MemInstance*> Netlist::memories_of_class(const std::string& class_id) const {
+  std::vector<const MemInstance*> result;
+  for (const auto& mem : mems_) {
+    if (mem.class_id == class_id) result.push_back(&mem);
+  }
+  return result;
+}
+
+int Netlist::division_factor(const std::string& class_id) const {
+  for (const auto& mem : mems_) {
+    if (mem.class_id == class_id) return mem.division_factor;
+  }
+  return 1;
+}
+
+const MemInstance* Netlist::slowest_of_class(const std::string& class_id) const {
+  const MemInstance* slowest = nullptr;
+  for (const auto& mem : mems_) {
+    if (mem.class_id != class_id) continue;
+    if (slowest == nullptr ||
+        mem.macro.access_delay_ns > slowest->macro.access_delay_ns) {
+      slowest = &mem;
+    }
+  }
+  return slowest;
+}
+
+TimingPath* Netlist::find_path(const std::string& name) {
+  for (auto& path : paths_) {
+    if (path.name == name) return &path;
+  }
+  return nullptr;
+}
+
+const TimingPath* Netlist::find_path(const std::string& name) const {
+  return const_cast<Netlist*>(this)->find_path(name);
+}
+
+int Netlist::cu_count() const {
+  // Only compute-unit scopes count; the memory-controller partition reuses
+  // cu_index as its controller index when replicated.
+  int max_index = -1;
+  for (const auto& mem : mems_) {
+    if (mem.partition == Partition::kComputeUnit) max_index = std::max(max_index, mem.cu_index);
+  }
+  for (const auto& group : flops_) {
+    if (group.partition == Partition::kComputeUnit)
+      max_index = std::max(max_index, group.cu_index);
+  }
+  return max_index + 1;
+}
+
+int Netlist::memctrl_count() const {
+  int max_index = 0;
+  for (const auto& mem : mems_) {
+    if (mem.partition == Partition::kMemController)
+      max_index = std::max(max_index, mem.cu_index);
+  }
+  return max_index + 1;
+}
+
+NetlistStats Netlist::stats() const { return stats_filtered(std::nullopt); }
+
+NetlistStats Netlist::stats(Partition partition) const { return stats_filtered(partition); }
+
+NetlistStats Netlist::stats_filtered(std::optional<Partition> partition) const {
+  NetlistStats out;
+  for (const auto& mem : mems_) {
+    if (partition && mem.partition != *partition) continue;
+    ++out.memory_count;
+    out.memory_area_um2 += mem.macro.area_um2;
+  }
+  const auto& cells = technology_->cells;
+  for (const auto& group : flops_) {
+    if (partition && group.partition != *partition) continue;
+    out.ff_count += group.count;
+  }
+  for (const auto& cloud : combs_) {
+    if (partition && cloud.partition != *partition) continue;
+    out.gate_count += cloud.gate_count;
+  }
+  out.logic_area_um2 = (static_cast<double>(out.ff_count) * cells.ff_area_um2 +
+                        static_cast<double>(out.gate_count) * cells.gate_area_um2) *
+                       cells.logic_area_overhead;
+  return out;
+}
+
+}  // namespace gpup::netlist

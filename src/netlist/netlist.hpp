@@ -1,0 +1,153 @@
+// Structural netlist model.
+//
+// GPUPlanner's transforms (memory division, pipeline insertion), its static
+// timing, floorplanning, routing and power analysis all operate on this
+// representation. It is deliberately aggregate-level — memory macro
+// instances are explicit (they are what the tool reasons about), while
+// random logic is tracked as flip-flop groups and combinational clouds per
+// module, which is exactly the granularity of the paper's Table I
+// (#FF / #Comb. / #Memory columns).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tech/technology.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::netlist {
+
+/// Physical partition, as in the paper: "the G-GPU is broken into three
+/// partitions during implementation: the CU, the general memory controller,
+/// and the top".
+enum class Partition { kComputeUnit, kMemController, kTop };
+
+/// Memory highlight groups used in the paper's Figs. 3/4 layout plots.
+enum class MemGroup { kUntouched, kCuOptimized, kMemCtrlOptimized, kTopOptimized };
+
+std::string to_string(Partition partition);
+std::string to_string(MemGroup group);
+
+/// One memory macro instance (post memory-compiler).
+struct MemInstance {
+  std::string name;      ///< hierarchical, e.g. "cu3.lram1.d0"
+  std::string class_id;  ///< architecture class, e.g. "cu.lram"
+  Partition partition = Partition::kTop;
+  int cu_index = -1;     ///< which CU clone owns it; -1 for shared logic
+  tech::MemoryMacro macro;
+  int division_factor = 1;     ///< 1 = undivided original
+  bool divided_by_words = true;
+  bool sp_convertible = false; ///< may be retargeted to single-port macros
+  MemGroup group = MemGroup::kUntouched;
+};
+
+/// A named group of flip-flops (one pipeline stage bank, one FSM, ...).
+struct FlopGroup {
+  std::string name;
+  Partition partition = Partition::kTop;
+  int cu_index = -1;
+  std::uint64_t count = 0;
+};
+
+/// A named cloud of combinational logic, in NAND2-equivalent gates.
+struct CombCloud {
+  std::string name;
+  Partition partition = Partition::kTop;
+  int cu_index = -1;
+  std::uint64_t gate_count = 0;
+};
+
+/// A timing path *class*: evaluated once per owning scope (per CU for
+/// kComputeUnit paths). Paths either launch from a memory read port
+/// (`start_mem_class` set) or are register-to-register.
+struct TimingPath {
+  std::string name;
+  Partition partition = Partition::kTop;
+  std::string start_mem_class;  ///< empty for reg-to-reg paths
+  int logic_depth = 0;          ///< logic levels after the launch point
+  double extra_delay_ns = 0.0;  ///< fixed extra (heavy cells, local detour)
+  double width_bits = 32;       ///< datapath width (pipeline FF cost)
+  bool pipeline_allowed = true;
+  bool handshake = false;       ///< round-trip protocol: cannot be pipelined
+  bool crosses_to_memctrl = false;  ///< CU<->controller route (gets wire delay)
+  int pipeline_stages = 0;      ///< inserted by the pipeline transform
+};
+
+/// Aggregated netlist statistics (the Table I structural columns).
+struct NetlistStats {
+  std::uint64_t ff_count = 0;
+  std::uint64_t gate_count = 0;
+  std::uint64_t memory_count = 0;
+  double memory_area_um2 = 0.0;
+  double logic_area_um2 = 0.0;
+  [[nodiscard]] double total_area_um2() const { return memory_area_um2 + logic_area_um2; }
+  [[nodiscard]] double total_area_mm2() const { return total_area_um2() * 1e-6; }
+  [[nodiscard]] double memory_area_mm2() const { return memory_area_um2 * 1e-6; }
+};
+
+/// The netlist of one generated design.
+class Netlist {
+ public:
+  Netlist(std::string top_name, const tech::Technology* technology)
+      : top_name_(std::move(top_name)), technology_(technology) {
+    GPUP_CHECK(technology_ != nullptr);
+  }
+
+  [[nodiscard]] const std::string& top_name() const { return top_name_; }
+  [[nodiscard]] const tech::Technology& technology() const { return *technology_; }
+
+  // -- construction ----------------------------------------------------
+  void add_memory(MemInstance instance) { mems_.push_back(std::move(instance)); }
+  void add_flops(FlopGroup group) { flops_.push_back(std::move(group)); }
+  void add_comb(CombCloud cloud) { combs_.push_back(std::move(cloud)); }
+  void add_path(TimingPath path) { paths_.push_back(std::move(path)); }
+
+  // -- access ----------------------------------------------------------
+  [[nodiscard]] const std::vector<MemInstance>& memories() const { return mems_; }
+  [[nodiscard]] std::vector<MemInstance>& memories() { return mems_; }
+  [[nodiscard]] const std::vector<FlopGroup>& flop_groups() const { return flops_; }
+  [[nodiscard]] std::vector<FlopGroup>& flop_groups() { return flops_; }
+  [[nodiscard]] const std::vector<CombCloud>& comb_clouds() const { return combs_; }
+  [[nodiscard]] std::vector<CombCloud>& comb_clouds() { return combs_; }
+  [[nodiscard]] const std::vector<TimingPath>& paths() const { return paths_; }
+  [[nodiscard]] std::vector<TimingPath>& paths() { return paths_; }
+
+  /// All memory instances of one architecture class.
+  [[nodiscard]] std::vector<const MemInstance*> memories_of_class(
+      const std::string& class_id) const;
+
+  /// Division factor currently applied to a memory class (1 if untouched).
+  /// All instances of a class are divided identically.
+  [[nodiscard]] int division_factor(const std::string& class_id) const;
+
+  /// Worst (slowest) macro of a class, used by timing.
+  [[nodiscard]] const MemInstance* slowest_of_class(const std::string& class_id) const;
+
+  [[nodiscard]] TimingPath* find_path(const std::string& name);
+  [[nodiscard]] const TimingPath* find_path(const std::string& name) const;
+
+  /// Number of CU clones in this design (0 if none).
+  [[nodiscard]] int cu_count() const;
+
+  /// Number of memory-controller copies (1 in the paper's design, 2 with
+  /// the future-work replication).
+  [[nodiscard]] int memctrl_count() const;
+
+  // -- statistics ------------------------------------------------------
+  [[nodiscard]] NetlistStats stats() const;
+  [[nodiscard]] NetlistStats stats(Partition partition) const;
+
+ private:
+  [[nodiscard]] NetlistStats stats_filtered(std::optional<Partition> partition) const;
+
+  std::string top_name_;
+  const tech::Technology* technology_;
+  std::vector<MemInstance> mems_;
+  std::vector<FlopGroup> flops_;
+  std::vector<CombCloud> combs_;
+  std::vector<TimingPath> paths_;
+};
+
+}  // namespace gpup::netlist

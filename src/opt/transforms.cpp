@@ -1,0 +1,223 @@
+#include "src/opt/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/util/bits.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::opt {
+
+namespace {
+
+netlist::MemGroup group_for(netlist::Partition partition) {
+  switch (partition) {
+    case netlist::Partition::kComputeUnit: return netlist::MemGroup::kCuOptimized;
+    case netlist::Partition::kMemController: return netlist::MemGroup::kMemCtrlOptimized;
+    case netlist::Partition::kTop: return netlist::MemGroup::kTopOptimized;
+  }
+  return netlist::MemGroup::kUntouched;
+}
+
+/// Root macro of a divided class: the original, undivided instance data.
+struct Root {
+  std::string name;
+  netlist::Partition partition{};
+  int cu_index = -1;
+  bool sp_convertible = false;
+  tech::MemoryRequest base_shape;
+};
+
+}  // namespace
+
+Result<bool> divide_memory(netlist::Netlist& design, const std::string& class_id,
+                           int total_factor, bool by_words) {
+  if (total_factor < 1) {
+    return Error{"division factor must be >= 1", class_id};
+  }
+
+  // Collect the roots (undoing any previous division of this class: the
+  // division factor is absolute w.r.t. the baseline architecture).
+  std::map<std::string, Root> roots;
+  int current_factor = 1;
+  for (const auto& mem : design.memories()) {
+    if (mem.class_id != class_id) continue;
+    current_factor = mem.division_factor;
+    // Child names are "<root>.d<i>"; roots carry their own name.
+    std::string root_name = mem.name;
+    if (mem.division_factor > 1) {
+      const auto pos = root_name.rfind(".d");
+      GPUP_CHECK(pos != std::string::npos);
+      root_name.resize(pos);
+    }
+    Root root;
+    root.name = root_name;
+    root.partition = mem.partition;
+    root.cu_index = mem.cu_index;
+    root.sp_convertible = mem.sp_convertible;
+    // Reconstruct the baseline shape from the divided piece.
+    root.base_shape = mem.macro.request;
+    if (mem.division_factor > 1) {
+      if (mem.divided_by_words) {
+        root.base_shape.words *= static_cast<std::uint32_t>(mem.division_factor);
+      } else {
+        root.base_shape.bits *= static_cast<std::uint32_t>(mem.division_factor);
+      }
+    }
+    roots.emplace(root.name, root);
+  }
+  if (roots.empty()) {
+    return Error{"no memory instances of class " + class_id, "divide_memory"};
+  }
+  if (current_factor == total_factor) return true;
+
+  // Legalise the piece shape against the memory compiler.
+  const auto& compiler = design.technology().memories;
+  Root probe = roots.begin()->second;
+  tech::MemoryRequest piece = probe.base_shape;
+  if (by_words) {
+    piece.words = static_cast<std::uint32_t>(
+        ceil_div(piece.words, static_cast<std::uint64_t>(total_factor)));
+  } else {
+    piece.bits = static_cast<std::uint32_t>(
+        ceil_div(piece.bits, static_cast<std::uint64_t>(total_factor)));
+  }
+  if (!compiler.supports(piece)) {
+    return Error{"division of " + class_id + " by " + std::to_string(total_factor) +
+                     " leaves compiler range (" + to_string(piece) + ")",
+                 "divide_memory"};
+  }
+
+  // Rebuild the class instance list.
+  auto& mems = design.memories();
+  mems.erase(std::remove_if(mems.begin(), mems.end(),
+                            [&](const netlist::MemInstance& m) {
+                              return m.class_id == class_id;
+                            }),
+             mems.end());
+  for (const auto& [name, root] : roots) {
+    if (total_factor == 1) {
+      netlist::MemInstance instance;
+      instance.name = root.name;
+      instance.class_id = class_id;
+      instance.partition = root.partition;
+      instance.cu_index = root.cu_index;
+      instance.sp_convertible = root.sp_convertible;
+      instance.macro = compiler.compile(root.base_shape);
+      design.add_memory(std::move(instance));
+      continue;
+    }
+    for (int i = 0; i < total_factor; ++i) {
+      netlist::MemInstance child;
+      child.name = format("%s.d%d", root.name.c_str(), i);
+      child.class_id = class_id;
+      child.partition = root.partition;
+      child.cu_index = root.cu_index;
+      child.sp_convertible = root.sp_convertible;
+      child.macro = compiler.compile(piece);
+      child.division_factor = total_factor;
+      child.divided_by_words = by_words;
+      child.group = group_for(root.partition);
+      design.add_memory(std::move(child));
+    }
+  }
+
+  // Address-MUX logic (word division only; width division just
+  // concatenates data wires). One cloud per owning scope, replacing any
+  // cloud from a previous division of this class.
+  const std::string cloud_prefix = "divmux." + class_id;
+  auto is_divmux_cloud = [&](const netlist::CombCloud& cloud) {
+    return starts_with(cloud.name, cloud_prefix);
+  };
+  // Drop stale divmux clouds from a previous division of this class.
+  {
+    auto& clouds = design.comb_clouds();
+    clouds.erase(std::remove_if(clouds.begin(), clouds.end(), is_divmux_cloud), clouds.end());
+  }
+  if (by_words && total_factor > 1) {
+    std::map<int, std::pair<netlist::Partition, std::uint64_t>> per_scope;
+    for (const auto& [name, root] : roots) {
+      const auto gates = static_cast<std::uint64_t>(
+          std::llround(root.base_shape.bits * (total_factor - 1) * kMuxGatesPerBit));
+      auto& slot = per_scope[root.cu_index];
+      slot.first = root.partition;
+      slot.second += gates;
+    }
+    for (const auto& [cu, data] : per_scope) {
+      // Cloud names keep the class prefix first so a later re-division can
+      // find and replace them.
+      design.add_comb({cu >= 0 ? format("%s.cu%d", cloud_prefix.c_str(), cu) : cloud_prefix,
+                       data.first, cu, data.second});
+    }
+  }
+  return true;
+}
+
+Result<bool> convert_to_single_port(netlist::Netlist& design, const std::string& class_id) {
+  const auto& compiler = design.technology().memories;
+  bool found = false;
+  for (const auto& mem : design.memories()) {
+    if (mem.class_id != class_id) continue;
+    found = true;
+    if (!mem.sp_convertible) {
+      return Error{"class " + class_id +
+                       " requires true dual-port macros (cannot arbitrate its two ports)",
+                   "convert_to_single_port"};
+    }
+  }
+  if (!found) return Error{"no memory instances of class " + class_id, "convert_to_single_port"};
+
+  std::uint64_t arb_gates = 0;
+  int scope = -1;
+  netlist::Partition partition = netlist::Partition::kTop;
+  for (auto& mem : design.memories()) {
+    if (mem.class_id != class_id) continue;
+    if (mem.macro.request.ports == tech::PortKind::kSinglePort) continue;  // idempotent
+    tech::MemoryRequest request = mem.macro.request;
+    request.ports = tech::PortKind::kSinglePort;
+    mem.macro = compiler.compile(request);
+    arb_gates += static_cast<std::uint64_t>(
+        std::llround(request.bits * kArbGatesPerBit));
+    scope = mem.cu_index;
+    partition = mem.partition;
+  }
+  if (arb_gates > 0) {
+    // One arbitration cloud per class (aggregate; fine-grained per-scope
+    // accounting is below the noise floor of the Table I columns).
+    design.add_comb({"arb." + class_id, partition, scope, arb_gates});
+  }
+  return true;
+}
+
+Result<bool> insert_pipeline(netlist::Netlist& design, const std::string& path_name,
+                             int stages) {
+  if (stages < 1) return Error{"stage count must be >= 1", path_name};
+  netlist::TimingPath* path = design.find_path(path_name);
+  if (path == nullptr) return Error{"no such path", path_name};
+  if (path->handshake) {
+    return Error{"path is a request/grant handshake; pipelining would break the protocol",
+                 path_name};
+  }
+  if (!path->pipeline_allowed) {
+    return Error{"path does not accept pipeline insertion", path_name};
+  }
+
+  path->pipeline_stages += stages;
+
+  // Pipeline register bank: width data bits + 1 valid bit, per scope.
+  const auto flops_per_scope =
+      static_cast<std::uint64_t>(std::llround(path->width_bits)) + 1;
+  const int scopes =
+      (path->partition == netlist::Partition::kComputeUnit) ? std::max(design.cu_count(), 1) : 1;
+  for (int scope = 0; scope < scopes; ++scope) {
+    const int cu = (path->partition == netlist::Partition::kComputeUnit) ? scope : -1;
+    design.add_flops({cu >= 0 ? format("cu%d.pipe.%s", cu, path_name.c_str())
+                              : "pipe." + path_name,
+                      path->partition, cu,
+                      flops_per_scope * static_cast<std::uint64_t>(stages)});
+  }
+  return true;
+}
+
+}  // namespace gpup::opt

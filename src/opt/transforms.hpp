@@ -1,0 +1,51 @@
+// GPUPlanner's two optimisation transforms:
+//
+//  * memory division — "dividing the memory blocks in the critical path is
+//    a valid strategy for increasing the performance of a design". Splits
+//    every macro of a class into k smaller macros (by words or by bits),
+//    adds the address-MUX logic the paper describes ("MUXes to switch
+//    between block memories if the number of words is split according to
+//    the MSBs of the address").
+//
+//  * on-demand pipeline insertion — used "when the critical path was not
+//    in memory blocks". Refuses request/grant handshake paths, which is
+//    why the paper could not pipeline the 8-CU interconnect.
+#pragma once
+
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::opt {
+
+/// Number of MUX gates added per data bit per extra memory piece.
+inline constexpr double kMuxGatesPerBit = 2.8;
+
+/// Divide all macros of `class_id` so the class ends at `total_factor`
+/// pieces per original macro (factor is absolute, not incremental; calling
+/// with the current factor is a no-op). Word division adds address MUXes;
+/// bit (width) division only re-concatenates data and adds no MUX delay.
+///
+/// Fails if the resulting shape leaves the memory compiler's range.
+Result<bool> divide_memory(netlist::Netlist& design, const std::string& class_id,
+                           int total_factor, bool by_words = true);
+
+/// Insert `stages` pipeline registers into a register-to-register path
+/// class. Adds (width+1) flops per stage per owning scope. Fails on
+/// handshake paths and on paths that already launch from a memory macro
+/// read port inside the same cycle.
+Result<bool> insert_pipeline(netlist::Netlist& design, const std::string& path_name,
+                             int stages);
+
+/// Arbitration gates added per data bit when a dual-port macro is
+/// retargeted to single-port.
+inline constexpr double kArbGatesPerBit = 1.6;
+
+/// Retarget all macros of `class_id` to single-port SRAM (the paper's
+/// future-work item). Only classes the architecture marks as tolerant of
+/// port arbitration accept the conversion; it shrinks area and leakage at
+/// the cost of arbitration logic. Fails for hard dual-port classes.
+Result<bool> convert_to_single_port(netlist::Netlist& design, const std::string& class_id);
+
+}  // namespace gpup::opt

@@ -1,0 +1,224 @@
+#include "src/plan/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/opt/transforms.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::plan {
+
+std::string Spec::name() const {
+  return format("%dCU@%.0fMHz%s", cu_count, freq_mhz, replicate_memctrl ? "+2MC" : "");
+}
+
+Planner::Planner(const tech::Technology* technology, PlannerOptions options)
+    : technology_(technology), options_(std::move(options)) {
+  GPUP_CHECK(technology_ != nullptr);
+}
+
+FirstOrderEstimate Planner::estimate(const Spec& spec) const {
+  FirstOrderEstimate out;
+  if (spec.cu_count < 1 || spec.cu_count > 8) {
+    out.comment = "cu_count outside the supported 1..8 range";
+    return out;
+  }
+  const auto arch = gen::GgpuArchSpec::baseline(spec.cu_count);
+  const auto baseline = gen::generate_ggpu(arch, *technology_);
+  const sta::TimingAnalyzer analyzer(technology_);
+  const auto timing = analyzer.analyze(baseline);
+  out.baseline_fmax_mhz = timing.fmax_mhz();
+
+  // First-order area/power factors vs the unoptimised design, from the
+  // paper's observed averages (+10 % to 590 MHz, +2 % more to 667 MHz).
+  double area_factor = 1.0;
+  if (spec.freq_mhz > out.baseline_fmax_mhz) {
+    area_factor = (spec.freq_mhz <= 590.0) ? 1.10 : 1.122;
+  }
+  const auto stats = baseline.stats();
+  const power::PowerAnalyzer power_analyzer(options_.power);
+  const auto power = power_analyzer.analyze(baseline, spec.freq_mhz);
+
+  out.area_mm2 = stats.total_area_mm2() * area_factor;
+  out.memory_area_mm2 = stats.memory_area_mm2() * area_factor;
+  out.total_power_w = power.total_w() * area_factor;
+  out.feasible = spec.freq_mhz <= 667.0 + 1e-9;
+  out.comment = out.feasible
+                    ? "achievable with the shipped optimisation map"
+                    : "beyond the map's 667 MHz ceiling for this architecture";
+  return out;
+}
+
+OptimizationMap Planner::derive_map(netlist::Netlist& working, double target_mhz) const {
+  const double period = sta::period_ns(target_mhz);
+  const double fix_target = period - options_.derate_ns;
+  const sta::TimingAnalyzer analyzer(technology_);
+
+  OptimizationMap map;
+  std::set<std::string> given_up;
+
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    const auto report = analyzer.analyze(working);
+    const sta::PathTiming* worst = nullptr;
+    for (const auto& path : report.paths) {
+      if (path.meets(period)) break;  // sorted: rest are faster
+      if (given_up.count(path.name) == 0) {
+        worst = &path;
+        break;
+      }
+    }
+    if (worst == nullptr) break;
+
+    netlist::TimingPath* path = working.find_path(worst->name);
+    GPUP_CHECK(path != nullptr);
+
+    if (!path->start_mem_class.empty()) {
+      // Memory-launched: divide the class until the path meets the target.
+      const std::string& class_id = path->start_mem_class;
+      const double before = worst->delay_ns;
+      int factor = working.division_factor(class_id);
+      bool fixed = false;
+      while (factor * 2 <= options_.max_division) {
+        factor *= 2;
+        auto divided = opt::divide_memory(working, class_id, factor);
+        if (!divided.ok()) break;  // leaves compiler range
+        const double now = analyzer.evaluate(working, *path, 0.0).delay_ns;
+        if (now <= fix_target) {
+          map.push_back({OptimizationAction::Kind::kDivideWords, class_id, factor, before,
+                         now,
+                         format("memory-launched path %.3f ns > %.3f ns period",
+                                before, period)});
+          fixed = true;
+          break;
+        }
+      }
+      if (!fixed) {
+        given_up.insert(path->name);
+      }
+      continue;
+    }
+
+    // Register-to-register: insert pipeline stages on demand.
+    const double before = worst->delay_ns;
+    bool fixed = false;
+    int added = 0;
+    while (path->pipeline_stages < options_.max_pipeline_stages) {
+      auto piped = opt::insert_pipeline(working, path->name, 1);
+      if (!piped.ok()) break;  // handshake or not allowed
+      ++added;
+      const double now = analyzer.evaluate(working, *path, 0.0).delay_ns;
+      if (now <= fix_target) {
+        map.push_back({OptimizationAction::Kind::kPipeline, path->name, added, before, now,
+                       format("register path %.3f ns > %.3f ns period", before, period)});
+        fixed = true;
+        break;
+      }
+    }
+    if (!fixed) given_up.insert(path->name);
+  }
+  return map;
+}
+
+LogicSynthesisResult Planner::logic_synthesis(const Spec& spec) const {
+  const auto arch =
+      gen::GgpuArchSpec::baseline(spec.cu_count, spec.replicate_memctrl ? 2 : 1);
+  LogicSynthesisResult result{spec, gen::generate_ggpu(arch, *technology_), {}, {}, {}, {}, false,
+                              {}};
+
+  // Walk the standard-target ladder up to the requested frequency — the
+  // paper's iterative map refinement (each faster version starts from the
+  // previous one's optimisations).
+  std::vector<double> ladder;
+  for (double target : options_.standard_targets_mhz) {
+    if (target < spec.freq_mhz - 1e-9) ladder.push_back(target);
+  }
+  ladder.push_back(spec.freq_mhz);
+  for (double target : ladder) {
+    auto actions = derive_map(result.netlist, target);
+    result.applied.insert(result.applied.end(), actions.begin(), actions.end());
+  }
+
+  const sta::TimingAnalyzer analyzer(technology_);
+  result.timing = analyzer.analyze(result.netlist);
+  result.stats = result.netlist.stats();
+  const power::PowerAnalyzer power_analyzer(options_.power);
+  result.power = power_analyzer.analyze(result.netlist, spec.freq_mhz);
+  result.meets_target = result.timing.meets(sta::period_ns(spec.freq_mhz) + 1e-9);
+  if (!result.meets_target) {
+    result.warnings.push_back(
+        format("logic synthesis fmax %.1f MHz misses the %.0f MHz target",
+               result.timing.fmax_mhz(), spec.freq_mhz));
+  }
+  if (spec.max_area_mm2 && result.stats.total_area_mm2() > *spec.max_area_mm2) {
+    result.warnings.push_back(format("area %.2f mm^2 exceeds the %.2f mm^2 budget",
+                                     result.stats.total_area_mm2(), *spec.max_area_mm2));
+  }
+  if (spec.max_total_power_w && result.power.total_w() > *spec.max_total_power_w) {
+    result.warnings.push_back(format("power %.2f W exceeds the %.2f W budget",
+                                     result.power.total_w(), *spec.max_total_power_w));
+  }
+  return result;
+}
+
+PhysicalSynthesisResult Planner::physical_synthesis(const LogicSynthesisResult& logic) const {
+  PhysicalSynthesisResult result{logic.spec, logic.netlist, {}, {}, {}, 0.0, 0.0, false, {}};
+
+  const fp::Floorplanner floorplanner(options_.floorplan);
+  result.floorplan = floorplanner.plan(result.netlist);
+
+  sta::WireAnnotations wires;
+  wires.cu_to_memctrl_mm = result.floorplan.cu_distance_mm;
+
+  const sta::TimingAnalyzer analyzer(technology_);
+  result.timing = analyzer.analyze(result.netlist, &wires);
+  const double period = sta::period_ns(logic.spec.freq_mhz);
+
+  if (!result.timing.meets(period)) {
+    // The paper: "pipelines were introduced between the connections with
+    // high delay, but this strategy was ineffective" — the CU<->controller
+    // interface is a handshake and refuses pipelining.
+    for (const auto* violation : result.timing.violations(period)) {
+      auto piped = opt::insert_pipeline(result.netlist, violation->name, 1);
+      if (!piped.ok()) {
+        result.notes.push_back(format("pipeline insertion on '%s' rejected: %s",
+                                      violation->name.c_str(),
+                                      piped.error().message.c_str()));
+      }
+    }
+    result.timing = analyzer.analyze(result.netlist, &wires);
+  }
+
+  result.achieved_mhz = result.timing.fmax_mhz();
+  result.meets_target = result.timing.meets(period + 1e-9);
+  result.recommended_mhz = 0.0;
+  for (double target : options_.fallback_targets_mhz) {
+    if (target <= result.achieved_mhz + 1e-9) {
+      result.recommended_mhz = target;
+      break;
+    }
+  }
+  if (!result.meets_target) {
+    result.notes.push_back(
+        format("layout closes at %.0f MHz (wire delay on the peripheral-CU "
+               "interface); best standard operating point %.0f MHz",
+               result.achieved_mhz, result.recommended_mhz));
+  }
+
+  const route::GlobalRouter router(options_.routing);
+  result.routing = router.route(result.netlist, result.floorplan);
+  return result;
+}
+
+std::vector<LogicSynthesisResult> Planner::exercise(
+    const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz) const {
+  std::vector<LogicSynthesisResult> versions;
+  for (double freq : freqs_mhz) {
+    for (int cu : cu_counts) {
+      versions.push_back(logic_synthesis({cu, freq, std::nullopt, std::nullopt}));
+    }
+  }
+  return versions;
+}
+
+}  // namespace gpup::plan

@@ -1,0 +1,141 @@
+// GPUPlanner: the paper's automated G-GPU generation flow (Fig. 2).
+//
+//   specification -> first-order estimation -> optimisation map ->
+//   logic synthesis -> physical synthesis -> PPA check -> tapeout-ready
+//
+// The "map" is the paper's dynamic spreadsheet: given the technology's
+// memory delays it tells the designer which memories to divide and where
+// to insert pipelines for a target frequency. derive_map() regenerates it
+// automatically (greedy, timing-driven, iterating exactly like the paper's
+// "repeat until the designer finds the desired performance").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fp/floorplan.hpp"
+#include "src/gen/ggpu_arch.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/power/power.hpp"
+#include "src/route/route.hpp"
+#include "src/sta/timing.hpp"
+#include "src/tech/technology.hpp"
+
+namespace gpup::plan {
+
+/// User specification of one G-GPU version.
+struct Spec {
+  int cu_count = 1;
+  double freq_mhz = 500.0;
+  std::optional<double> max_area_mm2;
+  std::optional<double> max_total_power_w;
+  /// Future-work option: duplicate the general memory controller so
+  /// peripheral CUs get short routes (fixes the 8-CU 667 MHz wall at the
+  /// cost of a second controller's area/power).
+  bool replicate_memctrl = false;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// One optimisation step recorded in / replayed from the map.
+struct OptimizationAction {
+  enum class Kind { kDivideWords, kDivideBits, kPipeline };
+  Kind kind = Kind::kDivideWords;
+  std::string target;     ///< memory class id or path name
+  int amount = 2;         ///< absolute division factor, or pipeline stages added
+  double before_ns = 0.0;
+  double after_ns = 0.0;
+  std::string reason;
+};
+using OptimizationMap = std::vector<OptimizationAction>;
+
+/// Result of the logic-synthesis stage for one version (Table I row).
+struct LogicSynthesisResult {
+  Spec spec;
+  netlist::Netlist netlist;
+  sta::TimingReport timing;
+  netlist::NetlistStats stats;
+  power::PowerReport power;
+  OptimizationMap applied;
+  bool meets_target = false;
+  std::vector<std::string> warnings;
+};
+
+/// Result of the physical-synthesis stage (Figs. 3/4, Table II).
+struct PhysicalSynthesisResult {
+  Spec spec;
+  netlist::Netlist netlist;
+  fp::Floorplan floorplan;
+  route::RouteReport routing;
+  sta::TimingReport timing;  ///< wire-annotated
+  double achieved_mhz = 0.0;
+  double recommended_mhz = 0.0;  ///< best standard target the layout closes at
+  bool meets_target = false;
+  std::vector<std::string> notes;
+};
+
+/// Pre-synthesis PPA estimate (Fig. 2 "first-order estimation").
+struct FirstOrderEstimate {
+  double area_mm2 = 0.0;
+  double memory_area_mm2 = 0.0;
+  double total_power_w = 0.0;
+  double baseline_fmax_mhz = 0.0;
+  bool feasible = false;
+  std::string comment;
+};
+
+struct PlannerOptions {
+  /// Timing margin applied when *choosing* a fix (the fix must land the
+  /// path at period - derate); final sign-off uses the bare period.
+  double derate_ns = 0.06;
+  int max_division = 16;
+  int max_pipeline_stages = 4;
+  /// Version grid explored in the paper.
+  std::vector<double> standard_targets_mhz = {500.0, 590.0, 667.0};
+  /// Frequencies a failing layout may fall back to (600 is the paper's
+  /// 8-CU physical result).
+  std::vector<double> fallback_targets_mhz = {667.0, 600.0, 590.0, 500.0};
+  fp::FloorplanOptions floorplan;
+  route::RouteOptions routing;
+  power::PowerOptions power;
+};
+
+class Planner {
+ public:
+  explicit Planner(const tech::Technology* technology, PlannerOptions options = {});
+
+  [[nodiscard]] const PlannerOptions& options() const { return options_; }
+
+  /// Fig. 2: contrast a specification with the technology for a quick
+  /// feasibility / PPA estimate, before any synthesis.
+  [[nodiscard]] FirstOrderEstimate estimate(const Spec& spec) const;
+
+  /// Derive (and apply) the optimisation map that takes `working` to
+  /// `target_mhz`: divide memories on memory-launched critical paths,
+  /// pipeline register-to-register ones. Returns the recorded actions.
+  [[nodiscard]] OptimizationMap derive_map(netlist::Netlist& working,
+                                           double target_mhz) const;
+
+  /// Full logic synthesis of one version: generate the baseline netlist,
+  /// walk the standard-target ladder up to the spec frequency (the paper's
+  /// iterative map process), report structure/timing/power.
+  [[nodiscard]] LogicSynthesisResult logic_synthesis(const Spec& spec) const;
+
+  /// Physical synthesis: floorplan, route, wire-annotated timing; on
+  /// violation, attempt on-demand pipelining (fails on handshake paths,
+  /// as in the paper) and fall back to the best closing frequency.
+  [[nodiscard]] PhysicalSynthesisResult physical_synthesis(
+      const LogicSynthesisResult& logic) const;
+
+  /// The paper's design-space exploration: all cu_count x frequency
+  /// versions (Table I uses {1,2,4,8} x {500,590,667}).
+  [[nodiscard]] std::vector<LogicSynthesisResult> exercise(
+      const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz) const;
+
+ private:
+  const tech::Technology* technology_;
+  PlannerOptions options_;
+};
+
+}  // namespace gpup::plan

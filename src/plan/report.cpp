@@ -1,0 +1,92 @@
+#include "src/plan/report.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace gpup::plan {
+
+util::Table table1(const std::vector<LogicSynthesisResult>& versions) {
+  util::Table table({"#CU & Freq.", "Total Area (mm2)", "Memory Area (mm2)", "#FF", "#Comb.",
+                     "#Memory", "Leakage (mW)", "Dynamic (W)", "Total (W)"});
+  for (const auto& version : versions) {
+    table.add_row({
+        format("%d@%.0fMHz", version.spec.cu_count, version.spec.freq_mhz),
+        util::Table::num(version.stats.total_area_mm2(), 2),
+        util::Table::num(version.stats.memory_area_mm2(), 2),
+        util::Table::num(static_cast<std::uint64_t>(version.stats.ff_count)),
+        util::Table::num(static_cast<std::uint64_t>(version.stats.gate_count)),
+        util::Table::num(static_cast<std::uint64_t>(version.stats.memory_count)),
+        util::Table::num(version.power.leakage_mw, 2),
+        util::Table::num(version.power.dynamic_w, 2),
+        util::Table::num(version.power.total_w(), 3),
+    });
+  }
+  return table;
+}
+
+util::Table table2(const std::vector<std::pair<std::string, route::RouteReport>>& layouts) {
+  std::vector<std::string> headers = {"Metal layer"};
+  for (const auto& [name, report] : layouts) headers.push_back(name);
+  util::Table table(headers);
+  for (int metal = 2; metal <= 7; ++metal) {
+    std::vector<std::string> row = {format("M%d", metal)};
+    for (const auto& [name, report] : layouts) {
+      row.push_back(util::Table::num(static_cast<std::uint64_t>(report.layer(metal))));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table map_table(const OptimizationMap& map) {
+  util::Table table({"Action", "Target", "Amount", "Before (ns)", "After (ns)", "Reason"});
+  for (const auto& action : map) {
+    const char* kind = "divide-words";
+    if (action.kind == OptimizationAction::Kind::kDivideBits) kind = "divide-bits";
+    if (action.kind == OptimizationAction::Kind::kPipeline) kind = "pipeline";
+    table.add_row({kind, action.target, util::Table::num(static_cast<std::int64_t>(action.amount)),
+                   util::Table::num(action.before_ns, 3), util::Table::num(action.after_ns, 3),
+                   action.reason});
+  }
+  return table;
+}
+
+std::string map_csv(const OptimizationMap& map) { return map_table(map).to_csv(); }
+
+util::Table delay_sheet(const netlist::Netlist& baseline) {
+  util::Table table({"Memory class", "Shape", "Ports", "Delay x1 (ns)", "x2", "x4", "x8"});
+  const auto& compiler = baseline.technology().memories;
+  std::vector<std::string> seen;
+  for (const auto& mem : baseline.memories()) {
+    bool duplicate = false;
+    for (const auto& name : seen) duplicate = duplicate || name == mem.class_id;
+    if (duplicate) continue;
+    seen.push_back(mem.class_id);
+
+    const tech::MemoryRequest base = mem.macro.request;
+    std::vector<std::string> row = {
+        mem.class_id, to_string(base),
+        base.ports == tech::PortKind::kDualPort ? "dual" : "single"};
+    for (std::uint32_t factor : {1u, 2u, 4u, 8u}) {
+      tech::MemoryRequest piece = base;
+      piece.words = std::max(base.words / factor, compiler.limits().min_words);
+      row.push_back(util::Table::num(compiler.access_delay_ns(piece), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table timing_table(const sta::TimingReport& timing, std::size_t limit) {
+  util::Table table(
+      {"Path", "Partition", "Launch", "Memory (ns)", "Logic (ns)", "Wire (ns)", "Total (ns)"});
+  std::size_t count = 0;
+  for (const auto& path : timing.paths) {
+    if (count++ >= limit) break;
+    table.add_row({path.name, to_string(path.partition), path.launch,
+                   util::Table::num(path.memory_ns, 3), util::Table::num(path.logic_ns, 3),
+                   util::Table::num(path.wire_ns, 3), util::Table::num(path.delay_ns, 3)});
+  }
+  return table;
+}
+
+}  // namespace gpup::plan

@@ -1,0 +1,37 @@
+// Report renderers: regenerate the paper's tables from planner results and
+// export the optimisation map as the "dynamic spreadsheet" CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/plan/planner.hpp"
+#include "src/route/route.hpp"
+#include "src/util/table.hpp"
+
+namespace gpup::plan {
+
+/// Table I: characteristics of G-GPU solutions after logic synthesis.
+[[nodiscard]] util::Table table1(const std::vector<LogicSynthesisResult>& versions);
+
+/// Table II: routing length per metal layer for a set of laid-out versions.
+[[nodiscard]] util::Table table2(
+    const std::vector<std::pair<std::string, route::RouteReport>>& layouts);
+
+/// The optimisation map ("dynamic spreadsheet"): one row per action.
+[[nodiscard]] util::Table map_table(const OptimizationMap& map);
+
+/// The map as CSV — the literal "dynamic spreadsheet" the paper ships to
+/// designers ("the user inputs the delay of the memory blocks... our map
+/// gives the maximum performance and which memory has to be divided").
+[[nodiscard]] std::string map_csv(const OptimizationMap& map);
+
+/// The technology-characterisation side of the spreadsheet: per memory
+/// class, the macro delay at division factors 1/2/4/8 so a designer can
+/// retarget the map to another technology by re-entering delays.
+[[nodiscard]] util::Table delay_sheet(const netlist::Netlist& baseline);
+
+/// Worst `limit` timing paths of a report.
+[[nodiscard]] util::Table timing_table(const sta::TimingReport& timing, std::size_t limit = 8);
+
+}  // namespace gpup::plan

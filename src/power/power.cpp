@@ -1,0 +1,50 @@
+#include "src/power/power.hpp"
+
+#include <algorithm>
+
+namespace gpup::power {
+
+PowerReport PowerAnalyzer::analyze(const netlist::Netlist& design, double freq_mhz) const {
+  const auto& cells = design.technology().cells;
+  PowerReport report;
+
+  const double upsizing =
+      1.0 + options_.upsizing_slope *
+                std::max(0.0, (freq_mhz - options_.baseline_mhz) / options_.baseline_mhz);
+
+  // ---- leakage ---------------------------------------------------------
+  for (const auto& mem : design.memories()) {
+    report.mem_leakage_mw += mem.macro.leakage_mw;
+  }
+  const auto stats = design.stats();
+  report.logic_leakage_mw =
+      (static_cast<double>(stats.ff_count) * cells.ff_leakage_nw +
+       static_cast<double>(stats.gate_count) * cells.gate_leakage_nw) *
+      1e-6 * upsizing;
+  report.leakage_mw = report.mem_leakage_mw + report.logic_leakage_mw;
+
+  // ---- dynamic ---------------------------------------------------------
+  const double hz = freq_mhz * 1e6;
+  const double ff_energy_j = static_cast<double>(stats.ff_count) * cells.ff_energy_fj * 1e-15;
+  const double comb_energy_j = static_cast<double>(stats.gate_count) * cells.gate_activity *
+                               cells.gate_energy_fj * 1e-15;
+  double mem_energy_j = 0.0;
+  for (const auto& mem : design.memories()) {
+    const double activity = (mem.partition == netlist::Partition::kComputeUnit)
+                                ? options_.cu_mem_activity
+                                : options_.top_mem_activity;
+    // Access traffic is shared between the pieces of a divided class, but
+    // idle (clock/precharge) energy is paid by every piece.
+    const double access = activity / mem.division_factor;
+    mem_energy_j +=
+        (access * mem.macro.read_energy_pj + mem.macro.idle_energy_pj) * 1e-12;
+  }
+
+  report.ff_dynamic_w = ff_energy_j * hz * upsizing;
+  report.comb_dynamic_w = comb_energy_j * hz * upsizing;
+  report.mem_dynamic_w = mem_energy_j * hz;
+  report.dynamic_w = report.ff_dynamic_w + report.comb_dynamic_w + report.mem_dynamic_w;
+  return report;
+}
+
+}  // namespace gpup::power

@@ -1,0 +1,106 @@
+#include "src/repro/repro.hpp"
+
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::repro {
+
+double CycleRow::speedup(int cu_index, bool optimized_baseline) const {
+  const double baseline = optimized_baseline
+                              ? static_cast<double>(riscv_optimized_cycles)
+                              : static_cast<double>(riscv_cycles);
+  const double ratio = static_cast<double>(gpu_input) / riscv_input;
+  return baseline * ratio / static_cast<double>(gpu_cycles[static_cast<std::size_t>(cu_index)]);
+}
+
+std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale) {
+  GPUP_CHECK(scale >= 1);
+  std::vector<CycleRow> rows;
+  for (const kern::Benchmark* benchmark : kern::all_benchmarks()) {
+    CycleRow row;
+    row.name = benchmark->name();
+    row.riscv_input = std::max(32u, benchmark->riscv_input() / scale);
+    row.gpu_input = std::max(64u, benchmark->gpu_input() / scale);
+    if (row.name == "mat_mul") {  // multiple-of-32 geometry
+      row.riscv_input = std::max(32u, row.riscv_input & ~31u);
+      row.gpu_input = std::max(64u, row.gpu_input & ~31u);
+    }
+    row.all_valid = true;
+
+    const auto naive = kern::run_riscv(*benchmark, row.riscv_input, /*optimized=*/false);
+    row.riscv_cycles = naive.stats.cycles;
+    row.all_valid = row.all_valid && naive.valid;
+    const auto optimized = kern::run_riscv(*benchmark, row.riscv_input, /*optimized=*/true);
+    row.riscv_optimized_cycles = optimized.stats.cycles;
+    row.all_valid = row.all_valid && optimized.valid;
+
+    for (std::size_t i = 0; i < kCuConfigs.size(); ++i) {
+      sim::GpuConfig config;
+      config.cu_count = kCuConfigs[i];
+      rt::Device device(config);
+      const auto run = kern::run_gpu(*benchmark, device, row.gpu_input);
+      row.gpu_cycles[i] = run.stats.cycles;
+      row.all_valid = row.all_valid && run.valid;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_table3() {
+  static const std::vector<PaperRow> rows = {
+      {"mat_mul", 202, {48, 28, 18, 14}},
+      {"copy", 71, {73, 36, 24, 22}},
+      {"vec_mul", 78, {100, 49, 31, 26}},
+      {"fir", 542, {694, 358, 185, 169}},
+      {"div_int", 32, {209, 105, 57, 62}},
+      {"xcorr", 542, {5343, 2802, 1467, 2079}},
+      {"parallel_sel", 765, {5979, 3157, 1656, 1660}},
+  };
+  return rows;
+}
+
+util::Table format_table3(const std::vector<CycleRow>& rows) {
+  util::Table table({"Kernel", "Input (RISC-V)", "Input (G-GPU)", "RISC-V (k-cycles)",
+                     "1CU", "2CU", "4CU", "8CU", "valid"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::Table::num(static_cast<std::uint64_t>(row.riscv_input)),
+                   util::Table::num(static_cast<std::uint64_t>(row.gpu_input)),
+                   util::Table::num(static_cast<double>(row.riscv_cycles) / 1000.0, 1),
+                   util::Table::num(static_cast<double>(row.gpu_cycles[0]) / 1000.0, 1),
+                   util::Table::num(static_cast<double>(row.gpu_cycles[1]) / 1000.0, 1),
+                   util::Table::num(static_cast<double>(row.gpu_cycles[2]) / 1000.0, 1),
+                   util::Table::num(static_cast<double>(row.gpu_cycles[3]) / 1000.0, 1),
+                   row.all_valid ? "yes" : "NO"});
+  }
+  return table;
+}
+
+util::Table format_fig5(const std::vector<CycleRow>& rows) {
+  util::Table table({"Kernel", "1CU", "2CU", "4CU", "8CU"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::Table::num(row.speedup(0), 1),
+                   util::Table::num(row.speedup(1), 1), util::Table::num(row.speedup(2), 1),
+                   util::Table::num(row.speedup(3), 1)});
+  }
+  return table;
+}
+
+util::Table format_fig6(const std::vector<CycleRow>& rows,
+                        const std::array<double, 4>& area_ratios) {
+  std::vector<std::string> headers = {"Kernel"};
+  for (std::size_t i = 0; i < kCuConfigs.size(); ++i) {
+    headers.push_back(format("%dCU (area ratio %.1f)", kCuConfigs[i], area_ratios[i]));
+  }
+  util::Table table(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (std::size_t i = 0; i < kCuConfigs.size(); ++i) {
+      cells.push_back(util::Table::num(row.speedup(static_cast<int>(i)) / area_ratios[i], 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace gpup::repro

@@ -1,0 +1,54 @@
+// Reproduction harness shared by the bench binaries: runs the Table III
+// cycle-count matrix, applies the paper's speed-up scaling rule, and keeps
+// the paper's published numbers for side-by-side comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/benchmark.hpp"
+#include "src/util/table.hpp"
+
+namespace gpup::repro {
+
+inline constexpr std::array<int, 4> kCuConfigs = {1, 2, 4, 8};
+
+/// One benchmark's measured cycle counts (Table III row).
+struct CycleRow {
+  std::string name;
+  std::uint32_t riscv_input = 0;
+  std::uint32_t gpu_input = 0;
+  std::uint64_t riscv_cycles = 0;                 ///< naive OpenCL port
+  std::uint64_t riscv_optimized_cycles = 0;       ///< ablation
+  std::array<std::uint64_t, 4> gpu_cycles{};      ///< 1/2/4/8 CUs
+  bool all_valid = false;
+
+  /// The paper's pessimistic scaling rule: multiply the RISC-V cycle count
+  /// by the G-GPU/RISC-V input-size ratio, then compare ("which in
+  /// practice is unfeasible but favors RISC-V").
+  [[nodiscard]] double speedup(int cu_index, bool optimized_baseline = false) const;
+};
+
+/// Run every benchmark on the naive + optimized RISC-V ports and on
+/// 1/2/4/8-CU G-GPUs at the paper's input sizes. `scale` divides the input
+/// sizes (1 = paper-size; larger = quicker smoke runs).
+[[nodiscard]] std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale = 1);
+
+/// Paper Table III published cycle counts (k-cycles), for EXPERIMENTS.md
+/// style comparisons.
+struct PaperRow {
+  const char* name;
+  double riscv_kcycles;
+  std::array<double, 4> gpu_kcycles;
+};
+[[nodiscard]] const std::vector<PaperRow>& paper_table3();
+
+/// Formatters.
+[[nodiscard]] util::Table format_table3(const std::vector<CycleRow>& rows);
+[[nodiscard]] util::Table format_fig5(const std::vector<CycleRow>& rows);
+[[nodiscard]] util::Table format_fig6(const std::vector<CycleRow>& rows,
+                                      const std::array<double, 4>& area_ratios);
+
+}  // namespace gpup::repro

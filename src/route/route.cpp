@@ -1,0 +1,105 @@
+#include "src/route/route.hpp"
+
+#include <cmath>
+
+#include "src/util/bits.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::route {
+
+namespace {
+
+using netlist::Partition;
+
+// Layer distribution per net class (fractions over M2..M7).
+constexpr std::array<double, 6> kLocalSplit = {0.28, 0.34, 0.20, 0.13, 0.04, 0.01};
+constexpr std::array<double, 6> kMacroSplit = {0.00, 0.15, 0.25, 0.30, 0.20, 0.10};
+constexpr std::array<double, 6> kGlobalSplit = {0.00, 0.00, 0.00, 0.15, 0.50, 0.35};
+
+void spread(std::array<double, 9>& layers, double length_um,
+            const std::array<double, 6>& split) {
+  for (int i = 0; i < 6; ++i) {
+    layers[static_cast<std::size_t>(i + 1)] += length_um * split[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+RouteReport GlobalRouter::route(const netlist::Netlist& design,
+                                const fp::Floorplan& plan) const {
+  RouteReport report;
+
+  // Congestion multiplier per partition kind: macro pieces / roots.
+  auto congestion = [&](Partition partition) {
+    double pieces = 0.0;
+    double roots = 0.0;
+    for (const auto& mem : design.memories()) {
+      if (mem.partition != partition) continue;
+      pieces += 1.0;
+      roots += 1.0 / mem.division_factor;
+    }
+    if (roots <= 0.0) return 1.0;
+    return 1.0 + options_.congestion_gain * (pieces / roots - 1.0);
+  };
+
+  // ---- standard-cell local nets ---------------------------------------
+  // Per partition scope: cells * local_scale * (placed area)^0.25.
+  for (const auto& partition : plan.partitions) {
+    std::uint64_t cells = 0;
+    for (const auto& group : design.flop_groups()) {
+      if (group.partition == partition.kind && group.cu_index == partition.cu_index)
+        cells += group.count;
+    }
+    for (const auto& cloud : design.comb_clouds()) {
+      if (cloud.partition == partition.kind && cloud.cu_index == partition.cu_index)
+        cells += cloud.gate_count;
+    }
+    if (cells == 0) continue;
+    const double length = static_cast<double>(cells) * options_.local_scale *
+                          std::pow(partition.rect.area(), 0.25) * congestion(partition.kind);
+    report.local_um += length;
+    spread(report.layer_um, length, kLocalSplit);
+  }
+
+  // ---- macro pin escape nets ------------------------------------------
+  for (const auto& macro : plan.macros) {
+    // Owning partition scope (CU clone / controller copy / top ring).
+    double cx = plan.die_w_um / 2.0;
+    double cy = plan.die_h_um / 2.0;
+    for (const auto& partition : plan.partitions) {
+      if (partition.kind == macro.partition && partition.cu_index == macro.cu_index) {
+        cx = partition.rect.cx();
+        cy = partition.rect.cy();
+        break;
+      }
+    }
+    const netlist::MemInstance* instance = nullptr;
+    for (const auto& mem : design.memories()) {
+      if (mem.name == macro.name) {
+        instance = &mem;
+        break;
+      }
+    }
+    GPUP_CHECK(instance != nullptr);
+    const double pins =
+        instance->macro.request.bits * options_.pins_per_bit +
+        ceil_log2(instance->macro.request.words) + 5.0;
+    const double dist =
+        std::abs(macro.rect.cx() - cx) + std::abs(macro.rect.cy() - cy) + 40.0;
+    const double length = pins * dist * congestion(macro.partition);
+    report.macro_um += length;
+    spread(report.layer_um, length, kMacroSplit);
+  }
+
+  // ---- global CU<->controller buses ------------------------------------
+  for (double dist_mm : plan.cu_distance_mm) {
+    const double wires = options_.global_bus_bits * 2.0;  // request + response
+    const double length = wires * dist_mm * 1000.0;
+    report.global_um += length;
+    spread(report.layer_um, length, kGlobalSplit);
+  }
+
+  return report;
+}
+
+}  // namespace gpup::route

@@ -1,0 +1,58 @@
+// Global-routing wirelength estimator (Table II).
+//
+// Three net populations are modelled:
+//   * standard-cell local nets   — per partition, Rent-style length scaling
+//   * macro pin escape nets      — from each placed SRAM macro to its
+//                                  partition's logic centroid
+//   * global CU<->controller buses — placed distance per CU
+//
+// Optimised versions (more, smaller macros) pay a congestion multiplier,
+// reproducing the paper's observation that the 667 MHz variants route far
+// more wire than the 500 MHz baselines at almost identical cell area.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/fp/floorplan.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace gpup::route {
+
+/// Wirelength per signal metal layer (M2..M7; M1/M8/M9 are power-only).
+struct RouteReport {
+  std::array<double, 9> layer_um{};  ///< index 0 = M1 ... 8 = M9
+  double local_um = 0.0;
+  double macro_um = 0.0;
+  double global_um = 0.0;
+
+  [[nodiscard]] double total_um() const {
+    double total = 0.0;
+    for (double v : layer_um) total += v;
+    return total;
+  }
+  [[nodiscard]] double layer(int metal_index) const {  // 2 -> M2
+    return layer_um.at(static_cast<std::size_t>(metal_index - 1));
+  }
+};
+
+struct RouteOptions {
+  double local_scale = 1.0;        ///< local net length coefficient
+  double pins_per_bit = 2.2;       ///< macro data pins incl. mask/ctrl share
+  double congestion_gain = 1.5;    ///< multiplier slope vs macro-count ratio
+  double global_bus_bits = 512.0;  ///< CU<->controller bus width
+};
+
+class GlobalRouter {
+ public:
+  explicit GlobalRouter(RouteOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] RouteReport route(const netlist::Netlist& design,
+                                  const fp::Floorplan& plan) const;
+
+ private:
+  RouteOptions options_;
+};
+
+}  // namespace gpup::route

@@ -1,0 +1,2 @@
+// Header-only API; this translation unit anchors the library target.
+#include "src/rt/device.hpp"

@@ -1,0 +1,305 @@
+#include "src/rv/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "src/util/bits.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::rv {
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::string label;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+std::optional<std::int64_t> parse_int(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::size_t index = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    index = 1;
+  }
+  if (index >= token.size()) return std::nullopt;
+  std::int64_t value = 0;
+  if (token.size() > index + 2 && token[index] == '0' &&
+      (token[index + 1] == 'x' || token[index + 1] == 'X')) {
+    for (std::size_t i = index + 2; i < token.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(token[i])));
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else return std::nullopt;
+      value = value * 16 + digit;
+    }
+  } else {
+    for (std::size_t i = index; i < token.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(token[i]))) return std::nullopt;
+      value = value * 10 + (token[i] - '0');
+    }
+  }
+  return negative ? -value : value;
+}
+
+std::optional<Op> by_mnemonic(const std::string& mnemonic) {
+  for (int i = 0; i < static_cast<int>(Op::kCount); ++i) {
+    if (mnemonic == info(static_cast<Op>(i)).mnemonic) return static_cast<Op>(i);
+  }
+  return std::nullopt;
+}
+
+Error at_line(int line, const std::string& message) {
+  return Error{message, format("line %d", line)};
+}
+
+/// Instruction count a (pseudo-)mnemonic expands to.
+int size_of(const std::string& mnemonic, const std::vector<std::string>& ops) {
+  if (mnemonic == "li" && ops.size() == 2) {
+    const auto value = parse_int(ops[1]);
+    if (value && fits_signed(*value, 12)) return 1;
+    if (value && (*value & 0xfff) == 0) return 1;  // pure lui
+    return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<RvProgram> RvAssembler::assemble(const std::string& source, const std::string& name) {
+  // ---- tokenise -----------------------------------------------------------
+  std::vector<Line> lines;
+  {
+    int number = 0;
+    for (const auto& raw : split(source, "\n")) {
+      ++number;
+      std::string text = raw;
+      const auto comment = text.find_first_of("#;");
+      if (comment != std::string::npos) text.resize(comment);
+      std::string_view view = trim(text);
+      if (view.empty()) continue;
+      Line line;
+      line.number = number;
+      const auto colon = view.find(':');
+      const auto first_space = view.find_first_of(" \t");
+      if (colon != std::string_view::npos &&
+          (first_space == std::string_view::npos || colon < first_space)) {
+        line.label = std::string(trim(view.substr(0, colon)));
+        view = trim(view.substr(colon + 1));
+      }
+      if (!view.empty()) {
+        const auto space = view.find_first_of(" \t");
+        line.mnemonic = to_lower(view.substr(0, space));
+        if (space != std::string_view::npos) {
+          for (auto& operand : split(view.substr(space + 1), ", \t")) {
+            line.operands.push_back(operand);
+          }
+        }
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+
+  // ---- pass 1: labels ------------------------------------------------------
+  std::map<std::string, std::uint32_t> labels;
+  {
+    std::uint32_t pc = 0;
+    for (const auto& line : lines) {
+      if (!line.label.empty()) {
+        if (labels.count(line.label) != 0) {
+          return at_line(line.number, "duplicate label '" + line.label + "'");
+        }
+        labels[line.label] = pc;
+      }
+      if (!line.mnemonic.empty()) {
+        pc += 4u * static_cast<std::uint32_t>(size_of(line.mnemonic, line.operands));
+      }
+    }
+  }
+
+  // ---- pass 2: encode -------------------------------------------------------
+  std::vector<std::uint32_t> words;
+  auto pc_bytes = [&] { return static_cast<std::uint32_t>(words.size() * 4); };
+
+  auto resolve = [&](const std::string& token, int line,
+                     std::int64_t& out) -> std::optional<Error> {
+    if (const auto literal = parse_int(token)) {
+      out = *literal;
+      return std::nullopt;
+    }
+    const auto label = labels.find(token);
+    if (label == labels.end()) return at_line(line, "undefined symbol '" + token + "'");
+    out = label->second;
+    return std::nullopt;
+  };
+  auto need_reg = [&](const std::string& token, int line,
+                      std::uint8_t& out) -> std::optional<Error> {
+    const int reg = parse_rv_register(token);
+    if (reg < 0) return at_line(line, "expected register, got '" + token + "'");
+    out = static_cast<std::uint8_t>(reg);
+    return std::nullopt;
+  };
+  auto mem_operand = [&](const std::string& token, int line, std::int32_t& imm_out,
+                         std::uint8_t& base_out) -> std::optional<Error> {
+    const auto open = token.find('(');
+    if (open == std::string::npos || token.back() != ')') {
+      return at_line(line, "expected imm(base), got '" + token + "'");
+    }
+    std::string imm_token = token.substr(0, open);
+    if (imm_token.empty()) imm_token = "0";
+    std::int64_t imm = 0;
+    if (auto err = resolve(imm_token, line, imm)) return err;
+    if (!fits_signed(imm, 12)) return at_line(line, "offset out of range");
+    imm_out = static_cast<std::int32_t>(imm);
+    return need_reg(token.substr(open + 1, token.size() - open - 2), line, base_out);
+  };
+
+  for (const auto& line : lines) {
+    if (line.mnemonic.empty()) continue;
+    const int n = line.number;
+    const auto& ops = line.operands;
+    const std::string& m = line.mnemonic;
+
+    // ---- pseudo-instructions ----
+    if (m == "nop") {
+      words.push_back(Instr{Op::kAddi, 0, 0, 0, 0}.encode());
+      continue;
+    }
+    if (m == "halt") {
+      words.push_back(Instr{Op::kEcall}.encode());
+      continue;
+    }
+    if (m == "li") {
+      if (ops.size() != 2) return at_line(n, "li needs rd, imm");
+      std::uint8_t rd = 0;
+      if (auto err = need_reg(ops[0], n, rd)) return *err;
+      std::int64_t value = 0;
+      if (auto err = resolve(ops[1], n, value)) return *err;
+      if (fits_signed(value, 12)) {
+        words.push_back(Instr{Op::kAddi, rd, 0, 0, static_cast<std::int32_t>(value)}.encode());
+      } else {
+        const auto v = static_cast<std::uint32_t>(value);
+        // lui loads imm<<12; adjust for the sign of the low 12 bits.
+        std::uint32_t hi = v >> 12;
+        const std::int32_t lo = sign_extend(v & 0xfff, 12);
+        if (lo < 0) hi = (hi + 1) & 0xfffff;
+        words.push_back(Instr{Op::kLui, rd, 0, 0, static_cast<std::int32_t>(hi)}.encode());
+        if (lo != 0 || (v & 0xfff) != 0) {
+          words.push_back(Instr{Op::kAddi, rd, rd, 0, lo}.encode());
+        } else if (size_of(m, ops) == 2) {
+          words.push_back(Instr{Op::kAddi, 0, 0, 0, 0}.encode());  // keep pass-1 size
+        }
+      }
+      continue;
+    }
+    if (m == "mv") {
+      if (ops.size() != 2) return at_line(n, "mv needs rd, rs");
+      std::uint8_t rd = 0;
+      std::uint8_t rs = 0;
+      if (auto err = need_reg(ops[0], n, rd)) return *err;
+      if (auto err = need_reg(ops[1], n, rs)) return *err;
+      words.push_back(Instr{Op::kAddi, rd, rs, 0, 0}.encode());
+      continue;
+    }
+    if (m == "j" || m == "call") {
+      if (ops.size() != 1) return at_line(n, m + " needs a target");
+      std::int64_t target = 0;
+      if (auto err = resolve(ops[0], n, target)) return *err;
+      const std::int64_t offset = target - pc_bytes();
+      if (!fits_signed(offset, 21)) return at_line(n, "jump out of range");
+      const std::uint8_t rd = (m == "call") ? 1 : 0;  // ra or discard
+      words.push_back(Instr{Op::kJal, rd, 0, 0, static_cast<std::int32_t>(offset)}.encode());
+      continue;
+    }
+    if (m == "ret") {
+      words.push_back(Instr{Op::kJalr, 0, 1, 0, 0}.encode());
+      continue;
+    }
+
+    const auto op = by_mnemonic(m);
+    if (!op) return at_line(n, "unknown mnemonic '" + m + "'");
+    const RvOpInfo& i = info(*op);
+    Instr instr;
+    instr.op = *op;
+
+    if (i.is_load || *op == Op::kJalr) {
+      if (ops.size() != 2) return at_line(n, "expected rd, imm(base)");
+      if (auto err = need_reg(ops[0], n, instr.rd)) return *err;
+      if (auto err = mem_operand(ops[1], n, instr.imm, instr.rs1)) return *err;
+    } else if (i.is_store) {
+      if (ops.size() != 2) return at_line(n, "expected rs2, imm(base)");
+      if (auto err = need_reg(ops[0], n, instr.rs2)) return *err;
+      if (auto err = mem_operand(ops[1], n, instr.imm, instr.rs1)) return *err;
+    } else if (i.is_branch) {
+      if (ops.size() != 3) return at_line(n, "expected rs1, rs2, target");
+      if (auto err = need_reg(ops[0], n, instr.rs1)) return *err;
+      if (auto err = need_reg(ops[1], n, instr.rs2)) return *err;
+      std::int64_t target = 0;
+      if (auto err = resolve(ops[2], n, target)) return *err;
+      const std::int64_t offset = target - pc_bytes();
+      if (!fits_signed(offset, 13)) return at_line(n, "branch out of range");
+      instr.imm = static_cast<std::int32_t>(offset);
+    } else if (*op == Op::kJal) {
+      if (ops.size() != 2) return at_line(n, "expected rd, target");
+      if (auto err = need_reg(ops[0], n, instr.rd)) return *err;
+      std::int64_t target = 0;
+      if (auto err = resolve(ops[1], n, target)) return *err;
+      const std::int64_t offset = target - pc_bytes();
+      if (!fits_signed(offset, 21)) return at_line(n, "jump out of range");
+      instr.imm = static_cast<std::int32_t>(offset);
+    } else if (*op == Op::kLui || *op == Op::kAuipc) {
+      if (ops.size() != 2) return at_line(n, "expected rd, imm20");
+      if (auto err = need_reg(ops[0], n, instr.rd)) return *err;
+      std::int64_t imm = 0;
+      if (auto err = resolve(ops[1], n, imm)) return *err;
+      if (!fits_unsigned(imm, 20)) return at_line(n, "imm20 out of range");
+      instr.imm = static_cast<std::int32_t>(imm);
+    } else if (*op == Op::kEcall) {
+      if (!ops.empty()) return at_line(n, "ecall takes no operands");
+    } else if (i.reads_rs2) {  // R-type
+      if (ops.size() != 3) return at_line(n, "expected rd, rs1, rs2");
+      if (auto err = need_reg(ops[0], n, instr.rd)) return *err;
+      if (auto err = need_reg(ops[1], n, instr.rs1)) return *err;
+      if (auto err = need_reg(ops[2], n, instr.rs2)) return *err;
+    } else {  // I-type ALU
+      if (ops.size() != 3) return at_line(n, "expected rd, rs1, imm");
+      if (auto err = need_reg(ops[0], n, instr.rd)) return *err;
+      if (auto err = need_reg(ops[1], n, instr.rs1)) return *err;
+      std::int64_t imm = 0;
+      if (auto err = resolve(ops[2], n, imm)) return *err;
+      const bool is_shift = (*op == Op::kSlli || *op == Op::kSrli || *op == Op::kSrai);
+      if (is_shift ? !(imm >= 0 && imm < 32) : !fits_signed(imm, 12)) {
+        return at_line(n, "immediate out of range");
+      }
+      instr.imm = static_cast<std::int32_t>(imm);
+    }
+    words.push_back(instr.encode());
+  }
+
+  if (words.empty()) return Error{"empty program", name};
+  RvProgram program;
+  program.name = name;
+  program.words = std::move(words);
+  program.labels = std::move(labels);
+  return program;
+}
+
+std::string RvProgram::disassemble() const {
+  std::map<std::uint32_t, std::string> names;
+  for (const auto& [label, address] : labels) names[address] = label;
+  std::ostringstream out;
+  for (std::uint32_t pc = 0; pc < words.size() * 4; pc += 4) {
+    const auto label = names.find(pc);
+    if (label != names.end()) out << label->second << ":\n";
+    out << format("  %04x:  %08x  %s\n", pc, words[pc / 4],
+                  Instr::decode(words[pc / 4]).to_string().c_str());
+  }
+  return out.str();
+}
+
+}  // namespace gpup::rv

@@ -1,0 +1,34 @@
+// Two-pass RV32IM text assembler for the baseline-CPU benchmarks.
+//
+// Standard-ish syntax with ABI register names:
+//   loop:  lw   t0, 0(a0)
+//          addi a0, a0, 4
+//          blt  t1, t2, loop
+// Pseudo-instructions: li, mv, j, call, ret, nop (and `halt` = ecall).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/rv/rvisa.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::rv {
+
+struct RvProgram {
+  std::string name;
+  std::vector<std::uint32_t> words;                 ///< at byte address 0, 4, 8...
+  std::map<std::string, std::uint32_t> labels;      ///< label -> byte address
+
+  [[nodiscard]] std::string disassemble() const;
+};
+
+class RvAssembler {
+ public:
+  [[nodiscard]] static Result<RvProgram> assemble(const std::string& source,
+                                                  const std::string& name = "riscv");
+};
+
+}  // namespace gpup::rv

@@ -1,0 +1,187 @@
+#include "src/rv/core.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/bits.hpp"
+
+namespace gpup::rv {
+
+RvCore::RvCore(RvCoreConfig config) : config_(config) {
+  mem_.resize(config_.mem_bytes / 4, 0);
+}
+
+void RvCore::write_words(std::uint32_t byte_addr, std::span<const std::uint32_t> words) {
+  GPUP_CHECK(byte_addr % 4 == 0 && byte_addr / 4 + words.size() <= mem_.size());
+  std::copy(words.begin(), words.end(), mem_.begin() + byte_addr / 4);
+}
+
+void RvCore::read_words(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
+  GPUP_CHECK(byte_addr % 4 == 0 && byte_addr / 4 + words.size() <= mem_.size());
+  std::copy_n(mem_.begin() + byte_addr / 4, words.size(), words.begin());
+}
+
+std::uint32_t RvCore::alloc_words(std::uint32_t words) {
+  const std::uint32_t addr = (alloc_next_ + 3u) & ~3u;
+  GPUP_CHECK_MSG(addr + words * 4 <= config_.mem_bytes - 1024,
+                 "RISC-V memory exhausted (1 KB reserved for the stack)");
+  alloc_next_ = addr + words * 4;
+  return addr;
+}
+
+void RvCore::reserve_program(std::uint32_t program_bytes) {
+  alloc_next_ = std::max(alloc_next_, program_bytes);
+}
+
+void RvCore::reset_allocator() { alloc_next_ = 0; }
+
+RvRunStats RvCore::run(const RvProgram& program, std::uint32_t a0_value) {
+  GPUP_CHECK_MSG(program.words.size() * 4 <= mem_.size() * 4,
+                 "program does not fit in memory");
+  // Load the text section at address 0.
+  std::copy(program.words.begin(), program.words.end(), mem_.begin());
+
+  std::uint32_t regs[32] = {};
+  regs[2] = config_.mem_bytes - 16;  // sp at the top of memory
+  regs[10] = a0_value;               // a0: parameter block
+
+  RvRunStats stats;
+  std::uint32_t pc = 0;
+  int pending_load_rd = -1;  // load result available after one more cycle
+
+  while (true) {
+    GPUP_CHECK_MSG(pc % 4 == 0 && pc / 4 < program.words.size(), "PC left the text section");
+    const Instr instr = Instr::decode(mem_[pc / 4]);
+    const RvOpInfo& op_info = info(instr.op);
+
+    // ---- timing -----------------------------------------------------------
+    stats.cycles += 1;
+    if (pending_load_rd >= 0) {
+      const bool uses = (op_info.reads_rs1 && instr.rs1 == pending_load_rd) ||
+                        (op_info.reads_rs2 && instr.rs2 == pending_load_rd);
+      if (uses) stats.cycles += static_cast<std::uint64_t>(config_.load_use_stall);
+    }
+    pending_load_rd = op_info.is_load ? instr.rd : -1;
+
+    // ---- execute ------------------------------------------------------------
+    const std::uint32_t rs1 = regs[instr.rs1];
+    const std::uint32_t rs2 = regs[instr.rs2];
+    const auto s1 = static_cast<std::int32_t>(rs1);
+    const auto s2 = static_cast<std::int32_t>(rs2);
+    std::uint32_t next_pc = pc + 4;
+    std::uint32_t result = 0;
+    bool writes = op_info.writes_rd;
+
+    switch (instr.op) {
+      case Op::kAdd: result = rs1 + rs2; break;
+      case Op::kSub: result = rs1 - rs2; break;
+      case Op::kSll: result = rs1 << (rs2 & 31); break;
+      case Op::kSlt: result = (s1 < s2) ? 1 : 0; break;
+      case Op::kSltu: result = (rs1 < rs2) ? 1 : 0; break;
+      case Op::kXor: result = rs1 ^ rs2; break;
+      case Op::kSrl: result = rs1 >> (rs2 & 31); break;
+      case Op::kSra: result = static_cast<std::uint32_t>(s1 >> (rs2 & 31)); break;
+      case Op::kOr: result = rs1 | rs2; break;
+      case Op::kAnd: result = rs1 & rs2; break;
+      case Op::kMul: result = rs1 * rs2; break;
+      case Op::kMulh:
+        result = static_cast<std::uint32_t>(
+            (static_cast<std::int64_t>(s1) * s2) >> 32);
+        break;
+      case Op::kMulhu:
+        result = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(rs1) * rs2) >> 32);
+        break;
+      case Op::kDiv:
+      case Op::kDivu:
+      case Op::kRem:
+      case Op::kRemu: {
+        ++stats.div_ops;
+        // Iterative divider: base + one cycle per significant dividend bit.
+        const int bits = (rs1 == 0) ? 1 : (32 - std::countl_zero(rs1));
+        stats.cycles += static_cast<std::uint64_t>(config_.div_base_cycles + bits);
+        if (instr.op == Op::kDiv) {
+          result = (rs2 == 0) ? 0xffffffffu : static_cast<std::uint32_t>(s1 / s2);
+        } else if (instr.op == Op::kDivu) {
+          result = (rs2 == 0) ? 0xffffffffu : rs1 / rs2;
+        } else if (instr.op == Op::kRem) {
+          result = (rs2 == 0) ? rs1 : static_cast<std::uint32_t>(s1 % s2);
+        } else {
+          result = (rs2 == 0) ? rs1 : rs1 % rs2;
+        }
+        break;
+      }
+      case Op::kAddi: result = rs1 + static_cast<std::uint32_t>(instr.imm); break;
+      case Op::kSlti: result = (s1 < instr.imm) ? 1 : 0; break;
+      case Op::kSltiu: result = (rs1 < static_cast<std::uint32_t>(instr.imm)) ? 1 : 0; break;
+      case Op::kXori: result = rs1 ^ static_cast<std::uint32_t>(instr.imm); break;
+      case Op::kOri: result = rs1 | static_cast<std::uint32_t>(instr.imm); break;
+      case Op::kAndi: result = rs1 & static_cast<std::uint32_t>(instr.imm); break;
+      case Op::kSlli: result = rs1 << (instr.imm & 31); break;
+      case Op::kSrli: result = rs1 >> (instr.imm & 31); break;
+      case Op::kSrai: result = static_cast<std::uint32_t>(s1 >> (instr.imm & 31)); break;
+      case Op::kLw: {
+        const std::uint32_t addr = rs1 + static_cast<std::uint32_t>(instr.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0 && addr / 4 < mem_.size(), "bad load address");
+        result = mem_[addr / 4];
+        ++stats.loads;
+        break;
+      }
+      case Op::kSw: {
+        const std::uint32_t addr = rs1 + static_cast<std::uint32_t>(instr.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0 && addr / 4 < mem_.size(), "bad store address");
+        mem_[addr / 4] = rs2;
+        ++stats.stores;
+        break;
+      }
+      case Op::kLui: result = static_cast<std::uint32_t>(instr.imm) << 12; break;
+      case Op::kAuipc: result = pc + (static_cast<std::uint32_t>(instr.imm) << 12); break;
+      case Op::kJal:
+        result = pc + 4;
+        next_pc = pc + static_cast<std::uint32_t>(instr.imm);
+        stats.cycles += static_cast<std::uint64_t>(config_.jump_penalty);
+        break;
+      case Op::kJalr:
+        result = pc + 4;
+        next_pc = (rs1 + static_cast<std::uint32_t>(instr.imm)) & ~1u;
+        stats.cycles += static_cast<std::uint64_t>(config_.jump_penalty);
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        bool taken = false;
+        switch (instr.op) {
+          case Op::kBeq: taken = rs1 == rs2; break;
+          case Op::kBne: taken = rs1 != rs2; break;
+          case Op::kBlt: taken = s1 < s2; break;
+          case Op::kBge: taken = s1 >= s2; break;
+          case Op::kBltu: taken = rs1 < rs2; break;
+          case Op::kBgeu: taken = rs1 >= rs2; break;
+          default: break;
+        }
+        if (taken) {
+          next_pc = pc + static_cast<std::uint32_t>(instr.imm);
+          stats.cycles += static_cast<std::uint64_t>(config_.taken_branch_penalty);
+          ++stats.taken_branches;
+        }
+        break;
+      }
+      case Op::kEcall: {
+        ++stats.instructions;
+        return stats;
+      }
+      case Op::kCount: GPUP_CHECK(false); break;
+    }
+
+    if (writes && instr.rd != 0) regs[instr.rd] = result;
+    regs[0] = 0;
+    pc = next_pc;
+    ++stats.instructions;
+    GPUP_CHECK_MSG(stats.cycles < config_.max_cycles, "RISC-V watchdog expired");
+  }
+}
+
+}  // namespace gpup::rv

@@ -1,0 +1,67 @@
+// CV32E40P-class RV32IM core model: 4-stage in-order pipeline timing with
+// single-cycle tightly-coupled memory — the paper's baseline CPU
+// ("RISC-V having 32kb memory", synthesised at 667 MHz).
+//
+// Cycle accounting follows the CV32E40P datasheet behaviour:
+//   * 1 cycle per instruction base;
+//   * +1 load-use stall when the next instruction consumes a load result;
+//   * +2 for taken branches and jumps (pipeline flush);
+//   * iterative divider: ~3..35 cycles (modelled data-dependent);
+//   * single-cycle multiplier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/rv/assembler.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::rv {
+
+struct RvCoreConfig {
+  std::uint32_t mem_bytes = 32 * 1024;
+  int taken_branch_penalty = 2;
+  int jump_penalty = 2;
+  int load_use_stall = 1;
+  int div_base_cycles = 3;   ///< + one per significant quotient bit
+  std::uint64_t max_cycles = 1ull << 33;
+};
+
+struct RvRunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t div_ops = 0;
+};
+
+class RvCore {
+ public:
+  explicit RvCore(RvCoreConfig config = {});
+
+  [[nodiscard]] const RvCoreConfig& config() const { return config_; }
+
+  // ---- memory (word-addressed backing store, byte addresses) ----------
+  void write_words(std::uint32_t byte_addr, std::span<const std::uint32_t> words);
+  void read_words(std::uint32_t byte_addr, std::span<std::uint32_t> words) const;
+  [[nodiscard]] std::uint32_t mem_bytes() const { return config_.mem_bytes; }
+
+  /// Bump allocator for the benchmark harness' data section (the program
+  /// itself occupies low memory).
+  [[nodiscard]] std::uint32_t alloc_words(std::uint32_t words);
+  void reserve_program(std::uint32_t program_bytes);
+  void reset_allocator();
+
+  /// Execute from byte address 0 until `ecall`. `a0` is preloaded with
+  /// `a0_value` (the harness passes the parameter-block address there).
+  [[nodiscard]] RvRunStats run(const RvProgram& program, std::uint32_t a0_value);
+
+ private:
+  RvCoreConfig config_;
+  std::vector<std::uint32_t> mem_;
+  std::uint32_t alloc_next_ = 0;
+};
+
+}  // namespace gpup::rv

@@ -1,0 +1,275 @@
+#include "src/rv/rvisa.hpp"
+
+#include <array>
+
+#include "src/util/bits.hpp"
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup::rv {
+
+namespace {
+
+// columns: mnemonic, writes_rd, rs1, rs2, load, store, branch, jump, div, mul
+const std::array<RvOpInfo, static_cast<std::size_t>(Op::kCount)> kTable = {{
+    /* kAdd  */ {"add", true, true, true, false, false, false, false, false, false},
+    /* kSub  */ {"sub", true, true, true, false, false, false, false, false, false},
+    /* kSll  */ {"sll", true, true, true, false, false, false, false, false, false},
+    /* kSlt  */ {"slt", true, true, true, false, false, false, false, false, false},
+    /* kSltu */ {"sltu", true, true, true, false, false, false, false, false, false},
+    /* kXor  */ {"xor", true, true, true, false, false, false, false, false, false},
+    /* kSrl  */ {"srl", true, true, true, false, false, false, false, false, false},
+    /* kSra  */ {"sra", true, true, true, false, false, false, false, false, false},
+    /* kOr   */ {"or", true, true, true, false, false, false, false, false, false},
+    /* kAnd  */ {"and", true, true, true, false, false, false, false, false, false},
+    /* kMul  */ {"mul", true, true, true, false, false, false, false, false, true},
+    /* kMulh */ {"mulh", true, true, true, false, false, false, false, false, true},
+    /* kMulhu*/ {"mulhu", true, true, true, false, false, false, false, false, true},
+    /* kDiv  */ {"div", true, true, true, false, false, false, false, true, false},
+    /* kDivu */ {"divu", true, true, true, false, false, false, false, true, false},
+    /* kRem  */ {"rem", true, true, true, false, false, false, false, true, false},
+    /* kRemu */ {"remu", true, true, true, false, false, false, false, true, false},
+    /* kAddi */ {"addi", true, true, false, false, false, false, false, false, false},
+    /* kSlti */ {"slti", true, true, false, false, false, false, false, false, false},
+    /* kSltiu*/ {"sltiu", true, true, false, false, false, false, false, false, false},
+    /* kXori */ {"xori", true, true, false, false, false, false, false, false, false},
+    /* kOri  */ {"ori", true, true, false, false, false, false, false, false, false},
+    /* kAndi */ {"andi", true, true, false, false, false, false, false, false, false},
+    /* kSlli */ {"slli", true, true, false, false, false, false, false, false, false},
+    /* kSrli */ {"srli", true, true, false, false, false, false, false, false, false},
+    /* kSrai */ {"srai", true, true, false, false, false, false, false, false, false},
+    /* kLw   */ {"lw", true, true, false, true, false, false, false, false, false},
+    /* kJalr */ {"jalr", true, true, false, false, false, false, true, false, false},
+    /* kSw   */ {"sw", false, true, true, false, true, false, false, false, false},
+    /* kBeq  */ {"beq", false, true, true, false, false, true, false, false, false},
+    /* kBne  */ {"bne", false, true, true, false, false, true, false, false, false},
+    /* kBlt  */ {"blt", false, true, true, false, false, true, false, false, false},
+    /* kBge  */ {"bge", false, true, true, false, false, true, false, false, false},
+    /* kBltu */ {"bltu", false, true, true, false, false, true, false, false, false},
+    /* kBgeu */ {"bgeu", false, true, true, false, false, true, false, false, false},
+    /* kLui  */ {"lui", true, false, false, false, false, false, false, false, false},
+    /* kAuipc*/ {"auipc", true, false, false, false, false, false, false, false, false},
+    /* kJal  */ {"jal", true, false, false, false, false, false, true, false, false},
+    /* kEcall*/ {"ecall", false, false, false, false, false, false, false, false, false},
+}};
+
+struct EncodingRow {
+  std::uint8_t opcode7;
+  std::uint8_t funct3;
+  std::uint8_t funct7;
+};
+
+EncodingRow row_of(Op op) {
+  switch (op) {
+    case Op::kAdd: return {0x33, 0x0, 0x00};
+    case Op::kSub: return {0x33, 0x0, 0x20};
+    case Op::kSll: return {0x33, 0x1, 0x00};
+    case Op::kSlt: return {0x33, 0x2, 0x00};
+    case Op::kSltu: return {0x33, 0x3, 0x00};
+    case Op::kXor: return {0x33, 0x4, 0x00};
+    case Op::kSrl: return {0x33, 0x5, 0x00};
+    case Op::kSra: return {0x33, 0x5, 0x20};
+    case Op::kOr: return {0x33, 0x6, 0x00};
+    case Op::kAnd: return {0x33, 0x7, 0x00};
+    case Op::kMul: return {0x33, 0x0, 0x01};
+    case Op::kMulh: return {0x33, 0x1, 0x01};
+    case Op::kMulhu: return {0x33, 0x3, 0x01};
+    case Op::kDiv: return {0x33, 0x4, 0x01};
+    case Op::kDivu: return {0x33, 0x5, 0x01};
+    case Op::kRem: return {0x33, 0x6, 0x01};
+    case Op::kRemu: return {0x33, 0x7, 0x01};
+    case Op::kAddi: return {0x13, 0x0, 0x00};
+    case Op::kSlti: return {0x13, 0x2, 0x00};
+    case Op::kSltiu: return {0x13, 0x3, 0x00};
+    case Op::kXori: return {0x13, 0x4, 0x00};
+    case Op::kOri: return {0x13, 0x6, 0x00};
+    case Op::kAndi: return {0x13, 0x7, 0x00};
+    case Op::kSlli: return {0x13, 0x1, 0x00};
+    case Op::kSrli: return {0x13, 0x5, 0x00};
+    case Op::kSrai: return {0x13, 0x5, 0x20};
+    case Op::kLw: return {0x03, 0x2, 0x00};
+    case Op::kJalr: return {0x67, 0x0, 0x00};
+    case Op::kSw: return {0x23, 0x2, 0x00};
+    case Op::kBeq: return {0x63, 0x0, 0x00};
+    case Op::kBne: return {0x63, 0x1, 0x00};
+    case Op::kBlt: return {0x63, 0x4, 0x00};
+    case Op::kBge: return {0x63, 0x5, 0x00};
+    case Op::kBltu: return {0x63, 0x6, 0x00};
+    case Op::kBgeu: return {0x63, 0x7, 0x00};
+    case Op::kLui: return {0x37, 0x0, 0x00};
+    case Op::kAuipc: return {0x17, 0x0, 0x00};
+    case Op::kJal: return {0x6f, 0x0, 0x00};
+    case Op::kEcall: return {0x73, 0x0, 0x00};
+    case Op::kCount: break;
+  }
+  GPUP_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+const RvOpInfo& info(Op op) { return kTable[static_cast<std::size_t>(op)]; }
+
+std::uint32_t Instr::encode() const {
+  const EncodingRow row = row_of(op);
+  const auto u = [](std::int32_t v) { return static_cast<std::uint32_t>(v); };
+  const std::uint32_t opc = row.opcode7;
+  const std::uint32_t f3 = static_cast<std::uint32_t>(row.funct3) << 12;
+  const std::uint32_t rdf = static_cast<std::uint32_t>(rd & 31) << 7;
+  const std::uint32_t rs1f = static_cast<std::uint32_t>(rs1 & 31) << 15;
+  const std::uint32_t rs2f = static_cast<std::uint32_t>(rs2 & 31) << 20;
+
+  switch (row.opcode7) {
+    case 0x33:  // R-type
+      return (static_cast<std::uint32_t>(row.funct7) << 25) | rs2f | rs1f | f3 | rdf | opc;
+    case 0x13:  // I-type ALU (shifts put funct7 in imm[11:5])
+      if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) {
+        return (static_cast<std::uint32_t>(row.funct7) << 25) | ((u(imm) & 31) << 20) | rs1f |
+               f3 | rdf | opc;
+      }
+      [[fallthrough]];
+    case 0x03:
+    case 0x67:  // I-type
+      return ((u(imm) & 0xfff) << 20) | rs1f | f3 | rdf | opc;
+    case 0x23:  // S-type
+      return ((u(imm) >> 5 & 0x7f) << 25) | rs2f | rs1f | f3 | ((u(imm) & 0x1f) << 7) | opc;
+    case 0x63: {  // B-type
+      const std::uint32_t i = u(imm);
+      return ((i >> 12 & 1) << 31) | ((i >> 5 & 0x3f) << 25) | rs2f | rs1f | f3 |
+             ((i >> 1 & 0xf) << 8) | ((i >> 11 & 1) << 7) | opc;
+    }
+    case 0x37:
+    case 0x17:  // U-type
+      return (u(imm) << 12) | rdf | opc;
+    case 0x6f: {  // J-type
+      const std::uint32_t i = u(imm);
+      return ((i >> 20 & 1) << 31) | ((i >> 1 & 0x3ff) << 21) | ((i >> 11 & 1) << 20) |
+             ((i >> 12 & 0xff) << 12) | rdf | opc;
+    }
+    case 0x73:
+      return opc;  // ecall
+    default:
+      GPUP_CHECK(false);
+      return 0;
+  }
+}
+
+Instr Instr::decode(std::uint32_t word) {
+  const std::uint32_t opc = word & 0x7f;
+  const auto f3 = static_cast<std::uint8_t>(word >> 12 & 7);
+  const auto f7 = static_cast<std::uint8_t>(word >> 25 & 0x7f);
+
+  Instr out;
+  out.rd = static_cast<std::uint8_t>(word >> 7 & 31);
+  out.rs1 = static_cast<std::uint8_t>(word >> 15 & 31);
+  out.rs2 = static_cast<std::uint8_t>(word >> 20 & 31);
+
+  // Find the table entry with matching encoding. funct3 only exists for
+  // R/I/S/B formats; U- and J-type place immediate bits there.
+  const bool has_funct3 =
+      (opc == 0x33 || opc == 0x13 || opc == 0x03 || opc == 0x67 || opc == 0x23 || opc == 0x63);
+  for (int i = 0; i < static_cast<int>(Op::kCount); ++i) {
+    const auto candidate = static_cast<Op>(i);
+    const EncodingRow row = row_of(candidate);
+    if (row.opcode7 != opc) continue;
+    if (has_funct3 && row.funct3 != f3) continue;
+    const bool needs_f7 =
+        (opc == 0x33) || (opc == 0x13 && (candidate == Op::kSlli || candidate == Op::kSrli ||
+                                          candidate == Op::kSrai));
+    if (needs_f7 && row.funct7 != (opc == 0x13 ? (f7 & 0x7f) : f7)) continue;
+    out.op = candidate;
+    switch (opc) {
+      case 0x33: return out;
+      case 0x13:
+        if (candidate == Op::kSlli || candidate == Op::kSrli || candidate == Op::kSrai) {
+          out.imm = static_cast<std::int32_t>(word >> 20 & 31);
+          return out;
+        }
+        [[fallthrough]];
+      case 0x03:
+      case 0x67:
+        out.imm = sign_extend(word >> 20, 12);
+        return out;
+      case 0x23:
+        out.imm = sign_extend(((word >> 25 & 0x7f) << 5) | (word >> 7 & 0x1f), 12);
+        return out;
+      case 0x63:
+        out.imm = sign_extend(((word >> 31 & 1) << 12) | ((word >> 7 & 1) << 11) |
+                                  ((word >> 25 & 0x3f) << 5) | ((word >> 8 & 0xf) << 1),
+                              13);
+        return out;
+      case 0x37:
+      case 0x17:
+        out.imm = static_cast<std::int32_t>(word >> 12);
+        return out;
+      case 0x6f:
+        out.imm = sign_extend(((word >> 31 & 1) << 20) | ((word >> 12 & 0xff) << 12) |
+                                  ((word >> 20 & 1) << 11) | ((word >> 21 & 0x3ff) << 1),
+                              21);
+        return out;
+      case 0x73:
+        return out;
+      default:
+        break;
+    }
+  }
+  GPUP_CHECK_MSG(false, "cannot decode RV32IM word");
+  return out;
+}
+
+std::string Instr::to_string() const {
+  const RvOpInfo& i = info(op);
+  if (i.is_load) {
+    return format("%s %s, %d(%s)", i.mnemonic, rv_register_name(rd), imm,
+                  rv_register_name(rs1));
+  }
+  if (i.is_store) {
+    return format("%s %s, %d(%s)", i.mnemonic, rv_register_name(rs2), imm,
+                  rv_register_name(rs1));
+  }
+  if (i.is_branch) {
+    return format("%s %s, %s, %d", i.mnemonic, rv_register_name(rs1), rv_register_name(rs2),
+                  imm);
+  }
+  if (op == Op::kJal) return format("jal %s, %d", rv_register_name(rd), imm);
+  if (op == Op::kJalr)
+    return format("jalr %s, %d(%s)", rv_register_name(rd), imm, rv_register_name(rs1));
+  if (op == Op::kLui || op == Op::kAuipc)
+    return format("%s %s, %d", i.mnemonic, rv_register_name(rd), imm);
+  if (op == Op::kEcall) return "ecall";
+  if (i.reads_rs2) {
+    return format("%s %s, %s, %s", i.mnemonic, rv_register_name(rd), rv_register_name(rs1),
+                  rv_register_name(rs2));
+  }
+  return format("%s %s, %s, %d", i.mnemonic, rv_register_name(rd), rv_register_name(rs1), imm);
+}
+
+namespace {
+const char* kAbiNames[32] = {"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+                             "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+                             "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+                             "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+int parse_rv_register(const std::string& token) {
+  if (token.size() >= 2 && token[0] == 'x') {
+    int value = 0;
+    for (std::size_t i = 1; i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') return -1;
+      value = value * 10 + (token[i] - '0');
+    }
+    return value < 32 ? value : -1;
+  }
+  if (token == "fp") return 8;
+  for (int i = 0; i < 32; ++i) {
+    if (token == kAbiNames[i]) return i;
+  }
+  return -1;
+}
+
+const char* rv_register_name(int index) {
+  GPUP_CHECK(index >= 0 && index < 32);
+  return kAbiNames[index];
+}
+
+}  // namespace gpup::rv

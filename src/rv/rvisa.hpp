@@ -1,0 +1,59 @@
+// RV32IM subset: real RISC-V instruction encodings plus the static
+// properties the CV32E40P-class cycle model needs. This is the baseline
+// CPU of the paper's evaluation (OpenHW CV32E40P).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpup::rv {
+
+enum class Op : std::uint8_t {
+  // R-type
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // I-type
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kLw, kJalr,
+  // S-type / B-type / U-type / J-type
+  kSw, kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kLui, kAuipc, kJal,
+  // system
+  kEcall,  // used as HALT by the bare-metal harness
+  kCount
+};
+
+struct Instr {
+  Op op = Op::kAddi;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] std::uint32_t encode() const;
+  [[nodiscard]] static Instr decode(std::uint32_t word);
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct RvOpInfo {
+  const char* mnemonic;
+  bool writes_rd;
+  bool reads_rs1;
+  bool reads_rs2;
+  bool is_load;
+  bool is_store;
+  bool is_branch;
+  bool is_jump;
+  bool is_divide;
+  bool is_multiply;
+};
+
+[[nodiscard]] const RvOpInfo& info(Op op);
+
+/// Register-name parsing: "x0".."x31" and the standard ABI names
+/// (zero, ra, sp, gp, tp, t0-t6, s0-s11, a0-a7, fp).
+[[nodiscard]] int parse_rv_register(const std::string& token);
+
+/// Canonical ABI name for a register index.
+[[nodiscard]] const char* rv_register_name(int index);
+
+}  // namespace gpup::rv

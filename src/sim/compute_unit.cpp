@@ -1,0 +1,407 @@
+#include "src/sim/compute_unit.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/status.hpp"
+
+namespace gpup::sim {
+
+using isa::OpClass;
+using isa::Opcode;
+
+ComputeUnit::ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory,
+                         PerfCounters* counters, LaunchContext* ctx)
+    : id_(id), config_(config), memory_(memory), counters_(counters), ctx_(ctx) {
+  GPUP_CHECK(memory_ != nullptr && counters_ != nullptr && ctx_ != nullptr);
+  wavefronts_.resize(static_cast<std::size_t>(config_.max_wavefronts_per_cu));
+  lram_.resize(config_.lram_words_per_cu, 0);
+}
+
+bool ComputeUnit::Wavefront::finished() const {
+  for (int lane = 0; lane < lanes; ++lane) {
+    if (!done[static_cast<std::size_t>(lane)]) return false;
+  }
+  // Slots with loads in flight stay claimed so completion callbacks cannot
+  // land on a reassigned wavefront.
+  for (const auto& tracker : loads) {
+    if (tracker.pending_lines > 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t ComputeUnit::Wavefront::min_pc() const {
+  std::uint32_t best = ~0u;
+  for (int lane = 0; lane < lanes; ++lane) {
+    if (!done[static_cast<std::size_t>(lane)]) {
+      best = std::min(best, pc[static_cast<std::size_t>(lane)]);
+    }
+  }
+  return best;
+}
+
+int ComputeUnit::free_slots() const {
+  int free = 0;
+  for (const auto& wf : wavefronts_) {
+    if (!wf.valid || wf.finished()) ++free;
+  }
+  return free;
+}
+
+void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
+                                   std::uint32_t items) {
+  const auto wf_size = static_cast<std::uint32_t>(config_.wavefront_size);
+  std::uint32_t offset = 0;
+  while (offset < items) {
+    const std::uint32_t lanes = std::min(wf_size, items - offset);
+    Wavefront* slot = nullptr;
+    for (auto& wf : wavefronts_) {
+      if (!wf.valid || wf.finished()) {
+        slot = &wf;
+        break;
+      }
+    }
+    GPUP_CHECK_MSG(slot != nullptr, "assign_workgroup without free slots");
+    *slot = Wavefront{};
+    slot->valid = true;
+    slot->wg_id = wg_id;
+    slot->base_gid = base_gid + offset;
+    slot->lanes = static_cast<int>(lanes);
+    slot->regs.assign(static_cast<std::size_t>(lanes), {});
+    slot->reg_ready.fill(0);
+    offset += lanes;
+  }
+}
+
+void ComputeUnit::release_barriers() {
+  // A barrier opens once every live wavefront of the work-group on this CU
+  // has arrived (work-groups never span CUs).
+  std::set<std::uint32_t> candidate_wgs;
+  for (const auto& wf : wavefronts_) {
+    if (wf.valid && wf.at_barrier) candidate_wgs.insert(wf.wg_id);
+  }
+  for (std::uint32_t wg : candidate_wgs) {
+    bool all_arrived = true;
+    for (const auto& wf : wavefronts_) {
+      if (!wf.valid || wf.wg_id != wg || wf.finished()) continue;
+      if (!wf.at_barrier) {
+        all_arrived = false;
+        break;
+      }
+    }
+    if (all_arrived) {
+      for (auto& wf : wavefronts_) {
+        if (wf.valid && wf.wg_id == wg) wf.at_barrier = false;
+      }
+      ++counters_->barriers;
+    }
+  }
+}
+
+bool ComputeUnit::busy() const {
+  if (outstanding_stores_ > 0) return true;
+  for (const auto& wf : wavefronts_) {
+    if (wf.valid && !wf.finished()) return true;
+  }
+  return false;
+}
+
+void ComputeUnit::tick(std::uint64_t now) {
+  release_barriers();
+  if (pipe_free_ > now) {
+    ++busy_cycles_;
+    return;  // SIMD pipeline still streaming the previous wavefront op
+  }
+
+  const int slots = static_cast<int>(wavefronts_.size());
+  for (int i = 0; i < slots; ++i) {
+    Wavefront& wf = wavefronts_[static_cast<std::size_t>((next_wf_ + i) % slots)];
+    if (!wf.valid || wf.finished() || wf.at_barrier) continue;
+    if (try_issue(wf, now)) {
+      next_wf_ = (next_wf_ + i + 1) % slots;
+      ++busy_cycles_;
+      return;
+    }
+  }
+  // Nothing issued this cycle.
+  bool any_live = false;
+  for (const auto& wf : wavefronts_) {
+    if (wf.valid && !wf.finished()) {
+      any_live = true;
+      break;
+    }
+  }
+  if (any_live) ++counters_->stall_no_wavefront;
+}
+
+bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
+  const std::uint32_t pc = wf.min_pc();
+  GPUP_CHECK_MSG(pc < ctx_->program->size(), "wavefront ran off the end of the program");
+  const isa::Instruction instruction = ctx_->program->at(pc);
+  const isa::OpInfo& op = isa::info(instruction.opcode);
+
+  // Scoreboard: all sources ready, destination not pending (WAW).
+  auto busy = [&](std::uint8_t reg) { return wf.reg_ready[reg] > now; };
+  if ((op.reads_rs && busy(instruction.rs)) || (op.reads_rt && busy(instruction.rt)) ||
+      (op.reads_rd && busy(instruction.rd)) || (op.has_rd && busy(instruction.rd)) ||
+      (instruction.opcode == Opcode::kJr && busy(instruction.rs))) {
+    ++counters_->stall_scoreboard;
+    return false;
+  }
+
+  // Active subset: lanes whose pc equals the minimum.
+  int active = 0;
+  for (int lane = 0; lane < wf.lanes; ++lane) {
+    if (!wf.done[static_cast<std::size_t>(lane)] &&
+        wf.pc[static_cast<std::size_t>(lane)] == pc) {
+      ++active;
+    }
+  }
+  GPUP_CHECK(active > 0);
+
+  // Global memory ops must fit in the cache bank queues and store buffer.
+  if (op.op_class == OpClass::kGlobalMem) {
+    std::set<std::uint64_t> lines;
+    for (int lane = 0; lane < wf.lanes; ++lane) {
+      if (wf.done[static_cast<std::size_t>(lane)] ||
+          wf.pc[static_cast<std::size_t>(lane)] != pc) {
+        continue;
+      }
+      const std::uint32_t addr =
+          wf.regs[static_cast<std::size_t>(lane)][instruction.rs] +
+          static_cast<std::uint32_t>(instruction.imm);
+      lines.insert(addr / config_.cache_line_bytes);
+    }
+    // All coalesced lines must fit into their bank queues at once — the
+    // LSU injects the whole gather/scatter atomically.
+    bool fits = true;
+    {
+      std::vector<int> extra(config_.cache_banks, 0);
+      for (std::uint64_t line : lines) {
+        const auto bank = memory_->bank_of(line);
+        ++extra[bank];
+        if (!memory_->accepts(bank, extra[bank])) {
+          fits = false;
+          break;
+        }
+      }
+    }
+    // Store buffer back-pressure; a drained buffer accepts an oversized
+    // scatter in one burst (mirrors the bank-queue burst rule).
+    if (instruction.opcode == Opcode::kSw && outstanding_stores_ > 0 &&
+        outstanding_stores_ + static_cast<int>(lines.size()) >
+            static_cast<int>(config_.max_outstanding_stores)) {
+      fits = false;
+    }
+    if (!fits) {
+      ++counters_->stall_mem_queue;
+      return false;
+    }
+  }
+
+  // Barriers require the whole wavefront to arrive together (divergent
+  // barriers are undefined in the SIMT model, as in OpenCL).
+  if (instruction.opcode == Opcode::kBar) {
+    GPUP_CHECK_MSG(active == [&] {
+      int alive = 0;
+      for (int lane = 0; lane < wf.lanes; ++lane) {
+        if (!wf.done[static_cast<std::size_t>(lane)]) ++alive;
+      }
+      return alive;
+    }(), "barrier reached by a divergent subset");
+  }
+
+  execute(wf, instruction, pc, now, active);
+
+  // Occupancy: every instruction streams wavefront_size/pes beats through
+  // the SIMD pipeline; the iterative divider holds it longer.
+  int beats = config_.beats_per_instruction();
+  if (op.op_class == OpClass::kDiv) beats *= config_.div_beats_factor;
+  pipe_free_ = now + static_cast<std::uint64_t>(beats);
+
+  ++counters_->wf_instructions;
+  counters_->item_instructions += static_cast<std::uint64_t>(active);
+  int alive = 0;
+  for (int lane = 0; lane < wf.lanes; ++lane) {
+    if (!wf.done[static_cast<std::size_t>(lane)]) ++alive;
+  }
+  if (active < alive) ++counters_->divergent_issues;
+  return true;
+}
+
+void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc,
+                          std::uint64_t now, int active_lanes) {
+  const isa::OpInfo& op = isa::info(ins.opcode);
+  const auto uimm16 = static_cast<std::uint32_t>(ins.imm) & 0xffffu;
+
+  // Loads gather distinct cache lines; completion wakes the dest register.
+  std::set<std::uint64_t> load_lines;
+  std::set<std::uint64_t> store_lines;
+
+  for (int lane = 0; lane < wf.lanes; ++lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    if (wf.done[l] || wf.pc[l] != pc) continue;
+    auto& regs = wf.regs[l];
+    auto rd = [&]() -> std::uint32_t& { return regs[ins.rd]; };
+    const std::uint32_t rs_v = regs[ins.rs];
+    const std::uint32_t rt_v = regs[ins.rt];
+    const auto rs_s = static_cast<std::int32_t>(rs_v);
+    const auto rt_s = static_cast<std::int32_t>(rt_v);
+    std::uint32_t next_pc = pc + 1;
+
+    switch (ins.opcode) {
+      case Opcode::kNop: break;
+      case Opcode::kAdd: rd() = rs_v + rt_v; break;
+      case Opcode::kSub: rd() = rs_v - rt_v; break;
+      case Opcode::kMul: rd() = rs_v * rt_v; break;
+      case Opcode::kMulhu:
+        rd() = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(rs_v) * rt_v) >> 32);
+        break;
+      case Opcode::kAnd: rd() = rs_v & rt_v; break;
+      case Opcode::kOr: rd() = rs_v | rt_v; break;
+      case Opcode::kXor: rd() = rs_v ^ rt_v; break;
+      case Opcode::kNor: rd() = ~(rs_v | rt_v); break;
+      case Opcode::kSll: rd() = rs_v << (rt_v & 31); break;
+      case Opcode::kSrl: rd() = rs_v >> (rt_v & 31); break;
+      case Opcode::kSra: rd() = static_cast<std::uint32_t>(rs_s >> (rt_v & 31)); break;
+      case Opcode::kSlt: rd() = (rs_s < rt_s) ? 1 : 0; break;
+      case Opcode::kSltu: rd() = (rs_v < rt_v) ? 1 : 0; break;
+      case Opcode::kDiv:
+        GPUP_CHECK_MSG(config_.hw_divider, "div executed without hw_divider enabled");
+        rd() = (rt_v == 0) ? 0xffffffffu
+                           : static_cast<std::uint32_t>(rs_s / rt_s);
+        break;
+      case Opcode::kRem:
+        GPUP_CHECK_MSG(config_.hw_divider, "rem executed without hw_divider enabled");
+        rd() = (rt_v == 0) ? rs_v : static_cast<std::uint32_t>(rs_s % rt_s);
+        break;
+      case Opcode::kAddi: rd() = rs_v + static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kAndi: rd() = rs_v & uimm16; break;
+      case Opcode::kOri: rd() = rs_v | uimm16; break;
+      case Opcode::kXori: rd() = rs_v ^ uimm16; break;
+      case Opcode::kSlti: rd() = (rs_s < ins.imm) ? 1 : 0; break;
+      case Opcode::kSltiu: rd() = (rs_v < static_cast<std::uint32_t>(ins.imm)) ? 1 : 0; break;
+      case Opcode::kSlli: rd() = rs_v << (ins.imm & 31); break;
+      case Opcode::kSrli: rd() = rs_v >> (ins.imm & 31); break;
+      case Opcode::kSrai: rd() = static_cast<std::uint32_t>(rs_s >> (ins.imm & 31)); break;
+      case Opcode::kLui: rd() = uimm16 << 16; break;
+      case Opcode::kLw: {
+        const std::uint32_t addr = rs_v + static_cast<std::uint32_t>(ins.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0, "unaligned global load");
+        GPUP_CHECK_MSG(addr / 4 < ctx_->global_mem->size(), "global load out of bounds");
+        rd() = (*ctx_->global_mem)[addr / 4];
+        load_lines.insert(addr / config_.cache_line_bytes);
+        break;
+      }
+      case Opcode::kSw: {
+        const std::uint32_t addr = rs_v + static_cast<std::uint32_t>(ins.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0, "unaligned global store");
+        GPUP_CHECK_MSG(addr / 4 < ctx_->global_mem->size(), "global store out of bounds");
+        (*ctx_->global_mem)[addr / 4] = regs[ins.rd];
+        store_lines.insert(addr / config_.cache_line_bytes);
+        break;
+      }
+      case Opcode::kLwl: {
+        const std::uint32_t addr = rs_v + static_cast<std::uint32_t>(ins.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0 && addr / 4 < lram_.size(), "bad LRAM load");
+        rd() = lram_[addr / 4];
+        break;
+      }
+      case Opcode::kSwl: {
+        const std::uint32_t addr = rs_v + static_cast<std::uint32_t>(ins.imm);
+        GPUP_CHECK_MSG(addr % 4 == 0 && addr / 4 < lram_.size(), "bad LRAM store");
+        lram_[addr / 4] = regs[ins.rd];
+        break;
+      }
+      case Opcode::kBeq:
+        if (regs[ins.rd] == rs_v) next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kBne:
+        if (regs[ins.rd] != rs_v) next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kBlt:
+        if (static_cast<std::int32_t>(regs[ins.rd]) < rs_s)
+          next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kBge:
+        if (static_cast<std::int32_t>(regs[ins.rd]) >= rs_s)
+          next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kBltu:
+        if (regs[ins.rd] < rs_v) next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kBgeu:
+        if (regs[ins.rd] >= rs_v) next_pc = pc + 1 + static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJmp: next_pc = static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kJal:
+        regs[isa::kLinkRegister] = pc + 1;
+        next_pc = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJr: next_pc = rs_v; break;
+      case Opcode::kTid: rd() = wf.base_gid + static_cast<std::uint32_t>(lane); break;
+      case Opcode::kLid:
+        rd() = (wf.base_gid + static_cast<std::uint32_t>(lane)) -
+               wf.wg_id * ctx_->wg_size;
+        break;
+      case Opcode::kWgid: rd() = wf.wg_id; break;
+      case Opcode::kWgsize: rd() = ctx_->wg_size; break;
+      case Opcode::kGsize: rd() = ctx_->global_size; break;
+      case Opcode::kParam: {
+        const auto index = static_cast<std::size_t>(ins.imm);
+        GPUP_CHECK_MSG(index < ctx_->params.size(), "kernel parameter index out of range");
+        rd() = ctx_->params[index];
+        break;
+      }
+      case Opcode::kBar: break;
+      case Opcode::kRet: wf.done[l] = true; break;
+      case Opcode::kCount: GPUP_CHECK(false); break;
+    }
+    regs[0] = 0;  // r0 stays hard-wired zero
+    if (!wf.done[l]) wf.pc[l] = next_pc;
+  }
+  (void)active_lanes;
+
+  // --- timing side-effects ------------------------------------------------
+  if (ins.opcode == Opcode::kBar) wf.at_barrier = true;
+
+  if (op.has_rd && ins.opcode != Opcode::kLw) {
+    wf.reg_ready[ins.rd] = now + static_cast<std::uint64_t>(op.result_latency);
+  }
+
+  if (ins.opcode == Opcode::kLw) {
+    ++counters_->loads;
+    counters_->load_lines += load_lines.size();
+    wf.reg_ready[ins.rd] = kNever;
+    // Compact retired trackers so long-running kernels don't accumulate.
+    std::erase_if(wf.loads, [](const LoadTracker& t) { return t.pending_lines == 0; });
+    wf.loads.push_back({ins.rd, static_cast<int>(load_lines.size()), 0});
+    auto* tracker_wf = &wf;
+    const std::uint8_t dest = ins.rd;
+    for (std::uint64_t line : load_lines) {
+      memory_->request(line, false, [tracker_wf, dest, this](std::uint64_t done) {
+        for (auto& tracker : tracker_wf->loads) {
+          if (tracker.reg == dest && tracker.pending_lines > 0) {
+            tracker.latest = std::max(tracker.latest, done);
+            if (--tracker.pending_lines == 0) {
+              tracker_wf->reg_ready[dest] = tracker.latest + 2;  // return crossbar
+              tracker.reg = 0xff;                                // retire tracker
+            }
+            break;
+          }
+        }
+      });
+    }
+  }
+  if (ins.opcode == Opcode::kSw) {
+    ++counters_->stores;
+    counters_->store_lines += store_lines.size();
+    outstanding_stores_ += static_cast<int>(store_lines.size());
+    for (std::uint64_t line : store_lines) {
+      memory_->request(line, true, [this](std::uint64_t) { --outstanding_stores_; });
+    }
+  }
+}
+
+}  // namespace gpup::sim

@@ -1,0 +1,100 @@
+// One Compute Unit: a SIMD machine of 8 identical PEs executing 64-item
+// wavefronts over 8 beats per instruction, with up to 8 resident
+// wavefronts, scoreboarded registers, and *full thread divergence*:
+// every work-item keeps its own PC and the issue logic executes the subset
+// of lanes at the minimum PC (min-PC reconvergence), which is how the
+// FGPU lets "each work-item take a different path in the control flow
+// graph" without a reconvergence stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/program.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/counters.hpp"
+#include "src/sim/memory_system.hpp"
+
+namespace gpup::sim {
+
+/// Everything a running kernel needs, shared across CUs.
+struct LaunchContext {
+  const isa::Program* program = nullptr;
+  std::vector<std::uint32_t>* global_mem = nullptr;  ///< word-addressed backing store
+  std::vector<std::uint32_t> params;                 ///< RTM kernel arguments
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 0;
+};
+
+class ComputeUnit {
+ public:
+  ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory, PerfCounters* counters,
+              LaunchContext* ctx);
+
+  /// Free wavefront slots right now.
+  [[nodiscard]] int free_slots() const;
+
+  /// Claim slots for one work-group (`items` work-items starting at
+  /// `base_gid`). Caller must have checked free_slots().
+  void assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid, std::uint32_t items);
+
+  /// Advance one cycle: release barriers, then try to issue.
+  void tick(std::uint64_t now);
+
+  /// Any resident wavefront still executing, or stores in flight.
+  [[nodiscard]] bool busy() const;
+
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  static constexpr std::uint64_t kNever = ~0ull;
+  static constexpr int kMaxLanes = 64;
+
+  struct LoadTracker {
+    std::uint8_t reg = 0;
+    int pending_lines = 0;
+    std::uint64_t latest = 0;
+  };
+
+  struct Wavefront {
+    bool valid = false;
+    std::uint32_t wg_id = 0;
+    std::uint32_t base_gid = 0;
+    int lanes = 0;  ///< live lanes (last wavefront of a WG may be partial)
+    std::array<std::uint32_t, kMaxLanes> pc{};
+    std::array<bool, kMaxLanes> done{};
+    std::vector<std::array<std::uint32_t, 32>> regs;  ///< [lane][reg]
+    std::array<std::uint64_t, 32> reg_ready{};
+    std::vector<LoadTracker> loads;
+    bool at_barrier = false;
+
+    [[nodiscard]] bool finished() const;
+    [[nodiscard]] std::uint32_t min_pc() const;
+  };
+
+  /// Try to issue from wavefront `wf`; true if an instruction issued.
+  bool try_issue(Wavefront& wf, std::uint64_t now);
+
+  /// Execute `instruction` functionally on all lanes of `wf` whose pc
+  /// equals `pc` (the min-PC subset).
+  void execute(Wavefront& wf, const isa::Instruction& instruction, std::uint32_t pc,
+               std::uint64_t now, int active_lanes);
+
+  void release_barriers();
+
+  int id_;
+  GpuConfig config_;
+  MemorySystem* memory_;
+  PerfCounters* counters_;
+  LaunchContext* ctx_;
+
+  std::vector<Wavefront> wavefronts_;
+  std::vector<std::uint32_t> lram_;  ///< CU-local scratchpad, word-addressed
+  std::uint64_t pipe_free_ = 0;      ///< SIMD pipeline occupancy
+  int outstanding_stores_ = 0;
+  int next_wf_ = 0;                  ///< round-robin pointer
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace gpup::sim

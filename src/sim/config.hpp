@@ -1,0 +1,56 @@
+// Microarchitecture configuration of the simulated G-GPU.
+//
+// Defaults model the FGPU-class architecture of the paper: 8 PEs per CU,
+// 64-work-item wavefronts (8 beats through the SIMD pipeline per
+// instruction), up to 8 resident wavefronts (512 work-items) per CU, a
+// shared direct-mapped write-back data cache with multiple banks, and up
+// to four AXI data ports into DRAM.
+#pragma once
+
+#include <cstdint>
+
+namespace gpup::sim {
+
+struct GpuConfig {
+  // --- compute --------------------------------------------------------
+  int cu_count = 1;              ///< 1..8 (matches GPUPlanner's range)
+  int pes_per_cu = 8;
+  int wavefront_size = 64;
+  int max_wavefronts_per_cu = 8; ///< 512 work-items per CU
+
+  bool hw_divider = false;       ///< optional iterative divider in the PE
+  int div_beats_factor = 4;      ///< divider occupies factor x normal beats
+
+  // --- data cache (shared, direct-mapped, write-back) ------------------
+  // Performance-model default is the FGPU-class small shared cache (the
+  // configuration whose contention reproduces the paper's Table III
+  // saturation/inversion shapes); the ASIC Table-I configuration
+  // provisions a larger 64 KB / 4-bank cache — both are reachable here.
+  std::uint32_t cache_bytes = 8 * 1024;
+  std::uint32_t cache_line_bytes = 32;
+  std::uint32_t cache_banks = 2;
+  std::uint32_t cache_hit_latency = 4;
+  std::uint32_t cache_queue_depth = 8;   ///< per bank
+  std::uint32_t mshr_per_bank = 16;
+
+  // --- global memory (AXI data interfaces + DRAM) ----------------------
+  std::uint32_t axi_ports = 4;
+  std::uint32_t dram_latency = 60;       ///< fixed access latency, cycles
+  std::uint32_t dram_bytes_per_cycle = 8;  ///< per AXI port
+  std::uint32_t global_mem_bytes = 16 * 1024 * 1024;
+
+  // --- local scratchpad -------------------------------------------------
+  std::uint32_t lram_words_per_cu = 16384;
+
+  // --- misc --------------------------------------------------------------
+  std::uint32_t max_outstanding_stores = 16;  ///< per CU
+  std::uint64_t max_cycles = 1ull << 31;      ///< watchdog
+
+  [[nodiscard]] int beats_per_instruction() const { return wavefront_size / pes_per_cu; }
+  [[nodiscard]] std::uint32_t words_per_line() const { return cache_line_bytes / 4; }
+  [[nodiscard]] std::uint32_t line_transfer_cycles() const {
+    return cache_line_bytes / dram_bytes_per_cycle;
+  }
+};
+
+}  // namespace gpup::sim

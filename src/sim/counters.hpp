@@ -1,0 +1,38 @@
+// Performance counters exposed by the simulator (the "hardware" counters a
+// G-GPU integrator would read over the AXI control interface).
+#pragma once
+
+#include <cstdint>
+
+namespace gpup::sim {
+
+struct PerfCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t wf_instructions = 0;     ///< wavefront-level issues
+  std::uint64_t item_instructions = 0;   ///< per-work-item executed ops
+  std::uint64_t loads = 0;               ///< load instructions issued
+  std::uint64_t stores = 0;
+  std::uint64_t load_lines = 0;          ///< coalesced cache-line requests
+  std::uint64_t store_lines = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t dram_fills = 0;
+  std::uint64_t dram_writebacks = 0;
+  std::uint64_t stall_scoreboard = 0;    ///< issue slots lost to hazards
+  std::uint64_t stall_mem_queue = 0;     ///< issue slots lost to full queues
+  std::uint64_t stall_no_wavefront = 0;  ///< no ready wavefront
+  std::uint64_t barriers = 0;
+  std::uint64_t divergent_issues = 0;    ///< issues with a partial lane mask
+  std::uint64_t workgroups_dispatched = 0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+  [[nodiscard]] double ipc_items() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(item_instructions) / static_cast<double>(cycles);
+  }
+};
+
+}  // namespace gpup::sim

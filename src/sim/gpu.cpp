@@ -1,0 +1,103 @@
+#include "src/sim/gpu.hpp"
+
+#include <algorithm>
+
+#include "src/util/bits.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::sim {
+
+Gpu::Gpu(GpuConfig config) : config_(config) {
+  GPUP_CHECK(config_.cu_count >= 1);
+  GPUP_CHECK(config_.wavefront_size % config_.pes_per_cu == 0);
+  mem_.resize(config_.global_mem_bytes / 4, 0);
+}
+
+std::uint32_t Gpu::alloc(std::uint32_t bytes) {
+  const auto line = config_.cache_line_bytes;
+  const auto addr = static_cast<std::uint32_t>(ceil_div(alloc_next_, line) * line);
+  GPUP_CHECK_MSG(addr + bytes <= config_.global_mem_bytes, "global memory exhausted");
+  alloc_next_ = addr + bytes;
+  return addr;
+}
+
+void Gpu::write(std::uint32_t byte_addr, std::span<const std::uint32_t> words) {
+  GPUP_CHECK(byte_addr % 4 == 0);
+  GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
+  std::copy(words.begin(), words.end(), mem_.begin() + byte_addr / 4);
+}
+
+void Gpu::read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
+  GPUP_CHECK(byte_addr % 4 == 0);
+  GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
+  std::copy_n(mem_.begin() + byte_addr / 4, words.size(), words.begin());
+}
+
+void Gpu::reset_allocator() { alloc_next_ = 0; }
+
+LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint32_t>& params,
+                        std::uint32_t global_size, std::uint32_t wg_size) {
+  GPUP_CHECK_MSG(!program.empty(), "empty kernel program");
+  GPUP_CHECK_MSG(global_size > 0, "empty NDRange");
+  const auto max_wg =
+      static_cast<std::uint32_t>(config_.wavefront_size * config_.max_wavefronts_per_cu);
+  GPUP_CHECK_MSG(wg_size >= 1 && wg_size <= max_wg, "work-group size outside CU capacity");
+
+  PerfCounters counters;
+  LaunchContext ctx{&program, &mem_, params, global_size, wg_size};
+  MemorySystem memory(config_, &counters);
+
+  std::vector<ComputeUnit> cus;
+  cus.reserve(static_cast<std::size_t>(config_.cu_count));
+  for (int cu = 0; cu < config_.cu_count; ++cu) {
+    cus.emplace_back(cu, config_, &memory, &counters, &ctx);
+  }
+
+  const std::uint32_t wg_count =
+      static_cast<std::uint32_t>(ceil_div(global_size, wg_size));
+  std::uint32_t next_wg = 0;
+  int dispatch_cu = 0;
+
+  std::uint64_t cycle = 0;
+  while (true) {
+    // WG dispatcher: one work-group per cycle onto a CU with enough free
+    // wavefront slots (round-robin over CUs).
+    if (next_wg < wg_count) {
+      const std::uint32_t base = next_wg * wg_size;
+      const std::uint32_t items = std::min(wg_size, global_size - base);
+      const int slots_needed =
+          static_cast<int>(ceil_div(items, static_cast<std::uint32_t>(config_.wavefront_size)));
+      for (int probe = 0; probe < config_.cu_count; ++probe) {
+        const int cu = (dispatch_cu + probe) % config_.cu_count;
+        if (cus[static_cast<std::size_t>(cu)].free_slots() >= slots_needed) {
+          cus[static_cast<std::size_t>(cu)].assign_workgroup(next_wg, base, items);
+          ++next_wg;
+          ++counters.workgroups_dispatched;
+          dispatch_cu = (cu + 1) % config_.cu_count;
+          break;
+        }
+      }
+    }
+
+    memory.tick(cycle);
+    for (auto& cu : cus) cu.tick(cycle);
+    ++cycle;
+
+    if (next_wg == wg_count) {
+      bool busy = !memory.idle();
+      for (const auto& cu : cus) busy = busy || cu.busy();
+      if (!busy) break;
+    }
+    GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
+  }
+
+  counters.cycles = cycle;
+  LaunchStats stats;
+  stats.cycles = cycle;
+  stats.global_size = global_size;
+  stats.wg_size = wg_size;
+  stats.counters = counters;
+  return stats;
+}
+
+}  // namespace gpup::sim

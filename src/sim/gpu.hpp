@@ -1,0 +1,58 @@
+// Top-level G-GPU simulator: global memory, runtime memory (kernel
+// descriptors), work-group dispatcher, compute units, shared cache and
+// memory controller, driven by a single cycle loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/isa/program.hpp"
+#include "src/sim/compute_unit.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/counters.hpp"
+#include "src/sim/memory_system.hpp"
+
+namespace gpup::sim {
+
+struct LaunchStats {
+  std::uint64_t cycles = 0;
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 0;
+  PerfCounters counters;
+
+  [[nodiscard]] double cycles_per_item() const {
+    return global_size == 0 ? 0.0
+                            : static_cast<double>(cycles) / static_cast<double>(global_size);
+  }
+};
+
+class Gpu {
+ public:
+  explicit Gpu(GpuConfig config);
+
+  [[nodiscard]] const GpuConfig& config() const { return config_; }
+
+  // ---- global memory (byte-addressed API, word-backed) -----------------
+  /// Bump-allocate `bytes` of global memory, cache-line aligned; returns
+  /// the byte address.
+  [[nodiscard]] std::uint32_t alloc(std::uint32_t bytes);
+  void write(std::uint32_t byte_addr, std::span<const std::uint32_t> words);
+  void read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const;
+  void reset_allocator();
+
+  /// Launch a kernel over a flat NDRange and simulate to completion.
+  /// `params` are the kernel arguments visible through the PARAM
+  /// instruction (buffer addresses, sizes, constants...).
+  [[nodiscard]] LaunchStats launch(const isa::Program& program,
+                                   const std::vector<std::uint32_t>& params,
+                                   std::uint32_t global_size, std::uint32_t wg_size);
+
+ private:
+  GpuConfig config_;
+  std::vector<std::uint32_t> mem_;
+  std::uint32_t alloc_next_ = 0;
+};
+
+}  // namespace gpup::sim

@@ -1,0 +1,137 @@
+#include "src/sim/memory_system.hpp"
+
+#include <algorithm>
+
+#include "src/util/status.hpp"
+
+namespace gpup::sim {
+
+MemorySystem::MemorySystem(const GpuConfig& config, PerfCounters* counters)
+    : config_(config), counters_(counters) {
+  GPUP_CHECK(counters_ != nullptr);
+  GPUP_CHECK(config_.cache_bytes % config_.cache_line_bytes == 0);
+  const auto total_lines = config_.cache_bytes / config_.cache_line_bytes;
+  GPUP_CHECK(total_lines % config_.cache_banks == 0);
+  lines_.resize(total_lines);
+  bank_queues_.resize(config_.cache_banks);
+  bank_mshrs_.resize(config_.cache_banks);
+  axi_port_free_.resize(config_.axi_ports, 0);
+}
+
+std::uint32_t MemorySystem::set_index(std::uint64_t line_addr) const {
+  // Bank-interleaved direct-mapped: line -> (bank, set within bank).
+  const auto bank = bank_of(line_addr);
+  const auto sets_per_bank =
+      (config_.cache_bytes / config_.cache_line_bytes) / config_.cache_banks;
+  const auto set = (line_addr / config_.cache_banks) % sets_per_bank;
+  return static_cast<std::uint32_t>(bank * sets_per_bank + set);
+}
+
+bool MemorySystem::can_accept(std::uint64_t line_addr) const {
+  return accepts(bank_of(line_addr), 1);
+}
+
+bool MemorySystem::accepts(std::uint32_t bank, int n) const {
+  // Normal back-pressure: the request must fit the bank queue. A fully
+  // drained bank additionally accepts an oversized burst (a 64-lane
+  // scatter can touch more lines than the queue depth; it then drains at
+  // one request per cycle like the real LSU would).
+  const auto& queue = bank_queues_[bank];
+  if (queue.empty()) return true;
+  return queue.size() + static_cast<std::size_t>(n) <= config_.cache_queue_depth;
+}
+
+void MemorySystem::request(std::uint64_t line_addr, bool is_store, Callback on_done) {
+  auto& queue = bank_queues_[bank_of(line_addr)];
+  // Oversized bursts into a drained bank are legal (see accepts()).
+  queue.push_back({line_addr, is_store, std::move(on_done)});
+}
+
+std::uint64_t MemorySystem::schedule_axi(std::uint64_t now) {
+  auto& best = *std::min_element(axi_port_free_.begin(), axi_port_free_.end());
+  const std::uint64_t start = std::max(now, best);
+  best = start + config_.line_transfer_cycles();
+  return start + config_.dram_latency + config_.line_transfer_cycles();
+}
+
+void MemorySystem::tick(std::uint64_t now) {
+  for (std::uint32_t bank = 0; bank < config_.cache_banks; ++bank) {
+    // Retire completed fills.
+    auto& mshrs = bank_mshrs_[bank];
+    for (std::size_t i = 0; i < mshrs.size();) {
+      if (mshrs[i].fill_done <= now) {
+        CacheLine& line = lines_[set_index(mshrs[i].line_addr)];
+        line.tag = mshrs[i].line_addr;
+        line.valid = true;
+        line.dirty = mshrs[i].make_dirty;
+        const std::uint64_t done = now + config_.cache_hit_latency;
+        for (auto& waiter : mshrs[i].waiters) waiter(done);
+        --inflight_;
+        mshrs[i] = std::move(mshrs.back());
+        mshrs.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Serve one request per bank per cycle.
+    auto& queue = bank_queues_[bank];
+    if (queue.empty()) continue;
+    Request request = std::move(queue.front());
+    queue.pop_front();
+
+    CacheLine& line = lines_[set_index(request.line_addr)];
+    if (line.valid && line.tag == request.line_addr) {
+      ++counters_->cache_hits;
+      if (request.is_store) line.dirty = true;
+      if (request.on_done) request.on_done(now + config_.cache_hit_latency);
+      continue;
+    }
+
+    // Merge into an in-flight fill of the same line if one exists.
+    Mshr* open = nullptr;
+    for (auto& mshr : mshrs) {
+      if (mshr.line_addr == request.line_addr) {
+        open = &mshr;
+        break;
+      }
+    }
+    if (open != nullptr) {
+      ++counters_->cache_misses;  // secondary miss, merged
+      if (request.on_done) open->waiters.push_back(std::move(request.on_done));
+      open->make_dirty |= request.is_store;
+      continue;
+    }
+    if (mshrs.size() >= config_.mshr_per_bank) {
+      // No MSHR: retry next cycle (request returns to queue head; the miss
+      // is counted when it is actually handled, not per retry).
+      queue.push_front(std::move(request));
+      continue;
+    }
+    ++counters_->cache_misses;
+    // Evict the victim; dirty lines write back through the data movers.
+    if (line.valid && line.dirty) {
+      ++counters_->dram_writebacks;
+      (void)schedule_axi(now);  // consumes port bandwidth, no one waits
+    }
+    line.valid = false;
+    ++counters_->dram_fills;
+    Mshr mshr;
+    mshr.line_addr = request.line_addr;
+    mshr.fill_done = schedule_axi(now);
+    mshr.make_dirty = request.is_store;
+    if (request.on_done) mshr.waiters.push_back(std::move(request.on_done));
+    mshrs.push_back(std::move(mshr));
+    ++inflight_;
+  }
+}
+
+bool MemorySystem::idle() const {
+  if (inflight_ != 0) return false;
+  for (const auto& queue : bank_queues_) {
+    if (!queue.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace gpup::sim

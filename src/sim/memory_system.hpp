@@ -1,0 +1,84 @@
+// Shared data cache + global memory controller + AXI/DRAM timing model.
+//
+// The cache is the paper's "central, direct-mapped, multi-port, write-back
+// system that can serve multiple read/write requests simultaneously":
+// multi-port is realised by bank interleaving on line address; misses go
+// through the memory controller's data movers onto up to four AXI data
+// ports (fixed DRAM latency + per-port line transfer occupancy).
+//
+// Timing only — data moves functionally in the Gpu core. Completion is
+// reported through callbacks invoked during tick().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/config.hpp"
+#include "src/sim/counters.hpp"
+
+namespace gpup::sim {
+
+class MemorySystem {
+ public:
+  using Callback = std::function<void(std::uint64_t done_cycle)>;
+
+  MemorySystem(const GpuConfig& config, PerfCounters* counters);
+
+  /// Bank a line address maps to.
+  [[nodiscard]] std::uint32_t bank_of(std::uint64_t line_addr) const {
+    return static_cast<std::uint32_t>(line_addr % config_.cache_banks);
+  }
+
+  /// True if bank queues can absorb one more request for this line.
+  [[nodiscard]] bool can_accept(std::uint64_t line_addr) const;
+
+  /// True if `bank` can absorb `n` more requests this cycle.
+  [[nodiscard]] bool accepts(std::uint32_t bank, int n) const;
+
+  /// Enqueue a line request (load fill or store allocate). `on_done` fires
+  /// during a later tick with the completion cycle.
+  void request(std::uint64_t line_addr, bool is_store, Callback on_done);
+
+  /// Advance one cycle.
+  void tick(std::uint64_t now);
+
+  /// True if all queues, MSHRs and in-flight DRAM traffic drained.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Request {
+    std::uint64_t line_addr = 0;
+    bool is_store = false;
+    Callback on_done;
+  };
+  struct CacheLine {
+    std::uint64_t tag = ~0ull;
+    bool valid = false;
+    bool dirty = false;
+  };
+  struct Mshr {
+    std::uint64_t line_addr = 0;
+    std::uint64_t fill_done = 0;
+    bool make_dirty = false;
+    std::vector<Callback> waiters;
+  };
+
+  /// Schedule one line transfer on the least-loaded AXI port; returns the
+  /// completion cycle.
+  std::uint64_t schedule_axi(std::uint64_t now);
+
+  [[nodiscard]] std::uint32_t set_index(std::uint64_t line_addr) const;
+
+  GpuConfig config_;
+  PerfCounters* counters_;
+  std::vector<std::deque<Request>> bank_queues_;
+  std::vector<std::vector<Mshr>> bank_mshrs_;
+  std::vector<CacheLine> lines_;          // direct-mapped, all banks
+  std::vector<std::uint64_t> axi_port_free_;
+  std::uint64_t inflight_ = 0;            // outstanding fills
+};
+
+}  // namespace gpup::sim

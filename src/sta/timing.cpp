@@ -1,0 +1,66 @@
+#include "src/sta/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bits.hpp"
+
+namespace gpup::sta {
+
+PathTiming TimingAnalyzer::evaluate(const netlist::Netlist& design,
+                                    const netlist::TimingPath& path,
+                                    double wire_distance_mm) const {
+  const auto& cells = technology_->cells;
+
+  PathTiming timing;
+  timing.name = path.name;
+  timing.partition = path.partition;
+  timing.launch = "FF";
+
+  if (!path.start_mem_class.empty()) {
+    const netlist::MemInstance* macro = design.slowest_of_class(path.start_mem_class);
+    GPUP_CHECK_MSG(macro != nullptr, "path launches from unknown memory class " +
+                                         path.start_mem_class);
+    timing.launch = to_string(macro->macro.request);
+    const unsigned mux_levels = ceil_log2(static_cast<std::uint64_t>(macro->division_factor));
+    timing.memory_ns =
+        macro->macro.access_delay_ns + mux_levels * cells.mux_level_delay_ns;
+  }
+
+  // Pipeline registers divide the logic depth into (stages + 1) segments;
+  // the memory access always sits in the first segment, so the first
+  // segment bounds the clock.
+  const int segments = path.pipeline_stages + 1;
+  const int depth_per_segment =
+      (path.logic_depth + segments - 1) / segments;  // ceil
+  timing.logic_ns = depth_per_segment * cells.stage_delay_ns + path.extra_delay_ns;
+
+  if (path.crosses_to_memctrl) {
+    timing.wire_ns = technology_->wires.delay_ns(wire_distance_mm);
+  }
+  timing.setup_ns = cells.setup_ns;
+  timing.delay_ns = timing.memory_ns + timing.logic_ns + timing.wire_ns + timing.setup_ns;
+  return timing;
+}
+
+TimingReport TimingAnalyzer::analyze(const netlist::Netlist& design,
+                                     const WireAnnotations* wires) const {
+  TimingReport report;
+  const double worst_wire_mm = (wires != nullptr) ? wires->worst_mm() : 0.0;
+  for (const auto& path : design.paths()) {
+    report.paths.push_back(evaluate(design, path, worst_wire_mm));
+  }
+  std::sort(report.paths.begin(), report.paths.end(),
+            [](const PathTiming& a, const PathTiming& b) { return a.delay_ns > b.delay_ns; });
+  return report;
+}
+
+std::vector<const PathTiming*> TimingReport::violations(double period_ns) const {
+  std::vector<const PathTiming*> out;
+  for (const auto& path : paths) {
+    if (!path.meets(period_ns)) out.push_back(&path);
+  }
+  return out;
+}
+
+}  // namespace gpup::sta

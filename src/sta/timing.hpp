@@ -1,0 +1,88 @@
+// Static timing analysis over the structural netlist.
+//
+// Path delay composition mirrors what GPUPlanner's "dynamic spreadsheet"
+// map computes from the user-entered memory delays:
+//
+//   delay = memory access (slowest macro of the launching class)
+//         + division MUX levels        (log2 of the division factor)
+//         + logic levels * stage delay (split across pipeline segments)
+//         + fixed path extra + FF setup
+//         + wire delay                 (after floorplanning, for paths that
+//                                       cross between CU and controller)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/tech/technology.hpp"
+
+namespace gpup::sta {
+
+/// Per-CU wire annotations produced by physical synthesis. Before
+/// floorplanning (i.e. at logic synthesis) there are no annotations and
+/// cross-partition paths see zero wire delay — which is why the paper's
+/// 8CU@667 passes logic synthesis but fails layout.
+struct WireAnnotations {
+  /// Routed CU<->memory-controller distance per CU, in mm.
+  std::vector<double> cu_to_memctrl_mm;
+
+  [[nodiscard]] double worst_mm() const {
+    double worst = 0.0;
+    for (double d : cu_to_memctrl_mm) worst = std::max(worst, d);
+    return worst;
+  }
+};
+
+/// One evaluated path class.
+struct PathTiming {
+  std::string name;
+  netlist::Partition partition = netlist::Partition::kTop;
+  std::string launch;        ///< launching macro description or "FF"
+  double memory_ns = 0.0;    ///< macro access + division MUX levels
+  double logic_ns = 0.0;     ///< gate stages + extra
+  double wire_ns = 0.0;
+  double setup_ns = 0.0;
+  double delay_ns = 0.0;     ///< total
+
+  [[nodiscard]] bool meets(double period_ns) const { return delay_ns <= period_ns; }
+};
+
+struct TimingReport {
+  std::vector<PathTiming> paths;  ///< sorted, slowest first
+
+  [[nodiscard]] const PathTiming& critical() const {
+    GPUP_CHECK(!paths.empty());
+    return paths.front();
+  }
+  [[nodiscard]] double critical_ns() const { return critical().delay_ns; }
+  [[nodiscard]] double fmax_mhz() const { return 1000.0 / critical_ns(); }
+  [[nodiscard]] bool meets(double period_ns) const { return critical_ns() <= period_ns; }
+
+  /// Paths violating the period, slowest first.
+  [[nodiscard]] std::vector<const PathTiming*> violations(double period_ns) const;
+};
+
+class TimingAnalyzer {
+ public:
+  explicit TimingAnalyzer(const tech::Technology* technology) : technology_(technology) {
+    GPUP_CHECK(technology_ != nullptr);
+  }
+
+  /// Analyze all path classes. `wires` may be null (logic synthesis view).
+  [[nodiscard]] TimingReport analyze(const netlist::Netlist& design,
+                                     const WireAnnotations* wires = nullptr) const;
+
+  /// Evaluate a single path class.
+  [[nodiscard]] PathTiming evaluate(const netlist::Netlist& design,
+                                    const netlist::TimingPath& path,
+                                    double wire_distance_mm) const;
+
+ private:
+  const tech::Technology* technology_;
+};
+
+/// Convert a frequency target in MHz to a clock period in ns.
+[[nodiscard]] inline double period_ns(double freq_mhz) { return 1000.0 / freq_mhz; }
+
+}  // namespace gpup::sta

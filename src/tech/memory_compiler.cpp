@@ -1,0 +1,58 @@
+#include "src/tech/memory_compiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpup::tech {
+
+bool MemoryCompiler::supports(const MemoryRequest& request) const {
+  return request.words >= limits_.min_words && request.words <= limits_.max_words &&
+         request.bits >= limits_.min_bits && request.bits <= limits_.max_bits;
+}
+
+double MemoryCompiler::access_delay_ns(const MemoryRequest& request) const {
+  double delay = params_.delay_base_ns +
+                 params_.delay_sqrt_word_ns * std::sqrt(static_cast<double>(request.words)) +
+                 params_.delay_per_bit_ns * request.bits;
+  if (request.ports == PortKind::kDualPort) delay += params_.dual_port_penalty_ns;
+  return delay;
+}
+
+MemoryMacro MemoryCompiler::compile(const MemoryRequest& request) const {
+  GPUP_CHECK_MSG(supports(request), "memory request outside compiler range: " + to_string(request));
+
+  MemoryMacro macro;
+  macro.request = request;
+
+  const double bitcell = (request.ports == PortKind::kDualPort) ? params_.bitcell_dp_um2
+                                                                : params_.bitcell_sp_um2;
+  const double core = bitcell * static_cast<double>(request.total_bits());
+  macro.area_um2 = core + params_.periph_per_word_um2 * request.words +
+                   params_.periph_per_bit_um2 * request.bits + params_.fixed_um2;
+
+  macro.access_delay_ns = access_delay_ns(request);
+
+  const double leak_per_bit_nw = (request.ports == PortKind::kDualPort)
+                                     ? params_.leak_dp_per_bit_nw
+                                     : params_.leak_sp_per_bit_nw;
+  macro.leakage_mw = (leak_per_bit_nw * static_cast<double>(request.total_bits())) * 1e-6 +
+                     params_.leak_periph_uw * 1e-3;
+
+  macro.read_energy_pj = params_.energy_fixed_pj + params_.energy_per_bit_pj * request.bits +
+                         params_.energy_per_word_pj * request.words;
+  macro.idle_energy_pj = params_.idle_fixed_pj + params_.idle_per_bit_pj * request.bits;
+
+  // Footprint: tall-narrow for deep memories, wide-flat for wide words.
+  const double aspect =
+      std::clamp(0.4 + static_cast<double>(request.bits) / 96.0, 0.5, 2.0);
+  macro.width_um = std::sqrt(macro.area_um2 * aspect);
+  macro.height_um = std::sqrt(macro.area_um2 / aspect);
+  return macro;
+}
+
+std::string to_string(const MemoryRequest& request) {
+  return std::to_string(request.words) + "x" + std::to_string(request.bits) +
+         (request.ports == PortKind::kDualPort ? "_dp" : "_sp");
+}
+
+}  // namespace gpup::tech

@@ -1,0 +1,116 @@
+// Analytical model of a 65 nm low-power SRAM memory compiler.
+//
+// The paper's GPUPlanner consumes a foundry memory compiler offering single-
+// and dual-port SRAM with 16–65536 words and 2–144 bit word sizes. We cannot
+// ship the foundry model, so this module provides a calibrated analytical
+// substitute with the same interface contract: given a (words × bits × ports)
+// request it returns area, access delay, leakage and per-access energy.
+//
+// The non-linearities that drive the paper's design-space exploration are
+// preserved:
+//   * two M×N blocks are larger and leakier than one 2M×N block
+//     (fixed periphery per macro);
+//   * access delay grows with word count (bitline RC, ~sqrt(words)) and
+//     with word width, so dividing a memory genuinely buys timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.hpp"
+
+namespace gpup::tech {
+
+enum class PortKind { kSinglePort, kDualPort };
+
+/// A request to the memory compiler.
+struct MemoryRequest {
+  std::uint32_t words = 0;
+  std::uint32_t bits = 0;  // word width
+  PortKind ports = PortKind::kDualPort;
+
+  [[nodiscard]] std::uint64_t total_bits() const {
+    return static_cast<std::uint64_t>(words) * bits;
+  }
+  bool operator==(const MemoryRequest&) const = default;
+};
+
+/// A compiled macro: the PPA view GPUPlanner needs plus the physical
+/// footprint the floorplanner needs.
+struct MemoryMacro {
+  MemoryRequest request;
+  double area_um2 = 0.0;
+  double access_delay_ns = 0.0;  // clock-to-data-valid
+  double leakage_mw = 0.0;
+  double read_energy_pj = 0.0;   // per access
+  double idle_energy_pj = 0.0;   // per clock when not accessed (clock/precharge)
+  double width_um = 0.0;
+  double height_um = 0.0;
+};
+
+/// Compiler parameter ranges (match the paper's 65 nm compiler).
+struct MemoryCompilerLimits {
+  std::uint32_t min_words = 16;
+  std::uint32_t max_words = 65536;
+  std::uint32_t min_bits = 2;
+  std::uint32_t max_bits = 144;
+};
+
+/// Compiler characterisation: the per-technology constants. Defaults are
+/// the generic 65 nm LP class, calibrated so the 42 CU macros of the
+/// baseline G-GPU sum to 1.96 mm^2 and the 9 shared macros to 0.72 mm^2
+/// (Table I memory-area split).
+struct MemoryCompilerParams {
+  // Area: bitcell + wordline/column periphery + fixed overhead.
+  double bitcell_sp_um2 = 0.578;
+  double bitcell_dp_um2 = 0.765;
+  double periph_per_word_um2 = 2.0;
+  double periph_per_bit_um2 = 145.0;
+  double fixed_um2 = 2500.0;
+  // Delay: d0 + ds*sqrt(words) + db*bits (+ dual-port penalty).
+  // sqrt(words) captures bitline RC; dividing a 4096-word macro in two
+  // buys ~0.33 ns, which is what moves the versions between the paper's
+  // 500/590/667 MHz targets.
+  double delay_base_ns = 0.18;
+  double delay_sqrt_word_ns = 0.0195;
+  double delay_per_bit_ns = 0.0015;
+  double dual_port_penalty_ns = 0.04;
+  // Leakage per bit (retention) + per-macro periphery.
+  double leak_sp_per_bit_nw = 0.55;
+  double leak_dp_per_bit_nw = 1.60;
+  double leak_periph_uw = 6.0;
+  // Energy per access / per idle clock.
+  double energy_fixed_pj = 8.0;
+  double energy_per_bit_pj = 0.04;
+  double energy_per_word_pj = 0.0008;
+  double idle_fixed_pj = 2.0;
+  double idle_per_bit_pj = 0.01;
+};
+
+class MemoryCompiler {
+ public:
+  MemoryCompiler() = default;
+  explicit MemoryCompiler(MemoryCompilerParams params) : params_(params) {}
+
+  [[nodiscard]] const MemoryCompilerLimits& limits() const { return limits_; }
+  [[nodiscard]] const MemoryCompilerParams& params() const { return params_; }
+
+  /// True if the request is inside the compiler's parameter ranges.
+  [[nodiscard]] bool supports(const MemoryRequest& request) const;
+
+  /// Compile a macro. Requests outside the supported range are a caller
+  /// bug (the planner legalises sizes first), hence GPUP_CHECK.
+  [[nodiscard]] MemoryMacro compile(const MemoryRequest& request) const;
+
+  /// Convenience: delay a request would have, without building the macro.
+  [[nodiscard]] double access_delay_ns(const MemoryRequest& request) const;
+
+ private:
+  MemoryCompilerLimits limits_{};
+  MemoryCompilerParams params_{};
+};
+
+/// Human-readable macro id like "2048x32_dp".
+std::string to_string(const MemoryRequest& request);
+
+}  // namespace gpup::tech

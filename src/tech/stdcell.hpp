@@ -1,0 +1,31 @@
+// Generic 65 nm standard-cell library model: the per-cell constants that
+// logic synthesis (src/sta, src/power) composes into netlist-level PPA.
+#pragma once
+
+namespace gpup::tech {
+
+struct StdCellLibrary {
+  // --- area (um^2) ---
+  // Average placed flip-flop (scan DFF + local clock buffering share).
+  double ff_area_um2 = 9.2;
+  // Average combinational gate (NAND2-equivalent mix incl. buffers).
+  double gate_area_um2 = 2.6;
+  // Clock-tree & well-tap overhead applied to logic area.
+  double logic_area_overhead = 1.08;
+
+  // --- timing (ns) ---
+  double stage_delay_ns = 0.065;  // one logic level incl. local wire
+  double setup_ns = 0.05;         // FF setup + clock uncertainty
+  double mux_level_delay_ns = 0.04;  // address MUX added per memory division level
+
+  // --- leakage (nW per cell) ---
+  double ff_leakage_nw = 6.0;
+  double gate_leakage_nw = 3.0;
+
+  // --- dynamic energy (fJ per clock / per toggle) ---
+  double ff_energy_fj = 25.0;      // clock + data, per cycle per FF
+  double gate_energy_fj = 8.0;     // per toggling gate
+  double gate_activity = 0.2;      // average toggle rate of comb logic
+};
+
+}  // namespace gpup::tech

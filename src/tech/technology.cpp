@@ -1,0 +1,52 @@
+#include "src/tech/technology.hpp"
+
+namespace gpup::tech {
+
+Technology Technology::generic65() {
+  Technology technology;
+  technology.name = "generic65lp";
+  technology.metal = MetalStack::generic65();
+  return technology;
+}
+
+Technology Technology::generic45() {
+  Technology technology;
+  technology.name = "generic45";
+  technology.metal = MetalStack::generic65();  // same 9-layer stack class
+
+  // Scaled memory compiler: ~0.5x area, ~0.72x delay, higher leakage (the
+  // classic LP->G node trade).
+  MemoryCompilerParams memories;
+  memories.bitcell_sp_um2 = 0.30;
+  memories.bitcell_dp_um2 = 0.40;
+  memories.periph_per_word_um2 = 1.2;
+  memories.periph_per_bit_um2 = 90.0;
+  memories.fixed_um2 = 1600.0;
+  memories.delay_base_ns = 0.13;
+  memories.delay_sqrt_word_ns = 0.0140;
+  memories.delay_per_bit_ns = 0.0011;
+  memories.dual_port_penalty_ns = 0.03;
+  memories.leak_sp_per_bit_nw = 1.1;
+  memories.leak_dp_per_bit_nw = 3.2;
+  memories.leak_periph_uw = 12.0;
+  memories.energy_fixed_pj = 5.0;
+  memories.energy_per_bit_pj = 0.027;
+  memories.energy_per_word_pj = 0.00055;
+  technology.memories = MemoryCompiler(memories);
+
+  // Scaled standard cells.
+  technology.cells.ff_area_um2 = 4.6;
+  technology.cells.gate_area_um2 = 1.3;
+  technology.cells.stage_delay_ns = 0.047;
+  technology.cells.setup_ns = 0.036;
+  technology.cells.mux_level_delay_ns = 0.029;
+  technology.cells.ff_leakage_nw = 14.0;
+  technology.cells.gate_leakage_nw = 7.0;
+  technology.cells.ff_energy_fj = 16.0;
+  technology.cells.gate_energy_fj = 5.0;
+
+  technology.wires.delay_ns_per_mm = 0.11;  // thinner wires, worse RC
+  return technology;
+}
+
+}  // namespace gpup::tech

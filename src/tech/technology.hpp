@@ -1,0 +1,31 @@
+// Aggregate technology view handed to every downstream stage. GPUPlanner is
+// technology-agnostic: swap this object to retarget (the paper: "our
+// framework can handle any memory and technology with little effort").
+#pragma once
+
+#include "src/tech/memory_compiler.hpp"
+#include "src/tech/stdcell.hpp"
+#include "src/tech/wire.hpp"
+
+#include <string>
+
+namespace gpup::tech {
+
+struct Technology {
+  std::string name;
+  MemoryCompiler memories;
+  StdCellLibrary cells;
+  WireModel wires;
+  MetalStack metal;
+
+  /// The generic 65 nm LP technology all paper experiments use.
+  [[nodiscard]] static Technology generic65();
+
+  /// A denser/faster 45 nm-class node. GPUPlanner is technology-agnostic
+  /// ("our map is agnostic of the technology used") — retargeting only
+  /// means re-characterising these constants; the optimisation points
+  /// stay the same, as tests/futurework_test.cpp asserts.
+  [[nodiscard]] static Technology generic45();
+};
+
+}  // namespace gpup::tech

@@ -1,0 +1,21 @@
+#include "src/tech/wire.hpp"
+
+namespace gpup::tech {
+
+MetalStack MetalStack::generic65() {
+  MetalStack stack;
+  stack.layers = {{
+      {.name = "M1", .pitch_um = 0.18, .power_only = true},
+      {.name = "M2", .pitch_um = 0.20, .power_only = false},
+      {.name = "M3", .pitch_um = 0.20, .power_only = false},
+      {.name = "M4", .pitch_um = 0.28, .power_only = false},
+      {.name = "M5", .pitch_um = 0.28, .power_only = false},
+      {.name = "M6", .pitch_um = 0.40, .power_only = false},
+      {.name = "M7", .pitch_um = 0.40, .power_only = false},
+      {.name = "M8", .pitch_um = 0.80, .power_only = true},
+      {.name = "M9", .pitch_um = 0.80, .power_only = true},
+  }};
+  return stack;
+}
+
+}  // namespace gpup::tech

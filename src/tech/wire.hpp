@@ -1,0 +1,37 @@
+// Interconnect model: 9-layer metal stack (matching the paper's technology,
+// where M1/M8/M9 are power-only) and a repeatered-wire delay model used to
+// back-annotate floorplan distances into timing paths.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace gpup::tech {
+
+/// One routing layer of the stack.
+struct MetalLayer {
+  std::string name;
+  double pitch_um = 0.2;   // routing pitch
+  bool power_only = false; // reserved for power mesh (M1/M8/M9)
+};
+
+struct MetalStack {
+  std::array<MetalLayer, 9> layers;
+
+  /// Signal-routing layers (M2..M7).
+  [[nodiscard]] static MetalStack generic65();
+};
+
+struct WireModel {
+  // Repeatered global wire delay, ns per mm. Long CU<->controller routes on
+  // upper metal; this constant reproduces the paper's 8-CU failure where
+  // peripheral-CU routes add enough delay to break the 1.5 ns target.
+  double delay_ns_per_mm = 0.09;
+  // Per-logic-stage local wiring is already inside StdCellLibrary.
+
+  [[nodiscard]] double delay_ns(double distance_mm) const {
+    return delay_ns_per_mm * distance_mm;
+  }
+};
+
+}  // namespace gpup::tech

@@ -1,0 +1,59 @@
+// Small bit-manipulation helpers shared by the ISA encoders and the
+// memory-geometry code.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/status.hpp"
+
+namespace gpup {
+
+/// Ceil(log2(v)) for v >= 1; number of address bits needed for v entries.
+constexpr unsigned ceil_log2(std::uint64_t v) {
+  unsigned bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < v) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::uint64_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t r = 1;
+  while (r < v) r <<= 1;
+  return r;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Extract bits [lo, lo+width) of v.
+constexpr std::uint32_t bits_of(std::uint32_t v, unsigned lo, unsigned width) {
+  return (v >> lo) & ((width >= 32) ? 0xffffffffu : ((1u << width) - 1u));
+}
+
+/// Sign-extend the low `width` bits of v.
+constexpr std::int32_t sign_extend(std::uint32_t v, unsigned width) {
+  const std::uint32_t mask = (width >= 32) ? 0xffffffffu : ((1u << width) - 1u);
+  const std::uint32_t sign = 1u << (width - 1);
+  const std::uint32_t low = v & mask;
+  return static_cast<std::int32_t>((low ^ sign) - sign);
+}
+
+/// True if v fits in a signed `width`-bit immediate.
+constexpr bool fits_signed(std::int64_t v, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True if v fits in an unsigned `width`-bit immediate.
+constexpr bool fits_unsigned(std::int64_t v, unsigned width) {
+  return v >= 0 && v <= static_cast<std::int64_t>((std::uint64_t{1} << width) - 1);
+}
+
+}  // namespace gpup

@@ -1,0 +1,65 @@
+// Deterministic PRNG used by workload generators and property tests.
+//
+// xoshiro256** — small, fast, and the stream is fully determined by the
+// seed, so every benchmark table regenerates bit-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace gpup {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(next_u32()) * bound) >> 32);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int32_t next_in(std::int32_t lo, std::int32_t hi) {
+    return lo + static_cast<std::int32_t>(
+                    next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace gpup

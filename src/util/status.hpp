@@ -1,0 +1,71 @@
+// Lightweight error handling for the GPUPlanner code base.
+//
+// The tool-facing layers (assembler, planner flow, runtime) report user
+// errors as values rather than exceptions so that a driver can collect and
+// present them; internal logic errors use GPUP_CHECK which throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpup {
+
+/// Error with a human-readable message and optional source location context
+/// (e.g. "kernel.s:12" for assembler errors).
+struct Error {
+  std::string message;
+  std::string context;
+
+  [[nodiscard]] std::string to_string() const {
+    return context.empty() ? message : context + ": " + message;
+  }
+};
+
+/// Minimal expected-style result type (std::expected is C++23; we target
+/// C++20). Holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("GPUP_CHECK failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace gpup
+
+/// Internal invariant check. Used for programming errors, never for user
+/// input; always on (models are cheap, silent corruption is not).
+#define GPUP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::gpup::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define GPUP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::gpup::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,25 @@
+// String helpers for the assemblers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpup {
+
+/// Split on any of `separators`, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, std::string_view separators);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gpup

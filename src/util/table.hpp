@@ -1,0 +1,38 @@
+// Console/CSV/markdown table writer used by every bench binary so the
+// regenerated paper tables share one look.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpup::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Fixed-width, pipe-separated console rendering.
+  [[nodiscard]] std::string to_console() const;
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).
+  [[nodiscard]] std::string to_csv() const;
+  /// GitHub-flavoured markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int decimals);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpup::util

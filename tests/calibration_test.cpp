@@ -1,0 +1,178 @@
+// Calibration against the paper's anchors (DESIGN.md "Key calibration
+// anchors"). These tests pin the model constants: if a constant drifts,
+// the regenerated Table I / Table II lose their shape.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+#include "src/sta/timing.hpp"
+
+namespace gpup {
+namespace {
+
+using plan::Planner;
+using plan::Spec;
+
+const tech::Technology& technology() {
+  static const tech::Technology tech = tech::Technology::generic65();
+  return tech;
+}
+
+TEST(Calibration, BaselineStructuralCounts) {
+  const auto arch = gen::GgpuArchSpec::baseline(1);
+  EXPECT_EQ(arch.baseline_cu_macros(), 42);     // Table I: 51 total @ 1 CU
+  EXPECT_EQ(arch.baseline_shared_macros(), 9);  // = 42 + 9
+
+  const auto design = gen::generate_ggpu(arch, technology());
+  const auto stats = design.stats();
+  EXPECT_EQ(stats.memory_count, 51u);
+  // Paper: 119,778 FFs and 127,826 comb gates for 1CU@500MHz.
+  EXPECT_NEAR(static_cast<double>(stats.ff_count), 119778.0, 119778.0 * 0.03);
+  EXPECT_NEAR(static_cast<double>(stats.gate_count), 127826.0, 127826.0 * 0.05);
+}
+
+TEST(Calibration, BaselineAreasMatchTable1) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto total = design.stats();
+  const auto cu = design.stats(netlist::Partition::kComputeUnit);
+
+  std::printf("[cal] 1CU baseline: total %.3f mm^2 (paper 4.19), mem %.3f (paper 2.68), "
+              "CU mem %.3f (paper ~1.96), CU logic %.3f (paper ~1.29)\n",
+              total.total_area_mm2(), total.memory_area_mm2(), cu.memory_area_mm2(),
+              cu.logic_area_um2 * 1e-6);
+
+  EXPECT_NEAR(total.total_area_mm2(), 4.19, 4.19 * 0.10);
+  EXPECT_NEAR(total.memory_area_mm2(), 2.68, 2.68 * 0.10);
+  EXPECT_NEAR(cu.memory_area_mm2(), 1.96, 1.96 * 0.10);
+}
+
+TEST(Calibration, BaselineTimingMeets500Misses590) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto timing = analyzer.analyze(design);
+
+  std::printf("[cal] baseline fmax %.1f MHz, critical %s (%.3f ns)\n", timing.fmax_mhz(),
+              timing.critical().name.c_str(), timing.critical_ns());
+  for (const auto& path : timing.paths) {
+    std::printf("[cal]   path %-28s %-10s mem %.3f logic %.3f total %.3f\n", path.name.c_str(),
+                to_string(path.partition).c_str(), path.memory_ns, path.logic_ns,
+                path.delay_ns);
+  }
+
+  EXPECT_TRUE(timing.meets(sta::period_ns(500.0)));
+  EXPECT_FALSE(timing.meets(sta::period_ns(590.0)));
+  // Paper: baseline critical path starts at a memory block inside the CU.
+  EXPECT_EQ(timing.critical().partition, netlist::Partition::kComputeUnit);
+  EXPECT_NE(timing.critical().launch, "FF");
+}
+
+TEST(Calibration, MemoryCountLadderMatchesTable1) {
+  const Planner planner(&technology());
+  for (int cu : {1, 2, 4, 8}) {
+    const auto v500 = planner.logic_synthesis({cu, 500.0, {}, {}});
+    const auto v590 = planner.logic_synthesis({cu, 590.0, {}, {}});
+    const auto v667 = planner.logic_synthesis({cu, 667.0, {}, {}});
+    std::printf("[cal] %dCU #mem: %llu / %llu / %llu (paper %d / %d / %d)\n", cu,
+                static_cast<unsigned long long>(v500.stats.memory_count),
+                static_cast<unsigned long long>(v590.stats.memory_count),
+                static_cast<unsigned long long>(v667.stats.memory_count), 42 * cu + 9,
+                52 * cu + 16, 52 * cu + 19);
+    EXPECT_TRUE(v500.meets_target);
+    EXPECT_TRUE(v590.meets_target);
+    EXPECT_TRUE(v667.meets_target);
+    // Paper ladder: 42/CU + 9, then 52/CU + 16, then 52/CU + 19.
+    EXPECT_EQ(v500.stats.memory_count, static_cast<std::uint64_t>(42 * cu + 9));
+    EXPECT_EQ(v590.stats.memory_count, static_cast<std::uint64_t>(52 * cu + 16));
+    // Our map reaches 667 MHz with two extra shared-macro splits instead of
+    // the paper's three (documented deviation in EXPERIMENTS.md).
+    EXPECT_GE(v667.stats.memory_count, static_cast<std::uint64_t>(52 * cu + 17));
+    EXPECT_LE(v667.stats.memory_count, static_cast<std::uint64_t>(52 * cu + 19));
+  }
+}
+
+TEST(Calibration, PowerMatchesTable1Shape) {
+  const Planner planner(&technology());
+  const auto v1_500 = planner.logic_synthesis({1, 500.0, {}, {}});
+  const auto v8_500 = planner.logic_synthesis({8, 500.0, {}, {}});
+  const auto v1_667 = planner.logic_synthesis({1, 667.0, {}, {}});
+
+  std::printf("[cal] power 1CU@500: leak %.2f mW (paper 4.62) dyn %.2f W (paper 1.97)\n",
+              v1_500.power.leakage_mw, v1_500.power.dynamic_w);
+  std::printf("[cal] power 8CU@500: leak %.2f mW (paper 30.79) dyn %.2f W (paper 13.33)\n",
+              v8_500.power.leakage_mw, v8_500.power.dynamic_w);
+  std::printf("[cal] power 1CU@667: dyn %.2f W (paper 2.62)\n", v1_667.power.dynamic_w);
+
+  EXPECT_NEAR(v1_500.power.leakage_mw, 4.62, 4.62 * 0.20);
+  EXPECT_NEAR(v1_500.power.dynamic_w, 1.97, 1.97 * 0.20);
+  EXPECT_NEAR(v8_500.power.leakage_mw, 30.79, 30.79 * 0.25);
+  EXPECT_NEAR(v8_500.power.dynamic_w, 13.33, 13.33 * 0.25);
+  EXPECT_NEAR(v1_667.power.dynamic_w, 2.62, 2.62 * 0.25);
+}
+
+TEST(Calibration, AreaGrowthAcrossVersions) {
+  const Planner planner(&technology());
+  const auto v500 = planner.logic_synthesis({1, 500.0, {}, {}});
+  const auto v590 = planner.logic_synthesis({1, 590.0, {}, {}});
+  const auto v667 = planner.logic_synthesis({1, 667.0, {}, {}});
+
+  std::printf("[cal] 1CU areas: %.2f / %.2f / %.2f mm^2 (paper 4.19 / 4.66 / 4.77)\n",
+              v500.stats.total_area_mm2(), v590.stats.total_area_mm2(),
+              v667.stats.total_area_mm2());
+
+  // Optimised versions must cost area (paper: ~+10% to 590, ~+2% more).
+  EXPECT_GT(v590.stats.total_area_mm2(), v500.stats.total_area_mm2());
+  EXPECT_GE(v667.stats.total_area_mm2(), v590.stats.total_area_mm2());
+  EXPECT_GT(v590.stats.memory_area_mm2(), v500.stats.memory_area_mm2());
+}
+
+TEST(Calibration, PhysicalSynthesisReproducesThe8CuStory) {
+  const Planner planner(&technology());
+
+  // 1CU@667 closes at speed.
+  const auto l1 = planner.logic_synthesis({1, 667.0, {}, {}});
+  const auto p1 = planner.physical_synthesis(l1);
+  std::printf("[cal] 1CU@667 layout: achieved %.1f MHz, die %.0f x %.0f um (paper 3200x2800)\n",
+              p1.achieved_mhz, p1.floorplan.die_w_um, p1.floorplan.die_h_um);
+  EXPECT_TRUE(p1.meets_target);
+
+  // 8CU@667 fails layout timing and falls back to 600 MHz.
+  const auto l8 = planner.logic_synthesis({8, 667.0, {}, {}});
+  const auto p8 = planner.physical_synthesis(l8);
+  std::printf("[cal] 8CU@667 layout: achieved %.1f MHz, recommended %.0f, die %.0f x %.0f um "
+              "(paper: 600 MHz, 8350x7450)\n",
+              p8.achieved_mhz, p8.recommended_mhz, p8.floorplan.die_w_um,
+              p8.floorplan.die_h_um);
+  for (const auto& note : p8.notes) std::printf("[cal]   note: %s\n", note.c_str());
+  EXPECT_FALSE(p8.meets_target);
+  EXPECT_EQ(p8.recommended_mhz, 600.0);
+
+  // 8CU@500 closes.
+  const auto l8s = planner.logic_synthesis({8, 500.0, {}, {}});
+  const auto p8s = planner.physical_synthesis(l8s);
+  std::printf("[cal] 8CU@500 layout: achieved %.1f MHz, die %.0f x %.0f um (paper 7150x6250)\n",
+              p8s.achieved_mhz, p8s.floorplan.die_w_um, p8s.floorplan.die_h_um);
+  EXPECT_TRUE(p8s.meets_target);
+}
+
+TEST(Calibration, AreaRatiosVsRiscvMatchFig6) {
+  const Planner planner(&technology());
+  const auto riscv = gen::generate_riscv(technology());
+  const double riscv_area = riscv.stats().total_area_mm2();
+  std::printf("[cal] riscv area %.3f mm^2 (paper-implied ~0.71)\n", riscv_area);
+
+  // Paper area ratios at 667 MHz: 6.5 / 11.6 / 21.4 / 41.0.
+  const double expected[] = {6.5, 11.6, 21.4, 41.0};
+  const int cu_counts[] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    const auto version = planner.logic_synthesis({cu_counts[i], 667.0, {}, {}});
+    const double ratio = version.stats.total_area_mm2() / riscv_area;
+    std::printf("[cal] area ratio %dCU: %.1f (paper %.1f)\n", cu_counts[i], ratio, expected[i]);
+    EXPECT_NEAR(ratio, expected[i], expected[i] * 0.20);
+  }
+}
+
+}  // namespace
+}  // namespace gpup

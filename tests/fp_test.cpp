@@ -1,0 +1,122 @@
+// Floorplanner invariants: partition geometry, densities, CU distances,
+// layout export.
+#include <gtest/gtest.h>
+
+#include "src/fp/floorplan.hpp"
+#include "src/fp/layout_writer.hpp"
+#include "src/gen/ggpu_arch.hpp"
+#include "src/opt/transforms.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+fp::Floorplan plan_for(int cu_count) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(cu_count), technology());
+  return fp::Floorplanner().plan(design);
+}
+
+class FloorplanPerCu : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloorplanPerCu, StructureIsComplete) {
+  const int n = GetParam();
+  const auto plan = plan_for(n);
+
+  int cus = 0;
+  int controllers = 0;
+  for (const auto& partition : plan.partitions) {
+    if (partition.kind == netlist::Partition::kComputeUnit) ++cus;
+    if (partition.kind == netlist::Partition::kMemController) ++controllers;
+  }
+  EXPECT_EQ(cus, n);
+  EXPECT_EQ(controllers, 1);
+  EXPECT_EQ(plan.cu_distance_mm.size(), static_cast<std::size_t>(n));
+  EXPECT_NE(plan.memctrl(), nullptr);
+  for (int i = 0; i < n; ++i) EXPECT_NE(plan.compute_unit(i), nullptr);
+
+  // All macros land inside the die.
+  EXPECT_EQ(plan.macros.size(), 42u * static_cast<std::size_t>(n) + 9u);
+  for (const auto& macro : plan.macros) {
+    EXPECT_GE(macro.rect.x, -1e-9);
+    EXPECT_GE(macro.rect.y, -1e-9);
+    EXPECT_LE(macro.rect.x + macro.rect.w, plan.die_w_um + 1e-9) << macro.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CuCounts, FloorplanPerCu, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Floorplan, CuPartitionsDoNotOverlap) {
+  const auto plan = plan_for(8);
+  for (std::size_t i = 0; i < plan.partitions.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.partitions.size(); ++j) {
+      const auto& a = plan.partitions[i];
+      const auto& b = plan.partitions[j];
+      if (a.kind == netlist::Partition::kTop || b.kind == netlist::Partition::kTop) continue;
+      const bool separated = a.rect.x + a.rect.w <= b.rect.x + 1e-6 ||
+                             b.rect.x + b.rect.w <= a.rect.x + 1e-6 ||
+                             a.rect.y + a.rect.h <= b.rect.y + 1e-6 ||
+                             b.rect.y + b.rect.h <= a.rect.y + 1e-6;
+      EXPECT_TRUE(separated) << "partitions " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(Floorplan, EightCuHasCentralControllerAndFarCorners) {
+  const auto plan = plan_for(8);
+  const auto* mc = plan.memctrl();
+  // Controller near the die centre.
+  EXPECT_NEAR(mc->rect.cx(), plan.die_w_um / 2.0, plan.die_w_um * 0.1);
+  EXPECT_NEAR(mc->rect.cy(), plan.die_h_um / 2.0, plan.die_h_um * 0.1);
+  // Peripheral (corner) CUs are strictly farther than side CUs.
+  double shortest = 1e9;
+  double longest = 0.0;
+  for (double d : plan.cu_distance_mm) {
+    shortest = std::min(shortest, d);
+    longest = std::max(longest, d);
+  }
+  EXPECT_GT(longest, shortest);
+  EXPECT_GT(longest, 1.0);  // the paper's problem needs >1 mm routes
+}
+
+TEST(Floorplan, OneCuRoutesAreShort) {
+  const auto plan = plan_for(1);
+  EXPECT_LT(plan.cu_distance_mm[0], 0.5);
+}
+
+TEST(Floorplan, DieAreaExceedsCellArea) {
+  for (int n : {1, 8}) {
+    const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(n), technology());
+    const auto plan = fp::Floorplanner().plan(design);
+    EXPECT_GT(plan.die_area_mm2(), design.stats().total_area_mm2());
+  }
+}
+
+TEST(Floorplan, DividedDesignGrowsDie) {
+  // More macros -> halo penalty -> bigger die (paper: optimised versions
+  // have visibly larger floorplans, Figs. 3/4).
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto before = fp::Floorplanner().plan(design).die_area_mm2();
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 2).ok());
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lram", 2).ok());
+  const auto after = fp::Floorplanner().plan(design).die_area_mm2();
+  EXPECT_GT(after, before);
+}
+
+TEST(LayoutWriter, SvgAndTextContainEveryMacro) {
+  const auto plan = plan_for(1);
+  const auto svg = fp::LayoutWriter::to_svg(plan, "test");
+  const auto text = fp::LayoutWriter::to_text(plan, "test");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  for (const auto& macro : plan.macros) {
+    EXPECT_NE(text.find(macro.name), std::string::npos);
+  }
+  EXPECT_NE(text.find("DIEAREA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpup

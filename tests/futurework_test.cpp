@@ -1,0 +1,187 @@
+// The paper's future-work items, implemented and verified:
+//   1. replicated memory controller -> 8 CUs close 667 MHz after layout;
+//   2. single-port memory support in GPUPlanner;
+//   3. technology retargeting ("our map is agnostic of the technology").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/opt/transforms.hpp"
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& tech65() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+// ---- 1. replicated memory controller --------------------------------------
+
+TEST(ReplicatedController, NetlistDoublesControllerContent) {
+  const auto single = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8, 1), tech65());
+  const auto dual = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8, 2), tech65());
+  EXPECT_EQ(single.memctrl_count(), 1);
+  EXPECT_EQ(dual.memctrl_count(), 2);
+
+  const auto mc1 = single.stats(netlist::Partition::kMemController);
+  const auto mc2 = dual.stats(netlist::Partition::kMemController);
+  EXPECT_EQ(mc2.memory_count, 2 * mc1.memory_count);
+  EXPECT_EQ(mc2.ff_count, 2 * mc1.ff_count);
+  // CU and top content unchanged.
+  EXPECT_EQ(dual.stats(netlist::Partition::kComputeUnit).memory_count,
+            single.stats(netlist::Partition::kComputeUnit).memory_count);
+}
+
+TEST(ReplicatedController, ShortensPeripheralRoutes) {
+  const auto single = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8, 1), tech65());
+  const auto dual = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8, 2), tech65());
+  const fp::Floorplanner floorplanner;
+  const auto plan1 = floorplanner.plan(single);
+  const auto plan2 = floorplanner.plan(dual);
+
+  double worst1 = 0.0;
+  double worst2 = 0.0;
+  for (double d : plan1.cu_distance_mm) worst1 = std::max(worst1, d);
+  for (double d : plan2.cu_distance_mm) worst2 = std::max(worst2, d);
+  std::printf("[fw] worst CU route: single %.2f mm, dual %.2f mm\n", worst1, worst2);
+  EXPECT_LT(worst2, worst1 * 0.7);
+}
+
+TEST(ReplicatedController, Closes667MhzForEightCus) {
+  const plan::Planner planner(&tech65());
+
+  plan::Spec base{8, 667.0, {}, {}, /*replicate_memctrl=*/false};
+  const auto failing = planner.physical_synthesis(planner.logic_synthesis(base));
+  ASSERT_FALSE(failing.meets_target);  // the paper's wall
+
+  plan::Spec fixed = base;
+  fixed.replicate_memctrl = true;
+  EXPECT_EQ(fixed.name(), "8CU@667MHz+2MC");
+  const auto logic = planner.logic_synthesis(fixed);
+  ASSERT_TRUE(logic.meets_target);
+  const auto physical = planner.physical_synthesis(logic);
+  std::printf("[fw] 8CU+2MC: achieved %.0f MHz, area %.2f mm^2 (single-MC area %.2f)\n",
+              physical.achieved_mhz, logic.stats.total_area_mm2(),
+              planner.logic_synthesis(base).stats.total_area_mm2());
+  EXPECT_TRUE(physical.meets_target);
+
+  // The fix costs a controller's worth of area.
+  EXPECT_GT(logic.stats.total_area_mm2(),
+            planner.logic_synthesis(base).stats.total_area_mm2());
+}
+
+TEST(ReplicatedController, EveryCuCountStillFloorplans) {
+  const fp::Floorplanner floorplanner;
+  for (int cu = 1; cu <= 8; ++cu) {
+    const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(cu, 2), tech65());
+    const auto plan = floorplanner.plan(design);
+    int controllers = 0;
+    for (const auto& partition : plan.partitions) {
+      if (partition.kind == netlist::Partition::kMemController) ++controllers;
+    }
+    EXPECT_EQ(controllers, 2) << cu;
+    EXPECT_EQ(plan.macros.size(), design.memories().size()) << cu;
+    EXPECT_EQ(plan.cu_distance_mm.size(), static_cast<std::size_t>(cu));
+  }
+}
+
+// ---- 2. single-port memory support -----------------------------------------
+
+TEST(SinglePort, ConvertingTolerantClassShrinksArea) {
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  const auto before = design.stats();
+  ASSERT_TRUE(opt::convert_to_single_port(design, "cu.opbuf").ok());
+  const auto after = design.stats();
+  EXPECT_LT(after.memory_area_um2, before.memory_area_um2);
+  EXPECT_GT(after.gate_count, before.gate_count);  // arbitration logic
+  for (const auto* mem : design.memories_of_class("cu.opbuf")) {
+    EXPECT_EQ(mem->macro.request.ports, tech::PortKind::kSinglePort);
+  }
+}
+
+TEST(SinglePort, ConversionIsIdempotent) {
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  ASSERT_TRUE(opt::convert_to_single_port(design, "cu.lsu_fifo").ok());
+  const auto once = design.stats();
+  ASSERT_TRUE(opt::convert_to_single_port(design, "cu.lsu_fifo").ok());
+  EXPECT_EQ(design.stats().gate_count, once.gate_count);
+  EXPECT_DOUBLE_EQ(design.stats().memory_area_um2, once.memory_area_um2);
+}
+
+TEST(SinglePort, HardDualPortClassesRefuse) {
+  // The paper: "many of the G-GPU memories have to be dual-port" — the
+  // register files and the scratchpad cannot arbitrate.
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  for (const char* cls : {"cu.rf", "cu.lram", "cu.cram", "cu.wf_ctx"}) {
+    const auto result = opt::convert_to_single_port(design, cls);
+    EXPECT_FALSE(result.ok()) << cls;
+  }
+  EXPECT_FALSE(opt::convert_to_single_port(design, "no.such.class").ok());
+}
+
+TEST(SinglePort, ConvertedClassStillDivides) {
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  ASSERT_TRUE(opt::convert_to_single_port(design, "cu.lsu_buf").ok());
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lsu_buf", 2).ok());
+  for (const auto* mem : design.memories_of_class("cu.lsu_buf")) {
+    EXPECT_EQ(mem->macro.request.ports, tech::PortKind::kSinglePort);
+    EXPECT_EQ(mem->macro.request.words, 2048u);
+  }
+}
+
+// ---- 3. technology retargeting ----------------------------------------------
+
+TEST(Retargeting, FasterNodeRaisesTheWholeLadder) {
+  const auto tech45 = tech::Technology::generic45();
+  const plan::Planner planner65(&tech65());
+  const plan::Planner planner45(&tech45);
+
+  const auto v65 = planner65.logic_synthesis({1, 667.0, {}, {}});
+  const auto v45 = planner45.logic_synthesis({1, 667.0, {}, {}});
+  EXPECT_TRUE(v45.meets_target);
+  EXPECT_GT(v45.timing.fmax_mhz(), v65.timing.fmax_mhz());
+  EXPECT_LT(v45.stats.total_area_mm2(), v65.stats.total_area_mm2() * 0.7);
+
+  // The 45 nm baseline already clears the 65 nm ladder top...
+  auto baseline45 = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech45);
+  const sta::TimingAnalyzer analyzer(&tech45);
+  const double baseline_fmax = analyzer.analyze(baseline45).fmax_mhz();
+  std::printf("[fw] 45 nm baseline fmax %.0f MHz (65 nm: 551)\n", baseline_fmax);
+  EXPECT_GT(baseline_fmax, 667.0);
+}
+
+TEST(Retargeting, OptimisationPointsAreTheSame) {
+  // The paper: "the points of optimization would be somewhat the same".
+  // Scale the 65 nm targets by the node's speed-up and check the map
+  // divides the same memory classes.
+  const auto tech45 = tech::Technology::generic45();
+  const plan::Planner planner65(&tech65());
+  const plan::Planner planner45(&tech45);
+
+  auto design65 = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  auto design45 = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech45);
+  const auto map65 = planner65.derive_map(design65, 590.0);
+  const auto map45 = planner45.derive_map(design45, 590.0 / 0.72);  // node speed factor
+
+  auto targets = [](const plan::OptimizationMap& map) {
+    std::vector<std::string> names;
+    for (const auto& action : map) names.push_back(action.target);
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(targets(map65), targets(map45));
+}
+
+TEST(Retargeting, DelaySheetCoversEveryClass) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), tech65());
+  const auto sheet = plan::delay_sheet(design);
+  EXPECT_EQ(sheet.row_count(), 14u);  // 8 CU + 6 shared classes
+  const auto csv = plan::map_csv({});
+  EXPECT_FALSE(csv.empty());
+}
+
+}  // namespace
+}  // namespace gpup

@@ -1,0 +1,143 @@
+// Cross-module integration: GPUPlanner generates a version, the simulator
+// runs kernels on the matching configuration, and the combined results
+// behave like one coherent system (the "IP + software stack" story of the
+// paper).
+#include <gtest/gtest.h>
+
+#include "src/fp/layout_writer.hpp"
+#include "src/kern/benchmark.hpp"
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+#include "src/util/rng.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+TEST(Integration, SpecToSiliconToKernel) {
+  // 1. Generate a 2-CU, 667 MHz G-GPU.
+  const plan::Planner planner(&technology());
+  const plan::Spec spec{2, 667.0, {}, {}};
+  const auto logic = planner.logic_synthesis(spec);
+  ASSERT_TRUE(logic.meets_target);
+  const auto physical = planner.physical_synthesis(logic);
+  ASSERT_TRUE(physical.meets_target);
+
+  // 2. Run a benchmark on the matching simulator configuration.
+  sim::GpuConfig config;
+  config.cu_count = spec.cu_count;
+  rt::Device device(config);
+  const auto* vec_mul = kern::benchmark_by_name("vec_mul");
+  const auto run = kern::run_gpu(*vec_mul, device, 4096);
+  ASSERT_TRUE(run.valid);
+
+  // 3. Combine: wall-clock at the synthesised frequency and energy from
+  // the power analysis — the numbers an integrator would quote.
+  const double seconds = static_cast<double>(run.stats.cycles) / (spec.freq_mhz * 1e6);
+  const double joules = logic.power.total_w() * seconds;
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_LT(seconds, 0.1);
+  EXPECT_GT(joules, 0.0);
+}
+
+TEST(Integration, EveryTableIVersionAlsoFloorplans) {
+  const plan::Planner planner(&technology());
+  for (int cu : {1, 2, 4, 8}) {
+    for (double freq : {500.0, 590.0, 667.0}) {
+      const auto logic = planner.logic_synthesis({cu, freq, {}, {}});
+      const auto physical = planner.physical_synthesis(logic);
+      EXPECT_GT(physical.floorplan.die_area_mm2(), 0.0);
+      EXPECT_EQ(physical.floorplan.cu_distance_mm.size(), static_cast<std::size_t>(cu));
+      // Every memory macro of the netlist is placed.
+      EXPECT_EQ(physical.floorplan.macros.size(), physical.netlist.memories().size());
+      // Layout exports never fail.
+      const auto svg = fp::LayoutWriter::to_svg(physical.floorplan, "x");
+      EXPECT_GT(svg.size(), 100u);
+    }
+  }
+}
+
+TEST(Integration, OptimisedMemoriesColouredByPartition) {
+  // Figs. 3/4 colour coding: after the 667 MHz map, divided CU memories
+  // are green (CU-optimised), controller ones orange, top ones blue.
+  const plan::Planner planner(&technology());
+  const auto logic = planner.logic_synthesis({1, 667.0, {}, {}});
+  int cu_optimised = 0;
+  int ctrl_optimised = 0;
+  int top_optimised = 0;
+  int untouched = 0;
+  for (const auto& mem : logic.netlist.memories()) {
+    switch (mem.group) {
+      case netlist::MemGroup::kCuOptimized: ++cu_optimised; break;
+      case netlist::MemGroup::kMemCtrlOptimized: ++ctrl_optimised; break;
+      case netlist::MemGroup::kTopOptimized: ++top_optimised; break;
+      case netlist::MemGroup::kUntouched: ++untouched; break;
+    }
+  }
+  EXPECT_GT(cu_optimised, 0);
+  EXPECT_GT(ctrl_optimised, 0);
+  EXPECT_GT(top_optimised, 0);
+  EXPECT_GT(untouched, 0);
+}
+
+TEST(Integration, HwDividerConfigMatchesIsaExtension) {
+  // The optional hardware divider (paper future work direction for ISA
+  // extensions): div_int computed with DIV/REM instead of the software
+  // loop, validated against the same golden output.
+  sim::GpuConfig config;
+  config.hw_divider = true;
+  rt::Device device(config);
+
+  const auto program = rt::Device::compile(R"(.kernel div_hw
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  lw r5, 0(r4)
+  param r6, 2
+  add r6, r6, r3
+  lw r7, 0(r6)
+  div r8, r5, r7
+  param r9, 3
+  add r9, r9, r3
+  sw r8, 0(r9)
+done:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+
+  const std::uint32_t n = 512;
+  std::vector<std::uint32_t> a(n), b(n);
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a[i] = rng.next_below(1u << 20) + 1;
+    b[i] = rng.next_below(1u << 8) + 1;
+  }
+  auto buf_a = device.alloc_words(n);
+  auto buf_b = device.alloc_words(n);
+  auto buf_out = device.alloc_words(n);
+  device.write(buf_a, a);
+  device.write(buf_b, b);
+  const auto stats = device.run(
+      program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(), {n, 256});
+  const auto out = device.read(buf_out);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], a[i] / b[i]);
+  }
+
+  // Ablation shape: hardware division beats the software loop.
+  const auto* div_int = kern::benchmark_by_name("div_int");
+  rt::Device sw_device(sim::GpuConfig{});
+  const auto sw = kern::run_gpu(*div_int, sw_device, n);
+  ASSERT_TRUE(sw.valid);
+  EXPECT_LT(stats.cycles, sw.stats.cycles);
+}
+
+}  // namespace
+}  // namespace gpup

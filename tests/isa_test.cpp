@@ -1,0 +1,164 @@
+// FGPU-class ISA: encode/decode round-trips, assembler syntax and errors,
+// disassembly.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/isa/isa.hpp"
+
+namespace gpup::isa {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTripAllOpcodes) {
+  for (int op = 0; op < static_cast<int>(Opcode::kCount); ++op) {
+    Instruction instruction;
+    instruction.opcode = static_cast<Opcode>(op);
+    const OpInfo& i = info(instruction.opcode);
+    if (i.has_rd || i.reads_rd) instruction.rd = 7;
+    if (i.reads_rs) instruction.rs = 13;
+    if (i.reads_rt) instruction.rt = 29;
+    if (i.has_imm16) instruction.imm = -42;
+    if (instruction.opcode == Opcode::kJmp) instruction.imm = 12345;
+    if (instruction.opcode == Opcode::kJal) {
+      instruction.imm = 99;
+      instruction.rd = kLinkRegister;
+    }
+    if (instruction.opcode == Opcode::kJr) instruction.rs = 31;
+    const Instruction decoded = Instruction::decode(instruction.encode());
+    EXPECT_EQ(decoded, instruction) << i.mnemonic;
+  }
+}
+
+TEST(Isa, NegativeImmediateRoundTrip) {
+  const Instruction instruction{Opcode::kAddi, 5, 6, 0, -32768};
+  EXPECT_EQ(Instruction::decode(instruction.encode()).imm, -32768);
+}
+
+TEST(Isa, ParseRegister) {
+  EXPECT_EQ(parse_register("r0"), 0);
+  EXPECT_EQ(parse_register("r31"), 31);
+  EXPECT_EQ(parse_register("r32"), -1);
+  EXPECT_EQ(parse_register("x1"), -1);
+  EXPECT_EQ(parse_register("r"), -1);
+  EXPECT_EQ(parse_register("r1x"), -1);
+}
+
+TEST(Assembler, BasicProgram) {
+  const auto program = Assembler::assemble(R"(.kernel test
+  addi r1, r0, 5
+loop:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().name(), "test");
+  ASSERT_EQ(program.value().size(), 4u);
+  EXPECT_EQ(program.value().labels().at("loop"), 1u);
+  // Branch offset: target 1, from pc 2 -> offset -2.
+  EXPECT_EQ(program.value().at(2).imm, -2);
+}
+
+TEST(Assembler, MemOperandSyntax) {
+  const auto program = Assembler::assemble("lw r4, 16(r2)\nsw r4, -4(r3)\nret");
+  ASSERT_TRUE(program.ok());
+  const auto load = program.value().at(0);
+  EXPECT_EQ(load.opcode, Opcode::kLw);
+  EXPECT_EQ(load.rd, 4);
+  EXPECT_EQ(load.rs, 2);
+  EXPECT_EQ(load.imm, 16);
+  const auto store = program.value().at(1);
+  EXPECT_EQ(store.opcode, Opcode::kSw);
+  EXPECT_EQ(store.rd, 4);
+  EXPECT_EQ(store.imm, -4);
+}
+
+TEST(Assembler, LiExpandsBySize) {
+  const auto small = Assembler::assemble("li r1, 100\nret");
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value().size(), 2u);
+
+  const auto large = Assembler::assemble("li r1, 0x12345678\nret");
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large.value().size(), 3u);  // lui + ori + ret
+  EXPECT_EQ(large.value().at(0).opcode, Opcode::kLui);
+  EXPECT_EQ(large.value().at(1).opcode, Opcode::kOri);
+}
+
+TEST(Assembler, LiAcrossLabelsKeepsOffsets) {
+  // A wide li before a label must not shift branch targets (two-pass
+  // sizing).
+  const auto program = Assembler::assemble(R"(
+  li r1, 0x10000
+target:
+  addi r2, r2, 1
+  bne r2, r1, target
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().labels().at("target"), 2u);
+  EXPECT_EQ(program.value().at(3).imm, -2);
+}
+
+TEST(Assembler, PseudoMov) {
+  const auto program = Assembler::assemble("mov r3, r9\nret");
+  ASSERT_TRUE(program.ok());
+  const auto mov = program.value().at(0);
+  EXPECT_EQ(mov.opcode, Opcode::kOr);
+  EXPECT_EQ(mov.rd, 3);
+  EXPECT_EQ(mov.rs, 9);
+  EXPECT_EQ(mov.rt, 0);
+}
+
+struct BadSource {
+  const char* source;
+  const char* expected_fragment;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(AssemblerErrors, ReportsWithContext) {
+  const auto program = Assembler::assemble(GetParam().source);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.error().to_string().find(GetParam().expected_fragment), std::string::npos)
+      << program.error().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        BadSource{"frobnicate r1, r2", "unknown mnemonic"},
+        BadSource{"add r1, r2", "missing second source"},
+        BadSource{"addi r1, r2, 99999", "immediate out of range"},
+        BadSource{"beq r1, r2, nowhere", "undefined symbol"},
+        BadSource{"lw r1, r2", "expected imm(rbase)"},
+        BadSource{"add r1, r2, r3, r4", "too many operands"},
+        BadSource{"dup:\ndup:\nret", "duplicate label"},
+        BadSource{".bogus directive", "unknown directive"},
+        BadSource{"add r1, r2, r99", "expected register"},
+        BadSource{"", "empty program"}));
+
+TEST(Program, DisassembleRoundTrips) {
+  const auto program = Assembler::assemble(R"(.kernel demo
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  lw r5, 0(r3)
+  sw r5, 4(r3)
+done:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  const auto listing = program.value().disassemble();
+  EXPECT_NE(listing.find("done:"), std::string::npos);
+  EXPECT_NE(listing.find("lw r5, 0(r3)"), std::string::npos);
+  EXPECT_NE(listing.find(".kernel demo"), std::string::npos);
+}
+
+TEST(Isa, StoreDisassemblyNamesDataRegister) {
+  const Instruction store{Opcode::kSw, 9, 3, 0, 8};
+  EXPECT_EQ(store.to_string(), "sw r9, 8(r3)");
+}
+
+}  // namespace
+}  // namespace gpup::isa

@@ -1,0 +1,88 @@
+// End-to-end kernel validation: every benchmark must produce its golden
+// output on the G-GPU simulator (several CU counts) and on both RISC-V
+// ports, plus cycle-count sanity (shape probes live in repro_test).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/kern/benchmark.hpp"
+
+namespace gpup::kern {
+namespace {
+
+sim::GpuConfig config_with(int cu_count) {
+  sim::GpuConfig config;
+  config.cu_count = cu_count;
+  return config;
+}
+
+class KernelCorrectness : public ::testing::TestWithParam<const Benchmark*> {};
+
+TEST_P(KernelCorrectness, Gpu1CuSmall) {
+  const Benchmark& benchmark = *GetParam();
+  rt::Device device(config_with(1));
+  // Small slice of the workload: exercises partial wavefronts too.
+  const std::uint32_t size = (benchmark.name() == "mat_mul") ? 96u : 96u;
+  const auto run = run_gpu(benchmark, device, size);
+  EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on 1 CU";
+  EXPECT_GT(run.stats.cycles, 0u);
+}
+
+TEST_P(KernelCorrectness, Gpu4CuPaperSize) {
+  const Benchmark& benchmark = *GetParam();
+  rt::Device device(config_with(4));
+  const auto run = run_gpu(benchmark, device, benchmark.gpu_input());
+  EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on 4 CUs";
+  std::printf("[kern] %-13s 4CU @ %u items: %llu cycles (%.2f cyc/item, hit %.2f)\n",
+              benchmark.name().c_str(), benchmark.gpu_input(),
+              static_cast<unsigned long long>(run.stats.cycles), run.stats.cycles_per_item(),
+              run.stats.counters.cache_hit_rate());
+}
+
+TEST_P(KernelCorrectness, RiscvNaive) {
+  const Benchmark& benchmark = *GetParam();
+  const auto run = run_riscv(benchmark, benchmark.riscv_input(), /*optimized=*/false);
+  EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on naive RISC-V port";
+  std::printf("[kern] %-13s riscv naive @ %u items: %llu cycles (%.1f cyc/item)\n",
+              benchmark.name().c_str(), benchmark.riscv_input(),
+              static_cast<unsigned long long>(run.stats.cycles),
+              static_cast<double>(run.stats.cycles) / benchmark.riscv_input());
+}
+
+TEST_P(KernelCorrectness, RiscvOptimized) {
+  const Benchmark& benchmark = *GetParam();
+  const auto run = run_riscv(benchmark, benchmark.riscv_input(), /*optimized=*/true);
+  EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on optimized RISC-V port";
+}
+
+TEST_P(KernelCorrectness, RiscvVariantsAgree) {
+  const Benchmark& benchmark = *GetParam();
+  const auto naive = run_riscv(benchmark, 64, false);
+  const auto optimized = run_riscv(benchmark, 64, true);
+  EXPECT_TRUE(naive.valid);
+  EXPECT_TRUE(optimized.valid);
+  // The optimized port must be meaningfully faster (it is the ablation).
+  EXPECT_LT(optimized.stats.cycles, naive.stats.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelCorrectness,
+                         ::testing::ValuesIn(all_benchmarks()),
+                         [](const ::testing::TestParamInfo<const Benchmark*>& info) {
+                           return info.param->name();
+                         });
+
+TEST(KernelScaling, MoreCusNeverSlowMatMul) {
+  const Benchmark* mat_mul = benchmark_by_name("mat_mul");
+  ASSERT_NE(mat_mul, nullptr);
+  std::uint64_t prev = ~0ull;
+  for (int cu : {1, 2, 4, 8}) {
+    rt::Device device(config_with(cu));
+    const auto run = run_gpu(*mat_mul, device, mat_mul->gpu_input());
+    ASSERT_TRUE(run.valid);
+    EXPECT_LT(run.stats.cycles, prev) << "mat_mul must scale with CU count";
+    prev = run.stats.cycles;
+  }
+}
+
+}  // namespace
+}  // namespace gpup::kern

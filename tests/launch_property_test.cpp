@@ -1,0 +1,106 @@
+// Launch-geometry invariance properties: results of a data-parallel kernel
+// must not depend on work-group size, CU count, or cache geometry — only
+// the cycle counts may change.
+#include <gtest/gtest.h>
+
+#include "src/kern/benchmark.hpp"
+#include "src/util/rng.hpp"
+
+namespace gpup {
+namespace {
+
+struct Geometry {
+  int cu_count;
+  std::uint32_t wg_size;
+  std::uint32_t cache_kb;
+};
+
+class GeometryInvariance : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometryInvariance, VecMulResultIndependentOfGeometry) {
+  const Geometry geometry = GetParam();
+  sim::GpuConfig config;
+  config.cu_count = geometry.cu_count;
+  config.cache_bytes = geometry.cache_kb * 1024;
+
+  rt::Device device(config);
+  const auto program = rt::Device::compile(R"(.kernel vm
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  lw r5, 0(r4)
+  param r6, 2
+  add r6, r6, r3
+  lw r7, 0(r6)
+  mul r8, r5, r7
+  param r9, 3
+  add r9, r9, r3
+  sw r8, 0(r9)
+done:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+
+  const std::uint32_t n = 3000;  // not a multiple of any wg size: tail WGs
+  std::vector<std::uint32_t> a(n), b(n);
+  Rng rng(1234);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a[i] = rng.next_u32();
+    b[i] = rng.next_u32();
+  }
+  auto buf_a = device.alloc_words(n);
+  auto buf_b = device.alloc_words(n);
+  auto buf_out = device.alloc_words(n);
+  device.write(buf_a, a);
+  device.write(buf_b, b);
+
+  const auto stats =
+      device.run(program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(),
+                 {n, geometry.wg_size});
+  EXPECT_GT(stats.cycles, 0u);
+
+  const auto out = device.read(buf_out);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], a[i] * b[i]) << "item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryInvariance,
+    ::testing::Values(Geometry{1, 64, 8}, Geometry{1, 512, 8}, Geometry{2, 128, 8},
+                      Geometry{3, 256, 16}, Geometry{5, 192, 8}, Geometry{7, 448, 32},
+                      Geometry{8, 256, 8}, Geometry{8, 512, 64}, Geometry{4, 96, 8},
+                      Geometry{6, 64, 16}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "cu" + std::to_string(info.param.cu_count) + "_wg" +
+             std::to_string(info.param.wg_size) + "_c" + std::to_string(info.param.cache_kb);
+    });
+
+class BenchmarkGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<const kern::Benchmark*, int>> {};
+
+TEST_P(BenchmarkGeometrySweep, ValidatesOnEveryCuCount) {
+  const auto* benchmark = std::get<0>(GetParam());
+  const int cu_count = std::get<1>(GetParam());
+  sim::GpuConfig config;
+  config.cu_count = cu_count;
+  rt::Device device(config);
+  const std::uint32_t size = (benchmark->name() == "mat_mul") ? 256u : 320u;
+  const auto run = kern::run_gpu(*benchmark, device, size);
+  EXPECT_TRUE(run.valid) << benchmark->name() << " @ " << cu_count << " CUs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllCus, BenchmarkGeometrySweep,
+    ::testing::Combine(::testing::ValuesIn(kern::all_benchmarks()),
+                       ::testing::Values(1, 3, 5, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<const kern::Benchmark*, int>>& info) {
+      return std::get<0>(info.param)->name() + "_cu" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gpup

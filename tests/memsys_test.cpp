@@ -1,0 +1,137 @@
+// Unit tests for the shared cache + memory-controller timing model.
+#include <gtest/gtest.h>
+
+#include "src/sim/memory_system.hpp"
+
+namespace gpup::sim {
+namespace {
+
+GpuConfig small_config() {
+  GpuConfig config;
+  config.cache_bytes = 1024;
+  config.cache_line_bytes = 32;
+  config.cache_banks = 2;
+  config.cache_hit_latency = 4;
+  config.dram_latency = 20;
+  return config;
+}
+
+/// Drive the memory system until `pred` or a cycle budget runs out.
+template <typename Pred>
+std::uint64_t run_until(MemorySystem& memory, Pred pred, std::uint64_t budget = 10000) {
+  std::uint64_t cycle = 0;
+  while (!pred() && cycle < budget) memory.tick(cycle++);
+  return cycle;
+}
+
+TEST(MemorySystem, MissThenHitLatency) {
+  PerfCounters counters;
+  MemorySystem memory(small_config(), &counters);
+
+  std::uint64_t first_done = 0;
+  memory.request(0, false, [&](std::uint64_t t) { first_done = t; });
+  run_until(memory, [&] { return first_done != 0; });
+  EXPECT_EQ(counters.cache_misses, 1u);
+  EXPECT_EQ(counters.dram_fills, 1u);
+  // Miss cost: at least DRAM latency + transfer.
+  EXPECT_GE(first_done, 20u + small_config().line_transfer_cycles());
+
+  std::uint64_t second_done = 0;
+  const std::uint64_t start = first_done + 1;
+  std::uint64_t cycle = start;
+  memory.request(0, false, [&](std::uint64_t t) { second_done = t; });
+  while (second_done == 0 && cycle < start + 100) memory.tick(cycle++);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_LE(second_done, start + 1 + small_config().cache_hit_latency);
+}
+
+TEST(MemorySystem, MshrMergesSameLineMisses) {
+  PerfCounters counters;
+  MemorySystem memory(small_config(), &counters);
+  int completions = 0;
+  memory.request(4, false, [&](std::uint64_t) { ++completions; });
+  memory.tick(0);  // first request enters the MSHR
+  memory.request(4, false, [&](std::uint64_t) { ++completions; });
+  run_until(memory, [&] { return completions == 2; });
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(counters.dram_fills, 1u);  // one fill serves both
+}
+
+TEST(MemorySystem, DirtyEvictionWritesBack) {
+  PerfCounters counters;
+  auto config = small_config();
+  MemorySystem memory(config, &counters);
+  const auto lines = config.cache_bytes / config.cache_line_bytes;  // 32 lines
+
+  bool store_done = false;
+  memory.request(0, true, [&](std::uint64_t) { store_done = true; });
+  run_until(memory, [&] { return store_done; });
+
+  // Evict line 0's set by touching the aliasing line (same set, new tag).
+  bool evict_done = false;
+  memory.request(lines, false, [&](std::uint64_t) { evict_done = true; });
+  run_until(memory, [&] { return evict_done; });
+  EXPECT_EQ(counters.dram_writebacks, 1u);
+}
+
+TEST(MemorySystem, BankInterleaving) {
+  PerfCounters counters;
+  MemorySystem memory(small_config(), &counters);
+  EXPECT_NE(memory.bank_of(0), memory.bank_of(1));
+  EXPECT_EQ(memory.bank_of(0), memory.bank_of(2));
+}
+
+TEST(MemorySystem, BackpressureAndBurst) {
+  PerfCounters counters;
+  auto config = small_config();
+  config.cache_queue_depth = 2;
+  MemorySystem memory(config, &counters);
+
+  EXPECT_TRUE(memory.accepts(0, 2));
+  EXPECT_TRUE(memory.accepts(0, 5));  // drained bank takes a burst
+  memory.request(0, false, nullptr);
+  memory.request(2, false, nullptr);
+  EXPECT_FALSE(memory.accepts(0, 1));  // full queue refuses
+  run_until(memory, [&] { return memory.idle(); });
+  EXPECT_TRUE(memory.accepts(0, 7));
+}
+
+TEST(MemorySystem, IdleTracksOutstandingWork) {
+  PerfCounters counters;
+  MemorySystem memory(small_config(), &counters);
+  EXPECT_TRUE(memory.idle());
+  bool done = false;
+  memory.request(0, false, [&](std::uint64_t) { done = true; });
+  EXPECT_FALSE(memory.idle());
+  run_until(memory, [&] { return memory.idle(); });
+  EXPECT_TRUE(done);
+}
+
+TEST(MemorySystem, AxiPortsBoundFillBandwidth) {
+  // With one AXI port, N distinct-line fills serialise on the transfer
+  // stage; with four ports they overlap.
+  PerfCounters c1;
+  auto one_port = small_config();
+  one_port.axi_ports = 1;
+  MemorySystem narrow(one_port, &c1);
+  std::uint64_t last_narrow = 0;
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    narrow.request(line, false, [&](std::uint64_t t) { last_narrow = std::max(last_narrow, t); });
+  }
+  run_until(narrow, [&] { return narrow.idle(); });
+
+  PerfCounters c4;
+  auto four_ports = small_config();
+  four_ports.axi_ports = 4;
+  MemorySystem wide(four_ports, &c4);
+  std::uint64_t last_wide = 0;
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    wide.request(line, false, [&](std::uint64_t t) { last_wide = std::max(last_wide, t); });
+  }
+  run_until(wide, [&] { return wide.idle(); });
+
+  EXPECT_GT(last_narrow, last_wide);
+}
+
+}  // namespace
+}  // namespace gpup::sim

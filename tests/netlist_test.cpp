@@ -1,0 +1,124 @@
+// Structural netlist + generator invariants (Table I columns are exact
+// functions of these).
+#include <gtest/gtest.h>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+TEST(Netlist, StatsAggregate) {
+  netlist::Netlist design("t", &technology());
+  design.add_flops({"f1", netlist::Partition::kComputeUnit, 0, 100});
+  design.add_flops({"f2", netlist::Partition::kTop, -1, 50});
+  design.add_comb({"c1", netlist::Partition::kComputeUnit, 0, 1000});
+  netlist::MemInstance mem;
+  mem.name = "m0";
+  mem.class_id = "k";
+  mem.partition = netlist::Partition::kMemController;
+  mem.macro = technology().memories.compile({1024, 32, tech::PortKind::kDualPort});
+  design.add_memory(mem);
+
+  const auto all = design.stats();
+  EXPECT_EQ(all.ff_count, 150u);
+  EXPECT_EQ(all.gate_count, 1000u);
+  EXPECT_EQ(all.memory_count, 1u);
+  EXPECT_GT(all.memory_area_um2, 0.0);
+  EXPECT_GT(all.logic_area_um2, 0.0);
+
+  const auto cu = design.stats(netlist::Partition::kComputeUnit);
+  EXPECT_EQ(cu.ff_count, 100u);
+  EXPECT_EQ(cu.memory_count, 0u);
+}
+
+TEST(Netlist, SlowestOfClass) {
+  netlist::Netlist design("t", &technology());
+  for (std::uint32_t words : {512u, 2048u, 1024u}) {
+    netlist::MemInstance mem;
+    mem.name = "m" + std::to_string(words);
+    mem.class_id = "k";
+    mem.macro = technology().memories.compile({words, 32, tech::PortKind::kDualPort});
+    design.add_memory(mem);
+  }
+  const auto* slowest = design.slowest_of_class("k");
+  ASSERT_NE(slowest, nullptr);
+  EXPECT_EQ(slowest->macro.request.words, 2048u);
+  EXPECT_EQ(design.slowest_of_class("nope"), nullptr);
+}
+
+class GgpuGeneratorScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(GgpuGeneratorScaling, CountsScaleLinearlyWithCuCount) {
+  const int n = GetParam();
+  const auto arch1 = gen::GgpuArchSpec::baseline(1);
+  const auto archn = gen::GgpuArchSpec::baseline(n);
+  const auto design1 = gen::generate_ggpu(arch1, technology());
+  const auto designn = gen::generate_ggpu(archn, technology());
+
+  const auto s1 = design1.stats();
+  const auto sn = designn.stats();
+  const auto cu1 = design1.stats(netlist::Partition::kComputeUnit);
+  const auto cun = designn.stats(netlist::Partition::kComputeUnit);
+
+  // CU contents scale exactly linearly; shared logic is constant.
+  EXPECT_EQ(cun.memory_count, cu1.memory_count * static_cast<std::uint64_t>(n));
+  EXPECT_EQ(cun.ff_count, cu1.ff_count * static_cast<std::uint64_t>(n));
+  EXPECT_EQ(sn.memory_count - cun.memory_count, s1.memory_count - cu1.memory_count);
+  EXPECT_EQ(designn.cu_count(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(CuCounts, GgpuGeneratorScaling, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(GgpuGenerator, BaselineMacroCountsMatchPaper) {
+  const auto arch = gen::GgpuArchSpec::baseline(1);
+  EXPECT_EQ(arch.baseline_cu_macros(), 42);
+  EXPECT_EQ(arch.baseline_shared_macros(), 9);
+}
+
+TEST(GgpuGenerator, RejectsBadCuCounts) {
+  EXPECT_THROW((void)gen::GgpuArchSpec::baseline(0), std::logic_error);
+  EXPECT_THROW((void)gen::GgpuArchSpec::baseline(9), std::logic_error);
+}
+
+TEST(GgpuGenerator, AllMemoriesWithinCompilerRange) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8), technology());
+  for (const auto& mem : design.memories()) {
+    EXPECT_TRUE(technology().memories.supports(mem.macro.request)) << mem.name;
+  }
+}
+
+TEST(GgpuGenerator, PathsReferenceExistingClasses) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(2), technology());
+  for (const auto& path : design.paths()) {
+    if (path.start_mem_class.empty()) continue;
+    EXPECT_NE(design.slowest_of_class(path.start_mem_class), nullptr) << path.name;
+  }
+}
+
+TEST(GgpuGenerator, HandshakePathExists) {
+  // The CU<->controller interface must be a handshake (the 8-CU story
+  // depends on it refusing pipelines).
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8), technology());
+  const auto* interface = design.find_path("top.interface");
+  ASSERT_NE(interface, nullptr);
+  EXPECT_TRUE(interface->handshake);
+  EXPECT_TRUE(interface->crosses_to_memctrl);
+  EXPECT_FALSE(interface->pipeline_allowed);
+}
+
+TEST(RiscvGenerator, FootprintNearPaperImplied) {
+  const auto design = gen::generate_riscv(technology());
+  const auto stats = design.stats();
+  EXPECT_EQ(stats.memory_count, 4u);  // 32 KB in four banks
+  // Paper-implied ~0.7 mm^2 (area ratios 6.5..41 vs Table I areas).
+  EXPECT_NEAR(stats.total_area_mm2(), 0.7, 0.1);
+}
+
+}  // namespace
+}  // namespace gpup

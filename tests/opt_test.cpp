@@ -1,0 +1,149 @@
+// Memory-division and pipeline-insertion transform semantics.
+#include <gtest/gtest.h>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/opt/transforms.hpp"
+#include "src/sta/timing.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+netlist::Netlist baseline(int cu_count = 1) {
+  return gen::generate_ggpu(gen::GgpuArchSpec::baseline(cu_count), technology());
+}
+
+TEST(DivideMemory, SplitsEveryInstanceOfTheClass) {
+  auto design = baseline(2);
+  const auto before = design.memories_of_class("cu.cram").size();
+  ASSERT_EQ(before, 4u);  // 2 per CU x 2 CUs
+
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 2).ok());
+  const auto pieces = design.memories_of_class("cu.cram");
+  EXPECT_EQ(pieces.size(), 8u);
+  for (const auto* piece : pieces) {
+    EXPECT_EQ(piece->macro.request.words, 2048u);
+    EXPECT_EQ(piece->division_factor, 2);
+    EXPECT_EQ(piece->group, netlist::MemGroup::kCuOptimized);
+  }
+}
+
+TEST(DivideMemory, FactorIsAbsoluteNotIncremental) {
+  auto design = baseline(1);
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 2).ok());
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 4).ok());
+  const auto pieces = design.memories_of_class("cu.cram");
+  EXPECT_EQ(pieces.size(), 8u);  // 2 roots x 4
+  for (const auto* piece : pieces) EXPECT_EQ(piece->macro.request.words, 1024u);
+
+  // Back to factor 1 restores the baseline shape.
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 1).ok());
+  const auto restored = design.memories_of_class("cu.cram");
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0]->macro.request.words, 4096u);
+}
+
+TEST(DivideMemory, AddsMuxGates) {
+  auto design = baseline(1);
+  const auto gates_before = design.stats().gate_count;
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lram", 2).ok());
+  EXPECT_GT(design.stats().gate_count, gates_before);
+  // Re-dividing replaces (not stacks) the MUX cloud.
+  const auto gates_x2 = design.stats().gate_count;
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lram", 4).ok());
+  EXPECT_GT(design.stats().gate_count, gates_x2);
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lram", 1).ok());
+  EXPECT_EQ(design.stats().gate_count, gates_before);
+}
+
+TEST(DivideMemory, ImprovesTimingOfTheLaunchedPath) {
+  auto design = baseline(1);
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto* path = design.find_path("cu.cram.read_path");
+  const double before = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 2).ok());
+  const double after = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  EXPECT_LT(after, before);
+}
+
+TEST(DivideMemory, ByBitsKeepsMuxOut) {
+  auto design = baseline(1);
+  const auto gates_before = design.stats().gate_count;
+  ASSERT_TRUE(opt::divide_memory(design, "cu.opbuf", 2, /*by_words=*/false).ok());
+  // Width split re-concatenates wires: no MUX gates.
+  EXPECT_EQ(design.stats().gate_count, gates_before);
+  const auto pieces = design.memories_of_class("cu.opbuf");
+  EXPECT_EQ(pieces[0]->macro.request.bits, 64u);
+  EXPECT_EQ(pieces[0]->macro.request.words, 256u);
+}
+
+TEST(DivideMemory, RejectsLeavingCompilerRange) {
+  auto design = baseline(1);
+  // 128-word FIFOs divided by 16 would go below the 16-word minimum.
+  const auto result = opt::divide_memory(design, "cu.lsu_fifo", 16);
+  EXPECT_FALSE(result.ok());
+  // The class is untouched after the failed transform.
+  EXPECT_EQ(design.memories_of_class("cu.lsu_fifo").size(), 8u);
+}
+
+TEST(DivideMemory, RejectsUnknownClass) {
+  auto design = baseline(1);
+  EXPECT_FALSE(opt::divide_memory(design, "cu.nothing", 2).ok());
+}
+
+TEST(DivideMemory, AreaGrowsLeakageGrows) {
+  auto design = baseline(1);
+  const auto stats_before = design.stats();
+  double leak_before = 0.0;
+  for (const auto& mem : design.memories()) leak_before += mem.macro.leakage_mw;
+  ASSERT_TRUE(opt::divide_memory(design, "top.cache_data", 2).ok());
+  const auto stats_after = design.stats();
+  double leak_after = 0.0;
+  for (const auto& mem : design.memories()) leak_after += mem.macro.leakage_mw;
+  EXPECT_GT(stats_after.memory_area_um2, stats_before.memory_area_um2);
+  EXPECT_GT(leak_after, leak_before);
+}
+
+TEST(InsertPipeline, AddsStagesAndFlops) {
+  auto design = baseline(4);
+  const auto ff_before = design.stats().ff_count;
+  ASSERT_TRUE(opt::insert_pipeline(design, "cu.issue_arbiter", 1).ok());
+  EXPECT_EQ(design.find_path("cu.issue_arbiter")->pipeline_stages, 1);
+  // (width 256 + valid) x 1 stage x 4 CUs.
+  EXPECT_EQ(design.stats().ff_count, ff_before + 257u * 4u);
+}
+
+TEST(InsertPipeline, RefusesHandshake) {
+  auto design = baseline(8);
+  const auto result = opt::insert_pipeline(design, "top.interface", 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("handshake"), std::string::npos);
+}
+
+TEST(InsertPipeline, RefusesUnknownPath) {
+  auto design = baseline(1);
+  EXPECT_FALSE(opt::insert_pipeline(design, "nope", 1).ok());
+}
+
+class DivisionFactorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivisionFactorSweep, DelayMonotonicallyImproves) {
+  const int factor = GetParam();
+  auto design = baseline(1);
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto* path = design.find_path("cu.cram.read_path");
+  const double before = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", factor).ok());
+  const double after = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  EXPECT_LT(after, before) << "factor " << factor;
+  EXPECT_EQ(design.memories_of_class("cu.cram").size(), 2u * static_cast<unsigned>(factor));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DivisionFactorSweep, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace gpup

@@ -1,0 +1,143 @@
+// GPUPlanner flow semantics: estimation, map derivation, synthesis ladder,
+// physical fallback, PPA checks.
+#include <gtest/gtest.h>
+
+#include "src/plan/planner.hpp"
+#include "src/plan/report.hpp"
+
+namespace gpup::plan {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+TEST(Planner, EstimateFeasibility) {
+  const Planner planner(&technology());
+  const auto ok = planner.estimate({4, 667.0, {}, {}});
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_GT(ok.area_mm2, 0.0);
+  EXPECT_GT(ok.baseline_fmax_mhz, 500.0);
+
+  const auto too_fast = planner.estimate({4, 800.0, {}, {}});
+  EXPECT_FALSE(too_fast.feasible);
+
+  const auto bad_cu = planner.estimate({12, 500.0, {}, {}});
+  EXPECT_FALSE(bad_cu.feasible);
+}
+
+TEST(Planner, EstimateTracksSynthesisWithin15Percent) {
+  const Planner planner(&technology());
+  for (double freq : {500.0, 667.0}) {
+    const auto estimate = planner.estimate({2, freq, {}, {}});
+    const auto actual = planner.logic_synthesis({2, freq, {}, {}});
+    EXPECT_NEAR(estimate.area_mm2, actual.stats.total_area_mm2(),
+                actual.stats.total_area_mm2() * 0.15)
+        << freq;
+  }
+}
+
+TEST(Planner, MapAt500IsEmpty) {
+  const Planner planner(&technology());
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto map = planner.derive_map(design, 500.0);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(Planner, MapAt590DividesAndPipelines) {
+  const Planner planner(&technology());
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto map = planner.derive_map(design, 590.0);
+
+  bool divided_cram = false;
+  bool pipelined_arbiter = false;
+  for (const auto& action : map) {
+    if (action.kind == OptimizationAction::Kind::kDivideWords && action.target == "cu.cram")
+      divided_cram = true;
+    if (action.kind == OptimizationAction::Kind::kPipeline &&
+        action.target == "cu.issue_arbiter")
+      pipelined_arbiter = true;
+    EXPECT_LT(action.after_ns, action.before_ns);
+  }
+  EXPECT_TRUE(divided_cram);
+  EXPECT_TRUE(pipelined_arbiter);
+
+  const sta::TimingAnalyzer analyzer(&technology());
+  EXPECT_TRUE(analyzer.analyze(design).meets(sta::period_ns(590.0)));
+}
+
+TEST(Planner, LadderIsIncremental) {
+  // The 667 MHz version starts from the 590 MHz optimisations (paper:
+  // iterative map refinement), so its map contains the 590 actions plus
+  // extra shared-macro splits.
+  const Planner planner(&technology());
+  const auto v590 = planner.logic_synthesis({1, 590.0, {}, {}});
+  const auto v667 = planner.logic_synthesis({1, 667.0, {}, {}});
+  EXPECT_GT(v667.applied.size(), v590.applied.size());
+  EXPECT_GT(v667.stats.memory_count, v590.stats.memory_count);
+}
+
+TEST(Planner, TwelveVersionExercise) {
+  const Planner planner(&technology());
+  const auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+  ASSERT_EQ(versions.size(), 12u);
+  for (const auto& version : versions) {
+    EXPECT_TRUE(version.meets_target) << version.spec.name();
+    EXPECT_GT(version.stats.total_area_mm2(), 0.0);
+    EXPECT_GT(version.power.total_w(), 0.0);
+  }
+  const auto table = table1(versions);
+  EXPECT_EQ(table.row_count(), 12u);
+}
+
+TEST(Planner, PhysicalFallbackOnlyForEightCus) {
+  const Planner planner(&technology());
+  for (int cu : {1, 2, 4}) {
+    const auto physical = planner.physical_synthesis(planner.logic_synthesis({cu, 667.0, {}, {}}));
+    EXPECT_TRUE(physical.meets_target) << cu << " CUs should close at 667";
+  }
+  const auto failing = planner.physical_synthesis(planner.logic_synthesis({8, 667.0, {}, {}}));
+  EXPECT_FALSE(failing.meets_target);
+  EXPECT_EQ(failing.recommended_mhz, 600.0);
+  // The failed pipeline attempt must be on record (paper narrative).
+  bool handshake_note = false;
+  for (const auto& note : failing.notes) {
+    if (note.find("handshake") != std::string::npos) handshake_note = true;
+  }
+  EXPECT_TRUE(handshake_note);
+}
+
+TEST(Planner, PpaBudgetWarnings) {
+  const Planner planner(&technology());
+  Spec spec{1, 500.0, {}, {}};
+  spec.max_area_mm2 = 1.0;    // impossible
+  spec.max_total_power_w = 0.1;
+  const auto result = planner.logic_synthesis(spec);
+  ASSERT_EQ(result.warnings.size(), 2u);
+}
+
+TEST(Planner, SpecName) {
+  EXPECT_EQ((Spec{8, 667.0, {}, {}}).name(), "8CU@667MHz");
+}
+
+TEST(Report, MapTableRendersAllActions) {
+  const Planner planner(&technology());
+  const auto logic = planner.logic_synthesis({1, 667.0, {}, {}});
+  const auto table = map_table(logic.applied);
+  EXPECT_EQ(table.row_count(), logic.applied.size());
+}
+
+class PlannerFrequencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlannerFrequencySweep, ArbitraryTargetsSynthesise) {
+  const Planner planner(&technology());
+  const auto result = planner.logic_synthesis({2, GetParam(), {}, {}});
+  EXPECT_TRUE(result.meets_target) << GetParam() << " MHz";
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, PlannerFrequencySweep,
+                         ::testing::Values(400.0, 500.0, 550.0, 590.0, 600.0, 640.0, 667.0));
+
+}  // namespace
+}  // namespace gpup::plan

@@ -1,0 +1,76 @@
+// Power-analysis model invariants (Table I power columns).
+#include <gtest/gtest.h>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/opt/transforms.hpp"
+#include "src/power/power.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+netlist::Netlist baseline(int cu_count = 1) {
+  return gen::generate_ggpu(gen::GgpuArchSpec::baseline(cu_count), technology());
+}
+
+TEST(Power, BreakdownSumsToTotals) {
+  const auto design = baseline(2);
+  const auto report = power::PowerAnalyzer().analyze(design, 500.0);
+  EXPECT_NEAR(report.leakage_mw, report.mem_leakage_mw + report.logic_leakage_mw, 1e-9);
+  EXPECT_NEAR(report.dynamic_w,
+              report.ff_dynamic_w + report.comb_dynamic_w + report.mem_dynamic_w, 1e-9);
+  EXPECT_NEAR(report.total_w(), report.dynamic_w + report.leakage_mw * 1e-3, 1e-9);
+}
+
+TEST(Power, DynamicScalesWithFrequency) {
+  const auto design = baseline(1);
+  const power::PowerAnalyzer analyzer;
+  const auto at_250 = analyzer.analyze(design, 250.0);
+  const auto at_500 = analyzer.analyze(design, 500.0);
+  // Below the 500 MHz baseline there is no upsizing: exactly linear.
+  EXPECT_NEAR(at_500.dynamic_w, 2.0 * at_250.dynamic_w, at_500.dynamic_w * 1e-9);
+  // Above it, upsizing makes growth super-linear.
+  const auto at_667 = analyzer.analyze(design, 667.0);
+  EXPECT_GT(at_667.dynamic_w, at_500.dynamic_w * 667.0 / 500.0);
+}
+
+TEST(Power, LeakageIndependentOfFrequencyBelowBaseline) {
+  const auto design = baseline(1);
+  const power::PowerAnalyzer analyzer;
+  EXPECT_DOUBLE_EQ(analyzer.analyze(design, 100.0).mem_leakage_mw,
+                   analyzer.analyze(design, 500.0).mem_leakage_mw);
+}
+
+TEST(Power, DividedMemoriesBurnMoreIdlePower) {
+  // The paper's optimised versions consume more power at the same
+  // frequency: every extra macro pays idle (clock/precharge) energy.
+  auto design = baseline(1);
+  const auto before = power::PowerAnalyzer().analyze(design, 500.0);
+  ASSERT_TRUE(opt::divide_memory(design, "cu.cram", 4).ok());
+  ASSERT_TRUE(opt::divide_memory(design, "cu.lram", 2).ok());
+  const auto after = power::PowerAnalyzer().analyze(design, 500.0);
+  EXPECT_GT(after.mem_dynamic_w, before.mem_dynamic_w);
+  EXPECT_GT(after.mem_leakage_mw, before.mem_leakage_mw);
+}
+
+class PowerScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerScaling, GrowsWithCuCount) {
+  const int n = GetParam();
+  const power::PowerAnalyzer analyzer;
+  const auto one = analyzer.analyze(baseline(1), 500.0);
+  const auto many = analyzer.analyze(baseline(n), 500.0);
+  // Slightly sub-linear growth: shared logic is not replicated.
+  EXPECT_GT(many.dynamic_w, 0.9 * n * (one.dynamic_w - 0.5));
+  EXPECT_LT(many.dynamic_w, n * one.dynamic_w + 1e-9);
+  EXPECT_GT(many.leakage_mw, one.leakage_mw);
+}
+
+INSTANTIATE_TEST_SUITE_P(CuCounts, PowerScaling, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace gpup

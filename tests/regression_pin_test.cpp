@@ -1,0 +1,98 @@
+// Regression pins: the exact numbers recorded in EXPERIMENTS.md.
+//
+// Every value here was measured on the configurations this repository
+// ships; the tolerances are wide enough for intentional model retuning to
+// be done consciously (update EXPERIMENTS.md together with this file) but
+// tight enough to catch accidental drift. Simulation is deterministic, so
+// cycle counts are pinned exactly.
+#include <gtest/gtest.h>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/kern/benchmark.hpp"
+#include "src/plan/planner.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+TEST(RegressionPin, Table1KeyCells) {
+  const plan::Planner planner(&technology());
+
+  const auto v1_500 = planner.logic_synthesis({1, 500.0, {}, {}});
+  EXPECT_NEAR(v1_500.stats.total_area_mm2(), 4.23, 0.05);
+  EXPECT_NEAR(v1_500.stats.memory_area_mm2(), 2.68, 0.03);
+  EXPECT_EQ(v1_500.stats.ff_count, 119800u);
+  EXPECT_EQ(v1_500.stats.gate_count, 127800u);
+  EXPECT_EQ(v1_500.stats.memory_count, 51u);
+
+  const auto v1_590 = planner.logic_synthesis({1, 590.0, {}, {}});
+  EXPECT_EQ(v1_590.stats.memory_count, 68u);
+  EXPECT_EQ(v1_590.stats.ff_count, 120057u);  // +257: the arbiter pipeline
+
+  const auto v8_667 = planner.logic_synthesis({8, 667.0, {}, {}});
+  EXPECT_EQ(v8_667.stats.memory_count, 434u);
+  EXPECT_NEAR(v8_667.stats.total_area_mm2(), 27.56, 0.3);
+  EXPECT_NEAR(v8_667.power.dynamic_w, 18.41, 0.5);
+}
+
+TEST(RegressionPin, PhysicalSynthesisKeyNumbers) {
+  const plan::Planner planner(&technology());
+  const auto p1 = planner.physical_synthesis(planner.logic_synthesis({1, 500.0, {}, {}}));
+  EXPECT_NEAR(p1.floorplan.die_w_um, 2259.0, 40.0);
+  EXPECT_NEAR(p1.floorplan.die_h_um, 2901.0, 50.0);
+
+  const auto p8 = planner.physical_synthesis(planner.logic_synthesis({8, 667.0, {}, {}}));
+  EXPECT_NEAR(p8.achieved_mhz, 662.0, 6.0);
+  EXPECT_EQ(p8.recommended_mhz, 600.0);
+  EXPECT_NEAR(p8.floorplan.die_w_um, 7466.0, 80.0);
+}
+
+TEST(RegressionPin, CycleCountsAtQuarterScale) {
+  // Deterministic simulation: exact pins at 1/4 paper inputs (fast).
+  struct Pin {
+    const char* kernel;
+    int cu;
+    std::uint32_t size;
+  };
+  for (const Pin pin : {Pin{"copy", 1, 8192}, Pin{"mat_mul", 4, 512},
+                        Pin{"div_int", 2, 1024}, Pin{"fir", 1, 1024}}) {
+    sim::GpuConfig config;
+    config.cu_count = pin.cu;
+    rt::Device device(config);
+    const auto* benchmark = kern::benchmark_by_name(pin.kernel);
+    const auto first = kern::run_gpu(*benchmark, device, pin.size);
+    ASSERT_TRUE(first.valid);
+    // Re-run on a fresh device: bit-identical cycle count.
+    rt::Device device2(config);
+    const auto second = kern::run_gpu(*benchmark, device2, pin.size);
+    EXPECT_EQ(first.stats.cycles, second.stats.cycles) << pin.kernel;
+  }
+}
+
+TEST(RegressionPin, RiscvCycleCounts) {
+  // The naive-port counts behind Table III's RISC-V column.
+  const auto mat_mul = kern::run_riscv(*kern::benchmark_by_name("mat_mul"), 128, false);
+  ASSERT_TRUE(mat_mul.valid);
+  EXPECT_NEAR(static_cast<double>(mat_mul.stats.cycles), 191900.0, 4000.0);
+
+  const auto div_int = kern::run_riscv(*kern::benchmark_by_name("div_int"), 512, false);
+  ASSERT_TRUE(div_int.valid);
+  EXPECT_NEAR(static_cast<double>(div_int.stats.cycles), 39400.0, 1500.0);
+}
+
+TEST(RegressionPin, AreaRatios) {
+  const plan::Planner planner(&technology());
+  const double riscv = gen::generate_riscv(technology()).stats().total_area_mm2();
+  EXPECT_NEAR(riscv, 0.663, 0.02);
+  EXPECT_NEAR(planner.logic_synthesis({1, 667.0, {}, {}}).stats.total_area_mm2() / riscv, 6.6,
+              0.2);
+  EXPECT_NEAR(planner.logic_synthesis({8, 667.0, {}, {}}).stats.total_area_mm2() / riscv, 41.6,
+              1.0);
+}
+
+}  // namespace
+}  // namespace gpup

@@ -1,0 +1,195 @@
+// Round-trip properties of the toolchain:
+//   assemble -> disassemble -> re-assemble must be a fixed point, and
+//   random request streams through the memory system must conserve
+//   completions.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/rv/assembler.hpp"
+#include "src/sim/memory_system.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace gpup {
+namespace {
+
+// ---- assembler/disassembler fixed point -------------------------------------
+
+const char* kKernelSources[] = {
+    R"(.kernel copy
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  param r6, 3
+  add   r6, r6, r3
+  sw    r5, 0(r6)
+done:
+  ret
+)",
+    R"(.kernel branches
+a:  beq r1, r2, b
+    bne r3, r4, c
+    blt r5, r6, a
+b:  bge r7, r8, c
+    bltu r9, r10, b
+c:  bgeu r11, r12, a
+    jmp a
+    jal b
+    jr r31
+    ret
+)",
+    R"(.kernel everything
+  nop
+  add r1, r2, r3
+  mulhu r4, r5, r6
+  nor r7, r8, r9
+  sra r10, r11, r12
+  sltu r13, r14, r15
+  addi r16, r17, -42
+  xori r18, r19, 255
+  srai r20, r21, 7
+  lui r22, 4660
+  lwl r23, 8(r24)
+  swl r23, 12(r24)
+  lid r25
+  wgid r26
+  wgsize r27
+  gsize r28
+  param r29, 5
+  bar
+  ret
+)",
+};
+
+class AsmFixedPoint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AsmFixedPoint, DisassemblyReassemblesIdentically) {
+  const auto first = isa::Assembler::assemble(GetParam());
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+
+  const std::string listing = first.value().disassemble();
+  // Strip the "  %04x:  %08x  " prefix (19 chars) from instruction lines.
+  std::string source;
+  for (const auto& line : split(listing, "\n")) {
+    if (line.size() > 19 && line[0] == ' ' && line[6] == ':') {
+      source += line.substr(19) + "\n";
+    } else if (!line.empty() && line[0] != ' ' && line.back() == ':') {
+      source += line + "\n";  // label lines
+    } else if (starts_with(line, ".kernel")) {
+      source += line + "\n";
+    }
+  }
+  const auto second = isa::Assembler::assemble(source);
+  ASSERT_TRUE(second.ok()) << second.error().to_string() << "\nsource was:\n" << source;
+  EXPECT_EQ(second.value().words(), first.value().words());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AsmFixedPoint, ::testing::ValuesIn(kKernelSources));
+
+TEST(AsmFixedPoint, AllShippedKernelsDisassemble) {
+  // Every benchmark kernel's disassembly must parse (smoke the full ISA
+  // surface the suite uses).
+  for (const char* source : kKernelSources) {
+    const auto program = isa::Assembler::assemble(source);
+    ASSERT_TRUE(program.ok());
+    EXPECT_GT(program.value().disassemble().size(), 10u);
+  }
+}
+
+// ---- RV encode/decode fuzz ---------------------------------------------------
+
+TEST(RvRoundTripFuzz, RandomFieldsSurviveEncodeDecode) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    rv::Instr instruction;
+    instruction.op = static_cast<rv::Op>(rng.next_below(static_cast<std::uint32_t>(rv::Op::kCount)));
+    const auto& info = rv::info(instruction.op);
+    if (info.writes_rd) instruction.rd = static_cast<std::uint8_t>(rng.next_below(32));
+    if (info.reads_rs1) instruction.rs1 = static_cast<std::uint8_t>(rng.next_below(32));
+    if (info.reads_rs2) instruction.rs2 = static_cast<std::uint8_t>(rng.next_below(32));
+    switch (instruction.op) {
+      case rv::Op::kSlli: case rv::Op::kSrli: case rv::Op::kSrai:
+        instruction.imm = static_cast<std::int32_t>(rng.next_below(32));
+        break;
+      case rv::Op::kBeq: case rv::Op::kBne: case rv::Op::kBlt:
+      case rv::Op::kBge: case rv::Op::kBltu: case rv::Op::kBgeu:
+        instruction.imm = rng.next_in(-2048, 2047) * 2;  // 13-bit, even
+        break;
+      case rv::Op::kJal:
+        instruction.imm = rng.next_in(-260000, 260000) * 2;
+        break;
+      case rv::Op::kLui: case rv::Op::kAuipc:
+        instruction.imm = static_cast<std::int32_t>(rng.next_below(1u << 20));
+        break;
+      case rv::Op::kEcall:
+        break;
+      default:
+        if (!info.reads_rs2) instruction.imm = rng.next_in(-2048, 2047);
+        break;
+    }
+    const rv::Instr decoded = rv::Instr::decode(instruction.encode());
+    ASSERT_EQ(decoded.op, instruction.op) << trial;
+    ASSERT_EQ(decoded.imm, instruction.imm)
+        << trial << " " << rv::info(instruction.op).mnemonic;
+    if (info.writes_rd) ASSERT_EQ(decoded.rd, instruction.rd);
+    if (info.reads_rs1) ASSERT_EQ(decoded.rs1, instruction.rs1);
+    if (info.reads_rs2) ASSERT_EQ(decoded.rs2, instruction.rs2);
+  }
+}
+
+// ---- memory-system conservation fuzz ----------------------------------------
+
+TEST(MemSystemFuzz, EveryRequestCompletesExactlyOnce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::GpuConfig config;
+    config.cache_bytes = 2048;
+    config.cache_banks = 1 + rng.next_below(2);  // 1 or 2
+    if (config.cache_banks == 2 && (config.cache_bytes / config.cache_line_bytes) % 2 != 0) {
+      config.cache_banks = 1;
+    }
+    config.mshr_per_bank = 2 + rng.next_below(6);
+    config.dram_latency = 5 + rng.next_below(60);
+    config.axi_ports = 1 + rng.next_below(4);
+
+    sim::PerfCounters counters;
+    sim::MemorySystem memory(config, &counters);
+
+    int issued = 0;
+    int completed = 0;
+    std::uint64_t last_done = 0;
+    std::uint64_t cycle = 0;
+    const int target = 300;
+    while (completed < target && cycle < 200000) {
+      if (issued < target) {
+        const std::uint64_t line = rng.next_below(128);
+        if (memory.can_accept(line)) {
+          memory.request(line, rng.next_below(2) == 0, [&](std::uint64_t done) {
+            ++completed;
+            last_done = std::max(last_done, done);
+          });
+          ++issued;
+        }
+      }
+      memory.tick(cycle++);
+    }
+    // Drain.
+    while (!memory.idle() && cycle < 300000) memory.tick(cycle++);
+
+    ASSERT_EQ(completed, target) << "trial " << trial;
+    ASSERT_TRUE(memory.idle());
+    // Conservation: hits + misses account for every request served.
+    EXPECT_EQ(counters.cache_hits + counters.cache_misses,
+              static_cast<std::uint64_t>(target));
+    // Fills never exceed misses; completions never before issue cycle 0.
+    EXPECT_LE(counters.dram_fills, counters.cache_misses);
+    EXPECT_GT(last_done, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gpup

@@ -1,0 +1,80 @@
+// Global-router wirelength model invariants (Table II shapes).
+#include <gtest/gtest.h>
+
+#include "src/fp/floorplan.hpp"
+#include "src/gen/ggpu_arch.hpp"
+#include "src/opt/transforms.hpp"
+#include "src/route/route.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+route::RouteReport route_of(const netlist::Netlist& design) {
+  const auto plan = fp::Floorplanner().plan(design);
+  return route::GlobalRouter().route(design, plan);
+}
+
+TEST(Route, LayerSumsMatchTotal) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto report = route_of(design);
+  EXPECT_NEAR(report.total_um(), report.local_um + report.macro_um + report.global_um,
+              report.total_um() * 1e-9);
+}
+
+TEST(Route, PowerLayersCarryNoSignal) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8), technology());
+  const auto report = route_of(design);
+  EXPECT_DOUBLE_EQ(report.layer_um[0], 0.0);  // M1
+  EXPECT_DOUBLE_EQ(report.layer_um[7], 0.0);  // M8
+  EXPECT_DOUBLE_EQ(report.layer_um[8], 0.0);  // M9
+  for (int metal = 2; metal <= 7; ++metal) EXPECT_GT(report.layer(metal), 0.0);
+}
+
+TEST(Route, MoreCusRouteMoreWire) {
+  const auto d1 = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto d8 = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8), technology());
+  const auto r1 = route_of(d1);
+  const auto r8 = route_of(d8);
+  EXPECT_GT(r8.total_um(), 4.0 * r1.total_um());
+}
+
+TEST(Route, OptimisedVersionRoutesMoreWire) {
+  // Paper Table II: the 667 MHz variants route far more wire than the
+  // 500 MHz baselines despite near-identical cell area.
+  auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto before = route_of(design);
+  for (const char* cls : {"cu.cram", "cu.lram", "cu.lsu_buf", "cu.wf_ctx", "top.cache_data",
+                          "top.cache_tag", "top.rtm", "top.wg_table"}) {
+    ASSERT_TRUE(opt::divide_memory(design, cls, 2).ok()) << cls;
+  }
+  const auto after = route_of(design);
+  EXPECT_GT(after.total_um(), 1.3 * before.total_um());
+}
+
+TEST(Route, LowerLayersDominateLocalWire) {
+  // Shape anchor from Table II: M3 carries the most wire, M7 the least.
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+  const auto report = route_of(design);
+  EXPECT_GT(report.layer(3), report.layer(7));
+  EXPECT_GT(report.layer(2), report.layer(7));
+}
+
+TEST(Route, GlobalWireScalesWithCuDistance) {
+  const auto design = gen::generate_ggpu(gen::GgpuArchSpec::baseline(8), technology());
+  const auto plan = fp::Floorplanner().plan(design);
+  const auto near = route::GlobalRouter().route(design, plan);
+
+  auto far_plan = plan;
+  for (double& d : far_plan.cu_distance_mm) d *= 2.0;
+  const auto far = route::GlobalRouter().route(design, far_plan);
+  EXPECT_GT(far.global_um, near.global_um * 1.9);
+  EXPECT_DOUBLE_EQ(far.local_um, near.local_um);
+}
+
+}  // namespace
+}  // namespace gpup

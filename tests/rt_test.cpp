@@ -1,0 +1,80 @@
+// Host runtime (OpenCL-style Device API) tests.
+#include <gtest/gtest.h>
+
+#include "src/rt/device.hpp"
+
+namespace gpup::rt {
+namespace {
+
+TEST(Device, BufferRoundTrip) {
+  Device device(sim::GpuConfig{});
+  const auto buffer = device.alloc_words(16);
+  std::vector<std::uint32_t> data(16);
+  for (std::uint32_t i = 0; i < 16; ++i) data[i] = i * i;
+  device.write(buffer, data);
+  EXPECT_EQ(device.read(buffer), data);
+}
+
+TEST(Device, CompileReportsErrors) {
+  const auto bad = Device::compile("not_an_instruction r1");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().to_string().find("line 1"), std::string::npos);
+}
+
+TEST(Device, ArgsBuilder) {
+  Device device(sim::GpuConfig{});
+  const auto buffer = device.alloc_words(4);
+  const auto args = Args().add(buffer).add(42u).add(buffer).words();
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], buffer.addr);
+  EXPECT_EQ(args[1], 42u);
+}
+
+TEST(Device, EndToEndLaunch) {
+  Device device(sim::GpuConfig{});
+  const auto program = Device::compile(R"(.kernel incr
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  lw r5, 0(r4)
+  addi r5, r5, 1
+  sw r5, 0(r4)
+done:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+
+  const std::uint32_t n = 1000;
+  const auto buffer = device.alloc_words(n);
+  std::vector<std::uint32_t> data(n, 10);
+  device.write(buffer, data);
+
+  const auto stats =
+      device.run(program.value(), Args().add(n).add(buffer).words(), {n, 256});
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_EQ(stats.global_size, n);
+
+  const auto out = device.read(buffer);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 11u);
+}
+
+TEST(Device, ResetInvalidatesAllocations) {
+  Device device(sim::GpuConfig{});
+  const auto a = device.alloc_words(8);
+  device.reset();
+  const auto b = device.alloc_words(8);
+  EXPECT_EQ(a.addr, b.addr);  // allocator rewound
+}
+
+TEST(Device, WriteBeyondBufferTraps) {
+  Device device(sim::GpuConfig{});
+  const auto buffer = device.alloc_words(2);
+  std::vector<std::uint32_t> too_big(3, 0);
+  EXPECT_THROW(device.write(buffer, too_big), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpup::rt

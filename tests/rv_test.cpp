@@ -1,0 +1,205 @@
+// RV32IM encoder/assembler/core: real RISC-V encodings, pipeline timing
+// model, end-to-end mini programs.
+#include <gtest/gtest.h>
+
+#include "src/rv/assembler.hpp"
+#include "src/rv/core.hpp"
+#include "src/rv/rvisa.hpp"
+
+namespace gpup::rv {
+namespace {
+
+TEST(RvIsa, KnownEncodings) {
+  // Golden encodings cross-checked against the RISC-V spec.
+  EXPECT_EQ((Instr{Op::kAddi, 10, 0, 0, 5}.encode()), 0x00500513u);   // addi a0, zero, 5
+  EXPECT_EQ((Instr{Op::kAdd, 10, 10, 11, 0}.encode()), 0x00b50533u);  // add a0, a0, a1
+  EXPECT_EQ((Instr{Op::kLw, 5, 2, 0, 8}.encode()), 0x00812283u);      // lw t0, 8(sp)
+  EXPECT_EQ((Instr{Op::kSw, 0, 2, 5, 12}.encode()), 0x00512623u);     // sw t0, 12(sp)
+  EXPECT_EQ((Instr{Op::kMul, 12, 13, 14, 0}.encode()), 0x02e68633u);  // mul a2, a3, a4
+  EXPECT_EQ((Instr{Op::kEcall}.encode()), 0x00000073u);
+}
+
+TEST(RvIsa, RoundTripAllOps) {
+  for (int op = 0; op < static_cast<int>(Op::kCount); ++op) {
+    Instr instruction;
+    instruction.op = static_cast<Op>(op);
+    const RvOpInfo& i = info(instruction.op);
+    if (i.writes_rd) instruction.rd = 11;
+    if (i.reads_rs1) instruction.rs1 = 12;
+    if (i.reads_rs2) instruction.rs2 = 13;
+    switch (instruction.op) {
+      case Op::kSlli: case Op::kSrli: case Op::kSrai: instruction.imm = 7; break;
+      case Op::kBeq: case Op::kBne: case Op::kBlt:
+      case Op::kBge: case Op::kBltu: case Op::kBgeu: instruction.imm = -64; break;
+      case Op::kJal: instruction.imm = -2048; break;
+      case Op::kLui: case Op::kAuipc: instruction.imm = 0x12345; break;
+      case Op::kEcall: break;
+      default:
+        if (!i.reads_rs2) instruction.imm = -7;
+        break;
+    }
+    const Instr decoded = Instr::decode(instruction.encode());
+    EXPECT_EQ(decoded.op, instruction.op) << i.mnemonic;
+    EXPECT_EQ(decoded.imm, instruction.imm) << i.mnemonic;
+  }
+}
+
+TEST(RvIsa, AbiRegisterNames) {
+  EXPECT_EQ(parse_rv_register("zero"), 0);
+  EXPECT_EQ(parse_rv_register("ra"), 1);
+  EXPECT_EQ(parse_rv_register("sp"), 2);
+  EXPECT_EQ(parse_rv_register("a0"), 10);
+  EXPECT_EQ(parse_rv_register("t6"), 31);
+  EXPECT_EQ(parse_rv_register("s11"), 27);
+  EXPECT_EQ(parse_rv_register("fp"), 8);
+  EXPECT_EQ(parse_rv_register("x13"), 13);
+  EXPECT_EQ(parse_rv_register("b0"), -1);
+}
+
+RvRunStats run(const std::string& source, std::uint32_t a0 = 0,
+               RvCore* core_out = nullptr) {
+  auto program = RvAssembler::assemble(source);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  static RvCore core;
+  core = RvCore();
+  const auto stats = core.run(program.value(), a0);
+  if (core_out != nullptr) *core_out = core;
+  return stats;
+}
+
+TEST(RvCoreExec, ArithmeticAndMemory) {
+  RvCore core;
+  auto program = RvAssembler::assemble(R"(
+  li   t0, 21
+  slli t1, t0, 1       # 42
+  li   t2, 0x4000
+  sw   t1, 0(t2)
+  lw   t3, 0(t2)
+  addi t3, t3, 58      # 100
+  sw   t3, 4(t2)
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  (void)core.run(program.value(), 0);
+  std::uint32_t out[2] = {};
+  core.read_words(0x4000, out);
+  EXPECT_EQ(out[0], 42u);
+  EXPECT_EQ(out[1], 100u);
+}
+
+TEST(RvCoreExec, MulDivSemantics) {
+  RvCore core;
+  auto program = RvAssembler::assemble(R"(
+  li   t0, -6
+  li   t1, 4
+  mul  t2, t0, t1      # -24
+  div  t3, t0, t1      # -1 (trunc toward zero)
+  rem  t4, t0, t1      # -2
+  li   t5, 0x4000
+  sw   t2, 0(t5)
+  sw   t3, 4(t5)
+  sw   t4, 8(t5)
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  (void)core.run(program.value(), 0);
+  std::uint32_t out[3] = {};
+  core.read_words(0x4000, out);
+  EXPECT_EQ(static_cast<std::int32_t>(out[0]), -24);
+  EXPECT_EQ(static_cast<std::int32_t>(out[1]), -1);
+  EXPECT_EQ(static_cast<std::int32_t>(out[2]), -2);
+}
+
+TEST(RvCoreTiming, StraightLineIsOneCyclePerInstr) {
+  const auto stats = run("addi t0, zero, 1\naddi t1, zero, 2\nadd t2, t0, t1\nhalt");
+  EXPECT_EQ(stats.instructions, 4u);
+  EXPECT_EQ(stats.cycles, 4u);
+}
+
+TEST(RvCoreTiming, LoadUseStalls) {
+  const auto no_stall = run(R"(
+  li  t1, 0x4000
+  lw  t0, 0(t1)
+  addi t2, zero, 7     # independent
+  add  t3, t0, t2
+  halt
+)");
+  const auto with_stall = run(R"(
+  li  t1, 0x4000
+  lw  t0, 0(t1)
+  add  t3, t0, t0      # immediate use
+  addi t2, zero, 7
+  halt
+)");
+  EXPECT_EQ(with_stall.cycles, no_stall.cycles + 1);
+}
+
+TEST(RvCoreTiming, TakenBranchesCostMore) {
+  // Same instruction counts, different taken/not-taken mix.
+  const auto not_taken = run(R"(
+  li t0, 1
+  beq t0, zero, skip   # not taken
+  addi t1, zero, 1
+skip:
+  halt
+)");
+  const auto taken = run(R"(
+  li t0, 0
+  beq t0, zero, skip   # taken
+  addi t1, zero, 1
+skip:
+  halt
+)");
+  // Taken path: skips one instruction (-1 cycle) but pays the flush (+2).
+  EXPECT_EQ(taken.cycles, not_taken.cycles + 1);
+  EXPECT_EQ(taken.taken_branches, 1u);
+}
+
+TEST(RvCoreTiming, DividerIsDataDependent) {
+  const auto small = run("li t0, 3\nli t1, 1\ndivu t2, t0, t1\nhalt");
+  const auto large = run("li t0, 0x40000000\nli t1, 1\ndivu t2, t0, t1\nhalt");
+  EXPECT_GT(large.cycles, small.cycles + 20);
+  EXPECT_EQ(large.div_ops, 1u);
+}
+
+TEST(RvCore, StackAndCalls) {
+  const auto stats = run(R"(
+main:
+  li   a0, 5
+  call double_it
+  li   t0, 0x4000
+  sw   a0, 0(t0)
+  halt
+double_it:
+  slli a0, a0, 1
+  ret
+)");
+  EXPECT_GT(stats.cycles, stats.instructions);  // jump penalties applied
+}
+
+TEST(RvAssemblerErrors, Reported) {
+  EXPECT_FALSE(RvAssembler::assemble("bogus t0, t1").ok());
+  EXPECT_FALSE(RvAssembler::assemble("addi t0, t1, 5000").ok());
+  EXPECT_FALSE(RvAssembler::assemble("beq t0, t1, missing").ok());
+  EXPECT_FALSE(RvAssembler::assemble("").ok());
+}
+
+TEST(RvProgram, Disassemble) {
+  auto program = RvAssembler::assemble("loop:\naddi t0, t0, -1\nbne t0, zero, loop\nhalt");
+  ASSERT_TRUE(program.ok());
+  const auto listing = program.value().disassemble();
+  EXPECT_NE(listing.find("loop:"), std::string::npos);
+  EXPECT_NE(listing.find("addi t0, t0, -1"), std::string::npos);
+}
+
+TEST(RvCore, WatchdogCatchesInfiniteLoop) {
+  RvCoreConfig config;
+  config.max_cycles = 10000;
+  RvCore core(config);
+  auto program = RvAssembler::assemble("forever:\nj forever");
+  ASSERT_TRUE(program.ok());
+  EXPECT_THROW((void)core.run(program.value(), 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpup::rv

@@ -1,0 +1,347 @@
+// G-GPU simulator microarchitecture tests: SIMT divergence, barriers,
+// scoreboarding, cache behaviour, wavefront/work-group bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/rt/device.hpp"
+
+namespace gpup::sim {
+namespace {
+
+isa::Program compile(const std::string& source) {
+  auto program = isa::Assembler::assemble(source);
+  GPUP_CHECK_MSG(program.ok(), program.ok() ? "" : program.error().to_string());
+  return std::move(program).value();
+}
+
+TEST(Sim, SingleItemKernel) {
+  Gpu gpu(GpuConfig{});
+  const auto out = gpu.alloc(4);
+  const auto program = compile(R"(
+  li r1, 123
+  param r2, 0
+  sw r1, 0(r2)
+  ret
+)");
+  const auto stats = gpu.launch(program, {out}, 1, 1);
+  std::uint32_t result[1] = {};
+  gpu.read(out, result);
+  EXPECT_EQ(result[0], 123u);
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_EQ(stats.counters.workgroups_dispatched, 1u);
+}
+
+TEST(Sim, TidLidWgidSemantics) {
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 300;  // partial last wavefront + partial last WG
+  const auto tid_buf = gpu.alloc(n * 4);
+  const auto lid_buf = gpu.alloc(n * 4);
+  const auto wgid_buf = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  tid r1
+  slli r2, r1, 2
+  param r3, 0
+  add r3, r3, r2
+  sw r1, 0(r3)
+  lid r4
+  param r5, 1
+  add r5, r5, r2
+  sw r4, 0(r5)
+  wgid r6
+  param r7, 2
+  add r7, r7, r2
+  sw r6, 0(r7)
+  ret
+)");
+  (void)gpu.launch(program, {tid_buf, lid_buf, wgid_buf}, n, 128);
+  std::vector<std::uint32_t> tids(n), lids(n), wgids(n);
+  gpu.read(tid_buf, tids);
+  gpu.read(lid_buf, lids);
+  gpu.read(wgid_buf, wgids);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(tids[i], i);
+    EXPECT_EQ(lids[i], i % 128);
+    EXPECT_EQ(wgids[i], i / 128);
+  }
+}
+
+TEST(Sim, FullDivergencePerLanePaths) {
+  // Each lane takes a different number of loop iterations (tid-dependent);
+  // min-PC scheduling must still produce exact results.
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 64;
+  const auto out = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  tid r1
+  addi r2, r0, 0     ; acc
+  addi r3, r0, 0     ; i
+loop:
+  bge r3, r1, done   ; lane-dependent trip count
+  add r2, r2, r3
+  addi r3, r3, 1
+  jmp loop
+done:
+  slli r4, r1, 2
+  param r5, 0
+  add r4, r4, r5
+  sw r2, 0(r4)
+  ret
+)");
+  const auto stats = gpu.launch(program, {out}, n, 64);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result[i], i * (i - 1) / 2) << "lane " << i;
+  }
+  EXPECT_GT(stats.counters.divergent_issues, 0u);
+}
+
+TEST(Sim, JalJrSubroutineWithDivergentReturn) {
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 64;
+  const auto out = gpu.alloc(n * 4);
+  // Call a subroutine that doubles r2; odd lanes call it twice.
+  const auto program = compile(R"(
+  tid r1
+  or  r2, r1, r0
+  jal dbl
+  andi r3, r1, 1
+  beq r3, r0, store
+  jal dbl
+store:
+  slli r4, r1, 2
+  param r5, 0
+  add r4, r4, r5
+  sw r2, 0(r4)
+  ret
+dbl:
+  add r2, r2, r2
+  jr r31
+)");
+  (void)gpu.launch(program, {out}, n, 64);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result[i], (i % 2 == 0) ? i * 2 : i * 4) << "lane " << i;
+  }
+}
+
+TEST(Sim, BarrierSynchronisesProducersAndConsumers) {
+  // Lane i writes LRAM[i]; after the barrier lane i reads LRAM[63-i].
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 64;
+  const auto out = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  lid r1
+  slli r2, r1, 2
+  addi r3, r0, 1000
+  add r3, r3, r1
+  swl r3, 0(r2)
+  bar
+  addi r4, r0, 63
+  sub r4, r4, r1
+  slli r4, r4, 2
+  lwl r5, 0(r4)
+  tid r6
+  slli r6, r6, 2
+  param r7, 0
+  add r6, r6, r7
+  sw r5, 0(r6)
+  ret
+)");
+  const auto stats = gpu.launch(program, {out}, n, 64);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(result[i], 1000 + (63 - i));
+  EXPECT_GE(stats.counters.barriers, 1u);
+}
+
+TEST(Sim, MultiWavefrontBarrier) {
+  // 256-item work-group = 4 wavefronts; barrier must hold until all arrive.
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 256;
+  const auto out = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  lid r1
+  slli r2, r1, 2
+  swl r1, 0(r2)
+  bar
+  addi r3, r0, 255
+  sub r3, r3, r1
+  slli r3, r3, 2
+  lwl r4, 0(r3)
+  tid r5
+  slli r5, r5, 2
+  param r6, 0
+  add r5, r5, r6
+  sw r4, 0(r5)
+  ret
+)");
+  (void)gpu.launch(program, {out}, n, 256);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(result[i], 255 - i);
+}
+
+TEST(Sim, HwDividerOptional) {
+  GpuConfig config;
+  config.hw_divider = true;
+  Gpu gpu(config);
+  const auto out = gpu.alloc(4);
+  const auto program = compile(R"(
+  li r1, 84
+  li r2, 4
+  div r3, r1, r2
+  rem r4, r1, r2
+  add r3, r3, r4
+  param r5, 0
+  sw r3, 0(r5)
+  ret
+)");
+  (void)gpu.launch(program, {out}, 1, 1);
+  std::uint32_t result[1] = {};
+  gpu.read(out, result);
+  EXPECT_EQ(result[0], 21u);
+
+  // Without the divider the same kernel must trap.
+  Gpu no_div(GpuConfig{});
+  const auto out2 = no_div.alloc(4);
+  EXPECT_THROW((void)no_div.launch(program, {out2}, 1, 1), std::logic_error);
+}
+
+TEST(Sim, CacheCountsHitsAndMisses) {
+  Gpu gpu(GpuConfig{});
+  const std::uint32_t n = 1024;
+  const auto in = gpu.alloc(n * 4);
+  const auto out = gpu.alloc(n * 4);
+  std::vector<std::uint32_t> data(n, 7);
+  gpu.write(in, data);
+  const auto program = compile(R"(
+  tid r1
+  slli r2, r1, 2
+  param r3, 0
+  add r3, r3, r2
+  lw r4, 0(r3)
+  lw r5, 0(r3)       ; second read of the same line: hot
+  add r4, r4, r5
+  param r6, 1
+  add r6, r6, r2
+  sw r4, 0(r6)
+  ret
+)");
+  const auto stats = gpu.launch(program, {in, out}, n, 256);
+  EXPECT_GT(stats.counters.cache_misses, 0u);
+  EXPECT_GT(stats.counters.cache_hits, 0u);
+  EXPECT_GT(stats.counters.dram_fills, 0u);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(result[i], 14u);
+}
+
+TEST(Sim, WriteBackCacheFlushesDirtyLines) {
+  // Write a buffer larger than the cache, then read it back through the
+  // host API: every value must have reached the backing store.
+  GpuConfig config;
+  config.cache_bytes = 16 * 1024;
+  Gpu gpu(config);
+  const std::uint32_t n = 16384;  // 64 KB > 16 KB cache
+  const auto out = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  tid r1
+  slli r2, r1, 2
+  param r3, 0
+  add r3, r3, r2
+  sw r1, 0(r3)
+  ret
+)");
+  const auto stats = gpu.launch(program, {out}, n, 256);
+  EXPECT_GT(stats.counters.dram_writebacks, 0u);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(result[i], i);
+}
+
+TEST(Sim, ScoreboardOrdersDependentOps) {
+  // A chain of dependent adds cannot finish faster than the ALU latency
+  // chain; an independent sequence of the same length must be faster.
+  Gpu gpu(GpuConfig{});
+  const auto out_a = gpu.alloc(4);
+  const auto dependent = compile(R"(
+  addi r1, r0, 1
+  add r2, r1, r1
+  add r3, r2, r2
+  add r4, r3, r3
+  add r5, r4, r4
+  add r6, r5, r5
+  param r7, 0
+  sw r6, 0(r7)
+  ret
+)");
+  const auto stats_dep = gpu.launch(dependent, {out_a}, 1, 1);
+  std::uint32_t v[1] = {};
+  gpu.read(out_a, v);
+  EXPECT_EQ(v[0], 32u);
+
+  const auto independent = compile(R"(
+  addi r1, r0, 1
+  addi r2, r0, 2
+  addi r3, r0, 3
+  addi r4, r0, 4
+  addi r5, r0, 5
+  addi r6, r0, 32
+  param r7, 0
+  sw r6, 0(r7)
+  ret
+)");
+  const auto stats_ind = gpu.launch(independent, {out_a}, 1, 1);
+  EXPECT_GT(stats_dep.cycles, stats_ind.cycles);
+}
+
+TEST(Sim, WorkgroupsSpreadAcrossCus) {
+  GpuConfig config;
+  config.cu_count = 4;
+  Gpu gpu(config);
+  const std::uint32_t n = 4096;
+  const auto out = gpu.alloc(n * 4);
+  const auto program = compile(R"(
+  tid r1
+  slli r2, r1, 2
+  param r3, 0
+  add r3, r3, r2
+  sw r1, 0(r3)
+  ret
+)");
+  const auto stats = gpu.launch(program, {out}, n, 256);
+  EXPECT_EQ(stats.counters.workgroups_dispatched, 16u);
+  std::vector<std::uint32_t> result(n);
+  gpu.read(out, result);
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(result[i], i);
+}
+
+TEST(Sim, RejectsBadLaunches) {
+  Gpu gpu(GpuConfig{});
+  const auto program = compile("ret");
+  EXPECT_THROW((void)gpu.launch(program, {}, 0, 64), std::logic_error);
+  EXPECT_THROW((void)gpu.launch(program, {}, 64, 4096), std::logic_error);
+}
+
+TEST(Sim, OutOfBoundsAccessTraps) {
+  Gpu gpu(GpuConfig{});
+  const auto program = compile(R"(
+  li r1, 0x7ffffffc
+  lw r2, 0(r1)
+  ret
+)");
+  EXPECT_THROW((void)gpu.launch(program, {}, 1, 1), std::logic_error);
+}
+
+TEST(Sim, AllocatorAlignsToCacheLines) {
+  Gpu gpu(GpuConfig{});
+  const auto a = gpu.alloc(4);
+  const auto b = gpu.alloc(4);
+  EXPECT_EQ(a % 32, 0u);
+  EXPECT_EQ(b % 32, 0u);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace gpup::sim

@@ -1,0 +1,107 @@
+// Static timing analysis semantics.
+#include <gtest/gtest.h>
+
+#include "src/gen/ggpu_arch.hpp"
+#include "src/sta/timing.hpp"
+
+namespace gpup {
+namespace {
+
+const tech::Technology& technology() {
+  static const auto tech = tech::Technology::generic65();
+  return tech;
+}
+
+netlist::Netlist one_cu() {
+  return gen::generate_ggpu(gen::GgpuArchSpec::baseline(1), technology());
+}
+
+TEST(Sta, PathDelayComposition) {
+  const auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto* path = design.find_path("cu.rf.read_path");
+  ASSERT_NE(path, nullptr);
+  const auto timing = analyzer.evaluate(design, *path, 0.0);
+
+  const auto* macro = design.slowest_of_class("cu.rf");
+  const auto& cells = technology().cells;
+  EXPECT_DOUBLE_EQ(timing.memory_ns, macro->macro.access_delay_ns);
+  EXPECT_DOUBLE_EQ(timing.logic_ns,
+                   path->logic_depth * cells.stage_delay_ns + path->extra_delay_ns);
+  EXPECT_DOUBLE_EQ(timing.delay_ns,
+                   timing.memory_ns + timing.logic_ns + cells.setup_ns);
+}
+
+TEST(Sta, RegToRegPathHasNoMemoryTerm) {
+  const auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto timing = analyzer.evaluate(design, *design.find_path("cu.decode"), 0.0);
+  EXPECT_DOUBLE_EQ(timing.memory_ns, 0.0);
+  EXPECT_EQ(timing.launch, "FF");
+}
+
+TEST(Sta, ReportSortedSlowestFirst) {
+  const auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto report = analyzer.analyze(design);
+  ASSERT_GT(report.paths.size(), 2u);
+  for (std::size_t i = 1; i < report.paths.size(); ++i) {
+    EXPECT_GE(report.paths[i - 1].delay_ns, report.paths[i].delay_ns);
+  }
+  EXPECT_DOUBLE_EQ(report.critical_ns(), report.paths.front().delay_ns);
+}
+
+TEST(Sta, WireAnnotationOnlyHitsCrossingPaths) {
+  const auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  sta::WireAnnotations wires;
+  wires.cu_to_memctrl_mm = {3.0};
+
+  const auto dry = analyzer.analyze(design);
+  const auto wet = analyzer.analyze(design, &wires);
+  for (std::size_t i = 0; i < dry.paths.size(); ++i) {
+    // Find the matching path by name (sort order may differ).
+    for (const auto& wet_path : wet.paths) {
+      if (wet_path.name != dry.paths[i].name) continue;
+      const auto* path = design.find_path(wet_path.name);
+      if (path->crosses_to_memctrl) {
+        EXPECT_NEAR(wet_path.wire_ns, technology().wires.delay_ns(3.0), 1e-12);
+      } else {
+        EXPECT_DOUBLE_EQ(wet_path.wire_ns, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Sta, PipelineStagesShortenLogic) {
+  auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  auto* path = design.find_path("cu.issue_arbiter");
+  ASSERT_NE(path, nullptr);
+  const double before = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  path->pipeline_stages = 1;
+  const double after = analyzer.evaluate(design, *path, 0.0).delay_ns;
+  EXPECT_LT(after, before);
+  // ceil(26 / 2) = 13 stages per segment.
+  EXPECT_NEAR(after, 13 * technology().cells.stage_delay_ns + technology().cells.setup_ns,
+              1e-9);
+}
+
+TEST(Sta, ViolationsAgainstPeriod) {
+  const auto design = one_cu();
+  const sta::TimingAnalyzer analyzer(&technology());
+  const auto report = analyzer.analyze(design);
+  EXPECT_TRUE(report.violations(sta::period_ns(100.0)).empty());
+  EXPECT_FALSE(report.violations(sta::period_ns(900.0)).empty());
+  for (const auto* violation : report.violations(sta::period_ns(590.0))) {
+    EXPECT_GT(violation->delay_ns, sta::period_ns(590.0));
+  }
+}
+
+TEST(Sta, PeriodConversion) {
+  EXPECT_DOUBLE_EQ(sta::period_ns(500.0), 2.0);
+  EXPECT_NEAR(sta::period_ns(667.0), 1.49925, 1e-5);
+}
+
+}  // namespace
+}  // namespace gpup

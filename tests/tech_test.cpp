@@ -1,0 +1,102 @@
+// Memory-compiler and technology model invariants — the non-linearities
+// GPUPlanner's DSE relies on.
+#include <gtest/gtest.h>
+
+#include "src/tech/technology.hpp"
+
+namespace gpup::tech {
+namespace {
+
+const Technology& technology() {
+  static const Technology tech = Technology::generic65();
+  return tech;
+}
+
+TEST(MemoryCompiler, SupportsPaperRanges) {
+  const auto& compiler = technology().memories;
+  EXPECT_TRUE(compiler.supports({16, 2, PortKind::kSinglePort}));
+  EXPECT_TRUE(compiler.supports({65536, 144, PortKind::kDualPort}));
+  EXPECT_FALSE(compiler.supports({8, 32, PortKind::kSinglePort}));
+  EXPECT_FALSE(compiler.supports({65537, 32, PortKind::kSinglePort}));
+  EXPECT_FALSE(compiler.supports({1024, 1, PortKind::kSinglePort}));
+  EXPECT_FALSE(compiler.supports({1024, 145, PortKind::kSinglePort}));
+}
+
+TEST(MemoryCompiler, TwoHalvesCostMoreThanOneWhole) {
+  // The paper: "two blocks of size M x N are larger and more power-hungry
+  // than a single block of size 2M x N".
+  const auto& compiler = technology().memories;
+  const auto whole = compiler.compile({4096, 32, PortKind::kDualPort});
+  const auto half = compiler.compile({2048, 32, PortKind::kDualPort});
+  EXPECT_GT(2 * half.area_um2, whole.area_um2);
+  EXPECT_GT(2 * half.leakage_mw, whole.leakage_mw);
+  // ... but each half is faster.
+  EXPECT_LT(half.access_delay_ns, whole.access_delay_ns);
+}
+
+TEST(MemoryCompiler, DualPortCostsMoreThanSinglePort) {
+  const auto& compiler = technology().memories;
+  const auto sp = compiler.compile({2048, 32, PortKind::kSinglePort});
+  const auto dp = compiler.compile({2048, 32, PortKind::kDualPort});
+  EXPECT_GT(dp.area_um2, sp.area_um2);
+  EXPECT_GT(dp.access_delay_ns, sp.access_delay_ns);
+  EXPECT_GT(dp.leakage_mw, sp.leakage_mw);
+}
+
+TEST(MemoryCompiler, OutOfRangeRequestIsRejected) {
+  EXPECT_THROW((void)technology().memories.compile({4, 32, PortKind::kSinglePort}),
+               std::logic_error);
+}
+
+TEST(MemoryCompiler, FootprintMatchesArea) {
+  const auto macro = technology().memories.compile({1024, 32, PortKind::kDualPort});
+  EXPECT_NEAR(macro.width_um * macro.height_um, macro.area_um2, macro.area_um2 * 1e-6);
+}
+
+struct Shape {
+  std::uint32_t words;
+  std::uint32_t bits;
+};
+
+class DelayMonotonic : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DelayMonotonic, GrowsWithWordsAndBits) {
+  const auto& compiler = technology().memories;
+  const Shape shape = GetParam();
+  const auto base = compiler.compile({shape.words, shape.bits, PortKind::kDualPort});
+  const auto more_words = compiler.compile({shape.words * 2, shape.bits, PortKind::kDualPort});
+  const auto more_bits = compiler.compile({shape.words, shape.bits + 8, PortKind::kDualPort});
+  EXPECT_GT(more_words.access_delay_ns, base.access_delay_ns);
+  EXPECT_GT(more_bits.access_delay_ns, base.access_delay_ns);
+  EXPECT_GT(more_words.area_um2, base.area_um2);
+  EXPECT_GT(more_bits.area_um2, base.area_um2);
+  EXPECT_GT(more_words.read_energy_pj, base.read_energy_pj);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DelayMonotonic,
+                         ::testing::Values(Shape{16, 8}, Shape{128, 16}, Shape{512, 32},
+                                           Shape{1024, 64}, Shape{4096, 32}, Shape{8192, 128},
+                                           Shape{16384, 24}, Shape{32768, 16}));
+
+TEST(MetalStack, PowerLayersMatchPaper) {
+  const auto stack = MetalStack::generic65();
+  // M1, M8, M9 are power-only; M2..M7 route signals (Table II columns).
+  EXPECT_TRUE(stack.layers[0].power_only);
+  EXPECT_TRUE(stack.layers[7].power_only);
+  EXPECT_TRUE(stack.layers[8].power_only);
+  for (int i = 1; i <= 6; ++i) EXPECT_FALSE(stack.layers[static_cast<std::size_t>(i)].power_only);
+}
+
+TEST(WireModel, DelayProportionalToDistance) {
+  const WireModel& wires = technology().wires;
+  EXPECT_DOUBLE_EQ(wires.delay_ns(0.0), 0.0);
+  EXPECT_NEAR(wires.delay_ns(2.0), 2.0 * wires.delay_ns_per_mm, 1e-12);
+}
+
+TEST(MemoryRequest, ToString) {
+  EXPECT_EQ(to_string(MemoryRequest{2048, 32, PortKind::kDualPort}), "2048x32_dp");
+  EXPECT_EQ(to_string(MemoryRequest{16, 144, PortKind::kSinglePort}), "16x144_sp");
+}
+
+}  // namespace
+}  // namespace gpup::tech

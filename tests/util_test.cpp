@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/bits.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/status.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace gpup {
+namespace {
+
+// ---- bits -----------------------------------------------------------------
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(4096), 12u);
+  EXPECT_EQ(ceil_log2(4097), 13u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 64), 1u);
+  EXPECT_EQ(ceil_div(0, 64), 0u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7fff, 16), 32767);
+  EXPECT_EQ(sign_extend(0xffff, 16), -1);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0x0, 1), 0);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_TRUE(fits_signed(32767, 16));
+  EXPECT_FALSE(fits_signed(32768, 16));
+  EXPECT_FALSE(fits_signed(-32769, 16));
+}
+
+class CeilLog2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CeilLog2Property, CapacityCoversValue) {
+  const std::uint64_t v = GetParam();
+  const unsigned bits = ceil_log2(v);
+  EXPECT_GE(std::uint64_t{1} << bits, v);
+  if (bits > 0) EXPECT_LT(std::uint64_t{1} << (bits - 1), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CeilLog2Property,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 255, 256, 257, 4095, 4096,
+                                           65536, 1000000));
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(37), 37u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// ---- strings ------------------------------------------------------------------
+
+TEST(Strings, Split) {
+  const auto pieces = split("a, b,,c", ", ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+}
+
+// ---- table -----------------------------------------------------------------------
+
+TEST(Table, ConsoleRendering) {
+  util::Table table({"a", "long_header"});
+  table.add_row({"1", "2"});
+  const std::string text = table.to_console();
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("| 1"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  util::Table table({"x"});
+  table.add_row({"a,b \"q\""});
+  EXPECT_EQ(table.to_csv(), "x\n\"a,b \"\"q\"\"\"\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  util::Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::logic_error);
+}
+
+// ---- status --------------------------------------------------------------------------
+
+TEST(Status, ResultValue) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+}
+
+TEST(Status, ResultError) {
+  Result<int> bad(Error{"boom", "ctx"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().to_string(), "ctx: boom");
+  EXPECT_THROW(bad.value(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gpup
