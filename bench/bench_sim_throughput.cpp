@@ -1,0 +1,148 @@
+// Host-simulation throughput tracker: times the Table III cycle matrix
+// serially and in parallel, prints a per-row breakdown, and writes
+// BENCH_sim_throughput.json so the perf trajectory is visible across PRs.
+//
+// GPUP_BENCH_SCALE=N divides the input sizes by N (default 1 = paper
+// sizes; CI smoke runs use 8). GPUP_BENCH_JSON overrides the output path.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/repro/repro.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint32_t bench_scale() {
+  const char* env = std::getenv("GPUP_BENCH_SCALE");
+  const int value = (env != nullptr) ? std::atoi(env) : 1;
+  return value >= 1 ? static_cast<std::uint32_t>(value) : 1u;
+}
+
+std::uint64_t total_cycles(const std::vector<gpup::repro::CycleRow>& rows) {
+  std::uint64_t total = 0;
+  for (const auto& row : rows) {
+    total += row.riscv_cycles + row.riscv_optimized_cycles;
+    for (auto cycles : row.gpu_cycles) total += cycles;
+  }
+  return total;
+}
+
+struct RowTiming {
+  std::string name;
+  double wall_s = 0.0;
+  std::uint64_t cycles = 0;
+};
+
+void emit_json(std::uint32_t scale, double serial_s, double parallel_s,
+               std::uint64_t cycles, const std::vector<RowTiming>& rows) {
+  const char* env = std::getenv("GPUP_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_sim_throughput.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(out, "  \"scale\": %u,\n", scale);
+  std::fprintf(out, "  \"threads\": %u,\n", gpup::ThreadPool::default_threads());
+  std::fprintf(out, "  \"simulated_cycles\": %llu,\n",
+               static_cast<unsigned long long>(cycles));
+  std::fprintf(out, "  \"serial_wall_s\": %.6f,\n", serial_s);
+  std::fprintf(out, "  \"parallel_wall_s\": %.6f,\n", parallel_s);
+  std::fprintf(out, "  \"serial_cycles_per_host_s\": %.0f,\n",
+               serial_s > 0 ? static_cast<double>(cycles) / serial_s : 0.0);
+  std::fprintf(out, "  \"parallel_cycles_per_host_s\": %.0f,\n",
+               parallel_s > 0 ? static_cast<double>(cycles) / parallel_s : 0.0);
+  std::fprintf(out, "  \"parallel_speedup\": %.3f,\n",
+               parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"wall_s\": %.6f, "
+                 "\"simulated_cycles\": %llu}%s\n",
+                 rows[i].name.c_str(), rows[i].wall_s,
+                 static_cast<unsigned long long>(rows[i].cycles),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void run_throughput_report() {
+  const std::uint32_t scale = bench_scale();
+
+  // Serial pass, timed per Table III row (one row = 2 RISC-V + 4 GPU runs).
+  std::vector<RowTiming> row_timings;
+  std::vector<gpup::repro::CycleRow> serial_rows;
+  const auto serial_start = Clock::now();
+  for (const auto* benchmark : gpup::kern::all_benchmarks()) {
+    const auto row_start = Clock::now();
+    auto row = gpup::repro::run_cycle_row(*benchmark, scale);
+    RowTiming timing;
+    timing.name = row.name;
+    timing.wall_s = std::chrono::duration<double>(Clock::now() - row_start).count();
+    timing.cycles = row.riscv_cycles + row.riscv_optimized_cycles;
+    for (auto cycles : row.gpu_cycles) timing.cycles += cycles;
+    row_timings.push_back(std::move(timing));
+    serial_rows.push_back(std::move(row));
+  }
+  const double serial_s = std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+  const auto parallel_start = Clock::now();
+  const auto parallel_rows = gpup::repro::run_cycle_matrix(scale, /*threads=*/0);
+  const double parallel_s =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+
+  bool identical = serial_rows.size() == parallel_rows.size();
+  for (std::size_t i = 0; identical && i < serial_rows.size(); ++i) {
+    identical = serial_rows[i].riscv_cycles == parallel_rows[i].riscv_cycles &&
+                serial_rows[i].gpu_cycles == parallel_rows[i].gpu_cycles;
+  }
+
+  const std::uint64_t cycles = total_cycles(serial_rows);
+  std::printf("=== Simulator throughput (Table III matrix, scale %u) ===\n", scale);
+  std::printf("simulated cycles: %llu\n", static_cast<unsigned long long>(cycles));
+  std::printf("serial:   %.3f s  (%.1f Mcycles/host-s)\n", serial_s,
+              serial_s > 0 ? cycles / serial_s / 1e6 : 0.0);
+  std::printf("parallel: %.3f s  (%.1f Mcycles/host-s, %u threads, %.2fx)\n", parallel_s,
+              parallel_s > 0 ? cycles / parallel_s / 1e6 : 0.0,
+              gpup::ThreadPool::default_threads(),
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::printf("serial/parallel results identical: %s\n", identical ? "yes" : "NO");
+
+  emit_json(scale, serial_s, parallel_s, cycles, row_timings);
+}
+
+void BM_CycleMatrixSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = gpup::repro::run_cycle_matrix(bench_scale(), 1);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_CycleMatrixSerial)->Unit(benchmark::kMillisecond);
+
+void BM_CycleMatrixParallel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = gpup::repro::run_cycle_matrix(bench_scale(), 0);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_CycleMatrixParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_throughput_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,10 +2,13 @@
 // specification to the full 12-version Table I sweep, including the
 // "dynamic spreadsheet" optimisation map and the PPA check against a
 // user budget.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "src/plan/planner.hpp"
 #include "src/plan/report.hpp"
+#include "src/util/thread_pool.hpp"
 
 int main() {
   const auto technology = gpup::tech::Technology::generic65();
@@ -33,9 +36,28 @@ int main() {
               gpup::plan::map_table(map667).to_console().c_str());
 
   // --- step 3: the push-button 12-version sweep (Table I) ---------------
-  const auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+  // Each version is an independent synthesis run, so the sweep scales
+  // with host cores; time it both ways to make the speedup visible.
+  using clock = std::chrono::steady_clock;
+  const auto serial_start = clock::now();
+  const auto versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0},
+                                         /*threads=*/1);
+  const double serial_s = std::chrono::duration<double>(clock::now() - serial_start).count();
+
+  const auto parallel_start = clock::now();
+  const auto parallel_versions = planner.exercise({1, 2, 4, 8}, {500.0, 590.0, 667.0});
+  const double parallel_s =
+      std::chrono::duration<double>(clock::now() - parallel_start).count();
+
   std::printf("\n=== Logic-synthesis results for all 12 versions ===\n%s",
               gpup::plan::table1(versions).to_console().c_str());
+  const unsigned used_threads =
+      std::min<unsigned>(gpup::ThreadPool::default_threads(), 12u);  // 12 versions
+  std::printf(
+      "\nsweep wall-clock: serial %.3f s, parallel %.3f s on %u threads "
+      "(%.2fx speedup)\n",
+      serial_s, parallel_s, used_threads,
+      parallel_s > 0 ? serial_s / parallel_s : 0.0);
 
   // --- step 4: PPA check against a user budget --------------------------
   gpup::plan::Spec budgeted{.cu_count = 8, .freq_mhz = 667.0};

@@ -6,6 +6,7 @@
 
 #include "src/opt/transforms.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace gpup::plan {
 
@@ -211,13 +212,23 @@ PhysicalSynthesisResult Planner::physical_synthesis(const LogicSynthesisResult& 
 }
 
 std::vector<LogicSynthesisResult> Planner::exercise(
-    const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz) const {
-  std::vector<LogicSynthesisResult> versions;
+    const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz,
+    unsigned threads) const {
+  std::vector<Spec> specs;
+  specs.reserve(cu_counts.size() * freqs_mhz.size());
   for (double freq : freqs_mhz) {
     for (int cu : cu_counts) {
-      versions.push_back(logic_synthesis({cu, freq, std::nullopt, std::nullopt}));
+      specs.push_back({cu, freq, std::nullopt, std::nullopt});
     }
   }
+  // LogicSynthesisResult is not default-constructible; fill optional
+  // slots in parallel, then move into the ordered result.
+  std::vector<std::optional<LogicSynthesisResult>> slots(specs.size());
+  parallel_for(specs.size(), threads,
+               [&](std::size_t i) { slots[i].emplace(logic_synthesis(specs[i])); });
+  std::vector<LogicSynthesisResult> versions;
+  versions.reserve(specs.size());
+  for (auto& slot : slots) versions.push_back(std::move(*slot));
   return versions;
 }
 

@@ -129,9 +129,13 @@ class Planner {
       const LogicSynthesisResult& logic) const;
 
   /// The paper's design-space exploration: all cu_count x frequency
-  /// versions (Table I uses {1,2,4,8} x {500,590,667}).
+  /// versions (Table I uses {1,2,4,8} x {500,590,667}). Versions are
+  /// independent, so the sweep fans out over a thread pool; results are
+  /// ordered and bit-identical for any thread count. `threads` == 0 uses
+  /// the hardware concurrency, 1 forces a serial sweep.
   [[nodiscard]] std::vector<LogicSynthesisResult> exercise(
-      const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz) const;
+      const std::vector<int>& cu_counts, const std::vector<double>& freqs_mhz,
+      unsigned threads = 0) const;
 
  private:
   const tech::Technology* technology_;

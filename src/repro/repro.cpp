@@ -2,6 +2,7 @@
 
 #include "src/util/status.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace gpup::repro {
 
@@ -13,36 +14,74 @@ double CycleRow::speedup(int cu_index, bool optimized_baseline) const {
   return baseline * ratio / static_cast<double>(gpu_cycles[static_cast<std::size_t>(cu_index)]);
 }
 
-std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale) {
+namespace {
+
+// Matrix cell targets: 0/1 are the naive/optimized RISC-V ports, 2..5 the
+// 1/2/4/8-CU G-GPUs.
+constexpr std::size_t kTargets = 2 + kCuConfigs.size();
+
+CycleRow init_row(const kern::Benchmark& benchmark, std::uint32_t scale) {
+  CycleRow row;
+  row.name = benchmark.name();
+  row.riscv_input = std::max(32u, benchmark.riscv_input() / scale);
+  row.gpu_input = std::max(64u, benchmark.gpu_input() / scale);
+  if (row.name == "mat_mul") {  // multiple-of-32 geometry
+    row.riscv_input = std::max(32u, row.riscv_input & ~31u);
+    row.gpu_input = std::max(64u, row.gpu_input & ~31u);
+  }
+  row.all_valid = true;
+  return row;
+}
+
+/// Run one cell into its slot of `row`; returns the cell's validity.
+bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t target) {
+  if (target < 2) {
+    const bool optimized = target == 1;
+    const auto run = kern::run_riscv(benchmark, row.riscv_input, optimized);
+    (optimized ? row.riscv_optimized_cycles : row.riscv_cycles) = run.stats.cycles;
+    return run.valid;
+  }
+  const std::size_t i = target - 2;
+  sim::GpuConfig config;
+  config.cu_count = kCuConfigs[i];
+  rt::Device device(config);
+  const auto run = kern::run_gpu(benchmark, device, row.gpu_input);
+  row.gpu_cycles[i] = run.stats.cycles;
+  return run.valid;
+}
+
+}  // namespace
+
+CycleRow run_cycle_row(const kern::Benchmark& benchmark, std::uint32_t scale) {
   GPUP_CHECK(scale >= 1);
-  std::vector<CycleRow> rows;
-  for (const kern::Benchmark* benchmark : kern::all_benchmarks()) {
-    CycleRow row;
-    row.name = benchmark->name();
-    row.riscv_input = std::max(32u, benchmark->riscv_input() / scale);
-    row.gpu_input = std::max(64u, benchmark->gpu_input() / scale);
-    if (row.name == "mat_mul") {  // multiple-of-32 geometry
-      row.riscv_input = std::max(32u, row.riscv_input & ~31u);
-      row.gpu_input = std::max(64u, row.gpu_input & ~31u);
-    }
-    row.all_valid = true;
+  CycleRow row = init_row(benchmark, scale);
+  for (std::size_t target = 0; target < kTargets; ++target) {
+    row.all_valid = run_cell(benchmark, row, target) && row.all_valid;
+  }
+  return row;
+}
 
-    const auto naive = kern::run_riscv(*benchmark, row.riscv_input, /*optimized=*/false);
-    row.riscv_cycles = naive.stats.cycles;
-    row.all_valid = row.all_valid && naive.valid;
-    const auto optimized = kern::run_riscv(*benchmark, row.riscv_input, /*optimized=*/true);
-    row.riscv_optimized_cycles = optimized.stats.cycles;
-    row.all_valid = row.all_valid && optimized.valid;
+std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads) {
+  GPUP_CHECK(scale >= 1);
+  const auto& benchmarks = kern::all_benchmarks();
 
-    for (std::size_t i = 0; i < kCuConfigs.size(); ++i) {
-      sim::GpuConfig config;
-      config.cu_count = kCuConfigs[i];
-      rt::Device device(config);
-      const auto run = kern::run_gpu(*benchmark, device, row.gpu_input);
-      row.gpu_cycles[i] = run.stats.cycles;
-      row.all_valid = row.all_valid && run.valid;
-    }
-    rows.push_back(std::move(row));
+  std::vector<CycleRow> rows(benchmarks.size());
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    rows[b] = init_row(*benchmarks[b], scale);
+  }
+
+  // One task per matrix cell. Each task owns a private core or device and
+  // writes a distinct slot, so any interleaving yields the same matrix.
+  std::vector<std::uint8_t> valid(benchmarks.size() * kTargets, 0);
+  parallel_for(valid.size(), threads, [&](std::size_t task) {
+    const std::size_t b = task / kTargets;
+    const std::size_t target = task % kTargets;
+    valid[task] = run_cell(*benchmarks[b], rows[b], target) ? 1 : 0;
+  });
+
+  for (std::size_t task = 0; task < valid.size(); ++task) {
+    CycleRow& row = rows[task / kTargets];
+    row.all_valid = row.all_valid && valid[task] != 0;
   }
   return rows;
 }

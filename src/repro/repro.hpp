@@ -34,7 +34,18 @@ struct CycleRow {
 /// Run every benchmark on the naive + optimized RISC-V ports and on
 /// 1/2/4/8-CU G-GPUs at the paper's input sizes. `scale` divides the input
 /// sizes (1 = paper-size; larger = quicker smoke runs).
-[[nodiscard]] std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale = 1);
+///
+/// Every cell of the matrix (benchmark x target) is an independent,
+/// self-contained simulation, so the sweep fans out over a thread pool;
+/// results are ordered and bit-identical for any thread count.
+/// `threads` == 0 uses the hardware concurrency, 1 forces a serial sweep.
+[[nodiscard]] std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale = 1,
+                                                     unsigned threads = 0);
+
+/// Run a single benchmark's Table III row (naive + optimized RISC-V ports
+/// and all four CU configurations), serially.
+[[nodiscard]] CycleRow run_cycle_row(const kern::Benchmark& benchmark,
+                                     std::uint32_t scale = 1);
 
 /// Paper Table III published cycle counts (k-cycles), for EXPERIMENTS.md
 /// style comparisons.

@@ -1,7 +1,6 @@
 #include "src/sim/compute_unit.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "src/util/status.hpp"
 
@@ -14,30 +13,11 @@ ComputeUnit::ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory,
                          PerfCounters* counters, LaunchContext* ctx)
     : id_(id), config_(config), memory_(memory), counters_(counters), ctx_(ctx) {
   GPUP_CHECK(memory_ != nullptr && counters_ != nullptr && ctx_ != nullptr);
+  GPUP_CHECK(config_.wavefront_size <= kMaxLanes);
   wavefronts_.resize(static_cast<std::size_t>(config_.max_wavefronts_per_cu));
+  wg_states_.reserve(static_cast<std::size_t>(config_.max_wavefronts_per_cu));
   lram_.resize(config_.lram_words_per_cu, 0);
-}
-
-bool ComputeUnit::Wavefront::finished() const {
-  for (int lane = 0; lane < lanes; ++lane) {
-    if (!done[static_cast<std::size_t>(lane)]) return false;
-  }
-  // Slots with loads in flight stay claimed so completion callbacks cannot
-  // land on a reassigned wavefront.
-  for (const auto& tracker : loads) {
-    if (tracker.pending_lines > 0) return false;
-  }
-  return true;
-}
-
-std::uint32_t ComputeUnit::Wavefront::min_pc() const {
-  std::uint32_t best = ~0u;
-  for (int lane = 0; lane < lanes; ++lane) {
-    if (!done[static_cast<std::size_t>(lane)]) {
-      best = std::min(best, pc[static_cast<std::size_t>(lane)]);
-    }
-  }
-  return best;
+  bank_extra_.assign(config_.cache_banks, 0);
 }
 
 int ComputeUnit::free_slots() const {
@@ -52,6 +32,7 @@ void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
                                    std::uint32_t items) {
   const auto wf_size = static_cast<std::uint32_t>(config_.wavefront_size);
   std::uint32_t offset = 0;
+  int new_wfs = 0;
   while (offset < items) {
     const std::uint32_t lanes = std::min(wf_size, items - offset);
     Wavefront* slot = nullptr;
@@ -62,40 +43,67 @@ void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
       }
     }
     GPUP_CHECK_MSG(slot != nullptr, "assign_workgroup without free slots");
-    *slot = Wavefront{};
     slot->valid = true;
+    slot->at_barrier = false;
     slot->wg_id = wg_id;
     slot->base_gid = base_gid + offset;
     slot->lanes = static_cast<int>(lanes);
-    slot->regs.assign(static_cast<std::size_t>(lanes), {});
+    slot->live = static_cast<int>(lanes);
+    slot->active_loads = 0;
+    slot->min_pc_cache = 0;
+    slot->active_at_min = static_cast<int>(lanes);
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      slot->pc[lane] = 0;
+      slot->done[lane] = false;
+      slot->regs[lane].fill(0);
+    }
     slot->reg_ready.fill(0);
+    slot->loads.fill(LoadTracker{});
+    slot->mem_lines_valid = false;
     offset += lanes;
+    ++new_wfs;
   }
+  GPUP_CHECK_MSG(find_wg(wg_id) == nullptr, "work-group dispatched twice onto one CU");
+  wg_states_.push_back({wg_id, new_wfs, 0});
 }
 
-void ComputeUnit::release_barriers() {
+ComputeUnit::WgState* ComputeUnit::find_wg(std::uint32_t wg_id) {
+  for (auto& state : wg_states_) {
+    if (state.wg_id == wg_id) return &state;
+  }
+  return nullptr;
+}
+
+void ComputeUnit::release_wg(WgState& state) {
   // A barrier opens once every live wavefront of the work-group on this CU
   // has arrived (work-groups never span CUs).
-  std::set<std::uint32_t> candidate_wgs;
-  for (const auto& wf : wavefronts_) {
-    if (wf.valid && wf.at_barrier) candidate_wgs.insert(wf.wg_id);
+  for (auto& wf : wavefronts_) {
+    if (wf.valid && wf.wg_id == state.wg_id) wf.at_barrier = false;
   }
-  for (std::uint32_t wg : candidate_wgs) {
-    bool all_arrived = true;
-    for (const auto& wf : wavefronts_) {
-      if (!wf.valid || wf.wg_id != wg || wf.finished()) continue;
-      if (!wf.at_barrier) {
-        all_arrived = false;
-        break;
-      }
-    }
-    if (all_arrived) {
-      for (auto& wf : wavefronts_) {
-        if (wf.valid && wf.wg_id == wg) wf.at_barrier = false;
-      }
-      ++counters_->barriers;
-    }
+  state.arrived = 0;
+  ++counters_->barriers;
+}
+
+void ComputeUnit::arrive_barrier(Wavefront& wf) {
+  WgState* state = find_wg(wf.wg_id);
+  GPUP_CHECK_MSG(state != nullptr, "barrier arrival for unknown work-group");
+  ++state->arrived;
+  GPUP_CHECK(state->arrived <= state->live_wfs);
+  if (state->arrived == state->live_wfs) release_wg(*state);
+}
+
+void ComputeUnit::on_wavefront_finished(std::uint32_t wg_id) {
+  WgState* state = find_wg(wg_id);
+  GPUP_CHECK_MSG(state != nullptr && state->live_wfs > 0, "finish for unknown work-group");
+  --state->live_wfs;
+  if (state->live_wfs == 0) {
+    GPUP_CHECK(state->arrived == 0);
+    *state = wg_states_.back();
+    wg_states_.pop_back();
+    return;
   }
+  // The finisher was not at the barrier; the remaining siblings might all be.
+  if (state->arrived > 0 && state->arrived == state->live_wfs) release_wg(*state);
 }
 
 bool ComputeUnit::busy() const {
@@ -107,7 +115,6 @@ bool ComputeUnit::busy() const {
 }
 
 void ComputeUnit::tick(std::uint64_t now) {
-  release_barriers();
   if (pipe_free_ > now) {
     ++busy_cycles_;
     return;  // SIMD pipeline still streaming the previous wavefront op
@@ -116,7 +123,9 @@ void ComputeUnit::tick(std::uint64_t now) {
   const int slots = static_cast<int>(wavefronts_.size());
   for (int i = 0; i < slots; ++i) {
     Wavefront& wf = wavefronts_[static_cast<std::size_t>((next_wf_ + i) % slots)];
-    if (!wf.valid || wf.finished() || wf.at_barrier) continue;
+    // live == 0 with loads still in flight: every lane has returned but
+    // the slot stays claimed until the fills land — nothing to issue.
+    if (!wf.valid || wf.at_barrier || wf.live == 0) continue;
     if (try_issue(wf, now)) {
       next_wf_ = (next_wf_ + i + 1) % slots;
       ++busy_cycles_;
@@ -134,84 +143,147 @@ void ComputeUnit::tick(std::uint64_t now) {
   if (any_live) ++counters_->stall_no_wavefront;
 }
 
-bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
+ComputeUnit::IdleProfile ComputeUnit::idle_profile(std::uint64_t now) const {
+  IdleProfile profile;
+  if (pipe_free_ > now) {
+    // Every tick until pipe_free_ only counts pipeline occupancy.
+    profile.wake = pipe_free_;
+    profile.busy = 1;
+    return profile;
+  }
+  bool any_live = false;
+  for (const auto& wf : wavefronts_) {
+    if (!wf.valid || wf.finished()) continue;
+    any_live = true;
+    // Barrier-parked or drained-but-loads-pending wavefronts are woken
+    // only by issue or memory events.
+    if (wf.at_barrier || wf.live == 0) continue;
+    std::uint64_t wake = kNever;
+    switch (probe_issue(wf, now, &wake)) {
+      case IssueBlock::kReady:
+        profile.wake = now;  // can issue immediately: no fast-forward
+        return profile;
+      case IssueBlock::kScoreboard:
+        ++profile.stall_scoreboard;
+        profile.wake = std::min(profile.wake, wake);
+        break;
+      case IssueBlock::kMemQueue:
+        // Only a memory-system state change can unblock this wavefront;
+        // the driver bounds the jump by MemorySystem::next_event().
+        ++profile.stall_mem_queue;
+        break;
+    }
+  }
+  if (any_live) profile.stall_no_wavefront = 1;
+  return profile;
+}
+
+void ComputeUnit::apply_idle(const IdleProfile& profile, std::uint64_t cycles) {
+  busy_cycles_ += static_cast<std::uint64_t>(profile.busy) * cycles;
+  counters_->stall_scoreboard += static_cast<std::uint64_t>(profile.stall_scoreboard) * cycles;
+  counters_->stall_mem_queue += static_cast<std::uint64_t>(profile.stall_mem_queue) * cycles;
+  counters_->stall_no_wavefront +=
+      static_cast<std::uint64_t>(profile.stall_no_wavefront) * cycles;
+}
+
+ComputeUnit::IssueBlock ComputeUnit::probe_issue(const Wavefront& wf, std::uint64_t now,
+                                                std::uint64_t* wake) const {
   const std::uint32_t pc = wf.min_pc();
   GPUP_CHECK_MSG(pc < ctx_->program->size(), "wavefront ran off the end of the program");
   const isa::Instruction instruction = ctx_->program->at(pc);
   const isa::OpInfo& op = isa::info(instruction.opcode);
 
-  // Scoreboard: all sources ready, destination not pending (WAW).
-  auto busy = [&](std::uint8_t reg) { return wf.reg_ready[reg] > now; };
-  if ((op.reads_rs && busy(instruction.rs)) || (op.reads_rt && busy(instruction.rt)) ||
-      (op.reads_rd && busy(instruction.rd)) || (op.has_rd && busy(instruction.rd)) ||
-      (instruction.opcode == Opcode::kJr && busy(instruction.rs))) {
-    ++counters_->stall_scoreboard;
+  // Scoreboard: all sources ready, destination not pending (WAW). The wf
+  // becomes issuable once the latest blocking register is ready.
+  std::uint64_t ready_at = 0;
+  auto busy = [&](std::uint8_t reg) {
+    if (wf.reg_ready[reg] > now) {
+      ready_at = std::max(ready_at, wf.reg_ready[reg]);
+      return true;
+    }
     return false;
+  };
+  bool stalled = false;
+  if (op.reads_rs) stalled |= busy(instruction.rs);
+  if (op.reads_rt) stalled |= busy(instruction.rt);
+  if (op.reads_rd) stalled |= busy(instruction.rd);
+  if (op.has_rd) stalled |= busy(instruction.rd);
+  if (instruction.opcode == Opcode::kJr) stalled |= busy(instruction.rs);
+  if (stalled) {
+    *wake = ready_at;
+    return IssueBlock::kScoreboard;
   }
 
-  // Active subset: lanes whose pc equals the minimum.
-  int active = 0;
-  for (int lane = 0; lane < wf.lanes; ++lane) {
-    if (!wf.done[static_cast<std::size_t>(lane)] &&
-        wf.pc[static_cast<std::size_t>(lane)] == pc) {
-      ++active;
-    }
-  }
-  GPUP_CHECK(active > 0);
+  GPUP_CHECK(wf.active_at_min > 0);
 
   // Global memory ops must fit in the cache bank queues and store buffer.
   if (op.op_class == OpClass::kGlobalMem) {
-    std::set<std::uint64_t> lines;
-    for (int lane = 0; lane < wf.lanes; ++lane) {
-      if (wf.done[static_cast<std::size_t>(lane)] ||
-          wf.pc[static_cast<std::size_t>(lane)] != pc) {
-        continue;
+    if (!wf.mem_lines_valid) {
+      wf.mem_lines.clear();
+      for (int lane = 0; lane < wf.lanes; ++lane) {
+        if (wf.done[static_cast<std::size_t>(lane)] ||
+            wf.pc[static_cast<std::size_t>(lane)] != pc) {
+          continue;
+        }
+        const std::uint32_t addr =
+            wf.regs[static_cast<std::size_t>(lane)][instruction.rs] +
+            static_cast<std::uint32_t>(instruction.imm);
+        wf.mem_lines.insert(addr / config_.cache_line_bytes);
       }
-      const std::uint32_t addr =
-          wf.regs[static_cast<std::size_t>(lane)][instruction.rs] +
-          static_cast<std::uint32_t>(instruction.imm);
-      lines.insert(addr / config_.cache_line_bytes);
+      wf.mem_lines_valid = true;
     }
     // All coalesced lines must fit into their bank queues at once — the
     // LSU injects the whole gather/scatter atomically.
     bool fits = true;
-    {
-      std::vector<int> extra(config_.cache_banks, 0);
-      for (std::uint64_t line : lines) {
-        const auto bank = memory_->bank_of(line);
-        ++extra[bank];
-        if (!memory_->accepts(bank, extra[bank])) {
-          fits = false;
-          break;
-        }
+    for (std::uint64_t line : wf.mem_lines) {
+      const auto bank = memory_->bank_of(line);
+      ++bank_extra_[bank];
+      if (!memory_->accepts(bank, bank_extra_[bank])) {
+        fits = false;
+        break;
       }
     }
+    std::fill(bank_extra_.begin(), bank_extra_.end(), 0);
     // Store buffer back-pressure; a drained buffer accepts an oversized
     // scatter in one burst (mirrors the bank-queue burst rule).
     if (instruction.opcode == Opcode::kSw && outstanding_stores_ > 0 &&
-        outstanding_stores_ + static_cast<int>(lines.size()) >
+        outstanding_stores_ + static_cast<int>(wf.mem_lines.size()) >
             static_cast<int>(config_.max_outstanding_stores)) {
       fits = false;
     }
     if (!fits) {
-      ++counters_->stall_mem_queue;
-      return false;
+      *wake = kNever;
+      return IssueBlock::kMemQueue;
     }
   }
 
   // Barriers require the whole wavefront to arrive together (divergent
   // barriers are undefined in the SIMT model, as in OpenCL).
   if (instruction.opcode == Opcode::kBar) {
-    GPUP_CHECK_MSG(active == [&] {
-      int alive = 0;
-      for (int lane = 0; lane < wf.lanes; ++lane) {
-        if (!wf.done[static_cast<std::size_t>(lane)]) ++alive;
-      }
-      return alive;
-    }(), "barrier reached by a divergent subset");
+    GPUP_CHECK_MSG(wf.active_at_min == wf.live, "barrier reached by a divergent subset");
+  }
+  return IssueBlock::kReady;
+}
+
+bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
+  std::uint64_t wake = kNever;
+  switch (probe_issue(wf, now, &wake)) {
+    case IssueBlock::kScoreboard:
+      ++counters_->stall_scoreboard;
+      return false;
+    case IssueBlock::kMemQueue:
+      ++counters_->stall_mem_queue;
+      return false;
+    case IssueBlock::kReady:
+      break;
   }
 
-  execute(wf, instruction, pc, now, active);
+  const std::uint32_t pc = wf.min_pc();
+  const isa::Instruction instruction = ctx_->program->at(pc);
+  const isa::OpInfo& op = isa::info(instruction.opcode);
+  const int active = wf.active_at_min;
+
+  execute(wf, instruction, pc, now);
 
   // Occupancy: every instruction streams wavefront_size/pes beats through
   // the SIMD pipeline; the iterative divider holds it longer.
@@ -221,26 +293,58 @@ bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
 
   ++counters_->wf_instructions;
   counters_->item_instructions += static_cast<std::uint64_t>(active);
-  int alive = 0;
-  for (int lane = 0; lane < wf.lanes; ++lane) {
-    if (!wf.done[static_cast<std::size_t>(lane)]) ++alive;
-  }
-  if (active < alive) ++counters_->divergent_issues;
+  if (active < wf.live) ++counters_->divergent_issues;
   return true;
 }
 
+std::uint32_t ComputeUnit::load_token(const Wavefront& wf, std::uint8_t reg) const {
+  const auto slot = static_cast<std::uint32_t>(&wf - wavefronts_.data());
+  return slot * static_cast<std::uint32_t>(kNumRegs) + reg;
+}
+
+void ComputeUnit::line_done(std::uint32_t token, std::uint64_t done_cycle) {
+  if (token == kStoreToken) {
+    --outstanding_stores_;
+    return;
+  }
+  Wavefront& wf = wavefronts_[token / kNumRegs];
+  const std::uint8_t dest = static_cast<std::uint8_t>(token % kNumRegs);
+  LoadTracker& tracker = wf.loads[dest];
+  GPUP_CHECK(tracker.pending_lines > 0);
+  tracker.latest = std::max(tracker.latest, done_cycle);
+  if (--tracker.pending_lines == 0) {
+    wf.reg_ready[dest] = tracker.latest + 2;  // return crossbar
+    --wf.active_loads;
+    if (wf.live == 0 && wf.active_loads == 0) on_wavefront_finished(wf.wg_id);
+  }
+}
+
 void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc,
-                          std::uint64_t now, int active_lanes) {
+                          std::uint64_t now) {
   const isa::OpInfo& op = isa::info(ins.opcode);
   const auto uimm16 = static_cast<std::uint32_t>(ins.imm) & 0xffffu;
 
-  // Loads gather distinct cache lines; completion wakes the dest register.
-  std::set<std::uint64_t> load_lines;
-  std::set<std::uint64_t> store_lines;
+  // For loads/stores, probe_issue() already coalesced the distinct cache
+  // lines of the active subset into wf.mem_lines (ascending order).
+
+  std::uint32_t new_min = ~0u;   // min pc over live lanes after this issue
+  int at_min = 0;
+  auto track_pc = [&](std::uint32_t lane_pc) {
+    if (lane_pc < new_min) {
+      new_min = lane_pc;
+      at_min = 1;
+    } else if (lane_pc == new_min) {
+      ++at_min;
+    }
+  };
 
   for (int lane = 0; lane < wf.lanes; ++lane) {
     const auto l = static_cast<std::size_t>(lane);
-    if (wf.done[l] || wf.pc[l] != pc) continue;
+    if (wf.done[l]) continue;
+    if (wf.pc[l] != pc) {
+      track_pc(wf.pc[l]);  // live lane outside the min-PC subset
+      continue;
+    }
     auto& regs = wf.regs[l];
     auto rd = [&]() -> std::uint32_t& { return regs[ins.rd]; };
     const std::uint32_t rs_v = regs[ins.rs];
@@ -291,7 +395,6 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
         GPUP_CHECK_MSG(addr % 4 == 0, "unaligned global load");
         GPUP_CHECK_MSG(addr / 4 < ctx_->global_mem->size(), "global load out of bounds");
         rd() = (*ctx_->global_mem)[addr / 4];
-        load_lines.insert(addr / config_.cache_line_bytes);
         break;
       }
       case Opcode::kSw: {
@@ -299,7 +402,6 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
         GPUP_CHECK_MSG(addr % 4 == 0, "unaligned global store");
         GPUP_CHECK_MSG(addr / 4 < ctx_->global_mem->size(), "global store out of bounds");
         (*ctx_->global_mem)[addr / 4] = regs[ins.rd];
-        store_lines.insert(addr / config_.cache_line_bytes);
         break;
       }
       case Opcode::kLwl: {
@@ -359,48 +461,54 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
       case Opcode::kCount: GPUP_CHECK(false); break;
     }
     regs[0] = 0;  // r0 stays hard-wired zero
-    if (!wf.done[l]) wf.pc[l] = next_pc;
+    if (wf.done[l]) {
+      --wf.live;
+    } else {
+      wf.pc[l] = next_pc;
+      track_pc(next_pc);
+    }
   }
-  (void)active_lanes;
+  wf.min_pc_cache = new_min;
+  wf.active_at_min = at_min;
 
   // --- timing side-effects ------------------------------------------------
-  if (ins.opcode == Opcode::kBar) wf.at_barrier = true;
-
   if (op.has_rd && ins.opcode != Opcode::kLw) {
     wf.reg_ready[ins.rd] = now + static_cast<std::uint64_t>(op.result_latency);
   }
 
   if (ins.opcode == Opcode::kLw) {
     ++counters_->loads;
-    counters_->load_lines += load_lines.size();
+    counters_->load_lines += wf.mem_lines.size();
     wf.reg_ready[ins.rd] = kNever;
-    // Compact retired trackers so long-running kernels don't accumulate.
-    std::erase_if(wf.loads, [](const LoadTracker& t) { return t.pending_lines == 0; });
-    wf.loads.push_back({ins.rd, static_cast<int>(load_lines.size()), 0});
-    auto* tracker_wf = &wf;
-    const std::uint8_t dest = ins.rd;
-    for (std::uint64_t line : load_lines) {
-      memory_->request(line, false, [tracker_wf, dest, this](std::uint64_t done) {
-        for (auto& tracker : tracker_wf->loads) {
-          if (tracker.reg == dest && tracker.pending_lines > 0) {
-            tracker.latest = std::max(tracker.latest, done);
-            if (--tracker.pending_lines == 0) {
-              tracker_wf->reg_ready[dest] = tracker.latest + 2;  // return crossbar
-              tracker.reg = 0xff;                                // retire tracker
-            }
-            break;
-          }
-        }
-      });
+    LoadTracker& tracker = wf.loads[ins.rd];
+    // The scoreboard blocks reissue while the dest reg is pending, so at
+    // most one load per register is ever in flight.
+    GPUP_CHECK(tracker.pending_lines == 0);
+    tracker.pending_lines = static_cast<int>(wf.mem_lines.size());
+    tracker.latest = 0;
+    ++wf.active_loads;
+    const std::uint32_t token = load_token(wf, ins.rd);
+    for (std::uint64_t line : wf.mem_lines) {
+      memory_->request(line, false, LineCallback{this, token});
     }
   }
   if (ins.opcode == Opcode::kSw) {
     ++counters_->stores;
-    counters_->store_lines += store_lines.size();
-    outstanding_stores_ += static_cast<int>(store_lines.size());
-    for (std::uint64_t line : store_lines) {
-      memory_->request(line, true, [this](std::uint64_t) { --outstanding_stores_; });
+    counters_->store_lines += wf.mem_lines.size();
+    outstanding_stores_ += static_cast<int>(wf.mem_lines.size());
+    for (std::uint64_t line : wf.mem_lines) {
+      memory_->request(line, true, LineCallback{this, kStoreToken});
     }
+  }
+
+  wf.mem_lines_valid = false;  // pc/state advanced: line set is stale
+
+  if (ins.opcode == Opcode::kBar) {
+    wf.at_barrier = true;
+    arrive_barrier(wf);
+  }
+  if (ins.opcode == Opcode::kRet && wf.live == 0 && wf.active_loads == 0) {
+    on_wavefront_finished(wf.wg_id);
   }
 }
 

@@ -5,6 +5,18 @@
 // of lanes at the minimum PC (min-PC reconvergence), which is how the
 // FGPU lets "each work-item take a different path in the control flow
 // graph" without a reconvergence stack.
+//
+// Hot-path invariants (the refactor this file went through):
+//   * no heap allocation on the issue/execute path — line coalescing uses
+//     a fixed-capacity sorted buffer, load tracking is indexed by dest reg;
+//   * wavefront liveness (live-lane count, min PC, lanes at min PC,
+//     loads in flight) is cached and maintained incrementally, so
+//     finished()/min_pc()/free_slots()/busy() are O(1) per wavefront;
+//   * barriers release through per-work-group arrival counters at the
+//     moment the last wavefront arrives (or a sibling finishes), with
+//     timing identical to the old rebuild-a-set-every-tick scheme;
+//   * idle_profile()/apply_idle() let the driver loop jump over cycles in
+//     which this CU provably repeats the same stall pattern.
 #pragma once
 
 #include <array>
@@ -14,21 +26,34 @@
 #include "src/isa/program.hpp"
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
+#include "src/sim/global_memory.hpp"
 #include "src/sim/memory_system.hpp"
+#include "src/util/small_vec.hpp"
 
 namespace gpup::sim {
 
 /// Everything a running kernel needs, shared across CUs.
 struct LaunchContext {
   const isa::Program* program = nullptr;
-  std::vector<std::uint32_t>* global_mem = nullptr;  ///< word-addressed backing store
+  GlobalMemory* global_mem = nullptr;  ///< word-addressed backing store
   std::vector<std::uint32_t> params;                 ///< RTM kernel arguments
   std::uint32_t global_size = 0;
   std::uint32_t wg_size = 0;
 };
 
-class ComputeUnit {
+class ComputeUnit final : public LineCompletionSink {
  public:
+  /// Per-cycle counter deltas a blocked CU repeats every cycle until
+  /// `wake`. The driver loop applies them in bulk via apply_idle() when it
+  /// fast-forwards, keeping every PerfCounter bit-identical to ticking.
+  struct IdleProfile {
+    std::uint64_t wake = ~0ull;          ///< earliest cycle tick() could act
+    std::uint32_t stall_scoreboard = 0;  ///< failed issues per idle cycle
+    std::uint32_t stall_mem_queue = 0;
+    std::uint32_t stall_no_wavefront = 0;
+    std::uint32_t busy = 0;              ///< pipe-occupied cycles
+  };
+
   ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory, PerfCounters* counters,
               LaunchContext* ctx);
 
@@ -39,7 +64,7 @@ class ComputeUnit {
   /// `base_gid`). Caller must have checked free_slots().
   void assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid, std::uint32_t items);
 
-  /// Advance one cycle: release barriers, then try to issue.
+  /// Advance one cycle: try to issue from a ready wavefront.
   void tick(std::uint64_t now);
 
   /// Any resident wavefront still executing, or stores in flight.
@@ -47,31 +72,72 @@ class ComputeUnit {
 
   [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
 
+  /// What this CU would do every cycle from `now` until some external or
+  /// internal event, assuming the memory system stays quiet. wake == now
+  /// means the CU can issue immediately (no fast-forward).
+  [[nodiscard]] IdleProfile idle_profile(std::uint64_t now) const;
+
+  /// Account `cycles` ticks of the given idle profile in bulk.
+  void apply_idle(const IdleProfile& profile, std::uint64_t cycles);
+
+  /// LineCompletionSink: load-fill / store completions from the memory
+  /// system.
+  void line_done(std::uint32_t token, std::uint64_t done_cycle) override;
+
  private:
   static constexpr std::uint64_t kNever = ~0ull;
   static constexpr int kMaxLanes = 64;
+  static constexpr int kNumRegs = 32;
+  static constexpr std::uint32_t kStoreToken = ~0u;
 
   struct LoadTracker {
-    std::uint8_t reg = 0;
     int pending_lines = 0;
     std::uint64_t latest = 0;
   };
 
   struct Wavefront {
     bool valid = false;
+    bool at_barrier = false;
     std::uint32_t wg_id = 0;
     std::uint32_t base_gid = 0;
-    int lanes = 0;  ///< live lanes (last wavefront of a WG may be partial)
+    int lanes = 0;       ///< provisioned lanes (last wavefront may be partial)
+    int live = 0;        ///< lanes that have not executed RET yet
+    int active_loads = 0;  ///< dest regs with cache lines still in flight
+    std::uint32_t min_pc_cache = 0;  ///< min pc over live lanes
+    int active_at_min = 0;           ///< live lanes whose pc == min_pc_cache
     std::array<std::uint32_t, kMaxLanes> pc{};
     std::array<bool, kMaxLanes> done{};
-    std::vector<std::array<std::uint32_t, 32>> regs;  ///< [lane][reg]
-    std::array<std::uint64_t, 32> reg_ready{};
-    std::vector<LoadTracker> loads;
-    bool at_barrier = false;
+    std::array<std::array<std::uint32_t, kNumRegs>, kMaxLanes> regs{};  ///< [lane][reg]
+    std::array<std::uint64_t, kNumRegs> reg_ready{};
+    std::array<LoadTracker, kNumRegs> loads{};  ///< indexed by dest reg
 
-    [[nodiscard]] bool finished() const;
-    [[nodiscard]] std::uint32_t min_pc() const;
+    // Coalesced cache lines of the instruction at min_pc_cache. The active
+    // subset and its address registers cannot change while the wavefront
+    // is stalled, so the (sorted, unique) line set is computed once per
+    // issue attempt sequence and reused until the next execute.
+    // Mutable: filled lazily from the const probe path.
+    mutable SortedUniqueBuf<std::uint64_t, kMaxLanes> mem_lines;
+    mutable bool mem_lines_valid = false;
+
+    [[nodiscard]] bool finished() const { return live == 0 && active_loads == 0; }
+    [[nodiscard]] std::uint32_t min_pc() const { return min_pc_cache; }
   };
+
+  /// Per-work-group barrier bookkeeping: how many resident wavefronts are
+  /// still unfinished and how many of those have arrived at a barrier.
+  struct WgState {
+    std::uint32_t wg_id = 0;
+    int live_wfs = 0;
+    int arrived = 0;
+  };
+
+  enum class IssueBlock { kReady, kScoreboard, kMemQueue };
+
+  /// Read-only issue check for wavefront `wf` at `now`. On a scoreboard
+  /// stall, `*wake` is the cycle the blocking registers are all ready
+  /// (kNever if a load is in flight). For kGlobalMem ops the coalesced
+  /// line set is cached in wf.mem_lines for execute() to reuse.
+  IssueBlock probe_issue(const Wavefront& wf, std::uint64_t now, std::uint64_t* wake) const;
 
   /// Try to issue from wavefront `wf`; true if an instruction issued.
   bool try_issue(Wavefront& wf, std::uint64_t now);
@@ -79,9 +145,15 @@ class ComputeUnit {
   /// Execute `instruction` functionally on all lanes of `wf` whose pc
   /// equals `pc` (the min-PC subset).
   void execute(Wavefront& wf, const isa::Instruction& instruction, std::uint32_t pc,
-               std::uint64_t now, int active_lanes);
+               std::uint64_t now);
 
-  void release_barriers();
+  // Barrier / work-group lifecycle events.
+  WgState* find_wg(std::uint32_t wg_id);
+  void arrive_barrier(Wavefront& wf);
+  void on_wavefront_finished(std::uint32_t wg_id);
+  void release_wg(WgState& state);
+
+  [[nodiscard]] std::uint32_t load_token(const Wavefront& wf, std::uint8_t reg) const;
 
   int id_;
   GpuConfig config_;
@@ -90,11 +162,16 @@ class ComputeUnit {
   LaunchContext* ctx_;
 
   std::vector<Wavefront> wavefronts_;
+  std::vector<WgState> wg_states_;
   std::vector<std::uint32_t> lram_;  ///< CU-local scratchpad, word-addressed
   std::uint64_t pipe_free_ = 0;      ///< SIMD pipeline occupancy
   int outstanding_stores_ = 0;
   int next_wf_ = 0;                  ///< round-robin pointer
   std::uint64_t busy_cycles_ = 0;
+
+  // Reusable scratch for the issue path (mutable: probe_issue is logically
+  // const but counts per-bank demand here).
+  mutable std::vector<int> bank_extra_;  ///< zeroed after every use
 };
 
 }  // namespace gpup::sim

@@ -46,6 +46,12 @@ struct GpuConfig {
   std::uint32_t max_outstanding_stores = 16;  ///< per CU
   std::uint64_t max_cycles = 1ull << 31;      ///< watchdog
 
+  /// Host-simulation speedup only — never changes simulated timing: the
+  /// driver loop jumps over cycles in which every CU provably repeats the
+  /// same stall pattern and the memory system has no event due. Counters
+  /// for the skipped cycles are applied in bulk, bit-identical to ticking.
+  bool idle_fast_forward = true;
+
   [[nodiscard]] int beats_per_instruction() const { return wavefront_size / pes_per_cu; }
   [[nodiscard]] std::uint32_t words_per_line() const { return cache_line_bytes / 4; }
   [[nodiscard]] std::uint32_t line_transfer_cycles() const {

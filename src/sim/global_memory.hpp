@@ -1,0 +1,39 @@
+// Word-addressed global-memory backing store for the functional side of
+// the simulator.
+//
+// Backed by calloc so a fresh 16 MB device costs no host time up front:
+// the OS hands back zero pages that are only materialised when a kernel
+// actually touches them. (A std::vector would memset the whole region at
+// construction, which dominated short simulations.)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/util/status.hpp"
+
+namespace gpup::sim {
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::size_t words)
+      : words_(words), data_(static_cast<std::uint32_t*>(std::calloc(words, 4))) {
+    GPUP_CHECK_MSG(data_ != nullptr, "global memory allocation failed");
+  }
+  ~GlobalMemory() { std::free(data_); }
+
+  GlobalMemory(const GlobalMemory&) = delete;
+  GlobalMemory& operator=(const GlobalMemory&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return words_; }
+  std::uint32_t& operator[](std::size_t word) { return data_[word]; }
+  const std::uint32_t& operator[](std::size_t word) const { return data_[word]; }
+  [[nodiscard]] std::uint32_t* data() { return data_; }
+  [[nodiscard]] const std::uint32_t* data() const { return data_; }
+
+ private:
+  std::size_t words_ = 0;
+  std::uint32_t* data_ = nullptr;
+};
+
+}  // namespace gpup::sim

@@ -7,10 +7,9 @@
 
 namespace gpup::sim {
 
-Gpu::Gpu(GpuConfig config) : config_(config) {
+Gpu::Gpu(GpuConfig config) : config_(config), mem_(config.global_mem_bytes / 4) {
   GPUP_CHECK(config_.cu_count >= 1);
   GPUP_CHECK(config_.wavefront_size % config_.pes_per_cu == 0);
-  mem_.resize(config_.global_mem_bytes / 4, 0);
 }
 
 std::uint32_t Gpu::alloc(std::uint32_t bytes) {
@@ -24,13 +23,13 @@ std::uint32_t Gpu::alloc(std::uint32_t bytes) {
 void Gpu::write(std::uint32_t byte_addr, std::span<const std::uint32_t> words) {
   GPUP_CHECK(byte_addr % 4 == 0);
   GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
-  std::copy(words.begin(), words.end(), mem_.begin() + byte_addr / 4);
+  std::copy(words.begin(), words.end(), mem_.data() + byte_addr / 4);
 }
 
 void Gpu::read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
   GPUP_CHECK(byte_addr % 4 == 0);
   GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
-  std::copy_n(mem_.begin() + byte_addr / 4, words.size(), words.begin());
+  std::copy_n(mem_.data() + byte_addr / 4, words.size(), words.begin());
 }
 
 void Gpu::reset_allocator() { alloc_next_ = 0; }
@@ -58,6 +57,16 @@ LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint
   std::uint32_t next_wg = 0;
   int dispatch_cu = 0;
 
+  // Returns the slot demand of work-group `wg`.
+  const auto slots_needed_for = [&](std::uint32_t wg) {
+    const std::uint32_t base = wg * wg_size;
+    const std::uint32_t items = std::min(wg_size, global_size - base);
+    return static_cast<int>(
+        ceil_div(items, static_cast<std::uint32_t>(config_.wavefront_size)));
+  };
+
+  std::vector<ComputeUnit::IdleProfile> profiles(cus.size());
+
   std::uint64_t cycle = 0;
   while (true) {
     // WG dispatcher: one work-group per cycle onto a CU with enough free
@@ -65,8 +74,7 @@ LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint
     if (next_wg < wg_count) {
       const std::uint32_t base = next_wg * wg_size;
       const std::uint32_t items = std::min(wg_size, global_size - base);
-      const int slots_needed =
-          static_cast<int>(ceil_div(items, static_cast<std::uint32_t>(config_.wavefront_size)));
+      const int slots_needed = slots_needed_for(next_wg);
       for (int probe = 0; probe < config_.cu_count; ++probe) {
         const int cu = (dispatch_cu + probe) % config_.cu_count;
         if (cus[static_cast<std::size_t>(cu)].free_slots() >= slots_needed) {
@@ -89,6 +97,34 @@ LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint
       if (!busy) break;
     }
     GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
+
+    if (!config_.idle_fast_forward) continue;
+
+    // --- event-driven idle fast-forward --------------------------------
+    // Skip ahead over cycles in which nothing can happen: the dispatcher
+    // provably cannot place the next work-group (slot counts only change
+    // on issue or memory events), no CU can issue, and the memory system
+    // has no completion due. Per-cycle stall counters for the skipped
+    // stretch are applied in bulk, so all timing stays bit-identical.
+    if (next_wg < wg_count) {
+      const int slots_needed = slots_needed_for(next_wg);
+      bool placeable = false;
+      for (const auto& cu : cus) placeable = placeable || cu.free_slots() >= slots_needed;
+      if (placeable) continue;  // dispatch will act next cycle
+    }
+    std::uint64_t wake = memory.next_event(cycle);
+    if (wake == cycle) continue;  // memory acts next tick: nothing to skip
+    for (std::size_t i = 0; i < cus.size() && wake > cycle; ++i) {
+      profiles[i] = cus[i].idle_profile(cycle);
+      wake = std::min(wake, profiles[i].wake);
+    }
+    if (wake > cycle) {
+      wake = std::min(wake, config_.max_cycles);
+      const std::uint64_t skipped = wake - cycle;
+      for (std::size_t i = 0; i < cus.size(); ++i) cus[i].apply_idle(profiles[i], skipped);
+      cycle = wake;
+      GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
+    }
   }
 
   counters.cycles = cycle;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
 #include "src/sim/memory_system.hpp"
+#include "src/util/status.hpp"
 
 namespace gpup::sim {
 
@@ -51,7 +53,7 @@ class Gpu {
 
  private:
   GpuConfig config_;
-  std::vector<std::uint32_t> mem_;
+  GlobalMemory mem_;
   std::uint32_t alloc_next_ = 0;
 };
 

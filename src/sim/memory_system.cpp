@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "src/util/bits.hpp"
 #include "src/util/status.hpp"
 
 namespace gpup::sim {
+
+// Owns a std::function for the convenience request() overload.
+class MemorySystem::FunctionSink final : public LineCompletionSink {
+ public:
+  explicit FunctionSink(std::function<void(std::uint64_t)> fn) : fn_(std::move(fn)) {}
+  void line_done(std::uint32_t /*token*/, std::uint64_t done_cycle) override {
+    if (fn_) fn_(done_cycle);
+  }
+
+ private:
+  std::function<void(std::uint64_t)> fn_;
+};
+
+MemorySystem::~MemorySystem() = default;
 
 MemorySystem::MemorySystem(const GpuConfig& config, PerfCounters* counters)
     : config_(config), counters_(counters) {
@@ -13,18 +28,34 @@ MemorySystem::MemorySystem(const GpuConfig& config, PerfCounters* counters)
   const auto total_lines = config_.cache_bytes / config_.cache_line_bytes;
   GPUP_CHECK(total_lines % config_.cache_banks == 0);
   lines_.resize(total_lines);
-  bank_queues_.resize(config_.cache_banks);
+
+  sets_per_bank_ = total_lines / config_.cache_banks;
+  banks_pow2_ = is_pow2(config_.cache_banks);
+  bank_mask_ = config_.cache_banks - 1;
+  bank_shift_ = ceil_log2(config_.cache_banks);
+  sets_pow2_ = is_pow2(sets_per_bank_);
+  set_mask_ = sets_per_bank_ - 1;
+
+  // A drained bank accepts one oversized burst (up to a full wavefront of
+  // distinct lines), after which back-pressure caps growth at queue depth.
+  const std::size_t queue_capacity = 2 * (64 + config_.cache_queue_depth);
+  bank_queues_.reserve(config_.cache_banks);
+  for (std::uint32_t bank = 0; bank < config_.cache_banks; ++bank) {
+    bank_queues_.emplace_back(queue_capacity);
+  }
   bank_mshrs_.resize(config_.cache_banks);
+  for (auto& mshrs : bank_mshrs_) mshrs.reserve(config_.mshr_per_bank);
   axi_port_free_.resize(config_.axi_ports, 0);
 }
 
 std::uint32_t MemorySystem::set_index(std::uint64_t line_addr) const {
-  // Bank-interleaved direct-mapped: line -> (bank, set within bank).
+  // Bank-interleaved direct-mapped: line -> (bank, set within bank), all
+  // factors precomputed in the constructor.
   const auto bank = bank_of(line_addr);
-  const auto sets_per_bank =
-      (config_.cache_bytes / config_.cache_line_bytes) / config_.cache_banks;
-  const auto set = (line_addr / config_.cache_banks) % sets_per_bank;
-  return static_cast<std::uint32_t>(bank * sets_per_bank + set);
+  const std::uint64_t stripe =
+      banks_pow2_ ? (line_addr >> bank_shift_) : (line_addr / config_.cache_banks);
+  const std::uint64_t set = sets_pow2_ ? (stripe & set_mask_) : (stripe % sets_per_bank_);
+  return static_cast<std::uint32_t>(bank * sets_per_bank_ + set);
 }
 
 bool MemorySystem::can_accept(std::uint64_t line_addr) const {
@@ -41,10 +72,20 @@ bool MemorySystem::accepts(std::uint32_t bank, int n) const {
   return queue.size() + static_cast<std::size_t>(n) <= config_.cache_queue_depth;
 }
 
-void MemorySystem::request(std::uint64_t line_addr, bool is_store, Callback on_done) {
+void MemorySystem::request(std::uint64_t line_addr, bool is_store, LineCallback on_done) {
   auto& queue = bank_queues_[bank_of(line_addr)];
   // Oversized bursts into a drained bank are legal (see accepts()).
-  queue.push_back({line_addr, is_store, std::move(on_done)});
+  queue.push_back({line_addr, is_store, on_done});
+}
+
+void MemorySystem::request(std::uint64_t line_addr, bool is_store,
+                           std::function<void(std::uint64_t)> on_done) {
+  LineCallback callback;
+  if (on_done) {
+    owned_sinks_.push_back(std::make_unique<FunctionSink>(std::move(on_done)));
+    callback.sink = owned_sinks_.back().get();
+  }
+  request(line_addr, is_store, callback);
 }
 
 std::uint64_t MemorySystem::schedule_axi(std::uint64_t now) {
@@ -84,7 +125,7 @@ void MemorySystem::tick(std::uint64_t now) {
     if (line.valid && line.tag == request.line_addr) {
       ++counters_->cache_hits;
       if (request.is_store) line.dirty = true;
-      if (request.on_done) request.on_done(now + config_.cache_hit_latency);
+      request.on_done(now + config_.cache_hit_latency);
       continue;
     }
 
@@ -98,7 +139,7 @@ void MemorySystem::tick(std::uint64_t now) {
     }
     if (open != nullptr) {
       ++counters_->cache_misses;  // secondary miss, merged
-      if (request.on_done) open->waiters.push_back(std::move(request.on_done));
+      if (request.on_done.sink != nullptr) open->waiters.push_back(request.on_done);
       open->make_dirty |= request.is_store;
       continue;
     }
@@ -120,7 +161,7 @@ void MemorySystem::tick(std::uint64_t now) {
     mshr.line_addr = request.line_addr;
     mshr.fill_done = schedule_axi(now);
     mshr.make_dirty = request.is_store;
-    if (request.on_done) mshr.waiters.push_back(std::move(request.on_done));
+    if (request.on_done.sink != nullptr) mshr.waiters.push_back(request.on_done);
     mshrs.push_back(std::move(mshr));
     ++inflight_;
   }
@@ -132,6 +173,22 @@ bool MemorySystem::idle() const {
     if (!queue.empty()) return false;
   }
   return true;
+}
+
+std::uint64_t MemorySystem::next_event(std::uint64_t now) const {
+  // `now` is the next tick that has not run yet: queued requests are
+  // served at `now` itself, fills retire at the tick that reaches
+  // fill_done.
+  for (const auto& queue : bank_queues_) {
+    if (!queue.empty()) return now;
+  }
+  std::uint64_t wake = kNever;
+  for (const auto& mshrs : bank_mshrs_) {
+    for (const auto& mshr : mshrs) {
+      wake = std::min(wake, std::max(mshr.fill_done, now));
+    }
+  }
+  return wake;
 }
 
 }  // namespace gpup::sim

@@ -7,29 +7,52 @@
 // ports (fixed DRAM latency + per-port line transfer occupancy).
 //
 // Timing only — data moves functionally in the Gpu core. Completion is
-// reported through callbacks invoked during tick().
+// reported through LineCallback records invoked during tick(); the hot
+// path hands in a {sink, token} pair so no std::function is ever
+// heap-allocated per request.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
+#include "src/util/small_vec.hpp"
 
 namespace gpup::sim {
 
+/// Receiver of line-request completions.
+class LineCompletionSink {
+ public:
+  virtual ~LineCompletionSink() = default;
+  /// `token` is the caller's opaque request tag; `done_cycle` is when the
+  /// data is available at the requester.
+  virtual void line_done(std::uint32_t token, std::uint64_t done_cycle) = 0;
+};
+
+/// A completion target: POD, no allocation. A null sink means fire-and-forget.
+struct LineCallback {
+  LineCompletionSink* sink = nullptr;
+  std::uint32_t token = 0;
+
+  void operator()(std::uint64_t done_cycle) const {
+    if (sink != nullptr) sink->line_done(token, done_cycle);
+  }
+};
+
 class MemorySystem {
  public:
-  using Callback = std::function<void(std::uint64_t done_cycle)>;
+  static constexpr std::uint64_t kNever = ~0ull;
 
   MemorySystem(const GpuConfig& config, PerfCounters* counters);
+  ~MemorySystem();  // out of line: owned sinks are an incomplete type here
 
   /// Bank a line address maps to.
   [[nodiscard]] std::uint32_t bank_of(std::uint64_t line_addr) const {
-    return static_cast<std::uint32_t>(line_addr % config_.cache_banks);
+    return banks_pow2_ ? static_cast<std::uint32_t>(line_addr & bank_mask_)
+                       : static_cast<std::uint32_t>(line_addr % config_.cache_banks);
   }
 
   /// True if bank queues can absorb one more request for this line.
@@ -40,7 +63,12 @@ class MemorySystem {
 
   /// Enqueue a line request (load fill or store allocate). `on_done` fires
   /// during a later tick with the completion cycle.
-  void request(std::uint64_t line_addr, bool is_store, Callback on_done);
+  void request(std::uint64_t line_addr, bool is_store, LineCallback on_done);
+
+  /// Convenience overload for tests and one-off callers: wraps the
+  /// function in a heap-owned sink. Not for the simulator hot path.
+  void request(std::uint64_t line_addr, bool is_store,
+               std::function<void(std::uint64_t)> on_done);
 
   /// Advance one cycle.
   void tick(std::uint64_t now);
@@ -48,11 +76,18 @@ class MemorySystem {
   /// True if all queues, MSHRs and in-flight DRAM traffic drained.
   [[nodiscard]] bool idle() const;
 
+  /// Earliest cycle >= `now` at which tick() would do any work: `now`
+  /// itself while any bank queue holds requests, else the earliest
+  /// in-flight fill completion, else kNever. Ticks strictly before that
+  /// cycle are provable no-ops, which is what lets the GPU driver loop
+  /// fast-forward over idle stretches without disturbing any counter.
+  [[nodiscard]] std::uint64_t next_event(std::uint64_t now) const;
+
  private:
   struct Request {
     std::uint64_t line_addr = 0;
     bool is_store = false;
-    Callback on_done;
+    LineCallback on_done;
   };
   struct CacheLine {
     std::uint64_t tag = ~0ull;
@@ -63,7 +98,7 @@ class MemorySystem {
     std::uint64_t line_addr = 0;
     std::uint64_t fill_done = 0;
     bool make_dirty = false;
-    std::vector<Callback> waiters;
+    std::vector<LineCallback> waiters;
   };
 
   /// Schedule one line transfer on the least-loaded AXI port; returns the
@@ -74,11 +109,23 @@ class MemorySystem {
 
   GpuConfig config_;
   PerfCounters* counters_;
-  std::vector<std::deque<Request>> bank_queues_;
+  // Precomputed geometry (hoisted out of the per-request set_index path).
+  std::uint64_t sets_per_bank_ = 0;
+  bool banks_pow2_ = false;
+  bool sets_pow2_ = false;
+  std::uint64_t bank_mask_ = 0;
+  unsigned bank_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
+
+  std::vector<FixedRing<Request>> bank_queues_;
   std::vector<std::vector<Mshr>> bank_mshrs_;
   std::vector<CacheLine> lines_;          // direct-mapped, all banks
   std::vector<std::uint64_t> axi_port_free_;
   std::uint64_t inflight_ = 0;            // outstanding fills
+
+  // Storage for the std::function convenience overload (test path only).
+  class FunctionSink;
+  std::vector<std::unique_ptr<FunctionSink>> owned_sinks_;
 };
 
 }  // namespace gpup::sim

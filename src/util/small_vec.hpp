@@ -1,0 +1,115 @@
+// Fixed-capacity containers for the simulator hot path: no heap
+// allocation after construction, deterministic iteration orders that
+// match the std containers they replace.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace gpup {
+
+/// Fixed-capacity inline vector. push_back past N is a checked error.
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    GPUP_CHECK_MSG(size_ < N, "SmallVec capacity exceeded");
+    data_[size_++] = value;
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+/// Fixed-capacity sorted-unique buffer: drop-in replacement for the
+/// std::set line-coalescing in the LSU path. Iteration is ascending —
+/// exactly the order std::set yields — so every timing-visible request
+/// order is unchanged.
+template <typename T, std::size_t N>
+class SortedUniqueBuf {
+ public:
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  /// Insert keeping the buffer sorted; returns false if already present.
+  bool insert(const T& value) {
+    T* pos = std::lower_bound(begin(), end(), value);
+    if (pos != end() && *pos == value) return false;
+    GPUP_CHECK_MSG(size_ < N, "SortedUniqueBuf capacity exceeded");
+    for (T* it = end(); it != pos; --it) *it = *(it - 1);
+    *pos = value;
+    ++size_;
+    return true;
+  }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+/// Fixed-capacity ring buffer with deque semantics (push at either end,
+/// pop at the front). One allocation at construction, none afterwards.
+template <typename T>
+class FixedRing {
+ public:
+  FixedRing() = default;
+  explicit FixedRing(std::size_t capacity) : data_(capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void push_back(T value) {
+    GPUP_CHECK_MSG(size_ < data_.size(), "FixedRing capacity exceeded");
+    data_[(head_ + size_) % data_.size()] = std::move(value);
+    ++size_;
+  }
+
+  void push_front(T value) {
+    GPUP_CHECK_MSG(size_ < data_.size(), "FixedRing capacity exceeded");
+    head_ = (head_ + data_.size() - 1) % data_.size();
+    data_[head_] = std::move(value);
+    ++size_;
+  }
+
+  T& front() { return data_[head_]; }
+  const T& front() const { return data_[head_]; }
+
+  void pop_front() {
+    GPUP_CHECK(size_ > 0);
+    head_ = (head_ + 1) % data_.size();
+    --size_;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gpup

@@ -1,0 +1,135 @@
+// Minimal fixed-size thread pool + deterministic parallel-for, used by the
+// design-space-exploration sweeps (Planner::exercise, repro::run_cycle_matrix).
+//
+// Each task writes its own pre-sized output slot, so results are ordered
+// and bit-identical regardless of thread count or scheduling; only host
+// wall-clock changes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpup {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) threads = default_threads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  static unsigned default_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Enqueue one task. Fire-and-forget; pair with wait_idle() to join.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, count) on a ThreadPool of up to `threads`
+/// workers (0 = hardware concurrency; 1 or count<=1 runs inline). The
+/// first exception thrown by any task is rethrown on the caller after
+/// all workers stop.
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  if (threads == 0) threads = ThreadPool::default_threads();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  if (threads > count) threads = static_cast<unsigned>(count);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;  // stop claiming work after a failure
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  ThreadPool pool(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gpup

@@ -1,0 +1,328 @@
+// Simulator determinism goldens: exact cycle counts and full PerfCounters
+// for small kernels, captured from the original (pre-optimization)
+// simulator. The allocation-free hot path and the event-driven idle
+// fast-forward must keep every value bit-identical; any timing-semantics
+// drift fails here first.
+//
+// To regenerate after an *intentional* timing-model change, run with
+// GPUP_GOLDEN_DUMP=1 and paste the printed table.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/rt/device.hpp"
+
+namespace gpup::sim {
+namespace {
+
+constexpr const char* kSaxpy = R"(.kernel saxpy
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  param r6, 2
+  mul   r5, r5, r6
+  param r7, 3
+  add   r7, r7, r3
+  lw    r8, 0(r7)
+  add   r5, r5, r8
+  param r9, 4
+  add   r9, r9, r3
+  sw    r5, 0(r9)
+done:
+  ret
+)";
+
+// Data-dependent trip count + parity branch: exercises min-PC reconvergence
+// and divergent-issue accounting.
+constexpr const char* kDivergent = R"(.kernel divergent
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  andi  r3, r1, 7
+  addi  r4, r0, 0
+  addi  r5, r0, 0
+loop:
+  add   r4, r4, r1
+  addi  r5, r5, 1
+  blt   r5, r3, loop
+  andi  r6, r1, 1
+  beq   r6, r0, even
+  mul   r4, r4, r4
+even:
+  slli  r7, r1, 2
+  param r8, 1
+  add   r7, r7, r8
+  sw    r4, 0(r7)
+done:
+  ret
+)";
+
+// LRAM shuffle across a work-group barrier: exercises bar release logic
+// over multiple wavefronts per WG.
+constexpr const char* kRevShare = R"(.kernel revshare
+  tid    r1
+  lid    r2
+  slli   r3, r2, 2
+  swl    r1, 0(r3)
+  bar
+  wgsize r4
+  sub    r5, r4, r2
+  addi   r5, r5, -1
+  slli   r5, r5, 2
+  lwl    r6, 0(r5)
+  slli   r7, r1, 2
+  param  r8, 0
+  add    r7, r7, r8
+  sw     r6, 0(r7)
+  ret
+)";
+
+// Hardware divider: the iterative divider holds the SIMD pipeline
+// div_beats_factor x longer, which the idle fast-forward must respect.
+constexpr const char* kDivKernel = R"(.kernel divk
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  addi  r3, r1, 17
+  addi  r4, r1, 1
+  div   r5, r3, r4
+  rem   r6, r3, r4
+  add   r5, r5, r6
+  slli  r7, r1, 2
+  param r8, 1
+  add   r7, r7, r8
+  sw    r5, 0(r7)
+done:
+  ret
+)";
+
+GpuConfig default_config() { return GpuConfig{}; }
+
+GpuConfig big_config() {
+  GpuConfig config;
+  config.cu_count = 4;
+  config.cache_banks = 4;
+  config.cache_bytes = 64 * 1024;
+  config.hw_divider = true;
+  return config;
+}
+
+struct Golden {
+  const char* name;
+  PerfCounters want;
+};
+
+struct Case {
+  const char* name;
+  const char* source;
+  GpuConfig config;
+  std::uint32_t n;
+  std::uint32_t wg_size;
+};
+
+LaunchStats run_case(const Case& c) {
+  rt::Device device(c.config);
+  auto program = rt::Device::compile(c.source);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  const std::string name(c.name);
+  rt::Args args;
+  rt::Buffer out = device.alloc_words(c.n);
+  if (name.rfind("saxpy", 0) == 0) {
+    std::vector<std::uint32_t> x(c.n), y(c.n);
+    for (std::uint32_t i = 0; i < c.n; ++i) {
+      x[i] = i * 3 + 1;
+      y[i] = i ^ 0x55u;
+    }
+    rt::Buffer xb = device.alloc_words(c.n);
+    device.write(xb, x);
+    rt::Buffer yb = device.alloc_words(c.n);
+    device.write(yb, y);
+    args.add(c.n).add(xb).add(7u).add(yb).add(out);
+  } else if (name.rfind("revshare", 0) == 0) {
+    args.add(out);  // revshare only takes the output buffer
+  } else {
+    args.add(c.n).add(out);
+  }
+  return device.run(program.value(), args.words(), {c.n, c.wg_size});
+}
+
+std::vector<Case> cases() {
+  return {
+      {"saxpy_1cu", kSaxpy, default_config(), 300, 128},
+      {"saxpy_4cu", kSaxpy, big_config(), 2048, 256},
+      {"divergent_1cu", kDivergent, default_config(), 192, 64},
+      {"revshare_4cu", kRevShare, big_config(), 512, 256},
+      {"divk_4cu", kDivKernel, big_config(), 1024, 256},
+  };
+}
+
+void dump(const char* name, const LaunchStats& stats) {
+  const PerfCounters& c = stats.counters;
+  std::printf(
+      "    {\"%s\",\n"
+      "     {%lluull, %lluull, %lluull, %lluull, %lluull, %lluull, %lluull, %lluull,\n"
+      "      %lluull, %lluull, %lluull, %lluull, %lluull, %lluull, %lluull, %lluull,\n"
+      "      %lluull}},\n",
+      name, static_cast<unsigned long long>(c.cycles),
+      static_cast<unsigned long long>(c.wf_instructions),
+      static_cast<unsigned long long>(c.item_instructions),
+      static_cast<unsigned long long>(c.loads), static_cast<unsigned long long>(c.stores),
+      static_cast<unsigned long long>(c.load_lines),
+      static_cast<unsigned long long>(c.store_lines),
+      static_cast<unsigned long long>(c.cache_hits),
+      static_cast<unsigned long long>(c.cache_misses),
+      static_cast<unsigned long long>(c.dram_fills),
+      static_cast<unsigned long long>(c.dram_writebacks),
+      static_cast<unsigned long long>(c.stall_scoreboard),
+      static_cast<unsigned long long>(c.stall_mem_queue),
+      static_cast<unsigned long long>(c.stall_no_wavefront),
+      static_cast<unsigned long long>(c.barriers),
+      static_cast<unsigned long long>(c.divergent_issues),
+      static_cast<unsigned long long>(c.workgroups_dispatched));
+}
+
+// Captured from the seed simulator (pre hot-path/fast-forward rework);
+// PerfCounters field order.
+const std::vector<Golden>& goldens() {
+  static const std::vector<Golden> table = {
+      {"saxpy_1cu",
+       {829ull, 85ull, 5100ull, 10ull, 5ull, 76ull, 38ull, 0ull,
+        114ull, 114ull, 0ull, 146ull, 129ull, 94ull, 0ull, 0ull,
+        3ull}},
+      {"saxpy_4cu",
+       {1285ull, 544ull, 34816ull, 64ull, 32ull, 512ull, 256ull, 0ull,
+        768ull, 768ull, 0ull, 613ull, 1838ull, 492ull, 0ull, 0ull,
+        8ull}},
+      {"divergent_1cu",
+       {933ull, 105ull, 4680ull, 0ull, 3ull, 0ull, 24ull, 0ull,
+        24ull, 24ull, 0ull, 0ull, 39ull, 38ull, 0ull, 57ull,
+        3ull}},
+      {"revshare_4cu",
+       {579ull, 120ull, 7680ull, 0ull, 8ull, 0ull, 64ull, 0ull,
+        64ull, 64ull, 0ull, 0ull, 168ull, 81ull, 2ull, 0ull,
+        2ull}},
+      {"divk_4cu",
+       {739ull, 208ull, 13312ull, 0ull, 16ull, 0ull, 128ull, 0ull,
+        128ull, 128ull, 0ull, 0ull, 456ull, 254ull, 0ull, 0ull,
+        4ull}},
+  };
+  return table;
+}
+
+TEST(GoldenCounters, BitIdenticalTimings) {
+  if (std::getenv("GPUP_GOLDEN_DUMP") != nullptr) {
+    for (const auto& c : cases()) dump(c.name, run_case(c));
+    GTEST_SKIP() << "dump mode";
+  }
+  const auto& table = goldens();
+  ASSERT_EQ(table.size(), cases().size());
+  std::size_t i = 0;
+  for (const auto& c : cases()) {
+    SCOPED_TRACE(c.name);
+    const auto stats = run_case(c);
+    const PerfCounters& got = stats.counters;
+    const PerfCounters& want = table[i++].want;
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(stats.cycles, want.cycles);
+    EXPECT_EQ(got.wf_instructions, want.wf_instructions);
+    EXPECT_EQ(got.item_instructions, want.item_instructions);
+    EXPECT_EQ(got.loads, want.loads);
+    EXPECT_EQ(got.stores, want.stores);
+    EXPECT_EQ(got.load_lines, want.load_lines);
+    EXPECT_EQ(got.store_lines, want.store_lines);
+    EXPECT_EQ(got.cache_hits, want.cache_hits);
+    EXPECT_EQ(got.cache_misses, want.cache_misses);
+    EXPECT_EQ(got.dram_fills, want.dram_fills);
+    EXPECT_EQ(got.dram_writebacks, want.dram_writebacks);
+    EXPECT_EQ(got.stall_scoreboard, want.stall_scoreboard);
+    EXPECT_EQ(got.stall_mem_queue, want.stall_mem_queue);
+    EXPECT_EQ(got.stall_no_wavefront, want.stall_no_wavefront);
+    EXPECT_EQ(got.barriers, want.barriers);
+    EXPECT_EQ(got.divergent_issues, want.divergent_issues);
+    EXPECT_EQ(got.workgroups_dispatched, want.workgroups_dispatched);
+  }
+}
+
+// The idle fast-forward is a host-speed optimization only: every launch
+// must produce exactly the same cycles and PerfCounters with the flag
+// off (pure per-cycle ticking) as with it on.
+TEST(GoldenCounters, FastForwardBitIdentical) {
+  for (auto c : cases()) {
+    SCOPED_TRACE(c.name);
+    c.config.idle_fast_forward = true;
+    const auto fast = run_case(c);
+    c.config.idle_fast_forward = false;
+    const auto ticked = run_case(c);
+    EXPECT_EQ(fast.cycles, ticked.cycles);
+    const PerfCounters& a = fast.counters;
+    const PerfCounters& b = ticked.counters;
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.wf_instructions, b.wf_instructions);
+    EXPECT_EQ(a.item_instructions, b.item_instructions);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.load_lines, b.load_lines);
+    EXPECT_EQ(a.store_lines, b.store_lines);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.cache_misses, b.cache_misses);
+    EXPECT_EQ(a.dram_fills, b.dram_fills);
+    EXPECT_EQ(a.dram_writebacks, b.dram_writebacks);
+    EXPECT_EQ(a.stall_scoreboard, b.stall_scoreboard);
+    EXPECT_EQ(a.stall_mem_queue, b.stall_mem_queue);
+    EXPECT_EQ(a.stall_no_wavefront, b.stall_no_wavefront);
+    EXPECT_EQ(a.barriers, b.barriers);
+    EXPECT_EQ(a.divergent_issues, b.divergent_issues);
+    EXPECT_EQ(a.workgroups_dispatched, b.workgroups_dispatched);
+  }
+}
+
+// A wavefront may RET with a load still in flight if the destination
+// register is never read: the slot must stay claimed (completion
+// callbacks need it) without being probed for issue, and the launch must
+// drain cleanly once the fill lands.
+TEST(GoldenCounters, RetWithUnreadLoadInFlight) {
+  constexpr const char* kSource = R"(.kernel drop_load
+  tid   r1
+  slli  r2, r1, 2
+  param r3, 0
+  add   r2, r2, r3
+  lw    r4, 0(r2)
+  ret
+)";
+  for (bool fast_forward : {true, false}) {
+    GpuConfig config;
+    config.idle_fast_forward = fast_forward;
+    rt::Device device(config);
+    auto program = rt::Device::compile(kSource);
+    GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+    rt::Buffer buffer = device.alloc_words(128);
+    const auto stats =
+        device.run(program.value(), rt::Args().add(buffer).words(), {128, 64});
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.counters.loads, 2u);  // both wavefronts issued the load
+  }
+}
+
+// Repeated runs of the same launch must agree exactly (no hidden state in
+// the Device/Gpu between launches beyond the allocator).
+TEST(GoldenCounters, RunToRunDeterminism) {
+  const auto all = cases();
+  const auto& c = all[0];
+  const auto first = run_case(c);
+  const auto second = run_case(c);
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.counters.wf_instructions, second.counters.wf_instructions);
+  EXPECT_EQ(first.counters.cache_misses, second.counters.cache_misses);
+  EXPECT_EQ(first.counters.stall_scoreboard, second.counters.stall_scoreboard);
+}
+
+}  // namespace
+}  // namespace gpup::sim
