@@ -40,8 +40,9 @@ struct RowTiming {
   std::uint64_t cycles = 0;
 };
 
-void emit_json(std::uint32_t scale, double serial_s, double parallel_s,
-               std::uint64_t cycles, const std::vector<RowTiming>& rows) {
+void emit_json(std::uint32_t scale, double baseline_s, double serial_s,
+               double parallel_s, std::uint64_t cycles, bool identical,
+               const std::vector<RowTiming>& rows) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_sim_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -55,6 +56,11 @@ void emit_json(std::uint32_t scale, double serial_s, double parallel_s,
   std::fprintf(out, "  \"threads\": %u,\n", gpup::ThreadPool::default_threads());
   std::fprintf(out, "  \"simulated_cycles\": %llu,\n",
                static_cast<unsigned long long>(cycles));
+  std::fprintf(out,
+               "  \"baseline\": \"serial sweep with idle_fast_forward disabled "
+               "(closest in-tree stand-in for the pre-optimization simulator; "
+               "hot-path refactor gains come on top)\",\n");
+  std::fprintf(out, "  \"baseline_wall_s\": %.6f,\n", baseline_s);
   std::fprintf(out, "  \"serial_wall_s\": %.6f,\n", serial_s);
   std::fprintf(out, "  \"parallel_wall_s\": %.6f,\n", parallel_s);
   std::fprintf(out, "  \"serial_cycles_per_host_s\": %.0f,\n",
@@ -63,6 +69,11 @@ void emit_json(std::uint32_t scale, double serial_s, double parallel_s,
                parallel_s > 0 ? static_cast<double>(cycles) / parallel_s : 0.0);
   std::fprintf(out, "  \"parallel_speedup\": %.3f,\n",
                parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(out, "  \"fast_forward_speedup\": %.3f,\n",
+               serial_s > 0 ? baseline_s / serial_s : 0.0);
+  std::fprintf(out, "  \"speedup_vs_baseline\": %.3f,\n",
+               parallel_s > 0 ? baseline_s / parallel_s : 0.0);
+  std::fprintf(out, "  \"cycle_counts_identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(out, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
@@ -77,8 +88,19 @@ void emit_json(std::uint32_t scale, double serial_s, double parallel_s,
   std::printf("wrote %s\n", path.c_str());
 }
 
-void run_throughput_report() {
+/// Returns false if the baseline/serial/parallel cycle counts diverge.
+bool run_throughput_report() {
   const std::uint32_t scale = bench_scale();
+
+  // Baseline pass: serial with idle fast-forward disabled — the closest
+  // in-tree stand-in for the pre-optimization simulator (the seed shipped
+  // no build system, so it cannot be benchmarked directly). The hot-path
+  // refactor gains are on top of what this pass shows.
+  const auto baseline_start = Clock::now();
+  const auto baseline_rows =
+      gpup::repro::run_cycle_matrix(scale, /*threads=*/1, /*idle_fast_forward=*/false);
+  const double baseline_s =
+      std::chrono::duration<double>(Clock::now() - baseline_start).count();
 
   // Serial pass, timed per Table III row (one row = 2 RISC-V + 4 GPU runs).
   std::vector<RowTiming> row_timings;
@@ -102,24 +124,37 @@ void run_throughput_report() {
   const double parallel_s =
       std::chrono::duration<double>(Clock::now() - parallel_start).count();
 
-  bool identical = serial_rows.size() == parallel_rows.size();
+  bool identical = serial_rows.size() == parallel_rows.size() &&
+                   serial_rows.size() == baseline_rows.size();
   for (std::size_t i = 0; identical && i < serial_rows.size(); ++i) {
-    identical = serial_rows[i].riscv_cycles == parallel_rows[i].riscv_cycles &&
-                serial_rows[i].gpu_cycles == parallel_rows[i].gpu_cycles;
+    identical =
+        serial_rows[i].riscv_cycles == parallel_rows[i].riscv_cycles &&
+        serial_rows[i].riscv_optimized_cycles == parallel_rows[i].riscv_optimized_cycles &&
+        serial_rows[i].gpu_cycles == parallel_rows[i].gpu_cycles &&
+        serial_rows[i].riscv_cycles == baseline_rows[i].riscv_cycles &&
+        serial_rows[i].riscv_optimized_cycles == baseline_rows[i].riscv_optimized_cycles &&
+        serial_rows[i].gpu_cycles == baseline_rows[i].gpu_cycles;
   }
 
   const std::uint64_t cycles = total_cycles(serial_rows);
   std::printf("=== Simulator throughput (Table III matrix, scale %u) ===\n", scale);
   std::printf("simulated cycles: %llu\n", static_cast<unsigned long long>(cycles));
-  std::printf("serial:   %.3f s  (%.1f Mcycles/host-s)\n", serial_s,
-              serial_s > 0 ? cycles / serial_s / 1e6 : 0.0);
-  std::printf("parallel: %.3f s  (%.1f Mcycles/host-s, %u threads, %.2fx)\n", parallel_s,
-              parallel_s > 0 ? cycles / parallel_s / 1e6 : 0.0,
+  std::printf("baseline: %.3f s  (serial, fast-forward off; %.1f Mcycles/host-s)\n",
+              baseline_s, baseline_s > 0 ? cycles / baseline_s / 1e6 : 0.0);
+  std::printf("serial:   %.3f s  (%.1f Mcycles/host-s, %.2fx vs baseline)\n", serial_s,
+              serial_s > 0 ? cycles / serial_s / 1e6 : 0.0,
+              serial_s > 0 ? baseline_s / serial_s : 0.0);
+  std::printf("parallel: %.3f s  (%.1f Mcycles/host-s, %u threads, %.2fx vs serial, "
+              "%.2fx vs baseline)\n",
+              parallel_s, parallel_s > 0 ? cycles / parallel_s / 1e6 : 0.0,
               gpup::ThreadPool::default_threads(),
-              parallel_s > 0 ? serial_s / parallel_s : 0.0);
-  std::printf("serial/parallel results identical: %s\n", identical ? "yes" : "NO");
+              parallel_s > 0 ? serial_s / parallel_s : 0.0,
+              parallel_s > 0 ? baseline_s / parallel_s : 0.0);
+  std::printf("baseline/serial/parallel cycle counts identical: %s\n",
+              identical ? "yes" : "NO");
 
-  emit_json(scale, serial_s, parallel_s, cycles, row_timings);
+  emit_json(scale, baseline_s, serial_s, parallel_s, cycles, identical, row_timings);
+  return identical;
 }
 
 void BM_CycleMatrixSerial(benchmark::State& state) {
@@ -141,8 +176,8 @@ BENCHMARK(BM_CycleMatrixParallel)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_throughput_report();
+  const bool identical = run_throughput_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return identical ? 0 : 1;  // fail CI if the determinism cross-check broke
 }

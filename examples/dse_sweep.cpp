@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "src/plan/planner.hpp"
 #include "src/plan/report.hpp"
@@ -49,8 +50,11 @@ int main() {
   const double parallel_s =
       std::chrono::duration<double>(clock::now() - parallel_start).count();
 
-  std::printf("\n=== Logic-synthesis results for all 12 versions ===\n%s",
-              gpup::plan::table1(versions).to_console().c_str());
+  const std::string table1 = gpup::plan::table1(versions).to_console();
+  const bool identical = table1 == gpup::plan::table1(parallel_versions).to_console();
+  if (!identical) std::printf("\nWARNING: serial and parallel sweep results DIVERGE\n");
+
+  std::printf("\n=== Logic-synthesis results for all 12 versions ===\n%s", table1.c_str());
   const unsigned used_threads =
       std::min<unsigned>(gpup::ThreadPool::default_threads(), 12u);  // 12 versions
   std::printf(

@@ -34,7 +34,8 @@ CycleRow init_row(const kern::Benchmark& benchmark, std::uint32_t scale) {
 }
 
 /// Run one cell into its slot of `row`; returns the cell's validity.
-bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t target) {
+bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t target,
+              bool idle_fast_forward) {
   if (target < 2) {
     const bool optimized = target == 1;
     const auto run = kern::run_riscv(benchmark, row.riscv_input, optimized);
@@ -44,6 +45,7 @@ bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t targe
   const std::size_t i = target - 2;
   sim::GpuConfig config;
   config.cu_count = kCuConfigs[i];
+  config.idle_fast_forward = idle_fast_forward;
   rt::Device device(config);
   const auto run = kern::run_gpu(benchmark, device, row.gpu_input);
   row.gpu_cycles[i] = run.stats.cycles;
@@ -52,16 +54,18 @@ bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t targe
 
 }  // namespace
 
-CycleRow run_cycle_row(const kern::Benchmark& benchmark, std::uint32_t scale) {
+CycleRow run_cycle_row(const kern::Benchmark& benchmark, std::uint32_t scale,
+                       bool idle_fast_forward) {
   GPUP_CHECK(scale >= 1);
   CycleRow row = init_row(benchmark, scale);
   for (std::size_t target = 0; target < kTargets; ++target) {
-    row.all_valid = run_cell(benchmark, row, target) && row.all_valid;
+    row.all_valid = run_cell(benchmark, row, target, idle_fast_forward) && row.all_valid;
   }
   return row;
 }
 
-std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads) {
+std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads,
+                                       bool idle_fast_forward) {
   GPUP_CHECK(scale >= 1);
   const auto& benchmarks = kern::all_benchmarks();
 
@@ -76,7 +80,7 @@ std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads) {
   parallel_for(valid.size(), threads, [&](std::size_t task) {
     const std::size_t b = task / kTargets;
     const std::size_t target = task % kTargets;
-    valid[task] = run_cell(*benchmarks[b], rows[b], target) ? 1 : 0;
+    valid[task] = run_cell(*benchmarks[b], rows[b], target, idle_fast_forward) ? 1 : 0;
   });
 
   for (std::size_t task = 0; task < valid.size(); ++task) {

@@ -39,13 +39,18 @@ struct CycleRow {
 /// self-contained simulation, so the sweep fans out over a thread pool;
 /// results are ordered and bit-identical for any thread count.
 /// `threads` == 0 uses the hardware concurrency, 1 forces a serial sweep.
+/// `idle_fast_forward` == false disables the driver-loop fast-forward
+/// (GpuConfig::idle_fast_forward) so benches can time a baseline pass;
+/// cycle counts are identical either way.
 [[nodiscard]] std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale = 1,
-                                                     unsigned threads = 0);
+                                                     unsigned threads = 0,
+                                                     bool idle_fast_forward = true);
 
 /// Run a single benchmark's Table III row (naive + optimized RISC-V ports
 /// and all four CU configurations), serially.
 [[nodiscard]] CycleRow run_cycle_row(const kern::Benchmark& benchmark,
-                                     std::uint32_t scale = 1);
+                                     std::uint32_t scale = 1,
+                                     bool idle_fast_forward = true);
 
 /// Paper Table III published cycle counts (k-cycles), for EXPERIMENTS.md
 /// style comparisons.

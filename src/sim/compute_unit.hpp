@@ -86,7 +86,7 @@ class ComputeUnit final : public LineCompletionSink {
 
  private:
   static constexpr std::uint64_t kNever = ~0ull;
-  static constexpr int kMaxLanes = 64;
+  static constexpr int kMaxLanes = kMaxWavefrontLanes;
   static constexpr int kNumRegs = 32;
   static constexpr std::uint32_t kStoreToken = ~0u;
 

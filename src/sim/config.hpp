@@ -11,6 +11,11 @@
 
 namespace gpup::sim {
 
+/// Hard cap on `wavefront_size`: bounds per-wavefront lane storage in the
+/// compute unit and the worst-case single-cycle burst (one distinct line
+/// per lane) the memory system's bank queues must absorb.
+inline constexpr int kMaxWavefrontLanes = 64;
+
 struct GpuConfig {
   // --- compute --------------------------------------------------------
   int cu_count = 1;              ///< 1..8 (matches GPUPlanner's range)

@@ -7,16 +7,21 @@
 
 namespace gpup::sim {
 
-// Owns a std::function for the convenience request() overload.
+// Owns a std::function for the convenience request() overload. Each sink
+// fires exactly once (hit, merged waiter, or MSHR waiter), after which the
+// next request() reclaims it.
 class MemorySystem::FunctionSink final : public LineCompletionSink {
  public:
   explicit FunctionSink(std::function<void(std::uint64_t)> fn) : fn_(std::move(fn)) {}
   void line_done(std::uint32_t /*token*/, std::uint64_t done_cycle) override {
     if (fn_) fn_(done_cycle);
+    fired_ = true;  // set last: fn_ may reenter request(), which prunes
   }
+  [[nodiscard]] bool fired() const { return fired_; }
 
  private:
   std::function<void(std::uint64_t)> fn_;
+  bool fired_ = false;
 };
 
 MemorySystem::~MemorySystem() = default;
@@ -38,7 +43,8 @@ MemorySystem::MemorySystem(const GpuConfig& config, PerfCounters* counters)
 
   // A drained bank accepts one oversized burst (up to a full wavefront of
   // distinct lines), after which back-pressure caps growth at queue depth.
-  const std::size_t queue_capacity = 2 * (64 + config_.cache_queue_depth);
+  const std::size_t queue_capacity =
+      2 * (static_cast<std::size_t>(kMaxWavefrontLanes) + config_.cache_queue_depth);
   bank_queues_.reserve(config_.cache_banks);
   for (std::uint32_t bank = 0; bank < config_.cache_banks; ++bank) {
     bank_queues_.emplace_back(queue_capacity);
@@ -80,6 +86,7 @@ void MemorySystem::request(std::uint64_t line_addr, bool is_store, LineCallback 
 
 void MemorySystem::request(std::uint64_t line_addr, bool is_store,
                            std::function<void(std::uint64_t)> on_done) {
+  std::erase_if(owned_sinks_, [](const auto& sink) { return sink->fired(); });
   LineCallback callback;
   if (on_done) {
     owned_sinks_.push_back(std::make_unique<FunctionSink>(std::move(on_done)));

@@ -6,40 +6,11 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
-#include <cstdint>
 #include <vector>
 
 #include "src/util/status.hpp"
 
 namespace gpup {
-
-/// Fixed-capacity inline vector. push_back past N is a checked error.
-template <typename T, std::size_t N>
-class SmallVec {
- public:
-  using value_type = T;
-
-  [[nodiscard]] std::size_t size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
-  void clear() { size_ = 0; }
-
-  void push_back(const T& value) {
-    GPUP_CHECK_MSG(size_ < N, "SmallVec capacity exceeded");
-    data_[size_++] = value;
-  }
-
-  T& operator[](std::size_t i) { return data_[i]; }
-  const T& operator[](std::size_t i) const { return data_[i]; }
-
-  T* begin() { return data_.data(); }
-  T* end() { return data_.data() + size_; }
-  const T* begin() const { return data_.data(); }
-  const T* end() const { return data_.data() + size_; }
-
- private:
-  std::array<T, N> data_{};
-  std::size_t size_ = 0;
-};
 
 /// Fixed-capacity sorted-unique buffer: drop-in replacement for the
 /// std::set line-coalescing in the LSU path. Iteration is ascending —
@@ -78,8 +49,9 @@ class SortedUniqueBuf {
 template <typename T>
 class FixedRing {
  public:
-  FixedRing() = default;
-  explicit FixedRing(std::size_t capacity) : data_(capacity) {}
+  // No default constructor: a zero-capacity ring would reach the index
+  // arithmetic's `% data_.size()` with a zero divisor.
+  explicit FixedRing(std::size_t capacity) : data_(capacity) { GPUP_CHECK(capacity > 0); }
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gpup {
@@ -58,10 +59,23 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Block until every submitted task has finished.
+  /// True if a submitted task has thrown since the last wait_idle();
+  /// lets cooperating tasks stop claiming work early.
+  [[nodiscard]] bool failed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_ != nullptr;
+  }
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception any task threw since the last wait_idle().
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (error_) {
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 
  private:
@@ -75,7 +89,12 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (--outstanding_ == 0) idle_cv_.notify_all();
@@ -87,6 +106,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr error_;  ///< first task exception, surfaced by wait_idle()
   std::size_t outstanding_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
@@ -106,30 +126,16 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
   if (threads > count) threads = static_cast<unsigned>(count);
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
+  ThreadPool pool(threads);
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error) return;  // stop claiming work after a failure
-      }
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+      if (i >= count || pool.failed()) return;
+      fn(i);  // a throw lands in ThreadPool::error_, rethrown by wait_idle()
     }
   };
-
-  ThreadPool pool(threads);
   for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  pool.wait_idle();  // rethrows the first task exception
 }
 
 }  // namespace gpup
