@@ -31,8 +31,7 @@ std::uint64_t run_cycles(const char* kernel, int cu, const Geometry& g,
   config.cache_banks = g.banks;
   config.mshr_per_bank = g.mshr;
   config.dram_latency = g.dram_latency;
-  gpup::rt::Device device(config);
-  const auto run = gpup::kern::run_gpu(*benchmark, device, benchmark->gpu_input());
+  const auto run = gpup::kern::run_gpu(*benchmark, config, benchmark->gpu_input());
   GPUP_CHECK(run.valid);
   if (hit_rate != nullptr) *hit_rate = run.stats.counters.cache_hit_rate();
   return run.stats.cycles;
@@ -65,8 +64,7 @@ void BM_XcorrContention(benchmark::State& state) {
   gpup::sim::GpuConfig config;
   config.cu_count = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    gpup::rt::Device device(config);
-    auto run = gpup::kern::run_gpu(*xcorr, device, 1024);
+    auto run = gpup::kern::run_gpu(*xcorr, config, 1024);
     benchmark::DoNotOptimize(run.stats.cycles);
   }
 }

@@ -42,8 +42,7 @@ void BM_SpeedupPipelineMatMul(benchmark::State& state) {
   gpup::sim::GpuConfig config;
   config.cu_count = 8;
   for (auto _ : state) {
-    gpup::rt::Device device(config);
-    auto run = gpup::kern::run_gpu(*mat_mul, device, 2048);
+    auto run = gpup::kern::run_gpu(*mat_mul, config, 2048);
     benchmark::DoNotOptimize(run.stats.cycles);
   }
 }

@@ -38,8 +38,7 @@ void BM_SimulatorThroughputCopy(benchmark::State& state) {
   gpup::sim::GpuConfig config;
   config.cu_count = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    gpup::rt::Device device(config);
-    auto run = gpup::kern::run_gpu(*copy, device, 4096);
+    auto run = gpup::kern::run_gpu(*copy, config, 4096);
     benchmark::DoNotOptimize(run.stats.cycles);
     state.counters["sim_cycles"] = static_cast<double>(run.stats.cycles);
   }

@@ -33,8 +33,7 @@ int main(int argc, char** argv) {
       riscv_size = std::max(32u, riscv_size & ~31u);
     }
 
-    gpup::rt::Device device(config);
-    const auto gpu = gpup::kern::run_gpu(*benchmark, device, gpu_size);
+    const auto gpu = gpup::kern::run_gpu(*benchmark, config, gpu_size);
     const auto riscv = gpup::kern::run_riscv(*benchmark, riscv_size, /*optimized=*/false);
     all_valid = all_valid && gpu.valid && riscv.valid;
 

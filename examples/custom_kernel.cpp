@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 #include "src/util/rng.hpp"
 
 int main() {
@@ -76,29 +76,40 @@ done:
   ret
 )";
 
-  const auto program = gpup::rt::Device::compile(source);
+  const auto program = gpup::rt::Context::compile(source);
   if (!program.ok()) {
     std::printf("assembly error: %s\n", program.error().to_string().c_str());
     return 1;
   }
   std::printf("=== disassembly ===\n%s\n", program.value().disassemble().c_str());
 
-  gpup::rt::Device device(gpup::sim::GpuConfig{});
+  gpup::rt::Context context(gpup::sim::GpuConfig{});
+  auto queue = context.create_queue();
 
   const std::uint32_t n = 4096;
   std::vector<std::uint32_t> input(n);
   gpup::Rng rng(42);
   for (auto& v : input) v = rng.next_u32();
 
-  auto buf_in = device.alloc_words(n);
-  auto buf_out = device.alloc_words(16);
-  device.write(buf_in, input);
+  const auto buf_in = queue.alloc_words(n);
+  const auto buf_out = queue.alloc_words(16);
+  if (!buf_in.ok() || !buf_out.ok()) {
+    std::printf("device allocation failed\n");
+    return 1;
+  }
+  queue.enqueue_write(buf_in.value(), input);
 
-  // One 64-item work-group; every lane strides over n/64 elements.
-  const auto args = gpup::rt::Args().add(n).add(buf_in).add(buf_out).words();
-  const auto stats = device.run(program.value(), args, {64, 64});
-
-  const auto bins = device.read(buf_out);
+  // One 64-item work-group; every lane strides over n/64 elements. The
+  // in-order queue sequences write -> launch -> read automatically.
+  const auto args = gpup::rt::Args().add(n).add(buf_in.value()).add(buf_out.value()).words();
+  const auto kernel = queue.enqueue_kernel(program.value(), args, {64, 64});
+  const auto read = queue.enqueue_read(buf_out.value());
+  if (!read.wait()) {
+    std::printf("launch failed: %s\n", read.error().to_string().c_str());
+    return 1;
+  }
+  const auto& stats = kernel.stats();
+  const auto& bins = read.data();
   std::vector<std::uint32_t> expected(16, 0);
   for (std::uint32_t v : input) ++expected[v & 15];
 

@@ -5,13 +5,14 @@
 //
 // Covers the two halves of the project in ~80 lines:
 //   1. GPUPlanner — pick a spec, estimate, synthesise, inspect PPA;
-//   2. the simulator + OpenCL-style runtime — compile a kernel, move
-//      buffers, launch, read results and performance counters.
+//   2. the simulator + OpenCL-style asynchronous runtime — compile a
+//      kernel, enqueue buffer writes / the launch / the read-back on a
+//      command queue, wait on the read event, inspect the counters.
 #include <cstdio>
 
 #include "src/plan/planner.hpp"
 #include "src/plan/report.hpp"
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 
 int main() {
   // ------------------------------------------------------------------
@@ -44,7 +45,8 @@ int main() {
   // ------------------------------------------------------------------
   gpup::sim::GpuConfig config;
   config.cu_count = spec.cu_count;
-  gpup::rt::Device device(config);
+  gpup::rt::Context context(config);
+  auto queue = context.create_queue();
 
   const char* kernel_source = R"(.kernel saxpy_like
   tid   r1
@@ -66,7 +68,7 @@ int main() {
 done:
   ret
 )";
-  const auto program = gpup::rt::Device::compile(kernel_source);
+  const auto program = gpup::rt::Context::compile(kernel_source);
   if (!program.ok()) {
     std::printf("assembly error: %s\n", program.error().to_string().c_str());
     return 1;
@@ -78,18 +80,31 @@ done:
     x[i] = i;
     y[i] = 1000 + i;
   }
-  auto buf_x = device.alloc_words(n);
-  auto buf_y = device.alloc_words(n);
-  auto buf_out = device.alloc_words(n);
-  device.write(buf_x, x);
-  device.write(buf_y, y);
+  const auto buf_x = queue.alloc_words(n);
+  const auto buf_y = queue.alloc_words(n);
+  const auto buf_out = queue.alloc_words(n);
+  if (!buf_x.ok() || !buf_y.ok() || !buf_out.ok()) {
+    std::printf("device allocation failed\n");
+    return 1;
+  }
+  queue.enqueue_write(buf_x.value(), x);
+  queue.enqueue_write(buf_y.value(), y);
 
+  // The queue is in-order: the launch waits for the writes, the read for
+  // the launch. Everything after this line runs on the context's workers.
   const std::uint32_t a = 3;
-  const auto args =
-      gpup::rt::Args().add(n).add(buf_x).add(buf_y).add(buf_out).add(a).words();
-  const auto stats = device.run(program.value(), args, {n, 256});
+  const auto args = gpup::rt::Args()
+                        .add(n).add(buf_x.value()).add(buf_y.value()).add(buf_out.value())
+                        .add(a).words();
+  const auto kernel = queue.enqueue_kernel(program.value(), args, {n, 256});
+  const auto read = queue.enqueue_read(buf_out.value());
+  if (!read.wait()) {
+    std::printf("launch failed: %s\n", read.error().to_string().c_str());
+    return 1;
+  }
 
-  const auto out = device.read(buf_out);
+  const auto& out = read.data();
+  const auto& stats = kernel.stats();
   std::uint32_t errors = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     if (out[i] != a * x[i] + y[i]) ++errors;

@@ -1,10 +1,22 @@
 #include "src/isa/program.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/util/strings.hpp"
 
 namespace gpup::isa {
+
+std::uint32_t Program::scan_param_count(const std::vector<std::uint32_t>& words) {
+  std::uint32_t count = 0;
+  for (const std::uint32_t word : words) {
+    const Instruction instruction = Instruction::decode(word);
+    if (instruction.opcode == Opcode::kParam && instruction.imm >= 0) {
+      count = std::max(count, static_cast<std::uint32_t>(instruction.imm) + 1);
+    }
+  }
+  return count;
+}
 
 std::string Program::disassemble() const {
   // Invert the label map for annotation.

@@ -17,7 +17,10 @@ class Program {
   Program() = default;
   Program(std::string name, std::vector<std::uint32_t> words,
           std::map<std::string, std::uint32_t> labels)
-      : name_(std::move(name)), words_(std::move(words)), labels_(std::move(labels)) {}
+      : name_(std::move(name)),
+        words_(std::move(words)),
+        labels_(std::move(labels)),
+        param_count_(scan_param_count(words_)) {}
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
@@ -34,10 +37,18 @@ class Program {
   /// Full disassembly listing.
   [[nodiscard]] std::string disassemble() const;
 
+  /// Number of kernel-argument words the program can read: the highest
+  /// PARAM index referenced anywhere, plus one. The host runtime rejects
+  /// launches that supply fewer argument words than this.
+  [[nodiscard]] std::uint32_t param_count() const { return param_count_; }
+
  private:
+  [[nodiscard]] static std::uint32_t scan_param_count(const std::vector<std::uint32_t>& words);
+
   std::string name_;
   std::vector<std::uint32_t> words_;
   std::map<std::string, std::uint32_t> labels_;
+  std::uint32_t param_count_ = 0;
 };
 
 }  // namespace gpup::isa

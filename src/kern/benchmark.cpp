@@ -4,19 +4,27 @@
 
 namespace gpup::kern {
 
-GpuRun run_gpu(const Benchmark& benchmark, rt::Device& device, std::uint32_t size) {
-  device.reset();
-  const auto program = rt::Device::compile(benchmark.gpu_source());
+GpuRun run_gpu(const Benchmark& benchmark, rt::CommandQueue& queue, std::uint32_t size) {
+  const auto program = rt::Context::compile(benchmark.gpu_source());
   GPUP_CHECK_MSG(program.ok(), "kernel assembly failed: " +
                                    (program.ok() ? "" : program.error().to_string()));
 
-  GpuWorkload work = benchmark.prepare(device, size);
+  GpuWorkload work = benchmark.prepare(queue, size);
+  const rt::Event kernel =
+      queue.enqueue_kernel(program.value(), work.params, {work.global_size, work.wg_size});
+  const rt::Event read = queue.enqueue_read(work.out);
+  GPUP_CHECK_MSG(read.wait(), "launch failed: " + read.error().to_string());
+
   GpuRun run;
-  run.stats =
-      device.run(program.value(), work.params, {work.global_size, work.wg_size});
-  const auto output = device.read(work.out);
-  run.valid = (output == work.golden);
+  run.stats = kernel.stats();
+  run.valid = (read.data() == work.golden);
   return run;
+}
+
+GpuRun run_gpu(const Benchmark& benchmark, const sim::GpuConfig& config, std::uint32_t size) {
+  rt::Context context(config, /*device_count=*/1, /*threads=*/1);
+  auto queue = context.create_queue();
+  return run_gpu(benchmark, queue, size);
 }
 
 RvRun run_riscv(const Benchmark& benchmark, std::uint32_t size, bool optimized,

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 #include "src/rv/core.hpp"
 
 namespace gpup::kern {
@@ -53,8 +53,11 @@ class Benchmark {
   [[nodiscard]] virtual std::string gpu_source() const = 0;
   [[nodiscard]] virtual std::string riscv_source(bool optimized) const = 0;
 
-  /// Allocate + upload inputs, compute the golden output.
-  [[nodiscard]] virtual GpuWorkload prepare(rt::Device& device, std::uint32_t size) const = 0;
+  /// Allocate buffers on the queue's device, enqueue the input uploads,
+  /// compute the golden output. The launch enqueued after this is ordered
+  /// behind the uploads by the queue's in-order guarantee.
+  [[nodiscard]] virtual GpuWorkload prepare(rt::CommandQueue& queue,
+                                            std::uint32_t size) const = 0;
   [[nodiscard]] virtual RvWorkload prepare_riscv(rv::RvCore& core, std::uint32_t size) const = 0;
 };
 
@@ -74,8 +77,16 @@ struct RvRun {
   bool valid = false;
 };
 
-/// Run on a fresh device: prepare, launch, read back, validate.
-[[nodiscard]] GpuRun run_gpu(const Benchmark& benchmark, rt::Device& device,
+/// Run on a queue: prepare, enqueue the launch + read-back, validate.
+/// Harness semantics: any runtime failure is fatal (GPUP_CHECK). Each
+/// call allocates fresh buffers on the queue's device (a shared device
+/// cannot be rewound under other queues); loop with a fresh Context —
+/// see run_gpu(benchmark, config, size) — or ample global memory.
+[[nodiscard]] GpuRun run_gpu(const Benchmark& benchmark, rt::CommandQueue& queue,
+                             std::uint32_t size);
+
+/// Convenience: run on a fresh single-device context with the given config.
+[[nodiscard]] GpuRun run_gpu(const Benchmark& benchmark, const sim::GpuConfig& config,
                              std::uint32_t size);
 
 /// Run the RISC-V port (naive or optimized) on a fresh core and validate.

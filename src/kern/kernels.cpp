@@ -74,9 +74,9 @@ std::vector<std::uint32_t> random_words(const std::string& tag, std::size_t coun
   return words;
 }
 
-rt::Buffer upload(rt::Device& device, const std::vector<std::uint32_t>& words) {
-  rt::Buffer buffer = device.alloc_words(static_cast<std::uint32_t>(words.size()));
-  device.write(buffer, words);
+rt::Buffer upload(rt::CommandQueue& queue, const std::vector<std::uint32_t>& words) {
+  rt::Buffer buffer = queue.alloc_words(static_cast<std::uint32_t>(words.size())).value();
+  queue.enqueue_write(buffer, words);
   return buffer;
 }
 
@@ -165,11 +165,11 @@ kernel_body:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const auto input = random_words("copy.in", size, 1u << 30);
     GpuWorkload work;
-    const rt::Buffer in = upload(device, input);
-    work.out = device.alloc_words(size);
+    const rt::Buffer in = upload(queue, input);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args().add(size).add(in).add(0u).add(work.out).words();
     work.global_size = size;
     work.wg_size = pick_wg_size(size);
@@ -277,13 +277,13 @@ kernel_body:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const auto a = random_words("vec_mul.a", size, 1u << 15);
     const auto b = random_words("vec_mul.b", size, 1u << 15);
     GpuWorkload work;
-    const rt::Buffer buf_a = upload(device, a);
-    const rt::Buffer buf_b = upload(device, b);
-    work.out = device.alloc_words(size);
+    const rt::Buffer buf_a = upload(queue, a);
+    const rt::Buffer buf_b = upload(queue, b);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args().add(size).add(buf_a).add(buf_b).add(work.out).words();
     work.global_size = size;
     work.wg_size = pick_wg_size(size);
@@ -468,15 +468,15 @@ body_done:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     GPUP_CHECK_MSG(size % kN == 0, "mat_mul size must be a multiple of 32");
     const std::uint32_t m = size / kN;
     const auto a = random_words("mat_mul.a", m * kK, 1u << 10);
     const auto b = random_words("mat_mul.b", kK * kN, 1u << 10);
     GpuWorkload work;
-    const rt::Buffer buf_a = upload(device, a);
-    const rt::Buffer buf_b = upload(device, b);
-    work.out = device.alloc_words(size);
+    const rt::Buffer buf_a = upload(queue, a);
+    const rt::Buffer buf_b = upload(queue, b);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args()
                       .add(size).add(buf_a).add(buf_b).add(work.out)
                       .add(kLog2N).add(kK).add(kN - 1)
@@ -646,13 +646,13 @@ body_done:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const auto x = random_words("fir.x", size + kTaps, 1u << 10);
     const auto h = random_words("fir.h", kTaps, 1u << 8);
     GpuWorkload work;
-    const rt::Buffer buf_x = upload(device, x);
-    const rt::Buffer buf_h = upload(device, h);
-    work.out = device.alloc_words(size);
+    const rt::Buffer buf_x = upload(queue, x);
+    const rt::Buffer buf_h = upload(queue, h);
+    work.out = queue.alloc_words(size).value();
     work.params =
         rt::Args().add(size).add(buf_x).add(buf_h).add(work.out).add(kTaps).words();
     work.global_size = size;
@@ -794,13 +794,13 @@ kernel_body:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const auto a = random_words("div_int.a", size, 1u << 20);
     const auto b = random_words("div_int.b", size, 1u << 10);
     GpuWorkload work;
-    const rt::Buffer buf_a = upload(device, a);
-    const rt::Buffer buf_b = upload(device, b);
-    work.out = device.alloc_words(size);
+    const rt::Buffer buf_a = upload(queue, a);
+    const rt::Buffer buf_b = upload(queue, b);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args().add(size).add(buf_a).add(buf_b).add(work.out).words();
     work.global_size = size;
     work.wg_size = pick_wg_size(size);
@@ -949,14 +949,14 @@ body_done:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const std::uint32_t w = window(size);
     const auto x = random_words("xcorr.x", w, 1u << 8);
     const auto y = random_words("xcorr.y", size + w, 1u << 8);
     GpuWorkload work;
-    const rt::Buffer buf_x = upload(device, x);
-    const rt::Buffer buf_y = upload(device, y);
-    work.out = device.alloc_words(size);
+    const rt::Buffer buf_x = upload(queue, x);
+    const rt::Buffer buf_y = upload(queue, y);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args().add(size).add(buf_x).add(buf_y).add(work.out).add(w).words();
     work.global_size = size;
     work.wg_size = pick_wg_size(size, /*full_cu_groups=*/true);
@@ -1126,11 +1126,11 @@ body_done:
 )");
   }
 
-  GpuWorkload prepare(rt::Device& device, std::uint32_t size) const override {
+  GpuWorkload prepare(rt::CommandQueue& queue, std::uint32_t size) const override {
     const auto input = random_words("parallel_sel.in", size, 1u << 28);
     GpuWorkload work;
-    const rt::Buffer in = upload(device, input);
-    work.out = device.alloc_words(size);
+    const rt::Buffer in = upload(queue, input);
+    work.out = queue.alloc_words(size).value();
     work.params = rt::Args().add(size).add(in).add(0u).add(work.out).words();
     work.global_size = size;
     work.wg_size = pick_wg_size(size, /*full_cu_groups=*/true);

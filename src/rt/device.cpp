@@ -1,2 +1,2 @@
-// Header-only API; this translation unit anchors the library target.
+// Header-only deprecated shim; this translation unit anchors the target.
 #include "src/rt/device.hpp"

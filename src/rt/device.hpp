@@ -1,11 +1,8 @@
-// OpenCL-style host runtime for the G-GPU.
-//
-// Mirrors the paper's software story: "on the software side, only standard
-// OpenCL-API procedures are needed". The host talks to the accelerator
-// through the AXI control interface (modelled by this API): it writes the
-// kernel binary into the CRAM, kernel arguments into the runtime memory
-// (RTM), buffers into global memory, then starts the WG dispatcher and
-// polls for completion.
+// DEPRECATED single-device blocking runtime, kept as a thin shim for one
+// release. New code should use the asynchronous OpenCL-shaped API in
+// src/rt/runtime.hpp (rt::Context / rt::CommandQueue / rt::Event): it
+// serves many concurrent client queues over a device pool and reports
+// errors as Result values / failed events instead of aborting.
 #pragma once
 
 #include <cstdint>
@@ -13,25 +10,9 @@
 #include <string>
 #include <vector>
 
-#include "src/isa/assembler.hpp"
-#include "src/sim/gpu.hpp"
-#include "src/util/status.hpp"
+#include "src/rt/runtime.hpp"
 
 namespace gpup::rt {
-
-/// A device-memory allocation.
-struct Buffer {
-  std::uint32_t addr = 0;   ///< device byte address (as passed to kernels)
-  std::uint32_t bytes = 0;
-
-  [[nodiscard]] std::uint32_t words() const { return bytes / 4; }
-};
-
-/// Kernel launch geometry (flat 1-D NDRange, as the paper's benchmarks use).
-struct NdRange {
-  std::uint32_t global_size = 0;
-  std::uint32_t wg_size = 256;
-};
 
 class Device {
  public:
@@ -40,8 +21,11 @@ class Device {
   [[nodiscard]] const sim::GpuConfig& config() const { return gpu_.config(); }
 
   // ---- buffers ---------------------------------------------------------
-  [[nodiscard]] Buffer alloc(std::uint32_t bytes) { return {gpu_.alloc(bytes), bytes}; }
-  [[nodiscard]] Buffer alloc_words(std::uint32_t words) { return alloc(words * 4); }
+  [[nodiscard]] Buffer alloc(std::uint32_t bytes) { return {gpu_.alloc(bytes), bytes, 0}; }
+  [[nodiscard]] Buffer alloc_words(std::uint32_t words) {
+    GPUP_CHECK_MSG(words <= 0xffffffffu / 4, "word count overflows the address space");
+    return alloc(words * 4);
+  }
 
   void write(const Buffer& buffer, std::span<const std::uint32_t> words) {
     GPUP_CHECK(words.size() * 4 <= buffer.bytes);
@@ -63,32 +47,15 @@ class Device {
   }
 
   /// Enqueue + wait: runs the kernel to completion, returns cycle-accurate
-  /// launch statistics.
-  [[nodiscard]] sim::LaunchStats run(const isa::Program& program,
-                                     const std::vector<std::uint32_t>& args,
-                                     const NdRange& range) {
+  /// launch statistics. Aborts (throws) on any launch error.
+  [[deprecated("use rt::Context / rt::CommandQueue::enqueue_kernel")]] [[nodiscard]]
+  sim::LaunchStats run(const isa::Program& program, const std::vector<std::uint32_t>& args,
+                       const NdRange& range) {
     return gpu_.launch(program, args, range.global_size, range.wg_size);
   }
 
  private:
   sim::Gpu gpu_;
-};
-
-/// Argument pack builder: buffers decay to their device addresses.
-class Args {
- public:
-  Args& add(const Buffer& buffer) {
-    words_.push_back(buffer.addr);
-    return *this;
-  }
-  Args& add(std::uint32_t value) {
-    words_.push_back(value);
-    return *this;
-  }
-  [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
-
- private:
-  std::vector<std::uint32_t> words_;
 };
 
 }  // namespace gpup::rt

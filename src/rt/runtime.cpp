@@ -1,0 +1,337 @@
+#include "src/rt/runtime.hpp"
+
+#include <utility>
+
+#include "src/util/strings.hpp"
+
+namespace gpup::rt {
+
+const char* to_string(EventStatus status) {
+  switch (status) {
+    case EventStatus::kQueued: return "queued";
+    case EventStatus::kRunning: return "running";
+    case EventStatus::kComplete: return "complete";
+    case EventStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace detail {
+
+// The command graph (dependency edges, settled flags, queue tails) is tiny
+// and touched only for microseconds per command, so one process-wide lock
+// keeps it simple and makes wait-lists across Context instances safe.
+std::mutex& graph_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+struct EventState {
+  // ---- result, guarded by `m` -----------------------------------------
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  EventStatus status = EventStatus::kQueued;
+  Error error;
+  sim::LaunchStats stats;
+  std::vector<std::uint32_t> data;
+
+  // ---- command body (worker-only once dispatched) ----------------------
+  Context* context = nullptr;
+  std::function<Status(EventState&)> run;
+
+  // ---- scheduling, guarded by graph_mutex() ---------------------------
+  int deps_remaining = 0;
+  bool settled = false;       ///< terminal, as seen by the graph
+  bool failed = false;
+  Error failure;              ///< copy handed to dependents
+  bool dep_failed = false;
+  Error dep_error;
+  std::vector<std::shared_ptr<EventState>> dependents;
+};
+
+struct QueueState {
+  int device = 0;
+  std::shared_ptr<EventState> last;  ///< queue tail, guarded by graph_mutex()
+};
+
+}  // namespace detail
+
+// ---- Event ----------------------------------------------------------------
+
+EventStatus Event::status() const {
+  if (!state_) return EventStatus::kFailed;
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->status;
+}
+
+bool Event::wait() const {
+  if (!state_) return false;
+  std::unique_lock<std::mutex> lock(state_->m);
+  state_->cv.wait(lock, [this] {
+    return state_->status == EventStatus::kComplete || state_->status == EventStatus::kFailed;
+  });
+  return state_->status == EventStatus::kComplete;
+}
+
+Error Event::error() const {
+  if (!state_) return Error{"null event", "rt"};
+  wait();
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->status == EventStatus::kFailed ? state_->error : Error{};
+}
+
+const sim::LaunchStats& Event::stats() const {
+  static const sim::LaunchStats empty;
+  if (!state_) return empty;
+  wait();
+  return state_->stats;  // terminal: no further writes
+}
+
+const std::vector<std::uint32_t>& Event::data() const {
+  static const std::vector<std::uint32_t> empty;
+  if (!state_) return empty;
+  wait();
+  return state_->data;  // terminal: no further writes
+}
+
+// ---- Context --------------------------------------------------------------
+
+Context::Context(const sim::GpuConfig& config, int device_count, unsigned threads)
+    : config_(config), pool_(threads) {
+  GPUP_CHECK_MSG(device_count >= 1, "context needs at least one device");
+  devices_.reserve(static_cast<std::size_t>(device_count));
+  for (int i = 0; i < device_count; ++i) {
+    devices_.push_back(std::make_unique<DeviceSlot>(config));
+  }
+}
+
+// Wait for every command of this context to settle before tearing down
+// the pool: same-context chains would drain through the ThreadPool
+// destructor anyway (each finalize() dispatches its dependents before its
+// worker goes back to the queue), but a command still waiting on another
+// context's event has not reached our pool yet — finish() blocks until
+// that foreign dependency settles and hands the command to our (still
+// alive) workers.
+Context::~Context() { (void)finish(); }
+
+CommandQueue Context::create_queue() {
+  std::lock_guard<std::mutex> lock(queues_mutex_);
+  const int device = next_queue_device_;
+  next_queue_device_ = (next_queue_device_ + 1) % device_count();
+  auto state = std::make_shared<detail::QueueState>();
+  state->device = device;
+  queues_.push_back(state);
+  return CommandQueue(this, std::move(state));
+}
+
+CommandQueue Context::create_queue(int device) {
+  GPUP_CHECK_MSG(device >= 0 && device < device_count(), "device index out of range");
+  std::lock_guard<std::mutex> lock(queues_mutex_);
+  auto state = std::make_shared<detail::QueueState>();
+  state->device = device;
+  queues_.push_back(state);
+  return CommandQueue(this, std::move(state));
+}
+
+bool Context::finish() {
+  std::vector<std::shared_ptr<detail::EventState>> tails;
+  {
+    std::lock_guard<std::mutex> queues_lock(queues_mutex_);
+    std::lock_guard<std::mutex> graph_lock(detail::graph_mutex());
+    for (const auto& queue : queues_) {
+      if (queue->last) tails.push_back(queue->last);
+    }
+  }
+  bool ok = true;
+  for (const auto& tail : tails) ok = Event(tail).wait() && ok;
+  return ok;
+}
+
+Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
+                      std::function<Status(detail::EventState&)> run,
+                      const std::vector<Event>& wait_list) {
+  auto state = std::make_shared<detail::EventState>();
+  state->context = this;
+  state->run = std::move(run);
+
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(detail::graph_mutex());
+    const auto link = [&state](const std::shared_ptr<detail::EventState>& dep) {
+      if (!dep) return;
+      if (dep->settled) {
+        if (dep->failed && !state->dep_failed) {
+          state->dep_failed = true;
+          state->dep_error = dep->failure;
+        }
+      } else {
+        dep->dependents.push_back(state);
+        ++state->deps_remaining;
+      }
+    };
+    link(queue->last);  // in-order: chain behind the queue tail (null = head)
+    for (const auto& event : wait_list) {
+      // A null Event reports kFailed, so depending on one fails too —
+      // silently skipping it would run the command without its intended
+      // ordering.
+      if (!event.state_ && !state->dep_failed) {
+        state->dep_failed = true;
+        state->dep_error = Error{"null event in wait list", "rt"};
+      }
+      link(event.state_);
+    }
+    queue->last = state;
+    ready = state->deps_remaining == 0;
+  }
+  if (ready) dispatch(state);
+  return Event(state);
+}
+
+void Context::dispatch(std::shared_ptr<detail::EventState> state) {
+  pool_.submit([this, state = std::move(state)] { execute(state); });
+}
+
+void Context::execute(const std::shared_ptr<detail::EventState>& state) {
+  Status result;
+  // dep_failed/dep_error were last written under the graph mutex before
+  // the final deps_remaining decrement that dispatched us: safe to read.
+  if (state->dep_failed) {
+    result = Error{"dependency failed: " + state->dep_error.to_string(), "rt"};
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(state->m);
+      state->status = EventStatus::kRunning;
+    }
+    try {
+      result = state->run(*state);
+    } catch (const std::exception& e) {
+      result = Error{e.what(), "rt"};
+    }
+  }
+  state->run = nullptr;  // drop captured buffers/programs promptly
+  finalize(state, std::move(result));
+}
+
+void Context::finalize(const std::shared_ptr<detail::EventState>& state, Status result) {
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->status = result.ok() ? EventStatus::kComplete : EventStatus::kFailed;
+    if (!result.ok()) state->error = result.error();
+  }
+  state->cv.notify_all();
+
+  std::vector<std::shared_ptr<detail::EventState>> ready;
+  {
+    std::lock_guard<std::mutex> lock(detail::graph_mutex());
+    state->settled = true;
+    state->failed = !result.ok();
+    if (state->failed) state->failure = result.error();
+    for (auto& dependent : state->dependents) {
+      if (state->failed && !dependent->dep_failed) {
+        dependent->dep_failed = true;
+        dependent->dep_error = state->failure;
+      }
+      if (--dependent->deps_remaining == 0) ready.push_back(std::move(dependent));
+    }
+    state->dependents.clear();
+  }
+  // Dispatch each dependent onto its OWN context's pool (wait-lists may
+  // cross Context instances; an event must never run on a foreign pool,
+  // whose drain would not cover it).
+  for (auto& next : ready) {
+    Context* owner = next->context;
+    owner->dispatch(std::move(next));
+  }
+}
+
+// ---- CommandQueue ---------------------------------------------------------
+
+int CommandQueue::device_index() const {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  return state_->device;
+}
+
+Result<Buffer> CommandQueue::alloc(std::uint32_t bytes) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  std::lock_guard<std::mutex> lock(slot.alloc_mutex);
+  auto addr = slot.gpu.try_alloc(bytes);
+  if (!addr.ok()) return addr.error();
+  return Buffer{addr.value(), bytes, state_->device};
+}
+
+Event CommandQueue::enqueue_write(const Buffer& buffer, std::vector<std::uint32_t> words,
+                                  const std::vector<Event>& wait_list) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  const int device = state_->device;
+  return context_->submit(
+      state_,
+      [&slot, device, buffer, words = std::move(words)](detail::EventState&) -> Status {
+        if (buffer.device != device) {
+          return Error{format("buffer lives on device %d, queue is bound to device %d",
+                              buffer.device, device),
+                       "rt.write"};
+        }
+        if (words.size() * 4 > buffer.bytes) {
+          return Error{format("write of %zu words overflows %u-byte buffer", words.size(),
+                              buffer.bytes),
+                       "rt.write"};
+        }
+        std::lock_guard<std::mutex> lock(slot.exec_mutex);
+        return slot.gpu.try_write(buffer.addr, words);
+      },
+      wait_list);
+}
+
+Event CommandQueue::enqueue_kernel(const isa::Program& program,
+                                   std::vector<std::uint32_t> args, const NdRange& range,
+                                   const std::vector<Event>& wait_list) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  return context_->submit(
+      state_,
+      [&slot, program, args = std::move(args), range](detail::EventState& state) -> Status {
+        std::lock_guard<std::mutex> lock(slot.exec_mutex);
+        auto stats = slot.gpu.try_launch(program, args, range.global_size, range.wg_size);
+        if (!stats.ok()) return stats.error();
+        state.stats = std::move(stats).value();
+        return {};
+      },
+      wait_list);
+}
+
+Event CommandQueue::enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  const int device = state_->device;
+  return context_->submit(
+      state_,
+      [&slot, device, buffer](detail::EventState& state) -> Status {
+        if (buffer.device != device) {
+          return Error{format("buffer lives on device %d, queue is bound to device %d",
+                              buffer.device, device),
+                       "rt.read"};
+        }
+        state.data.resize(buffer.words());
+        std::lock_guard<std::mutex> lock(slot.exec_mutex);
+        auto status = slot.gpu.try_read(buffer.addr, state.data);
+        if (!status.ok()) state.data.clear();
+        return status;
+      },
+      wait_list);
+}
+
+bool CommandQueue::finish() {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  std::shared_ptr<detail::EventState> tail;
+  {
+    std::lock_guard<std::mutex> lock(detail::graph_mutex());
+    tail = state_->last;
+  }
+  // In-order queue: the tail settling implies every earlier command
+  // settled, and any earlier failure cascades into the tail.
+  return tail == nullptr || Event(std::move(tail)).wait();
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,229 @@
+// OpenCL-style asynchronous host runtime for the G-GPU.
+//
+// Mirrors the paper's software story: "on the software side, only standard
+// OpenCL-API procedures are needed". The shapes match the OpenCL host API
+// one-to-one:
+//
+//   rt::Context       — owns a pool of simulated devices and the worker
+//                       threads that execute commands (cl_context + the
+//                       driver's scheduler).
+//   rt::CommandQueue  — in-order queue bound to one device of the pool;
+//                       any number of queues run concurrently
+//                       (cl_command_queue).
+//   rt::Event         — handle to an enqueued command carrying its status
+//                       (queued / running / complete / failed), the error
+//                       on failure, per-launch sim::LaunchStats for kernel
+//                       commands, and the returned words for read commands
+//                       (cl_event).
+//
+// Commands within one queue execute in submission order; `wait_list`
+// arguments add cross-queue dependencies (clEnqueue*'s event_wait_list).
+// When a command fails, every command depending on it — including all
+// later commands of the same queue — fails with a dependency error rather
+// than running on garbage. Nothing in this API aborts the host process:
+// all fallible paths (assembler errors, argument-count mismatch, buffer
+// overflow, global-memory OOM, runtime traps) surface as Result values or
+// failed events, so the runtime is safe to drive from untrusted callers.
+//
+// Determinism: each queue's results (buffer contents, LaunchStats, event
+// order) depend only on the sequence of commands enqueued to it, never on
+// the worker-thread count or on what other queues do — launches hold their
+// device exclusively and queues own disjoint buffers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/util/status.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace gpup::rt {
+
+/// A device-memory allocation. `device` names the pool device the buffer
+/// lives on; commands reject buffers from a different device.
+struct Buffer {
+  std::uint32_t addr = 0;   ///< device byte address (as passed to kernels)
+  std::uint32_t bytes = 0;
+  int device = 0;           ///< owning device index within the Context
+
+  [[nodiscard]] std::uint32_t words() const { return bytes / 4; }
+};
+
+/// Kernel launch geometry (flat 1-D NDRange, as the paper's benchmarks use).
+struct NdRange {
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 256;
+};
+
+/// Argument pack builder: buffers decay to their device addresses.
+class Args {
+ public:
+  Args& add(const Buffer& buffer) {
+    words_.push_back(buffer.addr);
+    return *this;
+  }
+  Args& add(std::uint32_t value) {
+    words_.push_back(value);
+    return *this;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint32_t> words_;
+};
+
+enum class EventStatus { kQueued, kRunning, kComplete, kFailed };
+
+[[nodiscard]] const char* to_string(EventStatus status);
+
+class Context;
+
+namespace detail {
+struct EventState;
+struct QueueState;
+}  // namespace detail
+
+/// Shared handle to an enqueued command. Copyable; the last handle keeps
+/// the result alive. A default-constructed Event is null (`!valid()`).
+class Event {
+ public:
+  Event() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] EventStatus status() const;
+
+  /// Block until the command is terminal; true iff it completed.
+  bool wait() const;
+
+  /// The failure (waits first). Empty message unless status is kFailed.
+  [[nodiscard]] Error error() const;
+
+  /// Kernel commands: cycle-accurate launch statistics (waits first).
+  [[nodiscard]] const sim::LaunchStats& stats() const;
+
+  /// Read commands: the words read back (waits first; empty on failure).
+  [[nodiscard]] const std::vector<std::uint32_t>& data() const;
+
+ private:
+  friend class Context;
+  friend class CommandQueue;
+  explicit Event(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// In-order command queue bound to one device of the Context's pool.
+/// Lightweight handle; copy freely. Create via Context::create_queue().
+class CommandQueue {
+ public:
+  CommandQueue() = default;
+
+  [[nodiscard]] bool valid() const { return context_ != nullptr; }
+  [[nodiscard]] int device_index() const;
+
+  /// Allocate device memory (synchronous, like clCreateBuffer). Fails with
+  /// an OOM Error when the device's global memory is exhausted.
+  [[nodiscard]] Result<Buffer> alloc(std::uint32_t bytes);
+  [[nodiscard]] Result<Buffer> alloc_words(std::uint32_t words) {
+    // The byte count must not wrap: alloc_words(1 << 30) is an OOM, not a
+    // successful zero-byte buffer.
+    if (words > 0xffffffffu / 4) {
+      return Error{"allocation of " + std::to_string(words) + " words overflows the address space",
+                   "rt.alloc"};
+    }
+    return alloc(words * 4);
+  }
+
+  /// Enqueue a host->device copy of `words` into `buffer`.
+  Event enqueue_write(const Buffer& buffer, std::vector<std::uint32_t> words,
+                      const std::vector<Event>& wait_list = {});
+
+  /// Enqueue a kernel launch; the event's stats() carry the LaunchStats.
+  Event enqueue_kernel(const isa::Program& program, std::vector<std::uint32_t> args,
+                       const NdRange& range, const std::vector<Event>& wait_list = {});
+
+  /// Enqueue a device->host read of the whole buffer; the event's data()
+  /// carries the words.
+  Event enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list = {});
+
+  /// Block until every command enqueued so far is terminal; true iff all
+  /// completed (a failure anywhere in the queue's history returns false).
+  bool finish();
+
+ private:
+  friend class Context;
+  CommandQueue(Context* context, std::shared_ptr<detail::QueueState> state)
+      : context_(context), state_(std::move(state)) {}
+
+  Context* context_ = nullptr;
+  std::shared_ptr<detail::QueueState> state_;
+};
+
+/// Owns a pool of simulated G-GPU devices plus the worker threads that
+/// execute enqueued commands, so N client queues drive M devices
+/// concurrently.
+class Context {
+ public:
+  /// `device_count` simulated GPUs, all with the same config;
+  /// `threads` == 0 picks the hardware concurrency.
+  explicit Context(const sim::GpuConfig& config, int device_count = 1, unsigned threads = 0);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] const sim::GpuConfig& config() const { return config_; }
+  [[nodiscard]] int device_count() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] unsigned threads() const { return pool_.size(); }
+
+  /// New in-order queue, bound round-robin over the device pool (or to an
+  /// explicit device index).
+  [[nodiscard]] CommandQueue create_queue();
+  [[nodiscard]] CommandQueue create_queue(int device);
+
+  /// Assemble kernel source (errors surface as Result, like clBuildProgram).
+  [[nodiscard]] static Result<isa::Program> compile(const std::string& source) {
+    return isa::Assembler::assemble(source);
+  }
+
+  /// Block until every command enqueued on any queue of this context is
+  /// terminal; true iff all completed.
+  bool finish();
+
+ private:
+  friend class CommandQueue;
+
+  struct DeviceSlot {
+    explicit DeviceSlot(const sim::GpuConfig& config) : gpu(config) {}
+    sim::Gpu gpu;
+    std::mutex exec_mutex;   ///< serializes launches/copies on this device
+    std::mutex alloc_mutex;  ///< serializes synchronous allocation
+  };
+
+  /// Chain `run` behind the queue's previous command plus `wait_list`,
+  /// dispatching to the pool once every dependency settled.
+  Event submit(const std::shared_ptr<detail::QueueState>& queue,
+               std::function<Status(detail::EventState&)> run,
+               const std::vector<Event>& wait_list);
+  void dispatch(std::shared_ptr<detail::EventState> state);
+  void execute(const std::shared_ptr<detail::EventState>& state);
+  void finalize(const std::shared_ptr<detail::EventState>& state, Status result);
+
+  sim::GpuConfig config_;
+  std::vector<std::unique_ptr<DeviceSlot>> devices_;
+  std::mutex queues_mutex_;
+  // Strong refs: finish() (and so the destructor) must see every queue's
+  // tail even after the caller dropped its CommandQueue handle.
+  std::vector<std::shared_ptr<detail::QueueState>> queues_;
+  int next_queue_device_ = 0;
+  ThreadPool pool_;  ///< last member: destroyed (drained) before the devices
+};
+
+}  // namespace gpup::rt

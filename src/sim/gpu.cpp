@@ -1,9 +1,11 @@
 #include "src/sim/gpu.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/util/bits.hpp"
 #include "src/util/status.hpp"
+#include "src/util/strings.hpp"
 
 namespace gpup::sim {
 
@@ -12,36 +14,95 @@ Gpu::Gpu(GpuConfig config) : config_(config), mem_(config.global_mem_bytes / 4) 
   GPUP_CHECK(config_.wavefront_size % config_.pes_per_cu == 0);
 }
 
+Result<std::uint32_t> Gpu::try_alloc(std::uint32_t bytes) {
+  // 64-bit arithmetic: `addr + bytes` must not wrap for huge requests.
+  const std::uint64_t line = config_.cache_line_bytes;
+  const std::uint64_t addr = ceil_div(alloc_next_, line) * line;
+  if (addr + bytes > config_.global_mem_bytes) {
+    return Error{format("global memory exhausted: %u bytes requested, %llu of %u free", bytes,
+                        static_cast<unsigned long long>(
+                            addr <= config_.global_mem_bytes ? config_.global_mem_bytes - addr
+                                                             : 0),
+                        config_.global_mem_bytes),
+                 "gpu.alloc"};
+  }
+  alloc_next_ = static_cast<std::uint32_t>(addr + bytes);
+  return static_cast<std::uint32_t>(addr);
+}
+
+Status Gpu::try_write(std::uint32_t byte_addr, std::span<const std::uint32_t> words) {
+  if (byte_addr % 4 != 0) return Error{"unaligned device address", "gpu.write"};
+  if (byte_addr / 4 + words.size() > mem_.size()) {
+    return Error{"write past the end of global memory", "gpu.write"};
+  }
+  std::copy(words.begin(), words.end(), mem_.data() + byte_addr / 4);
+  return {};
+}
+
+Status Gpu::try_read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
+  if (byte_addr % 4 != 0) return Error{"unaligned device address", "gpu.read"};
+  if (byte_addr / 4 + words.size() > mem_.size()) {
+    return Error{"read past the end of global memory", "gpu.read"};
+  }
+  std::copy_n(mem_.data() + byte_addr / 4, words.size(), words.begin());
+  return {};
+}
+
 std::uint32_t Gpu::alloc(std::uint32_t bytes) {
-  const auto line = config_.cache_line_bytes;
-  const auto addr = static_cast<std::uint32_t>(ceil_div(alloc_next_, line) * line);
-  GPUP_CHECK_MSG(addr + bytes <= config_.global_mem_bytes, "global memory exhausted");
-  alloc_next_ = addr + bytes;
-  return addr;
+  auto addr = try_alloc(bytes);
+  GPUP_CHECK_MSG(addr.ok(), addr.ok() ? "" : addr.error().to_string());
+  return addr.value();
 }
 
 void Gpu::write(std::uint32_t byte_addr, std::span<const std::uint32_t> words) {
-  GPUP_CHECK(byte_addr % 4 == 0);
-  GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
-  std::copy(words.begin(), words.end(), mem_.data() + byte_addr / 4);
+  const auto status = try_write(byte_addr, words);
+  GPUP_CHECK_MSG(status.ok(), status.ok() ? "" : status.error().to_string());
 }
 
 void Gpu::read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
-  GPUP_CHECK(byte_addr % 4 == 0);
-  GPUP_CHECK(byte_addr / 4 + words.size() <= mem_.size());
-  std::copy_n(mem_.data() + byte_addr / 4, words.size(), words.begin());
+  const auto status = try_read(byte_addr, words);
+  GPUP_CHECK_MSG(status.ok(), status.ok() ? "" : status.error().to_string());
 }
 
 void Gpu::reset_allocator() { alloc_next_ = 0; }
 
-LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint32_t>& params,
-                        std::uint32_t global_size, std::uint32_t wg_size) {
-  GPUP_CHECK_MSG(!program.empty(), "empty kernel program");
-  GPUP_CHECK_MSG(global_size > 0, "empty NDRange");
+Result<LaunchStats> Gpu::try_launch(const isa::Program& program,
+                                    const std::vector<std::uint32_t>& params,
+                                    std::uint32_t global_size, std::uint32_t wg_size) {
+  if (program.empty()) return Error{"empty kernel program", "gpu.launch"};
+  if (global_size == 0) return Error{"empty NDRange", "gpu.launch"};
   const auto max_wg =
       static_cast<std::uint32_t>(config_.wavefront_size * config_.max_wavefronts_per_cu);
-  GPUP_CHECK_MSG(wg_size >= 1 && wg_size <= max_wg, "work-group size outside CU capacity");
+  if (wg_size < 1 || wg_size > max_wg) {
+    return Error{format("work-group size %u outside CU capacity (1..%u)", wg_size, max_wg),
+                 "gpu.launch"};
+  }
+  if (params.size() < program.param_count()) {
+    return Error{format("kernel '%s' reads %u argument word(s), launch supplied %u",
+                        program.name().c_str(), program.param_count(),
+                        static_cast<std::uint32_t>(params.size())),
+                 "gpu.launch"};
+  }
+  // Runtime traps (out-of-bounds access, watchdog expiry) are raised as
+  // exceptions deep in the simulation; convert them to an Error so the
+  // asynchronous runtime can fail the event instead of the process.
+  try {
+    return run_launch(program, params, global_size, wg_size);
+  } catch (const std::exception& e) {
+    return Error{e.what(), "gpu.launch"};
+  }
+}
 
+LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint32_t>& params,
+                        std::uint32_t global_size, std::uint32_t wg_size) {
+  auto stats = try_launch(program, params, global_size, wg_size);
+  if (!stats.ok()) throw std::logic_error("launch failed: " + stats.error().to_string());
+  return std::move(stats).value();
+}
+
+LaunchStats Gpu::run_launch(const isa::Program& program,
+                            const std::vector<std::uint32_t>& params,
+                            std::uint32_t global_size, std::uint32_t wg_size) {
   PerfCounters counters;
   LaunchContext ctx{&program, &mem_, params, global_size, wg_size};
   MemorySystem memory(config_, &counters);

@@ -38,20 +38,45 @@ class Gpu {
 
   // ---- global memory (byte-addressed API, word-backed) -----------------
   /// Bump-allocate `bytes` of global memory, cache-line aligned; returns
-  /// the byte address.
+  /// the byte address. Fails (overflow-safe) when the region would extend
+  /// past the end of global memory instead of corrupting address space.
+  [[nodiscard]] Result<std::uint32_t> try_alloc(std::uint32_t bytes);
+  /// Bounds-checked host->device / device->host copies.
+  [[nodiscard]] Status try_write(std::uint32_t byte_addr, std::span<const std::uint32_t> words);
+  [[nodiscard]] Status try_read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const;
+  void reset_allocator();
+
+  /// Remaining allocatable bytes (from the current bump pointer).
+  [[nodiscard]] std::uint32_t bytes_free() const {
+    return config_.global_mem_bytes - alloc_next_;
+  }
+
+  // Abort-on-error variants, kept for the legacy rt::Device path and for
+  // test harnesses where a failure is a programming error.
   [[nodiscard]] std::uint32_t alloc(std::uint32_t bytes);
   void write(std::uint32_t byte_addr, std::span<const std::uint32_t> words);
   void read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const;
-  void reset_allocator();
 
   /// Launch a kernel over a flat NDRange and simulate to completion.
   /// `params` are the kernel arguments visible through the PARAM
-  /// instruction (buffer addresses, sizes, constants...).
+  /// instruction (buffer addresses, sizes, constants...). All fallible
+  /// paths — bad geometry, too few argument words for the program's PARAM
+  /// reads, runtime traps (out-of-bounds access, watchdog expiry) —
+  /// surface as an Error instead of aborting the host.
+  [[nodiscard]] Result<LaunchStats> try_launch(const isa::Program& program,
+                                               const std::vector<std::uint32_t>& params,
+                                               std::uint32_t global_size, std::uint32_t wg_size);
+
+  /// Abort-on-error variant of try_launch (legacy rt::Device semantics).
   [[nodiscard]] LaunchStats launch(const isa::Program& program,
                                    const std::vector<std::uint32_t>& params,
                                    std::uint32_t global_size, std::uint32_t wg_size);
 
  private:
+  [[nodiscard]] LaunchStats run_launch(const isa::Program& program,
+                                       const std::vector<std::uint32_t>& params,
+                                       std::uint32_t global_size, std::uint32_t wg_size);
+
   GpuConfig config_;
   GlobalMemory mem_;
   std::uint32_t alloc_next_ = 0;

@@ -5,6 +5,7 @@
 // present them; internal logic errors use GPUP_CHECK which throws.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -48,6 +49,25 @@ class Result {
 
  private:
   std::variant<T, Error> data_;
+};
+
+/// Result-like type for operations with no value: either success or an
+/// Error. Default-constructed Status is success.
+class Status {
+ public:
+  Status() = default;                              // ok
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error on ok status");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
 };
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,

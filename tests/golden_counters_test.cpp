@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 
 namespace gpup::sim {
 namespace {
@@ -128,30 +128,34 @@ struct Case {
 };
 
 LaunchStats run_case(const Case& c) {
-  rt::Device device(c.config);
-  auto program = rt::Device::compile(c.source);
+  rt::Context context(c.config, /*device_count=*/1, /*threads=*/1);
+  auto queue = context.create_queue();
+  auto program = rt::Context::compile(c.source);
   GPUP_CHECK_MSG(program.ok(), program.error().to_string());
 
   const std::string name(c.name);
   rt::Args args;
-  rt::Buffer out = device.alloc_words(c.n);
+  rt::Buffer out = queue.alloc_words(c.n).value();
   if (name.rfind("saxpy", 0) == 0) {
     std::vector<std::uint32_t> x(c.n), y(c.n);
     for (std::uint32_t i = 0; i < c.n; ++i) {
       x[i] = i * 3 + 1;
       y[i] = i ^ 0x55u;
     }
-    rt::Buffer xb = device.alloc_words(c.n);
-    device.write(xb, x);
-    rt::Buffer yb = device.alloc_words(c.n);
-    device.write(yb, y);
+    rt::Buffer xb = queue.alloc_words(c.n).value();
+    queue.enqueue_write(xb, x);
+    rt::Buffer yb = queue.alloc_words(c.n).value();
+    queue.enqueue_write(yb, y);
     args.add(c.n).add(xb).add(7u).add(yb).add(out);
   } else if (name.rfind("revshare", 0) == 0) {
     args.add(out);  // revshare only takes the output buffer
   } else {
     args.add(c.n).add(out);
   }
-  return device.run(program.value(), args.words(), {c.n, c.wg_size});
+  const rt::Event kernel =
+      queue.enqueue_kernel(program.value(), args.words(), {c.n, c.wg_size});
+  GPUP_CHECK_MSG(kernel.wait(), kernel.error().to_string());
+  return kernel.stats();
 }
 
 std::vector<Case> cases() {
@@ -300,12 +304,15 @@ TEST(GoldenCounters, RetWithUnreadLoadInFlight) {
   for (bool fast_forward : {true, false}) {
     GpuConfig config;
     config.idle_fast_forward = fast_forward;
-    rt::Device device(config);
-    auto program = rt::Device::compile(kSource);
+    rt::Context context(config, /*device_count=*/1, /*threads=*/1);
+    auto queue = context.create_queue();
+    auto program = rt::Context::compile(kSource);
     GPUP_CHECK_MSG(program.ok(), program.error().to_string());
-    rt::Buffer buffer = device.alloc_words(128);
-    const auto stats =
-        device.run(program.value(), rt::Args().add(buffer).words(), {128, 64});
+    rt::Buffer buffer = queue.alloc_words(128).value();
+    const rt::Event kernel =
+        queue.enqueue_kernel(program.value(), rt::Args().add(buffer).words(), {128, 64});
+    GPUP_CHECK_MSG(kernel.wait(), kernel.error().to_string());
+    const auto stats = kernel.stats();
     EXPECT_GT(stats.cycles, 0u);
     EXPECT_EQ(stats.counters.loads, 2u);  // both wavefronts issued the load
   }

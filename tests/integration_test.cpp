@@ -30,9 +30,8 @@ TEST(Integration, SpecToSiliconToKernel) {
   // 2. Run a benchmark on the matching simulator configuration.
   sim::GpuConfig config;
   config.cu_count = spec.cu_count;
-  rt::Device device(config);
   const auto* vec_mul = kern::benchmark_by_name("vec_mul");
-  const auto run = kern::run_gpu(*vec_mul, device, 4096);
+  const auto run = kern::run_gpu(*vec_mul, config, 4096);
   ASSERT_TRUE(run.valid);
 
   // 3. Combine: wall-clock at the synthesised frequency and energy from
@@ -90,9 +89,10 @@ TEST(Integration, HwDividerConfigMatchesIsaExtension) {
   // loop, validated against the same golden output.
   sim::GpuConfig config;
   config.hw_divider = true;
-  rt::Device device(config);
+  rt::Context context(config);
+  auto queue = context.create_queue();
 
-  const auto program = rt::Device::compile(R"(.kernel div_hw
+  const auto program = rt::Context::compile(R"(.kernel div_hw
   tid r1
   param r2, 0
   bgeu r1, r2, done
@@ -119,22 +119,24 @@ done:
     a[i] = rng.next_below(1u << 20) + 1;
     b[i] = rng.next_below(1u << 8) + 1;
   }
-  auto buf_a = device.alloc_words(n);
-  auto buf_b = device.alloc_words(n);
-  auto buf_out = device.alloc_words(n);
-  device.write(buf_a, a);
-  device.write(buf_b, b);
-  const auto stats = device.run(
+  auto buf_a = queue.alloc_words(n).value();
+  auto buf_b = queue.alloc_words(n).value();
+  auto buf_out = queue.alloc_words(n).value();
+  queue.enqueue_write(buf_a, a);
+  queue.enqueue_write(buf_b, b);
+  const auto kernel = queue.enqueue_kernel(
       program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(), {n, 256});
-  const auto out = device.read(buf_out);
+  const auto read = queue.enqueue_read(buf_out);
+  ASSERT_TRUE(read.wait()) << read.error().to_string();
+  const auto stats = kernel.stats();
+  const auto& out = read.data();
   for (std::uint32_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], a[i] / b[i]);
   }
 
   // Ablation shape: hardware division beats the software loop.
   const auto* div_int = kern::benchmark_by_name("div_int");
-  rt::Device sw_device(sim::GpuConfig{});
-  const auto sw = kern::run_gpu(*div_int, sw_device, n);
+  const auto sw = kern::run_gpu(*div_int, sim::GpuConfig{}, n);
   ASSERT_TRUE(sw.valid);
   EXPECT_LT(stats.cycles, sw.stats.cycles);
 }

@@ -20,18 +20,16 @@ class KernelCorrectness : public ::testing::TestWithParam<const Benchmark*> {};
 
 TEST_P(KernelCorrectness, Gpu1CuSmall) {
   const Benchmark& benchmark = *GetParam();
-  rt::Device device(config_with(1));
   // Small slice of the workload: exercises partial wavefronts too.
   const std::uint32_t size = (benchmark.name() == "mat_mul") ? 96u : 96u;
-  const auto run = run_gpu(benchmark, device, size);
+  const auto run = run_gpu(benchmark, config_with(1), size);
   EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on 1 CU";
   EXPECT_GT(run.stats.cycles, 0u);
 }
 
 TEST_P(KernelCorrectness, Gpu4CuPaperSize) {
   const Benchmark& benchmark = *GetParam();
-  rt::Device device(config_with(4));
-  const auto run = run_gpu(benchmark, device, benchmark.gpu_input());
+  const auto run = run_gpu(benchmark, config_with(4), benchmark.gpu_input());
   EXPECT_TRUE(run.valid) << benchmark.name() << " wrong result on 4 CUs";
   std::printf("[kern] %-13s 4CU @ %u items: %llu cycles (%.2f cyc/item, hit %.2f)\n",
               benchmark.name().c_str(), benchmark.gpu_input(),
@@ -76,8 +74,7 @@ TEST(KernelScaling, MoreCusNeverSlowMatMul) {
   ASSERT_NE(mat_mul, nullptr);
   std::uint64_t prev = ~0ull;
   for (int cu : {1, 2, 4, 8}) {
-    rt::Device device(config_with(cu));
-    const auto run = run_gpu(*mat_mul, device, mat_mul->gpu_input());
+    const auto run = run_gpu(*mat_mul, config_with(cu), mat_mul->gpu_input());
     ASSERT_TRUE(run.valid);
     EXPECT_LT(run.stats.cycles, prev) << "mat_mul must scale with CU count";
     prev = run.stats.cycles;

@@ -23,8 +23,9 @@ TEST_P(GeometryInvariance, VecMulResultIndependentOfGeometry) {
   config.cu_count = geometry.cu_count;
   config.cache_bytes = geometry.cache_kb * 1024;
 
-  rt::Device device(config);
-  const auto program = rt::Device::compile(R"(.kernel vm
+  rt::Context context(config);
+  auto queue = context.create_queue();
+  const auto program = rt::Context::compile(R"(.kernel vm
   tid r1
   param r2, 0
   bgeu r1, r2, done
@@ -51,18 +52,20 @@ done:
     a[i] = rng.next_u32();
     b[i] = rng.next_u32();
   }
-  auto buf_a = device.alloc_words(n);
-  auto buf_b = device.alloc_words(n);
-  auto buf_out = device.alloc_words(n);
-  device.write(buf_a, a);
-  device.write(buf_b, b);
+  auto buf_a = queue.alloc_words(n).value();
+  auto buf_b = queue.alloc_words(n).value();
+  auto buf_out = queue.alloc_words(n).value();
+  queue.enqueue_write(buf_a, a);
+  queue.enqueue_write(buf_b, b);
 
-  const auto stats =
-      device.run(program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(),
-                 {n, geometry.wg_size});
-  EXPECT_GT(stats.cycles, 0u);
+  const auto kernel = queue.enqueue_kernel(
+      program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(),
+      {n, geometry.wg_size});
+  const auto read = queue.enqueue_read(buf_out);
+  ASSERT_TRUE(read.wait()) << read.error().to_string();
+  EXPECT_GT(kernel.stats().cycles, 0u);
 
-  const auto out = device.read(buf_out);
+  const auto& out = read.data();
   for (std::uint32_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], a[i] * b[i]) << "item " << i;
   }
@@ -87,9 +90,8 @@ TEST_P(BenchmarkGeometrySweep, ValidatesOnEveryCuCount) {
   const int cu_count = std::get<1>(GetParam());
   sim::GpuConfig config;
   config.cu_count = cu_count;
-  rt::Device device(config);
   const std::uint32_t size = (benchmark->name() == "mat_mul") ? 256u : 320u;
-  const auto run = kern::run_gpu(*benchmark, device, size);
+  const auto run = kern::run_gpu(*benchmark, config, size);
   EXPECT_TRUE(run.valid) << benchmark->name() << " @ " << cu_count << " CUs";
 }
 

@@ -1,0 +1,288 @@
+// Asynchronous runtime stress + failure-propagation tests: many queues
+// over a device pool with a random cross-queue dependency DAG, identical
+// per-queue results for any worker-thread count, and every fallible path
+// surfacing as a failed event instead of aborting.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/rt/runtime.hpp"
+#include "src/util/rng.hpp"
+
+namespace gpup::rt {
+namespace {
+
+// Order-encoding step kernel: buf[tid] = buf[tid] * 3 + C. The final value
+// folds the per-launch constants in execution order (3x+c is
+// non-commutative across different c), so it proves the queue ran its
+// launches in submission order.
+constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+constexpr int kQueues = 6;
+constexpr int kSteps = 5;
+constexpr std::uint32_t kN = 192;  // not a multiple of the wg size: tail WG
+
+std::uint32_t initial(std::uint32_t queue, std::uint32_t i) { return queue * 1000 + i; }
+std::uint32_t step_constant(std::uint32_t queue, std::uint32_t step) {
+  return queue * 100 + step + 1;
+}
+
+struct StressResult {
+  std::vector<std::vector<std::uint32_t>> outputs;          // [queue][item]
+  std::vector<std::vector<std::uint64_t>> kernel_cycles;    // [queue][step]
+};
+
+/// Runs the random-DAG stress workload on `threads` workers: kQueues
+/// queues round-robin over 2 devices, each with kSteps launches whose
+/// wait-lists reference other queues' launches (seeded Rng), then a read.
+StressResult run_stress(unsigned threads) {
+  sim::GpuConfig config;
+  config.global_mem_bytes = 1 << 20;
+  Context context(config, /*device_count=*/2, threads);
+  const auto program = Context::compile(kStepSource);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  std::vector<CommandQueue> queues;
+  std::vector<Buffer> buffers;
+  for (int q = 0; q < kQueues; ++q) {
+    queues.push_back(context.create_queue());
+    auto buffer = queues.back().alloc_words(kN);
+    GPUP_CHECK(buffer.ok());
+    buffers.push_back(buffer.value());
+    std::vector<std::uint32_t> data(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) data[i] = initial(static_cast<std::uint32_t>(q), i);
+    queues.back().enqueue_write(buffers.back(), data);
+  }
+
+  // Random cross-queue dependency DAG: step s of queue q also waits for
+  // step s-1 of a random other queue. Edges always point from step s-1 to
+  // step s, so the graph stays acyclic for any Rng sequence.
+  Rng rng(7);
+  std::vector<std::vector<Event>> kernels(kQueues);
+  for (int s = 0; s < kSteps; ++s) {
+    for (int q = 0; q < kQueues; ++q) {
+      std::vector<Event> wait_list;
+      if (s > 0) {
+        const auto other = rng.next_below(kQueues);
+        wait_list.push_back(kernels[other][static_cast<std::size_t>(s) - 1]);
+      }
+      kernels[q].push_back(queues[static_cast<std::size_t>(q)].enqueue_kernel(
+          program.value(),
+          Args()
+              .add(kN)
+              .add(buffers[static_cast<std::size_t>(q)])
+              .add(step_constant(static_cast<std::uint32_t>(q), static_cast<std::uint32_t>(s)))
+              .words(),
+          {kN, 64}, wait_list));
+    }
+  }
+
+  std::vector<Event> reads;
+  for (int q = 0; q < kQueues; ++q) {
+    reads.push_back(queues[static_cast<std::size_t>(q)].enqueue_read(
+        buffers[static_cast<std::size_t>(q)]));
+  }
+  EXPECT_TRUE(context.finish());
+
+  StressResult result;
+  for (int q = 0; q < kQueues; ++q) {
+    EXPECT_TRUE(reads[static_cast<std::size_t>(q)].wait());
+    result.outputs.push_back(reads[static_cast<std::size_t>(q)].data());
+    std::vector<std::uint64_t> cycles;
+    for (const auto& kernel : kernels[static_cast<std::size_t>(q)]) {
+      EXPECT_EQ(kernel.status(), EventStatus::kComplete);
+      cycles.push_back(kernel.stats().cycles);
+    }
+    result.kernel_cycles.push_back(std::move(cycles));
+  }
+  return result;
+}
+
+TEST(QueueStress, RandomDagInOrderAndDeterministicAcrossThreadCounts) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto t1 = run_stress(1);
+  const auto t4 = run_stress(4);
+  const auto thw = run_stress(hw == 0 ? 2 : hw);
+
+  // Expected per-queue value: the step constants folded in submission
+  // order — proves each queue executed its launches in-order.
+  for (int q = 0; q < kQueues; ++q) {
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      std::uint32_t want = initial(static_cast<std::uint32_t>(q), i);
+      for (int s = 0; s < kSteps; ++s) {
+        want = want * 3 + step_constant(static_cast<std::uint32_t>(q),
+                                        static_cast<std::uint32_t>(s));
+      }
+      ASSERT_EQ(t1.outputs[static_cast<std::size_t>(q)][i], want)
+          << "queue " << q << " item " << i;
+    }
+  }
+
+  // Bit-identical results and per-launch timings for any worker count.
+  EXPECT_EQ(t1.outputs, t4.outputs);
+  EXPECT_EQ(t1.outputs, thw.outputs);
+  EXPECT_EQ(t1.kernel_cycles, t4.kernel_cycles);
+  EXPECT_EQ(t1.kernel_cycles, thw.kernel_cycles);
+}
+
+TEST(QueueFailure, ArgCountMismatchFailsEvent) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(kStepSource);  // reads params 0..2
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().param_count(), 3u);
+
+  const auto kernel =
+      queue.enqueue_kernel(program.value(), Args().add(kN).words(), {kN, 64});
+  EXPECT_FALSE(kernel.wait());
+  EXPECT_EQ(kernel.status(), EventStatus::kFailed);
+  EXPECT_NE(kernel.error().to_string().find("argument"), std::string::npos);
+}
+
+TEST(QueueFailure, BadGeometryFailsEvent) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(".kernel k\n  ret\n");
+  ASSERT_TRUE(program.ok());
+  const auto empty_range = queue.enqueue_kernel(program.value(), {}, {0, 64});
+  // Fresh queue: in-order queues poison everything after a failure, which
+  // would turn the second error into a dependency error.
+  auto queue_2 = context.create_queue();
+  const auto huge_wg = queue_2.enqueue_kernel(program.value(), {}, {64, 4096});
+  EXPECT_FALSE(empty_range.wait());
+  EXPECT_FALSE(huge_wg.wait());
+  EXPECT_NE(huge_wg.error().to_string().find("work-group"), std::string::npos);
+}
+
+TEST(QueueFailure, RuntimeTrapFailsEventNotProcess) {
+  // Wild out-of-bounds access inside the kernel: the simulator trap turns
+  // into a failed event instead of terminating the host.
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(R"(.kernel oob
+  li r1, 0x7ffffffc
+  lw r2, 0(r1)
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  const auto kernel = queue.enqueue_kernel(program.value(), {}, {1, 1});
+  EXPECT_FALSE(kernel.wait());
+  EXPECT_EQ(kernel.status(), EventStatus::kFailed);
+}
+
+TEST(QueueFailure, DependencyFailurePropagatesThroughQueueAndWaitList) {
+  Context context(sim::GpuConfig{}, /*device_count=*/2);
+  auto queue_a = context.create_queue();
+  auto queue_b = context.create_queue();
+  const auto program = Context::compile(kStepSource);
+  ASSERT_TRUE(program.ok());
+
+  // Failing head: too few arguments.
+  const auto bad = queue_a.enqueue_kernel(program.value(), {}, {kN, 64});
+  // Same-queue successor fails via the in-order chain...
+  const auto buffer_a = queue_a.alloc_words(kN);
+  ASSERT_TRUE(buffer_a.ok());
+  const auto chained = queue_a.enqueue_read(buffer_a.value());
+  // ...and a cross-queue dependent fails via its wait-list.
+  const auto buffer_b = queue_b.alloc_words(kN);
+  ASSERT_TRUE(buffer_b.ok());
+  const auto dependent = queue_b.enqueue_read(buffer_b.value(), {bad});
+
+  EXPECT_FALSE(bad.wait());
+  EXPECT_FALSE(chained.wait());
+  EXPECT_FALSE(dependent.wait());
+  EXPECT_NE(chained.error().to_string().find("dependency failed"), std::string::npos);
+  EXPECT_NE(dependent.error().to_string().find("dependency failed"), std::string::npos);
+  EXPECT_FALSE(queue_a.finish());
+  EXPECT_FALSE(queue_b.finish());
+  EXPECT_FALSE(context.finish());
+
+  // A fresh queue on the healthy context still works.
+  auto queue_c = context.create_queue();
+  const auto buffer_c = queue_c.alloc_words(4);
+  ASSERT_TRUE(buffer_c.ok());
+  queue_c.enqueue_write(buffer_c.value(), std::vector<std::uint32_t>{1, 2, 3, 4});
+  const auto read = queue_c.enqueue_read(buffer_c.value());
+  ASSERT_TRUE(read.wait());
+  EXPECT_EQ(read.data(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(queue_c.finish());
+}
+
+TEST(QueueFailure, OomSurfacesAsResultAndAssemblerErrorAsResult) {
+  sim::GpuConfig config;
+  config.global_mem_bytes = 32 * 1024;
+  Context context(config);
+  auto queue = context.create_queue();
+  const auto oom = queue.alloc_words(16 * 1024);  // 64 KB request into 32 KB
+  ASSERT_FALSE(oom.ok());
+  EXPECT_NE(oom.error().to_string().find("exhausted"), std::string::npos);
+
+  const auto bad = Context::compile("param r1\n");
+  ASSERT_FALSE(bad.ok());
+}
+
+TEST(QueueFailure, NullEventInWaitListFailsDependent) {
+  // A null Event reports kFailed, so a command waiting on one must fail
+  // instead of silently running without its intended ordering.
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto buffer = queue.alloc_words(4);
+  ASSERT_TRUE(buffer.ok());
+  const auto read = queue.enqueue_read(buffer.value(), {Event{}});
+  EXPECT_FALSE(read.wait());
+  EXPECT_NE(read.error().to_string().find("null event"), std::string::npos);
+}
+
+TEST(QueueFailure, CrossContextWaitListDrainsSafely) {
+  // An event may wait on another Context's event; destroying the
+  // dependent's context blocks until the foreign dependency settles and
+  // the command runs on its own (still alive) pool.
+  Context context_a(sim::GpuConfig{});
+  auto queue_a = context_a.create_queue();
+  const auto buffer_a = queue_a.alloc_words(4);
+  ASSERT_TRUE(buffer_a.ok());
+  const auto write_a =
+      queue_a.enqueue_write(buffer_a.value(), std::vector<std::uint32_t>{9, 9, 9, 9});
+
+  Event read_b;
+  {
+    Context context_b(sim::GpuConfig{});
+    auto queue_b = context_b.create_queue();
+    const auto buffer_b = queue_b.alloc_words(4);
+    ASSERT_TRUE(buffer_b.ok());
+    queue_b.enqueue_write(buffer_b.value(), std::vector<std::uint32_t>{1, 2, 3, 4});
+    read_b = queue_b.enqueue_read(buffer_b.value(), {write_a});
+  }  // ~Context waits for read_b even though its dependency is foreign
+  EXPECT_TRUE(read_b.wait());
+  EXPECT_EQ(read_b.data(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(QueueFailure, CrossDeviceBufferRejected) {
+  Context context(sim::GpuConfig{}, /*device_count=*/2);
+  auto queue_0 = context.create_queue();  // device 0
+  auto queue_1 = context.create_queue();  // device 1
+  const auto buffer = queue_0.alloc_words(8);
+  ASSERT_TRUE(buffer.ok());
+  const auto write = queue_1.enqueue_write(buffer.value(), std::vector<std::uint32_t>(8, 0));
+  EXPECT_FALSE(write.wait());
+  EXPECT_NE(write.error().to_string().find("device"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpup::rt

@@ -62,13 +62,11 @@ TEST(RegressionPin, CycleCountsAtQuarterScale) {
                         Pin{"div_int", 2, 1024}, Pin{"fir", 1, 1024}}) {
     sim::GpuConfig config;
     config.cu_count = pin.cu;
-    rt::Device device(config);
     const auto* benchmark = kern::benchmark_by_name(pin.kernel);
-    const auto first = kern::run_gpu(*benchmark, device, pin.size);
+    const auto first = kern::run_gpu(*benchmark, config, pin.size);
     ASSERT_TRUE(first.valid);
-    // Re-run on a fresh device: bit-identical cycle count.
-    rt::Device device2(config);
-    const auto second = kern::run_gpu(*benchmark, device2, pin.size);
+    // Re-run on a fresh context: bit-identical cycle count.
+    const auto second = kern::run_gpu(*benchmark, config, pin.size);
     EXPECT_EQ(first.stats.cycles, second.stats.cycles) << pin.kernel;
   }
 }

@@ -1,38 +1,16 @@
-// Host runtime (OpenCL-style Device API) tests.
+// Host runtime (OpenCL-style asynchronous Context/CommandQueue/Event API)
+// tests. The queue stress / failure-propagation suite lives in
+// queue_test.cpp; this file covers the basic single-queue surface plus the
+// deprecated Device shim.
 #include <gtest/gtest.h>
 
 #include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 
 namespace gpup::rt {
 namespace {
 
-TEST(Device, BufferRoundTrip) {
-  Device device(sim::GpuConfig{});
-  const auto buffer = device.alloc_words(16);
-  std::vector<std::uint32_t> data(16);
-  for (std::uint32_t i = 0; i < 16; ++i) data[i] = i * i;
-  device.write(buffer, data);
-  EXPECT_EQ(device.read(buffer), data);
-}
-
-TEST(Device, CompileReportsErrors) {
-  const auto bad = Device::compile("not_an_instruction r1");
-  ASSERT_FALSE(bad.ok());
-  EXPECT_NE(bad.error().to_string().find("line 1"), std::string::npos);
-}
-
-TEST(Device, ArgsBuilder) {
-  Device device(sim::GpuConfig{});
-  const auto buffer = device.alloc_words(4);
-  const auto args = Args().add(buffer).add(42u).add(buffer).words();
-  ASSERT_EQ(args.size(), 3u);
-  EXPECT_EQ(args[0], buffer.addr);
-  EXPECT_EQ(args[1], 42u);
-}
-
-TEST(Device, EndToEndLaunch) {
-  Device device(sim::GpuConfig{});
-  const auto program = Device::compile(R"(.kernel incr
+constexpr const char* kIncrSource = R"(.kernel incr
   tid r1
   param r2, 0
   bgeu r1, r2, done
@@ -44,24 +22,156 @@ TEST(Device, EndToEndLaunch) {
   sw r5, 0(r4)
 done:
   ret
-)");
-  ASSERT_TRUE(program.ok());
+)";
 
-  const std::uint32_t n = 1000;
-  const auto buffer = device.alloc_words(n);
-  std::vector<std::uint32_t> data(n, 10);
-  device.write(buffer, data);
-
-  const auto stats =
-      device.run(program.value(), Args().add(n).add(buffer).words(), {n, 256});
-  EXPECT_GT(stats.cycles, 0u);
-  EXPECT_EQ(stats.global_size, n);
-
-  const auto out = device.read(buffer);
-  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 11u);
+TEST(Runtime, BufferRoundTrip) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto buffer = queue.alloc_words(16);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<std::uint32_t> data(16);
+  for (std::uint32_t i = 0; i < 16; ++i) data[i] = i * i;
+  queue.enqueue_write(buffer.value(), data);
+  const auto read = queue.enqueue_read(buffer.value());
+  ASSERT_TRUE(read.wait());
+  EXPECT_EQ(read.status(), EventStatus::kComplete);
+  EXPECT_EQ(read.data(), data);
 }
 
-TEST(Device, ResetInvalidatesAllocations) {
+TEST(Runtime, CompileReportsErrors) {
+  const auto bad = Context::compile("not_an_instruction r1");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().to_string().find("line 1"), std::string::npos);
+}
+
+TEST(Runtime, ArgsBuilder) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto buffer = queue.alloc_words(4);
+  ASSERT_TRUE(buffer.ok());
+  const auto args = Args().add(buffer.value()).add(42u).add(buffer.value()).words();
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], buffer.value().addr);
+  EXPECT_EQ(args[1], 42u);
+}
+
+TEST(Runtime, EndToEndLaunch) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(kIncrSource);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().param_count(), 2u);
+
+  const std::uint32_t n = 1000;
+  const auto buffer = queue.alloc_words(n);
+  ASSERT_TRUE(buffer.ok());
+  queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(n, 10));
+
+  const auto kernel = queue.enqueue_kernel(
+      program.value(), Args().add(n).add(buffer.value()).words(), {n, 256});
+  const auto read = queue.enqueue_read(buffer.value());
+  ASSERT_TRUE(read.wait());
+  EXPECT_EQ(kernel.stats().cycles, kernel.stats().counters.cycles);
+  EXPECT_GT(kernel.stats().cycles, 0u);
+  EXPECT_EQ(kernel.stats().global_size, n);
+
+  const auto& out = read.data();
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 11u);
+}
+
+TEST(Runtime, LaunchStatsMatchDeprecatedDeviceRun) {
+  // The shim and the queue API drive the same simulator: bit-identical
+  // LaunchStats for the same launch.
+  const auto program = Context::compile(kIncrSource);
+  ASSERT_TRUE(program.ok());
+  const std::uint32_t n = 512;
+
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto buffer = queue.alloc_words(n);
+  ASSERT_TRUE(buffer.ok());
+  const auto kernel = queue.enqueue_kernel(
+      program.value(), Args().add(n).add(buffer.value()).words(), {n, 256});
+  ASSERT_TRUE(kernel.wait());
+
+  Device device(sim::GpuConfig{});
+  const auto shim_buffer = device.alloc_words(n);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto shim_stats =
+      device.run(program.value(), Args().add(n).add(shim_buffer).words(), {n, 256});
+#pragma GCC diagnostic pop
+  EXPECT_EQ(kernel.stats().cycles, shim_stats.cycles);
+  EXPECT_EQ(kernel.stats().counters.cache_misses, shim_stats.counters.cache_misses);
+}
+
+TEST(Runtime, MultiDevicePoolRoundRobin) {
+  Context context(sim::GpuConfig{}, /*device_count=*/3);
+  EXPECT_EQ(context.device_count(), 3);
+  auto q0 = context.create_queue();
+  auto q1 = context.create_queue();
+  auto q2 = context.create_queue();
+  auto q3 = context.create_queue();
+  EXPECT_EQ(q0.device_index(), 0);
+  EXPECT_EQ(q1.device_index(), 1);
+  EXPECT_EQ(q2.device_index(), 2);
+  EXPECT_EQ(q3.device_index(), 0);
+  // Same-sized allocations on different devices land at the same address.
+  const auto a = q0.alloc_words(8);
+  const auto b = q1.alloc_words(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().addr, b.value().addr);
+  EXPECT_NE(a.value().device, b.value().device);
+}
+
+TEST(Runtime, AllocOutOfMemoryIsResultError) {
+  sim::GpuConfig config;
+  config.global_mem_bytes = 64 * 1024;
+  Context context(config);
+  auto queue = context.create_queue();
+  const auto ok = queue.alloc(60 * 1024);
+  ASSERT_TRUE(ok.ok());
+  const auto oom = queue.alloc(8 * 1024);
+  ASSERT_FALSE(oom.ok());
+  EXPECT_NE(oom.error().to_string().find("exhausted"), std::string::npos);
+  // A huge request must not wrap the address arithmetic into "success" —
+  // neither in bytes nor through the words * 4 conversion.
+  const auto huge = queue.alloc(0xffffffffu);
+  ASSERT_FALSE(huge.ok());
+  const auto huge_words = queue.alloc_words(1u << 30);
+  ASSERT_FALSE(huge_words.ok());
+}
+
+TEST(Runtime, WriteBeyondBufferFailsEvent) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto buffer = queue.alloc_words(2);
+  ASSERT_TRUE(buffer.ok());
+  const auto write = queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(3, 0));
+  EXPECT_FALSE(write.wait());
+  EXPECT_EQ(write.status(), EventStatus::kFailed);
+  EXPECT_NE(write.error().to_string().find("overflows"), std::string::npos);
+}
+
+TEST(Runtime, NullEventIsFailed) {
+  Event event;
+  EXPECT_FALSE(event.valid());
+  EXPECT_FALSE(event.wait());
+  EXPECT_EQ(event.status(), EventStatus::kFailed);
+  EXPECT_TRUE(event.data().empty());
+}
+
+TEST(Runtime, EventStatusNames) {
+  EXPECT_STREQ(to_string(EventStatus::kQueued), "queued");
+  EXPECT_STREQ(to_string(EventStatus::kRunning), "running");
+  EXPECT_STREQ(to_string(EventStatus::kComplete), "complete");
+  EXPECT_STREQ(to_string(EventStatus::kFailed), "failed");
+}
+
+// ---- deprecated Device shim (kept for one release) ----------------------
+
+TEST(DeviceShim, ResetInvalidatesAllocations) {
   Device device(sim::GpuConfig{});
   const auto a = device.alloc_words(8);
   device.reset();
@@ -69,7 +179,7 @@ TEST(Device, ResetInvalidatesAllocations) {
   EXPECT_EQ(a.addr, b.addr);  // allocator rewound
 }
 
-TEST(Device, WriteBeyondBufferTraps) {
+TEST(DeviceShim, WriteBeyondBufferTraps) {
   Device device(sim::GpuConfig{});
   const auto buffer = device.alloc_words(2);
   std::vector<std::uint32_t> too_big(3, 0);
