@@ -6,12 +6,16 @@
 // sizes; CI smoke runs use 8). GPUP_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/kern/benchmark.hpp"
 #include "src/repro/repro.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -40,9 +44,160 @@ struct RowTiming {
   std::uint64_t cycles = 0;
 };
 
+// ---- single-launch intra-launch parallelism ------------------------------
+
+struct SingleLaunchRow {
+  int cu_count = 0;
+  int threads = 0;
+  double wall_s = 0.0;
+  std::uint64_t cycles = 0;
+};
+
+struct SingleLaunchReport {
+  std::string kernel;
+  double host_scaling_before = 0.0;  ///< raw 2-thread capacity, pre-section
+  double host_scaling_after = 0.0;   ///< ditto, post-section (drift guard)
+  std::vector<SingleLaunchRow> rows;
+  double best_speedup = 0.0;         ///< best parallel vs serial, any cu
+  bool counters_identical = true;    ///< hard correctness self-check
+  bool speedup_enforced = false;     ///< threshold applied (host capable)
+  bool speedup_ok = true;            ///< >= 1.5x when enforced
+};
+
+/// Raw parallel capacity of the host right now: wall of one busy loop vs
+/// two concurrent ones. ~2.0 on an idle multicore; ~1.0 when a second
+/// thread buys nothing (single core, heavy steal, strict cgroup quota).
+/// The single-launch speedup threshold is only enforced when the host
+/// demonstrably offers parallel capacity — otherwise the check would
+/// measure the hypervisor, not the simulator.
+double measure_host_parallel_scaling() {
+  volatile std::uint64_t sink = 0;
+  const auto burn = [&sink](std::uint64_t iters) {
+    std::uint64_t x = 1;
+    for (std::uint64_t i = 0; i < iters; ++i) x = x * 6364136223846793005ull + 1;
+    sink = x;
+  };
+  const std::uint64_t iters = 60'000'000;
+  burn(iters / 4);  // warm the core
+  const auto one_start = Clock::now();
+  burn(iters);
+  const double one = std::chrono::duration<double>(Clock::now() - one_start).count();
+  const auto two_start = Clock::now();
+  std::thread other([&] { burn(iters); });
+  burn(iters);
+  other.join();
+  const double two = std::chrono::duration<double>(Clock::now() - two_start).count();
+  return two > 0 ? 2.0 * one / two : 0.0;
+}
+
+bool same_counters(const gpup::sim::PerfCounters& a, const gpup::sim::PerfCounters& b) {
+  return a == b;  // memberwise, new counter fields included automatically
+}
+
+/// One launch of the heaviest Table III kernel at the bench scale, swept
+/// over device sizes (the paper's top 8-CU config plus the scaled devices
+/// the ROADMAP targets) and intra-launch worker counts. Counters must be
+/// bit-identical at every thread count; the >= 1.5x cycles/host-second
+/// target is enforced whenever the host itself can scale. The thread
+/// configs run interleaved (t1, t2, t4, t1, ...) with best-of-reps per
+/// config, so a host whose capacity oscillates (noisy neighbours,
+/// hypervisor steal) cannot skew the serial/parallel ratio by hitting
+/// one group of repetitions harder than another.
+SingleLaunchReport run_single_launch_report(std::uint32_t scale) {
+  SingleLaunchReport report;
+  report.kernel = "vec_mul";  // largest scale-8 launch in the suite (128 wavefronts)
+  report.host_scaling_before = measure_host_parallel_scaling();
+
+  const auto* bench = gpup::kern::benchmark_by_name(report.kernel);
+  if (bench == nullptr) {
+    std::fprintf(stderr, "single_launch: kernel '%s' missing from the suite\n",
+                 report.kernel.c_str());
+    report.counters_identical = false;  // fail the gate loudly, not by segfault
+    return report;
+  }
+  const std::uint32_t size = std::max(64u, bench->gpu_input() / scale);
+  constexpr int kThreadConfigs[] = {1, 2, 4};
+  constexpr int kReps = 4;
+
+  for (int cu_count : {8, 16, 32}) {
+    struct Config {
+      std::unique_ptr<gpup::rt::Context> context;
+      gpup::rt::CommandQueue queue;
+      gpup::isa::Program program;
+      SingleLaunchRow row;
+    };
+    std::vector<Config> configs;
+    for (int threads : kThreadConfigs) {
+      gpup::sim::GpuConfig gpu_config;
+      gpu_config.cu_count = cu_count;
+      gpu_config.intra_launch_threads = threads;
+      auto context = std::make_unique<gpup::rt::Context>(
+          gpu_config, /*device_count=*/1, std::max(1u, static_cast<unsigned>(threads)));
+      auto queue = context->create_queue();
+      auto program = gpup::rt::Context::compile(bench->gpu_source());
+      if (!program.ok()) {
+        std::fprintf(stderr, "single_launch: %s\n", program.error().to_string().c_str());
+        report.counters_identical = false;  // fail the gate loudly
+        return report;
+      }
+      SingleLaunchRow row;
+      row.cu_count = cu_count;
+      row.threads = threads;
+      row.wall_s = 1e300;
+      configs.push_back(
+          {std::move(context), std::move(queue), std::move(program).value(), row});
+    }
+    gpup::sim::PerfCounters serial_counters;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (auto& config : configs) {
+        auto work = bench->prepare(config.queue, size);
+        config.queue.finish();
+        const auto start = Clock::now();
+        auto kernel = config.queue.enqueue_kernel(config.program, work.params,
+                                                  {work.global_size, work.wg_size});
+        kernel.wait();
+        config.row.wall_s = std::min(
+            config.row.wall_s,
+            std::chrono::duration<double>(Clock::now() - start).count());
+        config.row.cycles = kernel.stats().cycles;
+        if (config.row.threads == 1) {
+          serial_counters = kernel.stats().counters;
+        } else if (!same_counters(kernel.stats().counters, serial_counters)) {
+          report.counters_identical = false;
+        }
+      }
+    }
+    double serial_wall = 0.0;
+    double best_parallel = 1e300;
+    for (auto& config : configs) {
+      if (config.row.threads == 1) {
+        serial_wall = config.row.wall_s;
+      } else {
+        best_parallel = std::min(best_parallel, config.row.wall_s);
+      }
+      report.rows.push_back(config.row);
+    }
+    if (best_parallel > 0) {
+      report.best_speedup = std::max(report.best_speedup, serial_wall / best_parallel);
+    }
+  }
+  report.host_scaling_after = measure_host_parallel_scaling();
+
+  // Enforce the throughput target only when the host held real parallel
+  // capacity through the whole section (both calibrations) and has spare
+  // cores for the 4-thread rows; otherwise record the numbers and say
+  // why. A 2-core dev box or a steal-heavy VM measures the hypervisor,
+  // not the simulator.
+  report.speedup_enforced =
+      std::min(report.host_scaling_before, report.host_scaling_after) >= 1.8 &&
+      std::thread::hardware_concurrency() >= 4;
+  if (report.speedup_enforced) report.speedup_ok = report.best_speedup >= 1.5;
+  return report;
+}
+
 void emit_json(std::uint32_t scale, double baseline_s, double serial_s,
                double parallel_s, std::uint64_t cycles, bool identical,
-               const std::vector<RowTiming>& rows) {
+               const std::vector<RowTiming>& rows, const SingleLaunchReport& single) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_sim_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -74,6 +229,30 @@ void emit_json(std::uint32_t scale, double baseline_s, double serial_s,
   std::fprintf(out, "  \"speedup_vs_baseline\": %.3f,\n",
                parallel_s > 0 ? baseline_s / parallel_s : 0.0);
   std::fprintf(out, "  \"cycle_counts_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(out, "  \"single_launch\": {\n");
+  std::fprintf(out, "    \"kernel\": \"%s\",\n", single.kernel.c_str());
+  std::fprintf(out, "    \"host_scaling_before\": %.3f,\n", single.host_scaling_before);
+  std::fprintf(out, "    \"host_scaling_after\": %.3f,\n", single.host_scaling_after);
+  std::fprintf(out, "    \"counters_identical\": %s,\n",
+               single.counters_identical ? "true" : "false");
+  std::fprintf(out, "    \"best_speedup\": %.3f,\n", single.best_speedup);
+  std::fprintf(out, "    \"speedup_check\": \"%s\",\n",
+               !single.speedup_enforced
+                   ? "skipped: host offers no parallel capacity"
+                   : (single.speedup_ok ? "pass (>= 1.5x)" : "FAIL (< 1.5x)"));
+  std::fprintf(out, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < single.rows.size(); ++i) {
+    const auto& row = single.rows[i];
+    std::fprintf(out,
+                 "      {\"cu_count\": %d, \"threads\": %d, \"wall_s\": %.6f, "
+                 "\"simulated_cycles\": %llu, \"mcycles_per_host_s\": %.2f}%s\n",
+                 row.cu_count, row.threads, row.wall_s,
+                 static_cast<unsigned long long>(row.cycles),
+                 row.wall_s > 0 ? row.cycles / row.wall_s / 1e6 : 0.0,
+                 i + 1 < single.rows.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
@@ -153,8 +332,25 @@ bool run_throughput_report() {
   std::printf("baseline/serial/parallel cycle counts identical: %s\n",
               identical ? "yes" : "NO");
 
-  emit_json(scale, baseline_s, serial_s, parallel_s, cycles, identical, row_timings);
-  return identical;
+  // Single-launch section: intra-launch thread scaling on one big launch.
+  const auto single = run_single_launch_report(scale);
+  std::printf("=== Single launch (%s, scale %u) ===\n", single.kernel.c_str(), scale);
+  std::printf("host parallel scaling: %.2fx before, %.2fx after (2 busy threads vs 1)\n",
+              single.host_scaling_before, single.host_scaling_after);
+  for (const auto& row : single.rows) {
+    std::printf("cu=%-2d threads=%d: %8.4f s  (%7.2f Mcycles/host-s)\n", row.cu_count,
+                row.threads, row.wall_s,
+                row.wall_s > 0 ? row.cycles / row.wall_s / 1e6 : 0.0);
+  }
+  std::printf("best parallel speedup: %.2fx — counters identical: %s — 1.5x check: %s\n",
+              single.best_speedup, single.counters_identical ? "yes" : "NO",
+              !single.speedup_enforced
+                  ? "skipped (host offers no parallel capacity)"
+                  : (single.speedup_ok ? "pass" : "FAIL"));
+
+  emit_json(scale, baseline_s, serial_s, parallel_s, cycles, identical, row_timings,
+            single);
+  return identical && single.counters_identical && single.speedup_ok;
 }
 
 void BM_CycleMatrixSerial(benchmark::State& state) {
@@ -176,8 +372,11 @@ BENCHMARK(BM_CycleMatrixParallel)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool identical = run_throughput_report();
+  // Fails CI on any determinism cross-check (matrix cycle counts,
+  // single-launch counters at any thread count) and on a missed 1.5x
+  // single-launch speedup when the host demonstrably scales.
+  const bool ok = run_throughput_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return identical ? 0 : 1;  // fail CI if the determinism cross-check broke
+  return ok ? 0 : 1;
 }

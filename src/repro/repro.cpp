@@ -1,6 +1,7 @@
 #include "src/repro/repro.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/util/status.hpp"
 #include "src/util/strings.hpp"
@@ -36,8 +37,13 @@ CycleRow init_row(const kern::Benchmark& benchmark, std::uint32_t scale) {
 }
 
 /// Run one cell into its slot of `row`; returns the cell's validity.
+/// `budget` (optional) is the sweep-wide concurrency budget: cells opt in
+/// to intra-launch parallelism against it, so once the sweep's tail has
+/// fewer runnable cells than workers, the surviving launches spread their
+/// CUs over the idle cores instead of leaving them parked. Cycle counts
+/// are bit-identical either way.
 bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t target,
-              bool idle_fast_forward) {
+              bool idle_fast_forward, std::shared_ptr<ConcurrencyBudget> budget = nullptr) {
   if (target < 2) {
     const bool optimized = target == 1;
     const auto run = kern::run_riscv(benchmark, row.riscv_input, optimized);
@@ -48,6 +54,10 @@ bool run_cell(const kern::Benchmark& benchmark, CycleRow& row, std::size_t targe
   sim::GpuConfig config;
   config.cu_count = kCuConfigs[i];
   config.idle_fast_forward = idle_fast_forward;
+  if (budget != nullptr) {
+    config.intra_launch_threads = 0;  // borrow whatever the budget can spare
+    config.concurrency_budget = std::move(budget);
+  }
   const auto run = kern::run_gpu(benchmark, config, row.gpu_input);
   row.gpu_cycles[i] = run.stats.cycles;
   return run.valid;
@@ -102,11 +112,19 @@ std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads,
     return cell_cost(*benchmarks[a / kTargets], a % kTargets) >
            cell_cost(*benchmarks[b / kTargets], b % kTargets);
   });
+  // One budget across the whole sweep: each running cell holds a token
+  // (via its Context), and launches borrow the rest for intra-launch tick
+  // gangs — so the sweep's tail, where cells outnumber idle workers no
+  // longer, still uses every core. threads == 1 keeps everything serial.
+  const unsigned resolved_threads = threads == 0 ? ThreadPool::default_threads() : threads;
+  std::shared_ptr<ConcurrencyBudget> budget;
+  if (resolved_threads > 1) budget = std::make_shared<ConcurrencyBudget>(resolved_threads);
   parallel_for(order.size(), threads, [&](std::size_t k) {
     const std::size_t task = order[k];
     const std::size_t b = task / kTargets;
     const std::size_t target = task % kTargets;
-    valid[task] = run_cell(*benchmarks[b], rows[b], target, idle_fast_forward) ? 1 : 0;
+    valid[task] =
+        run_cell(*benchmarks[b], rows[b], target, idle_fast_forward, budget) ? 1 : 0;
   });
 
   for (std::size_t task = 0; task < valid.size(); ++task) {

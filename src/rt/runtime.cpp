@@ -99,9 +99,16 @@ const std::vector<std::uint32_t>& Event::data() const {
 Context::Context(const sim::GpuConfig& config, int device_count, unsigned threads)
     : config_(config), pool_(threads) {
   GPUP_CHECK_MSG(device_count >= 1, "context needs at least one device");
+  // One token per pool worker: a worker holds its token while executing a
+  // command, so intra-launch tick gangs can only borrow workers that are
+  // actually idle (see GpuConfig::concurrency_budget).
+  if (!config_.concurrency_budget) {
+    config_.concurrency_budget = std::make_shared<ConcurrencyBudget>(pool_.size());
+  }
+  budget_ = config_.concurrency_budget;
   devices_.reserve(static_cast<std::size_t>(device_count));
   for (int i = 0; i < device_count; ++i) {
-    devices_.push_back(std::make_unique<DeviceSlot>(config));
+    devices_.push_back(std::make_unique<DeviceSlot>(config_));
   }
 }
 
@@ -202,11 +209,15 @@ void Context::execute(const std::shared_ptr<detail::EventState>& state) {
       std::lock_guard<std::mutex> lock(state->m);
       state->status = EventStatus::kRunning;
     }
+    // Hold one budget token while the command runs, so launches on other
+    // workers only borrow genuinely idle capacity for their tick gangs.
+    const unsigned token = budget_->try_acquire(1);
     try {
       result = state->run(*state);
     } catch (const std::exception& e) {
       result = Error{e.what(), "rt"};
     }
+    budget_->release(token);
   }
   state->run = nullptr;  // drop captured buffers/programs promptly
   finalize(state, std::move(result));

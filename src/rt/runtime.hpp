@@ -169,6 +169,16 @@ class CommandQueue {
 /// Owns a pool of simulated G-GPU devices plus the worker threads that
 /// execute enqueued commands, so N client queues drive M devices
 /// concurrently.
+///
+/// The context also installs a shared ConcurrencyBudget (sized to its
+/// worker pool) into every device's config unless the caller supplied one:
+/// each command worker holds one budget token while it executes, and a
+/// launch with `intra_launch_threads != 1` borrows the remaining tokens
+/// for its intra-launch tick gang. Queue-level and intra-launch
+/// parallelism therefore compose — a big launch on an otherwise idle
+/// context spreads its CUs over the idle workers, while a fully loaded
+/// context keeps every launch serial — without ever oversubscribing the
+/// machine or changing any simulated result.
 class Context {
  public:
   /// `device_count` simulated GPUs, all with the same config;
@@ -217,6 +227,7 @@ class Context {
   void finalize(const std::shared_ptr<detail::EventState>& state, Status result);
 
   sim::GpuConfig config_;
+  std::shared_ptr<ConcurrencyBudget> budget_;  ///< == config_.concurrency_budget
   std::vector<std::unique_ptr<DeviceSlot>> devices_;
   std::mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue's

@@ -18,14 +18,16 @@ ComputeUnit::ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory,
   wg_states_.reserve(static_cast<std::size_t>(config_.max_wavefronts_per_cu));
   lram_.resize(config_.lram_words_per_cu, 0);
   bank_extra_.assign(config_.cache_banks, 0);
+  plan_.reserve(static_cast<std::size_t>(config_.max_wavefronts_per_cu) + 1);
+  plan_demand_.reserve(static_cast<std::size_t>(config_.max_wavefronts_per_cu) *
+                       config_.cache_banks);
+  free_slots_ = config_.max_wavefronts_per_cu;
 }
 
-int ComputeUnit::free_slots() const {
-  int free = 0;
-  for (const auto& wf : wavefronts_) {
-    if (!wf.valid || wf.finished()) ++free;
+void ComputeUnit::free_slots_changed() {
+  if (free_slots_signal_ != nullptr) {
+    free_slots_signal_->store(true, std::memory_order_relaxed);
   }
-  return free;
 }
 
 void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
@@ -62,7 +64,10 @@ void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
     slot->mem_lines_valid = false;
     offset += lanes;
     ++new_wfs;
+    --free_slots_;
   }
+  GPUP_CHECK(free_slots_ >= 0);
+  free_slots_changed();
   GPUP_CHECK_MSG(find_wg(wg_id) == nullptr, "work-group dispatched twice onto one CU");
   wg_states_.push_back({wg_id, new_wfs, 0});
 }
@@ -95,6 +100,8 @@ void ComputeUnit::arrive_barrier(Wavefront& wf) {
 void ComputeUnit::on_wavefront_finished(std::uint32_t wg_id) {
   WgState* state = find_wg(wg_id);
   GPUP_CHECK_MSG(state != nullptr && state->live_wfs > 0, "finish for unknown work-group");
+  ++free_slots_;  // the wavefront's slot just turned reusable
+  free_slots_changed();
   --state->live_wfs;
   if (state->live_wfs == 0) {
     GPUP_CHECK(state->arrived == 0);
@@ -106,41 +113,221 @@ void ComputeUnit::on_wavefront_finished(std::uint32_t wg_id) {
   if (state->arrived > 0 && state->arrived == state->live_wfs) release_wg(*state);
 }
 
-bool ComputeUnit::busy() const {
-  if (outstanding_stores_ > 0) return true;
-  for (const auto& wf : wavefronts_) {
-    if (wf.valid && !wf.finished()) return true;
-  }
-  return false;
-}
-
 void ComputeUnit::tick(std::uint64_t now) {
+  profile_cache_valid_ = false;
   if (pipe_free_ > now) {
     ++busy_cycles_;
     return;  // SIMD pipeline still streaming the previous wavefront op
   }
+  scan_issue(now, /*defer_global_mem=*/false);
+}
 
+void ComputeUnit::begin_tick(std::uint64_t now) {
+  profile_cache_valid_ = false;
+  plan_.clear();
+  plan_demand_.clear();
+  if (pipe_free_ > now) {
+    ++busy_cycles_;
+    return;
+  }
+  scan_issue(now, /*defer_global_mem=*/true);
+}
+
+namespace {
+
+/// Any common line between a sorted coalesced set and a (small, unsorted)
+/// collection of this cycle's already-deferred lines.
+bool lines_intersect(const SortedUniqueBuf<std::uint64_t, kMaxWavefrontLanes>& lines,
+                     const std::vector<std::uint64_t>& seen) {
+  for (std::uint64_t line : lines) {
+    for (std::uint64_t other : seen) {
+      if (line == other) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ComputeUnit::commit_tick(std::uint64_t now, CommitCycle* cc) {
+  if (plan_.empty()) return;
   const int slots = static_cast<int>(wavefronts_.size());
+  for (const PlanStep& step : plan_) {
+    // Stalls the parallel scan attributed to this stretch of the plan:
+    // exact for the live view (see PlanStep), countable only now that
+    // the walk has actually reached them.
+    counters_->stall_scoreboard += static_cast<std::uint64_t>(step.stall_sb);
+    counters_->stall_mem_queue += static_cast<std::uint64_t>(step.stall_mq);
+    if (step.act == PlanStep::Act::kEnd) {
+      // Nothing issued: a live wavefront exists iff a slot is claimed.
+      if (free_slots_ < config_.max_wavefronts_per_cu) ++counters_->stall_no_wavefront;
+      break;
+    }
+    Wavefront& wf =
+        wavefronts_[static_cast<std::size_t>((next_wf_ + step.offset) % slots)];
+    if (step.act == PlanStep::Act::kNonMem) {
+      issue(wf, now);
+      next_wf_ = (next_wf_ + step.offset + 1) % slots;
+      ++busy_cycles_;
+      break;
+    }
+    // Global-memory candidate: re-decide admission against live bank
+    // state (now including every lower-indexed CU's same-cycle commits)
+    // from the cached footprint. Scoreboard state is CU-private and
+    // unchanged since the parallel phase probed kReady, and accepts() is
+    // monotone per bank, so checking each bank's total demand reproduces
+    // probe_issue's incremental line walk exactly.
+    bool fits = true;
+    for (int d = step.demand_begin; d < step.demand_end; ++d) {
+      if (!memory_->accepts(plan_demand_[static_cast<std::size_t>(d)].first,
+                            plan_demand_[static_cast<std::size_t>(d)].second)) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits && step.store_lines > 0 && outstanding_stores_ > 0 &&
+        outstanding_stores_ + step.store_lines >
+            static_cast<int>(config_.max_outstanding_stores)) {
+      fits = false;
+    }
+    if (!fits) {
+      // A lower-indexed CU's same-cycle requests filled the bank queues:
+      // count the stall and keep walking the parked continuation.
+      ++counters_->stall_mem_queue;
+      continue;
+    }
+    const isa::Instruction ins = ctx_->program->at(wf.min_pc());
+    if (cc != nullptr && config_.beats_per_instruction() >= 2) {
+      // Park the functional lane loop for the next parallel phase.
+      // Same-word ordering hazards between this cycle's parked loops
+      // are excluded at line granularity: any overlap that involves a
+      // store first drains the earlier loops serially, in CU order —
+      // exactly the serial interleaving. (Load/load overlap commutes.)
+      constexpr std::size_t kConflictSetCap = 512;
+      const bool is_store = ins.opcode == Opcode::kSw;
+      const bool conflict =
+          cc->all_lines.size() > kConflictSetCap ||
+          lines_intersect(wf.mem_lines, is_store ? cc->all_lines : cc->store_lines);
+      if (conflict) cc->flush();
+      for (std::uint64_t line : wf.mem_lines) {
+        cc->all_lines.push_back(line);
+        if (is_store) cc->store_lines.push_back(line);
+      }
+      issue_mem_deferred(wf, ins, now);
+      cc->deferred.push_back(this);
+    } else {
+      issue(wf, now);
+    }
+    next_wf_ = (next_wf_ + step.offset + 1) % slots;
+    ++busy_cycles_;
+    break;
+  }
+  plan_.clear();
+  plan_demand_.clear();
+}
+
+void ComputeUnit::scan_issue(std::uint64_t now, bool defer_global_mem) {
+  const int slots = static_cast<int>(wavefronts_.size());
+  // Stall verdicts collected along the way double as next cycle's idle
+  // profile when nothing issues (see profile_cache_valid_).
+  IdleProfile profile;
+  // Before the first global-memory candidate this scan acts directly
+  // (stall counters, immediate non-memory issue), exactly like the fused
+  // serial tick. From the first candidate on (defer mode only) it builds
+  // the speculative issue plan commit_tick walks instead.
+  PlanStep step;
+  bool plan_open = false;
   for (int i = 0; i < slots; ++i) {
     Wavefront& wf = wavefronts_[static_cast<std::size_t>((next_wf_ + i) % slots)];
     // live == 0 with loads still in flight: every lane has returned but
     // the slot stays claimed until the fills land — nothing to issue.
     if (!wf.valid || wf.at_barrier || wf.live == 0) continue;
-    if (try_issue(wf, now)) {
-      next_wf_ = (next_wf_ + i + 1) % slots;
-      ++busy_cycles_;
+    std::uint64_t wake = kNever;
+    switch (probe_issue(wf, now, &wake)) {
+      case IssueBlock::kScoreboard:
+        if (plan_open) {
+          ++step.stall_sb;
+        } else {
+          ++counters_->stall_scoreboard;
+          ++profile.stall_scoreboard;
+          profile.wake = std::min(profile.wake, wake);
+        }
+        continue;
+      case IssueBlock::kMemQueue:
+        // Final even in the parallel phase: bank queues only grow during
+        // the CU half of a cycle, so a reject never turns into an accept.
+        if (plan_open) {
+          ++step.stall_mq;
+        } else {
+          ++counters_->stall_mem_queue;
+          ++profile.stall_mem_queue;
+        }
+        continue;
+      case IssueBlock::kReady:
+        break;
+    }
+    if (defer_global_mem) {
+      const isa::Instruction candidate = ctx_->program->at(wf.min_pc());
+      if (isa::info(candidate.opcode).op_class == OpClass::kGlobalMem) {
+        // Admission passed against start-of-cycle bank state, but another
+        // CU's same-cycle requests could still reject it — park the
+        // candidate (its admission footprint cached, so the commit
+        // re-check is pure arithmetic) and keep scanning speculatively:
+        // everything after this point is reachable only if the live
+        // re-check rejects the candidate.
+        step.act = PlanStep::Act::kMem;
+        step.offset = i;
+        step.demand_begin = static_cast<int>(plan_demand_.size());
+        for (std::uint64_t line : wf.mem_lines) {
+          const std::uint32_t bank = memory_->bank_of(line);
+          bool merged = false;
+          for (int d = step.demand_begin; d < static_cast<int>(plan_demand_.size());
+               ++d) {
+            if (plan_demand_[static_cast<std::size_t>(d)].first == bank) {
+              ++plan_demand_[static_cast<std::size_t>(d)].second;
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) plan_demand_.emplace_back(bank, 1);
+        }
+        step.demand_end = static_cast<int>(plan_demand_.size());
+        step.store_lines =
+            candidate.opcode == Opcode::kSw ? static_cast<int>(wf.mem_lines.size()) : 0;
+        plan_.push_back(step);
+        step = PlanStep{};
+        plan_open = true;
+        continue;
+      }
+    }
+    if (plan_open) {
+      // Reachable only if every parked candidate is rejected live: park
+      // the issue itself for the commit walk.
+      step.act = PlanStep::Act::kNonMem;
+      step.offset = i;
+      plan_.push_back(step);
       return;
     }
+    issue(wf, now);
+    next_wf_ = (next_wf_ + i + 1) % slots;
+    ++busy_cycles_;
+    return;
   }
-  // Nothing issued this cycle.
-  bool any_live = false;
-  for (const auto& wf : wavefronts_) {
-    if (wf.valid && !wf.finished()) {
-      any_live = true;
-      break;
-    }
+  if (plan_open) {
+    plan_.push_back(step);  // Act::kEnd carrying the trailing stalls
+    return;
   }
-  if (any_live) ++counters_->stall_no_wavefront;
+  // Nothing issued this cycle. A live wavefront exists iff a slot is
+  // claimed: slots free up the moment their wavefront finishes.
+  const bool any_live = free_slots_ < config_.max_wavefronts_per_cu;
+  if (any_live) {
+    ++counters_->stall_no_wavefront;
+    profile.stall_no_wavefront = 1;
+  }
+  // Full coverage and no issue: this scan IS the next cycle's profile.
+  cached_profile_ = profile;
+  profile_cache_cycle_ = now;
+  profile_cache_valid_ = true;
 }
 
 ComputeUnit::IdleProfile ComputeUnit::idle_profile(std::uint64_t now) const {
@@ -150,6 +337,9 @@ ComputeUnit::IdleProfile ComputeUnit::idle_profile(std::uint64_t now) const {
     profile.wake = pipe_free_;
     profile.busy = 1;
     return profile;
+  }
+  if (profile_cache_valid_ && profile_cache_cycle_ + 1 == now) {
+    return cached_profile_;  // this cycle's no-issue scan, reused
   }
   bool any_live = false;
   for (const auto& wf : wavefronts_) {
@@ -265,19 +455,7 @@ ComputeUnit::IssueBlock ComputeUnit::probe_issue(const Wavefront& wf, std::uint6
   return IssueBlock::kReady;
 }
 
-bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
-  std::uint64_t wake = kNever;
-  switch (probe_issue(wf, now, &wake)) {
-    case IssueBlock::kScoreboard:
-      ++counters_->stall_scoreboard;
-      return false;
-    case IssueBlock::kMemQueue:
-      ++counters_->stall_mem_queue;
-      return false;
-    case IssueBlock::kReady:
-      break;
-  }
-
+void ComputeUnit::issue(Wavefront& wf, std::uint64_t now) {
   const std::uint32_t pc = wf.min_pc();
   const isa::Instruction instruction = ctx_->program->at(pc);
   const isa::OpInfo& op = isa::info(instruction.opcode);
@@ -294,7 +472,79 @@ bool ComputeUnit::try_issue(Wavefront& wf, std::uint64_t now) {
   ++counters_->wf_instructions;
   counters_->item_instructions += static_cast<std::uint64_t>(active);
   if (active < wf.live) ++counters_->divergent_issues;
-  return true;
+
+  // Global-memory issues only ever execute in a serial context (fused
+  // tick, or commit_tick in CU-index order), so the drain reproduces the
+  // serial simulator's exact bank-queue arrival order.
+  if (staged_count_ > 0) drain_staged_requests();
+}
+
+void ComputeUnit::issue_mem_deferred(Wavefront& wf, const isa::Instruction& ins,
+                                     std::uint64_t now) {
+  const std::uint32_t pc = wf.min_pc();
+  const int active = wf.active_at_min;
+
+  // Every effect another actor can observe before the next parallel phase
+  // happens here, in serial CU-index order: pipe occupancy (read by the
+  // idle-profile consult this cycle), issue counters, load-tracker state
+  // (read by line_done callbacks from the very next memory tick), store
+  // accounting, and the bank-queue requests themselves. Counter order
+  // within a cycle is immaterial — they are plain sums.
+  pipe_free_ = now + static_cast<std::uint64_t>(config_.beats_per_instruction());
+  ++counters_->wf_instructions;
+  counters_->item_instructions += static_cast<std::uint64_t>(active);
+  if (active < wf.live) ++counters_->divergent_issues;
+
+  if (ins.opcode == Opcode::kLw) {
+    ++counters_->loads;
+    counters_->load_lines += wf.mem_lines.size();
+    wf.reg_ready[ins.rd] = kNever;
+    LoadTracker& tracker = wf.loads[ins.rd];
+    GPUP_CHECK(tracker.pending_lines == 0);
+    tracker.pending_lines = static_cast<int>(wf.mem_lines.size());
+    tracker.latest = 0;
+    ++wf.active_loads;
+    const std::uint32_t token = load_token(wf, ins.rd);
+    for (std::uint64_t line : wf.mem_lines) {
+      emit_request(line, false, LineCallback{this, token});
+    }
+  } else {
+    ++counters_->stores;
+    counters_->store_lines += wf.mem_lines.size();
+    outstanding_stores_ += static_cast<int>(wf.mem_lines.size());
+    for (std::uint64_t line : wf.mem_lines) {
+      emit_request(line, true, LineCallback{this, kStoreToken});
+    }
+  }
+  drain_staged_requests();
+
+  // The functional lane loop is unobservable until the pipe frees
+  // (beats >= 2 guaranteed by the caller): park it for the next parallel
+  // phase. The wavefront cannot finish or be reassigned meanwhile — it
+  // has live lanes and, now, in-flight memory work.
+  deferred_.wf_slot = static_cast<int>(&wf - wavefronts_.data());
+  deferred_.pc = pc;
+  deferred_.ins = ins;
+  wf.mem_lines_valid = false;
+}
+
+void ComputeUnit::run_deferred() {
+  if (deferred_.wf_slot < 0) return;
+  const DeferredLanes lanes = deferred_;
+  deferred_.wf_slot = -1;
+  execute_lanes(wavefronts_[static_cast<std::size_t>(lanes.wf_slot)], lanes.ins, lanes.pc);
+}
+
+void ComputeUnit::emit_request(std::uint64_t line_addr, bool is_store, LineCallback on_done) {
+  staged_[static_cast<std::size_t>(staged_count_++)] = {line_addr, is_store, on_done};
+}
+
+void ComputeUnit::drain_staged_requests() {
+  for (int i = 0; i < staged_count_; ++i) {
+    const StagedRequest& request = staged_[static_cast<std::size_t>(i)];
+    memory_->request(request.line_addr, request.is_store, request.on_done);
+  }
+  staged_count_ = 0;
 }
 
 std::uint32_t ComputeUnit::load_token(const Wavefront& wf, std::uint8_t reg) const {
@@ -319,9 +569,7 @@ void ComputeUnit::line_done(std::uint32_t token, std::uint64_t done_cycle) {
   }
 }
 
-void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc,
-                          std::uint64_t now) {
-  const isa::OpInfo& op = isa::info(ins.opcode);
+void ComputeUnit::execute_lanes(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc) {
   const auto uimm16 = static_cast<std::uint32_t>(ins.imm) & 0xffffu;
 
   // For loads/stores, probe_issue() already coalesced the distinct cache
@@ -470,6 +718,13 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
   }
   wf.min_pc_cache = new_min;
   wf.active_at_min = at_min;
+}
+
+void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc,
+                          std::uint64_t now) {
+  const isa::OpInfo& op = isa::info(ins.opcode);
+
+  execute_lanes(wf, ins, pc);
 
   // --- timing side-effects ------------------------------------------------
   if (op.has_rd && ins.opcode != Opcode::kLw) {
@@ -489,7 +744,7 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
     ++wf.active_loads;
     const std::uint32_t token = load_token(wf, ins.rd);
     for (std::uint64_t line : wf.mem_lines) {
-      memory_->request(line, false, LineCallback{this, token});
+      emit_request(line, false, LineCallback{this, token});
     }
   }
   if (ins.opcode == Opcode::kSw) {
@@ -497,7 +752,7 @@ void ComputeUnit::execute(Wavefront& wf, const isa::Instruction& ins, std::uint3
     counters_->store_lines += wf.mem_lines.size();
     outstanding_stores_ += static_cast<int>(wf.mem_lines.size());
     for (std::uint64_t line : wf.mem_lines) {
-      memory_->request(line, true, LineCallback{this, kStoreToken});
+      emit_request(line, true, LineCallback{this, kStoreToken});
     }
   }
 

@@ -16,11 +16,19 @@
 //     moment the last wavefront arrives (or a sibling finishes), with
 //     timing identical to the old rebuild-a-set-every-tick scheme;
 //   * idle_profile()/apply_idle() let the driver loop jump over cycles in
-//     which this CU provably repeats the same stall pattern.
+//     which this CU provably repeats the same stall pattern;
+//   * the cycle splits into begin_tick() (touches only CU-private state,
+//     so all CUs run it concurrently) and commit_tick() (serial, CU-index
+//     order: resolves deferred global-memory admissions against live bank
+//     state and drains the staged requests), which is what makes the
+//     parallel driver bit-identical to the serial one — see
+//     docs/simulator.md "Parallel tick model".
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/isa/program.hpp"
@@ -57,24 +65,88 @@ class ComputeUnit final : public LineCompletionSink {
   ComputeUnit(int id, const GpuConfig& config, MemorySystem* memory, PerfCounters* counters,
               LaunchContext* ctx);
 
-  /// Free wavefront slots right now.
-  [[nodiscard]] int free_slots() const;
+  /// Free wavefront slots right now (maintained incrementally — O(1)).
+  [[nodiscard]] int free_slots() const { return free_slots_; }
+
+  /// Driver hook: set whenever this CU's free-slot count changes, letting
+  /// the driver cache the placeable-work-group summary between changes.
+  void set_free_slots_signal(std::atomic<bool>* signal) { free_slots_signal_ = signal; }
 
   /// Claim slots for one work-group (`items` work-items starting at
   /// `base_gid`). Caller must have checked free_slots().
   void assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid, std::uint32_t items);
 
-  /// Advance one cycle: try to issue from a ready wavefront.
+  /// Advance one cycle (fused serial driver): probe wavefronts round-robin
+  /// and issue at most one instruction against live memory-system state.
   void tick(std::uint64_t now);
 
-  /// Any resident wavefront still executing, or stores in flight.
-  [[nodiscard]] bool busy() const;
+  /// Phase 1 of the two-phase parallel cycle. Identical scan to tick(),
+  /// but side-effect-free w.r.t. shared state: a global-memory issue whose
+  /// admission passes against start-of-cycle bank state is *parked* (a
+  /// lower-indexed CU's same-cycle requests could still turn it into a
+  /// reject — only the serial commit can decide), the scan continues
+  /// speculatively to park the whole serial continuation as an issue plan
+  /// (see PlanStep), and memory requests are staged privately instead of
+  /// pushed. Admission *rejects* are final: bank queues only grow during
+  /// the CU phase of a cycle, so a reject against start-of-cycle state is
+  /// also a reject against any later view.
+  void begin_tick(std::uint64_t now);
+
+  /// Shared per-cycle state of one commit walk: the cycle's deferred
+  /// global-memory lane executions and their coalesced line sets, used to
+  /// keep concurrent lane execution free of same-word ordering hazards
+  /// (any overlap involving a store serializes via flush()).
+  struct CommitCycle {
+    std::vector<std::uint64_t> all_lines;    ///< lines of every deferred issue
+    std::vector<std::uint64_t> store_lines;  ///< lines of deferred stores only
+    std::vector<ComputeUnit*> deferred;      ///< CU-index order
+
+    /// Run every pending deferred lane execution now (serially, in CU
+    /// order) and reset the conflict sets.
+    void flush() {
+      for (ComputeUnit* cu : deferred) cu->run_deferred();
+      deferred.clear();
+      all_lines.clear();
+      store_lines.clear();
+    }
+    void reset() {
+      deferred.clear();
+      all_lines.clear();
+      store_lines.clear();
+    }
+  };
+
+  /// Phase 2, serial in CU-index order: walk the issue plan begin_tick()
+  /// parked, re-deciding each global-memory candidate's admission against
+  /// live bank state (now including lower-indexed CUs' commits) from its
+  /// cached per-bank demand — pure arithmetic, no re-probe, no rescan.
+  /// An admitted issue performs its timing and memory-system bookkeeping
+  /// here (so the bank queues grow in exactly the serial order) but parks
+  /// its functional lane loop in `cc` for the next parallel phase, unless
+  /// a line-set conflict forces it to run serially.
+  void commit_tick(std::uint64_t now, CommitCycle* cc);
+
+  /// Run the lane loop parked by a previous commit_tick, if any. Called
+  /// from the next cycle's parallel phase (or a serial flush); touches
+  /// only this CU's wavefront state and conflict-free global memory.
+  void run_deferred();
+
+  /// Any resident wavefront still executing, or stores in flight. O(1):
+  /// a slot is free exactly when its wavefront is invalid or finished.
+  [[nodiscard]] bool busy() const {
+    return outstanding_stores_ > 0 || free_slots_ < config_.max_wavefronts_per_cu;
+  }
 
   [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
 
   /// What this CU would do every cycle from `now` until some external or
   /// internal event, assuming the memory system stays quiet. wake == now
   /// means the CU can issue immediately (no fast-forward).
+  ///
+  /// O(1) on the hot path: a tick whose scan issued nothing already
+  /// probed every wavefront, so it caches the resulting profile and this
+  /// just returns it for `now` == that cycle + 1 (see the determinism
+  /// note at profile_cache_valid_). Other cases fall back to a full scan.
   [[nodiscard]] IdleProfile idle_profile(std::uint64_t now) const;
 
   /// Account `cycles` ticks of the given idle profile in bulk.
@@ -133,14 +205,46 @@ class ComputeUnit final : public LineCompletionSink {
 
   enum class IssueBlock { kReady, kScoreboard, kMemQueue };
 
+  /// One staged memory request; drained into MemorySystem::request during
+  /// the serial part of the cycle so begin_tick never mutates shared state.
+  struct StagedRequest {
+    std::uint64_t line_addr = 0;
+    bool is_store = false;
+    LineCallback on_done;
+  };
+
   /// Read-only issue check for wavefront `wf` at `now`. On a scoreboard
   /// stall, `*wake` is the cycle the blocking registers are all ready
   /// (kNever if a load is in flight). For kGlobalMem ops the coalesced
   /// line set is cached in wf.mem_lines for execute() to reuse.
   IssueBlock probe_issue(const Wavefront& wf, std::uint64_t now, std::uint64_t* wake) const;
 
-  /// Try to issue from wavefront `wf`; true if an instruction issued.
-  bool try_issue(Wavefront& wf, std::uint64_t now);
+  /// Round-robin scan over every wavefront slot: count stalls, issue the
+  /// first ready wavefront. With `defer_global_mem`, a ready
+  /// global-memory op is parked in plan_ (and the scan continues
+  /// speculatively — see PlanStep) for commit_tick() instead of issuing.
+  void scan_issue(std::uint64_t now, bool defer_global_mem);
+
+  /// Unconditional issue of the instruction at `wf`'s min PC (caller has
+  /// probed kReady): execute, occupy the pipe, count, drain staged
+  /// requests.
+  void issue(Wavefront& wf, std::uint64_t now);
+
+  /// Commit half of a deferred global-memory issue: all timing, counter,
+  /// load-tracking and request-drain effects of issue() — everything any
+  /// other actor can observe before the next parallel phase — with the
+  /// functional lane loop parked in deferred_ for run_deferred(). Only
+  /// valid for kLw/kSw with beats_per_instruction() >= 2 (the busy pipe
+  /// is what keeps the parked lanes unobservable).
+  void issue_mem_deferred(Wavefront& wf, const isa::Instruction& ins, std::uint64_t now);
+
+  /// The functional per-lane work of `ins` at `pc` (register/memory
+  /// updates, PC advance, min-PC/active-subset recompute). execute() =
+  /// execute_lanes() + the timing/bookkeeping tail.
+  void execute_lanes(Wavefront& wf, const isa::Instruction& ins, std::uint32_t pc);
+
+  void emit_request(std::uint64_t line_addr, bool is_store, LineCallback on_done);
+  void drain_staged_requests();
 
   /// Execute `instruction` functionally on all lanes of `wf` whose pc
   /// equals `pc` (the min-PC subset).
@@ -152,6 +256,7 @@ class ComputeUnit final : public LineCompletionSink {
   void arrive_barrier(Wavefront& wf);
   void on_wavefront_finished(std::uint32_t wg_id);
   void release_wg(WgState& state);
+  void free_slots_changed();
 
   [[nodiscard]] std::uint32_t load_token(const Wavefront& wf, std::uint8_t reg) const;
 
@@ -168,6 +273,63 @@ class ComputeUnit final : public LineCompletionSink {
   int outstanding_stores_ = 0;
   int next_wf_ = 0;                  ///< round-robin pointer
   std::uint64_t busy_cycles_ = 0;
+  int free_slots_ = 0;               ///< slots with !valid || finished()
+  std::atomic<bool>* free_slots_signal_ = nullptr;
+
+  /// One step of the issue plan a defer-mode scan parks for commit_tick.
+  /// The scan continues *speculatively* past a ready global-memory
+  /// candidate (the serial driver would stop there only if the admission
+  /// holds), so the plan encodes the complete serial continuation:
+  /// "stalls, then candidate A; if A is rejected live, more stalls, then
+  /// candidate B; ... else a non-memory issue / nothing". Every probe
+  /// verdict in it is exact for the live commit view — scoreboard state
+  /// is CU-private, a start-of-cycle admission reject only gets more
+  /// certain as queues grow, and non-memory readiness does not depend on
+  /// memory state at all. Only the admission of each candidate needs
+  /// re-deciding, from its cached per-bank demand: a few integer
+  /// compares, no re-probe, no serial rescan.
+  struct PlanStep {
+    int stall_sb = 0;  ///< scoreboard stalls between previous action and this one
+    int stall_mq = 0;  ///< ditto, memory-queue (start-state rejects: final)
+    enum class Act : std::uint8_t { kEnd, kMem, kNonMem } act = Act::kEnd;
+    int offset = -1;        ///< round-robin offset of the acting wavefront
+    int demand_begin = 0;   ///< kMem: range into plan_demand_
+    int demand_end = 0;
+    int store_lines = 0;    ///< kMem: 0 when the candidate is not a store
+  };
+  std::vector<PlanStep> plan_;  ///< empty when nothing was parked
+  std::vector<std::pair<std::uint32_t, int>> plan_demand_;  ///< (bank, lines)
+
+  /// Lane loop parked by issue_mem_deferred(), executed by run_deferred()
+  /// in the next parallel phase. wf_slot < 0 when empty. Safe to park
+  /// because the issuing wavefront's pipe stays busy past the next cycle
+  /// (beats >= 2), nothing reads lane state of a pipe-busy wavefront, and
+  /// the issue's observable side effects (counters, trackers, bank-queue
+  /// requests, pipe occupancy) were all applied at commit.
+  struct DeferredLanes {
+    int wf_slot = -1;
+    std::uint32_t pc = 0;
+    isa::Instruction ins{};
+  };
+  DeferredLanes deferred_;
+
+  /// Idle profile captured by a scan at cycle `profile_cache_cycle_` that
+  /// covered every slot and issued nothing. Valid for a consult at exactly
+  /// that cycle + 1, which is safe because the driver only reads profiles
+  /// when the memory system is quiet at the next cycle (all bank queues
+  /// empty — so no CU, this one included, issued a global-memory op this
+  /// cycle and every admission verdict still holds) and nothing else can
+  /// touch CU state between the scan and the consult. A scoreboard block
+  /// whose wake lands exactly on the consulted cycle is carried through
+  /// the cached wake, which suppresses the skip — never-skipping is always
+  /// bit-identical, only slower.
+  IdleProfile cached_profile_;
+  std::uint64_t profile_cache_cycle_ = 0;
+  bool profile_cache_valid_ = false;
+  /// Staged memory requests of the instruction being issued (at most one
+  /// instruction per cycle, at most one line per lane).
+  std::array<StagedRequest, kMaxLanes> staged_{};
+  int staged_count_ = 0;
 
   // Reusable scratch for the issue path (mutable: probe_issue is logically
   // const but counts per-bank demand here).

@@ -8,6 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+
+namespace gpup {
+class ConcurrencyBudget;  // util/thread_pool.hpp
+}  // namespace gpup
 
 namespace gpup::sim {
 
@@ -56,6 +61,34 @@ struct GpuConfig {
   /// same stall pattern and the memory system has no event due. Counters
   /// for the skipped cycles are applied in bulk, bit-identical to ticking.
   bool idle_fast_forward = true;
+
+  // --- intra-launch parallelism (host speedup only, never timing) -------
+  /// Worker threads for the two-phase parallel cycle loop inside one
+  /// launch: 1 = serial driver (default), 0 = hardware concurrency, N =
+  /// cap (also capped by cu_count and the concurrency budget). Cycles and
+  /// PerfCounters are bit-identical at any value — see
+  /// docs/simulator.md "Parallel tick model".
+  int intra_launch_threads = 1;
+  /// Launches with fewer total wavefronts than this stay on the serial
+  /// driver even when workers are available: the per-cycle rendezvous
+  /// would cost more than it buys.
+  std::uint32_t parallel_min_wavefronts = 16;
+  /// Adaptive driver selection (default): alternate short serial/gang
+  /// measurement windows and stick with whichever is faster on the live
+  /// host, re-probing periodically — a launch on a steal-heavy or
+  /// oversubscribed machine degrades to the serial driver instead of
+  /// paying a rendezvous the host cannot serve. false pins the two-phase
+  /// gang driver on every cycle (tests use this to exercise it
+  /// deterministically). Never changes simulated results, only host wall
+  /// time.
+  bool intra_launch_adaptive = true;
+  /// Optional shared token pool capping total host threads across layers.
+  /// rt::Context installs its own (sized to its worker pool) when unset;
+  /// a launch borrows tokens for extra tick workers and returns them when
+  /// it completes, so busy queue workers starve the gang rather than
+  /// oversubscribe the machine. Null = borrow freely up to
+  /// intra_launch_threads.
+  std::shared_ptr<ConcurrencyBudget> concurrency_budget;
 
   [[nodiscard]] int beats_per_instruction() const { return wavefront_size / pes_per_cu; }
   [[nodiscard]] std::uint32_t words_per_line() const { return cache_line_bytes / 4; }

@@ -25,6 +25,43 @@ struct PerfCounters {
   std::uint64_t divergent_issues = 0;    ///< issues with a partial lane mask
   std::uint64_t workgroups_dispatched = 0;
 
+  /// Accumulate another counter block. Used to reduce the per-CU shards of
+  /// a parallel launch: field-wise uint64 sums are order-independent, so a
+  /// sharded accumulation agrees bit-for-bit with direct increments.
+  /// The static_assert pins the field count: a new counter field fails it
+  /// until this reduction (which BOTH drivers accumulate through) names
+  /// the field too — operator== below picks it up automatically, but a
+  /// field dropped here would read 0 identically on both sides and slip
+  /// past every bit-identical gate.
+  PerfCounters& operator+=(const PerfCounters& other) {
+    static_assert(sizeof(PerfCounters) == 17 * sizeof(std::uint64_t),
+                  "new PerfCounters field: add it to this operator+=");
+    cycles += other.cycles;
+    wf_instructions += other.wf_instructions;
+    item_instructions += other.item_instructions;
+    loads += other.loads;
+    stores += other.stores;
+    load_lines += other.load_lines;
+    store_lines += other.store_lines;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    dram_fills += other.dram_fills;
+    dram_writebacks += other.dram_writebacks;
+    stall_scoreboard += other.stall_scoreboard;
+    stall_mem_queue += other.stall_mem_queue;
+    stall_no_wavefront += other.stall_no_wavefront;
+    barriers += other.barriers;
+    divergent_issues += other.divergent_issues;
+    workgroups_dispatched += other.workgroups_dispatched;
+    return *this;
+  }
+
+  /// Memberwise (defaulted) equality — the bit-identical acceptance gate
+  /// for the parallel tick drivers: golden replays, the property fuzz,
+  /// and the bench self-check all compare through this, and a field
+  /// added to the struct is automatically part of the gate.
+  [[nodiscard]] friend bool operator==(const PerfCounters&, const PerfCounters&) = default;
+
   [[nodiscard]] double cache_hit_rate() const {
     const auto total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);

@@ -1,13 +1,42 @@
 #include "src/sim/gpu.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "src/util/bits.hpp"
 #include "src/util/status.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace gpup::sim {
+
+namespace {
+
+/// RAII lease on the shared concurrency budget: tokens return even when a
+/// launch aborts through an exception (trap, watchdog).
+struct BudgetLease {
+  ConcurrencyBudget* budget = nullptr;
+  unsigned held = 0;
+
+  BudgetLease() = default;
+  BudgetLease(ConcurrencyBudget* budget_in, unsigned want)
+      : budget(budget_in), held(budget_in != nullptr ? budget_in->try_acquire(want) : want) {}
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+  ~BudgetLease() {
+    if (budget != nullptr) budget->release(held);
+  }
+};
+
+/// Contiguous slice of `count` CUs owned by gang slot `slot` of `slots`.
+std::pair<std::size_t, std::size_t> cu_slice(std::size_t count, unsigned slots, unsigned slot) {
+  return {count * slot / slots, count * (slot + 1) / slots};
+}
+
+}  // namespace
 
 Gpu::Gpu(GpuConfig config) : config_(config), mem_(config.global_mem_bytes / 4) {
   GPUP_CHECK(config_.cu_count >= 1);
@@ -107,11 +136,37 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
   LaunchContext ctx{&program, &mem_, params, global_size, wg_size};
   MemorySystem memory(config_, &counters);
 
+  // Per-CU counter shards: CUs tick concurrently in the parallel driver,
+  // so each writes its own cache-line-padded block. The field-wise
+  // reduction at launch end sums uint64s, which is order-independent —
+  // sharded totals match direct accumulation bit-for-bit, so the serial
+  // driver shards too and both agree with the pre-shard goldens.
+  struct alignas(128) CounterShard {
+    PerfCounters counters;
+  };
+  std::vector<CounterShard> shards(static_cast<std::size_t>(config_.cu_count));
+
   std::vector<ComputeUnit> cus;
   cus.reserve(static_cast<std::size_t>(config_.cu_count));
   for (int cu = 0; cu < config_.cu_count; ++cu) {
-    cus.emplace_back(cu, config_, &memory, &counters, &ctx);
+    cus.emplace_back(cu, config_, &memory,
+                     &shards[static_cast<std::size_t>(cu)].counters, &ctx);
   }
+
+  // Cached max-free-slots summary: CUs raise the dirty flag whenever a
+  // slot count changes (dispatch claims, wavefront completions), so the
+  // per-cycle "can the next work-group be placed anywhere?" checks are
+  // O(1) instead of probing every CU every cycle.
+  std::atomic<bool> free_slots_dirty{true};
+  for (auto& cu : cus) cu.set_free_slots_signal(&free_slots_dirty);
+  int max_free_slots = 0;
+  const auto refresh_free_slots = [&] {
+    if (!free_slots_dirty.load(std::memory_order_relaxed)) return;
+    free_slots_dirty.store(false, std::memory_order_relaxed);
+    int max_free = 0;
+    for (const auto& cu : cus) max_free = std::max(max_free, cu.free_slots());
+    max_free_slots = max_free;
+  };
 
   const std::uint32_t wg_count =
       static_cast<std::uint32_t>(ceil_div(global_size, wg_size));
@@ -128,33 +183,206 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
 
   std::vector<ComputeUnit::IdleProfile> profiles(cus.size());
 
+  // ---- intra-launch worker gang ---------------------------------------
+  // Launches big enough to amortize the per-cycle rendezvous borrow extra
+  // tick workers from the shared concurrency budget (installed by
+  // rt::Context so queue-level and intra-launch parallelism compose);
+  // small launches and empty budgets fall through to the serial driver
+  // with zero new overhead. Results are bit-identical either way.
+  unsigned want_threads =
+      config_.intra_launch_threads == 0
+          ? ThreadPool::default_threads()
+          : static_cast<unsigned>(std::max(config_.intra_launch_threads, 1));
+  want_threads = std::min(want_threads, static_cast<unsigned>(config_.cu_count));
+  // TickGang clamps to kMaxWorkers: never lease tokens it cannot use.
+  want_threads = std::min(want_threads, TickGang::kMaxWorkers + 1);
+  const auto total_wavefronts = static_cast<std::uint32_t>(
+      ceil_div(global_size, static_cast<std::uint32_t>(config_.wavefront_size)));
+  const bool parallel_eligible = want_threads > 1 && config_.cu_count > 1 &&
+                                 total_wavefronts >= config_.parallel_min_wavefronts;
+  BudgetLease lease(config_.concurrency_budget.get(),
+                    parallel_eligible ? want_threads - 1 : 0);
+  // Declared after everything the workers touch: the gang joins (in its
+  // destructor) before cus/profiles die, even when a trap unwinds.
+  std::unique_ptr<TickGang> gang;
+  if (lease.held > 0) gang = std::make_unique<TickGang>(lease.held);
+
+  // --- adaptive driver selection ---------------------------------------
+  // Whether the per-cycle gang rendezvous pays off depends on the live
+  // host (core availability, hypervisor steal) and the live workload
+  // (how much per-cycle CU work this stretch of the kernel has), neither
+  // of which is knowable up front. Since the serial and two-phase drivers
+  // are bit-identical, the choice is free: alternate short measurement
+  // windows of each, commit to the faster one for a long stretch, then
+  // re-probe. A gang window that falls badly behind the serial baseline
+  // aborts early, so a descheduled worker costs microseconds, not the
+  // window. Simulated results never depend on the mode sequence.
+  using AdaptClock = std::chrono::steady_clock;
+  enum class DriveMode { kProbeSerial, kProbeGang, kStick };
+  constexpr std::uint64_t kProbeWindow = 64;
+  constexpr std::uint64_t kStickWindowBase = 2048;
+  constexpr std::uint64_t kStickWindowMax = 65536;
+  constexpr double kGangAbortFactor = 3.0;  // bail when a chunk runs 3x serial
+  constexpr double kProbeIterAbortFactor = 8.0;  // single probe iter tolerance
+  DriveMode mode = DriveMode::kProbeSerial;
+  std::uint64_t window_left = kProbeWindow;
+  std::uint64_t stick_window = kStickWindowBase;
+  bool stick_gang = false;
+  double serial_window_s = 0.0;
+  AdaptClock::time_point window_start = gang != nullptr ? AdaptClock::now()
+                                                        : AdaptClock::time_point{};
+  AdaptClock::time_point chunk_start = window_start;
+  const auto advance_mode = [&] {
+    const double elapsed =
+        std::chrono::duration<double>(AdaptClock::now() - window_start).count();
+    switch (mode) {
+      case DriveMode::kProbeSerial:
+        serial_window_s = std::max(elapsed, 1e-7);
+        mode = DriveMode::kProbeGang;
+        window_left = kProbeWindow;
+        break;
+      case DriveMode::kProbeGang:
+        // Hysteresis toward serial: the gang must win clearly. A tie says
+        // the rendezvous is barely amortized, and the serial driver is
+        // immune to the host descheduling a spinning worker. Every gang
+        // loss doubles the serial stretch before the next probe, so a
+        // host that never delivers parallel capacity converges to
+        // almost-pure serial; a win resets the cadence.
+        stick_gang = elapsed < 0.9 * serial_window_s;
+        stick_window = stick_gang ? kStickWindowBase
+                                  : std::min(stick_window * 2, kStickWindowMax);
+        mode = DriveMode::kStick;
+        window_left = stick_window;
+        if (!stick_gang) gang->park();
+        break;
+      case DriveMode::kStick:
+        mode = DriveMode::kProbeSerial;
+        window_left = kProbeWindow;
+        // Park during the serial probe too: a worker spinning through it
+        // would contend with the serial thread and inflate the baseline,
+        // biasing the next verdict toward the gang.
+        gang->park();
+        break;
+    }
+    window_start = AdaptClock::now();
+    chunk_start = window_start;
+  };
+  // First window measures serial with the worker asleep, not spinning.
+  if (gang != nullptr && config_.intra_launch_adaptive) gang->park();
+
+  // Per-cycle commit state: this cycle's parked lane loops plus their
+  // line sets (for the store-overlap serialization rule). Lanes parked by
+  // cycle c's commit run at the start of cycle c+1's parallel phase — or
+  // serially, if the driver switches mode in between.
+  ComputeUnit::CommitCycle commit_cycle;
+  commit_cycle.all_lines.reserve(1024);
+  commit_cycle.store_lines.reserve(1024);
+  commit_cycle.deferred.reserve(cus.size());
+  bool lanes_parked = false;
+  const auto flush_parked = [&] {
+    if (!lanes_parked) return;
+    for (auto& cu : cus) cu.run_deferred();
+    lanes_parked = false;
+  };
+
   std::uint64_t cycle = 0;
   while (true) {
     // WG dispatcher: one work-group per cycle onto a CU with enough free
-    // wavefront slots (round-robin over CUs).
+    // wavefront slots (round-robin over CUs). The O(1) summary rejects
+    // unplaceable cycles; the probe loop only runs when a placement is
+    // guaranteed, i.e. once per dispatched work-group.
     if (next_wg < wg_count) {
-      const std::uint32_t base = next_wg * wg_size;
-      const std::uint32_t items = std::min(wg_size, global_size - base);
+      refresh_free_slots();
       const int slots_needed = slots_needed_for(next_wg);
-      for (int probe = 0; probe < config_.cu_count; ++probe) {
-        const int cu = (dispatch_cu + probe) % config_.cu_count;
-        if (cus[static_cast<std::size_t>(cu)].free_slots() >= slots_needed) {
-          cus[static_cast<std::size_t>(cu)].assign_workgroup(next_wg, base, items);
-          ++next_wg;
-          ++counters.workgroups_dispatched;
-          dispatch_cu = (cu + 1) % config_.cu_count;
-          break;
+      if (max_free_slots >= slots_needed) {
+        const std::uint32_t base = next_wg * wg_size;
+        const std::uint32_t items = std::min(wg_size, global_size - base);
+        for (int probe = 0; probe < config_.cu_count; ++probe) {
+          const int cu = (dispatch_cu + probe) % config_.cu_count;
+          if (cus[static_cast<std::size_t>(cu)].free_slots() >= slots_needed) {
+            cus[static_cast<std::size_t>(cu)].assign_workgroup(next_wg, base, items);
+            ++next_wg;
+            ++counters.workgroups_dispatched;
+            dispatch_cu = (cu + 1) % config_.cu_count;
+            break;
+          }
         }
       }
     }
 
     memory.tick(cycle);
-    for (auto& cu : cus) cu.tick(cycle);
+    if (gang != nullptr) {
+      bool use_gang = true;
+      bool probing = false;
+      if (config_.intra_launch_adaptive) {
+        if (window_left == 0) advance_mode();
+        --window_left;
+        use_gang = mode == DriveMode::kProbeGang ||
+                   (mode == DriveMode::kStick && stick_gang);
+        probing = mode == DriveMode::kProbeGang;
+      }
+      if (config_.intra_launch_adaptive && use_gang &&
+          (probing || (window_left & (kProbeWindow - 1)) == 0)) {
+        // Watchdog on every gang phase: a worker descheduled by the host
+        // turns each rendezvous into a multi-microsecond stall. Probe
+        // windows check after every cycle (one bad rendezvous is evidence
+        // enough, and 64 of them would cost milliseconds); stick phases
+        // check the most recent 64-cycle chunk. Comparing only the recent
+        // chunk against the serial baseline (never the cumulative phase,
+        // which a good start would pad) bounds the damage of a
+        // host-capacity collapse before the launch drops back to serial.
+        const auto chunk_end = AdaptClock::now();
+        const double chunk_s =
+            std::chrono::duration<double>(chunk_end - chunk_start).count();
+        chunk_start = chunk_end;
+        const double budget =
+            probing ? kProbeIterAbortFactor * serial_window_s /
+                          static_cast<double>(kProbeWindow)
+                    : kGangAbortFactor * serial_window_s;
+        if (chunk_s > budget) {
+          stick_gang = false;
+          stick_window = std::min(stick_window * 2, kStickWindowMax);
+          mode = DriveMode::kStick;
+          window_left = stick_window;
+          window_start = chunk_end;
+          use_gang = false;
+          gang->park();
+        }
+      }
+      if (use_gang) {
+        // Two-phase cycle: every CU first drains the lane loop its commit
+        // parked last cycle (conflict-free by construction), then runs
+        // begin_tick concurrently against start-of-cycle bank state
+        // (mutating only CU-private state and its counter shard). The
+        // serial commit walk then resolves deferred global-memory
+        // admissions in CU-index order — reproducing the serial
+        // interleaving exactly, at any gang size.
+        const unsigned gang_slots = gang->slots();
+        gang->run([&cus, gang_slots, cycle](unsigned slot) {
+          const auto [begin, end] = cu_slice(cus.size(), gang_slots, slot);
+          for (std::size_t i = begin; i < end; ++i) {
+            cus[i].run_deferred();
+            cus[i].begin_tick(cycle);
+          }
+        });
+        commit_cycle.reset();
+        for (auto& cu : cus) cu.commit_tick(cycle, &commit_cycle);
+        lanes_parked = !commit_cycle.deferred.empty();
+      } else {
+        flush_parked();
+        for (auto& cu : cus) cu.tick(cycle);
+      }
+    } else {
+      for (auto& cu : cus) cu.tick(cycle);
+    }
     ++cycle;
 
     if (next_wg == wg_count) {
       bool busy = !memory.idle();
-      for (const auto& cu : cus) busy = busy || cu.busy();
+      for (const auto& cu : cus) {
+        if (busy) break;
+        busy = cu.busy();
+      }
       if (!busy) break;
     }
     GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
@@ -168,13 +396,19 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
     // has no completion due. Per-cycle stall counters for the skipped
     // stretch are applied in bulk, so all timing stays bit-identical.
     if (next_wg < wg_count) {
-      const int slots_needed = slots_needed_for(next_wg);
-      bool placeable = false;
-      for (const auto& cu : cus) placeable = placeable || cu.free_slots() >= slots_needed;
-      if (placeable) continue;  // dispatch will act next cycle
+      refresh_free_slots();
+      if (max_free_slots >= slots_needed_for(next_wg)) {
+        continue;  // dispatch will act next cycle
+      }
     }
     std::uint64_t wake = memory.next_event(cycle);
     if (wake == cycle) continue;  // memory acts next tick: nothing to skip
+    // Per-CU profiles were computed *during* this cycle's (possibly
+    // parallel) tick scans: a scan that issued nothing caches its stall
+    // verdicts as the next cycle's profile, so each consult here is O(1)
+    // and no extra gang rendezvous is needed. The early exit (stop once
+    // some CU can act at `cycle`) only skips work, never changes the
+    // outcome.
     for (std::size_t i = 0; i < cus.size() && wake > cycle; ++i) {
       profiles[i] = cus[i].idle_profile(cycle);
       wake = std::min(wake, profiles[i].wake);
@@ -188,6 +422,7 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
     }
   }
 
+  for (const auto& shard : shards) counters += shard.counters;
   counters.cycles = cycle;
   LaunchStats stats;
   stats.cycles = cycle;

@@ -82,6 +82,7 @@ void MemorySystem::request(std::uint64_t line_addr, bool is_store, LineCallback 
   auto& queue = bank_queues_[bank_of(line_addr)];
   // Oversized bursts into a drained bank are legal (see accepts()).
   queue.push_back({line_addr, is_store, on_done});
+  ++queued_;
 }
 
 void MemorySystem::request(std::uint64_t line_addr, bool is_store,
@@ -103,6 +104,19 @@ std::uint64_t MemorySystem::schedule_axi(std::uint64_t now) {
 }
 
 void MemorySystem::tick(std::uint64_t now) {
+  // Reclaim convenience-overload sinks whose completion fired, so a long
+  // launch does not retain every sink until teardown. Pruning here (no
+  // line_done in flight) is reentrancy-safe; the hot path stages no sinks,
+  // so this is a single empty() check per tick.
+  if (!owned_sinks_.empty()) {
+    std::erase_if(owned_sinks_, [](const auto& sink) { return sink->fired(); });
+  }
+  if (queued_ == 0 && inflight_ == 0) return;  // provably nothing to do
+
+  // Rebuilt over this tick: surviving MSHRs min-in during the retire
+  // sweep, newly scheduled fills min-in below.
+  std::uint64_t earliest_fill = kNever;
+
   for (std::uint32_t bank = 0; bank < config_.cache_banks; ++bank) {
     // Retire completed fills.
     auto& mshrs = bank_mshrs_[bank];
@@ -118,6 +132,7 @@ void MemorySystem::tick(std::uint64_t now) {
         mshrs[i] = std::move(mshrs.back());
         mshrs.pop_back();
       } else {
+        earliest_fill = std::min(earliest_fill, mshrs[i].fill_done);
         ++i;
       }
     }
@@ -127,6 +142,7 @@ void MemorySystem::tick(std::uint64_t now) {
     if (queue.empty()) continue;
     Request request = std::move(queue.front());
     queue.pop_front();
+    --queued_;
 
     CacheLine& line = lines_[set_index(request.line_addr)];
     if (line.valid && line.tag == request.line_addr) {
@@ -154,6 +170,7 @@ void MemorySystem::tick(std::uint64_t now) {
       // No MSHR: retry next cycle (request returns to queue head; the miss
       // is counted when it is actually handled, not per retry).
       queue.push_front(std::move(request));
+      ++queued_;
       continue;
     }
     ++counters_->cache_misses;
@@ -169,33 +186,21 @@ void MemorySystem::tick(std::uint64_t now) {
     mshr.fill_done = schedule_axi(now);
     mshr.make_dirty = request.is_store;
     if (request.on_done.sink != nullptr) mshr.waiters.push_back(request.on_done);
+    earliest_fill = std::min(earliest_fill, mshr.fill_done);
     mshrs.push_back(std::move(mshr));
     ++inflight_;
   }
+  earliest_fill_ = earliest_fill;
 }
 
-bool MemorySystem::idle() const {
-  if (inflight_ != 0) return false;
-  for (const auto& queue : bank_queues_) {
-    if (!queue.empty()) return false;
-  }
-  return true;
-}
+bool MemorySystem::idle() const { return inflight_ == 0 && queued_ == 0; }
 
 std::uint64_t MemorySystem::next_event(std::uint64_t now) const {
   // `now` is the next tick that has not run yet: queued requests are
   // served at `now` itself, fills retire at the tick that reaches
-  // fill_done.
-  for (const auto& queue : bank_queues_) {
-    if (!queue.empty()) return now;
-  }
-  std::uint64_t wake = kNever;
-  for (const auto& mshrs : bank_mshrs_) {
-    for (const auto& mshr : mshrs) {
-      wake = std::min(wake, std::max(mshr.fill_done, now));
-    }
-  }
-  return wake;
+  // fill_done. Both sides are maintained incrementally, so this is O(1).
+  if (queued_ != 0) return now;
+  return std::max(earliest_fill_, now);
 }
 
 }  // namespace gpup::sim

@@ -122,8 +122,17 @@ class MemorySystem {
   std::vector<CacheLine> lines_;          // direct-mapped, all banks
   std::vector<std::uint64_t> axi_port_free_;
   std::uint64_t inflight_ = 0;            // outstanding fills
+  std::uint64_t queued_ = 0;              // requests across all bank queues
+  /// Earliest fill_done over in-flight MSHRs, rebuilt every tick: the
+  /// retire sweep visits every MSHR anyway, and new fills min-in as they
+  /// are scheduled. Makes next_event() O(1) for the driver's per-cycle
+  /// fast-forward gate.
+  std::uint64_t earliest_fill_ = kNever;
 
   // Storage for the std::function convenience overload (test path only).
+  // Each sink is reclaimed on the tick after its completion fires (and on
+  // the next convenience request), so the set is bounded by the in-flight
+  // request count rather than growing for the life of the launch.
   class FunctionSink;
   std::vector<std::unique_ptr<FunctionSink>> owned_sinks_;
 };

@@ -1,19 +1,27 @@
 // Minimal fixed-size thread pool + deterministic parallel-for, used by the
-// design-space-exploration sweeps (Planner::exercise, repro::run_cycle_matrix).
+// design-space-exploration sweeps (Planner::exercise, repro::run_cycle_matrix),
+// plus the two primitives the intra-launch parallel simulator builds on:
+// ConcurrencyBudget (a shared token pool so queue-level and intra-launch
+// parallelism compose without oversubscription) and TickGang (a persistent
+// lockstep worker gang with a cheap per-cycle rendezvous).
 //
 // Each task writes its own pre-sized output slot, so results are ordered
 // and bit-identical regardless of thread count or scheduling; only host
 // wall-clock changes.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -109,6 +117,212 @@ class ThreadPool {
   std::exception_ptr error_;  ///< first task exception, surfaced by wait_idle()
   std::size_t outstanding_ = 0;
   bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Shared pool of host-worker tokens. Layers that can each spin up threads
+/// (the rt::Context command workers, the intra-launch tick gang) draw from
+/// one budget so their combined thread count never exceeds the machine:
+/// a command worker holds one token while it executes, and a launch borrows
+/// extra tokens for its tick gang, falling back to the serial driver when
+/// none are free. Acquisition never blocks and never affects simulated
+/// results — only how many host threads work on them.
+class ConcurrencyBudget {
+ public:
+  explicit ConcurrencyBudget(unsigned total) : available_(static_cast<int>(total)) {}
+
+  /// Take up to `want` tokens; returns how many were actually taken.
+  [[nodiscard]] unsigned try_acquire(unsigned want) {
+    int have = available_.load(std::memory_order_relaxed);
+    while (true) {
+      const int take = std::min(static_cast<int>(want), have);
+      if (take <= 0) return 0;
+      if (available_.compare_exchange_weak(have, have - take, std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return static_cast<unsigned>(take);
+      }
+    }
+  }
+
+  void release(unsigned tokens) {
+    if (tokens > 0) available_.fetch_add(static_cast<int>(tokens), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int> available_;
+};
+
+/// Busy-wait hint for spin loops. Deliberately NOT the x86 `pause`
+/// instruction: on the virtualized hosts this simulator targets, pause
+/// costs ~140 cycles (or a VM exit with pause-loop exiting enabled),
+/// which quantizes the sub-microsecond rendezvous this gang is built
+/// around. A compiler barrier keeps the loop a plain cached load.
+inline void spin_relax() { asm volatile("" ::: "memory"); }
+
+/// Persistent gang of lockstep workers for per-cycle parallelism (the
+/// intra-launch CU tick). run(fn) executes fn(slot) for every slot in
+/// [0, slots()): slot 0 on the calling thread, the rest on the gang's
+/// workers, and returns once all are done.
+///
+/// The rendezvous is engineered for a sub-microsecond duty cycle, because
+/// the simulator pays it once per ticked cycle:
+///   * the command (fn pointer + context) shares a cache line with the
+///     epoch counter, so a worker's epoch read pulls the command along in
+///     the same transfer;
+///   * every worker acknowledges completion in its own padded slot (plain
+///     release store, no shared read-modify-write line for the caller's
+///     join spin to bounce on);
+///   * workers spin with a pause hint for ~a scheduling quantum before
+///     falling back to a condition variable, so back-to-back cycles never
+///     pay a futex wake-up. Workers hold concurrency-budget tokens, so the
+///     burned core is one the launch owns anyway.
+class TickGang {
+ public:
+  static constexpr unsigned kMaxWorkers = 64;
+
+  explicit TickGang(unsigned extra_workers) {
+    if (extra_workers > kMaxWorkers) extra_workers = kMaxWorkers;
+    acks_ = std::make_unique<AckSlot[]>(extra_workers);
+    workers_.reserve(extra_workers);
+    for (unsigned w = 0; w < extra_workers; ++w) {
+      workers_.emplace_back([this, slot = w + 1] { worker_loop(slot); });
+    }
+  }
+
+  TickGang(const TickGang&) = delete;
+  TickGang& operator=(const TickGang&) = delete;
+
+  ~TickGang() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_.store(true, std::memory_order_relaxed);
+      cmd_.epoch.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Worker slots per run(), including the calling thread's slot 0.
+  [[nodiscard]] unsigned slots() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Send workers straight to the condition-variable sleep instead of
+  /// letting them burn their spin budget. Callers that switch to a serial
+  /// stretch park the gang so the spinning workers stop competing with
+  /// the serial thread for host capacity (decisive under hypervisor
+  /// steal); the next run() unparks and pays one futex wake.
+  void park() { park_.store(true, std::memory_order_release); }
+
+  /// Run fn(slot) on every slot; the caller executes slot 0. The first
+  /// exception thrown on any slot is rethrown here after all slots finish.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (workers_.empty()) {
+      fn(0u);
+      return;
+    }
+    cmd_.context = &fn;
+    cmd_.invoke = [](void* context, unsigned slot) {
+      (*static_cast<std::remove_reference_t<Fn>*>(context))(slot);
+    };
+    park_.store(false, std::memory_order_relaxed);
+    // seq_cst on the publish and the sleeper check, and on the worker's
+    // sleeper registration and predicate load: with anything weaker this
+    // is the store-buffer litmus — the publish could still sit in this
+    // core's store buffer while the sleeper check reads 0 and a worker
+    // that just registered reads the old epoch, sleeping through an
+    // un-notified dispatch and deadlocking the join below.
+    const std::uint64_t epoch = cmd_.epoch.load(std::memory_order_relaxed) + 1;
+    cmd_.epoch.store(epoch, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+    try {
+      fn(0u);
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    // Workers are at most one slice of CU work behind; spin, then yield.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      unsigned spins = 0;
+      while (acks_[w].done.load(std::memory_order_acquire) != epoch) {
+        spin_relax();
+        if (++spins > kJoinSpins) std::this_thread::yield();
+      }
+    }
+    if (error_flag_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      error_flag_.store(false, std::memory_order_relaxed);
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  /// One dispatch: workers read epoch (acquire) and see invoke/context,
+  /// which the caller wrote before the epoch bump. One line = one transfer.
+  struct alignas(128) Command {
+    std::atomic<std::uint64_t> epoch{0};
+    void (*invoke)(void*, unsigned) = nullptr;
+    void* context = nullptr;
+  };
+  /// Per-worker completion slot, padded so ack stores never contend.
+  struct alignas(128) AckSlot {
+    std::atomic<std::uint64_t> done{0};
+  };
+
+  static constexpr unsigned kWorkerSpins = 1u << 16;  ///< before cv sleep
+  static constexpr unsigned kJoinSpins = 1u << 20;    ///< before yield
+
+  void record_error(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) {
+      error_ = std::move(error);
+      error_flag_.store(true, std::memory_order_release);
+    }
+  }
+
+  void worker_loop(unsigned slot) {
+    AckSlot& ack = acks_[slot - 1];
+    std::uint64_t seen = 0;
+    while (true) {
+      std::uint64_t current = cmd_.epoch.load(std::memory_order_acquire);
+      for (unsigned spins = 0;
+           current == seen && spins < kWorkerSpins && !park_.load(std::memory_order_acquire);
+           ++spins) {
+        spin_relax();
+        current = cmd_.epoch.load(std::memory_order_acquire);
+      }
+      if (current == seen) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // seq_cst pairs with run()'s publish/check — see the comment there.
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] { return cmd_.epoch.load(std::memory_order_seq_cst) != seen; });
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        current = cmd_.epoch.load(std::memory_order_acquire);
+      }
+      seen = current;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      try {
+        cmd_.invoke(cmd_.context, slot);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      ack.done.store(seen, std::memory_order_release);
+    }
+  }
+
+  Command cmd_;
+  std::unique_ptr<AckSlot[]> acks_;
+  alignas(128) std::atomic<int> sleepers_{0};
+  std::atomic<bool> park_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> error_flag_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
   std::vector<std::thread> workers_;
 };
 

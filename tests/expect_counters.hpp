@@ -1,0 +1,21 @@
+// Shared gtest helper: assert two PerfCounters blocks are bit-identical
+// (via the memberwise PerfCounters::operator==, so new fields are part of
+// the gate automatically) with the headline fields spot-printed on
+// divergence.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/sim/counters.hpp"
+
+namespace gpup::sim {
+
+inline void expect_counters_identical(const PerfCounters& a, const PerfCounters& b) {
+  EXPECT_TRUE(a == b) << "cycles " << a.cycles << " vs " << b.cycles
+                      << ", wf_instructions " << a.wf_instructions << " vs "
+                      << b.wf_instructions << ", stall_mem_queue " << a.stall_mem_queue
+                      << " vs " << b.stall_mem_queue << ", stall_scoreboard "
+                      << a.stall_scoreboard << " vs " << b.stall_scoreboard;
+}
+
+}  // namespace gpup::sim

@@ -8,12 +8,15 @@
 // GPUP_GOLDEN_DUMP=1 and paste the printed table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/rt/runtime.hpp"
+#include "tests/expect_counters.hpp"
 
 namespace gpup::sim {
 namespace {
@@ -128,7 +131,14 @@ struct Case {
 };
 
 LaunchStats run_case(const Case& c) {
-  rt::Context context(c.config, /*device_count=*/1, /*threads=*/1);
+  // Size the context's worker pool to the intra-launch thread request:
+  // the launch's own worker holds one budget token, so `intra` workers in
+  // the pool leave exactly intra - 1 tokens for the tick gang.
+  const unsigned intra =
+      c.config.intra_launch_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : static_cast<unsigned>(std::max(c.config.intra_launch_threads, 1));
+  rt::Context context(c.config, /*device_count=*/1, /*threads=*/intra);
   auto queue = context.create_queue();
   auto program = rt::Context::compile(c.source);
   GPUP_CHECK_MSG(program.ok(), program.error().to_string());
@@ -285,6 +295,36 @@ TEST(GoldenCounters, FastForwardBitIdentical) {
     EXPECT_EQ(a.barriers, b.barriers);
     EXPECT_EQ(a.divergent_issues, b.divergent_issues);
     EXPECT_EQ(a.workgroups_dispatched, b.workgroups_dispatched);
+  }
+}
+
+
+// Tentpole lock: the two-phase parallel driver must reproduce the serial
+// simulator bit-for-bit at every worker count, with the idle fast-forward
+// both on and off. Every golden replays at intra-launch threads 1 (serial
+// driver), 2, and the hardware concurrency.
+TEST(GoldenCounters, ParallelTickBitIdentical) {
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const auto& base : cases()) {
+    for (bool fast_forward : {true, false}) {
+      Case serial_case = base;
+      serial_case.config.idle_fast_forward = fast_forward;
+      // Force the two-phase gang driver on every cycle, even for these
+      // small goldens: no wavefront-count gate, no adaptive fallback.
+      serial_case.config.parallel_min_wavefronts = 0;
+      serial_case.config.intra_launch_adaptive = false;
+      serial_case.config.intra_launch_threads = 1;
+      const auto want = run_case(serial_case);
+      for (const unsigned threads : {2u, hw}) {
+        SCOPED_TRACE(std::string(base.name) + (fast_forward ? " ff" : " noff") +
+                     " threads=" + std::to_string(threads));
+        Case parallel_case = serial_case;
+        parallel_case.config.intra_launch_threads = static_cast<int>(threads);
+        const auto got = run_case(parallel_case);
+        EXPECT_EQ(got.cycles, want.cycles);
+        expect_counters_identical(got.counters, want.counters);
+      }
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include "src/isa/isa.hpp"
 #include "src/rt/device.hpp"
 #include "src/util/rng.hpp"
+#include "tests/expect_counters.hpp"
 
 namespace gpup {
 namespace {
@@ -244,6 +245,131 @@ void check_against_oracle(const std::vector<std::uint32_t>& words, std::uint32_t
     }
   }
 }
+
+// ---- serial vs parallel driver cross-check ------------------------------
+//
+// The two-phase parallel driver must be indistinguishable from the serial
+// one on any configuration: same cycles, same PerfCounters, same memory
+// image. Randomized configs sweep CU counts 1..16, mixed work-group sizes,
+// shallow and deep bank queues (shallow queues force the global-memory
+// admission-deferral path into its reject-and-rescan branch), and the idle
+// fast-forward both on and off.
+
+
+/// Strided gather + accumulate + store: every lane loads `trips` words at
+/// a stride through a shared (masked, power-of-two) input window, then
+/// stores its sum. The cross-CU line sharing and per-lane scatter make the
+/// bank queues the bottleneck — exactly the shared state the parallel
+/// driver has to keep bit-identical.
+std::vector<std::uint32_t> strided_reduce_program(std::uint32_t mask, std::int32_t trips) {
+  std::vector<std::uint32_t> words;
+  auto emit = [&](Instruction ins) { words.push_back(ins.encode()); };
+  emit({Opcode::kTid, 1, 0, 0, 0});
+  emit({Opcode::kParam, 3, 0, 0, 0});  // input base
+  emit({Opcode::kParam, 4, 0, 0, 1});  // output base
+  emit({Opcode::kParam, 5, 0, 0, 2});  // stride
+  emit({Opcode::kAddi, 6, 0, 0, 0});   // acc = 0
+  emit({Opcode::kAddi, 7, 0, 0, 0});   // i = 0
+  emit({Opcode::kAddi, 10, 0, 0, trips});
+  const auto loop_top = static_cast<std::int32_t>(words.size());
+  emit({Opcode::kMul, 8, 1, 5, 0});    // tid * stride
+  emit({Opcode::kAdd, 8, 8, 7, 0});    // + i
+  emit({Opcode::kAndi, 8, 8, 0, static_cast<std::int32_t>(mask)});
+  emit({Opcode::kSlli, 8, 8, 0, 2});
+  emit({Opcode::kAdd, 8, 8, 3, 0});
+  emit({Opcode::kLw, 9, 8, 0, 0});
+  emit({Opcode::kAdd, 6, 6, 9, 0});
+  emit({Opcode::kAddi, 7, 7, 0, 1});
+  emit({Opcode::kBlt, 7, 10, 0,
+        loop_top - static_cast<std::int32_t>(words.size()) - 1});
+  emit({Opcode::kSlli, 11, 1, 0, 2});
+  emit({Opcode::kAdd, 11, 11, 4, 0});
+  emit({Opcode::kSw, 6, 11, 0, 0});
+  emit({Opcode::kRet, 0, 0, 0, 0});
+  return words;
+}
+
+struct DriverRun {
+  sim::LaunchStats stats;
+  std::vector<std::uint32_t> out;
+};
+
+DriverRun run_driver(const sim::GpuConfig& config, const std::vector<std::uint32_t>& words,
+                     const std::vector<std::uint32_t>& input,
+                     std::vector<std::uint32_t> extra_params, std::uint32_t lanes,
+                     std::uint32_t wg_size, std::uint32_t out_words_per_lane) {
+  sim::Gpu gpu(config);
+  std::vector<std::uint32_t> params;
+  if (!input.empty()) {
+    const auto in = gpu.alloc(static_cast<std::uint32_t>(input.size()) * 4);
+    gpu.write(in, input);
+    params.push_back(in);
+  }
+  const auto out = gpu.alloc(lanes * out_words_per_lane * 4);
+  params.push_back(out);
+  params.insert(params.end(), extra_params.begin(), extra_params.end());
+  isa::Program program("xcheck", std::vector<std::uint32_t>(words), {});
+  DriverRun run;
+  run.stats = gpu.launch(program, params, lanes, wg_size);
+  run.out.resize(lanes * out_words_per_lane);
+  gpu.read(out, run.out);
+  return run;
+}
+
+class ParallelDriverFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDriverFuzz, SerialAndParallelDriversAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xC500 + seed);
+  sim::GpuConfig config;
+  config.cu_count = 1 + static_cast<int>(rng.next_below(16));
+  config.cache_banks = 1u << rng.next_below(3);
+  config.cache_queue_depth = rng.next_below(2) == 0 ? 2 : 8;
+  config.idle_fast_forward = rng.next_below(2) == 0;
+  config.parallel_min_wavefronts = 0;  // exercise the gang even on small launches
+  config.intra_launch_adaptive = false;  // pin the two-phase driver, no fallback
+  if (rng.next_below(4) == 0) {
+    // Single-beat pipes (wavefront == PE count) are the edge where a CU
+    // can issue back-to-back cycles: the parked-lane deferral must stay
+    // off and the idle-profile pipe fast path never applies.
+    config.wavefront_size = 8;
+  }
+
+  const std::uint32_t wg_choices[] = {64, 128, 192, 256};
+  // A CU holds wavefront_size * 8 work-items; keep work-groups placeable.
+  const std::uint32_t wg_size =
+      config.wavefront_size == 8 ? 64 : wg_choices[rng.next_below(4)];
+  const std::uint32_t lanes = 256 + 64 * rng.next_below(13);  // 256..1024
+  const std::uint32_t mask = 255;                             // 256-word input window
+  const auto trips = static_cast<std::int32_t>(3 + rng.next_below(6));
+  const std::uint32_t stride = 1 + rng.next_below(97);
+
+  std::vector<std::uint32_t> input(mask + 1);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint32_t>(i) * 2654435761u ^ static_cast<std::uint32_t>(seed);
+  }
+  const auto gather = strided_reduce_program(mask, trips);
+  const auto branchy = random_branchy_program(rng);
+
+  config.intra_launch_threads = 1;
+  const auto gather_serial = run_driver(config, gather, input, {stride}, lanes, wg_size, 1);
+  const auto branchy_serial = run_driver(config, branchy, {}, {}, lanes, wg_size, 12);
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    config.intra_launch_threads = threads;
+    const auto gather_parallel = run_driver(config, gather, input, {stride}, lanes, wg_size, 1);
+    EXPECT_EQ(gather_parallel.stats.cycles, gather_serial.stats.cycles);
+    sim::expect_counters_identical(gather_parallel.stats.counters, gather_serial.stats.counters);
+    EXPECT_EQ(gather_parallel.out, gather_serial.out);
+
+    const auto branchy_parallel = run_driver(config, branchy, {}, {}, lanes, wg_size, 12);
+    EXPECT_EQ(branchy_parallel.stats.cycles, branchy_serial.stats.cycles);
+    sim::expect_counters_identical(branchy_parallel.stats.counters, branchy_serial.stats.counters);
+    EXPECT_EQ(branchy_parallel.out, branchy_serial.out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDriverFuzz, ::testing::Range(0, 10));
 
 class AluFuzz : public ::testing::TestWithParam<int> {};
 
