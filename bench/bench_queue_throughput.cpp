@@ -1,25 +1,40 @@
 // Host-runtime throughput tracker: measures kernels/host-second through
 // the asynchronous Context/CommandQueue API at 1..16 concurrent queues
-// (one device per queue, workers = hardware concurrency) and writes
-// BENCH_queue_throughput.json so the serving-throughput trajectory is
-// visible across PRs.
+// (one device per queue, workers = hardware concurrency), plus a
+// mixed-priority multi-tenant fairness scenario over the pluggable
+// scheduler policies, and writes BENCH_queue_throughput.json so the
+// serving-throughput and fairness trajectories are visible across PRs.
 //
-// Each queue is driven by a closed-loop client thread — upload once, then
-// repeatedly enqueue a launch + result read and block on the read event,
-// like a serving client awaiting its answer. One client leaves workers
-// idle and pays the enqueue/wake round-trip serially; N clients overlap
-// both, which is exactly the concurrency the Context exists to serve.
+// Throughput section: each queue is driven by a closed-loop client thread
+// — upload once, then repeatedly enqueue a launch + result read and block
+// on the read event, like a serving client awaiting its answer. One
+// client leaves workers idle and pays the enqueue/wake round-trip
+// serially; N clients overlap both, which is exactly the concurrency the
+// Context exists to serve.
 //
-// Self-check: every queue's read-back must match the host golden, and —
-// since each queue sees an identical device + identical launches — every
-// launch's cycle count must be bit-identical across all queues and all
-// queue counts. Exits non-zero on divergence (CI gate).
+// Fairness section: four tenants share two devices and two command
+// workers (open-loop: every launch enqueued up front, released by one
+// gate), under each scheduling policy in turn. Tenant 0 runs at high
+// priority; the others at 0. Reports per-tenant throughput and the Jain
+// fairness index (sum x)^2 / (n * sum x^2), self-checking that every
+// tenant makes progress (no starvation — aging guarantees it even under
+// kPriority), that under kPriority the high-priority tenant completes
+// before the tenants contending for its device, and that kFairShare
+// serves near-equal shares (Jain >= 0.7).
+//
+// Self-check (CI gate, exits non-zero on violation): every read-back must
+// match the host golden, and — since every launch is the same kernel on
+// an identically configured device with a per-launch-cold cache — every
+// launch's cycle count must be bit-identical across queues, queue counts,
+// tenants, and policies.
 //
 // GPUP_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -129,7 +144,165 @@ RunResult run_point(int queues) {
   return result;
 }
 
-void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check) {
+// ---- multi-tenant fairness scenario ---------------------------------------
+
+constexpr int kTenants = 4;
+constexpr int kFairLaunchesPerTenant = 16;
+constexpr int kFairWorkers = 2;
+constexpr int kFairDevices = 2;
+
+struct TenantPoint {
+  std::uint64_t tenant = 0;
+  int priority = 0;
+  int kernels = 0;
+  double wall_s = 0.0;
+  double kernels_per_s = 0.0;
+};
+
+struct FairnessRun {
+  const char* policy = "";
+  std::vector<TenantPoint> tenants;
+  double jain = 0.0;
+  bool all_valid = true;
+  bool high_priority_first = true;  // meaningful for the kPriority run
+  std::vector<std::uint64_t> launch_cycles;
+};
+
+double jain_index(const std::vector<TenantPoint>& tenants) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& tenant : tenants) {
+    sum += tenant.kernels_per_s;
+    sum_sq += tenant.kernels_per_s * tenant.kernels_per_s;
+  }
+  return sum_sq > 0 ? (sum * sum) / (static_cast<double>(tenants.size()) * sum_sq) : 0.0;
+}
+
+/// Four tenants, two devices (two tenants each), two workers: every
+/// launch is enqueued up front on the tenant's in-order queue and the
+/// whole batch is released by one gate, so the scheduling policy — not
+/// submission interleaving — decides who runs. Tenant 0 is high priority.
+/// Input buffers ride the per-device affinity cache (one upload per
+/// device, shared by both tenants on it).
+FairnessRun run_fairness(gpup::rt::SchedulerPolicy policy) {
+  gpup::rt::ContextOptions options;
+  options.devices.assign(kFairDevices, bench_config());
+  options.threads = kFairWorkers;
+  options.scheduler.policy = policy;
+  gpup::rt::Context context(options);
+  const auto program = gpup::rt::Context::compile(kVecMulSource);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  std::vector<std::uint32_t> a(kN), b(kN), golden(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    a[i] = i * 2654435761u + 1;
+    b[i] = i ^ 0x9e3779b9u;
+    golden[i] = a[i] * b[i];
+  }
+
+  FairnessRun run;
+  run.policy = gpup::rt::to_string(policy);
+  gpup::rt::UserEvent gate = context.create_user_event();
+
+  struct Tenant {
+    gpup::rt::CommandQueue queue;
+    std::vector<gpup::rt::Event> kernels;
+    gpup::rt::Event read;
+    int priority = 0;
+  };
+  std::vector<Tenant> tenants(kTenants);
+  // Completion order recorded by a final command on each tenant's queue —
+  // the worker stamps it the moment the tenant's chain drains, so the
+  // order reflects actual service order, not observer-thread wake-up
+  // latency (decisive on oversubscribed 2-core CI hosts).
+  auto completion_seq = std::make_shared<std::atomic<int>>(0);
+  std::vector<int> completion_order(kTenants, 0);
+  for (int t = 0; t < kTenants; ++t) {
+    auto& tenant = tenants[static_cast<std::size_t>(t)];
+    tenant.priority = t == 0 ? 8 : 0;
+    gpup::rt::QueueOptions queue_options;
+    queue_options.priority = tenant.priority;
+    queue_options.tenant = static_cast<std::uint64_t>(t);
+    queue_options.device = t % kFairDevices;
+    auto created = context.create_queue(queue_options);
+    GPUP_CHECK(created.ok());
+    tenant.queue = created.value();
+
+    auto up_a = tenant.queue.upload_shared(1, a);
+    auto up_b = tenant.queue.upload_shared(2, b);
+    const auto out = tenant.queue.alloc_words(kN);
+    GPUP_CHECK(up_a.ok() && up_b.ok() && out.ok());
+    const auto args = gpup::rt::Args()
+                          .add(kN).add(up_a.value().buffer).add(up_b.value().buffer)
+                          .add(out.value())
+                          .words();
+    for (int l = 0; l < kFairLaunchesPerTenant; ++l) {
+      // The first launch carries the gate + upload deps; the rest chain
+      // through the in-order queue.
+      std::vector<gpup::rt::Event> wait_list;
+      if (l == 0) wait_list = {gate.event(), up_a.value().ready, up_b.value().ready};
+      tenant.kernels.push_back(
+          tenant.queue.enqueue_kernel(program.value(), args, {kN, 256}, wait_list));
+    }
+    tenant.read = tenant.queue.enqueue_read(out.value());
+    tenant.queue.enqueue_native([completion_seq, &completion_order, t]() -> gpup::Status {
+      completion_order[static_cast<std::size_t>(t)] =
+          completion_seq->fetch_add(1, std::memory_order_relaxed);
+      return {};
+    });
+  }
+
+  // One observer thread per tenant records the exact moment its final
+  // read settles, so per-tenant walls (and the completion-order check)
+  // are not skewed by observation order.
+  std::vector<double> walls(kTenants, 0.0);
+  std::vector<std::uint8_t> valid(kTenants, 0);
+  const auto start = Clock::now();
+  gate.complete();
+  {
+    std::vector<std::thread> observers;
+    observers.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      observers.emplace_back([&, t] {
+        auto& tenant = tenants[static_cast<std::size_t>(t)];
+        const bool ok = tenant.read.wait() && tenant.read.data() == golden;
+        walls[static_cast<std::size_t>(t)] =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        valid[static_cast<std::size_t>(t)] = ok ? 1 : 0;
+      });
+    }
+    for (auto& observer : observers) observer.join();
+  }
+  GPUP_CHECK(context.finish());
+
+  for (int t = 0; t < kTenants; ++t) {
+    auto& tenant = tenants[static_cast<std::size_t>(t)];
+    run.all_valid = run.all_valid && valid[static_cast<std::size_t>(t)] != 0;
+    TenantPoint point;
+    point.tenant = static_cast<std::uint64_t>(t);
+    point.priority = tenant.priority;
+    point.kernels = kFairLaunchesPerTenant;
+    point.wall_s = walls[static_cast<std::size_t>(t)];
+    point.kernels_per_s = point.wall_s > 0 ? point.kernels / point.wall_s : 0.0;
+    run.tenants.push_back(point);
+    for (const auto& kernel : tenant.kernels) {
+      run.launch_cycles.push_back(kernel.stats().cycles);
+    }
+  }
+  run.jain = jain_index(run.tenants);
+  // "Completes first" is only meaningful under contention: compare tenant
+  // 0 against the tenants sharing its device (t % kFairDevices == 0),
+  // where the policy actually arbitrates. A tenant on the other device
+  // runs an identical, non-contending workload and can tie on OS jitter.
+  for (std::size_t t = 1; t < run.tenants.size(); ++t) {
+    if (t % kFairDevices != 0) continue;
+    if (completion_order[t] < completion_order[0]) run.high_priority_first = false;
+  }
+  return run;
+}
+
+void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check,
+               const std::vector<FairnessRun>& fairness, bool fairness_check) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_queue_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -153,9 +326,82 @@ void emit_json(const std::vector<Point>& points, unsigned threads, bool self_che
                  p.queues, p.launches, p.wall_s, p.kernels_per_s,
                  base > 0 ? p.kernels_per_s / base : 0.0, i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"fairness\": {\n");
+  std::fprintf(out, "    \"tenants\": %d,\n", kTenants);
+  std::fprintf(out, "    \"launches_per_tenant\": %d,\n", kFairLaunchesPerTenant);
+  std::fprintf(out, "    \"workers\": %d,\n", kFairWorkers);
+  std::fprintf(out, "    \"devices\": %d,\n", kFairDevices);
+  std::fprintf(out, "    \"self_check\": %s,\n", fairness_check ? "true" : "false");
+  std::fprintf(out, "    \"runs\": [\n");
+  for (std::size_t i = 0; i < fairness.size(); ++i) {
+    const FairnessRun& run = fairness[i];
+    std::fprintf(out, "      {\"policy\": \"%s\", \"jain\": %.4f, ", run.policy, run.jain);
+    std::fprintf(out, "\"all_valid\": %s, \"high_priority_first\": %s, \"tenants\": [\n",
+                 run.all_valid ? "true" : "false", run.high_priority_first ? "true" : "false");
+    for (std::size_t t = 0; t < run.tenants.size(); ++t) {
+      const TenantPoint& point = run.tenants[t];
+      std::fprintf(out,
+                   "        {\"tenant\": %llu, \"priority\": %d, \"kernels\": %d, "
+                   "\"wall_s\": %.6f, \"kernels_per_s\": %.2f}%s\n",
+                   static_cast<unsigned long long>(point.tenant), point.priority,
+                   point.kernels, point.wall_s, point.kernels_per_s,
+                   t + 1 < run.tenants.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]}%s\n", i + 1 < fairness.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Runs the fairness scenario under every policy; returns false (failing
+/// CI) when a tenant starves or misbehaves:
+///   - every tenant's read-back must be golden-valid under every policy
+///     (all tenants make progress even while priority favors tenant 0);
+///   - under kPriority the high-priority tenant must complete before its
+///     same-device contenders;
+///   - under kFairShare the Jain index must stay >= 0.7;
+///   - every launch's cycle count must be bit-identical across tenants
+///     and policies (per-launch-cold device state: scheduling must not
+///     leak into simulated results).
+bool run_fairness_report(std::vector<FairnessRun>& runs,
+                         std::uint64_t* reference_cycles) {
+  std::printf("=== Multi-tenant fairness (%d tenants, %d launches each, %d workers, "
+              "%d devices; tenant 0 priority 8) ===\n",
+              kTenants, kFairLaunchesPerTenant, kFairWorkers, kFairDevices);
+  (void)run_fairness(gpup::rt::SchedulerPolicy::kFifo);  // warm-up, discarded
+
+  bool ok = true;
+  for (const auto policy :
+       {gpup::rt::SchedulerPolicy::kFifo, gpup::rt::SchedulerPolicy::kPriority,
+        gpup::rt::SchedulerPolicy::kFairShare}) {
+    FairnessRun run = run_fairness(policy);
+    ok = ok && run.all_valid;
+    for (const std::uint64_t cycles : run.launch_cycles) {
+      if (*reference_cycles == 0) *reference_cycles = cycles;
+      ok = ok && cycles == *reference_cycles;
+    }
+    if (policy == gpup::rt::SchedulerPolicy::kPriority && !run.high_priority_first) {
+      std::printf("  !! high-priority tenant did not complete first under kPriority\n");
+      ok = false;
+    }
+    if (policy == gpup::rt::SchedulerPolicy::kFairShare && run.jain < 0.7) {
+      std::printf("  !! fair-share Jain index %.3f < 0.7\n", run.jain);
+      ok = false;
+    }
+    std::printf("%10s: jain %.3f%s |", run.policy, run.jain,
+                run.high_priority_first ? " (t0 first)" : "");
+    for (const auto& point : run.tenants) {
+      std::printf(" t%llu%s %6.1f k/s", static_cast<unsigned long long>(point.tenant),
+                  point.priority != 0 ? "*" : " ", point.kernels_per_s);
+    }
+    std::printf("\n");
+    runs.push_back(std::move(run));
+  }
+  std::printf("fairness self-check: %s\n", ok ? "ok" : "FAILED");
+  return ok;
 }
 
 /// Returns false if any read-back or cross-queue cycle count diverged.
@@ -201,8 +447,11 @@ bool run_throughput_report() {
   std::printf("self-check (goldens + bit-identical per-launch cycles): %s\n",
               self_check ? "ok" : "DIVERGED");
 
-  emit_json(points, threads, self_check);
-  return self_check;
+  std::vector<FairnessRun> fairness;
+  const bool fairness_check = run_fairness_report(fairness, &reference_cycles);
+
+  emit_json(points, threads, self_check, fairness, fairness_check);
+  return self_check && fairness_check;
 }
 
 void BM_EightQueues(benchmark::State& state) {

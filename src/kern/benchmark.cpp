@@ -10,8 +10,11 @@ GpuRun run_gpu(const Benchmark& benchmark, rt::CommandQueue& queue, std::uint32_
                                    (program.ok() ? "" : program.error().to_string()));
 
   GpuWorkload work = benchmark.prepare(queue, size);
-  const rt::Event kernel =
-      queue.enqueue_kernel(program.value(), work.params, {work.global_size, work.wg_size});
+  // work.deps orders the launch behind affinity-cached input uploads that
+  // may have been enqueued by another queue of the same device; same-queue
+  // uploads are additionally covered by in-order chaining.
+  const rt::Event kernel = queue.enqueue_kernel(
+      program.value(), work.params, {work.global_size, work.wg_size}, work.deps);
   const rt::Event read = queue.enqueue_read(work.out);
   GPUP_CHECK_MSG(read.wait(), "launch failed: " + read.error().to_string());
 

@@ -31,6 +31,10 @@ struct GpuWorkload {
   std::uint32_t wg_size = 256;
   rt::Buffer out;
   std::vector<std::uint32_t> golden;
+  /// Wait-list for the launch: the input uploads, which may live on
+  /// another queue of the same device (prepare() shares read-only inputs
+  /// through the device's affinity cache).
+  std::vector<rt::Event> deps;
 };
 
 /// Prepared workload on the RISC-V core.
@@ -78,10 +82,12 @@ struct RvRun {
 };
 
 /// Run on a queue: prepare, enqueue the launch + read-back, validate.
-/// Harness semantics: any runtime failure is fatal (GPUP_CHECK). Each
-/// call allocates fresh buffers on the queue's device (a shared device
-/// cannot be rewound under other queues); loop with a fresh Context —
-/// see run_gpu(benchmark, config, size) — or ample global memory.
+/// Harness semantics: any runtime failure is fatal (GPUP_CHECK). Inputs
+/// are read-only and affinity-cached, so repeat runs (and other queues of
+/// the same device) reuse one upload; the output buffer is fresh per call
+/// (a shared device cannot be rewound under other queues) — loop with a
+/// fresh Context — see run_gpu(benchmark, config, size) — or ample
+/// global memory.
 [[nodiscard]] GpuRun run_gpu(const Benchmark& benchmark, rt::CommandQueue& queue,
                              std::uint32_t size);
 

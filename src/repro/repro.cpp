@@ -1,8 +1,8 @@
 #include "src/repro/repro.hpp"
 
-#include <algorithm>
 #include <memory>
 
+#include "src/rt/runtime.hpp"
 #include "src/util/status.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/thread_pool.hpp"
@@ -101,31 +101,68 @@ std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads,
     rows[b] = init_row(*benchmarks[b], scale);
   }
 
-  // One task per matrix cell. Each task owns a private core or device and
-  // writes a distinct slot, so any interleaving yields the same matrix.
-  // Cells are claimed heaviest-first (estimated cost); the output stays
-  // ordered and bit-identical because slots are fixed per cell.
-  std::vector<std::uint8_t> valid(benchmarks.size() * kTargets, 0);
-  std::vector<std::size_t> order(valid.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return cell_cost(*benchmarks[a / kTargets], a % kTargets) >
-           cell_cost(*benchmarks[b / kTargets], b % kTargets);
-  });
-  // One budget across the whole sweep: each running cell holds a token
-  // (via its Context), and launches borrow the rest for intra-launch tick
-  // gangs — so the sweep's tail, where cells outnumber idle workers no
-  // longer, still uses every core. threads == 1 keeps everything serial.
+  // One native command per matrix cell, ordered by the runtime's priority
+  // scheduler: every cell rides its own queue whose priority is the
+  // paper-derived cost estimate, so workers pick the heaviest surviving
+  // cell first and the slowest cell never starts last to dominate tail
+  // latency. (PR 2 hand-sorted the submission order; that bespoke
+  // ordering is now just a policy.) A user event gates all cells so the
+  // whole matrix reaches the policy before the first pop. Each cell owns
+  // a private core or device and writes a distinct slot, so the matrix is
+  // bit-identical for any thread count and any pick order.
   const unsigned resolved_threads = threads == 0 ? ThreadPool::default_threads() : threads;
+  // One budget across the whole sweep: each running cell holds a token
+  // (via its inner Context), and launches borrow the rest for intra-launch
+  // tick gangs — so the sweep's tail, where cells no longer outnumber
+  // idle workers, still uses every core. threads == 1 keeps everything
+  // serial.
   std::shared_ptr<ConcurrencyBudget> budget;
   if (resolved_threads > 1) budget = std::make_shared<ConcurrencyBudget>(resolved_threads);
-  parallel_for(order.size(), threads, [&](std::size_t k) {
-    const std::size_t task = order[k];
+
+  rt::ContextOptions options;
+  // This context only schedules host commands — cells bring their own
+  // devices — so its pool device is a stub with minimal global memory.
+  sim::GpuConfig stub;
+  stub.global_mem_bytes = 64 * 1024;
+  options.devices = {stub};
+  options.threads = resolved_threads;
+  options.scheduler.policy = rt::SchedulerPolicy::kPriority;
+  rt::Context context(options);
+  rt::UserEvent gate = context.create_user_event();
+
+  std::vector<std::uint8_t> valid(benchmarks.size() * kTargets, 0);
+  std::vector<rt::Event> cells;
+  cells.reserve(valid.size());
+  for (std::size_t task = 0; task < valid.size(); ++task) {
     const std::size_t b = task / kTargets;
     const std::size_t target = task % kTargets;
-    valid[task] =
-        run_cell(*benchmarks[b], rows[b], target, idle_fast_forward, budget) ? 1 : 0;
-  });
+    rt::QueueOptions queue_options;
+    queue_options.device = 0;
+    queue_options.priority = static_cast<int>(cell_cost(*benchmarks[b], target));
+    auto created = context.create_queue(queue_options);
+    GPUP_CHECK(created.ok());
+    rt::CommandQueue queue = created.value();
+    cells.push_back(queue.enqueue_native(
+        [&rows, &valid, &benchmarks, b, target, task, idle_fast_forward, budget]() -> Status {
+          valid[task] =
+              run_cell(*benchmarks[b], rows[b], target, idle_fast_forward, budget) ? 1 : 0;
+          return {};
+        },
+        {gate.event()}));
+  }
+  gate.complete();
+  if (!context.finish()) {
+    // Surface the first failed cell's own error (a run_cell throw lands in
+    // the event), not just a generic abort.
+    for (std::size_t task = 0; task < cells.size(); ++task) {
+      if (cells[task].status() == rt::EventStatus::kFailed) {
+        GPUP_CHECK_MSG(false, format("matrix cell %s/target %zu failed: %s",
+                                     benchmarks[task / kTargets]->name().c_str(),
+                                     task % kTargets, cells[task].error().to_string().c_str()));
+      }
+    }
+    GPUP_CHECK_MSG(false, "matrix sweep command failed");
+  }
 
   for (std::size_t task = 0; task < valid.size(); ++task) {
     CycleRow& row = rows[task / kTargets];

@@ -36,10 +36,11 @@ struct CycleRow {
 /// sizes (1 = paper-size; larger = quicker smoke runs).
 ///
 /// Every cell of the matrix (benchmark x target) is an independent,
-/// self-contained simulation, so the sweep fans out over a thread pool,
-/// heaviest cells first (so the slowest cell never starts last and
-/// dominates tail latency); results are ordered and bit-identical for any
-/// thread count.
+/// self-contained simulation, so the sweep fans out as native commands
+/// over the runtime's priority scheduler (one queue per cell, priority =
+/// paper Table III cost estimate), heaviest cells first so the slowest
+/// cell never starts last and dominates tail latency; results are ordered
+/// and bit-identical for any thread count.
 /// `threads` == 0 uses the hardware concurrency, 1 forces a serial sweep.
 /// `idle_fast_forward` == false disables the driver-loop fast-forward
 /// (GpuConfig::idle_fast_forward) so benches can time a baseline pass;

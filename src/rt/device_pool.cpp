@@ -1,0 +1,80 @@
+#include "src/rt/device_pool.hpp"
+
+#include <utility>
+
+#include "src/util/strings.hpp"
+
+namespace gpup::rt {
+
+bool DeviceRequirements::matches(const sim::GpuConfig& config) const {
+  return config.cu_count >= min_cu_count &&
+         config.global_mem_bytes >= min_global_mem_bytes &&
+         config.cache_bytes >= min_cache_bytes &&
+         config.lram_words_per_cu >= min_lram_words_per_cu &&
+         (!needs_hw_divider || config.hw_divider);
+}
+
+std::string DeviceRequirements::describe() const {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += " ";
+    out += text;
+  };
+  if (min_cu_count > 0) clause(format("cu>=%d", min_cu_count));
+  if (min_global_mem_bytes > 0) clause(format("global_mem>=%uB", min_global_mem_bytes));
+  if (min_cache_bytes > 0) clause(format("cache>=%uB", min_cache_bytes));
+  if (min_lram_words_per_cu > 0) clause(format("lram>=%uw", min_lram_words_per_cu));
+  if (needs_hw_divider) clause("hw_divider");
+  return out.empty() ? "any device" : out;
+}
+
+std::uint64_t content_key(std::span<const std::uint32_t> words) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const std::uint32_t word : words) {
+    hash ^= word;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash == 0 ? 1 : hash;  // reserve 0 as "no key"
+}
+
+DevicePool::DevicePool(std::vector<sim::GpuConfig> configs) {
+  devices_.reserve(configs.size());
+  for (const auto& config : configs) {
+    devices_.push_back(std::make_unique<Device>(config));
+  }
+}
+
+std::size_t DevicePool::checked(int index) const {
+  GPUP_CHECK_MSG(index >= 0 && index < size(), "device index out of range");
+  return static_cast<std::size_t>(index);
+}
+
+Result<int> DevicePool::place(const DeviceRequirements& require) const {
+  int best = -1;
+  for (int i = 0; i < size(); ++i) {
+    if (!require.matches(devices_[static_cast<std::size_t>(i)]->gpu.config())) continue;
+    if (best < 0 || devices_[static_cast<std::size_t>(i)]->bound_queues <
+                        devices_[static_cast<std::size_t>(best)]->bound_queues) {
+      best = i;
+    }
+  }
+  if (best < 0) {
+    return Error{format("no device in the pool of %d satisfies: %s", size(),
+                        require.describe().c_str()),
+                 "rt.place"};
+  }
+  return best;
+}
+
+Result<DevicePool::CachedUpload> DevicePool::find_or_upload(
+    int index, std::uint64_t key, const std::function<Result<CachedUpload>()>& make) {
+  auto& device = *devices_[checked(index)];
+  std::lock_guard<std::mutex> lock(device.cache_mutex);
+  const auto it = device.cache.find(key);
+  if (it != device.cache.end()) return it->second;
+  auto made = make();
+  if (!made.ok()) return made.error();
+  return device.cache.emplace(key, std::move(made).value()).first->second;
+}
+
+}  // namespace gpup::rt

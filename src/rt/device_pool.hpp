@@ -1,0 +1,125 @@
+// Capability-aware device-pool layer of the host runtime.
+//
+// A Context owns one DevicePool. Unlike the PR-2 pool, the devices need
+// not be identical: every `sim::Gpu` carries its own `sim::GpuConfig`
+// (heterogeneous CU counts, cache geometry, memory sizes — the G-GPU
+// generator's whole design space can serve side by side). Queues either
+// name a device index explicitly or describe what they need with
+// `DeviceRequirements`, and `place()` binds them to the least-loaded
+// matching device (lowest index on ties — deterministic).
+//
+// The pool also keeps a per-device *affinity cache* of uploaded buffers:
+// read-only inputs keyed by a caller-supplied content tag are uploaded to
+// a given device once and every later queue bound to that device reuses
+// the same buffer (plus the upload's event for ordering). The bump
+// allocator never frees, so cached buffers stay valid for the context's
+// lifetime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/gpu.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::rt {
+
+namespace detail {
+struct EventState;
+}  // namespace detail
+
+/// A device-memory allocation. `device` names the pool device the buffer
+/// lives on; commands reject buffers from a different device.
+struct Buffer {
+  std::uint32_t addr = 0;   ///< device byte address (as passed to kernels)
+  std::uint32_t bytes = 0;
+  int device = 0;           ///< owning device index within the Context
+
+  [[nodiscard]] std::uint32_t words() const { return bytes / 4; }
+};
+
+/// What a queue needs from a device. Default matches any device.
+struct DeviceRequirements {
+  int min_cu_count = 0;
+  std::uint32_t min_global_mem_bytes = 0;
+  std::uint32_t min_cache_bytes = 0;
+  std::uint32_t min_lram_words_per_cu = 0;
+  bool needs_hw_divider = false;
+
+  [[nodiscard]] bool matches(const sim::GpuConfig& config) const;
+  /// "cu>=4 cache>=16384B" — the unmet clauses, for placement errors.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Content hash for affinity-cache keys (FNV-1a over the words). Callers
+/// with a natural identity (benchmark name, buffer id) can use their own
+/// keys instead.
+[[nodiscard]] std::uint64_t content_key(std::span<const std::uint32_t> words);
+
+class DevicePool {
+ public:
+  explicit DevicePool(std::vector<sim::GpuConfig> configs);
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] sim::Gpu& gpu(int index) { return devices_[checked(index)]->gpu; }
+  [[nodiscard]] const sim::GpuConfig& config(int index) const {
+    return devices_[checked(index)]->gpu.config();
+  }
+
+  /// Serializes launches/copies on the device (a launch holds the device
+  /// exclusively, like real hardware).
+  [[nodiscard]] std::mutex& exec_mutex(int index) { return devices_[checked(index)]->exec; }
+  /// Serializes synchronous allocation.
+  [[nodiscard]] std::mutex& alloc_mutex(int index) { return devices_[checked(index)]->alloc; }
+
+  /// The matching device with the fewest bound queues (lowest index wins
+  /// ties); Error listing the unmet requirements when nothing matches.
+  [[nodiscard]] Result<int> place(const DeviceRequirements& require) const;
+
+  /// Account a queue binding (placement load; one per created queue).
+  void bind(int index) { devices_[checked(index)]->bound_queues += 1; }
+  [[nodiscard]] int bound_queues(int index) const {
+    return devices_[checked(index)]->bound_queues;
+  }
+
+  // ---- affinity cache --------------------------------------------------
+  /// One per-device cache entry: the uploaded buffer plus the write
+  /// command's event state (dependents order behind it via wait-lists).
+  struct CachedUpload {
+    Buffer buffer;
+    std::shared_ptr<detail::EventState> write;
+  };
+
+  /// Find `key` in the device's cache, or run `make` (under the cache
+  /// lock, so exactly one uploader wins a race) and cache its result. A
+  /// failed `make` (e.g. device OOM) is returned without caching, so a
+  /// later retry can succeed. Entries are never erased.
+  Result<CachedUpload> find_or_upload(int index, std::uint64_t key,
+                                      const std::function<Result<CachedUpload>()>& make);
+
+ private:
+  struct Device {
+    explicit Device(const sim::GpuConfig& config) : gpu(config) {}
+    sim::Gpu gpu;
+    std::mutex exec;
+    std::mutex alloc;
+    int bound_queues = 0;  ///< guarded by the Context's queues mutex
+    mutable std::mutex cache_mutex;
+    std::unordered_map<std::uint64_t, CachedUpload> cache;
+  };
+
+  [[nodiscard]] std::size_t checked(int index) const;
+
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace gpup::rt

@@ -1,0 +1,84 @@
+#include "src/rt/event_graph.hpp"
+
+namespace gpup::rt {
+
+const char* to_string(EventStatus status) {
+  switch (status) {
+    case EventStatus::kQueued: return "queued";
+    case EventStatus::kRunning: return "running";
+    case EventStatus::kComplete: return "complete";
+    case EventStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(QueueMode mode) {
+  switch (mode) {
+    case QueueMode::kInOrder: return "in-order";
+    case QueueMode::kOutOfOrder: return "out-of-order";
+  }
+  return "?";
+}
+
+std::mutex& EventGraph::mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void EventGraph::link(const std::shared_ptr<detail::EventState>& node,
+                      const std::shared_ptr<detail::EventState>& dep) {
+  if (!dep) return;
+  if (dep->settled) {
+    if (dep->failed && !node->dep_failed) {
+      node->dep_failed = true;
+      node->dep_error = dep->failure;
+    }
+  } else {
+    dep->dependents.push_back(node);
+    ++node->deps_remaining;
+  }
+}
+
+void EventGraph::attach_to_queue(const std::shared_ptr<detail::EventState>& node,
+                                 const std::shared_ptr<detail::QueueState>& queue) {
+  node->queue = queue;
+  node->queue_slot = queue->unsettled.size();
+  queue->unsettled.push_back(node);
+  if (queue->mode == QueueMode::kInOrder) queue->last = node;
+}
+
+std::vector<std::shared_ptr<detail::EventState>> EventGraph::settle(
+    const std::shared_ptr<detail::EventState>& node, const Status& result) {
+  std::vector<std::shared_ptr<detail::EventState>> ready;
+  std::lock_guard<std::mutex> lock(mutex());
+  node->settled = true;
+  node->failed = !result.ok();
+  if (node->failed) node->failure = result.error();
+
+  if (node->queue) {
+    auto& queue = *node->queue;
+    if (node->failed) queue.any_failed = true;
+    // Swap-remove from the unsettled set; fix the moved node's back-index.
+    auto& unsettled = queue.unsettled;
+    const std::size_t slot = node->queue_slot;
+    unsettled[slot] = std::move(unsettled.back());
+    unsettled[slot]->queue_slot = slot;
+    unsettled.pop_back();
+    // `last` deliberately keeps pointing at a settled tail: an in-order
+    // queue whose tail failed must poison commands submitted later, and
+    // link() reads the failure off the settled node.
+    node->queue = nullptr;
+  }
+
+  for (auto& dependent : node->dependents) {
+    if (node->failed && !dependent->dep_failed) {
+      dependent->dep_failed = true;
+      dependent->dep_error = node->failure;
+    }
+    if (--dependent->deps_remaining == 0) ready.push_back(std::move(dependent));
+  }
+  node->dependents.clear();
+  return ready;
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,129 @@
+// Dependency-graph layer of the host runtime.
+//
+// Tracks command readiness independent of queue order: every enqueued
+// command is a node, edges come from the owning queue's mode (in-order
+// queues chain each command behind the previous one; out-of-order queues
+// add no implicit edges) plus the explicit wait-list. A node becomes
+// *ready* when its last unsettled dependency settles; the EventGraph hands
+// ready nodes back to the caller, which routes each to its owning
+// Context's Scheduler (scheduler.hpp) — the graph decides *which* commands
+// can run, never *when* or *where*.
+//
+// Failure semantics: when a node settles failed, the failure is recorded
+// on every dependent at the moment it becomes ready, and a dependent that
+// saw any failed dependency executes as an immediate dependency error
+// instead of running its body. Failures therefore cascade through the
+// transitive closure — and only through it, so in out-of-order mode
+// commands with no path from the failed node are untouched.
+//
+// The graph is process-global (one mutex), because wait-lists may cross
+// Context instances; it is tiny and touched only for microseconds per
+// command.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/rt/scheduler.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::rt {
+
+enum class EventStatus { kQueued, kRunning, kComplete, kFailed };
+
+[[nodiscard]] const char* to_string(EventStatus status);
+
+/// In-order queues chain every command behind the previous one (the
+/// OpenCL default); out-of-order queues order commands by explicit
+/// wait-lists only, so independent commands of one queue run concurrently
+/// and a failure poisons exactly its transitive dependents.
+enum class QueueMode { kInOrder, kOutOfOrder };
+
+[[nodiscard]] const char* to_string(QueueMode mode);
+
+class Context;
+
+namespace detail {
+
+struct QueueState;
+
+struct EventState {
+  // ---- result, guarded by `m` -----------------------------------------
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  EventStatus status = EventStatus::kQueued;
+  bool settle_claimed = false;  ///< one settle wins (user events race complete/fail)
+  Error error;
+  sim::LaunchStats stats;
+  std::vector<std::uint32_t> data;
+
+  // ---- command body (worker-only once scheduled) -----------------------
+  Context* context = nullptr;  ///< null for user events (never scheduled)
+  std::function<Status(EventState&)> run;
+
+  // ---- scheduling metadata (immutable after submit) --------------------
+  CommandTag tag;
+
+  // ---- graph state, guarded by EventGraph::mutex() ---------------------
+  int deps_remaining = 0;
+  bool settled = false;       ///< terminal, as seen by the graph
+  bool failed = false;
+  Error failure;              ///< copy handed to dependents
+  bool dep_failed = false;
+  Error dep_error;
+  std::vector<std::shared_ptr<EventState>> dependents;
+  std::shared_ptr<QueueState> queue;   ///< owning queue (null: user event)
+  std::size_t queue_slot = 0;          ///< index in queue->unsettled
+};
+
+struct QueueState {
+  int id = 0;
+  int device = 0;
+  QueueMode mode = QueueMode::kInOrder;
+  int priority = 0;
+  std::uint64_t tenant = 0;
+
+  // Guarded by EventGraph::mutex(). `last` is the in-order chain tail;
+  // `unsettled` holds every non-terminal command of the queue (both
+  // modes) so finish() can wait on all of them — an out-of-order queue
+  // has no single tail that covers its history.
+  std::shared_ptr<EventState> last;
+  std::vector<std::shared_ptr<EventState>> unsettled;
+  bool any_failed = false;  ///< sticky: some command of this queue failed
+};
+
+}  // namespace detail
+
+/// The readiness layer. All methods lock (or expect) the process-wide
+/// graph mutex; see the file comment for the model.
+class EventGraph {
+ public:
+  /// The process-wide graph lock. Public because submission needs to link
+  /// a node and read queue tails atomically.
+  [[nodiscard]] static std::mutex& mutex();
+
+  /// Under mutex(): add the edge dep -> node (no-op for null dep). A
+  /// settled failed dep marks the node dep_failed instead of adding an
+  /// edge; an unsettled dep increments deps_remaining.
+  static void link(const std::shared_ptr<detail::EventState>& node,
+                   const std::shared_ptr<detail::EventState>& dep);
+
+  /// Under mutex(): register the node with its owning queue (chain tail +
+  /// unsettled set).
+  static void attach_to_queue(const std::shared_ptr<detail::EventState>& node,
+                              const std::shared_ptr<detail::QueueState>& queue);
+
+  /// Settle the node (locks mutex() itself): record the outcome, detach
+  /// from the owning queue, propagate failure to dependents, and return
+  /// every dependent whose last dependency this was — the caller routes
+  /// them to their contexts' schedulers.
+  [[nodiscard]] static std::vector<std::shared_ptr<detail::EventState>> settle(
+      const std::shared_ptr<detail::EventState>& node, const Status& result);
+};
+
+}  // namespace gpup::rt

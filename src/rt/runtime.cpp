@@ -1,60 +1,11 @@
 #include "src/rt/runtime.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/strings.hpp"
 
 namespace gpup::rt {
-
-const char* to_string(EventStatus status) {
-  switch (status) {
-    case EventStatus::kQueued: return "queued";
-    case EventStatus::kRunning: return "running";
-    case EventStatus::kComplete: return "complete";
-    case EventStatus::kFailed: return "failed";
-  }
-  return "?";
-}
-
-namespace detail {
-
-// The command graph (dependency edges, settled flags, queue tails) is tiny
-// and touched only for microseconds per command, so one process-wide lock
-// keeps it simple and makes wait-lists across Context instances safe.
-std::mutex& graph_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-struct EventState {
-  // ---- result, guarded by `m` -----------------------------------------
-  mutable std::mutex m;
-  mutable std::condition_variable cv;
-  EventStatus status = EventStatus::kQueued;
-  Error error;
-  sim::LaunchStats stats;
-  std::vector<std::uint32_t> data;
-
-  // ---- command body (worker-only once dispatched) ----------------------
-  Context* context = nullptr;
-  std::function<Status(EventState&)> run;
-
-  // ---- scheduling, guarded by graph_mutex() ---------------------------
-  int deps_remaining = 0;
-  bool settled = false;       ///< terminal, as seen by the graph
-  bool failed = false;
-  Error failure;              ///< copy handed to dependents
-  bool dep_failed = false;
-  Error dep_error;
-  std::vector<std::shared_ptr<EventState>> dependents;
-};
-
-struct QueueState {
-  int device = 0;
-  std::shared_ptr<EventState> last;  ///< queue tail, guarded by graph_mutex()
-};
-
-}  // namespace detail
 
 // ---- Event ----------------------------------------------------------------
 
@@ -94,89 +45,173 @@ const std::vector<std::uint32_t>& Event::data() const {
   return state_->data;  // terminal: no further writes
 }
 
+// ---- UserEvent ------------------------------------------------------------
+
+void UserEvent::complete() {
+  GPUP_CHECK_MSG(valid(), "null user event");
+  Context::settle_and_route(state_, Status{});
+}
+
+void UserEvent::fail(Error error) {
+  GPUP_CHECK_MSG(valid(), "null user event");
+  Context::settle_and_route(state_, Status{std::move(error)});
+}
+
 // ---- Context --------------------------------------------------------------
 
-Context::Context(const sim::GpuConfig& config, int device_count, unsigned threads)
-    : config_(config), pool_(threads) {
+namespace {
+
+std::vector<sim::GpuConfig> replicate(const sim::GpuConfig& config, int device_count) {
   GPUP_CHECK_MSG(device_count >= 1, "context needs at least one device");
-  // One token per pool worker: a worker holds its token while executing a
-  // command, so intra-launch tick gangs can only borrow workers that are
-  // actually idle (see GpuConfig::concurrency_budget).
-  if (!config_.concurrency_budget) {
-    config_.concurrency_budget = std::make_shared<ConcurrencyBudget>(pool_.size());
+  return std::vector<sim::GpuConfig>(static_cast<std::size_t>(device_count), config);
+}
+
+/// Shared budget installation: one token per pool worker — a worker holds
+/// its token while executing a command, so intra-launch tick gangs can
+/// only borrow workers that are actually idle (see
+/// GpuConfig::concurrency_budget). Caller-supplied budgets are kept.
+std::vector<sim::GpuConfig> with_budget(std::vector<sim::GpuConfig> configs,
+                                        const std::shared_ptr<ConcurrencyBudget>& budget) {
+  for (auto& config : configs) {
+    if (!config.concurrency_budget) config.concurrency_budget = budget;
   }
-  budget_ = config_.concurrency_budget;
-  devices_.reserve(static_cast<std::size_t>(device_count));
-  for (int i = 0; i < device_count; ++i) {
-    devices_.push_back(std::make_unique<DeviceSlot>(config_));
+  return configs;
+}
+
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? ThreadPool::default_threads() : threads;
+}
+
+/// The budget the context's own workers draw from. A caller-supplied
+/// budget (first device config carrying one) is adopted, so an executing
+/// command holds a token from the SAME pool its launch's tick gang leases
+/// from — e.g. the repro sweep's one budget across all cells. Otherwise a
+/// fresh budget sized to the worker pool.
+std::shared_ptr<ConcurrencyBudget> pick_budget(const std::vector<sim::GpuConfig>& configs,
+                                               unsigned threads) {
+  for (const auto& config : configs) {
+    if (config.concurrency_budget) return config.concurrency_budget;
+  }
+  return std::make_shared<ConcurrencyBudget>(resolve_threads(threads));
+}
+
+}  // namespace
+
+Context::Context(const sim::GpuConfig& config, int device_count, unsigned threads)
+    : Context(ContextOptions{replicate(config, device_count), threads, SchedulerConfig{}}) {}
+
+Context::Context(ContextOptions options)
+    : sched_config_(options.scheduler),
+      budget_(pick_budget(options.devices, options.threads)),
+      devices_(with_budget(options.devices.empty()
+                               ? std::vector<sim::GpuConfig>{sim::GpuConfig{}}
+                               : std::move(options.devices),
+                           budget_)),
+      scheduler_(Scheduler::create(sched_config_)) {
+  const unsigned threads = resolve_threads(options.threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-// Wait for every command of this context to settle before tearing down
-// the pool: same-context chains would drain through the ThreadPool
-// destructor anyway (each finalize() dispatches its dependents before its
-// worker goes back to the queue), but a command still waiting on another
-// context's event has not reached our pool yet — finish() blocks until
-// that foreign dependency settles and hands the command to our (still
-// alive) workers.
-Context::~Context() { (void)finish(); }
+// Wait for every command of this context to settle before stopping the
+// workers: same-context chains would drain through the stop protocol
+// anyway (workers keep popping until the scheduler is empty), but a
+// command still waiting on another context's event has not reached our
+// scheduler yet — finish() blocks until that foreign dependency settles
+// and hands the command to our (still alive) workers.
+Context::~Context() {
+  (void)finish();
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    stopping_ = true;
+  }
+  sched_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+// Queue registration shared by every create_queue overload; expects
+// queues_mutex_ held and a validated device index.
+CommandQueue Context::register_queue(int device, const QueueOptions& options) {
+  auto state = std::make_shared<detail::QueueState>();
+  state->id = next_queue_id_++;
+  state->device = device;
+  state->mode = options.mode;
+  state->priority = options.priority;
+  state->tenant = options.tenant;
+  devices_.bind(device);
+  queues_.push_back(state);
+  return CommandQueue(this, std::move(state));
+}
 
 CommandQueue Context::create_queue() {
   std::lock_guard<std::mutex> lock(queues_mutex_);
   const int device = next_queue_device_;
   next_queue_device_ = (next_queue_device_ + 1) % device_count();
-  auto state = std::make_shared<detail::QueueState>();
-  state->device = device;
-  queues_.push_back(state);
-  return CommandQueue(this, std::move(state));
+  return register_queue(device, QueueOptions{});
 }
 
 CommandQueue Context::create_queue(int device) {
   GPUP_CHECK_MSG(device >= 0 && device < device_count(), "device index out of range");
   std::lock_guard<std::mutex> lock(queues_mutex_);
-  auto state = std::make_shared<detail::QueueState>();
-  state->device = device;
-  queues_.push_back(state);
-  return CommandQueue(this, std::move(state));
+  return register_queue(device, QueueOptions{});
+}
+
+Result<CommandQueue> Context::create_queue(const QueueOptions& options) {
+  std::lock_guard<std::mutex> lock(queues_mutex_);
+  int device = options.device;
+  if (device < 0) {
+    auto placed = devices_.place(options.require);
+    if (!placed.ok()) return placed.error();
+    device = placed.value();
+  } else if (device >= device_count()) {
+    return Error{format("device index %d out of range (pool has %d)", device, device_count()),
+                 "rt.queue"};
+  }
+  return register_queue(device, options);
+}
+
+UserEvent Context::create_user_event() {
+  // User events never run: no context, no queue, settled by the caller.
+  return UserEvent(std::make_shared<detail::EventState>());
 }
 
 bool Context::finish() {
-  std::vector<std::shared_ptr<detail::EventState>> tails;
+  std::vector<std::shared_ptr<detail::EventState>> pending;
   {
     std::lock_guard<std::mutex> queues_lock(queues_mutex_);
-    std::lock_guard<std::mutex> graph_lock(detail::graph_mutex());
+    std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
     for (const auto& queue : queues_) {
-      if (queue->last) tails.push_back(queue->last);
+      pending.insert(pending.end(), queue->unsettled.begin(), queue->unsettled.end());
     }
   }
+  for (const auto& state : pending) (void)Event(state).wait();
+  std::lock_guard<std::mutex> queues_lock(queues_mutex_);
+  std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
   bool ok = true;
-  for (const auto& tail : tails) ok = Event(tail).wait() && ok;
+  for (const auto& queue : queues_) ok = ok && !queue->any_failed;
   return ok;
 }
 
 Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
                       std::function<Status(detail::EventState&)> run,
-                      const std::vector<Event>& wait_list) {
+                      const std::vector<Event>& wait_list, double cost) {
   auto state = std::make_shared<detail::EventState>();
   state->context = this;
   state->run = std::move(run);
+  state->tag.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  state->tag.queue_id = queue->id;
+  state->tag.priority = queue->priority;
+  state->tag.tenant = queue->tenant;
+  state->tag.cost = cost;
 
   bool ready = false;
   {
-    std::lock_guard<std::mutex> lock(detail::graph_mutex());
-    const auto link = [&state](const std::shared_ptr<detail::EventState>& dep) {
-      if (!dep) return;
-      if (dep->settled) {
-        if (dep->failed && !state->dep_failed) {
-          state->dep_failed = true;
-          state->dep_error = dep->failure;
-        }
-      } else {
-        dep->dependents.push_back(state);
-        ++state->deps_remaining;
-      }
-    };
-    link(queue->last);  // in-order: chain behind the queue tail (null = head)
+    std::lock_guard<std::mutex> lock(EventGraph::mutex());
+    // In-order queues chain behind the tail; out-of-order queues order by
+    // wait-lists only.
+    if (queue->mode == QueueMode::kInOrder) EventGraph::link(state, queue->last);
     for (const auto& event : wait_list) {
       // A null Event reports kFailed, so depending on one fails too —
       // silently skipping it would run the command without its intended
@@ -185,23 +220,40 @@ Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
         state->dep_failed = true;
         state->dep_error = Error{"null event in wait list", "rt"};
       }
-      link(event.state_);
+      EventGraph::link(state, event.state_);
     }
-    queue->last = state;
+    EventGraph::attach_to_queue(state, queue);
     ready = state->deps_remaining == 0;
   }
-  if (ready) dispatch(state);
+  if (ready) schedule(state);
   return Event(state);
 }
 
-void Context::dispatch(std::shared_ptr<detail::EventState> state) {
-  pool_.submit([this, state = std::move(state)] { execute(state); });
+void Context::schedule(std::shared_ptr<detail::EventState> state) {
+  // Notify while holding the lock: once we release it, a worker may pop
+  // and settle the command, letting finish()/~Context proceed and destroy
+  // the condition variable under a pending post-unlock notify.
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  scheduler_->push(std::move(state));
+  sched_cv_.notify_one();
+}
+
+void Context::worker_loop() {
+  std::unique_lock<std::mutex> lock(sched_mutex_);
+  while (true) {
+    sched_cv_.wait(lock, [this] { return stopping_ || !scheduler_->empty(); });
+    if (scheduler_->empty()) return;  // stopping_, fully drained
+    auto state = scheduler_->pop();
+    lock.unlock();
+    execute(state);
+    lock.lock();
+  }
 }
 
 void Context::execute(const std::shared_ptr<detail::EventState>& state) {
   Status result;
   // dep_failed/dep_error were last written under the graph mutex before
-  // the final deps_remaining decrement that dispatched us: safe to read.
+  // the final deps_remaining decrement that scheduled us: safe to read.
   if (state->dep_failed) {
     result = Error{"dependency failed: " + state->dep_error.to_string(), "rt"};
   } else {
@@ -220,10 +272,20 @@ void Context::execute(const std::shared_ptr<detail::EventState>& state) {
     budget_->release(token);
   }
   state->run = nullptr;  // drop captured buffers/programs promptly
-  finalize(state, std::move(result));
+  settle_and_route(state, std::move(result));
 }
 
-void Context::finalize(const std::shared_ptr<detail::EventState>& state, Status result) {
+void Context::settle_and_route(const std::shared_ptr<detail::EventState>& state,
+                               Status result) {
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    if (state->settle_claimed) return;  // user events: complete() is idempotent
+    state->settle_claimed = true;
+  }
+  // Record the outcome in the graph (queue any_failed, dependent failure
+  // marks) BEFORE publishing the terminal status: a finish() waiter that
+  // wakes on the status change must already see the failure flag.
+  auto ready = EventGraph::settle(state, result);
   {
     std::lock_guard<std::mutex> lock(state->m);
     state->status = result.ok() ? EventStatus::kComplete : EventStatus::kFailed;
@@ -231,27 +293,34 @@ void Context::finalize(const std::shared_ptr<detail::EventState>& state, Status 
   }
   state->cv.notify_all();
 
-  std::vector<std::shared_ptr<detail::EventState>> ready;
-  {
-    std::lock_guard<std::mutex> lock(detail::graph_mutex());
-    state->settled = true;
-    state->failed = !result.ok();
-    if (state->failed) state->failure = result.error();
-    for (auto& dependent : state->dependents) {
-      if (state->failed && !dependent->dep_failed) {
-        dependent->dep_failed = true;
-        dependent->dep_error = state->failure;
+  // Route each newly-ready dependent to its OWN context's scheduler
+  // (wait-lists may cross Context instances; an event must never run on a
+  // foreign pool, whose drain would not cover it). Dependents sharing a
+  // context are handed over as one batch: one lock + one wake per settle,
+  // and a gate releasing N commands presents all N to the policy at once.
+  std::size_t start = 0;
+  while (start < ready.size()) {
+    Context* owner = ready[start]->context;
+    GPUP_CHECK_MSG(owner != nullptr, "dependent without a context");
+    // Group the contiguous run with the same owner (the common case is
+    // one context, one run). The notify stays under the lock: after the
+    // unlock a worker of `owner` may pop and settle the batch, letting a
+    // foreign owner's finish()/destructor run and destroy the condition
+    // variable before a post-unlock notify could touch it.
+    std::size_t end = start + 1;
+    while (end < ready.size() && ready[end]->context == owner) ++end;
+    {
+      std::lock_guard<std::mutex> lock(owner->sched_mutex_);
+      for (std::size_t i = start; i < end; ++i) {
+        owner->scheduler_->push(std::move(ready[i]));
       }
-      if (--dependent->deps_remaining == 0) ready.push_back(std::move(dependent));
+      if (end - start > 1) {
+        owner->sched_cv_.notify_all();
+      } else {
+        owner->sched_cv_.notify_one();
+      }
     }
-    state->dependents.clear();
-  }
-  // Dispatch each dependent onto its OWN context's pool (wait-lists may
-  // cross Context instances; an event must never run on a foreign pool,
-  // whose drain would not cover it).
-  for (auto& next : ready) {
-    Context* owner = next->context;
-    owner->dispatch(std::move(next));
+    start = end;
   }
 }
 
@@ -262,23 +331,39 @@ int CommandQueue::device_index() const {
   return state_->device;
 }
 
+QueueMode CommandQueue::mode() const {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  return state_->mode;
+}
+
+int CommandQueue::priority() const {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  return state_->priority;
+}
+
+std::uint64_t CommandQueue::tenant() const {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  return state_->tenant;
+}
+
 Result<Buffer> CommandQueue::alloc(std::uint32_t bytes) {
   GPUP_CHECK_MSG(valid(), "null command queue");
-  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
-  std::lock_guard<std::mutex> lock(slot.alloc_mutex);
-  auto addr = slot.gpu.try_alloc(bytes);
+  auto& pool = context_->devices_;
+  const int device = state_->device;
+  std::lock_guard<std::mutex> lock(pool.alloc_mutex(device));
+  auto addr = pool.gpu(device).try_alloc(bytes);
   if (!addr.ok()) return addr.error();
-  return Buffer{addr.value(), bytes, state_->device};
+  return Buffer{addr.value(), bytes, device};
 }
 
 Event CommandQueue::enqueue_write(const Buffer& buffer, std::vector<std::uint32_t> words,
                                   const std::vector<Event>& wait_list) {
   GPUP_CHECK_MSG(valid(), "null command queue");
-  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  auto& pool = context_->devices_;
   const int device = state_->device;
   return context_->submit(
       state_,
-      [&slot, device, buffer, words = std::move(words)](detail::EventState&) -> Status {
+      [&pool, device, buffer, words = std::move(words)](detail::EventState&) -> Status {
         if (buffer.device != device) {
           return Error{format("buffer lives on device %d, queue is bound to device %d",
                               buffer.device, device),
@@ -289,8 +374,8 @@ Event CommandQueue::enqueue_write(const Buffer& buffer, std::vector<std::uint32_
                               buffer.bytes),
                        "rt.write"};
         }
-        std::lock_guard<std::mutex> lock(slot.exec_mutex);
-        return slot.gpu.try_write(buffer.addr, words);
+        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+        return pool.gpu(device).try_write(buffer.addr, words);
       },
       wait_list);
 }
@@ -299,50 +384,85 @@ Event CommandQueue::enqueue_kernel(const isa::Program& program,
                                    std::vector<std::uint32_t> args, const NdRange& range,
                                    const std::vector<Event>& wait_list) {
   GPUP_CHECK_MSG(valid(), "null command queue");
-  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  auto& pool = context_->devices_;
+  const int device = state_->device;
+  // Fair-share cost: one unit per work-group, so a tenant burning big
+  // launches is debited proportionally more than one issuing small ones.
+  const double cost =
+      range.wg_size == 0 ? 1.0
+                         : std::max(1.0, static_cast<double>(range.global_size) /
+                                             static_cast<double>(range.wg_size));
   return context_->submit(
       state_,
-      [&slot, program, args = std::move(args), range](detail::EventState& state) -> Status {
-        std::lock_guard<std::mutex> lock(slot.exec_mutex);
-        auto stats = slot.gpu.try_launch(program, args, range.global_size, range.wg_size);
+      [&pool, device, program, args = std::move(args), range](detail::EventState& state) -> Status {
+        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+        auto stats = pool.gpu(device).try_launch(program, args, range.global_size, range.wg_size);
         if (!stats.ok()) return stats.error();
         state.stats = std::move(stats).value();
         return {};
       },
-      wait_list);
+      wait_list, cost);
 }
 
 Event CommandQueue::enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list) {
   GPUP_CHECK_MSG(valid(), "null command queue");
-  auto& slot = *context_->devices_[static_cast<std::size_t>(state_->device)];
+  auto& pool = context_->devices_;
   const int device = state_->device;
   return context_->submit(
       state_,
-      [&slot, device, buffer](detail::EventState& state) -> Status {
+      [&pool, device, buffer](detail::EventState& state) -> Status {
         if (buffer.device != device) {
           return Error{format("buffer lives on device %d, queue is bound to device %d",
                               buffer.device, device),
                        "rt.read"};
         }
         state.data.resize(buffer.words());
-        std::lock_guard<std::mutex> lock(slot.exec_mutex);
-        auto status = slot.gpu.try_read(buffer.addr, state.data);
+        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+        auto status = pool.gpu(device).try_read(buffer.addr, state.data);
         if (!status.ok()) state.data.clear();
         return status;
       },
       wait_list);
 }
 
+Event CommandQueue::enqueue_native(std::function<Status()> fn,
+                                   const std::vector<Event>& wait_list) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  return context_->submit(
+      state_,
+      [fn = std::move(fn)](detail::EventState&) -> Status { return fn(); },
+      wait_list);
+}
+
+Result<CommandQueue::SharedUpload> CommandQueue::upload_shared(
+    std::uint64_t key, std::span<const std::uint32_t> words) {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  auto& pool = context_->devices_;
+  auto cached = pool.find_or_upload(
+      state_->device, key, [&]() -> Result<DevicePool::CachedUpload> {
+        const auto word_count = static_cast<std::uint32_t>(words.size());
+        auto buffer = alloc_words(word_count);
+        if (!buffer.ok()) return buffer.error();
+        Event write =
+            enqueue_write(buffer.value(), std::vector<std::uint32_t>(words.begin(), words.end()));
+        return DevicePool::CachedUpload{buffer.value(), write.state_};
+      });
+  if (!cached.ok()) return cached.error();
+  return SharedUpload{cached.value().buffer, Event(cached.value().write)};
+}
+
 bool CommandQueue::finish() {
   GPUP_CHECK_MSG(valid(), "null command queue");
-  std::shared_ptr<detail::EventState> tail;
+  std::vector<std::shared_ptr<detail::EventState>> pending;
   {
-    std::lock_guard<std::mutex> lock(detail::graph_mutex());
-    tail = state_->last;
+    std::lock_guard<std::mutex> lock(EventGraph::mutex());
+    pending = state_->unsettled;
   }
-  // In-order queue: the tail settling implies every earlier command
-  // settled, and any earlier failure cascades into the tail.
-  return tail == nullptr || Event(std::move(tail)).wait();
+  // In-order or out-of-order: wait for the full unsettled snapshot (an
+  // out-of-order queue has no tail whose settling covers its history).
+  for (const auto& event : pending) (void)Event(event).wait();
+  std::lock_guard<std::mutex> lock(EventGraph::mutex());
+  return !state_->any_failed;
 }
 
 }  // namespace gpup::rt

@@ -4,57 +4,78 @@
 // OpenCL-API procedures are needed". The shapes match the OpenCL host API
 // one-to-one:
 //
-//   rt::Context       — owns a pool of simulated devices and the worker
-//                       threads that execute commands (cl_context + the
-//                       driver's scheduler).
-//   rt::CommandQueue  — in-order queue bound to one device of the pool;
-//                       any number of queues run concurrently
-//                       (cl_command_queue).
+//   rt::Context       — owns a pool of simulated devices, the scheduling
+//                       policy, and the worker threads that execute
+//                       commands (cl_context + the driver's scheduler).
+//   rt::CommandQueue  — queue bound to one device of the pool; in-order by
+//                       default, out-of-order on request; any number of
+//                       queues run concurrently (cl_command_queue).
 //   rt::Event         — handle to an enqueued command carrying its status
 //                       (queued / running / complete / failed), the error
 //                       on failure, per-launch sim::LaunchStats for kernel
 //                       commands, and the returned words for read commands
 //                       (cl_event).
+//   rt::UserEvent     — host-settled event used to gate commands
+//                       (clCreateUserEvent).
 //
-// Commands within one queue execute in submission order; `wait_list`
-// arguments add cross-queue dependencies (clEnqueue*'s event_wait_list).
-// When a command fails, every command depending on it — including all
-// later commands of the same queue — fails with a dependency error rather
-// than running on garbage. Nothing in this API aborts the host process:
-// all fallible paths (assembler errors, argument-count mismatch, buffer
-// overflow, global-memory OOM, runtime traps) surface as Result values or
-// failed events, so the runtime is safe to drive from untrusted callers.
+// The runtime is built from three lower layers, each replaceable on its
+// own (see docs/runtime.md "The scheduler architecture"):
+//
+//   EventGraph  (event_graph.hpp)  which commands are *ready*;
+//   Scheduler   (scheduler.hpp)    in what *order* workers pick them
+//                                  (FIFO / priority+aging / fair share);
+//   DevicePool  (device_pool.hpp)  *where* queues live — devices may be
+//                                  heterogeneous (per-device GpuConfig),
+//                                  queues place by DeviceRequirements, and
+//                                  shared inputs affinity-cache per device.
+//
+// Commands within one in-order queue execute in submission order; an
+// out-of-order queue (QueueMode::kOutOfOrder) orders commands by explicit
+// `wait_list` arguments only (clEnqueue*'s event_wait_list adds
+// cross-queue dependencies in both modes). When a command fails, every
+// command depending on it — for in-order queues all later commands of the
+// queue, for out-of-order queues exactly the transitive wait-list
+// dependents — fails with a dependency error rather than running on
+// garbage. Nothing in this API aborts the host process: all fallible paths
+// (assembler errors, argument-count mismatch, buffer overflow,
+// global-memory OOM, placement misses, runtime traps) surface as Result
+// values or failed events, so the runtime is safe to drive from untrusted
+// callers.
 //
 // Determinism: each queue's results (buffer contents, LaunchStats, event
-// order) depend only on the sequence of commands enqueued to it, never on
-// the worker-thread count or on what other queues do — launches hold their
-// device exclusively and queues own disjoint buffers.
+// order) depend only on the commands enqueued to it and their wait-lists,
+// never on the worker-thread count, the scheduling policy, or what other
+// queues do — launches hold their device exclusively and queues own
+// disjoint buffers (shared affinity-cached inputs are read-only). The
+// scheduling policy picks among *ready* commands and so shapes wall-clock
+// order and fairness, not results. Policies themselves are deterministic
+// (counter-based, seeded tie-break — SchedulerConfig::seed), so a
+// single-worker context executes a reproducible schedule; with several
+// workers the moment a command becomes ready depends on host timing and
+// only results are guaranteed stable.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/isa/assembler.hpp"
+#include "src/rt/device_pool.hpp"
+#include "src/rt/event_graph.hpp"
+#include "src/rt/scheduler.hpp"
 #include "src/sim/gpu.hpp"
 #include "src/util/status.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace gpup::rt {
-
-/// A device-memory allocation. `device` names the pool device the buffer
-/// lives on; commands reject buffers from a different device.
-struct Buffer {
-  std::uint32_t addr = 0;   ///< device byte address (as passed to kernels)
-  std::uint32_t bytes = 0;
-  int device = 0;           ///< owning device index within the Context
-
-  [[nodiscard]] std::uint32_t words() const { return bytes / 4; }
-};
 
 /// Kernel launch geometry (flat 1-D NDRange, as the paper's benchmarks use).
 struct NdRange {
@@ -79,16 +100,7 @@ class Args {
   std::vector<std::uint32_t> words_;
 };
 
-enum class EventStatus { kQueued, kRunning, kComplete, kFailed };
-
-[[nodiscard]] const char* to_string(EventStatus status);
-
 class Context;
-
-namespace detail {
-struct EventState;
-struct QueueState;
-}  // namespace detail
 
 /// Shared handle to an enqueued command. Copyable; the last handle keeps
 /// the result alive. A default-constructed Event is null (`!valid()`).
@@ -114,19 +126,74 @@ class Event {
  private:
   friend class Context;
   friend class CommandQueue;
+  friend class UserEvent;
   explicit Event(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
 
   std::shared_ptr<detail::EventState> state_;
 };
 
-/// In-order command queue bound to one device of the Context's pool.
-/// Lightweight handle; copy freely. Create via Context::create_queue().
+/// Host-settled event (clCreateUserEvent): enqueue commands with it in
+/// their wait-lists, then release them all at once with complete() — the
+/// standard way to hand a batch to the scheduler atomically (the repro
+/// sweep gates its cells this way) or to splice host-side work into the
+/// dependency graph. Every user event must eventually be settled
+/// (complete() or fail()); commands gated on one that never settles wait
+/// forever, exactly like OpenCL.
+class UserEvent {
+ public:
+  UserEvent() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] Event event() const { return Event(state_); }
+
+  /// Settle as complete, releasing dependents. Idempotent; no-op after
+  /// fail().
+  void complete();
+  /// Settle as failed: dependents fail with a dependency error.
+  void fail(Error error);
+
+ private:
+  friend class Context;
+  explicit UserEvent(std::shared_ptr<detail::EventState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// How a new queue binds to the pool and presents itself to the
+/// scheduling policy.
+struct QueueOptions {
+  QueueMode mode = QueueMode::kInOrder;
+  /// kPriority policy: higher-priority queues' commands run first
+  /// (deterministically aged so low priority cannot starve).
+  int priority = 0;
+  /// kFairShare policy: commands are accounted to this tenant.
+  std::uint64_t tenant = 0;
+  /// Explicit device index, or -1 to place by `require` on the matching
+  /// device with the fewest bound queues.
+  int device = -1;
+  DeviceRequirements require;
+};
+
+/// A heterogeneous Context: one simulated device per config (they need
+/// not be identical), `threads` command workers, and the scheduling
+/// policy. An empty `devices` vector gets one default-config device.
+struct ContextOptions {
+  std::vector<sim::GpuConfig> devices;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  SchedulerConfig scheduler;
+};
+
+/// Command queue bound to one device of the Context's pool. Lightweight
+/// handle; copy freely. Create via Context::create_queue().
 class CommandQueue {
  public:
   CommandQueue() = default;
 
   [[nodiscard]] bool valid() const { return context_ != nullptr; }
   [[nodiscard]] int device_index() const;
+  [[nodiscard]] QueueMode mode() const;
+  [[nodiscard]] int priority() const;
+  [[nodiscard]] std::uint64_t tenant() const;
 
   /// Allocate device memory (synchronous, like clCreateBuffer). Fails with
   /// an OOM Error when the device's global memory is exhausted.
@@ -153,6 +220,25 @@ class CommandQueue {
   /// carries the words.
   Event enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list = {});
 
+  /// Enqueue arbitrary host work as a command (clEnqueueNativeKernel): it
+  /// obeys queue order / wait-lists and the scheduling policy like any
+  /// other command, but does not occupy the device. The function must not
+  /// block on events of this context (with few workers that can
+  /// deadlock); returning an Error fails the event.
+  Event enqueue_native(std::function<Status()> fn, const std::vector<Event>& wait_list = {});
+
+  /// The device's affinity cache: upload `words` under a caller-chosen
+  /// content key once per device, and hand every later caller on the same
+  /// device the same buffer plus the upload event to wait on. Intended
+  /// for read-only inputs shared by many queues (see rt::content_key for
+  /// a ready-made hash). The words are only copied on a cache miss.
+  struct SharedUpload {
+    Buffer buffer;
+    Event ready;
+  };
+  [[nodiscard]] Result<SharedUpload> upload_shared(std::uint64_t key,
+                                                   std::span<const std::uint32_t> words);
+
   /// Block until every command enqueued so far is terminal; true iff all
   /// completed (a failure anywhere in the queue's history returns false).
   bool finish();
@@ -166,9 +252,9 @@ class CommandQueue {
   std::shared_ptr<detail::QueueState> state_;
 };
 
-/// Owns a pool of simulated G-GPU devices plus the worker threads that
-/// execute enqueued commands, so N client queues drive M devices
-/// concurrently.
+/// Owns the device pool, the scheduler, and the worker threads that
+/// execute enqueued commands, so N client queues drive M (possibly
+/// heterogeneous) devices concurrently.
 ///
 /// The context also installs a shared ConcurrencyBudget (sized to its
 /// worker pool) into every device's config unless the caller supplied one:
@@ -182,21 +268,35 @@ class CommandQueue {
 class Context {
  public:
   /// `device_count` simulated GPUs, all with the same config;
-  /// `threads` == 0 picks the hardware concurrency.
+  /// `threads` == 0 picks the hardware concurrency. FIFO scheduling.
   explicit Context(const sim::GpuConfig& config, int device_count = 1, unsigned threads = 0);
+  /// Full control: heterogeneous devices + scheduling policy.
+  explicit Context(ContextOptions options);
   ~Context();
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
-  [[nodiscard]] const sim::GpuConfig& config() const { return config_; }
-  [[nodiscard]] int device_count() const { return static_cast<int>(devices_.size()); }
-  [[nodiscard]] unsigned threads() const { return pool_.size(); }
+  /// Device 0's configuration (the constructor config for a homogeneous
+  /// pool); per-device configs via device_config().
+  [[nodiscard]] const sim::GpuConfig& config() const { return devices_.config(0); }
+  [[nodiscard]] const sim::GpuConfig& device_config(int device) const {
+    return devices_.config(device);
+  }
+  [[nodiscard]] int device_count() const { return devices_.size(); }
+  [[nodiscard]] unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+  [[nodiscard]] SchedulerPolicy scheduler_policy() const { return sched_config_.policy; }
 
   /// New in-order queue, bound round-robin over the device pool (or to an
   /// explicit device index).
   [[nodiscard]] CommandQueue create_queue();
   [[nodiscard]] CommandQueue create_queue(int device);
+  /// Queue with explicit mode / priority / tenant / placement. Fails when
+  /// `options.require` matches no pool device.
+  [[nodiscard]] Result<CommandQueue> create_queue(const QueueOptions& options);
+
+  /// Host-settled gate event (see UserEvent).
+  [[nodiscard]] UserEvent create_user_event();
 
   /// Assemble kernel source (errors surface as Result, like clBuildProgram).
   [[nodiscard]] static Result<isa::Program> compile(const std::string& source) {
@@ -209,32 +309,43 @@ class Context {
 
  private:
   friend class CommandQueue;
+  friend class UserEvent;
 
-  struct DeviceSlot {
-    explicit DeviceSlot(const sim::GpuConfig& config) : gpu(config) {}
-    sim::Gpu gpu;
-    std::mutex exec_mutex;   ///< serializes launches/copies on this device
-    std::mutex alloc_mutex;  ///< serializes synchronous allocation
-  };
-
-  /// Chain `run` behind the queue's previous command plus `wait_list`,
-  /// dispatching to the pool once every dependency settled.
+  /// Register a queue on a validated device (queues_mutex_ held).
+  CommandQueue register_queue(int device, const QueueOptions& options);
+  /// Chain `run` behind the queue's mode-implied and wait-list
+  /// dependencies; hand it to the scheduler once every dependency settled.
   Event submit(const std::shared_ptr<detail::QueueState>& queue,
                std::function<Status(detail::EventState&)> run,
-               const std::vector<Event>& wait_list);
-  void dispatch(std::shared_ptr<detail::EventState> state);
+               const std::vector<Event>& wait_list, double cost = 1.0);
+  /// Push a ready command to the policy and wake a worker.
+  void schedule(std::shared_ptr<detail::EventState> state);
+  /// Settle a node and route every newly-ready dependent to its own
+  /// context's scheduler (wait-lists may cross Context instances).
+  static void settle_and_route(const std::shared_ptr<detail::EventState>& state,
+                               Status result);
+  void worker_loop();
   void execute(const std::shared_ptr<detail::EventState>& state);
-  void finalize(const std::shared_ptr<detail::EventState>& state, Status result);
 
-  sim::GpuConfig config_;
-  std::shared_ptr<ConcurrencyBudget> budget_;  ///< == config_.concurrency_budget
-  std::vector<std::unique_ptr<DeviceSlot>> devices_;
+  SchedulerConfig sched_config_;
+  std::shared_ptr<ConcurrencyBudget> budget_;
+  DevicePool devices_;
+
   std::mutex queues_mutex_;
-  // Strong refs: finish() (and so the destructor) must see every queue's
-  // tail even after the caller dropped its CommandQueue handle.
+  // Strong refs: finish() (and so the destructor) must see every queue
+  // even after the caller dropped its CommandQueue handle.
   std::vector<std::shared_ptr<detail::QueueState>> queues_;
   int next_queue_device_ = 0;
-  ThreadPool pool_;  ///< last member: destroyed (drained) before the devices
+  int next_queue_id_ = 0;
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  // Scheduler state: policies are single-threaded by contract, serialized
+  // under sched_mutex_; workers sleep on sched_cv_.
+  std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  std::unique_ptr<Scheduler> scheduler_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;  ///< joined in ~Context after finish()
 };
 
 }  // namespace gpup::rt

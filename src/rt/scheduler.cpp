@@ -1,0 +1,227 @@
+#include "src/rt/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/rt/event_graph.hpp"
+
+namespace gpup::rt {
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo: return "fifo";
+    case SchedulerPolicy::kPriority: return "priority";
+    case SchedulerPolicy::kFairShare: return "fair_share";
+  }
+  return "?";
+}
+
+std::uint64_t schedule_key(std::uint64_t seed, std::uint64_t seq) {
+  if (seed == 0) return seq;
+  // splitmix64 finalizer over seq ^ seed: bijective, so distinct commands
+  // keep distinct keys and the induced order is a seeded permutation.
+  std::uint64_t z = seq ^ seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+using Node = std::shared_ptr<detail::EventState>;
+
+/// Global submission order (perturbed by the seed).
+class FifoScheduler final : public Scheduler {
+ public:
+  explicit FifoScheduler(const SchedulerConfig& config) : seed_(config.seed) {}
+
+  void push(Node node) override { nodes_.push_back(std::move(node)); }
+
+  Node pop() override {
+    if (nodes_.empty()) return nullptr;
+    auto best = nodes_.begin();
+    for (auto it = std::next(best); it != nodes_.end(); ++it) {
+      if (schedule_key(seed_, (*it)->tag.seq) < schedule_key(seed_, (*best)->tag.seq)) {
+        best = it;
+      }
+    }
+    return take(best);
+  }
+
+  [[nodiscard]] bool empty() const override { return nodes_.empty(); }
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+
+ protected:
+  Node take(std::vector<Node>::iterator it) {
+    Node node = std::move(*it);
+    *it = std::move(nodes_.back());
+    nodes_.pop_back();
+    return node;
+  }
+
+  std::uint64_t seed_;
+  // The ready set is small (bounded by queues in flight), so an O(n) scan
+  // per pop stays cheap and keeps the policies trivially deterministic —
+  // no heap whose layout could depend on interleaving.
+  std::vector<Node> nodes_;
+};
+
+/// Highest effective priority first, where a command waiting in the ready
+/// set gains one level every `aging_period` pops: effective(cmd) =
+/// queue priority + age / aging_period. The age is counted in scheduler
+/// decisions, not wall time, so the promotion schedule is deterministic.
+class PriorityScheduler final : public Scheduler {
+ public:
+  explicit PriorityScheduler(const SchedulerConfig& config)
+      : seed_(config.seed), aging_period_(std::max<std::uint32_t>(1, config.aging_period)) {}
+
+  void push(Node node) override { nodes_.push_back({std::move(node), pops_}); }
+
+  Node pop() override {
+    if (nodes_.empty()) return nullptr;
+    auto best = nodes_.begin();
+    for (auto it = std::next(best); it != nodes_.end(); ++it) {
+      if (before(*it, *best)) best = it;
+    }
+    ++pops_;
+    Node node = std::move(best->node);
+    *best = std::move(nodes_.back());
+    nodes_.pop_back();
+    return node;
+  }
+
+  [[nodiscard]] bool empty() const override { return nodes_.empty(); }
+  [[nodiscard]] const char* name() const override { return "priority"; }
+
+ private:
+  struct Entry {
+    Node node;
+    std::uint64_t enqueue_pop = 0;  ///< pops_ value when it became ready
+  };
+
+  [[nodiscard]] std::int64_t effective(const Entry& entry) const {
+    const std::uint64_t age = pops_ - entry.enqueue_pop;
+    return static_cast<std::int64_t>(entry.node->tag.priority) +
+           static_cast<std::int64_t>(age / aging_period_);
+  }
+
+  [[nodiscard]] bool before(const Entry& a, const Entry& b) const {
+    const std::int64_t ea = effective(a);
+    const std::int64_t eb = effective(b);
+    if (ea != eb) return ea > eb;
+    return schedule_key(seed_, a.node->tag.seq) < schedule_key(seed_, b.node->tag.seq);
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t aging_period_;
+  std::uint64_t pops_ = 0;
+  std::vector<Entry> nodes_;
+};
+
+/// Deficit round-robin over tenants: tenants are visited in id order by a
+/// rotating cursor; arriving at a tenant grants its queue `quantum` budget
+/// units, and the tenant's oldest command runs once the accumulated
+/// deficit covers its cost. A tenant that drains its queue forfeits its
+/// remaining deficit (classic DRR — no banking while idle), so service is
+/// proportional to quantum regardless of burstiness.
+class FairShareScheduler final : public Scheduler {
+ public:
+  explicit FairShareScheduler(const SchedulerConfig& config)
+      : seed_(config.seed), quantum_(config.drr_quantum > 0 ? config.drr_quantum : 1.0) {}
+
+  void push(Node node) override {
+    const std::uint64_t tenant = node->tag.tenant;
+    auto [it, inserted] = tenants_.try_emplace(tenant);
+    // Keep each tenant's backlog in submission-key order (deterministic
+    // within the tenant even when readiness order varies).
+    auto& backlog = it->second.backlog;
+    const std::uint64_t key = schedule_key(seed_, node->tag.seq);
+    auto pos = backlog.begin();
+    while (pos != backlog.end() && schedule_key(seed_, (*pos)->tag.seq) < key) ++pos;
+    backlog.insert(pos, std::move(node));
+    ++size_;
+  }
+
+  Node pop() override {
+    if (size_ == 0) return nullptr;
+    while (true) {
+      // One round from the cursor: serve the first tenant whose deficit
+      // covers its head command; a needy tenant we pass is granted one
+      // quantum, an idle one forfeits its deficit (no banking).
+      auto it = tenants_.lower_bound(cursor_);
+      for (std::size_t hops = 0; hops < tenants_.size(); ++hops) {
+        if (it == tenants_.end()) it = tenants_.begin();
+        auto& tenant = it->second;
+        if (tenant.backlog.empty()) {
+          tenant.deficit = 0.0;
+        } else if (tenant.deficit >= tenant.backlog.front()->tag.cost) {
+          tenant.deficit -= tenant.backlog.front()->tag.cost;
+          Node node = std::move(tenant.backlog.front());
+          tenant.backlog.pop_front();
+          if (tenant.backlog.empty()) tenant.deficit = 0.0;
+          --size_;
+          cursor_ = it->first;  // keep serving this tenant while deficit lasts
+          return node;
+        } else {
+          tenant.deficit += quantum_;
+        }
+        ++it;
+      }
+      // A full fruitless round: every active tenant still needs more
+      // quanta. Grant the shared shortfall in one arithmetic step — the
+      // exact equivalent of that many single-quantum rounds — so an
+      // expensive head (cost = work-groups of a big launch) costs O(1)
+      // rounds instead of O(cost / quantum) map walks under the
+      // scheduler mutex. The next round then serves the winner at its
+      // correct cursor position.
+      double min_rounds = 0.0;
+      bool first = true;
+      for (auto& [id, tenant] : tenants_) {
+        if (tenant.backlog.empty()) continue;
+        const double rounds =
+            std::ceil((tenant.backlog.front()->tag.cost - tenant.deficit) / quantum_);
+        if (first || rounds < min_rounds) min_rounds = rounds;
+        first = false;
+      }
+      if (first) return nullptr;  // defensive: size_ said otherwise
+      if (min_rounds > 1.0) {
+        const double grant = (min_rounds - 1.0) * quantum_;
+        for (auto& [id, tenant] : tenants_) {
+          if (!tenant.backlog.empty()) tenant.deficit += grant;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const override { return size_ == 0; }
+  [[nodiscard]] const char* name() const override { return "fair_share"; }
+
+ private:
+  struct Tenant {
+    std::deque<Node> backlog;
+    double deficit = 0.0;
+  };
+
+  std::uint64_t seed_;
+  double quantum_;
+  std::uint64_t cursor_ = 0;  ///< next tenant id to visit
+  std::size_t size_ = 0;
+  std::map<std::uint64_t, Tenant> tenants_;  ///< ordered: deterministic visit order
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> Scheduler::create(const SchedulerConfig& config) {
+  switch (config.policy) {
+    case SchedulerPolicy::kFifo: return std::make_unique<FifoScheduler>(config);
+    case SchedulerPolicy::kPriority: return std::make_unique<PriorityScheduler>(config);
+    case SchedulerPolicy::kFairShare: return std::make_unique<FairShareScheduler>(config);
+  }
+  return std::make_unique<FifoScheduler>(config);
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,92 @@
+// Pluggable scheduling policies for the host runtime.
+//
+// The runtime is layered: the EventGraph (event_graph.hpp) decides *which*
+// commands are ready (all dependencies settled), a Scheduler decides *in
+// what order* the worker threads pick them up, and the DevicePool
+// (device_pool.hpp) decides *where* queues live. This header is the middle
+// layer: a small policy interface plus the three built-in policies —
+//
+//   kFifo       global submission order (the PR-2 behaviour);
+//   kPriority   per-queue priority with deterministic aging, so a
+//               low-priority tenant is promoted one level every
+//               `aging_period` scheduler decisions and can never starve;
+//   kFairShare  deficit round-robin across tenants: each tenant's queue
+//               accumulates `drr_quantum` units of budget per round and
+//               pays a command's `cost` to run it, giving long-run
+//               throughput shares independent of how bursty each tenant's
+//               submission pattern is.
+//
+// Determinism: a policy's pick is a pure function of its push/pop history —
+// counters (decisions, rounds), never wall-clock time or thread identity.
+// Ties are broken by `schedule_key(seed, seq)`: with seed 0 that is plain
+// submission order; a non-zero seed applies a deterministic pseudo-random
+// perturbation. With a single worker (or whenever a gated batch reaches an
+// idle context at once) the executed schedule is therefore a function of
+// (policy, seed, submissions); with several workers the *push* order still
+// depends on when commands become ready on the host, so only per-queue
+// results — never the policy's pick among a given ready set — are
+// guaranteed reproducible (see runtime.hpp "Determinism").
+//
+// Locking: the owning Context serializes every push()/pop() under its
+// scheduler mutex, so implementations are written single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace gpup::rt {
+
+namespace detail {
+struct EventState;
+}  // namespace detail
+
+enum class SchedulerPolicy { kFifo, kPriority, kFairShare };
+
+[[nodiscard]] const char* to_string(SchedulerPolicy policy);
+
+struct SchedulerConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  /// kPriority: a waiting command's effective priority rises by one every
+  /// `aging_period` pops, so low-priority work drifts upward instead of
+  /// starving behind a saturating high-priority tenant.
+  std::uint32_t aging_period = 16;
+  /// kFairShare: budget units granted to a tenant's queue per round of the
+  /// deficit round-robin (a command costs `CommandTag::cost` units).
+  double drr_quantum = 1.0;
+  /// Deterministic tie-break perturbation. 0 = submission order. Any other
+  /// value reorders equal-criteria commands by a seeded hash of their
+  /// sequence number — the "schedule seed" of out-of-order mode.
+  std::uint64_t seed = 0;
+};
+
+/// Scheduling metadata attached to every command at submission.
+struct CommandTag {
+  std::uint64_t seq = 0;    ///< global submission sequence (tie-break)
+  int queue_id = 0;
+  int priority = 0;         ///< higher runs first (kPriority)
+  std::uint64_t tenant = 0; ///< fair-share accounting key
+  double cost = 1.0;        ///< deficit units (kFairShare)
+};
+
+/// Deterministic tie-break key: seed 0 preserves submission order, any
+/// other seed is a splitmix64-style bijective scramble of `seq`.
+[[nodiscard]] std::uint64_t schedule_key(std::uint64_t seed, std::uint64_t seq);
+
+/// Policy interface: a bag of ready commands with an ordered pop. The
+/// Context pushes a command the moment its last dependency settles and a
+/// worker pops one whenever it goes idle; all calls arrive serialized
+/// under the Context's scheduler mutex.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void push(std::shared_ptr<detail::EventState> node) = 0;
+  /// The policy's next command; null when empty.
+  [[nodiscard]] virtual std::shared_ptr<detail::EventState> pop() = 0;
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  [[nodiscard]] static std::unique_ptr<Scheduler> create(const SchedulerConfig& config);
+};
+
+}  // namespace gpup::rt

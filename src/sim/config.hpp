@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 namespace gpup {
 class ConcurrencyBudget;  // util/thread_pool.hpp
@@ -94,6 +95,26 @@ struct GpuConfig {
   [[nodiscard]] std::uint32_t words_per_line() const { return cache_line_bytes / 4; }
   [[nodiscard]] std::uint32_t line_transfer_cycles() const {
     return cache_line_bytes / dram_bytes_per_cycle;
+  }
+
+  /// Capability summary ("cu=8 pe=8 cache=8KB/2b mem=16MB div"), used by
+  /// the runtime's device-pool placement diagnostics so a heterogeneous
+  /// pool's members are tellable apart in errors and reports. Sizes pick
+  /// the largest unit that divides them exactly enough to stay non-zero
+  /// (a 64 KB stub device must not print as "0MB").
+  [[nodiscard]] std::string summary() const {
+    const auto size = [](std::uint64_t bytes) -> std::string {
+      if (bytes >= 1024ull * 1024 && bytes % (1024ull * 1024) == 0) {
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+      }
+      if (bytes >= 1024 && bytes % 1024 == 0) return std::to_string(bytes / 1024) + "KB";
+      return std::to_string(bytes) + "B";
+    };
+    std::string out = "cu=" + std::to_string(cu_count) + " pe=" + std::to_string(pes_per_cu) +
+                      " cache=" + size(cache_bytes) + "/" + std::to_string(cache_banks) +
+                      "b mem=" + size(global_mem_bytes);
+    if (hw_divider) out += " div";
+    return out;
   }
 };
 

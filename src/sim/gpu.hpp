@@ -51,8 +51,8 @@ class Gpu {
     return config_.global_mem_bytes - alloc_next_;
   }
 
-  // Abort-on-error variants, kept for the legacy rt::Device path and for
-  // test harnesses where a failure is a programming error.
+  // Abort-on-error variants, kept for test harnesses where a failure is a
+  // programming error.
   [[nodiscard]] std::uint32_t alloc(std::uint32_t bytes);
   void write(std::uint32_t byte_addr, std::span<const std::uint32_t> words);
   void read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const;
@@ -67,7 +67,7 @@ class Gpu {
                                                const std::vector<std::uint32_t>& params,
                                                std::uint32_t global_size, std::uint32_t wg_size);
 
-  /// Abort-on-error variant of try_launch (legacy rt::Device semantics).
+  /// Abort-on-error variant of try_launch.
   [[nodiscard]] LaunchStats launch(const isa::Program& program,
                                    const std::vector<std::uint32_t>& params,
                                    std::uint32_t global_size, std::uint32_t wg_size);

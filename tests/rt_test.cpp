@@ -1,10 +1,9 @@
 // Host runtime (OpenCL-style asynchronous Context/CommandQueue/Event API)
 // tests. The queue stress / failure-propagation suite lives in
-// queue_test.cpp; this file covers the basic single-queue surface plus the
-// deprecated Device shim.
+// queue_test.cpp and the scheduler/out-of-order/placement suite in
+// scheduler_test.cpp; this file covers the basic single-queue surface.
 #include <gtest/gtest.h>
 
-#include "src/rt/device.hpp"
 #include "src/rt/runtime.hpp"
 
 namespace gpup::rt {
@@ -79,9 +78,9 @@ TEST(Runtime, EndToEndLaunch) {
   for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 11u);
 }
 
-TEST(Runtime, LaunchStatsMatchDeprecatedDeviceRun) {
-  // The shim and the queue API drive the same simulator: bit-identical
-  // LaunchStats for the same launch.
+TEST(Runtime, LaunchStatsMatchDirectGpuLaunch) {
+  // The queue API and a bare sim::Gpu drive the same simulator:
+  // bit-identical LaunchStats for the same launch.
   const auto program = Context::compile(kIncrSource);
   ASSERT_TRUE(program.ok());
   const std::uint32_t n = 512;
@@ -94,15 +93,11 @@ TEST(Runtime, LaunchStatsMatchDeprecatedDeviceRun) {
       program.value(), Args().add(n).add(buffer.value()).words(), {n, 256});
   ASSERT_TRUE(kernel.wait());
 
-  Device device(sim::GpuConfig{});
-  const auto shim_buffer = device.alloc_words(n);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto shim_stats =
-      device.run(program.value(), Args().add(n).add(shim_buffer).words(), {n, 256});
-#pragma GCC diagnostic pop
-  EXPECT_EQ(kernel.stats().cycles, shim_stats.cycles);
-  EXPECT_EQ(kernel.stats().counters.cache_misses, shim_stats.counters.cache_misses);
+  sim::Gpu gpu(sim::GpuConfig{});
+  const std::uint32_t addr = gpu.alloc(n * 4);
+  const auto direct_stats = gpu.launch(program.value(), {n, addr}, n, 256);
+  EXPECT_EQ(kernel.stats().cycles, direct_stats.cycles);
+  EXPECT_EQ(kernel.stats().counters.cache_misses, direct_stats.counters.cache_misses);
 }
 
 TEST(Runtime, MultiDevicePoolRoundRobin) {
@@ -169,21 +164,22 @@ TEST(Runtime, EventStatusNames) {
   EXPECT_STREQ(to_string(EventStatus::kFailed), "failed");
 }
 
-// ---- deprecated Device shim (kept for one release) ----------------------
+// ---- abort-variant Gpu surface (test-harness API) ------------------------
 
-TEST(DeviceShim, ResetInvalidatesAllocations) {
-  Device device(sim::GpuConfig{});
-  const auto a = device.alloc_words(8);
-  device.reset();
-  const auto b = device.alloc_words(8);
-  EXPECT_EQ(a.addr, b.addr);  // allocator rewound
+TEST(GpuAbortApi, ResetRewindsAllocator) {
+  sim::Gpu gpu(sim::GpuConfig{});
+  const auto a = gpu.alloc(32);
+  gpu.reset_allocator();
+  const auto b = gpu.alloc(32);
+  EXPECT_EQ(a, b);  // allocator rewound
 }
 
-TEST(DeviceShim, WriteBeyondBufferTraps) {
-  Device device(sim::GpuConfig{});
-  const auto buffer = device.alloc_words(2);
-  std::vector<std::uint32_t> too_big(3, 0);
-  EXPECT_THROW(device.write(buffer, too_big), std::logic_error);
+TEST(GpuAbortApi, WriteBeyondMemoryTraps) {
+  sim::GpuConfig config;
+  config.global_mem_bytes = 64;
+  sim::Gpu gpu(config);
+  std::vector<std::uint32_t> too_big(17, 0);
+  EXPECT_THROW(gpu.write(0, too_big), std::logic_error);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/isa/isa.hpp"
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 #include "src/util/rng.hpp"
 #include "tests/expect_counters.hpp"
 

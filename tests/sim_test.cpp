@@ -2,7 +2,7 @@
 // scoreboarding, cache behaviour, wavefront/work-group bookkeeping.
 #include <gtest/gtest.h>
 
-#include "src/rt/device.hpp"
+#include "src/rt/runtime.hpp"
 
 namespace gpup::sim {
 namespace {
