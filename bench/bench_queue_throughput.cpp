@@ -2,8 +2,10 @@
 // the asynchronous Context/CommandQueue API at 1..16 concurrent queues
 // (one device per queue, workers = hardware concurrency), plus a
 // mixed-priority multi-tenant fairness scenario over the pluggable
-// scheduler policies, and writes BENCH_queue_throughput.json so the
-// serving-throughput and fairness trajectories are visible across PRs.
+// scheduler policies and a heterogeneous-pool placement scenario over the
+// placement policies, and writes BENCH_queue_throughput.json so the
+// serving-throughput, fairness, and placement trajectories are visible
+// across PRs.
 //
 // Throughput section: each queue is driven by a closed-loop client thread
 // — upload once, then repeatedly enqueue a launch + result read and block
@@ -22,23 +24,36 @@
 // before the tenants contending for its device, and that kFairShare
 // serves near-equal shares (Jain >= 0.7).
 //
+// Placement section: a 1/2/8-CU heterogeneous pool serves a descending
+// ladder of vec_mul jobs (one queue per job, every kernel gated so all
+// placements land before any completion — the assignment is a
+// deterministic function of the policy). The load-blind kLeastBound
+// baseline round-robins the ladder; PlacementPolicy::kPredictedCycles
+// places each job by cost-model-predicted completion time, and must beat
+// the baseline on simulated makespan (max per-device busy cycles).
+//
 // Self-check (CI gate, exits non-zero on violation): every read-back must
 // match the host golden, and — since every launch is the same kernel on
 // an identically configured device with a per-launch-cold cache — every
 // launch's cycle count must be bit-identical across queues, queue counts,
-// tenants, and policies.
+// tenants, and scheduling policies; in the placement section every
+// (job size, cu-config) cell must be bit-identical across placement
+// policies, and predicted-cycles placement must win the makespan.
 //
 // GPUP_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/rt/runtime.hpp"
@@ -301,8 +316,160 @@ FairnessRun run_fairness(gpup::rt::SchedulerPolicy policy) {
   return run;
 }
 
+// ---- heterogeneous placement scenario -------------------------------------
+
+// Three pool devices spanning the G-GPU design space (1/2/8 CUs) serve a
+// descending ladder of vec_mul jobs, one queue per job, placed by
+// DeviceRequirements only — the placement policy decides where each lands.
+// Every kernel is gated so all placements happen before any completion:
+// the resulting assignment, and therefore the per-device busy cycles, are
+// a deterministic function of the policy alone.
+constexpr std::array<std::uint32_t, 8> kPlacementSizes = {6144, 5120, 4096, 3072,
+                                                          2048, 1536, 1024, 512};
+constexpr int kPlacementReps = 3;
+constexpr std::array<int, 3> kPlacementCus = {1, 2, 8};
+
+struct PlacementRun {
+  const char* policy = "";
+  double wall_s = 0.0;
+  std::uint64_t makespan_cycles = 0;  ///< max over devices of summed launch cycles
+  std::array<int, 3> device_jobs{};
+  std::array<std::uint64_t, 3> device_busy_cycles{};
+  bool all_valid = true;
+  /// (job size, device cu_count) -> launch cycles, for the cross-policy
+  /// bit-identical check.
+  std::vector<std::pair<std::pair<std::uint32_t, int>, std::uint64_t>> cycle_cells;
+};
+
+PlacementRun run_placement(gpup::rt::PlacementPolicy policy) {
+  gpup::rt::ContextOptions options;
+  for (const int cu : kPlacementCus) {
+    gpup::sim::GpuConfig config;
+    config.cu_count = cu;
+    config.global_mem_bytes = 4 << 20;
+    options.devices.push_back(config);
+  }
+  options.threads = 2;
+  options.placement = policy;
+  gpup::rt::Context context(options);
+  const auto program = gpup::rt::Context::compile(kVecMulSource);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  PlacementRun run;
+  run.policy = gpup::rt::to_string(policy);
+  gpup::rt::UserEvent gate = context.create_user_event();
+
+  struct Job {
+    std::uint32_t n = 0;
+    gpup::rt::CommandQueue queue;
+    gpup::rt::Event kernel;
+    gpup::rt::Event read;
+    std::vector<std::uint32_t> golden;
+  };
+  std::vector<Job> jobs;
+  for (int rep = 0; rep < kPlacementReps; ++rep) {
+    for (const std::uint32_t n : kPlacementSizes) {
+      Job job;
+      job.n = n;
+      std::vector<std::uint32_t> a(n), b(n);
+      job.golden.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        a[i] = i * 2654435761u + n;
+        b[i] = i ^ 0x9e3779b9u ^ n;
+        job.golden[i] = a[i] * b[i];
+      }
+      gpup::rt::QueueOptions queue_options;
+      queue_options.hint.program = program.value();
+      queue_options.hint.range = {n, 256};
+      auto created = context.create_queue(queue_options);
+      GPUP_CHECK_MSG(created.ok(), created.error().to_string());
+      job.queue = created.value();
+      const auto buf_a = job.queue.alloc_words(n);
+      const auto buf_b = job.queue.alloc_words(n);
+      const auto buf_out = job.queue.alloc_words(n);
+      GPUP_CHECK(buf_a.ok() && buf_b.ok() && buf_out.ok());
+      job.queue.enqueue_write(buf_a.value(), std::move(a));
+      job.queue.enqueue_write(buf_b.value(), std::move(b));
+      const auto args = gpup::rt::Args()
+                            .add(job.n).add(buf_a.value()).add(buf_b.value())
+                            .add(buf_out.value())
+                            .words();
+      job.kernel = job.queue.enqueue_kernel(program.value(), args, {job.n, 256},
+                                            {gate.event()});
+      job.read = job.queue.enqueue_read(buf_out.value());
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  const auto start = Clock::now();
+  gate.complete();
+  GPUP_CHECK(context.finish());
+  run.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (const Job& job : jobs) {
+    const int device = job.queue.device_index();
+    const int cu = context.device_config(device).cu_count;
+    const std::uint64_t cycles = job.kernel.stats().cycles;
+    run.all_valid = run.all_valid && job.read.data() == job.golden;
+    run.device_jobs[static_cast<std::size_t>(device)] += 1;
+    run.device_busy_cycles[static_cast<std::size_t>(device)] += cycles;
+    run.cycle_cells.push_back({{job.n, cu}, cycles});
+  }
+  for (const std::uint64_t busy : run.device_busy_cycles) {
+    run.makespan_cycles = std::max(run.makespan_cycles, busy);
+  }
+  return run;
+}
+
+/// Runs the placement scenario under both policies; returns false (failing
+/// CI) when cost-model placement does not beat the load-blind baseline on
+/// simulated makespan, when any read-back misses its golden, or when a
+/// (job size, cu) cell's launch cycles diverge anywhere — placement must
+/// shape WHERE work runs, never its simulated result.
+bool run_placement_report(std::vector<PlacementRun>& runs) {
+  std::printf("=== Heterogeneous placement (cu {1,2,8}, %zu job sizes x %d reps) ===\n",
+              kPlacementSizes.size(), kPlacementReps);
+  bool ok = true;
+  std::map<std::pair<std::uint32_t, int>, std::uint64_t> reference;
+  for (const auto policy :
+       {gpup::rt::PlacementPolicy::kLeastBound, gpup::rt::PlacementPolicy::kPredictedCycles}) {
+    PlacementRun run = run_placement(policy);
+    ok = ok && run.all_valid;
+    for (const auto& [cell, cycles] : run.cycle_cells) {
+      const auto [it, inserted] = reference.emplace(cell, cycles);
+      if (!inserted && it->second != cycles) {
+        std::printf("  !! cycles diverged for n=%u on %dCU: %llu vs %llu\n", cell.first,
+                    cell.second, static_cast<unsigned long long>(cycles),
+                    static_cast<unsigned long long>(it->second));
+        ok = false;
+      }
+    }
+    std::printf("%17s: makespan %8llu cycles, wall %.3f s, jobs/device [%d %d %d], "
+                "busy [%llu %llu %llu]\n",
+                run.policy, static_cast<unsigned long long>(run.makespan_cycles), run.wall_s,
+                run.device_jobs[0], run.device_jobs[1], run.device_jobs[2],
+                static_cast<unsigned long long>(run.device_busy_cycles[0]),
+                static_cast<unsigned long long>(run.device_busy_cycles[1]),
+                static_cast<unsigned long long>(run.device_busy_cycles[2]));
+    runs.push_back(std::move(run));
+  }
+  if (runs[1].makespan_cycles >= runs[0].makespan_cycles) {
+    std::printf("  !! predicted-cycles placement lost to least-bound (%llu >= %llu)\n",
+                static_cast<unsigned long long>(runs[1].makespan_cycles),
+                static_cast<unsigned long long>(runs[0].makespan_cycles));
+    ok = false;
+  } else {
+    std::printf("placement makespan: predicted-cycles %.2fx better than least-bound\n",
+                static_cast<double>(runs[0].makespan_cycles) /
+                    static_cast<double>(runs[1].makespan_cycles));
+  }
+  std::printf("placement self-check: %s\n", ok ? "ok" : "FAILED");
+  return ok;
+}
+
 void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check,
-               const std::vector<FairnessRun>& fairness, bool fairness_check) {
+               const std::vector<FairnessRun>& fairness, bool fairness_check,
+               const std::vector<PlacementRun>& placement, bool placement_check) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_queue_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -349,6 +516,28 @@ void emit_json(const std::vector<Point>& points, unsigned threads, bool self_che
                    t + 1 < run.tenants.size() ? "," : "");
     }
     std::fprintf(out, "      ]}%s\n", i + 1 < fairness.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"placement\": {\n");
+  std::fprintf(out, "    \"devices_cu\": [%d, %d, %d],\n", kPlacementCus[0], kPlacementCus[1],
+               kPlacementCus[2]);
+  std::fprintf(out, "    \"jobs\": %zu,\n", kPlacementSizes.size() * kPlacementReps);
+  std::fprintf(out, "    \"self_check\": %s,\n", placement_check ? "true" : "false");
+  std::fprintf(out, "    \"runs\": [\n");
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    const PlacementRun& run = placement[i];
+    std::fprintf(out,
+                 "      {\"policy\": \"%s\", \"makespan_cycles\": %llu, \"wall_s\": %.6f, "
+                 "\"all_valid\": %s, \"device_jobs\": [%d, %d, %d], "
+                 "\"device_busy_cycles\": [%llu, %llu, %llu]}%s\n",
+                 run.policy, static_cast<unsigned long long>(run.makespan_cycles), run.wall_s,
+                 run.all_valid ? "true" : "false", run.device_jobs[0], run.device_jobs[1],
+                 run.device_jobs[2],
+                 static_cast<unsigned long long>(run.device_busy_cycles[0]),
+                 static_cast<unsigned long long>(run.device_busy_cycles[1]),
+                 static_cast<unsigned long long>(run.device_busy_cycles[2]),
+                 i + 1 < placement.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n");
   std::fprintf(out, "  }\n}\n");
@@ -450,8 +639,12 @@ bool run_throughput_report() {
   std::vector<FairnessRun> fairness;
   const bool fairness_check = run_fairness_report(fairness, &reference_cycles);
 
-  emit_json(points, threads, self_check, fairness, fairness_check);
-  return self_check && fairness_check;
+  std::vector<PlacementRun> placement;
+  const bool placement_check = run_placement_report(placement);
+
+  emit_json(points, threads, self_check, fairness, fairness_check, placement,
+            placement_check);
+  return self_check && fairness_check && placement_check;
 }
 
 void BM_EightQueues(benchmark::State& state) {

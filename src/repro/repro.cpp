@@ -171,6 +171,43 @@ std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads,
   return rows;
 }
 
+std::vector<CostSample> measure_cost_samples(std::uint32_t scale, unsigned threads) {
+  GPUP_CHECK(scale >= 1);
+  const auto& benchmarks = kern::all_benchmarks();
+  std::vector<CostSample> samples(benchmarks.size() * kCuConfigs.size());
+  // Every cell is an independent simulation writing a distinct slot, so
+  // the sweep parallelizes exactly like run_cycle_matrix and the samples
+  // are bit-identical at any thread count.
+  parallel_for(samples.size(), threads, [&](std::size_t task) {
+    const auto& benchmark = *benchmarks[task / kCuConfigs.size()];
+    const std::size_t c = task % kCuConfigs.size();
+    const CycleRow row = init_row(benchmark, scale);
+    sim::GpuConfig config;
+    config.cu_count = kCuConfigs[c];
+    const auto program = rt::Context::compile(benchmark.gpu_source());
+    GPUP_CHECK_MSG(program.ok(), "kernel assembly failed");
+    const auto run = kern::run_gpu(benchmark, config, row.gpu_input);
+    GPUP_CHECK_MSG(run.valid, format("calibration cell %s/%dCU failed validation",
+                                     benchmark.name().c_str(), kCuConfigs[c]));
+    CostSample& sample = samples[task];
+    sample.kernel = benchmark.name();
+    sample.cu_count = kCuConfigs[c];
+    sample.profile = sim::KernelProfile::of(program.value());
+    sample.config = config;
+    sample.global_size = run.stats.global_size;
+    sample.wg_size = run.stats.wg_size;
+    sample.measured_cycles = run.stats.cycles;
+  });
+  return samples;
+}
+
+void calibrate_cost_model(sim::CostModel& model, const std::vector<CostSample>& samples) {
+  for (const CostSample& sample : samples) {
+    model.calibrate(sample.profile, sample.config, sample.global_size, sample.wg_size,
+                    sample.measured_cycles);
+  }
+}
+
 const std::vector<PaperRow>& paper_table3() {
   static const std::vector<PaperRow> rows = {
       {"mat_mul", 202, {48, 28, 18, 14}},

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/kern/benchmark.hpp"
+#include "src/sim/cost_model.hpp"
 #include "src/util/table.hpp"
 
 namespace gpup::repro {
@@ -54,6 +55,30 @@ struct CycleRow {
 [[nodiscard]] CycleRow run_cycle_row(const kern::Benchmark& benchmark,
                                      std::uint32_t scale = 1,
                                      bool idle_fast_forward = true);
+
+/// One measured Table III GPU cell, packaged as a cost-model calibration
+/// sample: the kernel's static profile, the device config, the launch
+/// geometry, and the simulator-measured cycles.
+struct CostSample {
+  std::string kernel;
+  int cu_count = 0;
+  sim::KernelProfile profile;
+  sim::GpuConfig config;
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 0;
+  std::uint64_t measured_cycles = 0;
+};
+
+/// Measure calibration samples from the Table III kernels: every
+/// (benchmark, CU config) cell simulated once at `scale` (same input
+/// scaling as run_cycle_matrix), validated against the host golden.
+/// `threads` == 0 uses the hardware concurrency, 1 forces serial.
+[[nodiscard]] std::vector<CostSample> measure_cost_samples(std::uint32_t scale = 8,
+                                                           unsigned threads = 0);
+
+/// Feed every sample into model.calibrate() — the offline anchor of
+/// sim::CostModel's measured/analytic ratio tables.
+void calibrate_cost_model(sim::CostModel& model, const std::vector<CostSample>& samples);
 
 /// Paper Table III published cycle counts (k-cycles), for EXPERIMENTS.md
 /// style comparisons.

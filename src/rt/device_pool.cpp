@@ -1,7 +1,9 @@
 #include "src/rt/device_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/util/fnv.hpp"
 #include "src/util/strings.hpp"
 
 namespace gpup::rt {
@@ -28,16 +30,21 @@ std::string DeviceRequirements::describe() const {
   return out.empty() ? "any device" : out;
 }
 
-std::uint64_t content_key(std::span<const std::uint32_t> words) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  for (const std::uint32_t word : words) {
-    hash ^= word;
-    hash *= 0x100000001b3ULL;
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kPredictedCycles: return "predicted_cycles";
+    case PlacementPolicy::kLeastBound: return "least_bound";
   }
+  return "?";
+}
+
+std::uint64_t content_key(std::span<const std::uint32_t> words) {
+  const std::uint64_t hash = util::fnv1a_words(words);
   return hash == 0 ? 1 : hash;  // reserve 0 as "no key"
 }
 
-DevicePool::DevicePool(std::vector<sim::GpuConfig> configs) {
+DevicePool::DevicePool(std::vector<sim::GpuConfig> configs, PlacementPolicy policy)
+    : policy_(policy) {
   devices_.reserve(configs.size());
   for (const auto& config : configs) {
     devices_.push_back(std::make_unique<Device>(config));
@@ -49,13 +56,37 @@ std::size_t DevicePool::checked(int index) const {
   return static_cast<std::size_t>(index);
 }
 
-Result<int> DevicePool::place(const DeviceRequirements& require) const {
+void DevicePool::unbind(int index) {
+  auto& device = *devices_[checked(index)];
+  GPUP_CHECK_MSG(device.bound_queues > 0, "unbind without a matching bind");
+  device.bound_queues -= 1;
+}
+
+Result<int> DevicePool::place(const DeviceRequirements& require,
+                              const std::vector<double>& predicted_cycles) const {
+  GPUP_CHECK_MSG(predicted_cycles.empty() ||
+                     predicted_cycles.size() == devices_.size(),
+                 "predicted_cycles must have one entry per pool device");
   int best = -1;
+  double best_score = 0.0;
   for (int i = 0; i < size(); ++i) {
-    if (!require.matches(devices_[static_cast<std::size_t>(i)]->gpu.config())) continue;
-    if (best < 0 || devices_[static_cast<std::size_t>(i)]->bound_queues <
-                        devices_[static_cast<std::size_t>(best)]->bound_queues) {
+    const auto& device = *devices_[static_cast<std::size_t>(i)];
+    if (!require.matches(device.gpu.config())) continue;
+    // kPredictedCycles: completion time = in-flight predicted backlog plus
+    // the hinted work's predicted cycles on this device's config; equal
+    // completion times fall back to the queue count so an unhinted pool
+    // still spreads queues. kLeastBound scores on queue count alone.
+    const double score =
+        policy_ == PlacementPolicy::kLeastBound
+            ? 0.0
+            : static_cast<double>(device.inflight_cycles.load(std::memory_order_relaxed)) +
+                  (predicted_cycles.empty() ? 0.0
+                                            : predicted_cycles[static_cast<std::size_t>(i)]);
+    if (best < 0 || score < best_score ||
+        (score == best_score &&
+         device.bound_queues < devices_[static_cast<std::size_t>(best)]->bound_queues)) {
       best = i;
+      best_score = score;
     }
   }
   if (best < 0) {
@@ -67,14 +98,24 @@ Result<int> DevicePool::place(const DeviceRequirements& require) const {
 }
 
 Result<DevicePool::CachedUpload> DevicePool::find_or_upload(
-    int index, std::uint64_t key, const std::function<Result<CachedUpload>()>& make) {
+    int index, std::uint64_t key, std::span<const std::uint32_t> words,
+    const std::function<Result<CachedUpload>()>& make) {
   auto& device = *devices_[checked(index)];
   std::lock_guard<std::mutex> lock(device.cache_mutex);
-  const auto it = device.cache.find(key);
-  if (it != device.cache.end()) return it->second;
+  if (const auto it = device.cache.find(key); it != device.cache.end()) {
+    for (const CacheEntry& entry : it->second) {
+      if (entry.words.size() == words.size() &&
+          std::equal(entry.words.begin(), entry.words.end(), words.begin())) {
+        return entry.upload;
+      }
+    }
+  }
   auto made = make();
-  if (!made.ok()) return made.error();
-  return device.cache.emplace(key, std::move(made).value()).first->second;
+  if (!made.ok()) return made.error();  // not cached: a later retry can succeed
+  auto& bucket = device.cache[key];
+  bucket.push_back(CacheEntry{std::move(made).value(),
+                              std::vector<std::uint32_t>(words.begin(), words.end())});
+  return bucket.back().upload;
 }
 
 }  // namespace gpup::rt

@@ -1,21 +1,46 @@
-// Capability-aware device-pool layer of the host runtime.
+// Capability- and load-aware device-pool layer of the host runtime.
 //
 // A Context owns one DevicePool. Unlike the PR-2 pool, the devices need
 // not be identical: every `sim::Gpu` carries its own `sim::GpuConfig`
 // (heterogeneous CU counts, cache geometry, memory sizes — the G-GPU
 // generator's whole design space can serve side by side). Queues either
 // name a device index explicitly or describe what they need with
-// `DeviceRequirements`, and `place()` binds them to the least-loaded
-// matching device (lowest index on ties — deterministic).
+// `DeviceRequirements`, and `place()` binds them to a matching device.
+//
+// Placement is policy-driven (PlacementPolicy):
+//
+//   kPredictedCycles (default)  pick the capability match with the lowest
+//       predicted completion time: the device's in-flight load gauge (the
+//       predicted cycles of every dispatched-but-unsettled kernel, see
+//       reserve()/settle_load()) plus the caller's cost-model prediction
+//       for the new work on THAT device's config — so a fast device with
+//       a short backlog beats an idle slow one when it would still finish
+//       first. Ties fall back to bound queues, then lowest index.
+//   kLeastBound                 the pre-cost-model behaviour, kept for
+//       A/B: fewest bound queues wins, lowest index breaks ties. Blind to
+//       work size and device speed.
+//
+// The load gauge is real accounting: the runtime reserves a kernel's
+// predicted cycles at dispatch and settles the same amount when the
+// command reaches ANY terminal state (complete, failed, dependency-
+// failed), so the gauge can never leak the way the old bound-queues
+// counter did. Queue bindings themselves are released too: the Context
+// unbinds a queue once its last outside handle is gone and its history
+// settled (see Context prune), so long-lived contexts stop avoiding
+// devices whose queues are long gone.
 //
 // The pool also keeps a per-device *affinity cache* of uploaded buffers:
 // read-only inputs keyed by a caller-supplied content tag are uploaded to
 // a given device once and every later queue bound to that device reuses
-// the same buffer (plus the upload's event for ordering). The bump
-// allocator never frees, so cached buffers stay valid for the context's
-// lifetime.
+// the same buffer (plus the upload's event for ordering). Cache hits
+// verify the stored words against the caller's — a key collision (two
+// different buffers hashing alike, or two callers reusing a tag) uploads
+// separately instead of silently serving another buffer's contents to a
+// kernel. The bump allocator never frees, so cached buffers stay valid
+// for the context's lifetime.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,19 +82,27 @@ struct DeviceRequirements {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Content hash for affinity-cache keys (FNV-1a over the words). Callers
-/// with a natural identity (benchmark name, buffer id) can use their own
-/// keys instead.
+/// How place() picks among capability matches — see the file comment.
+enum class PlacementPolicy { kPredictedCycles, kLeastBound };
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy);
+
+/// Content hash for affinity-cache keys (FNV-1a over the length and the
+/// words). Callers with a natural identity (benchmark name, buffer id)
+/// can use their own keys instead — hits verify contents either way, so a
+/// colliding key costs a duplicate upload, never a wrong buffer.
 [[nodiscard]] std::uint64_t content_key(std::span<const std::uint32_t> words);
 
 class DevicePool {
  public:
-  explicit DevicePool(std::vector<sim::GpuConfig> configs);
+  explicit DevicePool(std::vector<sim::GpuConfig> configs,
+                      PlacementPolicy policy = PlacementPolicy::kPredictedCycles);
 
   DevicePool(const DevicePool&) = delete;
   DevicePool& operator=(const DevicePool&) = delete;
 
   [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] PlacementPolicy policy() const { return policy_; }
   [[nodiscard]] sim::Gpu& gpu(int index) { return devices_[checked(index)]->gpu; }
   [[nodiscard]] const sim::GpuConfig& config(int index) const {
     return devices_[checked(index)]->gpu.config();
@@ -81,14 +114,38 @@ class DevicePool {
   /// Serializes synchronous allocation.
   [[nodiscard]] std::mutex& alloc_mutex(int index) { return devices_[checked(index)]->alloc; }
 
-  /// The matching device with the fewest bound queues (lowest index wins
-  /// ties); Error listing the unmet requirements when nothing matches.
-  [[nodiscard]] Result<int> place(const DeviceRequirements& require) const;
+  /// Pick a device for a new queue. `predicted_cycles`, when non-empty,
+  /// holds the caller's per-device cost-model prediction for the queue's
+  /// hinted workload (one entry per pool device) and feeds the
+  /// kPredictedCycles completion-time score; empty means "no hint" and
+  /// scores on in-flight load alone. Error listing the unmet requirements
+  /// when nothing matches.
+  [[nodiscard]] Result<int> place(const DeviceRequirements& require,
+                                  const std::vector<double>& predicted_cycles = {}) const;
 
-  /// Account a queue binding (placement load; one per created queue).
+  /// Account a queue binding (one per created queue; released by unbind
+  /// when the Context prunes the dead queue).
   void bind(int index) { devices_[checked(index)]->bound_queues += 1; }
+  void unbind(int index);
   [[nodiscard]] int bound_queues(int index) const {
     return devices_[checked(index)]->bound_queues;
+  }
+
+  // ---- in-flight load gauge -------------------------------------------
+  /// Reserve a dispatched kernel's predicted cycles on its device; the
+  /// runtime settles the exact same amount when the command reaches a
+  /// terminal state (complete, failed, or dependency-failed), so the
+  /// gauge is leak-free by construction.
+  void reserve(int index, std::uint64_t predicted_cycles) {
+    devices_[checked(index)]->inflight_cycles.fetch_add(predicted_cycles,
+                                                        std::memory_order_relaxed);
+  }
+  void settle_load(int index, std::uint64_t predicted_cycles) {
+    devices_[checked(index)]->inflight_cycles.fetch_sub(predicted_cycles,
+                                                        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t inflight_cycles(int index) const {
+    return devices_[checked(index)]->inflight_cycles.load(std::memory_order_relaxed);
   }
 
   // ---- affinity cache --------------------------------------------------
@@ -101,24 +158,41 @@ class DevicePool {
 
   /// Find `key` in the device's cache, or run `make` (under the cache
   /// lock, so exactly one uploader wins a race) and cache its result. A
-  /// failed `make` (e.g. device OOM) is returned without caching, so a
+  /// hit is only served after verifying the cached upload's stored words
+  /// equal `words` — a colliding key falls through to `make` and is
+  /// cached alongside, so no caller ever reads another buffer's contents.
+  /// A failed `make` (e.g. device OOM) is returned without caching, so a
   /// later retry can succeed. Entries are never erased.
   Result<CachedUpload> find_or_upload(int index, std::uint64_t key,
+                                      std::span<const std::uint32_t> words,
                                       const std::function<Result<CachedUpload>()>& make);
 
  private:
+  struct CacheEntry {
+    CachedUpload upload;
+    /// Host copy compared on every hit. A host copy is the only safe
+    /// verification source: the upload's write command may still be
+    /// queued when a second caller hits the cache, so device memory
+    /// cannot be read back for comparison. Cost: one host-side duplicate
+    /// of each shared read-only input for the context's lifetime.
+    std::vector<std::uint32_t> words;
+  };
+
   struct Device {
     explicit Device(const sim::GpuConfig& config) : gpu(config) {}
     sim::Gpu gpu;
     std::mutex exec;
     std::mutex alloc;
     int bound_queues = 0;  ///< guarded by the Context's queues mutex
+    std::atomic<std::uint64_t> inflight_cycles{0};  ///< predicted, unsettled
     mutable std::mutex cache_mutex;
-    std::unordered_map<std::uint64_t, CachedUpload> cache;
+    /// Key -> every distinct content uploaded under it (collisions chain).
+    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache;
   };
 
   [[nodiscard]] std::size_t checked(int index) const;
 
+  PlacementPolicy policy_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

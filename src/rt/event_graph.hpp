@@ -69,6 +69,14 @@ struct EventState {
   // ---- scheduling metadata (immutable after submit) --------------------
   CommandTag tag;
 
+  // ---- device-load reservation (immutable after submit) ----------------
+  // Kernel commands reserve their predicted cycles on their device's load
+  // gauge at dispatch; settle_and_route releases exactly this amount on
+  // ANY terminal path (complete, failed, dependency-failed), so the gauge
+  // cannot leak. -1 = nothing reserved (transfers, native, user events).
+  int pool_device = -1;
+  std::uint64_t pool_reserved = 0;
+
   // ---- graph state, guarded by EventGraph::mutex() ---------------------
   int deps_remaining = 0;
   bool settled = false;       ///< terminal, as seen by the graph

@@ -1,6 +1,7 @@
 #include "src/rt/runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/strings.hpp"
@@ -98,15 +99,23 @@ std::shared_ptr<ConcurrencyBudget> pick_budget(const std::vector<sim::GpuConfig>
 }  // namespace
 
 Context::Context(const sim::GpuConfig& config, int device_count, unsigned threads)
-    : Context(ContextOptions{replicate(config, device_count), threads, SchedulerConfig{}}) {}
+    : Context([&] {
+        ContextOptions options;
+        options.devices = replicate(config, device_count);
+        options.threads = threads;
+        return options;
+      }()) {}
 
 Context::Context(ContextOptions options)
     : sched_config_(options.scheduler),
       budget_(pick_budget(options.devices, options.threads)),
+      cost_model_(options.cost_model != nullptr ? std::move(options.cost_model)
+                                                : std::make_shared<sim::CostModel>()),
       devices_(with_budget(options.devices.empty()
                                ? std::vector<sim::GpuConfig>{sim::GpuConfig{}}
                                : std::move(options.devices),
-                           budget_)),
+                           budget_),
+               options.placement),
       scheduler_(Scheduler::create(sched_config_)) {
   const unsigned threads = resolve_threads(options.threads);
   workers_.reserve(threads);
@@ -158,11 +167,45 @@ CommandQueue Context::create_queue(int device) {
   return register_queue(device, QueueOptions{});
 }
 
+// A queue is dead once only the Context's own registry references it (no
+// outside CommandQueue handle, no unsettled command holding the state) —
+// enqueuing requires a handle, so a dead queue can never grow again. Its
+// device binding is released so placement stops avoiding devices whose
+// queues are long gone; a dead queue that had failed keeps failing
+// finish() through pruned_failed_.
+void Context::prune_dead_queues_locked() {
+  std::erase_if(queues_, [this](const std::shared_ptr<detail::QueueState>& queue) {
+    if (queue.use_count() > 1 || !queue->unsettled.empty()) return false;
+    devices_.unbind(queue->device);
+    pruned_failed_ = pruned_failed_ || queue->any_failed;
+    return true;
+  });
+}
+
 Result<CommandQueue> Context::create_queue(const QueueOptions& options) {
   std::lock_guard<std::mutex> lock(queues_mutex_);
   int device = options.device;
   if (device < 0) {
-    auto placed = devices_.place(options.require);
+    {
+      // Placement reads the binding gauge: release dead queues first so a
+      // long-lived context's create/destroy churn cannot skew it.
+      std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+      prune_dead_queues_locked();
+    }
+    // With a workload hint, score every device by the cost model's
+    // prediction for the hinted launches on THAT device's config.
+    std::vector<double> predicted;
+    if (!options.hint.program.empty() && options.hint.range.global_size > 0) {
+      const auto profile = cost_model_->profile_for(options.hint.program);
+      predicted.resize(static_cast<std::size_t>(device_count()));
+      for (int i = 0; i < device_count(); ++i) {
+        predicted[static_cast<std::size_t>(i)] =
+            cost_model_->predict(profile, devices_.config(i), options.hint.range.global_size,
+                                 options.hint.range.wg_size) *
+            std::max(1, options.hint.launches);
+      }
+    }
+    auto placed = devices_.place(options.require, predicted);
     if (!placed.ok()) return placed.error();
     device = placed.value();
   } else if (device >= device_count()) {
@@ -189,14 +232,16 @@ bool Context::finish() {
   for (const auto& state : pending) (void)Event(state).wait();
   std::lock_guard<std::mutex> queues_lock(queues_mutex_);
   std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
-  bool ok = true;
+  prune_dead_queues_locked();
+  bool ok = !pruned_failed_;
   for (const auto& queue : queues_) ok = ok && !queue->any_failed;
   return ok;
 }
 
 Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
                       std::function<Status(detail::EventState&)> run,
-                      const std::vector<Event>& wait_list, double cost) {
+                      const std::vector<Event>& wait_list, double cost,
+                      int reserve_device, std::uint64_t reserved_cycles) {
   auto state = std::make_shared<detail::EventState>();
   state->context = this;
   state->run = std::move(run);
@@ -205,6 +250,8 @@ Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
   state->tag.priority = queue->priority;
   state->tag.tenant = queue->tenant;
   state->tag.cost = cost;
+  state->pool_device = reserve_device;
+  state->pool_reserved = reserved_cycles;
 
   bool ready = false;
   {
@@ -281,6 +328,12 @@ void Context::settle_and_route(const std::shared_ptr<detail::EventState>& state,
     std::lock_guard<std::mutex> lock(state->m);
     if (state->settle_claimed) return;  // user events: complete() is idempotent
     state->settle_claimed = true;
+  }
+  // Release the dispatch-time load reservation on every terminal path —
+  // success, failure, and dependency failure all come through here, so
+  // the device's in-flight gauge is exact whatever happens to the command.
+  if (state->pool_device >= 0) {
+    state->context->devices_.settle_load(state->pool_device, state->pool_reserved);
   }
   // Record the outcome in the graph (queue any_failed, dependent failure
   // marks) BEFORE publishing the terminal status: a finish() waiter that
@@ -386,22 +439,39 @@ Event CommandQueue::enqueue_kernel(const isa::Program& program,
   GPUP_CHECK_MSG(valid(), "null command queue");
   auto& pool = context_->devices_;
   const int device = state_->device;
-  // Fair-share cost: one unit per work-group, so a tenant burning big
-  // launches is debited proportionally more than one issuing small ones.
-  const double cost =
-      range.wg_size == 0 ? 1.0
-                         : std::max(1.0, static_cast<double>(range.global_size) /
-                                             static_cast<double>(range.wg_size));
+  // Predicted cycles drive three things: the fair-share cost (a tenant
+  // burning long launches is debited proportionally more than one issuing
+  // quick ones), the device's in-flight load gauge (reserved here,
+  // settled when the command turns terminal), and — once the launch
+  // completes — the cost model's online refinement for this (program,
+  // device) pair. The gauge uses the live (EWMA-refined) prediction; the
+  // scheduler tag uses the pair-frozen one, because policies must stay
+  // pure functions of submission history (see Scheduler's determinism
+  // contract) while the gauge may track the workload freely.
+  const auto cost_model = context_->cost_model_;
+  const auto profile = cost_model->profile_for(program);
+  const double predicted =
+      cost_model->predict(profile, pool.config(device), range.global_size, range.wg_size);
+  const double stable_cost = cost_model->predict_stable(profile, pool.config(device),
+                                                        range.global_size, range.wg_size);
+  const auto reserved =
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, predicted)));
+  pool.reserve(device, reserved);
   return context_->submit(
       state_,
-      [&pool, device, program, args = std::move(args), range](detail::EventState& state) -> Status {
-        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
-        auto stats = pool.gpu(device).try_launch(program, args, range.global_size, range.wg_size);
+      [&pool, device, program, args = std::move(args), range, cost_model,
+       profile](detail::EventState& state) -> Status {
+        Result<sim::LaunchStats> stats = [&] {
+          std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+          return pool.gpu(device).try_launch(program, args, range.global_size, range.wg_size);
+        }();
         if (!stats.ok()) return stats.error();
         state.stats = std::move(stats).value();
+        cost_model->observe(profile, pool.gpu(device).config(), state.stats.global_size,
+                            state.stats.wg_size, state.stats.cycles);
         return {};
       },
-      wait_list, cost);
+      wait_list, std::max(1.0, stable_cost), device, reserved);
 }
 
 Event CommandQueue::enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list) {
@@ -439,7 +509,7 @@ Result<CommandQueue::SharedUpload> CommandQueue::upload_shared(
   GPUP_CHECK_MSG(valid(), "null command queue");
   auto& pool = context_->devices_;
   auto cached = pool.find_or_upload(
-      state_->device, key, [&]() -> Result<DevicePool::CachedUpload> {
+      state_->device, key, words, [&]() -> Result<DevicePool::CachedUpload> {
         const auto word_count = static_cast<std::uint32_t>(words.size());
         auto buffer = alloc_words(word_count);
         if (!buffer.ok()) return buffer.error();

@@ -26,7 +26,10 @@
 //                                  (FIFO / priority+aging / fair share);
 //   DevicePool  (device_pool.hpp)  *where* queues live — devices may be
 //                                  heterogeneous (per-device GpuConfig),
-//                                  queues place by DeviceRequirements, and
+//                                  queues place by DeviceRequirements onto
+//                                  the device with the lowest predicted
+//                                  completion time (sim::CostModel + the
+//                                  pool's in-flight load gauge), and
 //                                  shared inputs affinity-cache per device.
 //
 // Commands within one in-order queue execute in submission order; an
@@ -53,6 +56,15 @@
 // single-worker context executes a reproducible schedule; with several
 // workers the moment a command becomes ready depends on host timing and
 // only results are guaranteed stable.
+//
+// One deliberate exception: requirement-based placement under the default
+// PlacementPolicy::kPredictedCycles reads the devices' live in-flight
+// load gauge, so WHICH device a queue lands on (and, on a heterogeneous
+// pool, its launches' cycle counts) can depend on what had completed by
+// create_queue time. Each launch is still exactly reproducible for the
+// device it ran on. For bit-reproducible placement, gate the work so all
+// queues are created before anything completes (the placement bench does
+// this), name devices explicitly, or select PlacementPolicy::kLeastBound.
 #pragma once
 
 #include <atomic>
@@ -71,6 +83,7 @@
 #include "src/rt/device_pool.hpp"
 #include "src/rt/event_graph.hpp"
 #include "src/rt/scheduler.hpp"
+#include "src/sim/cost_model.hpp"
 #include "src/sim/gpu.hpp"
 #include "src/util/status.hpp"
 #include "src/util/thread_pool.hpp"
@@ -159,6 +172,19 @@ class UserEvent {
   std::shared_ptr<detail::EventState> state_;
 };
 
+/// Optional description of the work a new queue intends to run, consumed
+/// by completion-time placement (PlacementPolicy::kPredictedCycles): the
+/// cost model predicts the hinted kernel's cycles on EVERY capability-
+/// matching device, so a fast device with a backlog can still beat an
+/// idle slow one. An empty program means "no hint" — placement then
+/// scores on in-flight load alone.
+struct WorkloadHint {
+  isa::Program program;
+  NdRange range;
+  /// Expected number of such launches (scales the predicted cycles).
+  int launches = 1;
+};
+
 /// How a new queue binds to the pool and presents itself to the
 /// scheduling policy.
 struct QueueOptions {
@@ -168,10 +194,12 @@ struct QueueOptions {
   int priority = 0;
   /// kFairShare policy: commands are accounted to this tenant.
   std::uint64_t tenant = 0;
-  /// Explicit device index, or -1 to place by `require` on the matching
-  /// device with the fewest bound queues.
+  /// Explicit device index, or -1 to place by `require` under the
+  /// context's PlacementPolicy (predicted completion time by default).
   int device = -1;
   DeviceRequirements require;
+  /// What the queue plans to run — feeds kPredictedCycles placement.
+  WorkloadHint hint;
 };
 
 /// A heterogeneous Context: one simulated device per config (they need
@@ -181,6 +209,13 @@ struct ContextOptions {
   std::vector<sim::GpuConfig> devices;
   unsigned threads = 0;  ///< 0 = hardware concurrency
   SchedulerConfig scheduler;
+  /// How place() picks among capability matches (see device_pool.hpp).
+  PlacementPolicy placement = PlacementPolicy::kPredictedCycles;
+  /// The cost model driving placement, fair-share kernel costs, and the
+  /// per-(program, device) online refinement. Null = a fresh model; share
+  /// one (e.g. calibrated via repro::calibrate_cost_model) across
+  /// contexts to carry learned ratios between runs.
+  std::shared_ptr<sim::CostModel> cost_model;
 };
 
 /// Command queue bound to one device of the Context's pool. Lightweight
@@ -286,6 +321,13 @@ class Context {
   [[nodiscard]] int device_count() const { return devices_.size(); }
   [[nodiscard]] unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
   [[nodiscard]] SchedulerPolicy scheduler_policy() const { return sched_config_.policy; }
+  [[nodiscard]] PlacementPolicy placement_policy() const { return devices_.policy(); }
+  /// The context's cost model (shared; never null) — placement scores,
+  /// fair-share kernel costs, and online cycle-ratio refinement all read
+  /// and write through it.
+  [[nodiscard]] const std::shared_ptr<sim::CostModel>& cost_model() const {
+    return cost_model_;
+  }
 
   /// New in-order queue, bound round-robin over the device pool (or to an
   /// explicit device index).
@@ -313,11 +355,20 @@ class Context {
 
   /// Register a queue on a validated device (queues_mutex_ held).
   CommandQueue register_queue(int device, const QueueOptions& options);
+  /// Release dead queues' device bindings: a queue whose last outside
+  /// handle is gone and whose history is fully settled can never receive
+  /// another command, so its bind no longer describes load. Requires
+  /// queues_mutex_ and EventGraph::mutex() (in that order).
+  void prune_dead_queues_locked();
   /// Chain `run` behind the queue's mode-implied and wait-list
   /// dependencies; hand it to the scheduler once every dependency settled.
+  /// `reserve_device` >= 0 records a load-gauge reservation of
+  /// `reserved_cycles` (already applied by the caller) for settle to
+  /// release.
   Event submit(const std::shared_ptr<detail::QueueState>& queue,
                std::function<Status(detail::EventState&)> run,
-               const std::vector<Event>& wait_list, double cost = 1.0);
+               const std::vector<Event>& wait_list, double cost = 0.0,
+               int reserve_device = -1, std::uint64_t reserved_cycles = 0);
   /// Push a ready command to the policy and wake a worker.
   void schedule(std::shared_ptr<detail::EventState> state);
   /// Settle a node and route every newly-ready dependent to its own
@@ -329,12 +380,17 @@ class Context {
 
   SchedulerConfig sched_config_;
   std::shared_ptr<ConcurrencyBudget> budget_;
+  std::shared_ptr<sim::CostModel> cost_model_;
   DevicePool devices_;
 
   std::mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue
-  // even after the caller dropped its CommandQueue handle.
+  // even after the caller dropped its CommandQueue handle. Queues that
+  // can no longer be reached or grow are pruned (prune_dead_queues_locked)
+  // so their device bindings are released; a pruned queue's failure stays
+  // sticky via pruned_failed_.
   std::vector<std::shared_ptr<detail::QueueState>> queues_;
+  bool pruned_failed_ = false;
   int next_queue_device_ = 0;
   int next_queue_id_ = 0;
   std::atomic<std::uint64_t> next_seq_{1};

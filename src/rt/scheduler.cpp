@@ -131,7 +131,9 @@ class PriorityScheduler final : public Scheduler {
 class FairShareScheduler final : public Scheduler {
  public:
   explicit FairShareScheduler(const SchedulerConfig& config)
-      : seed_(config.seed), quantum_(config.drr_quantum > 0 ? config.drr_quantum : 1.0) {}
+      : seed_(config.seed),
+        quantum_(config.drr_quantum > 0 ? config.drr_quantum : 1.0),
+        min_cost_(std::max(0.0, config.min_command_cost)) {}
 
   void push(Node node) override {
     const std::uint64_t tenant = node->tag.tenant;
@@ -158,8 +160,8 @@ class FairShareScheduler final : public Scheduler {
         auto& tenant = it->second;
         if (tenant.backlog.empty()) {
           tenant.deficit = 0.0;
-        } else if (tenant.deficit >= tenant.backlog.front()->tag.cost) {
-          tenant.deficit -= tenant.backlog.front()->tag.cost;
+        } else if (tenant.deficit >= charge(tenant.backlog.front())) {
+          tenant.deficit -= charge(tenant.backlog.front());
           Node node = std::move(tenant.backlog.front());
           tenant.backlog.pop_front();
           if (tenant.backlog.empty()) tenant.deficit = 0.0;
@@ -183,7 +185,7 @@ class FairShareScheduler final : public Scheduler {
       for (auto& [id, tenant] : tenants_) {
         if (tenant.backlog.empty()) continue;
         const double rounds =
-            std::ceil((tenant.backlog.front()->tag.cost - tenant.deficit) / quantum_);
+            std::ceil((charge(tenant.backlog.front()) - tenant.deficit) / quantum_);
         if (first || rounds < min_rounds) min_rounds = rounds;
         first = false;
       }
@@ -206,8 +208,16 @@ class FairShareScheduler final : public Scheduler {
     double deficit = 0.0;
   };
 
+  /// What serving this command debits: never below the configured minimum,
+  /// so zero-cost commands (transfers, native work) still pay their way
+  /// through the round-robin instead of being served unconditionally.
+  [[nodiscard]] double charge(const Node& node) const {
+    return std::max(node->tag.cost, min_cost_);
+  }
+
   std::uint64_t seed_;
   double quantum_;
+  double min_cost_;
   std::uint64_t cursor_ = 0;  ///< next tenant id to visit
   std::size_t size_ = 0;
   std::map<std::uint64_t, Tenant> tenants_;  ///< ordered: deterministic visit order

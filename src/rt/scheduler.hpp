@@ -53,6 +53,12 @@ struct SchedulerConfig {
   /// kFairShare: budget units granted to a tenant's queue per round of the
   /// deficit round-robin (a command costs `CommandTag::cost` units).
   double drr_quantum = 1.0;
+  /// kFairShare: minimum deficit units charged per command regardless of
+  /// its tag cost. Transfers and native commands carry cost 0 (they do not
+  /// occupy a device), but serving them entirely free would let a tenant
+  /// spamming transfers crowd the ready set without ever being debited —
+  /// every pop costs at least this much.
+  double min_command_cost = 1.0;
   /// Deterministic tie-break perturbation. 0 = submission order. Any other
   /// value reorders equal-criteria commands by a seeded hash of their
   /// sequence number — the "schedule seed" of out-of-order mode.

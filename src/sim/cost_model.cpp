@@ -1,0 +1,209 @@
+#include "src/sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/isa/isa.hpp"
+#include "src/util/fnv.hpp"
+
+namespace gpup::sim {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  // splitmix64 finalizer over the pair: cheap, well-distributed.
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t program_key(const isa::Program& program) {
+  return util::fnv1a_words(program.words());
+}
+
+}  // namespace detail
+
+KernelProfile KernelProfile::of(const isa::Program& program) {
+  KernelProfile profile;
+  profile.key = detail::program_key(program);
+  profile.instructions = static_cast<std::uint32_t>(program.size());
+  for (std::uint32_t pc = 0; pc < program.size(); ++pc) {
+    const isa::Instruction instr = program.at(pc);
+    switch (isa::info(instr.opcode).op_class) {
+      case isa::OpClass::kAlu: ++profile.alu; break;
+      case isa::OpClass::kMul: ++profile.muls; break;
+      case isa::OpClass::kDiv: ++profile.divs; break;
+      case isa::OpClass::kGlobalMem:
+        (instr.opcode == isa::Opcode::kLw ? profile.global_loads : profile.global_stores) += 1;
+        break;
+      case isa::OpClass::kLocalMem: ++profile.local_accesses; break;
+      case isa::OpClass::kBranch: ++profile.branches; break;
+      case isa::OpClass::kSync: ++profile.barriers; break;
+      case isa::OpClass::kJump:
+      case isa::OpClass::kRtm:
+      case isa::OpClass::kMisc: break;
+    }
+  }
+  return profile;
+}
+
+// Two roofline terms plus fixed latency:
+//
+//   compute = wavefronts-per-CU x instructions x beats — every wavefront
+//     instruction occupies the CU's SIMD pipeline for `beats` cycles
+//     (divider ops for div_beats_factor x that), and the CUs drain their
+//     share of the wavefronts back-to-back;
+//   memory  = touched cache lines x line transfer cycles / DRAM ports —
+//     each global access instruction of a wavefront touches one line per
+//     coalescing group (unit-stride assumption), and fills/writebacks
+//     share min(axi_ports, cache_banks) line streams;
+//   fixed   = one DRAM round-trip + cache pipeline + per-WG dispatch.
+//
+// Everything the static profile cannot see — loop trip counts, reuse that
+// turns touched lines into hits, divergence, bank conflicts — lands in the
+// calibration ratio, which is exactly the point of splitting the model
+// into an analytic shape and a measured scale.
+double CostModel::analytic_cycles(const KernelProfile& profile, const GpuConfig& config,
+                                  std::uint32_t global_size, std::uint32_t wg_size) {
+  if (global_size == 0 || profile.instructions == 0) return 0.0;
+  const double wg = static_cast<double>(std::clamp(wg_size, 1u, global_size));
+  const double wgs = std::ceil(static_cast<double>(global_size) / wg);
+  const double waves_per_wg = std::ceil(wg / std::max(1, config.wavefront_size));
+  const double waves = wgs * waves_per_wg;
+  // A work-group lives on exactly one CU, so a launch with fewer WGs than
+  // CUs leaves the extra CUs idle — the compute roofline divides WGs
+  // (not wavefronts) across the CUs. This is what produces Table III's
+  // saturation shape: small NDRanges stop speeding up once wgs < cu_count.
+  const double wgs_per_cu = std::ceil(wgs / std::max(1, config.cu_count));
+  const double waves_per_cu = wgs_per_cu * waves_per_wg;
+
+  const double beats = std::max(1, config.beats_per_instruction());
+  const double issue_per_wave =
+      static_cast<double>(profile.instructions - profile.divs) * beats +
+      static_cast<double>(profile.divs) * beats * std::max(1, config.div_beats_factor);
+  const double compute = waves_per_cu * issue_per_wave;
+
+  const double lines_per_access =
+      std::max(1.0, static_cast<double>(config.wavefront_size) * 4.0 /
+                        std::max(1u, config.cache_line_bytes));
+  const double touched_lines =
+      waves * static_cast<double>(profile.global_loads + profile.global_stores) *
+      lines_per_access;
+  const double line_streams =
+      std::max(1u, std::min(config.axi_ports, std::max(1u, config.cache_banks)));
+  const double memory = touched_lines * config.line_transfer_cycles() / line_streams;
+
+  const double fixed = static_cast<double>(config.dram_latency + config.cache_hit_latency) +
+                       2.0 * wgs / std::max(1, config.cu_count);
+  return std::max(compute, memory) + fixed;
+}
+
+std::uint64_t CostModel::config_key(const GpuConfig& config) {
+  std::uint64_t hash = util::kFnvOffsetBasis;
+  for (const std::uint64_t field : {
+           static_cast<std::uint64_t>(config.cu_count),
+           static_cast<std::uint64_t>(config.pes_per_cu),
+           static_cast<std::uint64_t>(config.wavefront_size),
+           static_cast<std::uint64_t>(config.max_wavefronts_per_cu),
+           static_cast<std::uint64_t>(config.hw_divider ? 1 : 0),
+           static_cast<std::uint64_t>(config.div_beats_factor),
+           static_cast<std::uint64_t>(config.cache_bytes),
+           static_cast<std::uint64_t>(config.cache_line_bytes),
+           static_cast<std::uint64_t>(config.cache_banks),
+           static_cast<std::uint64_t>(config.cache_hit_latency),
+           static_cast<std::uint64_t>(config.cache_queue_depth),
+           static_cast<std::uint64_t>(config.mshr_per_bank),
+           static_cast<std::uint64_t>(config.axi_ports),
+           static_cast<std::uint64_t>(config.dram_latency),
+           static_cast<std::uint64_t>(config.dram_bytes_per_cycle),
+           static_cast<std::uint64_t>(config.lram_words_per_cu),
+           static_cast<std::uint64_t>(config.max_outstanding_stores),
+       }) {
+    hash = util::fnv1a_step(hash, field);
+  }
+  return hash;
+}
+
+KernelProfile CostModel::profile_for(const isa::Program& program) const {
+  const std::uint64_t key = detail::program_key(program);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (const auto it = profile_cache_.find(key); it != profile_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Decode outside the lock; a racing duplicate decode is harmless.
+  const KernelProfile profile = KernelProfile::of(program);
+  std::lock_guard<std::mutex> lock(m_);
+  return profile_cache_.emplace(key, profile).first->second;
+}
+
+double CostModel::ratio_locked(std::uint64_t pair_key, std::uint64_t program_key) const {
+  if (const auto it = pair_ratio_.find(pair_key); it != pair_ratio_.end()) return it->second;
+  if (const auto it = program_ratio_.find(program_key);
+      it != program_ratio_.end() && it->second.count > 0) {
+    return std::exp(it->second.log_sum / it->second.count);
+  }
+  if (global_ratio_.count > 0) return std::exp(global_ratio_.log_sum / global_ratio_.count);
+  return 1.0;
+}
+
+double CostModel::predict(const KernelProfile& profile, const GpuConfig& config,
+                          std::uint32_t global_size, std::uint32_t wg_size) const {
+  const double analytic = analytic_cycles(profile, config, global_size, wg_size);
+  if (analytic <= 0.0) return 0.0;
+  std::lock_guard<std::mutex> lock(m_);
+  return analytic * ratio_locked(mix(profile.key, config_key(config)), profile.key);
+}
+
+double CostModel::predict_stable(const KernelProfile& profile, const GpuConfig& config,
+                                 std::uint32_t global_size, std::uint32_t wg_size) {
+  const double analytic = analytic_cycles(profile, config, global_size, wg_size);
+  if (analytic <= 0.0) return 0.0;
+  std::lock_guard<std::mutex> lock(m_);
+  const std::uint64_t pair_key = mix(profile.key, config_key(config));
+  const auto [it, inserted] = frozen_ratio_.try_emplace(pair_key, 0.0);
+  // First stable query wins: at that moment no launch of this pair can
+  // have completed yet (a launch needs an enqueue, and every kernel
+  // enqueue takes its cost here first), so the pinned ratio reflects
+  // offline calibration only — deterministic across runs.
+  if (inserted) it->second = ratio_locked(pair_key, profile.key);
+  return analytic * it->second;
+}
+
+void CostModel::calibrate(const KernelProfile& profile, const GpuConfig& config,
+                          std::uint32_t global_size, std::uint32_t wg_size,
+                          std::uint64_t measured_cycles) {
+  const double analytic = analytic_cycles(profile, config, global_size, wg_size);
+  if (analytic <= 0.0 || measured_cycles == 0) return;
+  const double ratio = static_cast<double>(measured_cycles) / analytic;
+  std::lock_guard<std::mutex> lock(m_);
+  pair_ratio_[mix(profile.key, config_key(config))] = ratio;
+  // Geometric means for the fallbacks: ratios are multiplicative scale
+  // factors, so averaging their logs keeps a 10x-high and a 10x-low cell
+  // from cancelling into a misleading arithmetic mean.
+  auto& program = program_ratio_[profile.key];
+  program.log_sum += std::log(ratio);
+  program.count += 1;
+  global_ratio_.log_sum += std::log(ratio);
+  global_ratio_.count += 1;
+}
+
+void CostModel::observe(const KernelProfile& profile, const GpuConfig& config,
+                        std::uint32_t global_size, std::uint32_t wg_size,
+                        std::uint64_t measured_cycles) {
+  const double analytic = analytic_cycles(profile, config, global_size, wg_size);
+  if (analytic <= 0.0 || measured_cycles == 0) return;
+  const double observed = static_cast<double>(measured_cycles) / analytic;
+  std::lock_guard<std::mutex> lock(m_);
+  const std::uint64_t pair_key = mix(profile.key, config_key(config));
+  const double prior = ratio_locked(pair_key, profile.key);
+  pair_ratio_[pair_key] = prior + alpha_ * (observed - prior);
+}
+
+}  // namespace gpup::sim

@@ -1,0 +1,155 @@
+// Analytic launch-cycle cost model.
+//
+// Predicts how many simulated cycles a kernel launch will take on a given
+// device configuration WITHOUT running the simulator — the G-GPU's whole
+// value proposition is picking the right accelerator configuration for a
+// workload (the paper's Table III is literally a kernels x configs cost
+// matrix), and the host runtime uses this model to place work on the
+// device of a heterogeneous pool that will finish it soonest
+// (rt::DevicePool, PlacementPolicy::kPredictedCycles).
+//
+// The prediction is layered (docs/runtime.md "Placement and the cost
+// model"):
+//
+//   1. `analytic_cycles` — a closed-form first-principles estimate from
+//      the kernel's static instruction mix (KernelProfile), the launch
+//      geometry, and the device config: issue-bandwidth bound vs
+//      DRAM-bandwidth bound, whichever dominates, plus fixed latency.
+//   2. Offline calibration — `calibrate()` records measured LaunchStats
+//      for (kernel, config) cells (the Table III kernels via
+//      repro::measure_cost_samples); predictions multiply the analytic
+//      estimate by the closest recorded measured/analytic ratio (exact
+//      pair, else per-program mean, else global mean). The ratio absorbs
+//      what the static profile cannot see: loop trip counts, divergence,
+//      cache reuse, bank contention.
+//   3. Online refinement — `observe()` folds every completed launch's
+//      measured cycles into the (program, device) pair ratio with an
+//      EWMA, so a long-lived runtime converges onto its actual workload
+//      even where the offline calibration never looked.
+//
+// Thread-safe: the ratio tables are guarded by one mutex; predictions in
+// the placement path take it for a couple of hash lookups only.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/isa/program.hpp"
+#include "src/sim/config.hpp"
+
+namespace gpup::sim {
+
+/// Documented accuracy bound of the calibrated model on the Table III
+/// matrix: with per-program calibration from the OTHER three CU configs,
+/// a held-out cell's predicted cycles stay within this relative error of
+/// the measured cycles (|predicted - measured| / measured). Asserted by
+/// tests/cost_model_test.cpp (measured worst case ~0.17); the dominant
+/// residual is cache-contention nonlinearity across CU counts that a
+/// per-program scalar ratio cannot express.
+inline constexpr double kCrossConfigErrorBound = 0.25;
+
+/// Static per-work-item instruction mix of an assembled kernel, extracted
+/// once per program by decoding its words. Loop bodies count once — trip
+/// counts (and divergence, and cache reuse) are absorbed by the
+/// calibration ratio, not the profile.
+struct KernelProfile {
+  std::uint64_t key = 0;  ///< identity hash of the program words
+  std::uint32_t instructions = 0;
+  std::uint32_t alu = 0;
+  std::uint32_t muls = 0;
+  std::uint32_t divs = 0;            ///< hw-divider ops (div/rem)
+  std::uint32_t global_loads = 0;    ///< lw (through the shared cache)
+  std::uint32_t global_stores = 0;   ///< sw
+  std::uint32_t local_accesses = 0;  ///< lwl/swl (LRAM)
+  std::uint32_t branches = 0;
+  std::uint32_t barriers = 0;
+
+  [[nodiscard]] static KernelProfile of(const isa::Program& program);
+};
+
+namespace detail {
+/// Identity hash of a program's words (FNV-1a over words then length) —
+/// the KernelProfile::key, computable without decoding.
+[[nodiscard]] std::uint64_t program_key(const isa::Program& program);
+}  // namespace detail
+
+class CostModel {
+ public:
+  CostModel() = default;
+  /// `ewma_alpha` in (0, 1]: weight of each new observation in the online
+  /// per-(program, device) ratio refinement.
+  explicit CostModel(double ewma_alpha) : alpha_(ewma_alpha) {}
+
+  /// Closed-form uncalibrated estimate — see the file comment. Returns 0
+  /// for an empty launch.
+  [[nodiscard]] static double analytic_cycles(const KernelProfile& profile,
+                                              const GpuConfig& config,
+                                              std::uint32_t global_size, std::uint32_t wg_size);
+
+  /// Calibrated prediction: analytic estimate times the best recorded
+  /// measured/analytic ratio (exact (program, config) pair, else the
+  /// program's mean over calibrated configs, else the global mean, else 1).
+  [[nodiscard]] double predict(const KernelProfile& profile, const GpuConfig& config,
+                               std::uint32_t global_size, std::uint32_t wg_size) const;
+  [[nodiscard]] double predict(const isa::Program& program, const GpuConfig& config,
+                               std::uint32_t global_size, std::uint32_t wg_size) const {
+    return predict(profile_for(program), config, global_size, wg_size);
+  }
+
+  /// Memoized KernelProfile::of: programs are decoded once per model
+  /// (keyed by the words' identity hash), so the enqueue hot path pays
+  /// one hash pass, not a decode, per launch.
+  [[nodiscard]] KernelProfile profile_for(const isa::Program& program) const;
+
+  /// Like predict(), but the calibration ratio is FROZEN at the
+  /// (program, config) pair's first stable query: later observe()
+  /// refinements keep improving predict() (placement, load gauging) but
+  /// never change this value, so consumers that must be pure functions of
+  /// submission history — the fair-share scheduler's command costs — stay
+  /// reproducible run to run instead of depending on when completions
+  /// happened to land relative to enqueues.
+  [[nodiscard]] double predict_stable(const KernelProfile& profile, const GpuConfig& config,
+                                      std::uint32_t global_size, std::uint32_t wg_size);
+
+  /// Offline calibration: record a measured (kernel, config) cell. Sets
+  /// the pair ratio exactly and contributes to the per-program and global
+  /// fallback means.
+  void calibrate(const KernelProfile& profile, const GpuConfig& config,
+                 std::uint32_t global_size, std::uint32_t wg_size,
+                 std::uint64_t measured_cycles);
+
+  /// Online refinement: EWMA the pair ratio toward this observed launch.
+  /// The prior is whatever predict() would currently use for the pair, so
+  /// the prediction error for a repeatedly-launched kernel decays
+  /// geometrically (monotonically for a stable workload).
+  void observe(const KernelProfile& profile, const GpuConfig& config,
+               std::uint32_t global_size, std::uint32_t wg_size,
+               std::uint64_t measured_cycles);
+
+  /// Identity hash over the timing-relevant GpuConfig fields (host-side
+  /// knobs like thread counts and fast-forward are excluded: they never
+  /// change simulated cycles).
+  [[nodiscard]] static std::uint64_t config_key(const GpuConfig& config);
+
+  [[nodiscard]] double ewma_alpha() const { return alpha_; }
+
+ private:
+  struct MeanRatio {
+    double log_sum = 0.0;
+    int count = 0;
+  };
+
+  /// The fallback chain pair -> program -> global -> 1.0; expects m_ held.
+  [[nodiscard]] double ratio_locked(std::uint64_t pair_key, std::uint64_t program_key) const;
+
+  double alpha_ = 0.25;
+  mutable std::mutex m_;
+  mutable std::unordered_map<std::uint64_t, KernelProfile> profile_cache_;
+  std::unordered_map<std::uint64_t, double> frozen_ratio_;  ///< predict_stable pins
+  std::unordered_map<std::uint64_t, double> pair_ratio_;
+  std::unordered_map<std::uint64_t, MeanRatio> program_ratio_;
+  MeanRatio global_ratio_;
+};
+
+}  // namespace gpup::sim

@@ -1,0 +1,28 @@
+// Shared 64-bit FNV-1a hashing, so the runtime's content keys and the
+// cost model's program/config identities use ONE implementation with one
+// convention (length mixed first) instead of hand-rolled copies drifting
+// apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gpup::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// One FNV-1a absorption step.
+[[nodiscard]] constexpr std::uint64_t fnv1a_step(std::uint64_t hash, std::uint64_t value) {
+  return (hash ^ value) * kFnvPrime;
+}
+
+/// FNV-1a over a word sequence, length first (a prefix and its extension
+/// never share a hash).
+[[nodiscard]] inline std::uint64_t fnv1a_words(std::span<const std::uint32_t> words) {
+  std::uint64_t hash = fnv1a_step(kFnvOffsetBasis, words.size());
+  for (const std::uint32_t word : words) hash = fnv1a_step(hash, word);
+  return hash;
+}
+
+}  // namespace gpup::util

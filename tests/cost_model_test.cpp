@@ -1,0 +1,205 @@
+// Cost-model accuracy and refinement tests: analytic-shape sanity,
+// Table III calibration (exact on calibrated cells, within the documented
+// kCrossConfigErrorBound on held-out CU configs), and monotone convergence
+// of the online EWMA refinement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/repro/repro.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/sim/cost_model.hpp"
+
+namespace gpup {
+namespace {
+
+using sim::CostModel;
+using sim::KernelProfile;
+
+// Shared measurement of the Table III cells (28 simulations at 1/8 input
+// scale) — measured once, reused by every test in this file.
+const std::vector<repro::CostSample>& samples() {
+  static const std::vector<repro::CostSample> measured = repro::measure_cost_samples(8);
+  return measured;
+}
+
+KernelProfile vec_mul_profile() {
+  const auto program = rt::Context::compile(R"(.kernel vm
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  lw r5, 0(r4)
+  param r6, 2
+  add r6, r6, r3
+  lw r7, 0(r6)
+  mul r8, r5, r7
+  param r9, 3
+  add r9, r9, r3
+  sw r8, 0(r9)
+done:
+  ret
+)");
+  GPUP_CHECK(program.ok());
+  return KernelProfile::of(program.value());
+}
+
+TEST(CostModel, ProfileCountsInstructionMix) {
+  const KernelProfile profile = vec_mul_profile();
+  EXPECT_EQ(profile.global_loads, 2u);
+  EXPECT_EQ(profile.global_stores, 1u);
+  EXPECT_EQ(profile.muls, 1u);
+  EXPECT_EQ(profile.branches, 1u);
+  EXPECT_GT(profile.instructions, profile.global_loads + profile.global_stores);
+  EXPECT_NE(profile.key, 0u);
+}
+
+TEST(CostModel, AnalyticScalesWithWorkAndDevices) {
+  const KernelProfile profile = vec_mul_profile();
+  sim::GpuConfig config;
+
+  // More work items cost more cycles.
+  const double small = CostModel::analytic_cycles(profile, config, 1024, 256);
+  const double large = CostModel::analytic_cycles(profile, config, 8192, 256);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 2.0 * small);
+
+  // More CUs cost fewer cycles (monotone until the memory roofline caps).
+  sim::GpuConfig wide = config;
+  wide.cu_count = 8;
+  EXPECT_LT(CostModel::analytic_cycles(profile, wide, 8192, 256), large);
+
+  // Empty launches are free.
+  EXPECT_EQ(CostModel::analytic_cycles(profile, config, 0, 256), 0.0);
+  EXPECT_EQ(CostModel::analytic_cycles(KernelProfile{}, config, 1024, 256), 0.0);
+}
+
+TEST(CostModel, CalibratedCellsPredictExactly) {
+  CostModel model;
+  repro::calibrate_cost_model(model, samples());
+  for (const auto& sample : samples()) {
+    const double predicted =
+        model.predict(sample.profile, sample.config, sample.global_size, sample.wg_size);
+    EXPECT_NEAR(predicted, static_cast<double>(sample.measured_cycles),
+                static_cast<double>(sample.measured_cycles) * 1e-6)
+        << sample.kernel << " @ " << sample.cu_count << "CU";
+  }
+}
+
+// The placement-relevant accuracy claim: calibrate each kernel from THREE
+// of its four Table III CU configs and predict the held-out one through
+// the per-program mean ratio. Every held-out cell must land within
+// sim::kCrossConfigErrorBound relative error — the bound documented in
+// cost_model.hpp and docs/runtime.md.
+TEST(CostModel, TableThreeHeldOutConfigWithinDocumentedBound) {
+  double worst = 0.0;
+  for (const auto& held : samples()) {
+    CostModel model;
+    for (const auto& sample : samples()) {
+      if (sample.kernel == held.kernel && sample.cu_count == held.cu_count) continue;
+      if (sample.kernel != held.kernel) continue;
+      model.calibrate(sample.profile, sample.config, sample.global_size, sample.wg_size,
+                      sample.measured_cycles);
+    }
+    const double predicted =
+        model.predict(held.profile, held.config, held.global_size, held.wg_size);
+    const double measured = static_cast<double>(held.measured_cycles);
+    const double rel_error = std::abs(predicted - measured) / measured;
+    std::printf("[cost] %-12s %dCU measured %10.0f predicted %10.0f rel-err %.3f\n",
+                held.kernel.c_str(), held.cu_count, measured, predicted, rel_error);
+    worst = std::max(worst, rel_error);
+    EXPECT_LE(rel_error, sim::kCrossConfigErrorBound)
+        << held.kernel << " @ " << held.cu_count << "CU";
+  }
+  std::printf("[cost] worst held-out relative error %.3f (bound %.2f)\n", worst,
+              sim::kCrossConfigErrorBound);
+}
+
+TEST(CostModel, EwmaRefinementConvergesMonotonically) {
+  const KernelProfile profile = vec_mul_profile();
+  sim::GpuConfig config;
+  const std::uint32_t global = 4096;
+  const std::uint32_t wg = 256;
+
+  CostModel model(/*ewma_alpha=*/0.25);
+  const double analytic = CostModel::analytic_cycles(profile, config, global, wg);
+  ASSERT_GT(analytic, 0.0);
+  // An uncalibrated model predicts the raw analytic estimate; the real
+  // device is (say) 2.5x slower. Every repeated launch must shrink the
+  // prediction error — geometrically, never oscillating past.
+  const auto measured = static_cast<std::uint64_t>(analytic * 2.5);
+  double last_error = std::abs(model.predict(profile, config, global, wg) -
+                               static_cast<double>(measured));
+  ASSERT_GT(last_error, 0.0);
+  for (int launch = 0; launch < 24; ++launch) {
+    model.observe(profile, config, global, wg, measured);
+    const double error = std::abs(model.predict(profile, config, global, wg) -
+                                  static_cast<double>(measured));
+    EXPECT_LE(error, last_error) << "EWMA error grew at launch " << launch;
+    last_error = error;
+  }
+  EXPECT_LE(last_error, static_cast<double>(measured) * 0.01)
+      << "EWMA did not converge to within 1% after 24 observations";
+}
+
+TEST(CostModel, StablePredictionIgnoresOnlineRefinement) {
+  // Scheduler tag costs must be pure functions of submission history:
+  // predict_stable() pins the (program, device) ratio at first use, so
+  // later EWMA observations move predict() but never the stable value.
+  const KernelProfile profile = vec_mul_profile();
+  sim::GpuConfig config;
+  CostModel model;
+  const double stable_first = model.predict_stable(profile, config, 4096, 256);
+  const double live_first = model.predict(profile, config, 4096, 256);
+  ASSERT_GT(stable_first, 0.0);
+  EXPECT_EQ(stable_first, live_first);  // uncalibrated: both analytic
+
+  const auto measured = static_cast<std::uint64_t>(live_first * 3.0);
+  for (int launch = 0; launch < 8; ++launch) {
+    model.observe(profile, config, 4096, 256, measured);
+  }
+  EXPECT_GT(model.predict(profile, config, 4096, 256), live_first * 2.0)
+      << "live prediction should track the observations";
+  EXPECT_EQ(model.predict_stable(profile, config, 4096, 256), stable_first)
+      << "stable prediction must stay frozen at its first value";
+}
+
+// The online path end-to-end: launches through the runtime must feed the
+// context's cost model, so a repeatedly-used (program, device) pair
+// predicts its measured cycles closely without any offline calibration.
+TEST(CostModel, RuntimeObservationsRefinePrediction) {
+  rt::Context context(sim::GpuConfig{}, /*device_count=*/1, /*threads=*/1);
+  const auto program = rt::Context::compile(R"(.kernel id
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  sw r1, 0(r4)
+done:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  auto queue = context.create_queue();
+  const auto out = queue.alloc_words(1024);
+  ASSERT_TRUE(out.ok());
+  const auto args = rt::Args().add(1024u).add(out.value()).words();
+
+  std::uint64_t measured = 0;
+  for (int launch = 0; launch < 8; ++launch) {
+    const auto kernel = queue.enqueue_kernel(program.value(), args, {1024, 256});
+    ASSERT_TRUE(kernel.wait()) << kernel.error().to_string();
+    measured = kernel.stats().cycles;
+  }
+  const double predicted =
+      context.cost_model()->predict(program.value(), context.config(), 1024, 256);
+  EXPECT_NEAR(predicted, static_cast<double>(measured),
+              static_cast<double>(measured) * 0.05);
+}
+
+}  // namespace
+}  // namespace gpup

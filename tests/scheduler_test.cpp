@@ -137,6 +137,40 @@ TEST(SchedulerPolicy, FairShareChargesCost) {
   EXPECT_EQ(remaining, 8);
 }
 
+TEST(SchedulerPolicy, FairShareChargesMinimumCostForFreeCommands) {
+  // Transfers and native commands carry tag cost 0. With the default
+  // minimum charge every pop still debits one unit, so a tenant spamming
+  // free commands alternates with a tenant of unit-cost work instead of
+  // being served unconditionally.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kFairShare;
+  auto scheduler = Scheduler::create(config);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    scheduler->push(make_node(1 + i, 0, /*tenant=*/1, /*cost=*/0.0));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    scheduler->push(make_node(10 + i, 0, /*tenant=*/2, /*cost=*/1.0));
+  }
+  std::vector<std::uint64_t> tenants;
+  while (auto node = scheduler->pop()) tenants.push_back(node->tag.tenant);
+  EXPECT_EQ(tenants, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2, 1, 2}));
+
+  // The knob is real: disabling the minimum restores free service, i.e.
+  // the zero-cost tenant drains first on any deficit >= 0.
+  SchedulerConfig free_config = config;
+  free_config.min_command_cost = 0.0;
+  auto free_scheduler = Scheduler::create(free_config);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    free_scheduler->push(make_node(1 + i, 0, /*tenant=*/1, /*cost=*/0.0));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    free_scheduler->push(make_node(10 + i, 0, /*tenant=*/2, /*cost=*/1.0));
+  }
+  for (int pop = 0; pop < 4; ++pop) {
+    EXPECT_EQ(free_scheduler->pop()->tag.tenant, 1u);
+  }
+}
+
 // ---- heterogeneous placement ---------------------------------------------
 
 ContextOptions het_pool() {
@@ -236,6 +270,116 @@ done:
     cycles[run] = kernel.stats().cycles;
   }
   EXPECT_LT(cycles[1], cycles[0]) << "4-CU device should finish in fewer cycles than 1-CU";
+}
+
+constexpr const char* kScaleSource = R"(.kernel sc
+  tid r1
+  param r2, 0
+  bgeu r1, r2, done
+  slli r3, r1, 2
+  param r4, 1
+  add r4, r4, r3
+  lw r5, 0(r4)
+  mul r5, r5, r5
+  sw r5, 0(r4)
+done:
+  ret
+)";
+
+TEST(SchedulerPlacement, PredictedCyclesPrefersFasterDeviceDespiteQueueCount) {
+  // A 1-CU and an 8-CU device; the 8-CU device already carries two bound
+  // queues. Least-bound placement sends a hinted queue to the idle slow
+  // device; completion-time placement predicts the big launch finishes
+  // sooner on the fast device anyway.
+  sim::GpuConfig small;
+  small.cu_count = 1;
+  sim::GpuConfig big;
+  big.cu_count = 8;
+  const auto program = Context::compile(kScaleSource);
+  ASSERT_TRUE(program.ok());
+
+  QueueOptions hinted;
+  hinted.hint.program = program.value();
+  hinted.hint.range = {8192, 256};
+
+  for (const auto policy : {PlacementPolicy::kPredictedCycles, PlacementPolicy::kLeastBound}) {
+    ContextOptions options;
+    options.devices = {small, big};
+    options.threads = 1;
+    options.placement = policy;
+    Context context(options);
+    auto busy_a = context.create_queue(1);
+    auto busy_b = context.create_queue(1);
+    auto placed = context.create_queue(hinted);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(placed.value().device_index(),
+              policy == PlacementPolicy::kPredictedCycles ? 1 : 0)
+        << to_string(policy);
+  }
+}
+
+TEST(SchedulerPlacement, InFlightLoadSteersPlacementAndSettles) {
+  // Two identical devices. A gated kernel on device 0 reserves its
+  // predicted cycles at enqueue, so a hinted queue placed while it is in
+  // flight goes to device 1; once the launch settles the gauge returns to
+  // zero and the next hinted queue ties back to device 0. A leaky gauge
+  // (reserve without settle) would keep steering to device 1.
+  const auto program = Context::compile(kScaleSource);
+  ASSERT_TRUE(program.ok());
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}, sim::GpuConfig{}};
+  options.threads = 2;
+  Context context(options);
+
+  auto pinned = context.create_queue(0);
+  const auto buffer = pinned.alloc_words(4096);
+  ASSERT_TRUE(buffer.ok());
+  pinned.enqueue_write(buffer.value(), std::vector<std::uint32_t>(4096, 3));
+  UserEvent gate = context.create_user_event();
+  const auto kernel =
+      pinned.enqueue_kernel(program.value(), Args().add(4096u).add(buffer.value()).words(),
+                            {4096, 256}, {gate.event()});
+
+  QueueOptions hinted;
+  hinted.hint.program = program.value();
+  hinted.hint.range = {4096, 256};
+  auto while_loaded = context.create_queue(hinted);
+  ASSERT_TRUE(while_loaded.ok());
+  EXPECT_EQ(while_loaded.value().device_index(), 1)
+      << "device 0 holds an in-flight reservation";
+
+  gate.complete();
+  ASSERT_TRUE(kernel.wait());
+  ASSERT_TRUE(context.finish());
+
+  auto after_settle = context.create_queue(hinted);
+  ASSERT_TRUE(after_settle.ok());
+  EXPECT_EQ(after_settle.value().device_index(), 0)
+      << "settled load must release the gauge (reservation leaked?)";
+}
+
+TEST(SchedulerPlacement, QueueTeardownUnbindsAndRebalances) {
+  // Regression for the bound-queues leak: create/destroy queues in a loop
+  // against a pool with one permanently bound queue on device 0. Every
+  // fresh queue must land on device 1 — before the fix the binding of a
+  // destroyed queue was never released, so the counter grew forever and
+  // placement drifted back onto the loaded device.
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}, sim::GpuConfig{}};
+  options.threads = 1;
+  options.placement = PlacementPolicy::kLeastBound;
+  Context context(options);
+  auto pinned = context.create_queue(0);
+
+  for (int round = 0; round < 6; ++round) {
+    auto created = context.create_queue(QueueOptions{});
+    ASSERT_TRUE(created.ok());
+    CommandQueue queue = created.value();
+    EXPECT_EQ(queue.device_index(), 1) << "round " << round
+                                       << ": dead queues still count as load";
+    const auto ran = queue.enqueue_native([]() -> Status { return {}; });
+    ASSERT_TRUE(ran.wait());
+  }  // handles drop here; the next create_queue prunes the dead queue
 }
 
 // ---- out-of-order queues --------------------------------------------------
@@ -663,6 +807,51 @@ TEST(AffinityCache, SharedUploadReusedAcrossQueuesOnOneDevice) {
   auto up_c = queue_a.upload_shared(content_key(other), other);
   ASSERT_TRUE(up_c.ok());
   EXPECT_NE(up_c.value().buffer.addr, up_a.value().buffer.addr);
+}
+
+TEST(AffinityCache, CollidingKeysDoNotServeForeignContents) {
+  // Regression for the bare-hash cache key: two different word sequences
+  // filed under the SAME key (a hash collision, or two callers reusing a
+  // tag) must get separate buffers with their own contents — the old
+  // cache silently handed the second caller the first buffer.
+  Context context(sim::GpuConfig{}, /*device_count=*/1, /*threads=*/2);
+  auto queue = context.create_queue();
+
+  std::vector<std::uint32_t> first(64);
+  std::vector<std::uint32_t> second(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    first[i] = i * 3 + 1;
+    second[i] = i * 5 + 2;
+  }
+  constexpr std::uint64_t kCollidingKey = 42;
+
+  auto up_first = queue.upload_shared(kCollidingKey, first);
+  auto up_second = queue.upload_shared(kCollidingKey, second);
+  ASSERT_TRUE(up_first.ok());
+  ASSERT_TRUE(up_second.ok());
+  EXPECT_NE(up_first.value().buffer.addr, up_second.value().buffer.addr)
+      << "colliding key served a foreign buffer";
+
+  const auto read_first = queue.enqueue_read(up_first.value().buffer, {up_first.value().ready});
+  const auto read_second =
+      queue.enqueue_read(up_second.value().buffer, {up_second.value().ready});
+  ASSERT_TRUE(read_first.wait());
+  ASSERT_TRUE(read_second.wait());
+  EXPECT_EQ(read_first.data(), first);
+  EXPECT_EQ(read_second.data(), second);
+
+  // Different length, same leading words, same key: still kept apart.
+  std::vector<std::uint32_t> prefix(first.begin(), first.begin() + 32);
+  auto up_prefix = queue.upload_shared(kCollidingKey, prefix);
+  ASSERT_TRUE(up_prefix.ok());
+  EXPECT_NE(up_prefix.value().buffer.addr, up_first.value().buffer.addr);
+  EXPECT_EQ(up_prefix.value().buffer.words(), 32u);
+
+  // The true hit path still deduplicates: identical contents under the
+  // same key reuse the first upload.
+  auto up_again = queue.upload_shared(kCollidingKey, first);
+  ASSERT_TRUE(up_again.ok());
+  EXPECT_EQ(up_again.value().buffer.addr, up_first.value().buffer.addr);
 }
 
 TEST(AffinityCache, SeparateDevicesUploadSeparately) {
