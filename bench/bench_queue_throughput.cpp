@@ -32,6 +32,14 @@
 // places each job by cost-model-predicted completion time, and must beat
 // the baseline on simulated makespan (max per-device busy cycles).
 //
+// Overload section: closed-loop clients at 2x the saturation client count
+// drive a 2-device pool with per-tenant admission control on. Over-limit
+// submissions are shed (typed kRejected, O(1), never blocking); clients
+// back off briefly and retry. Self-check: goodput under 2x overload stays
+// >= 90% of the measured capacity, the admission-pending gauge never
+// exceeds the configured depth, shedding actually occurred, and every
+// validated read-back matches the golden.
+//
 // Self-check (CI gate, exits non-zero on violation): every read-back must
 // match the host golden, and — since every launch is the same kernel on
 // an identically configured device with a per-launch-cold cache — every
@@ -467,9 +475,210 @@ bool run_placement_report(std::vector<PlacementRun>& runs) {
   return ok;
 }
 
+// ---- overload / admission-control scenario --------------------------------
+
+constexpr int kOverloadDevices = 2;
+constexpr int kSaturationClients = 4;   // capacity phase: 2 clients per device
+constexpr int kOverloadClients = 8;     // overload phase: 2x saturation
+// Between the capacity phase's natural in-flight demand (4 clients x
+// kernel+read = 8 slots — a smaller depth would throttle below capacity)
+// and the overload phase's demand (16 slots — a larger depth would never
+// shed).
+constexpr std::uint32_t kAdmissionDepth = 10;
+constexpr double kOverloadPhaseSeconds = 1.0;
+constexpr double kGoodputFloor = 0.9;
+
+struct OverloadPhase {
+  double wall_s = 0.0;
+  std::uint64_t good = 0;       ///< completed, admitted kernel launches
+  std::uint64_t shed = 0;       ///< submissions rejected by admission
+  std::uint64_t invalid = 0;    ///< validated read-backs that missed golden
+  std::uint64_t max_pending = 0;  ///< peak sampled admission-pending gauge
+  double kernels_per_s = 0.0;
+};
+
+/// One timed phase: `clients` closed-loop threads (shared tenant 0, one
+/// in-order queue each, round-robin over the pool) each run launch + read
+/// + block rounds until the deadline. With admission on, a shed
+/// submission costs a short backoff and a retry — the client never
+/// blocks in the runtime and the accepted work keeps flowing.
+OverloadPhase run_overload_phase(int clients, bool admission_on) {
+  gpup::rt::ContextOptions options;
+  options.devices.assign(kOverloadDevices, bench_config());
+  if (admission_on) options.admission.max_pending_per_tenant = kAdmissionDepth;
+  gpup::rt::Context context(std::move(options));
+  const auto program = gpup::rt::Context::compile(kVecMulSource);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  std::vector<std::uint32_t> a(kN), b(kN), golden(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    a[i] = i * 2654435761u + 1;
+    b[i] = i ^ 0x9e3779b9u;
+    golden[i] = a[i] * b[i];
+  }
+
+  // Setup runs serially with every write awaited, so the admission gauge
+  // stays at <=1 and the measured phase starts from a clean slate.
+  struct Client {
+    gpup::rt::CommandQueue queue;
+    gpup::rt::Buffer out;
+    std::vector<std::uint32_t> args;
+  };
+  std::vector<Client> setups;
+  for (int c = 0; c < clients; ++c) {
+    Client client;
+    client.queue = context.create_queue();
+    const auto buf_a = client.queue.alloc_words(kN);
+    const auto buf_b = client.queue.alloc_words(kN);
+    const auto buf_out = client.queue.alloc_words(kN);
+    GPUP_CHECK(buf_a.ok() && buf_b.ok() && buf_out.ok());
+    GPUP_CHECK(client.queue.enqueue_write(buf_a.value(), a).wait());
+    GPUP_CHECK(client.queue.enqueue_write(buf_b.value(), b).wait());
+    client.out = buf_out.value();
+    client.args = gpup::rt::Args()
+                      .add(kN).add(buf_a.value()).add(buf_b.value()).add(buf_out.value())
+                      .words();
+    setups.push_back(std::move(client));
+  }
+
+  OverloadPhase phase;
+  std::atomic<std::uint64_t> good{0};
+  std::atomic<std::uint64_t> invalid{0};
+  std::atomic<std::uint64_t> max_pending{0};
+  std::atomic<bool> stop{false};
+
+  const auto worker = [&](int index) {
+    auto& client = setups[static_cast<std::size_t>(index)];
+    int consecutive_sheds = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto kernel = client.queue.enqueue_kernel(program.value(), client.args,
+                                                      {kN, 256});
+      if (kernel.status() == gpup::rt::EventStatus::kFailed &&
+          kernel.error().code == gpup::ErrorCode::kRejected) {
+        // Shed: exponential backoff, then retry. The rejection was
+        // immediate (no device time, no queue poisoning), and the backoff
+        // keeps starved clients asleep instead of burning the CPU the
+        // admitted clients' workers need — decisive on small CI hosts.
+        consecutive_sheds = std::min(consecutive_sheds + 1, 6);
+        std::this_thread::sleep_for(std::chrono::microseconds(100)
+                                    * (1 << consecutive_sheds));
+        continue;
+      }
+      consecutive_sheds = 0;
+      const auto read = client.queue.enqueue_read(client.out);
+      const bool read_admitted =
+          !(read.status() == gpup::rt::EventStatus::kFailed &&
+            read.error().code == gpup::ErrorCode::kRejected);
+      if (read_admitted) {
+        if (read.wait()) {
+          if (read.data() != golden) invalid.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (kernel.wait()) good.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // The gauge monitor pins the bounded-queue claim: the admission-pending
+  // gauge must never exceed the configured depth while clients hammer at
+  // 2x capacity.
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto pending = context.gauges().admission_pending;
+      std::uint64_t seen = max_pending.load(std::memory_order_relaxed);
+      while (pending > seen &&
+             !max_pending.compare_exchange_weak(seen, pending, std::memory_order_relaxed)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) threads.emplace_back(worker, c);
+  std::this_thread::sleep_for(std::chrono::duration<double>(kOverloadPhaseSeconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+  monitor.join();
+  context.finish();
+  phase.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  phase.good = good.load();
+  phase.shed = context.admission_rejected();
+  phase.invalid = invalid.load();
+  phase.max_pending = max_pending.load();
+  phase.kernels_per_s = phase.wall_s > 0 ? static_cast<double>(phase.good) / phase.wall_s : 0.0;
+  GPUP_CHECK_MSG(context.gauges().admission_pending == 0,
+                 "admission slots leaked after finish()");
+  return phase;
+}
+
+struct OverloadReport {
+  OverloadPhase capacity;
+  OverloadPhase overload;
+  double goodput_ratio = 0.0;
+};
+
+/// Measures closed-loop capacity (admission off), then drives 2x the
+/// saturation client count with admission on. Returns false (failing CI)
+/// when goodput under overload drops below 90% of capacity, the pending
+/// gauge exceeded the configured depth, no shedding happened (the 2x
+/// load never tripped admission — the scenario is vacuous), or any
+/// validated read-back missed its golden.
+bool run_overload_report(OverloadReport& report) {
+  std::printf("=== Overload shedding (%d devices, %d -> %d clients, depth %u) ===\n",
+              kOverloadDevices, kSaturationClients, kOverloadClients, kAdmissionDepth);
+  (void)run_overload_phase(kSaturationClients, false);  // warm-up, discarded
+  // Best of 3 per phase: walls are ~1 s on shared CI hosts, where one
+  // descheduled client can dent a single measurement.
+  for (int rep = 0; rep < 3; ++rep) {
+    const OverloadPhase capacity = run_overload_phase(kSaturationClients, false);
+    if (capacity.kernels_per_s > report.capacity.kernels_per_s) report.capacity = capacity;
+    const OverloadPhase overload = run_overload_phase(kOverloadClients, true);
+    if (overload.kernels_per_s > report.overload.kernels_per_s) report.overload = overload;
+  }
+  report.goodput_ratio =
+      report.capacity.kernels_per_s > 0
+          ? report.overload.kernels_per_s / report.capacity.kernels_per_s
+          : 0.0;
+
+  bool ok = true;
+  if (report.goodput_ratio < kGoodputFloor) {
+    std::printf("  !! goodput under 2x overload is %.1f%% of capacity (floor %.0f%%)\n",
+                report.goodput_ratio * 100.0, kGoodputFloor * 100.0);
+    ok = false;
+  }
+  if (report.overload.max_pending > kAdmissionDepth) {
+    std::printf("  !! admission-pending gauge hit %llu > depth %u\n",
+                static_cast<unsigned long long>(report.overload.max_pending),
+                kAdmissionDepth);
+    ok = false;
+  }
+  if (report.overload.shed == 0) {
+    std::printf("  !! 2x overload never tripped admission: the scenario is vacuous\n");
+    ok = false;
+  }
+  if (report.capacity.invalid + report.overload.invalid > 0) {
+    std::printf("  !! %llu validated read-backs missed the golden\n",
+                static_cast<unsigned long long>(report.capacity.invalid +
+                                                report.overload.invalid));
+    ok = false;
+  }
+  std::printf("capacity: %7.1f kernels/s (%d clients)\n", report.capacity.kernels_per_s,
+              kSaturationClients);
+  std::printf("overload: %7.1f kernels/s (%d clients) = %.1f%% goodput, %llu shed, "
+              "peak pending %llu\n",
+              report.overload.kernels_per_s, kOverloadClients,
+              report.goodput_ratio * 100.0,
+              static_cast<unsigned long long>(report.overload.shed),
+              static_cast<unsigned long long>(report.overload.max_pending));
+  std::printf("overload self-check: %s\n", ok ? "ok" : "FAILED");
+  return ok;
+}
+
 void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check,
                const std::vector<FairnessRun>& fairness, bool fairness_check,
-               const std::vector<PlacementRun>& placement, bool placement_check) {
+               const std::vector<PlacementRun>& placement, bool placement_check,
+               const OverloadReport& overload, bool overload_check) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_queue_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -540,6 +749,27 @@ void emit_json(const std::vector<Point>& points, unsigned threads, bool self_che
                  i + 1 < placement.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"overload\": {\n");
+  std::fprintf(out, "    \"devices\": %d,\n", kOverloadDevices);
+  std::fprintf(out, "    \"capacity_clients\": %d,\n", kSaturationClients);
+  std::fprintf(out, "    \"overload_clients\": %d,\n", kOverloadClients);
+  std::fprintf(out, "    \"admission_depth\": %u,\n", kAdmissionDepth);
+  std::fprintf(out, "    \"goodput_floor\": %.2f,\n", kGoodputFloor);
+  std::fprintf(out, "    \"self_check\": %s,\n", overload_check ? "true" : "false");
+  std::fprintf(out,
+               "    \"capacity\": {\"kernels_per_s\": %.2f, \"wall_s\": %.6f, "
+               "\"completed\": %llu},\n",
+               overload.capacity.kernels_per_s, overload.capacity.wall_s,
+               static_cast<unsigned long long>(overload.capacity.good));
+  std::fprintf(out,
+               "    \"overload_2x\": {\"kernels_per_s\": %.2f, \"wall_s\": %.6f, "
+               "\"completed\": %llu, \"shed\": %llu, \"max_pending\": %llu},\n",
+               overload.overload.kernels_per_s, overload.overload.wall_s,
+               static_cast<unsigned long long>(overload.overload.good),
+               static_cast<unsigned long long>(overload.overload.shed),
+               static_cast<unsigned long long>(overload.overload.max_pending));
+  std::fprintf(out, "    \"goodput_ratio\": %.4f\n", overload.goodput_ratio);
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
@@ -642,9 +872,12 @@ bool run_throughput_report() {
   std::vector<PlacementRun> placement;
   const bool placement_check = run_placement_report(placement);
 
+  OverloadReport overload;
+  const bool overload_check = run_overload_report(overload);
+
   emit_json(points, threads, self_check, fairness, fairness_check, placement,
-            placement_check);
-  return self_check && fairness_check && placement_check;
+            placement_check, overload, overload_check);
+  return self_check && fairness_check && placement_check && overload_check;
 }
 
 void BM_EightQueues(benchmark::State& state) {

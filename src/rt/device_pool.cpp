@@ -43,8 +43,10 @@ std::uint64_t content_key(std::span<const std::uint32_t> words) {
   return hash == 0 ? 1 : hash;  // reserve 0 as "no key"
 }
 
-DevicePool::DevicePool(std::vector<sim::GpuConfig> configs, PlacementPolicy policy)
-    : policy_(policy) {
+DevicePool::DevicePool(std::vector<sim::GpuConfig> configs, PlacementPolicy policy,
+                       HealthPolicy health)
+    : policy_(policy), health_(health) {
+  GPUP_CHECK_MSG(health_.window >= 1, "health window must be at least 1");
   devices_.reserve(configs.size());
   for (const auto& config : configs) {
     devices_.push_back(std::make_unique<Device>(config));
@@ -67,11 +69,28 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
   GPUP_CHECK_MSG(predicted_cycles.empty() ||
                      predicted_cycles.size() == devices_.size(),
                  "predicted_cycles must have one entry per pool device");
+  // Two passes over the pool: prefer healthy capability matches, but a
+  // pool where every match is quarantined still places (trying a sick
+  // device beats rejecting the queue). A quarantined device that has been
+  // skipped `probe_interval` times half-opens and competes again — if it
+  // wins, its next launch outcome decides readmission.
   int best = -1;
   double best_score = 0.0;
+  bool best_quarantined = false;
   for (int i = 0; i < size(); ++i) {
     const auto& device = *devices_[static_cast<std::size_t>(i)];
     if (!require.matches(device.gpu.config())) continue;
+    bool sick = device.quarantined.load(std::memory_order_relaxed);
+    if (sick) {
+      // The pre-increment count is the number of placements that already
+      // skipped this device: the breaker half-opens on the placement
+      // AFTER `probe_interval` skips, not one early.
+      const auto skips = device.quarantine_skips.fetch_add(1, std::memory_order_relaxed);
+      if (health_.probe_interval > 0 && skips >= health_.probe_interval) {
+        device.quarantine_skips.store(0, std::memory_order_relaxed);
+        sick = false;  // half-open: give it one placement as a probe
+      }
+    }
     // kPredictedCycles: completion time = in-flight predicted backlog plus
     // the hinted work's predicted cycles on this device's config; equal
     // completion times fall back to the queue count so an unhinted pool
@@ -82,11 +101,16 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
             : static_cast<double>(device.inflight_cycles.load(std::memory_order_relaxed)) +
                   (predicted_cycles.empty() ? 0.0
                                             : predicted_cycles[static_cast<std::size_t>(i)]);
-    if (best < 0 || score < best_score ||
-        (score == best_score &&
-         device.bound_queues < devices_[static_cast<std::size_t>(best)]->bound_queues)) {
+    const bool better =
+        best < 0 || (best_quarantined && !sick) ||
+        (best_quarantined == sick &&
+         (score < best_score ||
+          (score == best_score &&
+           device.bound_queues < devices_[static_cast<std::size_t>(best)]->bound_queues)));
+    if (better) {
       best = i;
       best_score = score;
+      best_quarantined = sick;
     }
   }
   if (best < 0) {
@@ -95,6 +119,53 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
                  "rt.place"};
   }
   return best;
+}
+
+void DevicePool::record_launch_outcome(int index, bool ok, bool device_fatal) {
+  auto& device = *devices_[checked(index)];
+  std::lock_guard<std::mutex> lock(device.health_mutex);
+  if (ok) {
+    if (device.quarantined.load(std::memory_order_relaxed)) {
+      // Probe succeeded: readmit with a clean slate so one stale window
+      // cannot immediately re-quarantine a recovered device.
+      device.quarantined.store(false, std::memory_order_relaxed);
+      device.quarantine_skips.store(0, std::memory_order_relaxed);
+      device.outcomes.clear();
+      device.outcome_next = 0;
+      device.outcome_fails = 0;
+    }
+  }
+  // Sliding window update (ring buffer of the last `window` attempts).
+  if (device.outcomes.size() < health_.window) {
+    device.outcomes.push_back(ok ? 0 : 1);
+    if (!ok) ++device.outcome_fails;
+  } else {
+    auto& slot = device.outcomes[device.outcome_next];
+    if (slot != 0) --device.outcome_fails;
+    if (!ok) ++device.outcome_fails;
+    slot = ok ? 0 : 1;
+    device.outcome_next = (device.outcome_next + 1) % device.outcomes.size();
+  }
+  if (ok) return;
+  // Strictly *exceeds* the threshold: at exactly the threshold the device
+  // keeps serving, so a just-readmitted device (one clean sample) is not
+  // re-quarantined by a single new failure at threshold 0.5.
+  const bool rate_trip =
+      device.outcomes.size() >= health_.min_samples &&
+      static_cast<double>(device.outcome_fails) >
+          health_.quarantine_threshold * static_cast<double>(device.outcomes.size());
+  if (device_fatal || rate_trip) {
+    device.quarantined.store(true, std::memory_order_relaxed);
+    device.quarantine_skips.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t DevicePool::cache_entries(int index) const {
+  const auto& device = *devices_[checked(index)];
+  std::lock_guard<std::mutex> lock(device.cache_mutex);
+  std::size_t total = 0;
+  for (const auto& [key, chain] : device.cache) total += chain.size();
+  return total;
 }
 
 Result<DevicePool::CachedUpload> DevicePool::find_or_upload(

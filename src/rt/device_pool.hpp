@@ -85,6 +85,23 @@ struct DeviceRequirements {
 /// How place() picks among capability matches — see the file comment.
 enum class PlacementPolicy { kPredictedCycles, kLeastBound };
 
+/// Circuit-breaker knobs for per-device health tracking. A device whose
+/// recent launch-attempt failure fraction exceeds `quarantine_threshold`
+/// (over at least `min_samples` of the last `window` attempts), or that
+/// reports a device-fatal failure (ErrorCode::kDeviceLost), is
+/// *quarantined*: place() stops giving it new queues. Quarantine is a
+/// wall-clock/placement matter only — launches already bound to the
+/// device still run (and act as probes), and after `probe_interval`
+/// placements that skipped the device, place() half-opens the breaker and
+/// may pick it again. Any successful attempt readmits the device and
+/// clears its window.
+struct HealthPolicy {
+  std::uint32_t window = 16;
+  std::uint32_t min_samples = 8;
+  double quarantine_threshold = 0.5;
+  std::uint32_t probe_interval = 8;
+};
+
 [[nodiscard]] const char* to_string(PlacementPolicy policy);
 
 /// Content hash for affinity-cache keys (FNV-1a over the length and the
@@ -96,7 +113,8 @@ enum class PlacementPolicy { kPredictedCycles, kLeastBound };
 class DevicePool {
  public:
   explicit DevicePool(std::vector<sim::GpuConfig> configs,
-                      PlacementPolicy policy = PlacementPolicy::kPredictedCycles);
+                      PlacementPolicy policy = PlacementPolicy::kPredictedCycles,
+                      HealthPolicy health = HealthPolicy{});
 
   DevicePool(const DevicePool&) = delete;
   DevicePool& operator=(const DevicePool&) = delete;
@@ -148,6 +166,22 @@ class DevicePool {
     return devices_[checked(index)]->inflight_cycles.load(std::memory_order_relaxed);
   }
 
+  // ---- health / quarantine (circuit breaker) ---------------------------
+  /// Record the outcome of one launch attempt on `index`. `device_fatal`
+  /// (a kDeviceLost failure) quarantines immediately; otherwise the
+  /// sliding failure-rate window decides (see HealthPolicy). A successful
+  /// attempt on a quarantined device readmits it. Never changes any
+  /// command's result — only which devices place() favors.
+  void record_launch_outcome(int index, bool ok, bool device_fatal);
+  [[nodiscard]] bool quarantined(int index) const {
+    return devices_[checked(index)]->quarantined.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const HealthPolicy& health_policy() const { return health_; }
+
+  /// Affinity-cache entry count (all collision chains) on one device —
+  /// leak instrumentation for the soak suite.
+  [[nodiscard]] std::size_t cache_entries(int index) const;
+
   // ---- affinity cache --------------------------------------------------
   /// One per-device cache entry: the uploaded buffer plus the write
   /// command's event state (dependents order behind it via wait-lists).
@@ -185,6 +219,14 @@ class DevicePool {
     std::mutex alloc;
     int bound_queues = 0;  ///< guarded by the Context's queues mutex
     std::atomic<std::uint64_t> inflight_cycles{0};  ///< predicted, unsettled
+    // Health: the flag is read lock-free on the placement path; the
+    // outcome window behind it is guarded by health_mutex.
+    std::atomic<bool> quarantined{false};
+    mutable std::atomic<std::uint32_t> quarantine_skips{0};  ///< placements skipped
+    mutable std::mutex health_mutex;
+    std::vector<char> outcomes;     ///< ring of recent attempts (1 = failed)
+    std::size_t outcome_next = 0;
+    std::uint32_t outcome_fails = 0;
     mutable std::mutex cache_mutex;
     /// Key -> every distinct content uploaded under it (collisions chain).
     std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache;
@@ -193,6 +235,7 @@ class DevicePool {
   [[nodiscard]] std::size_t checked(int index) const;
 
   PlacementPolicy policy_;
+  HealthPolicy health_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

@@ -8,6 +8,7 @@ const char* to_string(EventStatus status) {
     case EventStatus::kRunning: return "running";
     case EventStatus::kComplete: return "complete";
     case EventStatus::kFailed: return "failed";
+    case EventStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -71,6 +72,10 @@ std::vector<std::shared_ptr<detail::EventState>> EventGraph::settle(
   }
 
   for (auto& dependent : node->dependents) {
+    // A dependent can already be settled: Event::cancel() settles a node
+    // while its dependencies are still pending. It must not be routed to a
+    // scheduler (it is dead), and its counters no longer matter.
+    if (dependent->settled) continue;
     if (node->failed && !dependent->dep_failed) {
       dependent->dep_failed = true;
       dependent->dep_error = node->failure;

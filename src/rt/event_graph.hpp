@@ -34,9 +34,18 @@
 
 namespace gpup::rt {
 
-enum class EventStatus { kQueued, kRunning, kComplete, kFailed };
+enum class EventStatus { kQueued, kRunning, kComplete, kFailed, kCancelled };
 
 [[nodiscard]] const char* to_string(EventStatus status);
+
+/// Terminal states: the event will never change again and waiters may
+/// return. kCancelled is terminal like kFailed; the two differ only in
+/// who pulled the trigger (host vs. command body), and both poison
+/// dependents the same way.
+[[nodiscard]] inline bool is_terminal(EventStatus status) {
+  return status == EventStatus::kComplete || status == EventStatus::kFailed ||
+         status == EventStatus::kCancelled;
+}
 
 /// In-order queues chain every command behind the previous one (the
 /// OpenCL default); out-of-order queues order commands by explicit
@@ -72,10 +81,14 @@ struct EventState {
   // ---- device-load reservation (immutable after submit) ----------------
   // Kernel commands reserve their predicted cycles on their device's load
   // gauge at dispatch; settle_and_route releases exactly this amount on
-  // ANY terminal path (complete, failed, dependency-failed), so the gauge
-  // cannot leak. -1 = nothing reserved (transfers, native, user events).
+  // ANY terminal path (complete, failed, cancelled, dependency-failed), so
+  // the gauge cannot leak. -1 = nothing reserved (transfers, native, user
+  // events).
   int pool_device = -1;
   std::uint64_t pool_reserved = 0;
+  /// Admission control charged one pending slot for this command; settle
+  /// releases it on every terminal path, mirroring the load gauge.
+  bool admission_charged = false;
 
   // ---- graph state, guarded by EventGraph::mutex() ---------------------
   int deps_remaining = 0;
@@ -95,6 +108,9 @@ struct QueueState {
   QueueMode mode = QueueMode::kInOrder;
   int priority = 0;
   std::uint64_t tenant = 0;
+  /// Default per-command deadline in simulated cycles (0 = none); a
+  /// per-enqueue LaunchOptions deadline overrides it.
+  std::uint64_t deadline_cycles = 0;
 
   // Guarded by EventGraph::mutex(). `last` is the in-order chain tail;
   // `unsettled` holds every non-terminal command of the queue (both

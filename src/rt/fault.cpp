@@ -1,0 +1,55 @@
+#include "src/rt/fault.hpp"
+
+namespace gpup::rt {
+
+namespace {
+
+// Distinct per-fault-kind salts keep the decision streams independent: a
+// command that traps is no more or less likely to also stall.
+constexpr std::uint64_t kTrapSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kStallSalt = 0xbf58476d1ce4e5b9ull;
+constexpr std::uint64_t kAllocSalt = 0x94d049bb133111ebull;
+constexpr std::uint64_t kDeviceSalt = 0xd6e8feb86659fd93ull;
+
+/// splitmix64 finalizer: a bijective avalanche of the combined identity.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) from (seed, salt, a, b) — a pure function.
+double draw(std::uint64_t seed, std::uint64_t salt, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix(mix(mix(seed ^ salt) ^ a) ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::should_trap(std::uint64_t site, int attempt) const {
+  if (spec_.trap_rate <= 0.0) return false;
+  return draw(seed_, kTrapSalt, site, static_cast<std::uint64_t>(attempt)) < spec_.trap_rate;
+}
+
+std::uint64_t FaultPlan::stall_cycles(std::uint64_t site, int attempt) const {
+  if (spec_.stall_rate <= 0.0 || spec_.stall_cycles == 0) return 0;
+  const bool stall =
+      draw(seed_, kStallSalt, site, static_cast<std::uint64_t>(attempt)) < spec_.stall_rate;
+  return stall ? spec_.stall_cycles : 0;
+}
+
+bool FaultPlan::should_fail_alloc(std::uint64_t ordinal) const {
+  if (spec_.alloc_fail_rate <= 0.0) return false;
+  return draw(seed_, kAllocSalt, ordinal, 0) < spec_.alloc_fail_rate;
+}
+
+bool FaultPlan::device_down(int device, std::uint64_t site) const {
+  if (spec_.device_loss_rate <= 0.0) return false;
+  const std::uint64_t window =
+      site / (spec_.device_loss_window == 0 ? 1 : spec_.device_loss_window);
+  return draw(seed_, kDeviceSalt, static_cast<std::uint64_t>(device), window) <
+         spec_.device_loss_rate;
+}
+
+}  // namespace gpup::rt

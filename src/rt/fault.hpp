@@ -1,0 +1,78 @@
+// Deterministic fault injection for the host runtime.
+//
+// A FaultPlan is a seeded, *pure* description of which operations fail and
+// how: every decision is a hash of (seed, fault kind, site), where a site
+// is a submission-time identity — a kernel command's global sequence
+// number, an allocation's per-context ordinal — never a wall-clock reading
+// or a live attempt order. Same seed + same submissions ⇒ the exact same
+// injected schedule, at any worker-thread count, which is what lets the
+// chaos suite assert bit-identical terminal-state vectors across 1/4/hw
+// workers (see docs/runtime.md "Failure semantics").
+//
+// Supported faults (FaultSpec):
+//   trap        a launch attempt raises a transient device trap
+//               (ErrorCode::kTrap) instead of running;
+//   stall       a launch runs normally but reports `stall_cycles` extra
+//               simulated cycles (models thermal throttling / retried DRAM
+//               transactions) — deadline enforcement sees the stall;
+//   alloc fail  a device allocation reports OOM (ErrorCode::kOom);
+//   device loss a device is "down" for whole windows of the submission
+//               sequence space: any launch attempt routed to it during a
+//               down window fails with ErrorCode::kDeviceLost. Windows are
+//               contiguous blocks of `device_loss_window` sequence numbers
+//               so outages look like real outages (a burst of failures,
+//               then recovery) rather than white noise, and the check is
+//               O(1) per attempt.
+//
+// Trap/stall decisions additionally hash the retry attempt ordinal, so a
+// retried launch can deterministically succeed on its second attempt —
+// without this every retry of an injected trap would re-trap forever and
+// RetryPolicy would be untestable. Device-down windows deliberately do NOT
+// depend on the attempt: a down device is down for everyone until the
+// window passes, which is what drives relocation and quarantine.
+//
+// The plan is immutable after construction and shared by reference
+// (ContextOptions::fault_plan); all methods are const and thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace gpup::rt {
+
+/// Probabilities and shapes of the injected faults. All rates in [0, 1];
+/// the default spec injects nothing.
+struct FaultSpec {
+  double trap_rate = 0.0;
+  double stall_rate = 0.0;
+  std::uint64_t stall_cycles = 1000;
+  double alloc_fail_rate = 0.0;
+  /// Probability that a given (device, window) pair is a down window.
+  double device_loss_rate = 0.0;
+  /// Width of a down window in submission sequence numbers.
+  std::uint64_t device_loss_window = 64;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(std::uint64_t seed, FaultSpec spec) : seed_(seed), spec_(spec) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Does launch attempt `attempt` of the command at `site` trap?
+  [[nodiscard]] bool should_trap(std::uint64_t site, int attempt = 0) const;
+  /// Extra simulated cycles injected into attempt `attempt` of the command
+  /// at `site`; 0 = no stall.
+  [[nodiscard]] std::uint64_t stall_cycles(std::uint64_t site, int attempt = 0) const;
+  /// Does the `ordinal`-th allocation of the context fail?
+  [[nodiscard]] bool should_fail_alloc(std::uint64_t ordinal) const;
+  /// Is `device` down for the submission-sequence window containing `site`?
+  [[nodiscard]] bool device_down(int device, std::uint64_t site) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  FaultSpec spec_;
+};
+
+}  // namespace gpup::rt

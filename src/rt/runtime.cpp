@@ -10,6 +10,16 @@ namespace gpup::rt {
 
 // ---- Event ----------------------------------------------------------------
 
+const char* to_string(WaitResult result) {
+  switch (result) {
+    case WaitResult::kComplete: return "complete";
+    case WaitResult::kFailed: return "failed";
+    case WaitResult::kCancelled: return "cancelled";
+    case WaitResult::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
 EventStatus Event::status() const {
   if (!state_) return EventStatus::kFailed;
   std::lock_guard<std::mutex> lock(state_->m);
@@ -19,17 +29,46 @@ EventStatus Event::status() const {
 bool Event::wait() const {
   if (!state_) return false;
   std::unique_lock<std::mutex> lock(state_->m);
-  state_->cv.wait(lock, [this] {
-    return state_->status == EventStatus::kComplete || state_->status == EventStatus::kFailed;
-  });
+  state_->cv.wait(lock, [this] { return is_terminal(state_->status); });
   return state_->status == EventStatus::kComplete;
+}
+
+WaitResult Event::wait_for(std::chrono::nanoseconds timeout) const {
+  if (!state_) return WaitResult::kFailed;
+  std::unique_lock<std::mutex> lock(state_->m);
+  const bool terminal =
+      state_->cv.wait_for(lock, timeout, [this] { return is_terminal(state_->status); });
+  if (!terminal) return WaitResult::kTimedOut;
+  switch (state_->status) {
+    case EventStatus::kComplete: return WaitResult::kComplete;
+    case EventStatus::kCancelled: return WaitResult::kCancelled;
+    default: return WaitResult::kFailed;
+  }
+}
+
+bool Event::cancel() const {
+  if (!state_) return false;
+  {
+    // One critical section for the check AND the claim: a worker that
+    // pops the command re-checks settle_claimed under the same mutex
+    // before transitioning to kRunning, so exactly one of {cancel, run}
+    // wins and a command can never run after a successful cancel.
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (state_->status != EventStatus::kQueued || state_->settle_claimed) return false;
+    state_->settle_claimed = true;
+  }
+  Context::finish_settle(
+      state_, Status{Error{"cancelled by host", "rt.cancel", ErrorCode::kCancelled}});
+  return true;
 }
 
 Error Event::error() const {
   if (!state_) return Error{"null event", "rt"};
   wait();
   std::lock_guard<std::mutex> lock(state_->m);
-  return state_->status == EventStatus::kFailed ? state_->error : Error{};
+  return state_->status == EventStatus::kFailed || state_->status == EventStatus::kCancelled
+             ? state_->error
+             : Error{};
 }
 
 const sim::LaunchStats& Event::stats() const {
@@ -111,11 +150,13 @@ Context::Context(ContextOptions options)
       budget_(pick_budget(options.devices, options.threads)),
       cost_model_(options.cost_model != nullptr ? std::move(options.cost_model)
                                                 : std::make_shared<sim::CostModel>()),
+      fault_plan_(std::move(options.fault_plan)),
       devices_(with_budget(options.devices.empty()
                                ? std::vector<sim::GpuConfig>{sim::GpuConfig{}}
                                : std::move(options.devices),
                            budget_),
-               options.placement),
+               options.placement, options.health),
+      admission_(options.admission),
       scheduler_(Scheduler::create(sched_config_)) {
   const unsigned threads = resolve_threads(options.threads);
   workers_.reserve(threads);
@@ -149,6 +190,7 @@ CommandQueue Context::register_queue(int device, const QueueOptions& options) {
   state->mode = options.mode;
   state->priority = options.priority;
   state->tenant = options.tenant;
+  state->deadline_cycles = options.deadline_cycles;
   devices_.bind(device);
   queues_.push_back(state);
   return CommandQueue(this, std::move(state));
@@ -238,11 +280,54 @@ bool Context::finish() {
   return ok;
 }
 
+/// A detached, pre-failed event: terminal from birth and NEVER attached
+/// to the event graph, so it does not enter the owning queue's history —
+/// an admission-rejected command is *shed*, not failed: it must not
+/// poison an in-order queue's later commands or flip finish() to false.
+/// (Depending on one via a wait-list still fails the dependent, exactly
+/// like depending on any failed event.)
+Event Context::make_detached_failed(Error error) {
+  auto state = std::make_shared<detail::EventState>();
+  state->status = error.code == ErrorCode::kCancelled ? EventStatus::kCancelled
+                                                      : EventStatus::kFailed;
+  state->error = error;
+  state->settle_claimed = true;
+  state->settled = true;
+  state->failed = true;
+  state->failure = std::move(error);
+  return Event(std::move(state));
+}
+
+Context::Gauges Context::gauges() {
+  Gauges gauges;
+  for (int i = 0; i < device_count(); ++i) {
+    gauges.inflight_cycles += devices_.inflight_cycles(i);
+    gauges.affinity_cache_entries += devices_.cache_entries(i);
+  }
+  gauges.admission_pending = admission_.total_pending();
+  std::lock_guard<std::mutex> queues_lock(queues_mutex_);
+  std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+  gauges.live_queues = static_cast<int>(queues_.size());
+  for (const auto& queue : queues_) {
+    gauges.unsettled_commands += queue->unsettled.size();
+  }
+  return gauges;
+}
+
 Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
                       std::function<Status(detail::EventState&)> run,
                       const std::vector<Event>& wait_list, double cost,
                       int reserve_device, std::uint64_t reserved_cycles) {
+  // Admission control runs before the command touches the graph or the
+  // policy: an over-limit submission is rejected right here in O(1),
+  // without blocking and without aborting anything already accepted.
+  Status admitted = admission_.try_admit(queue->tenant);
+  if (!admitted.ok()) {
+    if (reserve_device >= 0) devices_.settle_load(reserve_device, reserved_cycles);
+    return make_detached_failed(admitted.error());
+  }
   auto state = std::make_shared<detail::EventState>();
+  state->admission_charged = admission_.config().enabled();
   state->context = this;
   state->run = std::move(run);
   state->tag.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -302,10 +387,23 @@ void Context::execute(const std::shared_ptr<detail::EventState>& state) {
   // dep_failed/dep_error were last written under the graph mutex before
   // the final deps_remaining decrement that scheduled us: safe to read.
   if (state->dep_failed) {
-    result = Error{"dependency failed: " + state->dep_error.to_string(), "rt"};
+    // Preserve the cause: a dependent of a cancelled command is itself
+    // cancelled (the cascade keeps the kCancelled code and terminal
+    // state), any other dependency failure stays a plain failure.
+    const bool cancelled = state->dep_error.code == ErrorCode::kCancelled;
+    result = Error{std::string(cancelled ? "dependency cancelled: " : "dependency failed: ") +
+                       state->dep_error.to_string(),
+                   "rt", cancelled ? ErrorCode::kCancelled : ErrorCode::kUnknown};
   } else {
     {
+      // cancel() claims under this mutex while the status is kQueued; if
+      // it won, the command is already settling on the canceller's thread
+      // — drop it without running.
       std::lock_guard<std::mutex> lock(state->m);
+      if (state->settle_claimed) {
+        state->run = nullptr;
+        return;
+      }
       state->status = EventStatus::kRunning;
     }
     // Hold one budget token while the command runs, so launches on other
@@ -329,11 +427,19 @@ void Context::settle_and_route(const std::shared_ptr<detail::EventState>& state,
     if (state->settle_claimed) return;  // user events: complete() is idempotent
     state->settle_claimed = true;
   }
-  // Release the dispatch-time load reservation on every terminal path —
-  // success, failure, and dependency failure all come through here, so
-  // the device's in-flight gauge is exact whatever happens to the command.
+  finish_settle(state, std::move(result));
+}
+
+void Context::finish_settle(const std::shared_ptr<detail::EventState>& state, Status result) {
+  // Release the dispatch-time load reservation and the admission slot on
+  // every terminal path — success, failure, cancellation, and dependency
+  // failure all come through here, so the device's in-flight gauge and
+  // the tenant's pending count are exact whatever happens to the command.
   if (state->pool_device >= 0) {
     state->context->devices_.settle_load(state->pool_device, state->pool_reserved);
+  }
+  if (state->admission_charged) {
+    state->context->admission_.settle(state->tag.tenant);
   }
   // Record the outcome in the graph (queue any_failed, dependent failure
   // marks) BEFORE publishing the terminal status: a finish() waiter that
@@ -341,7 +447,9 @@ void Context::settle_and_route(const std::shared_ptr<detail::EventState>& state,
   auto ready = EventGraph::settle(state, result);
   {
     std::lock_guard<std::mutex> lock(state->m);
-    state->status = result.ok() ? EventStatus::kComplete : EventStatus::kFailed;
+    state->status = result.ok() ? EventStatus::kComplete
+                    : result.error().code == ErrorCode::kCancelled ? EventStatus::kCancelled
+                                                                   : EventStatus::kFailed;
     if (!result.ok()) state->error = result.error();
   }
   state->cv.notify_all();
@@ -403,6 +511,16 @@ Result<Buffer> CommandQueue::alloc(std::uint32_t bytes) {
   GPUP_CHECK_MSG(valid(), "null command queue");
   auto& pool = context_->devices_;
   const int device = state_->device;
+  // Injected allocation failures consume a per-context ordinal, so a
+  // fixed plan fails the same allocations of a deterministic allocation
+  // sequence regardless of which queue issues them.
+  if (const auto& plan = context_->fault_plan_) {
+    const auto site = context_->next_alloc_site_.fetch_add(1, std::memory_order_relaxed);
+    if (plan->should_fail_alloc(site)) {
+      return Error{format("injected allocation failure (%u bytes, device %d)", bytes, device),
+                   "rt.alloc", ErrorCode::kOom};
+    }
+  }
   std::lock_guard<std::mutex> lock(pool.alloc_mutex(device));
   auto addr = pool.gpu(device).try_alloc(bytes);
   if (!addr.ok()) return addr.error();
@@ -436,6 +554,31 @@ Event CommandQueue::enqueue_write(const Buffer& buffer, std::vector<std::uint32_
 Event CommandQueue::enqueue_kernel(const isa::Program& program,
                                    std::vector<std::uint32_t> args, const NdRange& range,
                                    const std::vector<Event>& wait_list) {
+  return enqueue_kernel(program, std::move(args), range, LaunchOptions{}, wait_list);
+}
+
+Event CommandQueue::enqueue_kernel(const isa::Program& program,
+                                   std::vector<std::uint32_t> args, const NdRange& range,
+                                   const LaunchOptions& launch,
+                                   const std::vector<Event>& wait_list) {
+  // Raw word packs give no way to tell buffer addresses from scalars:
+  // assume device memory is referenced, so retries stay on the bound
+  // device (the Args overload can prove otherwise).
+  return enqueue_kernel_impl(program, std::move(args), range, launch, /*relocatable=*/false,
+                             wait_list);
+}
+
+Event CommandQueue::enqueue_kernel(const isa::Program& program, const Args& args,
+                                   const NdRange& range, const LaunchOptions& launch,
+                                   const std::vector<Event>& wait_list) {
+  return enqueue_kernel_impl(program, args.words(), range, launch,
+                             /*relocatable=*/!args.has_buffers(), wait_list);
+}
+
+Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
+                                        std::vector<std::uint32_t> args, const NdRange& range,
+                                        const LaunchOptions& launch, bool relocatable,
+                                        const std::vector<Event>& wait_list) {
   GPUP_CHECK_MSG(valid(), "null command queue");
   auto& pool = context_->devices_;
   const int device = state_->device;
@@ -447,29 +590,90 @@ Event CommandQueue::enqueue_kernel(const isa::Program& program,
   // device) pair. The gauge uses the live (EWMA-refined) prediction; the
   // scheduler tag uses the pair-frozen one, because policies must stay
   // pure functions of submission history (see Scheduler's determinism
-  // contract) while the gauge may track the workload freely.
+  // contract) while the gauge may track the workload freely. The frozen
+  // prediction also gates the deadline at admission for the same reason:
+  // whether a launch is predicted to bust its deadline must not depend on
+  // when unrelated completions landed.
   const auto cost_model = context_->cost_model_;
   const auto profile = cost_model->profile_for(program);
   const double predicted =
       cost_model->predict(profile, pool.config(device), range.global_size, range.wg_size);
   const double stable_cost = cost_model->predict_stable(profile, pool.config(device),
                                                         range.global_size, range.wg_size);
+  const std::uint64_t deadline =
+      launch.deadline_cycles != 0 ? launch.deadline_cycles : state_->deadline_cycles;
   const auto reserved =
       static_cast<std::uint64_t>(std::llround(std::max(0.0, predicted)));
   pool.reserve(device, reserved);
+  const RetryPolicy retry = launch.retry;
+  const auto plan = context_->fault_plan_;
+  const bool can_relocate = relocatable && retry.relocate && pool.size() > 1;
   return context_->submit(
       state_,
-      [&pool, device, program, args = std::move(args), range, cost_model,
-       profile](detail::EventState& state) -> Status {
-        Result<sim::LaunchStats> stats = [&] {
-          std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
-          return pool.gpu(device).try_launch(program, args, range.global_size, range.wg_size);
-        }();
-        if (!stats.ok()) return stats.error();
-        state.stats = std::move(stats).value();
-        cost_model->observe(profile, pool.gpu(device).config(), state.stats.global_size,
-                            state.stats.wg_size, state.stats.cycles);
-        return {};
+      [&pool, device, program, args = std::move(args), range, cost_model, profile, deadline,
+       stable_cost, retry, plan, can_relocate](detail::EventState& state) -> Status {
+        // Deadline admission: a launch the (frozen) cost model predicts
+        // over its deadline fails up front, before occupying any device.
+        if (deadline != 0 && stable_cost > static_cast<double>(deadline)) {
+          return Error{format("predicted %.0f cycles exceeds deadline of %llu", stable_cost,
+                              static_cast<unsigned long long>(deadline)),
+                       "rt.deadline", ErrorCode::kDeadlineExceeded};
+        }
+        const int attempts = std::max(1, retry.max_attempts);
+        Status last;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0 && retry.backoff.count() > 0) {
+            // Exponential wall-clock backoff (shift-capped): host-side
+            // pacing only, never part of any simulated result.
+            std::this_thread::sleep_for(retry.backoff * (1ll << std::min(attempt - 1, 20)));
+          }
+          // Relocatable launches walk the pool deterministically; pinned
+          // launches retry in place. Attempt identity (seq, attempt, dev)
+          // fully determines every injected fault, so retried commands
+          // reach the same terminal state at any worker count.
+          const int dev = can_relocate ? (device + attempt) % pool.size() : device;
+          Status outcome = [&]() -> Status {
+            if (plan != nullptr && plan->device_down(dev, state.tag.seq)) {
+              return Error{format("injected device loss: device %d is down", dev),
+                           "rt.launch", ErrorCode::kDeviceLost};
+            }
+            sim::InjectedFault fault;
+            if (plan != nullptr) {
+              fault.trap = plan->should_trap(state.tag.seq, attempt);
+              fault.stall_cycles = plan->stall_cycles(state.tag.seq, attempt);
+            }
+            Result<sim::LaunchStats> stats = [&] {
+              std::lock_guard<std::mutex> lock(pool.exec_mutex(dev));
+              return pool.gpu(dev).try_launch(program, args, range.global_size, range.wg_size,
+                                              plan != nullptr ? &fault : nullptr);
+            }();
+            if (!stats.ok()) return stats.error();
+            state.stats = std::move(stats).value();
+            cost_model->observe(profile, pool.gpu(dev).config(), state.stats.global_size,
+                                state.stats.wg_size, state.stats.cycles);
+            return {};
+          }();
+          // Health accounting: only outcomes that say something about the
+          // DEVICE count — traps, device loss, success. Argument errors
+          // would slander a healthy device.
+          const ErrorCode code = outcome.ok() ? ErrorCode::kUnknown : outcome.error().code;
+          if (outcome.ok() || code == ErrorCode::kTrap || code == ErrorCode::kDeviceLost) {
+            pool.record_launch_outcome(dev, outcome.ok(), code == ErrorCode::kDeviceLost);
+          }
+          if (outcome.ok()) {
+            if (deadline != 0 && state.stats.cycles > deadline) {
+              return Error{format("launch took %llu cycles, deadline was %llu",
+                                  static_cast<unsigned long long>(state.stats.cycles),
+                                  static_cast<unsigned long long>(deadline)),
+                           "rt.deadline", ErrorCode::kDeadlineExceeded};
+            }
+            return {};
+          }
+          last = std::move(outcome);
+          // Only transient failures are worth retrying.
+          if (code != ErrorCode::kTrap && code != ErrorCode::kDeviceLost) break;
+        }
+        return last;
       },
       wait_list, std::max(1.0, stable_cost), device, reserved);
 }

@@ -68,6 +68,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -82,6 +83,7 @@
 #include "src/isa/assembler.hpp"
 #include "src/rt/device_pool.hpp"
 #include "src/rt/event_graph.hpp"
+#include "src/rt/fault.hpp"
 #include "src/rt/scheduler.hpp"
 #include "src/sim/cost_model.hpp"
 #include "src/sim/gpu.hpp"
@@ -96,11 +98,16 @@ struct NdRange {
   std::uint32_t wg_size = 256;
 };
 
-/// Argument pack builder: buffers decay to their device addresses.
+/// Argument pack builder: buffers decay to their device addresses. The
+/// builder remembers which words were buffers, so the runtime knows
+/// whether a launch is *relocatable* — a launch whose arguments are all
+/// scalars can be retried on a different device (RetryPolicy::relocate),
+/// while one naming device memory is pinned to the buffers' device.
 class Args {
  public:
   Args& add(const Buffer& buffer) {
     words_.push_back(buffer.addr);
+    buffer_args_ += 1;
     return *this;
   }
   Args& add(std::uint32_t value) {
@@ -108,12 +115,21 @@ class Args {
     return *this;
   }
   [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
+  [[nodiscard]] bool has_buffers() const { return buffer_args_ > 0; }
 
  private:
   std::vector<std::uint32_t> words_;
+  int buffer_args_ = 0;
 };
 
 class Context;
+
+/// Outcome of a bounded wait (Event::wait_for). kTimedOut means the event
+/// was still non-terminal when the host timeout expired — the command is
+/// untouched and may still complete later.
+enum class WaitResult { kComplete, kFailed, kCancelled, kTimedOut };
+
+[[nodiscard]] const char* to_string(WaitResult result);
 
 /// Shared handle to an enqueued command. Copyable; the last handle keeps
 /// the result alive. A default-constructed Event is null (`!valid()`).
@@ -127,7 +143,22 @@ class Event {
   /// Block until the command is terminal; true iff it completed.
   bool wait() const;
 
-  /// The failure (waits first). Empty message unless status is kFailed.
+  /// Bounded wait: block until the command is terminal or `timeout` of
+  /// host (wall-clock) time has passed. Never blocks forever — test
+  /// suites use this so a runtime regression fails one test instead of
+  /// hanging the CI job.
+  [[nodiscard]] WaitResult wait_for(std::chrono::nanoseconds timeout) const;
+
+  /// Cancel the command if it has not started running: claims the
+  /// terminal state kCancelled, releases its device-load reservation and
+  /// admission slot, and poisons dependents exactly like a failure (their
+  /// error carries ErrorCode::kCancelled). Returns true iff THIS call
+  /// cancelled it; false when the command already ran, is running, or was
+  /// already terminal — cancellation never yanks work off a device.
+  bool cancel() const;
+
+  /// The failure (waits first). Empty message unless status is kFailed or
+  /// kCancelled.
   [[nodiscard]] Error error() const;
 
   /// Kernel commands: cycle-accurate launch statistics (waits first).
@@ -200,6 +231,35 @@ struct QueueOptions {
   DeviceRequirements require;
   /// What the queue plans to run — feeds kPredictedCycles placement.
   WorkloadHint hint;
+  /// Default deadline for this queue's kernel launches, in simulated
+  /// cycles (0 = none). Checked twice: at admission against the stable
+  /// cost-model prediction (a launch predicted to bust its deadline fails
+  /// immediately with kDeadlineExceeded, before occupying a device) and
+  /// at completion against the measured cycles. A per-enqueue
+  /// LaunchOptions deadline overrides this default.
+  std::uint64_t deadline_cycles = 0;
+};
+
+/// How a failed kernel launch is retried. Retries apply to *transient*
+/// failures only — device traps (kTrap, injected or real) and device loss
+/// (kDeviceLost); argument errors, OOM, and missed deadlines are
+/// permanent. Attempt k sleeps `backoff * 2^(k-1)` of host time first
+/// (wall-clock only: simulated results never depend on the backoff), and
+/// when `relocate` is set and the launch has no buffer arguments, attempt
+/// k runs on device `(bound + k) % pool_size` — a deterministic walk, so
+/// chaos outcomes stay reproducible. Every attempt's outcome feeds the
+/// device's health window (quarantine).
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts (1 = no retry)
+  std::chrono::microseconds backoff{0};
+  bool relocate = true;
+};
+
+/// Per-enqueue knobs for kernel launches.
+struct LaunchOptions {
+  /// Deadline in simulated cycles; 0 inherits the queue's default.
+  std::uint64_t deadline_cycles = 0;
+  RetryPolicy retry;
 };
 
 /// A heterogeneous Context: one simulated device per config (they need
@@ -216,6 +276,15 @@ struct ContextOptions {
   /// one (e.g. calibrated via repro::calibrate_cost_model) across
   /// contexts to carry learned ratios between runs.
   std::shared_ptr<sim::CostModel> cost_model;
+  /// Per-device circuit-breaker knobs (see HealthPolicy).
+  HealthPolicy health;
+  /// Per-tenant overload shedding, enforced at submission (off by
+  /// default; see AdmissionConfig).
+  AdmissionConfig admission;
+  /// Deterministic fault injection: every launch/allocation consults the
+  /// plan (null = no injection, zero overhead on the hot path). Shared so
+  /// a chaos harness can drive several contexts from one plan.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 /// Command queue bound to one device of the Context's pool. Lightweight
@@ -250,6 +319,14 @@ class CommandQueue {
   /// Enqueue a kernel launch; the event's stats() carry the LaunchStats.
   Event enqueue_kernel(const isa::Program& program, std::vector<std::uint32_t> args,
                        const NdRange& range, const std::vector<Event>& wait_list = {});
+  /// Launch with per-enqueue deadline / retry policy. Raw-word argument
+  /// packs are assumed to reference device memory (no relocation); pass
+  /// the Args builder to let all-scalar launches relocate on retry.
+  Event enqueue_kernel(const isa::Program& program, std::vector<std::uint32_t> args,
+                       const NdRange& range, const LaunchOptions& launch,
+                       const std::vector<Event>& wait_list = {});
+  Event enqueue_kernel(const isa::Program& program, const Args& args, const NdRange& range,
+                       const LaunchOptions& launch, const std::vector<Event>& wait_list = {});
 
   /// Enqueue a device->host read of the whole buffer; the event's data()
   /// carries the words.
@@ -282,6 +359,13 @@ class CommandQueue {
   friend class Context;
   CommandQueue(Context* context, std::shared_ptr<detail::QueueState> state)
       : context_(context), state_(std::move(state)) {}
+
+  /// Shared body of the enqueue_kernel overloads. `relocatable` = the
+  /// argument pack references no device memory, so retries may walk to
+  /// other devices.
+  Event enqueue_kernel_impl(const isa::Program& program, std::vector<std::uint32_t> args,
+                            const NdRange& range, const LaunchOptions& launch,
+                            bool relocatable, const std::vector<Event>& wait_list);
 
   Context* context_ = nullptr;
   std::shared_ptr<detail::QueueState> state_;
@@ -349,9 +433,30 @@ class Context {
   /// terminal; true iff all completed.
   bool finish();
 
+  // ---- introspection (chaos / soak instrumentation) --------------------
+  /// Point-in-time resource gauges. After finish() on an otherwise idle
+  /// context every gauge must read zero pending work — the soak suite
+  /// asserts exactly that to pin the no-leak guarantee.
+  struct Gauges {
+    std::uint64_t inflight_cycles = 0;    ///< sum of device load gauges
+    std::uint64_t admission_pending = 0;  ///< unsettled admitted commands
+    std::uint64_t unsettled_commands = 0; ///< graph nodes not yet terminal
+    int live_queues = 0;                  ///< registered (unpruned) queues
+    std::size_t affinity_cache_entries = 0;
+  };
+  [[nodiscard]] Gauges gauges();
+  [[nodiscard]] bool device_quarantined(int device) const {
+    return devices_.quarantined(device);
+  }
+  [[nodiscard]] std::uint64_t admission_rejected() const { return admission_.rejected(); }
+  [[nodiscard]] const std::shared_ptr<const FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
+
  private:
   friend class CommandQueue;
   friend class UserEvent;
+  friend class Event;  ///< cancel() drives the settle path directly
 
   /// Register a queue on a validated device (queues_mutex_ held).
   CommandQueue register_queue(int device, const QueueOptions& options);
@@ -372,16 +477,26 @@ class Context {
   /// Push a ready command to the policy and wake a worker.
   void schedule(std::shared_ptr<detail::EventState> state);
   /// Settle a node and route every newly-ready dependent to its own
-  /// context's scheduler (wait-lists may cross Context instances).
+  /// context's scheduler (wait-lists may cross Context instances). Split
+  /// in two so Event::cancel() can claim the settle atomically with its
+  /// status check: settle_and_route = claim (first writer wins) +
+  /// finish_settle (gauge release, graph settle, publish, route).
   static void settle_and_route(const std::shared_ptr<detail::EventState>& state,
                                Status result);
+  static void finish_settle(const std::shared_ptr<detail::EventState>& state, Status result);
+  /// Terminal-from-birth event that never touches the event graph — how
+  /// admission control sheds work without failing the queue.
+  static Event make_detached_failed(Error error);
   void worker_loop();
   void execute(const std::shared_ptr<detail::EventState>& state);
 
   SchedulerConfig sched_config_;
   std::shared_ptr<ConcurrencyBudget> budget_;
   std::shared_ptr<sim::CostModel> cost_model_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
   DevicePool devices_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> next_alloc_site_{0};  ///< alloc fault ordinals
 
   std::mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue

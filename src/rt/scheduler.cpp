@@ -234,4 +234,66 @@ std::unique_ptr<Scheduler> Scheduler::create(const SchedulerConfig& config) {
   return std::make_unique<FifoScheduler>(config);
 }
 
+// ---- AdmissionController --------------------------------------------------
+
+Status AdmissionController::try_admit(std::uint64_t tenant) {
+  if (!config_.enabled()) return {};
+  std::lock_guard<std::mutex> lock(m_);
+  auto& state = tenants_[tenant];
+  if (config_.max_pending_per_tenant > 0 && state.pending >= config_.max_pending_per_tenant) {
+    ++rejected_;
+    return Error{"tenant " + std::to_string(tenant) + " has " + std::to_string(state.pending) +
+                     " commands pending (limit " +
+                     std::to_string(config_.max_pending_per_tenant) + ")",
+                 "rt.admission", ErrorCode::kRejected};
+  }
+  if (config_.tokens_per_second > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!state.primed) {
+      state.primed = true;
+      state.tokens = config_.burst;
+    } else {
+      const double elapsed = std::chrono::duration<double>(now - state.last_refill).count();
+      state.tokens = std::min(config_.burst, state.tokens + elapsed * config_.tokens_per_second);
+    }
+    state.last_refill = now;
+    if (state.tokens < 1.0) {
+      ++rejected_;
+      return Error{"tenant " + std::to_string(tenant) + " exceeded " +
+                       std::to_string(config_.tokens_per_second) + " submissions/s",
+                   "rt.admission", ErrorCode::kRejected};
+    }
+    state.tokens -= 1.0;
+  }
+  ++state.pending;
+  return {};
+}
+
+void AdmissionController::settle(std::uint64_t tenant) {
+  if (!config_.enabled()) return;
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = tenants_.find(tenant);
+  GPUP_CHECK_MSG(it != tenants_.end() && it->second.pending > 0,
+                 "admission settle without a matching admit");
+  --it->second.pending;
+}
+
+std::uint32_t AdmissionController::pending(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.pending;
+}
+
+std::uint64_t AdmissionController::total_pending() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::uint64_t total = 0;
+  for (const auto& [tenant, state] : tenants_) total += state.pending;
+  return total;
+}
+
+std::uint64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return rejected_;
+}
+
 }  // namespace gpup::rt

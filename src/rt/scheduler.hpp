@@ -31,8 +31,13 @@
 // scheduler mutex, so implementations are written single-threaded.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/status.hpp"
 
 namespace gpup::rt {
 
@@ -63,6 +68,62 @@ struct SchedulerConfig {
   /// value reorders equal-criteria commands by a seeded hash of their
   /// sequence number — the "schedule seed" of out-of-order mode.
   std::uint64_t seed = 0;
+};
+
+/// Overload-shedding knobs, enforced per tenant at submission time —
+/// BEFORE a command touches the event graph or a policy queue, so an
+/// over-limit submission is rejected in O(1) with ErrorCode::kRejected
+/// (never blocked, never aborted) and cannot poison an in-order queue's
+/// history. Both limits default off.
+struct AdmissionConfig {
+  /// Maximum unsettled commands per tenant (0 = unlimited). Bounds queue
+  /// depth: accepted work is bounded by what the pool can actually hold.
+  std::uint32_t max_pending_per_tenant = 0;
+  /// Token-bucket rate limit in submissions per second (0 = no limit).
+  double tokens_per_second = 0.0;
+  /// Bucket capacity in tokens (burst allowance).
+  double burst = 16.0;
+
+  [[nodiscard]] bool enabled() const {
+    return max_pending_per_tenant > 0 || tokens_per_second > 0.0;
+  }
+};
+
+/// Per-tenant admission state: pending-depth gauge plus a token bucket.
+/// Thread-safe; one per Context. The pending gauge is real accounting —
+/// charged at admission, released when the command reaches ANY terminal
+/// state — so it can never leak, mirroring the DevicePool load gauge.
+/// Note the token bucket reads the wall clock: rate-limited admission is
+/// deliberately NOT deterministic (it describes real time, not simulated
+/// time); the depth bound alone is timing-dependent too, since release
+/// follows completion. Chaos-determinism suites run with admission off.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Charge one submission for `tenant`: ok, or a kRejected Error naming
+  /// the exceeded limit. Callers must pair every ok with a settle().
+  [[nodiscard]] Status try_admit(std::uint64_t tenant);
+  /// Release the pending slot charged by a successful try_admit.
+  void settle(std::uint64_t tenant);
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t pending(std::uint64_t tenant) const;
+  [[nodiscard]] std::uint64_t total_pending() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+
+ private:
+  struct Tenant {
+    std::uint32_t pending = 0;
+    double tokens = 0.0;
+    bool primed = false;  ///< bucket starts full on first sight
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex m_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  std::uint64_t rejected_ = 0;
 };
 
 /// Scheduling metadata attached to every command at submission.

@@ -53,7 +53,7 @@ Result<std::uint32_t> Gpu::try_alloc(std::uint32_t bytes) {
                             addr <= config_.global_mem_bytes ? config_.global_mem_bytes - addr
                                                              : 0),
                         config_.global_mem_bytes),
-                 "gpu.alloc"};
+                 "gpu.alloc", ErrorCode::kOom};
   }
   alloc_next_ = static_cast<std::uint32_t>(addr + bytes);
   return static_cast<std::uint32_t>(addr);
@@ -97,28 +97,41 @@ void Gpu::reset_allocator() { alloc_next_ = 0; }
 
 Result<LaunchStats> Gpu::try_launch(const isa::Program& program,
                                     const std::vector<std::uint32_t>& params,
-                                    std::uint32_t global_size, std::uint32_t wg_size) {
-  if (program.empty()) return Error{"empty kernel program", "gpu.launch"};
-  if (global_size == 0) return Error{"empty NDRange", "gpu.launch"};
+                                    std::uint32_t global_size, std::uint32_t wg_size,
+                                    const InjectedFault* fault) {
+  if (program.empty()) return Error{"empty kernel program", "gpu.launch", ErrorCode::kInvalidArg};
+  if (global_size == 0) return Error{"empty NDRange", "gpu.launch", ErrorCode::kInvalidArg};
   const auto max_wg =
       static_cast<std::uint32_t>(config_.wavefront_size * config_.max_wavefronts_per_cu);
   if (wg_size < 1 || wg_size > max_wg) {
     return Error{format("work-group size %u outside CU capacity (1..%u)", wg_size, max_wg),
-                 "gpu.launch"};
+                 "gpu.launch", ErrorCode::kInvalidArg};
   }
   if (params.size() < program.param_count()) {
     return Error{format("kernel '%s' reads %u argument word(s), launch supplied %u",
                         program.name().c_str(), program.param_count(),
                         static_cast<std::uint32_t>(params.size())),
-                 "gpu.launch"};
+                 "gpu.launch", ErrorCode::kInvalidArg};
+  }
+  // An injected trap fails the attempt after validation but before any
+  // simulation: device state is untouched, exactly like a real trap raised
+  // on the launch's first cycle.
+  if (fault != nullptr && fault->trap) {
+    return Error{format("injected device trap on kernel '%s'", program.name().c_str()),
+                 "gpu.launch", ErrorCode::kTrap};
   }
   // Runtime traps (out-of-bounds access, watchdog expiry) are raised as
   // exceptions deep in the simulation; convert them to an Error so the
   // asynchronous runtime can fail the event instead of the process.
   try {
-    return run_launch(program, params, global_size, wg_size);
+    auto stats = run_launch(program, params, global_size, wg_size);
+    if (fault != nullptr && fault->stall_cycles > 0) {
+      stats.cycles += fault->stall_cycles;
+      stats.counters.cycles += fault->stall_cycles;
+    }
+    return stats;
   } catch (const std::exception& e) {
-    return Error{e.what(), "gpu.launch"};
+    return Error{e.what(), "gpu.launch", ErrorCode::kTrap};
   }
 }
 

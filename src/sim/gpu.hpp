@@ -30,6 +30,17 @@ struct LaunchStats {
   }
 };
 
+/// A fault injected into one launch attempt by the host runtime's
+/// deterministic FaultPlan (rt/fault.hpp). `trap` fails the launch with a
+/// transient device trap before any simulation runs; `stall_cycles` lets
+/// the launch run normally but adds the given simulated cycles to its
+/// reported time (throttling / retried DRAM transactions). A launch with
+/// no injected fault is bit-identical to one launched without the hook.
+struct InjectedFault {
+  bool trap = false;
+  std::uint64_t stall_cycles = 0;
+};
+
 class Gpu {
  public:
   explicit Gpu(GpuConfig config);
@@ -62,10 +73,13 @@ class Gpu {
   /// instruction (buffer addresses, sizes, constants...). All fallible
   /// paths — bad geometry, too few argument words for the program's PARAM
   /// reads, runtime traps (out-of-bounds access, watchdog expiry) —
-  /// surface as an Error instead of aborting the host.
+  /// surface as an Error instead of aborting the host. `fault`, when
+  /// non-null, injects a deterministic failure into this attempt (see
+  /// InjectedFault); null means no injection and is the common path.
   [[nodiscard]] Result<LaunchStats> try_launch(const isa::Program& program,
                                                const std::vector<std::uint32_t>& params,
-                                               std::uint32_t global_size, std::uint32_t wg_size);
+                                               std::uint32_t global_size, std::uint32_t wg_size,
+                                               const InjectedFault* fault = nullptr);
 
   /// Abort-on-error variant of try_launch.
   [[nodiscard]] LaunchStats launch(const isa::Program& program,

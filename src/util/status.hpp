@@ -13,11 +13,41 @@
 
 namespace gpup {
 
-/// Error with a human-readable message and optional source location context
-/// (e.g. "kernel.s:12" for assembler errors).
+/// Machine-readable failure cause, so callers (retry loops, admission
+/// control, tests) can branch on why an operation failed instead of
+/// string-matching the message. kUnknown is the default for errors that
+/// predate the enum or have no better classification.
+enum class ErrorCode {
+  kUnknown,
+  kOom,               ///< device global memory exhausted
+  kInvalidArg,        ///< bad geometry / argument count / address
+  kTrap,              ///< runtime trap (OOB access, watchdog) — transient
+  kRejected,          ///< shed by admission control (never attempted)
+  kCancelled,         ///< host cancelled before the command ran
+  kDeadlineExceeded,  ///< missed its simulated-cycle deadline
+  kDeviceLost,        ///< device marked dead (injected or detected)
+};
+
+[[nodiscard]] inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kOom: return "oom";
+    case ErrorCode::kInvalidArg: return "invalid_arg";
+    case ErrorCode::kTrap: return "trap";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kDeviceLost: return "device_lost";
+  }
+  return "?";
+}
+
+/// Error with a human-readable message, optional source location context
+/// (e.g. "kernel.s:12" for assembler errors), and a machine-readable code.
 struct Error {
   std::string message;
   std::string context;
+  ErrorCode code = ErrorCode::kUnknown;
 
   [[nodiscard]] std::string to_string() const {
     return context.empty() ? message : context + ": " + message;
@@ -36,18 +66,29 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   [[nodiscard]] const T& value() const& {
-    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    if (!ok()) throw std::runtime_error(value_error_what());
     return std::get<T>(data_);
   }
   [[nodiscard]] T&& value() && {
-    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    if (!ok()) throw std::runtime_error(value_error_what());
     return std::get<T>(std::move(data_));
+  }
+  /// The value, or `fallback` on error (never throws).
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
   }
   [[nodiscard]] const Error& error() const {
     return std::get<Error>(data_);
   }
 
  private:
+  /// what() for value()-on-error: keeps the Error's full source-location
+  /// context and code so the resulting exception is actionable on its own.
+  [[nodiscard]] std::string value_error_what() const {
+    return std::string("Result::value on error [") + ::gpup::to_string(error().code) +
+           "]: " + error().to_string();
+  }
+
   std::variant<T, Error> data_;
 };
 

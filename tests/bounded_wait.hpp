@@ -1,0 +1,28 @@
+// Bounded event waiting for the test suites.
+//
+// Tests must never call Event::wait() directly: a runtime regression that
+// wedges a command would hang the whole CI job instead of failing one
+// test. wait_bounded() uses Event::wait_for with a generous host timeout
+// (far beyond any sane command latency, small against a CI job timeout),
+// flags a timeout as a test failure, and reports whether the event
+// completed — a drop-in replacement for the old `event.wait()`.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/rt/runtime.hpp"
+
+namespace gpup::rt {
+
+inline constexpr std::chrono::seconds kTestWaitTimeout{120};
+
+inline bool wait_bounded(const Event& event) {
+  const WaitResult result = event.wait_for(kTestWaitTimeout);
+  EXPECT_NE(result, WaitResult::kTimedOut) << "event still pending after "
+                                           << kTestWaitTimeout.count() << "s — runtime wedged?";
+  return result == WaitResult::kComplete;
+}
+
+}  // namespace gpup::rt

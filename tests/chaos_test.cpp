@@ -1,0 +1,889 @@
+// Chaos suite: deterministic fault injection, deadlines and cancellation,
+// retry-with-backoff and relocation, device quarantine, and admission
+// control — plus the randomized chaos fuzz that pins the headline
+// robustness invariant: a faulted run reaches the SAME terminal-state
+// vector at any worker-thread count, leaks no gauges, and leaves every
+// non-faulted launch's cycle counts bit-identical to a fault-free run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rt/runtime.hpp"
+#include "src/util/rng.hpp"
+
+#include "tests/bounded_wait.hpp"
+
+namespace gpup::rt {
+namespace {
+
+// Scalar-only kernel (no memory operands): relocatable across devices.
+constexpr const char* kSpinSource = R"(.kernel spin
+  tid   r1
+  param r2, 0
+  add   r3, r1, r2
+  mul   r3, r3, r2
+  addi  r3, r3, 7
+  ret
+)";
+
+// Buffer step kernel: buf[tid] = buf[tid] * 3 + c (pinned to its device).
+constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+/// Scans fault seeds until `pred(plan)` holds — lets a test pin an exact
+/// injected schedule (e.g. "traps on attempt 0, clean on attempt 1")
+/// without depending on any particular hash layout.
+template <typename Pred>
+std::uint64_t find_fault_seed(const FaultSpec& spec, Pred pred) {
+  for (std::uint64_t seed = 1; seed < 100000; ++seed) {
+    FaultPlan plan(seed, spec);
+    if (pred(plan)) return seed;
+  }
+  ADD_FAILURE() << "no fault seed satisfies the predicate within 100k draws";
+  return 0;
+}
+
+// ---- FaultPlan unit tests -------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  FaultSpec spec;
+  spec.trap_rate = 0.3;
+  spec.stall_rate = 0.3;
+  spec.stall_cycles = 500;
+  spec.alloc_fail_rate = 0.3;
+  spec.device_loss_rate = 0.3;
+  spec.device_loss_window = 8;
+  const FaultPlan a(0xc0ffee, spec);
+  const FaultPlan b(0xc0ffee, spec);
+  for (std::uint64_t site = 0; site < 512; ++site) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.should_trap(site, attempt), b.should_trap(site, attempt));
+      EXPECT_EQ(a.stall_cycles(site, attempt), b.stall_cycles(site, attempt));
+    }
+    EXPECT_EQ(a.should_fail_alloc(site), b.should_fail_alloc(site));
+    for (int device = 0; device < 4; ++device) {
+      EXPECT_EQ(a.device_down(device, site), b.device_down(device, site));
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultSpec spec;
+  spec.trap_rate = 0.5;
+  const FaultPlan a(1, spec);
+  const FaultPlan b(2, spec);
+  bool diverged = false;
+  for (std::uint64_t site = 0; site < 256 && !diverged; ++site) {
+    diverged = a.should_trap(site) != b.should_trap(site);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, RateEndpoints) {
+  const FaultPlan none(7, FaultSpec{});  // all rates zero
+  FaultSpec always;
+  always.trap_rate = 1.0;
+  always.stall_rate = 1.0;
+  always.stall_cycles = 123;
+  always.alloc_fail_rate = 1.0;
+  always.device_loss_rate = 1.0;
+  const FaultPlan all(7, always);
+  for (std::uint64_t site = 0; site < 128; ++site) {
+    EXPECT_FALSE(none.should_trap(site));
+    EXPECT_EQ(none.stall_cycles(site), 0u);
+    EXPECT_FALSE(none.should_fail_alloc(site));
+    EXPECT_FALSE(none.device_down(0, site));
+    EXPECT_TRUE(all.should_trap(site));
+    EXPECT_EQ(all.stall_cycles(site), 123u);
+    EXPECT_TRUE(all.should_fail_alloc(site));
+    EXPECT_TRUE(all.device_down(0, site));
+  }
+}
+
+TEST(FaultPlan, DeviceLossComesInWindows) {
+  FaultSpec spec;
+  spec.device_loss_rate = 0.5;
+  spec.device_loss_window = 16;
+  const FaultPlan plan(42, spec);
+  int down_windows = 0;
+  int up_windows = 0;
+  for (std::uint64_t window = 0; window < 64; ++window) {
+    const bool down = plan.device_down(0, window * spec.device_loss_window);
+    (down ? down_windows : up_windows) += 1;
+    // The verdict is constant across the whole window.
+    for (std::uint64_t offset = 1; offset < spec.device_loss_window; ++offset) {
+      EXPECT_EQ(plan.device_down(0, window * spec.device_loss_window + offset), down);
+    }
+  }
+  EXPECT_GT(down_windows, 0);
+  EXPECT_GT(up_windows, 0);
+}
+
+// ---- ErrorCode plumbing ---------------------------------------------------
+
+TEST(ErrorCodes, OomAllocCarriesKOom) {
+  sim::GpuConfig config;
+  config.global_mem_bytes = 1 << 12;
+  Context context(config);
+  auto queue = context.create_queue();
+  const auto huge = queue.alloc(1 << 20);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error().code, ErrorCode::kOom);
+  EXPECT_EQ(huge.value_or(Buffer{}).addr, Buffer{}.addr);
+}
+
+TEST(ErrorCodes, ArgumentMismatchCarriesKInvalidArg) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(kStepSource);
+  ASSERT_TRUE(program.ok());
+  const auto kernel = queue.enqueue_kernel(program.value(), {}, {32, 16});
+  EXPECT_FALSE(wait_bounded(kernel));
+  EXPECT_EQ(kernel.error().code, ErrorCode::kInvalidArg);
+}
+
+TEST(ErrorCodes, RuntimeTrapCarriesKTrap) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(R"(.kernel oob
+  li r1, 0x7ffffffc
+  lw r2, 0(r1)
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  const auto kernel = queue.enqueue_kernel(program.value(), {}, {1, 1});
+  EXPECT_FALSE(wait_bounded(kernel));
+  EXPECT_EQ(kernel.error().code, ErrorCode::kTrap);
+}
+
+TEST(ErrorCodes, ValueThrowNamesTheCode) {
+  const Result<int> oom =
+      Error{"backing store exhausted", "test", ErrorCode::kOom};
+  EXPECT_EQ(oom.value_or(-1), -1);
+  try {
+    (void)oom.value();
+    FAIL() << "value() on an error must throw";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("oom"), std::string::npos) << what;
+    EXPECT_NE(what.find("backing store exhausted"), std::string::npos) << what;
+  }
+}
+
+// ---- bounded waits --------------------------------------------------------
+
+TEST(WaitFor, TimesOutWhileGatedThenCompletes) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  auto gate = context.create_user_event();
+  const auto pending = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+  EXPECT_EQ(pending.wait_for(std::chrono::milliseconds(20)), WaitResult::kTimedOut);
+  EXPECT_EQ(pending.status(), EventStatus::kQueued);
+  gate.complete();
+  EXPECT_TRUE(wait_bounded(pending));
+}
+
+TEST(WaitFor, ReportsFailureAndCancellation) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto failed =
+      queue.enqueue_native([] { return Status{Error{"boom", "test"}}; });
+  EXPECT_EQ(failed.wait_for(kTestWaitTimeout), WaitResult::kFailed);
+
+  auto gate = context.create_user_event();
+  const auto doomed = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+  EXPECT_TRUE(doomed.cancel());
+  EXPECT_EQ(doomed.wait_for(kTestWaitTimeout), WaitResult::kCancelled);
+  gate.complete();
+  context.finish();
+}
+
+// ---- cancellation ---------------------------------------------------------
+
+TEST(Cancel, QueuedCommandCancelsAndPoisonsDependents) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  auto gate = context.create_user_event();
+  const auto head = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+  // In-order successor + explicit wait-list dependent on another queue.
+  const auto chained = queue.enqueue_native([] { return Status{}; });
+  auto other = context.create_queue();
+  const auto dependent = other.enqueue_native([] { return Status{}; }, {head});
+
+  EXPECT_TRUE(head.cancel());
+  EXPECT_FALSE(head.cancel()) << "second cancel must report false";
+  gate.complete();
+
+  EXPECT_FALSE(wait_bounded(head));
+  EXPECT_EQ(head.status(), EventStatus::kCancelled);
+  EXPECT_EQ(head.error().code, ErrorCode::kCancelled);
+
+  EXPECT_FALSE(wait_bounded(chained));
+  EXPECT_EQ(chained.status(), EventStatus::kCancelled);
+  EXPECT_EQ(chained.error().code, ErrorCode::kCancelled);
+  EXPECT_NE(chained.error().to_string().find("dependency cancelled"), std::string::npos);
+  EXPECT_FALSE(wait_bounded(dependent));
+  EXPECT_EQ(dependent.status(), EventStatus::kCancelled);
+
+  // Cancellation counts as not-completed for finish()...
+  EXPECT_FALSE(queue.finish());
+  // ...and settles every gauge regardless.
+  const auto gauges = context.gauges();
+  EXPECT_EQ(gauges.inflight_cycles, 0u);
+  EXPECT_EQ(gauges.unsettled_commands, 0u);
+  EXPECT_EQ(gauges.admission_pending, 0u);
+}
+
+TEST(Cancel, TerminalCommandRefusesCancel) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto done = queue.enqueue_native([] { return Status{}; });
+  EXPECT_TRUE(wait_bounded(done));
+  EXPECT_FALSE(done.cancel());
+  EXPECT_EQ(done.status(), EventStatus::kComplete);
+}
+
+TEST(Cancel, GatedKernelReleasesDeviceReservation) {
+  Context context(sim::GpuConfig{});
+  auto queue = context.create_queue();
+  const auto program = Context::compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  auto gate = context.create_user_event();
+  const auto kernel = queue.enqueue_kernel(program.value(),
+                                           Args().add(3u).words(), {64, 16},
+                                           {gate.event()});
+  EXPECT_GT(context.gauges().inflight_cycles, 0u)
+      << "a queued kernel must hold a load reservation";
+  EXPECT_TRUE(kernel.cancel());
+  EXPECT_EQ(context.gauges().inflight_cycles, 0u)
+      << "cancel must release the reservation immediately";
+  gate.complete();
+  context.finish();
+}
+
+// ---- deadlines ------------------------------------------------------------
+
+TEST(Deadline, AdmissionRejectsPredictedBust) {
+  Context context(sim::GpuConfig{});
+  QueueOptions options;
+  options.deadline_cycles = 1;  // nothing real fits in one cycle
+  auto queue_result = context.create_queue(options);
+  ASSERT_TRUE(queue_result.ok());
+  auto queue = queue_result.value();
+  const auto program = Context::compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  const auto kernel = queue.enqueue_kernel(program.value(),
+                                           Args().add(3u).words(), {256, 32});
+  EXPECT_FALSE(wait_bounded(kernel));
+  EXPECT_EQ(kernel.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(kernel.error().to_string().find("predicted"), std::string::npos)
+      << "admission-time rejection must cite the prediction";
+}
+
+TEST(Deadline, PerEnqueueOverridesQueueDefault) {
+  Context context(sim::GpuConfig{});
+  QueueOptions options;
+  options.deadline_cycles = 1;
+  auto queue_result = context.create_queue(options);
+  ASSERT_TRUE(queue_result.ok());
+  auto queue = queue_result.value();
+  const auto program = Context::compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchOptions launch;
+  launch.deadline_cycles = 1u << 30;  // generous per-enqueue override
+  const auto kernel = queue.enqueue_kernel(
+      program.value(), Args().add(3u), {256, 32}, launch);
+  EXPECT_TRUE(wait_bounded(kernel));
+  EXPECT_LE(kernel.stats().cycles, launch.deadline_cycles);
+}
+
+TEST(Deadline, CompletionCheckCatchesInjectedStall) {
+  // The stall only shows up in measured cycles, so the launch passes the
+  // prediction-based admission check and must be caught at completion.
+  FaultSpec spec;
+  spec.stall_rate = 1.0;
+  spec.stall_cycles = 50'000'000;
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}};
+  options.fault_plan = std::make_shared<FaultPlan>(9, spec);
+  Context context(std::move(options));
+  auto queue = context.create_queue();
+  const auto program = Context::compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+
+  const auto profile = context.cost_model()->profile_for(program.value());
+  const double predicted = context.cost_model()->predict_stable(
+      profile, context.config(), 256, 32);
+  LaunchOptions launch;
+  // Above the prediction (admission passes), far below the injected stall.
+  launch.deadline_cycles = static_cast<std::uint64_t>(predicted) + 1'000'000;
+  ASSERT_LT(launch.deadline_cycles, spec.stall_cycles);
+
+  const auto kernel = queue.enqueue_kernel(program.value(), Args().add(3u),
+                                           {256, 32}, launch);
+  EXPECT_FALSE(wait_bounded(kernel));
+  EXPECT_EQ(kernel.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(kernel.error().to_string().find("took"), std::string::npos)
+      << "completion-time rejection must cite the measured cycles";
+}
+
+// ---- retry + relocation ---------------------------------------------------
+
+TEST(Retry, TransientTrapSucceedsOnSecondAttempt) {
+  FaultSpec spec;
+  spec.trap_rate = 0.5;
+  // First submission of a context gets seq 1; pin a plan that traps its
+  // first attempt and clears its second.
+  const std::uint64_t seed = find_fault_seed(spec, [](const FaultPlan& plan) {
+    return plan.should_trap(1, 0) && !plan.should_trap(1, 1);
+  });
+  const auto program_result = Context::compile(kSpinSource);
+  ASSERT_TRUE(program_result.ok());
+  const auto& program = program_result.value();
+
+  auto run = [&](int max_attempts) {
+    ContextOptions options;
+    options.devices = {sim::GpuConfig{}};
+    options.fault_plan = std::make_shared<FaultPlan>(seed, spec);
+    Context context(std::move(options));
+    auto queue = context.create_queue();
+    LaunchOptions launch;
+    launch.retry.max_attempts = max_attempts;
+    launch.retry.backoff = std::chrono::microseconds(50);
+    const auto kernel = queue.enqueue_kernel(program, Args().add(3u), {64, 16}, launch);
+    wait_bounded(kernel);
+    return kernel;
+  };
+
+  const auto no_retry = run(1);
+  EXPECT_EQ(no_retry.status(), EventStatus::kFailed);
+  EXPECT_EQ(no_retry.error().code, ErrorCode::kTrap);
+
+  const auto retried = run(2);
+  EXPECT_EQ(retried.status(), EventStatus::kComplete)
+      << retried.error().to_string();
+}
+
+TEST(Retry, RelocatesOffDeadDeviceWhenArgsAreScalar) {
+  FaultSpec spec;
+  spec.device_loss_rate = 0.5;
+  spec.device_loss_window = 1;
+  // Device 0 down for seq 1, device 1 up.
+  const std::uint64_t seed = find_fault_seed(spec, [](const FaultPlan& plan) {
+    return plan.device_down(0, 1) && !plan.device_down(1, 1);
+  });
+  const auto program_result = Context::compile(kSpinSource);
+  ASSERT_TRUE(program_result.ok());
+  const auto& program = program_result.value();
+
+  auto run = [&](bool relocate) {
+    ContextOptions options;
+    options.devices = {sim::GpuConfig{}, sim::GpuConfig{}};
+    options.fault_plan = std::make_shared<FaultPlan>(seed, spec);
+    Context context(std::move(options));
+    auto queue = context.create_queue(0);  // pinned to the dead device
+    LaunchOptions launch;
+    launch.retry.max_attempts = 2;
+    launch.retry.relocate = relocate;
+    const auto kernel = queue.enqueue_kernel(program, Args().add(3u), {64, 16}, launch);
+    wait_bounded(kernel);
+    return kernel;
+  };
+
+  const auto relocated = run(true);
+  EXPECT_EQ(relocated.status(), EventStatus::kComplete)
+      << relocated.error().to_string();
+
+  const auto pinned = run(false);
+  EXPECT_EQ(pinned.status(), EventStatus::kFailed);
+  EXPECT_EQ(pinned.error().code, ErrorCode::kDeviceLost);
+}
+
+TEST(Retry, BufferArgsPinTheLaunch) {
+  FaultSpec spec;
+  spec.device_loss_rate = 0.5;
+  spec.device_loss_window = 1;
+  // The alloc + write consume no sequence numbers (alloc is synchronous,
+  // the write is seq 1), so the kernel is seq 2.
+  const std::uint64_t seed = find_fault_seed(spec, [](const FaultPlan& plan) {
+    return plan.device_down(0, 2) && !plan.device_down(1, 2) &&
+           !plan.device_down(0, 1);
+  });
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}, sim::GpuConfig{}};
+  options.fault_plan = std::make_shared<FaultPlan>(seed, spec);
+  Context context(std::move(options));
+  auto queue = context.create_queue(0);
+  const auto program = Context::compile(kStepSource);
+  ASSERT_TRUE(program.ok());
+  const auto buffer = queue.alloc_words(64);
+  ASSERT_TRUE(buffer.ok());
+  (void)queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(64, 1));
+  LaunchOptions launch;
+  launch.retry.max_attempts = 3;
+  launch.retry.relocate = true;  // requested, but buffers forbid it
+  const auto kernel = queue.enqueue_kernel(
+      program.value(), Args().add(64u).add(buffer.value()).add(5u), {64, 16}, launch);
+  EXPECT_FALSE(wait_bounded(kernel));
+  EXPECT_EQ(kernel.error().code, ErrorCode::kDeviceLost)
+      << "a launch naming device memory must not walk to another device";
+  context.finish();
+}
+
+// ---- quarantine -----------------------------------------------------------
+
+TEST(Quarantine, FailureRateTripsBreakerAndPlacementSkips) {
+  HealthPolicy health;
+  health.window = 4;
+  health.min_samples = 2;
+  health.quarantine_threshold = 0.5;
+  health.probe_interval = 2;
+  DevicePool pool({sim::GpuConfig{}, sim::GpuConfig{}}, PlacementPolicy::kLeastBound,
+                  health);
+
+  pool.record_launch_outcome(0, false, false);
+  EXPECT_FALSE(pool.quarantined(0)) << "below min_samples: no verdict yet";
+  pool.record_launch_outcome(0, false, false);
+  EXPECT_TRUE(pool.quarantined(0)) << "2/2 failures exceeds threshold 0.5";
+
+  // Placement skips the quarantined device even though it has fewer bound
+  // queues.
+  pool.bind(1);
+  const auto placed = pool.place(DeviceRequirements{});
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.value(), 1);
+}
+
+TEST(Quarantine, SuccessReadmitsAndClearsTheWindow) {
+  HealthPolicy health;
+  health.window = 4;
+  health.min_samples = 2;
+  health.quarantine_threshold = 0.5;
+  DevicePool pool({sim::GpuConfig{}, sim::GpuConfig{}}, PlacementPolicy::kLeastBound,
+                  health);
+  pool.record_launch_outcome(0, false, false);
+  pool.record_launch_outcome(0, false, false);
+  ASSERT_TRUE(pool.quarantined(0));
+
+  pool.record_launch_outcome(0, true, false);
+  EXPECT_FALSE(pool.quarantined(0));
+  // The window was cleared: one new failure (1/2 = exactly the threshold,
+  // not exceeding it) must not instantly re-quarantine.
+  pool.record_launch_outcome(0, false, false);
+  EXPECT_FALSE(pool.quarantined(0));
+}
+
+TEST(Quarantine, HalfOpenProbeReconsidersAfterSkips) {
+  HealthPolicy health;
+  health.window = 4;
+  health.min_samples = 2;
+  health.quarantine_threshold = 0.5;
+  health.probe_interval = 2;
+  DevicePool pool({sim::GpuConfig{}, sim::GpuConfig{}}, PlacementPolicy::kLeastBound,
+                  health);
+  pool.record_launch_outcome(0, false, true);  // device-fatal: instant trip
+  ASSERT_TRUE(pool.quarantined(0));
+  // Load device 1 so device 0 would win on merit.
+  pool.bind(1);
+  pool.bind(1);
+
+  // The first `probe_interval` placements skip the sick device...
+  EXPECT_EQ(pool.place(DeviceRequirements{}).value(), 1);
+  EXPECT_EQ(pool.place(DeviceRequirements{}).value(), 1);
+  // ...then the breaker half-opens and the device competes again.
+  EXPECT_EQ(pool.place(DeviceRequirements{}).value(), 0);
+}
+
+TEST(Quarantine, AllQuarantinedPoolStillPlaces) {
+  DevicePool pool({sim::GpuConfig{}, sim::GpuConfig{}}, PlacementPolicy::kLeastBound,
+                  HealthPolicy{});
+  pool.record_launch_outcome(0, false, true);
+  pool.record_launch_outcome(1, false, true);
+  ASSERT_TRUE(pool.quarantined(0));
+  ASSERT_TRUE(pool.quarantined(1));
+  EXPECT_TRUE(pool.place(DeviceRequirements{}).ok())
+      << "an all-sick pool degrades, it does not refuse service";
+}
+
+TEST(Quarantine, InjectedDeviceLossQuarantinesThenProbeReadmits) {
+  FaultSpec spec;
+  spec.device_loss_rate = 0.5;
+  spec.device_loss_window = 1;
+  // Down for the first launch (seq 1), back up for the second (seq 2).
+  const std::uint64_t seed = find_fault_seed(spec, [](const FaultPlan& plan) {
+    return plan.device_down(0, 1) && !plan.device_down(0, 2);
+  });
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}, sim::GpuConfig{}};
+  options.fault_plan = std::make_shared<FaultPlan>(seed, spec);
+  Context context(std::move(options));
+  // Out-of-order so the failed launch does not poison the probe through
+  // the in-order chain.
+  QueueOptions qo;
+  qo.device = 0;
+  qo.mode = QueueMode::kOutOfOrder;
+  auto queue_result = context.create_queue(qo);
+  ASSERT_TRUE(queue_result.ok());
+  auto queue = queue_result.value();
+  const auto program = Context::compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+
+  const auto lost = queue.enqueue_kernel(program.value(), Args().add(3u), {64, 16},
+                                         LaunchOptions{});
+  EXPECT_FALSE(wait_bounded(lost));
+  EXPECT_EQ(lost.error().code, ErrorCode::kDeviceLost);
+  EXPECT_TRUE(context.device_quarantined(0))
+      << "device-fatal failure must quarantine immediately";
+
+  // Quarantine never blocks a pinned queue: the next launch acts as the
+  // health probe, succeeds, and readmits the device.
+  const auto probe = queue.enqueue_kernel(program.value(), Args().add(3u), {64, 16},
+                                          LaunchOptions{});
+  EXPECT_TRUE(wait_bounded(probe)) << probe.error().to_string();
+  EXPECT_FALSE(context.device_quarantined(0));
+}
+
+// ---- admission control ----------------------------------------------------
+
+TEST(Admission, DepthLimitShedsWithoutPoisoningTheQueue) {
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}};
+  options.admission.max_pending_per_tenant = 2;
+  Context context(std::move(options));
+  auto queue = context.create_queue();
+  auto gate = context.create_user_event();
+
+  const auto a = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+  const auto b = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+  const auto shed = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+
+  // The over-limit submission is rejected immediately — no blocking, no
+  // waiting on the gate.
+  EXPECT_EQ(shed.status(), EventStatus::kFailed);
+  EXPECT_EQ(shed.error().code, ErrorCode::kRejected);
+  EXPECT_EQ(context.admission_rejected(), 1u);
+  EXPECT_EQ(context.gauges().admission_pending, 2u);
+
+  gate.complete();
+  EXPECT_TRUE(wait_bounded(a));
+  EXPECT_TRUE(wait_bounded(b));
+  // Shedding is not failure: the queue's accepted history is intact.
+  EXPECT_TRUE(queue.finish())
+      << "a shed command must not poison the in-order chain";
+  EXPECT_EQ(context.gauges().admission_pending, 0u);
+
+  // Capacity freed: the tenant can submit again.
+  const auto after = queue.enqueue_native([] { return Status{}; });
+  EXPECT_TRUE(wait_bounded(after));
+}
+
+TEST(Admission, DepthIsPerTenant) {
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}};
+  options.admission.max_pending_per_tenant = 1;
+  Context context(std::move(options));
+  QueueOptions tenant_a;
+  tenant_a.tenant = 1;
+  QueueOptions tenant_b;
+  tenant_b.tenant = 2;
+  auto qa_result = context.create_queue(tenant_a);
+  auto qb_result = context.create_queue(tenant_b);
+  ASSERT_TRUE(qa_result.ok());
+  ASSERT_TRUE(qb_result.ok());
+  auto qa = qa_result.value();
+  auto qb = qb_result.value();
+  auto gate = context.create_user_event();
+
+  const auto a1 = qa.enqueue_native([] { return Status{}; }, {gate.event()});
+  const auto a2 = qa.enqueue_native([] { return Status{}; }, {gate.event()});
+  const auto b1 = qb.enqueue_native([] { return Status{}; }, {gate.event()});
+  EXPECT_EQ(a2.error().code, ErrorCode::kRejected)
+      << "tenant 1 is over its depth limit";
+  EXPECT_EQ(b1.status(), EventStatus::kQueued)
+      << "tenant 2 has its own budget";
+  gate.complete();
+  EXPECT_TRUE(wait_bounded(a1));
+  EXPECT_TRUE(wait_bounded(b1));
+}
+
+TEST(Admission, TokenBucketLimitsBurst) {
+  ContextOptions options;
+  options.devices = {sim::GpuConfig{}};
+  options.admission.tokens_per_second = 1e-6;  // effectively no refill
+  options.admission.burst = 2.0;
+  Context context(std::move(options));
+  auto queue = context.create_queue();
+  const auto a = queue.enqueue_native([] { return Status{}; });
+  const auto b = queue.enqueue_native([] { return Status{}; });
+  const auto c = queue.enqueue_native([] { return Status{}; });
+  EXPECT_TRUE(wait_bounded(a));
+  EXPECT_TRUE(wait_bounded(b));
+  EXPECT_EQ(c.status(), EventStatus::kFailed);
+  EXPECT_EQ(c.error().code, ErrorCode::kRejected);
+  EXPECT_TRUE(queue.finish());
+}
+
+// ---- chaos fuzz -----------------------------------------------------------
+
+/// One command's terminal record. Everything here must be a pure function
+/// of (dag seed, fault seed) — the fuzz compares the whole vector across
+/// worker-thread counts.
+struct Terminal {
+  EventStatus status = EventStatus::kQueued;
+  ErrorCode code = ErrorCode::kUnknown;
+  std::uint64_t cycles = 0;   ///< kernels: measured launch cycles
+  std::uint64_t data_sum = 0; ///< reads: checksum of the words
+  std::uint64_t seq = 0;      ///< submission sequence number (site id)
+  int bound_device = -1;      ///< device the command's queue is pinned to
+  bool is_kernel = false;
+
+  bool operator==(const Terminal& other) const {
+    return status == other.status && code == other.code && cycles == other.cycles &&
+           data_sum == other.data_sum && seq == other.seq &&
+           bound_device == other.bound_device && is_kernel == other.is_kernel;
+  }
+};
+
+constexpr int kFuzzQueues = 4;
+constexpr int kFuzzCommands = 60;
+
+/// Builds a seeded random DAG (4 queues pinned over 3 heterogeneous
+/// devices, mixed in-order/out-of-order, cross-queue wait-lists, retry
+/// policies, a cancelled subset) gated behind one user event, releases it
+/// against `plan`, and records every command's terminal state. All
+/// placement is explicit and admission is off, so the outcome vector is a
+/// pure function of (dag_seed, plan) at ANY worker count.
+std::vector<Terminal> run_chaos(std::uint64_t dag_seed,
+                                std::shared_ptr<const FaultPlan> plan,
+                                unsigned threads) {
+  sim::GpuConfig small;
+  small.cu_count = 1;
+  sim::GpuConfig mid;
+  mid.cu_count = 2;
+  sim::GpuConfig big;
+  big.cu_count = 4;
+  ContextOptions options;
+  options.devices = {small, mid, big};
+  options.threads = threads;
+  options.fault_plan = std::move(plan);
+  Context context(std::move(options));
+
+  const auto spin = Context::compile(kSpinSource);
+  const auto step = Context::compile(kStepSource);
+  GPUP_CHECK(spin.ok() && step.ok());
+
+  Rng rng(dag_seed);
+  auto gate = context.create_user_event();
+
+  std::vector<CommandQueue> queues;
+  std::vector<Buffer> buffers;
+  // Buffer commands on one queue are chained through this event even in
+  // out-of-order mode: the step kernel read-modify-writes its buffer, so
+  // unordered buffer commands would make the contents depend on execution
+  // order — exactly the nondeterminism this fuzz exists to rule out
+  // elsewhere.
+  std::vector<Event> last_buffer_op;
+  std::uint64_t next_seq = 1;  // mirrors the context's submission counter
+  for (int q = 0; q < kFuzzQueues; ++q) {
+    QueueOptions qo;
+    qo.device = q % context.device_count();
+    qo.mode = (rng.next_below(2) == 0) ? QueueMode::kInOrder : QueueMode::kOutOfOrder;
+    auto queue = context.create_queue(qo);
+    GPUP_CHECK(queue.ok());
+    queues.push_back(queue.value());
+    auto buffer = queues.back().alloc_words(64);  // synchronous: no seq
+    GPUP_CHECK(buffer.ok());
+    buffers.push_back(buffer.value());
+    last_buffer_op.push_back(queues.back().enqueue_write(
+        buffer.value(), std::vector<std::uint32_t>(64, 1u + q), {gate.event()}));
+    next_seq += 1;
+  }
+
+  struct Pending {
+    Event event;
+    std::uint64_t seq = 0;
+    int device = -1;
+    bool is_kernel = false;
+  };
+  std::vector<Pending> commands;
+  commands.reserve(kFuzzCommands);
+
+  for (int i = 0; i < kFuzzCommands; ++i) {
+    const auto q = rng.next_below(kFuzzQueues);
+    auto& queue = queues[q];
+    const int device = static_cast<int>(q) % context.device_count();
+    std::vector<Event> wait_list = {gate.event()};
+    for (std::uint32_t d = rng.next_below(3); d > 0 && !commands.empty(); --d) {
+      wait_list.push_back(commands[rng.next_below(static_cast<std::uint32_t>(
+                                       commands.size()))].event);
+    }
+    LaunchOptions launch;
+    launch.retry.max_attempts = 1 + static_cast<int>(rng.next_below(3));
+    launch.retry.relocate = true;  // backoff stays 0: no sleeping in the fuzz
+
+    Pending pending;
+    pending.seq = next_seq++;
+    pending.device = device;
+    const auto kind = rng.next_below(10);
+    if (kind < 5) {
+      // Scalar kernel: relocatable on retry.
+      const NdRange range{32u + 32u * rng.next_below(3), 16};
+      pending.event = queue.enqueue_kernel(spin.value(),
+                                           Args().add(1u + rng.next_below(100)), range,
+                                           launch, wait_list);
+      pending.is_kernel = true;
+    } else if (kind < 7) {
+      // Buffer kernel: pinned to its queue's device, chained behind the
+      // previous command touching the buffer.
+      const NdRange range{64, 16};
+      wait_list.push_back(last_buffer_op[q]);
+      pending.event = queue.enqueue_kernel(
+          step.value(),
+          Args().add(64u).add(buffers[q]).add(1u + rng.next_below(9)), range, launch,
+          wait_list);
+      last_buffer_op[q] = pending.event;
+      pending.is_kernel = true;
+    } else if (kind < 8) {
+      // Native host work; a deterministic subset fails.
+      const bool fail = rng.next_below(4) == 0;
+      pending.event = queue.enqueue_native(
+          [fail]() -> Status {
+            if (fail) return Error{"native fault", "chaos"};
+            return {};
+          },
+          wait_list);
+    } else {
+      wait_list.push_back(last_buffer_op[q]);
+      pending.event = queue.enqueue_read(buffers[q], wait_list);
+      last_buffer_op[q] = pending.event;
+    }
+    commands.push_back(std::move(pending));
+  }
+
+  // Cancel a deterministic subset while everything is still gated.
+  for (auto& pending : commands) {
+    if (rng.next_below(10) == 0) (void)pending.event.cancel();
+  }
+
+  gate.complete();
+  context.finish();
+
+  std::vector<Terminal> terminals;
+  terminals.reserve(commands.size());
+  for (const auto& pending : commands) {
+    Terminal terminal;
+    terminal.status = pending.event.status();
+    GPUP_CHECK_MSG(is_terminal(terminal.status),
+                   "finish() left a command non-terminal");
+    terminal.code = terminal.status == EventStatus::kComplete
+                        ? ErrorCode::kUnknown
+                        : pending.event.error().code;
+    if (pending.is_kernel && terminal.status == EventStatus::kComplete) {
+      terminal.cycles = pending.event.stats().cycles;
+    }
+    for (const auto word : pending.event.data()) terminal.data_sum += word;
+    terminal.seq = pending.seq;
+    terminal.bound_device = pending.device;
+    terminal.is_kernel = pending.is_kernel;
+    terminals.push_back(terminal);
+  }
+
+  // No-leak invariant: every gauge reads zero pending work after finish().
+  const auto gauges = context.gauges();
+  EXPECT_EQ(gauges.inflight_cycles, 0u);
+  EXPECT_EQ(gauges.admission_pending, 0u);
+  EXPECT_EQ(gauges.unsettled_commands, 0u);
+  return terminals;
+}
+
+TEST(ChaosFuzz, TerminalVectorIsIdenticalAcrossWorkerCounts) {
+  FaultSpec spec;
+  spec.trap_rate = 0.15;
+  spec.stall_rate = 0.2;
+  spec.stall_cycles = 777;
+  spec.device_loss_rate = 0.2;
+  spec.device_loss_window = 8;
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const std::uint64_t pairs[][2] = {{11, 101}, {22, 202}, {33, 303}};
+  for (const auto& pair : pairs) {
+    SCOPED_TRACE("dag_seed=" + std::to_string(pair[0]) +
+                 " fault_seed=" + std::to_string(pair[1]));
+    const auto plan = std::make_shared<const FaultPlan>(pair[1], spec);
+    const auto t1 = run_chaos(pair[0], plan, 1);
+    const auto t4 = run_chaos(pair[0], plan, 4);
+    const auto thw = run_chaos(pair[0], plan, hw);
+    ASSERT_EQ(t1.size(), t4.size());
+    ASSERT_EQ(t1.size(), thw.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      EXPECT_TRUE(t1[i] == t4[i]) << "command " << i << " (seq " << t1[i].seq
+                                  << ") diverged between 1 and 4 workers: "
+                                  << to_string(t1[i].status) << " vs "
+                                  << to_string(t4[i].status);
+      EXPECT_TRUE(t1[i] == thw[i]) << "command " << i << " (seq " << t1[i].seq
+                                   << ") diverged between 1 and " << hw << " workers";
+    }
+    // The chaos actually bit: some commands completed, some did not.
+    int completed = 0;
+    for (const auto& terminal : t1) {
+      completed += terminal.status == EventStatus::kComplete ? 1 : 0;
+    }
+    EXPECT_GT(completed, 0);
+    EXPECT_LT(completed, static_cast<int>(t1.size()));
+  }
+}
+
+TEST(ChaosFuzz, NonFaultedLaunchesMatchFaultFreeRunBitForBit) {
+  FaultSpec spec;
+  spec.trap_rate = 0.15;
+  spec.stall_rate = 0.2;
+  spec.stall_cycles = 777;
+  spec.device_loss_rate = 0.2;
+  spec.device_loss_window = 8;
+  const FaultPlan probe(909, spec);
+  const auto faulted =
+      run_chaos(77, std::make_shared<const FaultPlan>(909, spec), 4);
+  const auto clean = run_chaos(77, nullptr, 4);
+  ASSERT_EQ(faulted.size(), clean.size());
+
+  int compared = 0;
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    const auto& f = faulted[i];
+    const auto& c = clean[i];
+    if (!f.is_kernel || f.status != EventStatus::kComplete ||
+        c.status != EventStatus::kComplete) {
+      continue;
+    }
+    // "Non-faulted" = the plan injected nothing into the command's first
+    // attempt on its bound device, so it ran exactly as in the clean run.
+    if (probe.should_trap(f.seq, 0) || probe.stall_cycles(f.seq, 0) != 0 ||
+        probe.device_down(f.bound_device, f.seq)) {
+      continue;
+    }
+    EXPECT_EQ(f.cycles, c.cycles)
+        << "non-faulted launch at seq " << f.seq << " drifted under chaos";
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "the comparison set must not be vacuous";
+}
+
+}  // namespace
+}  // namespace gpup::rt

@@ -11,6 +11,8 @@
 #include "src/rt/runtime.hpp"
 #include "src/sim/cost_model.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup {
 namespace {
 
@@ -192,7 +194,7 @@ done:
   std::uint64_t measured = 0;
   for (int launch = 0; launch < 8; ++launch) {
     const auto kernel = queue.enqueue_kernel(program.value(), args, {1024, 256});
-    ASSERT_TRUE(kernel.wait()) << kernel.error().to_string();
+    ASSERT_TRUE(wait_bounded(kernel)) << kernel.error().to_string();
     measured = kernel.stats().cycles;
   }
   const double predicted =

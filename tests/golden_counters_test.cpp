@@ -18,6 +18,8 @@
 #include "src/rt/runtime.hpp"
 #include "tests/expect_counters.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup::sim {
 namespace {
 
@@ -164,7 +166,7 @@ LaunchStats run_case(const Case& c) {
   }
   const rt::Event kernel =
       queue.enqueue_kernel(program.value(), args.words(), {c.n, c.wg_size});
-  GPUP_CHECK_MSG(kernel.wait(), kernel.error().to_string());
+  GPUP_CHECK_MSG(wait_bounded(kernel), kernel.error().to_string());
   return kernel.stats();
 }
 
@@ -351,7 +353,7 @@ TEST(GoldenCounters, RetWithUnreadLoadInFlight) {
     rt::Buffer buffer = queue.alloc_words(128).value();
     const rt::Event kernel =
         queue.enqueue_kernel(program.value(), rt::Args().add(buffer).words(), {128, 64});
-    GPUP_CHECK_MSG(kernel.wait(), kernel.error().to_string());
+    GPUP_CHECK_MSG(wait_bounded(kernel), kernel.error().to_string());
     const auto stats = kernel.stats();
     EXPECT_GT(stats.cycles, 0u);
     EXPECT_EQ(stats.counters.loads, 2u);  // both wavefronts issued the load

@@ -10,6 +10,8 @@
 #include "src/plan/report.hpp"
 #include "src/util/rng.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup {
 namespace {
 
@@ -127,7 +129,7 @@ done:
   const auto kernel = queue.enqueue_kernel(
       program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(), {n, 256});
   const auto read = queue.enqueue_read(buf_out);
-  ASSERT_TRUE(read.wait()) << read.error().to_string();
+  ASSERT_TRUE(wait_bounded(read)) << read.error().to_string();
   const auto stats = kernel.stats();
   const auto& out = read.data();
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -6,6 +6,8 @@
 #include "src/kern/benchmark.hpp"
 #include "src/util/rng.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup {
 namespace {
 
@@ -62,7 +64,7 @@ done:
       program.value(), rt::Args().add(n).add(buf_a).add(buf_b).add(buf_out).words(),
       {n, geometry.wg_size});
   const auto read = queue.enqueue_read(buf_out);
-  ASSERT_TRUE(read.wait()) << read.error().to_string();
+  ASSERT_TRUE(wait_bounded(read)) << read.error().to_string();
   EXPECT_GT(kernel.stats().cycles, 0u);
 
   const auto& out = read.data();

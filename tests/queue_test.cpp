@@ -10,6 +10,8 @@
 #include "src/rt/runtime.hpp"
 #include "src/util/rng.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup::rt {
 namespace {
 
@@ -102,7 +104,7 @@ StressResult run_stress(unsigned threads) {
 
   StressResult result;
   for (int q = 0; q < kQueues; ++q) {
-    EXPECT_TRUE(reads[static_cast<std::size_t>(q)].wait());
+    EXPECT_TRUE(wait_bounded(reads[static_cast<std::size_t>(q)]));
     result.outputs.push_back(reads[static_cast<std::size_t>(q)].data());
     std::vector<std::uint64_t> cycles;
     for (const auto& kernel : kernels[static_cast<std::size_t>(q)]) {
@@ -150,7 +152,7 @@ TEST(QueueFailure, ArgCountMismatchFailsEvent) {
 
   const auto kernel =
       queue.enqueue_kernel(program.value(), Args().add(kN).words(), {kN, 64});
-  EXPECT_FALSE(kernel.wait());
+  EXPECT_FALSE(wait_bounded(kernel));
   EXPECT_EQ(kernel.status(), EventStatus::kFailed);
   EXPECT_NE(kernel.error().to_string().find("argument"), std::string::npos);
 }
@@ -165,8 +167,8 @@ TEST(QueueFailure, BadGeometryFailsEvent) {
   // would turn the second error into a dependency error.
   auto queue_2 = context.create_queue();
   const auto huge_wg = queue_2.enqueue_kernel(program.value(), {}, {64, 4096});
-  EXPECT_FALSE(empty_range.wait());
-  EXPECT_FALSE(huge_wg.wait());
+  EXPECT_FALSE(wait_bounded(empty_range));
+  EXPECT_FALSE(wait_bounded(huge_wg));
   EXPECT_NE(huge_wg.error().to_string().find("work-group"), std::string::npos);
 }
 
@@ -182,7 +184,7 @@ TEST(QueueFailure, RuntimeTrapFailsEventNotProcess) {
 )");
   ASSERT_TRUE(program.ok());
   const auto kernel = queue.enqueue_kernel(program.value(), {}, {1, 1});
-  EXPECT_FALSE(kernel.wait());
+  EXPECT_FALSE(wait_bounded(kernel));
   EXPECT_EQ(kernel.status(), EventStatus::kFailed);
 }
 
@@ -204,9 +206,9 @@ TEST(QueueFailure, DependencyFailurePropagatesThroughQueueAndWaitList) {
   ASSERT_TRUE(buffer_b.ok());
   const auto dependent = queue_b.enqueue_read(buffer_b.value(), {bad});
 
-  EXPECT_FALSE(bad.wait());
-  EXPECT_FALSE(chained.wait());
-  EXPECT_FALSE(dependent.wait());
+  EXPECT_FALSE(wait_bounded(bad));
+  EXPECT_FALSE(wait_bounded(chained));
+  EXPECT_FALSE(wait_bounded(dependent));
   EXPECT_NE(chained.error().to_string().find("dependency failed"), std::string::npos);
   EXPECT_NE(dependent.error().to_string().find("dependency failed"), std::string::npos);
   EXPECT_FALSE(queue_a.finish());
@@ -219,7 +221,7 @@ TEST(QueueFailure, DependencyFailurePropagatesThroughQueueAndWaitList) {
   ASSERT_TRUE(buffer_c.ok());
   queue_c.enqueue_write(buffer_c.value(), std::vector<std::uint32_t>{1, 2, 3, 4});
   const auto read = queue_c.enqueue_read(buffer_c.value());
-  ASSERT_TRUE(read.wait());
+  ASSERT_TRUE(wait_bounded(read));
   EXPECT_EQ(read.data(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
   EXPECT_TRUE(queue_c.finish());
 }
@@ -245,7 +247,7 @@ TEST(QueueFailure, NullEventInWaitListFailsDependent) {
   const auto buffer = queue.alloc_words(4);
   ASSERT_TRUE(buffer.ok());
   const auto read = queue.enqueue_read(buffer.value(), {Event{}});
-  EXPECT_FALSE(read.wait());
+  EXPECT_FALSE(wait_bounded(read));
   EXPECT_NE(read.error().to_string().find("null event"), std::string::npos);
 }
 
@@ -269,7 +271,7 @@ TEST(QueueFailure, CrossContextWaitListDrainsSafely) {
     queue_b.enqueue_write(buffer_b.value(), std::vector<std::uint32_t>{1, 2, 3, 4});
     read_b = queue_b.enqueue_read(buffer_b.value(), {write_a});
   }  // ~Context waits for read_b even though its dependency is foreign
-  EXPECT_TRUE(read_b.wait());
+  EXPECT_TRUE(wait_bounded(read_b));
   EXPECT_EQ(read_b.data(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
 }
 
@@ -280,7 +282,7 @@ TEST(QueueFailure, CrossDeviceBufferRejected) {
   const auto buffer = queue_0.alloc_words(8);
   ASSERT_TRUE(buffer.ok());
   const auto write = queue_1.enqueue_write(buffer.value(), std::vector<std::uint32_t>(8, 0));
-  EXPECT_FALSE(write.wait());
+  EXPECT_FALSE(wait_bounded(write));
   EXPECT_NE(write.error().to_string().find("device"), std::string::npos);
 }
 

@@ -6,6 +6,8 @@
 
 #include "src/rt/runtime.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup::rt {
 namespace {
 
@@ -32,7 +34,7 @@ TEST(Runtime, BufferRoundTrip) {
   for (std::uint32_t i = 0; i < 16; ++i) data[i] = i * i;
   queue.enqueue_write(buffer.value(), data);
   const auto read = queue.enqueue_read(buffer.value());
-  ASSERT_TRUE(read.wait());
+  ASSERT_TRUE(wait_bounded(read));
   EXPECT_EQ(read.status(), EventStatus::kComplete);
   EXPECT_EQ(read.data(), data);
 }
@@ -69,7 +71,7 @@ TEST(Runtime, EndToEndLaunch) {
   const auto kernel = queue.enqueue_kernel(
       program.value(), Args().add(n).add(buffer.value()).words(), {n, 256});
   const auto read = queue.enqueue_read(buffer.value());
-  ASSERT_TRUE(read.wait());
+  ASSERT_TRUE(wait_bounded(read));
   EXPECT_EQ(kernel.stats().cycles, kernel.stats().counters.cycles);
   EXPECT_GT(kernel.stats().cycles, 0u);
   EXPECT_EQ(kernel.stats().global_size, n);
@@ -91,7 +93,7 @@ TEST(Runtime, LaunchStatsMatchDirectGpuLaunch) {
   ASSERT_TRUE(buffer.ok());
   const auto kernel = queue.enqueue_kernel(
       program.value(), Args().add(n).add(buffer.value()).words(), {n, 256});
-  ASSERT_TRUE(kernel.wait());
+  ASSERT_TRUE(wait_bounded(kernel));
 
   sim::Gpu gpu(sim::GpuConfig{});
   const std::uint32_t addr = gpu.alloc(n * 4);
@@ -144,7 +146,7 @@ TEST(Runtime, WriteBeyondBufferFailsEvent) {
   const auto buffer = queue.alloc_words(2);
   ASSERT_TRUE(buffer.ok());
   const auto write = queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(3, 0));
-  EXPECT_FALSE(write.wait());
+  EXPECT_FALSE(wait_bounded(write));
   EXPECT_EQ(write.status(), EventStatus::kFailed);
   EXPECT_NE(write.error().to_string().find("overflows"), std::string::npos);
 }
@@ -152,7 +154,7 @@ TEST(Runtime, WriteBeyondBufferFailsEvent) {
 TEST(Runtime, NullEventIsFailed) {
   Event event;
   EXPECT_FALSE(event.valid());
-  EXPECT_FALSE(event.wait());
+  EXPECT_FALSE(wait_bounded(event));
   EXPECT_EQ(event.status(), EventStatus::kFailed);
   EXPECT_TRUE(event.data().empty());
 }

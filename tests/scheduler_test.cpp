@@ -17,6 +17,8 @@
 #include "src/rt/runtime.hpp"
 #include "src/util/rng.hpp"
 
+#include "tests/bounded_wait.hpp"
+
 namespace gpup::rt {
 namespace {
 
@@ -266,7 +268,7 @@ done:
     queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(n, 3));
     const auto kernel = queue.enqueue_kernel(
         program.value(), Args().add(n).add(buffer.value()).words(), {n, 64});
-    ASSERT_TRUE(kernel.wait());
+    ASSERT_TRUE(wait_bounded(kernel));
     cycles[run] = kernel.stats().cycles;
   }
   EXPECT_LT(cycles[1], cycles[0]) << "4-CU device should finish in fewer cycles than 1-CU";
@@ -349,7 +351,7 @@ TEST(SchedulerPlacement, InFlightLoadSteersPlacementAndSettles) {
       << "device 0 holds an in-flight reservation";
 
   gate.complete();
-  ASSERT_TRUE(kernel.wait());
+  ASSERT_TRUE(wait_bounded(kernel));
   ASSERT_TRUE(context.finish());
 
   auto after_settle = context.create_queue(hinted);
@@ -378,7 +380,7 @@ TEST(SchedulerPlacement, QueueTeardownUnbindsAndRebalances) {
     EXPECT_EQ(queue.device_index(), 1) << "round " << round
                                        << ": dead queues still count as load";
     const auto ran = queue.enqueue_native([]() -> Status { return {}; });
-    ASSERT_TRUE(ran.wait());
+    ASSERT_TRUE(wait_bounded(ran));
   }  // handles drop here; the next create_queue prunes the dead queue
 }
 
@@ -425,7 +427,7 @@ done:
         {previous});
   }
   const auto read = queue.enqueue_read(buffer.value(), {previous});
-  ASSERT_TRUE(read.wait());
+  ASSERT_TRUE(wait_bounded(read));
   std::uint32_t want = 1;
   for (std::uint32_t s = 0; s < 5; ++s) want = want * 3 + (s + 1);
   for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(read.data()[i], want) << i;
@@ -447,15 +449,15 @@ TEST(OutOfOrderQueue, FailureDoesNotPoisonIndependentCommands) {
   const auto dependent = queue.enqueue_native([]() -> Status { return {}; }, {failed});
   const auto independent = queue.enqueue_native([]() -> Status { return {}; });
 
-  EXPECT_FALSE(failed.wait());
-  EXPECT_FALSE(dependent.wait());
+  EXPECT_FALSE(wait_bounded(failed));
+  EXPECT_FALSE(wait_bounded(dependent));
   EXPECT_NE(dependent.error().to_string().find("dependency failed"), std::string::npos);
-  EXPECT_TRUE(independent.wait()) << "out-of-order: unrelated command must still run";
+  EXPECT_TRUE(wait_bounded(independent)) << "out-of-order: unrelated command must still run";
   EXPECT_FALSE(queue.finish());  // a failure anywhere still fails finish()
 
   // ...and later independent commands still run on the same queue.
   const auto after = queue.enqueue_native([]() -> Status { return {}; });
-  EXPECT_TRUE(after.wait());
+  EXPECT_TRUE(wait_bounded(after));
 }
 
 // Randomized layered-DAG failure-cascade stress (the satellite): W x L
@@ -544,7 +546,7 @@ CascadeOutcome run_cascade(unsigned threads, std::uint64_t seed,
   CascadeOutcome outcome;
   for (int node = 0; node < kNodes; ++node) {
     const auto& event = events[static_cast<std::size_t>(node)];
-    (void)event.wait();
+    (void)wait_bounded(event);
     outcome.status.push_back(event.status() == EventStatus::kFailed ? 1 : 0);
     outcome.executed.push_back((*executed)[static_cast<std::size_t>(node)].load());
   }
@@ -706,7 +708,7 @@ done:
     const auto read = queues[static_cast<std::size_t>(q)].enqueue_read(
         buffers[static_cast<std::size_t>(q)],
         {kernels[static_cast<std::size_t>(q)].back()});
-    EXPECT_TRUE(read.wait());
+    EXPECT_TRUE(wait_bounded(read));
     result.outputs.push_back(read.data());
     std::vector<std::uint64_t> cycles;
     for (const auto& kernel : kernels[static_cast<std::size_t>(q)]) {
@@ -755,7 +757,7 @@ TEST(UserEvents, GateHoldsCommandsUntilComplete) {
   EXPECT_EQ(gated.status(), EventStatus::kQueued);
   EXPECT_EQ(ran.load(), 0);
   gate.complete();
-  EXPECT_TRUE(gated.wait());
+  EXPECT_TRUE(wait_bounded(gated));
   EXPECT_EQ(ran.load(), 1);
   gate.complete();  // idempotent
   EXPECT_EQ(gate.event().status(), EventStatus::kComplete);
@@ -773,7 +775,7 @@ TEST(UserEvents, FailCascadesToDependents) {
       },
       {gate.event()});
   gate.fail(Error{"aborted by host", "test"});
-  EXPECT_FALSE(gated.wait());
+  EXPECT_FALSE(wait_bounded(gated));
   EXPECT_EQ(ran.load(), 0) << "body of a dependency-failed command must not run";
   EXPECT_NE(gated.error().to_string().find("dependency failed"), std::string::npos);
 }
@@ -795,11 +797,11 @@ TEST(AffinityCache, SharedUploadReusedAcrossQueuesOnOneDevice) {
   ASSERT_TRUE(up_b.ok());
   EXPECT_EQ(up_a.value().buffer.addr, up_b.value().buffer.addr)
       << "same key on the same device must reuse the uploaded buffer";
-  ASSERT_TRUE(up_b.value().ready.wait());
+  ASSERT_TRUE(wait_bounded(up_b.value().ready));
 
   // The shared buffer really carries the data for a foreign queue's read.
   const auto read = queue_b.enqueue_read(up_b.value().buffer, {up_b.value().ready});
-  ASSERT_TRUE(read.wait());
+  ASSERT_TRUE(wait_bounded(read));
   EXPECT_EQ(read.data(), input);
 
   // Distinct content, distinct key, distinct buffer.
@@ -835,8 +837,8 @@ TEST(AffinityCache, CollidingKeysDoNotServeForeignContents) {
   const auto read_first = queue.enqueue_read(up_first.value().buffer, {up_first.value().ready});
   const auto read_second =
       queue.enqueue_read(up_second.value().buffer, {up_second.value().ready});
-  ASSERT_TRUE(read_first.wait());
-  ASSERT_TRUE(read_second.wait());
+  ASSERT_TRUE(wait_bounded(read_first));
+  ASSERT_TRUE(wait_bounded(read_second));
   EXPECT_EQ(read_first.data(), first);
   EXPECT_EQ(read_second.data(), second);
 
@@ -865,8 +867,8 @@ TEST(AffinityCache, SeparateDevicesUploadSeparately) {
   ASSERT_TRUE(up_0.ok());
   ASSERT_TRUE(up_1.ok());
   EXPECT_NE(up_0.value().buffer.device, up_1.value().buffer.device);
-  ASSERT_TRUE(up_0.value().ready.wait());
-  ASSERT_TRUE(up_1.value().ready.wait());
+  ASSERT_TRUE(wait_bounded(up_0.value().ready));
+  ASSERT_TRUE(wait_bounded(up_1.value().ready));
 }
 
 }  // namespace

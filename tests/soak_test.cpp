@@ -1,0 +1,241 @@
+// Soak test (tier-2): long-running submit/complete/cancel churn against a
+// fault plan that periodically takes devices down, with admission control
+// shedding the deepest bursts. The invariant under test is leak-freedom:
+// after every round the context's gauges — device in-flight cycles,
+// admission pending slots, unsettled graph nodes, live queue bindings,
+// affinity-cache entries — must return to their settled values, for as
+// long as the test runs.
+//
+// Runs ~2 seconds by default so the tier-1 suite stays fast; CI's
+// sanitizer job stretches it with GPUP_SOAK_SECONDS=60.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rt/runtime.hpp"
+#include "src/util/rng.hpp"
+
+#include "tests/bounded_wait.hpp"
+
+namespace gpup::rt {
+namespace {
+
+constexpr const char* kSpinSource = R"(.kernel spin
+  tid   r1
+  param r2, 0
+  add   r3, r1, r2
+  mul   r3, r3, r2
+  addi  r3, r3, 7
+  ret
+)";
+
+constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+std::chrono::seconds soak_duration() {
+  if (const char* env = std::getenv("GPUP_SOAK_SECONDS")) {
+    const long seconds = std::strtol(env, nullptr, 10);
+    if (seconds > 0) return std::chrono::seconds(seconds);
+  }
+  return std::chrono::seconds(2);
+}
+
+TEST(Soak, ChurnUnderChaosLeaksNothing) {
+  FaultSpec spec;
+  spec.trap_rate = 0.05;
+  spec.stall_rate = 0.05;
+  spec.stall_cycles = 500;
+  spec.alloc_fail_rate = 0.02;
+  spec.device_loss_rate = 0.1;
+  spec.device_loss_window = 32;
+
+  sim::GpuConfig small;
+  small.cu_count = 1;
+  sim::GpuConfig mid;
+  mid.cu_count = 2;
+  sim::GpuConfig big;
+  big.cu_count = 4;
+  ContextOptions options;
+  options.devices = {small, mid, big};
+  options.fault_plan = std::make_shared<FaultPlan>(0x50a4, spec);
+  options.admission.max_pending_per_tenant = 24;  // bursts of ~40: sheds
+  HealthPolicy health;
+  health.window = 8;
+  health.min_samples = 4;
+  health.probe_interval = 4;
+  options.health = health;
+  Context context(std::move(options));
+
+  const auto spin = Context::compile(kSpinSource);
+  const auto step = Context::compile(kStepSource);
+  ASSERT_TRUE(spin.ok());
+  ASSERT_TRUE(step.ok());
+
+  // Affinity-cache payloads: a fixed key set, so cache growth is bounded
+  // by keys x devices no matter how many rounds run.
+  constexpr std::uint64_t kSharedKeys = 4;
+  std::vector<std::vector<std::uint32_t>> shared_payloads;
+  for (std::uint64_t key = 0; key < kSharedKeys; ++key) {
+    shared_payloads.emplace_back(32, static_cast<std::uint32_t>(0xbeef00 + key));
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + soak_duration();
+  std::uint64_t rounds = 0;
+  std::uint64_t commands_total = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t quarantine_sightings = 0;
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    Rng rng(0x5eed + rounds);
+    {
+      // Queue churn: two pinned queues, two placed (placement exercises
+      // the quarantine skip/probe path as injected device loss trips
+      // breakers), all dropped at scope exit.
+      std::vector<CommandQueue> queues;
+      queues.push_back(context.create_queue(0));
+      queues.push_back(context.create_queue(1));
+      for (int q = 0; q < 2; ++q) {
+        QueueOptions qo;
+        qo.mode = (rng.next_below(2) == 0) ? QueueMode::kInOrder : QueueMode::kOutOfOrder;
+        qo.require.min_cu_count = q == 0 ? 2 : 0;
+        auto placed = context.create_queue(qo);
+        ASSERT_TRUE(placed.ok());
+        queues.push_back(placed.value());
+      }
+
+      auto gate = context.create_user_event();
+      std::vector<Event> events;
+
+      // One shared upload per queue per round: cache hits after round 1.
+      for (auto& queue : queues) {
+        const auto key = rng.next_below(kSharedKeys);
+        auto upload = queue.upload_shared(0xcafe + key, shared_payloads[key]);
+        if (upload.ok()) events.push_back(upload.value().ready);
+      }
+
+      // Per-queue scratch buffers; injected alloc failures just skip the
+      // buffer work that round (the kOom path is part of the churn).
+      std::vector<Buffer> buffers(queues.size());
+      std::vector<bool> has_buffer(queues.size(), false);
+      std::vector<Event> buffer_chain(queues.size());
+      for (std::size_t q = 0; q < queues.size(); ++q) {
+        auto buffer = queues[q].alloc_words(64);
+        if (!buffer.ok()) {
+          EXPECT_EQ(buffer.error().code, ErrorCode::kOom);
+          continue;
+        }
+        buffers[q] = buffer.value();
+        has_buffer[q] = true;
+        buffer_chain[q] = queues[q].enqueue_write(
+            buffers[q], std::vector<std::uint32_t>(64, 1), {gate.event()});
+        events.push_back(buffer_chain[q]);
+      }
+
+      constexpr int kCommandsPerRound = 40;
+      for (int i = 0; i < kCommandsPerRound; ++i) {
+        const auto q = rng.next_below(static_cast<std::uint32_t>(queues.size()));
+        auto& queue = queues[q];
+        std::vector<Event> wait_list = {gate.event()};
+        if (!events.empty() && rng.next_below(2) == 0) {
+          wait_list.push_back(events[rng.next_below(
+              static_cast<std::uint32_t>(events.size()))]);
+        }
+        LaunchOptions launch;
+        launch.retry.max_attempts = 1 + static_cast<int>(rng.next_below(3));
+        const auto kind = rng.next_below(10);
+        Event event;
+        if (kind < 6 || !has_buffer[q]) {
+          event = queue.enqueue_kernel(spin.value(), Args().add(1u + rng.next_below(50)),
+                                       {32u + 32u * rng.next_below(2), 16}, launch,
+                                       wait_list);
+        } else if (kind < 8) {
+          wait_list.push_back(buffer_chain[q]);
+          event = queue.enqueue_kernel(
+              step.value(), Args().add(64u).add(buffers[q]).add(1u + rng.next_below(9)),
+              {64, 16}, launch, wait_list);
+          buffer_chain[q] = event;
+        } else if (kind < 9) {
+          wait_list.push_back(buffer_chain[q]);
+          event = queue.enqueue_read(buffers[q], wait_list);
+          buffer_chain[q] = event;
+        } else {
+          event = queue.enqueue_native([] { return Status{}; }, wait_list);
+        }
+        events.push_back(std::move(event));
+      }
+
+      // Cancel a slice of the gated work, then release the rest.
+      for (auto& event : events) {
+        if (rng.next_below(10) == 0) (void)event.cancel();
+      }
+      gate.complete();
+      context.finish();
+
+      commands_total += events.size();
+      for (const auto& event : events) {
+        const auto status = event.status();
+        ASSERT_TRUE(is_terminal(status)) << "round " << rounds
+                                         << " left a command unsettled";
+        completed += status == EventStatus::kComplete ? 1 : 0;
+        cancelled += status == EventStatus::kCancelled ? 1 : 0;
+        failed += status == EventStatus::kFailed ? 1 : 0;
+      }
+      for (int d = 0; d < context.device_count(); ++d) {
+        quarantine_sightings += context.device_quarantined(d) ? 1 : 0;
+      }
+    }
+
+    // Queue handles are gone; this finish() prunes the dead queues, after
+    // which every gauge must be back to its settled value.
+    context.finish();
+    const auto gauges = context.gauges();
+    ASSERT_EQ(gauges.inflight_cycles, 0u) << "round " << rounds;
+    ASSERT_EQ(gauges.admission_pending, 0u) << "round " << rounds;
+    ASSERT_EQ(gauges.unsettled_commands, 0u) << "round " << rounds;
+    ASSERT_EQ(gauges.live_queues, 0) << "round " << rounds
+                                     << ": dead queues were not pruned";
+    ASSERT_LE(gauges.affinity_cache_entries,
+              kSharedKeys * static_cast<std::size_t>(context.device_count()))
+        << "round " << rounds << ": affinity cache grew past the key set";
+    ++rounds;
+  }
+
+  EXPECT_GE(rounds, 1u);
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(failed, 0u) << "the fault plan never bit: raise the rates?";
+  EXPECT_GT(cancelled, 0u);
+  RecordProperty("rounds", static_cast<int>(rounds));
+  std::printf("soak: %llu rounds, %llu commands (%llu complete / %llu failed / "
+              "%llu cancelled), %llu shed, %llu quarantine sightings\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(commands_total),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(cancelled),
+              static_cast<unsigned long long>(context.admission_rejected()),
+              static_cast<unsigned long long>(quarantine_sightings));
+}
+
+}  // namespace
+}  // namespace gpup::rt
