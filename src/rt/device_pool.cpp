@@ -51,6 +51,8 @@ DevicePool::DevicePool(std::vector<sim::GpuConfig> configs, PlacementPolicy poli
   for (const auto& config : configs) {
     devices_.push_back(std::make_unique<Device>(config));
   }
+  util::MutexLock lock(bind_mutex_);
+  bound_.assign(devices_.size(), 0);
 }
 
 std::size_t DevicePool::checked(int index) const {
@@ -58,10 +60,21 @@ std::size_t DevicePool::checked(int index) const {
   return static_cast<std::size_t>(index);
 }
 
+void DevicePool::bind(int index) {
+  util::MutexLock lock(bind_mutex_);
+  bound_[checked(index)] += 1;
+}
+
 void DevicePool::unbind(int index) {
-  auto& device = *devices_[checked(index)];
-  GPUP_CHECK_MSG(device.bound_queues > 0, "unbind without a matching bind");
-  device.bound_queues -= 1;
+  util::MutexLock lock(bind_mutex_);
+  auto& count = bound_[checked(index)];
+  GPUP_CHECK_MSG(count > 0, "unbind without a matching bind");
+  count -= 1;
+}
+
+int DevicePool::bound_queues(int index) const {
+  util::MutexLock lock(bind_mutex_);
+  return bound_[checked(index)];
 }
 
 Result<int> DevicePool::place(const DeviceRequirements& require,
@@ -77,6 +90,10 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
   int best = -1;
   double best_score = 0.0;
   bool best_quarantined = false;
+  // One lock over the whole scan: bind_mutex_ is a leaf, the pool is
+  // small, and per-candidate locking would let the tie-break compare
+  // counts from different instants.
+  util::MutexLock bind_lock(bind_mutex_);
   for (int i = 0; i < size(); ++i) {
     const auto& device = *devices_[static_cast<std::size_t>(i)];
     if (!require.matches(device.gpu.config())) continue;
@@ -105,8 +122,8 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
         best < 0 || (best_quarantined && !sick) ||
         (best_quarantined == sick &&
          (score < best_score ||
-          (score == best_score &&
-           device.bound_queues < devices_[static_cast<std::size_t>(best)]->bound_queues)));
+          (score == best_score && bound_[static_cast<std::size_t>(i)] <
+                                      bound_[static_cast<std::size_t>(best)])));
     if (better) {
       best = i;
       best_score = score;
@@ -123,7 +140,7 @@ Result<int> DevicePool::place(const DeviceRequirements& require,
 
 void DevicePool::record_launch_outcome(int index, bool ok, bool device_fatal) {
   auto& device = *devices_[checked(index)];
-  std::lock_guard<std::mutex> lock(device.health_mutex);
+  util::MutexLock lock(device.health_mutex);
   if (ok) {
     if (device.quarantined.load(std::memory_order_relaxed)) {
       // Probe succeeded: readmit with a clean slate so one stale window
@@ -162,8 +179,9 @@ void DevicePool::record_launch_outcome(int index, bool ok, bool device_fatal) {
 
 std::size_t DevicePool::cache_entries(int index) const {
   const auto& device = *devices_[checked(index)];
-  std::lock_guard<std::mutex> lock(device.cache_mutex);
+  util::MutexLock lock(device.cache_mutex);
   std::size_t total = 0;
+  // gpup-lint: allow(unordered-iter) order-independent sum over the cache chains
   for (const auto& [key, chain] : device.cache) total += chain.size();
   return total;
 }
@@ -172,7 +190,7 @@ Result<DevicePool::CachedUpload> DevicePool::find_or_upload(
     int index, std::uint64_t key, std::span<const std::uint32_t> words,
     const std::function<Result<CachedUpload>()>& make) {
   auto& device = *devices_[checked(index)];
-  std::lock_guard<std::mutex> lock(device.cache_mutex);
+  util::MutexLock lock(device.cache_mutex);
   if (const auto it = device.cache.find(key); it != device.cache.end()) {
     for (const CacheEntry& entry : it->second) {
       if (entry.words.size() == words.size() &&

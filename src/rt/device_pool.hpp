@@ -44,13 +44,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/sim/gpu.hpp"
+#include "src/util/annotated_mutex.hpp"
 #include "src/util/status.hpp"
 
 namespace gpup::rt {
@@ -128,9 +128,9 @@ class DevicePool {
 
   /// Serializes launches/copies on the device (a launch holds the device
   /// exclusively, like real hardware).
-  [[nodiscard]] std::mutex& exec_mutex(int index) { return devices_[checked(index)]->exec; }
+  [[nodiscard]] util::Mutex& exec_mutex(int index) { return devices_[checked(index)]->exec; }
   /// Serializes synchronous allocation.
-  [[nodiscard]] std::mutex& alloc_mutex(int index) { return devices_[checked(index)]->alloc; }
+  [[nodiscard]] util::Mutex& alloc_mutex(int index) { return devices_[checked(index)]->alloc; }
 
   /// Pick a device for a new queue. `predicted_cycles`, when non-empty,
   /// holds the caller's per-device cost-model prediction for the queue's
@@ -139,15 +139,14 @@ class DevicePool {
   /// scores on in-flight load alone. Error listing the unmet requirements
   /// when nothing matches.
   [[nodiscard]] Result<int> place(const DeviceRequirements& require,
-                                  const std::vector<double>& predicted_cycles = {}) const;
+                                  const std::vector<double>& predicted_cycles = {}) const
+      GPUP_EXCLUDES(bind_mutex_);
 
   /// Account a queue binding (one per created queue; released by unbind
   /// when the Context prunes the dead queue).
-  void bind(int index) { devices_[checked(index)]->bound_queues += 1; }
-  void unbind(int index);
-  [[nodiscard]] int bound_queues(int index) const {
-    return devices_[checked(index)]->bound_queues;
-  }
+  void bind(int index) GPUP_EXCLUDES(bind_mutex_);
+  void unbind(int index) GPUP_EXCLUDES(bind_mutex_);
+  [[nodiscard]] int bound_queues(int index) const GPUP_EXCLUDES(bind_mutex_);
 
   // ---- in-flight load gauge -------------------------------------------
   /// Reserve a dispatched kernel's predicted cycles on its device; the
@@ -215,21 +214,22 @@ class DevicePool {
   struct Device {
     explicit Device(const sim::GpuConfig& config) : gpu(config) {}
     sim::Gpu gpu;
-    std::mutex exec;
-    std::mutex alloc;
-    int bound_queues = 0;  ///< guarded by the Context's queues mutex
+    util::Mutex exec;
+    util::Mutex alloc;
     std::atomic<std::uint64_t> inflight_cycles{0};  ///< predicted, unsettled
     // Health: the flag is read lock-free on the placement path; the
     // outcome window behind it is guarded by health_mutex.
     std::atomic<bool> quarantined{false};
     mutable std::atomic<std::uint32_t> quarantine_skips{0};  ///< placements skipped
-    mutable std::mutex health_mutex;
-    std::vector<char> outcomes;     ///< ring of recent attempts (1 = failed)
-    std::size_t outcome_next = 0;
-    std::uint32_t outcome_fails = 0;
-    mutable std::mutex cache_mutex;
+    mutable util::Mutex health_mutex;
+    /// Ring of recent attempts (1 = failed).
+    std::vector<char> outcomes GPUP_GUARDED_BY(health_mutex);
+    std::size_t outcome_next GPUP_GUARDED_BY(health_mutex) = 0;
+    std::uint32_t outcome_fails GPUP_GUARDED_BY(health_mutex) = 0;
+    mutable util::Mutex cache_mutex;
     /// Key -> every distinct content uploaded under it (collisions chain).
-    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache;
+    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache
+        GPUP_GUARDED_BY(cache_mutex);
   };
 
   [[nodiscard]] std::size_t checked(int index) const;
@@ -237,6 +237,14 @@ class DevicePool {
   PlacementPolicy policy_;
   HealthPolicy health_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // Queue-binding counts live at pool level (one slot per device) rather
+  // than inside Device, so the capability annotation can name the mutex:
+  // they used to be "guarded by the Context's queues mutex", a cross-class
+  // contract no analysis could check. bind_mutex_ is a leaf lock —
+  // acquired after the Context's queues_mutex_, never holding anything
+  // else — so the lock-order change is strictly local.
+  mutable util::Mutex bind_mutex_;
+  std::vector<int> bound_ GPUP_GUARDED_BY(bind_mutex_);
 };
 
 }  // namespace gpup::rt

@@ -21,8 +21,8 @@ const char* to_string(QueueMode mode) {
   return "?";
 }
 
-std::mutex& EventGraph::mutex() {
-  static std::mutex mutex;
+util::Mutex& graph_mutex() {
+  static util::Mutex mutex;
   return mutex;
 }
 
@@ -51,7 +51,7 @@ void EventGraph::attach_to_queue(const std::shared_ptr<detail::EventState>& node
 std::vector<std::shared_ptr<detail::EventState>> EventGraph::settle(
     const std::shared_ptr<detail::EventState>& node, const Status& result) {
   std::vector<std::shared_ptr<detail::EventState>> ready;
-  std::lock_guard<std::mutex> lock(mutex());
+  util::MutexLock lock(graph_mutex());
   node->settled = true;
   node->failed = !result.ok();
   if (node->failed) node->failure = result.error();

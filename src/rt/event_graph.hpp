@@ -21,18 +21,23 @@
 // command.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/rt/scheduler.hpp"
 #include "src/sim/gpu.hpp"
+#include "src/util/annotated_mutex.hpp"
 #include "src/util/status.hpp"
 
 namespace gpup::rt {
+
+/// The process-wide graph lock. A free function (function-local static in
+/// the .cpp) rather than an EventGraph static member so that the
+/// GPUP_GUARDED_BY annotations on detail::EventState / detail::QueueState —
+/// declared before EventGraph below — can name it.
+[[nodiscard]] util::Mutex& graph_mutex();
 
 enum class EventStatus { kQueued, kRunning, kComplete, kFailed, kCancelled };
 
@@ -63,11 +68,16 @@ struct QueueState;
 
 struct EventState {
   // ---- result, guarded by `m` -----------------------------------------
-  mutable std::mutex m;
-  mutable std::condition_variable cv;
-  EventStatus status = EventStatus::kQueued;
-  bool settle_claimed = false;  ///< one settle wins (user events race complete/fail)
-  Error error;
+  mutable util::Mutex m;
+  mutable util::CondVar cv;
+  EventStatus status GPUP_GUARDED_BY(m) = EventStatus::kQueued;
+  bool settle_claimed GPUP_GUARDED_BY(m) = false;  ///< one settle wins (user events race complete/fail)
+  Error error GPUP_GUARDED_BY(m);
+  // `stats` and `data` are deliberately NOT guarded by `m`: the command
+  // body writes them while the worker owns the running command (no other
+  // thread touches them before the terminal status is published under
+  // `m`), and readers (Event::stats/data) wait for a terminal status
+  // first, after which the fields are frozen.
   sim::LaunchStats stats;
   std::vector<std::uint32_t> data;
 
@@ -90,16 +100,18 @@ struct EventState {
   /// releases it on every terminal path, mirroring the load gauge.
   bool admission_charged = false;
 
-  // ---- graph state, guarded by EventGraph::mutex() ---------------------
-  int deps_remaining = 0;
-  bool settled = false;       ///< terminal, as seen by the graph
-  bool failed = false;
-  Error failure;              ///< copy handed to dependents
-  bool dep_failed = false;
-  Error dep_error;
-  std::vector<std::shared_ptr<EventState>> dependents;
-  std::shared_ptr<QueueState> queue;   ///< owning queue (null: user event)
-  std::size_t queue_slot = 0;          ///< index in queue->unsettled
+  // ---- graph state, guarded by graph_mutex() ---------------------------
+  int deps_remaining GPUP_GUARDED_BY(graph_mutex()) = 0;
+  bool settled GPUP_GUARDED_BY(graph_mutex()) = false;  ///< terminal, as seen by the graph
+  bool failed GPUP_GUARDED_BY(graph_mutex()) = false;
+  Error failure GPUP_GUARDED_BY(graph_mutex());  ///< copy handed to dependents
+  bool dep_failed GPUP_GUARDED_BY(graph_mutex()) = false;
+  Error dep_error GPUP_GUARDED_BY(graph_mutex());
+  std::vector<std::shared_ptr<EventState>> dependents GPUP_GUARDED_BY(graph_mutex());
+  /// Owning queue (null: user event).
+  std::shared_ptr<QueueState> queue GPUP_GUARDED_BY(graph_mutex());
+  /// Index in queue->unsettled.
+  std::size_t queue_slot GPUP_GUARDED_BY(graph_mutex()) = 0;
 };
 
 struct QueueState {
@@ -112,37 +124,36 @@ struct QueueState {
   /// per-enqueue LaunchOptions deadline overrides it.
   std::uint64_t deadline_cycles = 0;
 
-  // Guarded by EventGraph::mutex(). `last` is the in-order chain tail;
-  // `unsettled` holds every non-terminal command of the queue (both
-  // modes) so finish() can wait on all of them — an out-of-order queue
-  // has no single tail that covers its history.
-  std::shared_ptr<EventState> last;
-  std::vector<std::shared_ptr<EventState>> unsettled;
-  bool any_failed = false;  ///< sticky: some command of this queue failed
+  // `last` is the in-order chain tail; `unsettled` holds every
+  // non-terminal command of the queue (both modes) so finish() can wait
+  // on all of them — an out-of-order queue has no single tail that covers
+  // its history.
+  std::shared_ptr<EventState> last GPUP_GUARDED_BY(graph_mutex());
+  std::vector<std::shared_ptr<EventState>> unsettled GPUP_GUARDED_BY(graph_mutex());
+  /// Sticky: some command of this queue failed.
+  bool any_failed GPUP_GUARDED_BY(graph_mutex()) = false;
 };
 
 }  // namespace detail
 
-/// The readiness layer. All methods lock (or expect) the process-wide
-/// graph mutex; see the file comment for the model.
+/// The readiness layer. All methods lock (or require, via GPUP_REQUIRES)
+/// the process-wide graph_mutex(); see the file comment for the model.
 class EventGraph {
  public:
-  /// The process-wide graph lock. Public because submission needs to link
-  /// a node and read queue tails atomically.
-  [[nodiscard]] static std::mutex& mutex();
-
-  /// Under mutex(): add the edge dep -> node (no-op for null dep). A
-  /// settled failed dep marks the node dep_failed instead of adding an
-  /// edge; an unsettled dep increments deps_remaining.
+  /// Add the edge dep -> node (no-op for null dep). A settled failed dep
+  /// marks the node dep_failed instead of adding an edge; an unsettled
+  /// dep increments deps_remaining. Callers hold the lock because linking
+  /// a node and reading its queue's tail must be one atomic step.
   static void link(const std::shared_ptr<detail::EventState>& node,
-                   const std::shared_ptr<detail::EventState>& dep);
+                   const std::shared_ptr<detail::EventState>& dep)
+      GPUP_REQUIRES(graph_mutex());
 
-  /// Under mutex(): register the node with its owning queue (chain tail +
-  /// unsettled set).
+  /// Register the node with its owning queue (chain tail + unsettled set).
   static void attach_to_queue(const std::shared_ptr<detail::EventState>& node,
-                              const std::shared_ptr<detail::QueueState>& queue);
+                              const std::shared_ptr<detail::QueueState>& queue)
+      GPUP_REQUIRES(graph_mutex());
 
-  /// Settle the node (locks mutex() itself): record the outcome, detach
+  /// Settle the node (locks graph_mutex() itself): record the outcome, detach
   /// from the owning queue, propagate failure to dependents, and return
   /// every dependent whose last dependency this was — the caller routes
   /// them to their contexts' schedulers.

@@ -1,5 +1,13 @@
 // Deterministic fault injection for the host runtime.
 //
+// Thread safety: a FaultPlan is deliberately immutable — seed and spec are
+// fixed at construction and every query is a pure hash of its arguments,
+// so worker threads share one plan with no mutex at all. That is why this
+// file carries none of the GPUP_GUARDED_BY annotations the rest of src/rt
+// does (src/util/annotated_mutex.hpp): there is no guarded state to
+// declare. Keep it that way; a mutable FaultPlan would need both a mutex
+// and a determinism story.
+//
 // A FaultPlan is a seeded, *pure* description of which operations fail and
 // how: every decision is a hash of (seed, fault kind, site), where a site
 // is a submission-time identity — a kernel command's global sequence

@@ -22,23 +22,30 @@ const char* to_string(WaitResult result) {
 
 EventStatus Event::status() const {
   if (!state_) return EventStatus::kFailed;
-  std::lock_guard<std::mutex> lock(state_->m);
+  util::MutexLock lock(state_->m);
   return state_->status;
 }
 
 bool Event::wait() const {
   if (!state_) return false;
-  std::unique_lock<std::mutex> lock(state_->m);
-  state_->cv.wait(lock, [this] { return is_terminal(state_->status); });
+  util::MutexLock lock(state_->m);
+  while (!is_terminal(state_->status)) state_->cv.wait(state_->m);
   return state_->status == EventStatus::kComplete;
 }
 
 WaitResult Event::wait_for(std::chrono::nanoseconds timeout) const {
   if (!state_) return WaitResult::kFailed;
-  std::unique_lock<std::mutex> lock(state_->m);
-  const bool terminal =
-      state_->cv.wait_for(lock, timeout, [this] { return is_terminal(state_->status); });
-  if (!terminal) return WaitResult::kTimedOut;
+  // Host wall-clock by definition: this bounds how long the CALLER
+  // blocks, and never feeds any simulated result.
+  // gpup-lint: allow(wall-clock) wait_for bounds host blocking time, not simulated time
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(state_->m);
+  while (!is_terminal(state_->status)) {
+    if (state_->cv.wait_until(state_->m, deadline) == std::cv_status::timeout &&
+        !is_terminal(state_->status)) {
+      return WaitResult::kTimedOut;
+    }
+  }
   switch (state_->status) {
     case EventStatus::kComplete: return WaitResult::kComplete;
     case EventStatus::kCancelled: return WaitResult::kCancelled;
@@ -53,7 +60,7 @@ bool Event::cancel() const {
     // pops the command re-checks settle_claimed under the same mutex
     // before transitioning to kRunning, so exactly one of {cancel, run}
     // wins and a command can never run after a successful cancel.
-    std::lock_guard<std::mutex> lock(state_->m);
+    util::MutexLock lock(state_->m);
     if (state_->status != EventStatus::kQueued || state_->settle_claimed) return false;
     state_->settle_claimed = true;
   }
@@ -65,7 +72,7 @@ bool Event::cancel() const {
 Error Event::error() const {
   if (!state_) return Error{"null event", "rt"};
   wait();
-  std::lock_guard<std::mutex> lock(state_->m);
+  util::MutexLock lock(state_->m);
   return state_->status == EventStatus::kFailed || state_->status == EventStatus::kCancelled
              ? state_->error
              : Error{};
@@ -174,7 +181,7 @@ Context::Context(ContextOptions options)
 Context::~Context() {
   (void)finish();
   {
-    std::lock_guard<std::mutex> lock(sched_mutex_);
+    util::MutexLock lock(sched_mutex_);
     stopping_ = true;
   }
   sched_cv_.notify_all();
@@ -197,7 +204,7 @@ CommandQueue Context::register_queue(int device, const QueueOptions& options) {
 }
 
 CommandQueue Context::create_queue() {
-  std::lock_guard<std::mutex> lock(queues_mutex_);
+  util::MutexLock lock(queues_mutex_);
   const int device = next_queue_device_;
   next_queue_device_ = (next_queue_device_ + 1) % device_count();
   return register_queue(device, QueueOptions{});
@@ -205,7 +212,7 @@ CommandQueue Context::create_queue() {
 
 CommandQueue Context::create_queue(int device) {
   GPUP_CHECK_MSG(device >= 0 && device < device_count(), "device index out of range");
-  std::lock_guard<std::mutex> lock(queues_mutex_);
+  util::MutexLock lock(queues_mutex_);
   return register_queue(device, QueueOptions{});
 }
 
@@ -225,13 +232,13 @@ void Context::prune_dead_queues_locked() {
 }
 
 Result<CommandQueue> Context::create_queue(const QueueOptions& options) {
-  std::lock_guard<std::mutex> lock(queues_mutex_);
+  util::MutexLock lock(queues_mutex_);
   int device = options.device;
   if (device < 0) {
     {
       // Placement reads the binding gauge: release dead queues first so a
       // long-lived context's create/destroy churn cannot skew it.
-      std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+      util::MutexLock graph_lock(graph_mutex());
       prune_dead_queues_locked();
     }
     // With a workload hint, score every device by the cost model's
@@ -265,15 +272,15 @@ UserEvent Context::create_user_event() {
 bool Context::finish() {
   std::vector<std::shared_ptr<detail::EventState>> pending;
   {
-    std::lock_guard<std::mutex> queues_lock(queues_mutex_);
-    std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+    util::MutexLock queues_lock(queues_mutex_);
+    util::MutexLock graph_lock(graph_mutex());
     for (const auto& queue : queues_) {
       pending.insert(pending.end(), queue->unsettled.begin(), queue->unsettled.end());
     }
   }
   for (const auto& state : pending) (void)Event(state).wait();
-  std::lock_guard<std::mutex> queues_lock(queues_mutex_);
-  std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+  util::MutexLock queues_lock(queues_mutex_);
+  util::MutexLock graph_lock(graph_mutex());
   prune_dead_queues_locked();
   bool ok = !pruned_failed_;
   for (const auto& queue : queues_) ok = ok && !queue->any_failed;
@@ -305,8 +312,8 @@ Context::Gauges Context::gauges() {
     gauges.affinity_cache_entries += devices_.cache_entries(i);
   }
   gauges.admission_pending = admission_.total_pending();
-  std::lock_guard<std::mutex> queues_lock(queues_mutex_);
-  std::lock_guard<std::mutex> graph_lock(EventGraph::mutex());
+  util::MutexLock queues_lock(queues_mutex_);
+  util::MutexLock graph_lock(graph_mutex());
   gauges.live_queues = static_cast<int>(queues_.size());
   for (const auto& queue : queues_) {
     gauges.unsettled_commands += queue->unsettled.size();
@@ -340,7 +347,7 @@ Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
 
   bool ready = false;
   {
-    std::lock_guard<std::mutex> lock(EventGraph::mutex());
+    util::MutexLock lock(graph_mutex());
     // In-order queues chain behind the tail; out-of-order queues order by
     // wait-lists only.
     if (queue->mode == QueueMode::kInOrder) EventGraph::link(state, queue->last);
@@ -365,15 +372,17 @@ void Context::schedule(std::shared_ptr<detail::EventState> state) {
   // Notify while holding the lock: once we release it, a worker may pop
   // and settle the command, letting finish()/~Context proceed and destroy
   // the condition variable under a pending post-unlock notify.
-  std::lock_guard<std::mutex> lock(sched_mutex_);
+  util::MutexLock lock(sched_mutex_);
   scheduler_->push(std::move(state));
   sched_cv_.notify_one();
 }
 
 void Context::worker_loop() {
-  std::unique_lock<std::mutex> lock(sched_mutex_);
+  util::MutexLock lock(sched_mutex_);
   while (true) {
-    sched_cv_.wait(lock, [this] { return stopping_ || !scheduler_->empty(); });
+    // Inline predicate loop: a wait lambda would read the guarded fields
+    // outside the capability as far as the analysis can tell.
+    while (!stopping_ && scheduler_->empty()) sched_cv_.wait(sched_mutex_);
     if (scheduler_->empty()) return;  // stopping_, fully drained
     auto state = scheduler_->pop();
     lock.unlock();
@@ -385,21 +394,29 @@ void Context::worker_loop() {
 void Context::execute(const std::shared_ptr<detail::EventState>& state) {
   Status result;
   // dep_failed/dep_error were last written under the graph mutex before
-  // the final deps_remaining decrement that scheduled us: safe to read.
-  if (state->dep_failed) {
+  // the final deps_remaining decrement that scheduled us; the snapshot
+  // costs one uncontended lock per command and keeps the access checked.
+  bool dep_failed = false;
+  Error dep_error;
+  {
+    util::MutexLock graph_lock(graph_mutex());
+    dep_failed = state->dep_failed;
+    dep_error = state->dep_error;
+  }
+  if (dep_failed) {
     // Preserve the cause: a dependent of a cancelled command is itself
     // cancelled (the cascade keeps the kCancelled code and terminal
     // state), any other dependency failure stays a plain failure.
-    const bool cancelled = state->dep_error.code == ErrorCode::kCancelled;
+    const bool cancelled = dep_error.code == ErrorCode::kCancelled;
     result = Error{std::string(cancelled ? "dependency cancelled: " : "dependency failed: ") +
-                       state->dep_error.to_string(),
+                       dep_error.to_string(),
                    "rt", cancelled ? ErrorCode::kCancelled : ErrorCode::kUnknown};
   } else {
     {
       // cancel() claims under this mutex while the status is kQueued; if
       // it won, the command is already settling on the canceller's thread
       // — drop it without running.
-      std::lock_guard<std::mutex> lock(state->m);
+      util::MutexLock lock(state->m);
       if (state->settle_claimed) {
         state->run = nullptr;
         return;
@@ -423,7 +440,7 @@ void Context::execute(const std::shared_ptr<detail::EventState>& state) {
 void Context::settle_and_route(const std::shared_ptr<detail::EventState>& state,
                                Status result) {
   {
-    std::lock_guard<std::mutex> lock(state->m);
+    util::MutexLock lock(state->m);
     if (state->settle_claimed) return;  // user events: complete() is idempotent
     state->settle_claimed = true;
   }
@@ -446,7 +463,7 @@ void Context::finish_settle(const std::shared_ptr<detail::EventState>& state, St
   // wakes on the status change must already see the failure flag.
   auto ready = EventGraph::settle(state, result);
   {
-    std::lock_guard<std::mutex> lock(state->m);
+    util::MutexLock lock(state->m);
     state->status = result.ok() ? EventStatus::kComplete
                     : result.error().code == ErrorCode::kCancelled ? EventStatus::kCancelled
                                                                    : EventStatus::kFailed;
@@ -471,7 +488,7 @@ void Context::finish_settle(const std::shared_ptr<detail::EventState>& state, St
     std::size_t end = start + 1;
     while (end < ready.size() && ready[end]->context == owner) ++end;
     {
-      std::lock_guard<std::mutex> lock(owner->sched_mutex_);
+      util::MutexLock lock(owner->sched_mutex_);
       for (std::size_t i = start; i < end; ++i) {
         owner->scheduler_->push(std::move(ready[i]));
       }
@@ -521,7 +538,7 @@ Result<Buffer> CommandQueue::alloc(std::uint32_t bytes) {
                    "rt.alloc", ErrorCode::kOom};
     }
   }
-  std::lock_guard<std::mutex> lock(pool.alloc_mutex(device));
+  util::MutexLock lock(pool.alloc_mutex(device));
   auto addr = pool.gpu(device).try_alloc(bytes);
   if (!addr.ok()) return addr.error();
   return Buffer{addr.value(), bytes, device};
@@ -545,7 +562,7 @@ Event CommandQueue::enqueue_write(const Buffer& buffer, std::vector<std::uint32_
                               buffer.bytes),
                        "rt.write"};
         }
-        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+        util::MutexLock lock(pool.exec_mutex(device));
         return pool.gpu(device).try_write(buffer.addr, words);
       },
       wait_list);
@@ -625,6 +642,7 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
           if (attempt > 0 && retry.backoff.count() > 0) {
             // Exponential wall-clock backoff (shift-capped): host-side
             // pacing only, never part of any simulated result.
+            // gpup-lint: allow(wall-clock) retry backoff paces the host, not the simulation
             std::this_thread::sleep_for(retry.backoff * (1ll << std::min(attempt - 1, 20)));
           }
           // Relocatable launches walk the pool deterministically; pinned
@@ -643,7 +661,7 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
               fault.stall_cycles = plan->stall_cycles(state.tag.seq, attempt);
             }
             Result<sim::LaunchStats> stats = [&] {
-              std::lock_guard<std::mutex> lock(pool.exec_mutex(dev));
+              util::MutexLock lock(pool.exec_mutex(dev));
               return pool.gpu(dev).try_launch(program, args, range.global_size, range.wg_size,
                                               plan != nullptr ? &fault : nullptr);
             }();
@@ -691,7 +709,7 @@ Event CommandQueue::enqueue_read(const Buffer& buffer, const std::vector<Event>&
                        "rt.read"};
         }
         state.data.resize(buffer.words());
-        std::lock_guard<std::mutex> lock(pool.exec_mutex(device));
+        util::MutexLock lock(pool.exec_mutex(device));
         auto status = pool.gpu(device).try_read(buffer.addr, state.data);
         if (!status.ok()) state.data.clear();
         return status;
@@ -729,13 +747,13 @@ bool CommandQueue::finish() {
   GPUP_CHECK_MSG(valid(), "null command queue");
   std::vector<std::shared_ptr<detail::EventState>> pending;
   {
-    std::lock_guard<std::mutex> lock(EventGraph::mutex());
+    util::MutexLock lock(graph_mutex());
     pending = state_->unsettled;
   }
   // In-order or out-of-order: wait for the full unsettled snapshot (an
   // out-of-order queue has no tail whose settling covers its history).
   for (const auto& event : pending) (void)Event(event).wait();
-  std::lock_guard<std::mutex> lock(EventGraph::mutex());
+  util::MutexLock lock(graph_mutex());
   return !state_->any_failed;
 }
 

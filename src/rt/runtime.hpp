@@ -69,11 +69,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -87,6 +85,7 @@
 #include "src/rt/scheduler.hpp"
 #include "src/sim/cost_model.hpp"
 #include "src/sim/gpu.hpp"
+#include "src/util/annotated_mutex.hpp"
 #include "src/util/status.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -458,13 +457,14 @@ class Context {
   friend class UserEvent;
   friend class Event;  ///< cancel() drives the settle path directly
 
-  /// Register a queue on a validated device (queues_mutex_ held).
-  CommandQueue register_queue(int device, const QueueOptions& options);
+  /// Register a queue on a validated device.
+  CommandQueue register_queue(int device, const QueueOptions& options)
+      GPUP_REQUIRES(queues_mutex_);
   /// Release dead queues' device bindings: a queue whose last outside
   /// handle is gone and whose history is fully settled can never receive
-  /// another command, so its bind no longer describes load. Requires
-  /// queues_mutex_ and EventGraph::mutex() (in that order).
-  void prune_dead_queues_locked();
+  /// another command, so its bind no longer describes load. Lock order:
+  /// queues_mutex_ before graph_mutex().
+  void prune_dead_queues_locked() GPUP_REQUIRES(queues_mutex_, graph_mutex());
   /// Chain `run` behind the queue's mode-implied and wait-list
   /// dependencies; hand it to the scheduler once every dependency settled.
   /// `reserve_device` >= 0 records a load-gauge reservation of
@@ -475,7 +475,7 @@ class Context {
                const std::vector<Event>& wait_list, double cost = 0.0,
                int reserve_device = -1, std::uint64_t reserved_cycles = 0);
   /// Push a ready command to the policy and wake a worker.
-  void schedule(std::shared_ptr<detail::EventState> state);
+  void schedule(std::shared_ptr<detail::EventState> state) GPUP_EXCLUDES(sched_mutex_);
   /// Settle a node and route every newly-ready dependent to its own
   /// context's scheduler (wait-lists may cross Context instances). Split
   /// in two so Event::cancel() can claim the settle atomically with its
@@ -485,8 +485,10 @@ class Context {
                                Status result);
   static void finish_settle(const std::shared_ptr<detail::EventState>& state, Status result);
   /// Terminal-from-birth event that never touches the event graph — how
-  /// admission control sheds work without failing the queue.
-  static Event make_detached_failed(Error error);
+  /// admission control sheds work without failing the queue. Writes
+  /// guarded fields of a state it just constructed and has not shared yet,
+  /// so no lock can be needed — the one documented analysis opt-out.
+  static Event make_detached_failed(Error error) GPUP_NO_THREAD_SAFETY_ANALYSIS;
   void worker_loop();
   void execute(const std::shared_ptr<detail::EventState>& state);
 
@@ -498,24 +500,25 @@ class Context {
   AdmissionController admission_;
   std::atomic<std::uint64_t> next_alloc_site_{0};  ///< alloc fault ordinals
 
-  std::mutex queues_mutex_;
+  util::Mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue
   // even after the caller dropped its CommandQueue handle. Queues that
   // can no longer be reached or grow are pruned (prune_dead_queues_locked)
   // so their device bindings are released; a pruned queue's failure stays
   // sticky via pruned_failed_.
-  std::vector<std::shared_ptr<detail::QueueState>> queues_;
-  bool pruned_failed_ = false;
-  int next_queue_device_ = 0;
-  int next_queue_id_ = 0;
+  std::vector<std::shared_ptr<detail::QueueState>> queues_ GPUP_GUARDED_BY(queues_mutex_);
+  bool pruned_failed_ GPUP_GUARDED_BY(queues_mutex_) = false;
+  int next_queue_device_ GPUP_GUARDED_BY(queues_mutex_) = 0;
+  int next_queue_id_ GPUP_GUARDED_BY(queues_mutex_) = 0;
   std::atomic<std::uint64_t> next_seq_{1};
 
   // Scheduler state: policies are single-threaded by contract, serialized
   // under sched_mutex_; workers sleep on sched_cv_.
-  std::mutex sched_mutex_;
-  std::condition_variable sched_cv_;
-  std::unique_ptr<Scheduler> scheduler_;
-  bool stopping_ = false;
+  util::Mutex sched_mutex_;
+  util::CondVar sched_cv_;
+  std::unique_ptr<Scheduler> scheduler_ GPUP_GUARDED_BY(sched_mutex_)
+      GPUP_PT_GUARDED_BY(sched_mutex_);
+  bool stopping_ GPUP_GUARDED_BY(sched_mutex_) = false;
   std::vector<std::thread> workers_;  ///< joined in ~Context after finish()
 };
 

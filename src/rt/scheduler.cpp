@@ -238,7 +238,7 @@ std::unique_ptr<Scheduler> Scheduler::create(const SchedulerConfig& config) {
 
 Status AdmissionController::try_admit(std::uint64_t tenant) {
   if (!config_.enabled()) return {};
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   auto& state = tenants_[tenant];
   if (config_.max_pending_per_tenant > 0 && state.pending >= config_.max_pending_per_tenant) {
     ++rejected_;
@@ -248,6 +248,7 @@ Status AdmissionController::try_admit(std::uint64_t tenant) {
                  "rt.admission", ErrorCode::kRejected};
   }
   if (config_.tokens_per_second > 0.0) {
+    // gpup-lint: allow(wall-clock) admission rate limiting is deliberately host-time based
     const auto now = std::chrono::steady_clock::now();
     if (!state.primed) {
       state.primed = true;
@@ -271,7 +272,7 @@ Status AdmissionController::try_admit(std::uint64_t tenant) {
 
 void AdmissionController::settle(std::uint64_t tenant) {
   if (!config_.enabled()) return;
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   auto it = tenants_.find(tenant);
   GPUP_CHECK_MSG(it != tenants_.end() && it->second.pending > 0,
                  "admission settle without a matching admit");
@@ -279,20 +280,21 @@ void AdmissionController::settle(std::uint64_t tenant) {
 }
 
 std::uint32_t AdmissionController::pending(std::uint64_t tenant) const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   const auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.pending;
 }
 
 std::uint64_t AdmissionController::total_pending() const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   std::uint64_t total = 0;
+  // gpup-lint: allow(unordered-iter) order-independent sum of the pending gauges
   for (const auto& [tenant, state] : tenants_) total += state.pending;
   return total;
 }
 
 std::uint64_t AdmissionController::rejected() const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   return rejected_;
 }
 

@@ -34,9 +34,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "src/util/annotated_mutex.hpp"
 #include "src/util/status.hpp"
 
 namespace gpup::rt {
@@ -117,13 +117,16 @@ class AdmissionController {
     std::uint32_t pending = 0;
     double tokens = 0.0;
     bool primed = false;  ///< bucket starts full on first sight
+    // Wall-clock on purpose: the token bucket limits real submission
+    // rates, not simulated time (see the class comment).
+    // gpup-lint: allow(wall-clock) admission rate limiting is deliberately host-time based
     std::chrono::steady_clock::time_point last_refill;
   };
 
   AdmissionConfig config_;
-  mutable std::mutex m_;
-  std::unordered_map<std::uint64_t, Tenant> tenants_;
-  std::uint64_t rejected_ = 0;
+  mutable util::Mutex m_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_ GPUP_GUARDED_BY(m_);
+  std::uint64_t rejected_ GPUP_GUARDED_BY(m_) = 0;
 };
 
 /// Scheduling metadata attached to every command at submission.

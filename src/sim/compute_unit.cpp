@@ -69,6 +69,9 @@ void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
   GPUP_CHECK(free_slots_ >= 0);
   free_slots_changed();
   GPUP_CHECK_MSG(find_wg(wg_id) == nullptr, "work-group dispatched twice onto one CU");
+  // gpup-lint: allow(hot-alloc) capacity reserved to max_wavefronts_per_cu
+  // in the constructor and resident WGs can never exceed resident
+  // wavefronts, so this push never reallocates.
   wg_states_.push_back({wg_id, new_wfs, 0});
 }
 
@@ -210,10 +213,14 @@ void ComputeUnit::commit_tick(std::uint64_t now, CommitCycle* cc) {
           lines_intersect(wf.mem_lines, is_store ? cc->all_lines : cc->store_lines);
       if (conflict) cc->flush();
       for (std::uint64_t line : wf.mem_lines) {
-        cc->all_lines.push_back(line);
-        if (is_store) cc->store_lines.push_back(line);
+        // Both conflict sets are launch-time reserved well past
+        // kConflictSetCap and cleared on every flush, so these pushes
+        // reallocate never (all_lines) / at most once (store_lines).
+        cc->all_lines.push_back(line);   // gpup-lint: allow(hot-alloc) see above
+        if (is_store) cc->store_lines.push_back(line);  // gpup-lint: allow(hot-alloc) see above
       }
       issue_mem_deferred(wf, ins, now);
+      // gpup-lint: allow(hot-alloc) reserved to the CU count at launch.
       cc->deferred.push_back(this);
     } else {
       issue(wf, now);
@@ -289,11 +296,15 @@ void ComputeUnit::scan_issue(std::uint64_t now, bool defer_global_mem) {
               break;
             }
           }
+          // gpup-lint: allow(hot-alloc) plan_demand_ capacity is reserved in
+          // the constructor to the worst case (every slot x every lane).
           if (!merged) plan_demand_.emplace_back(bank, 1);
         }
         step.demand_end = static_cast<int>(plan_demand_.size());
         step.store_lines =
             candidate.opcode == Opcode::kSw ? static_cast<int>(wf.mem_lines.size()) : 0;
+        // gpup-lint: allow(hot-alloc) plan_ is reserved to one step per
+        // wavefront slot + 1 in the constructor; a scan parks at most that.
         plan_.push_back(step);
         step = PlanStep{};
         plan_open = true;
@@ -305,7 +316,7 @@ void ComputeUnit::scan_issue(std::uint64_t now, bool defer_global_mem) {
       // the issue itself for the commit walk.
       step.act = PlanStep::Act::kNonMem;
       step.offset = i;
-      plan_.push_back(step);
+      plan_.push_back(step);  // gpup-lint: allow(hot-alloc) within reserved capacity
       return;
     }
     issue(wf, now);
@@ -314,7 +325,8 @@ void ComputeUnit::scan_issue(std::uint64_t now, bool defer_global_mem) {
     return;
   }
   if (plan_open) {
-    plan_.push_back(step);  // Act::kEnd carrying the trailing stalls
+    // Act::kEnd carrying the trailing stalls.
+    plan_.push_back(step);  // gpup-lint: allow(hot-alloc) within reserved capacity
     return;
   }
   // Nothing issued this cycle. A live wavefront exists iff a slot is

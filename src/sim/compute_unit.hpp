@@ -36,6 +36,7 @@
 #include "src/sim/counters.hpp"
 #include "src/sim/global_memory.hpp"
 #include "src/sim/memory_system.hpp"
+#include "src/util/annotations.hpp"
 #include "src/util/small_vec.hpp"
 
 namespace gpup::sim {
@@ -78,7 +79,7 @@ class ComputeUnit final : public LineCompletionSink {
 
   /// Advance one cycle (fused serial driver): probe wavefronts round-robin
   /// and issue at most one instruction against live memory-system state.
-  void tick(std::uint64_t now);
+  GPUP_HOT void tick(std::uint64_t now);
 
   /// Phase 1 of the two-phase parallel cycle. Identical scan to tick(),
   /// but side-effect-free w.r.t. shared state: a global-memory issue whose
@@ -90,7 +91,7 @@ class ComputeUnit final : public LineCompletionSink {
   /// pushed. Admission *rejects* are final: bank queues only grow during
   /// the CU phase of a cycle, so a reject against start-of-cycle state is
   /// also a reject against any later view.
-  void begin_tick(std::uint64_t now);
+  GPUP_HOT void begin_tick(std::uint64_t now);
 
   /// Shared per-cycle state of one commit walk: the cycle's deferred
   /// global-memory lane executions and their coalesced line sets, used to
@@ -124,12 +125,12 @@ class ComputeUnit final : public LineCompletionSink {
   /// here (so the bank queues grow in exactly the serial order) but parks
   /// its functional lane loop in `cc` for the next parallel phase, unless
   /// a line-set conflict forces it to run serially.
-  void commit_tick(std::uint64_t now, CommitCycle* cc);
+  GPUP_HOT void commit_tick(std::uint64_t now, CommitCycle* cc);
 
   /// Run the lane loop parked by a previous commit_tick, if any. Called
   /// from the next cycle's parallel phase (or a serial flush); touches
   /// only this CU's wavefront state and conflict-free global memory.
-  void run_deferred();
+  GPUP_HOT void run_deferred();
 
   /// Any resident wavefront still executing, or stores in flight. O(1):
   /// a slot is free exactly when its wavefront is invalid or finished.
@@ -147,14 +148,14 @@ class ComputeUnit final : public LineCompletionSink {
   /// probed every wavefront, so it caches the resulting profile and this
   /// just returns it for `now` == that cycle + 1 (see the determinism
   /// note at profile_cache_valid_). Other cases fall back to a full scan.
-  [[nodiscard]] IdleProfile idle_profile(std::uint64_t now) const;
+  [[nodiscard]] GPUP_HOT IdleProfile idle_profile(std::uint64_t now) const;
 
   /// Account `cycles` ticks of the given idle profile in bulk.
-  void apply_idle(const IdleProfile& profile, std::uint64_t cycles);
+  GPUP_HOT void apply_idle(const IdleProfile& profile, std::uint64_t cycles);
 
   /// LineCompletionSink: load-fill / store completions from the memory
   /// system.
-  void line_done(std::uint32_t token, std::uint64_t done_cycle) override;
+  GPUP_HOT void line_done(std::uint32_t token, std::uint64_t done_cycle) override;
 
  private:
   static constexpr std::uint64_t kNever = ~0ull;

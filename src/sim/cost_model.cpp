@@ -132,14 +132,14 @@ std::uint64_t CostModel::config_key(const GpuConfig& config) {
 KernelProfile CostModel::profile_for(const isa::Program& program) const {
   const std::uint64_t key = detail::program_key(program);
   {
-    std::lock_guard<std::mutex> lock(m_);
+    util::MutexLock lock(m_);
     if (const auto it = profile_cache_.find(key); it != profile_cache_.end()) {
       return it->second;
     }
   }
   // Decode outside the lock; a racing duplicate decode is harmless.
   const KernelProfile profile = KernelProfile::of(program);
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   return profile_cache_.emplace(key, profile).first->second;
 }
 
@@ -157,7 +157,7 @@ double CostModel::predict(const KernelProfile& profile, const GpuConfig& config,
                           std::uint32_t global_size, std::uint32_t wg_size) const {
   const double analytic = analytic_cycles(profile, config, global_size, wg_size);
   if (analytic <= 0.0) return 0.0;
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   return analytic * ratio_locked(mix(profile.key, config_key(config)), profile.key);
 }
 
@@ -165,7 +165,7 @@ double CostModel::predict_stable(const KernelProfile& profile, const GpuConfig& 
                                  std::uint32_t global_size, std::uint32_t wg_size) {
   const double analytic = analytic_cycles(profile, config, global_size, wg_size);
   if (analytic <= 0.0) return 0.0;
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   const std::uint64_t pair_key = mix(profile.key, config_key(config));
   const auto [it, inserted] = frozen_ratio_.try_emplace(pair_key, 0.0);
   // First stable query wins: at that moment no launch of this pair can
@@ -182,7 +182,7 @@ void CostModel::calibrate(const KernelProfile& profile, const GpuConfig& config,
   const double analytic = analytic_cycles(profile, config, global_size, wg_size);
   if (analytic <= 0.0 || measured_cycles == 0) return;
   const double ratio = static_cast<double>(measured_cycles) / analytic;
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   pair_ratio_[mix(profile.key, config_key(config))] = ratio;
   // Geometric means for the fallbacks: ratios are multiplicative scale
   // factors, so averaging their logs keeps a 10x-high and a 10x-low cell
@@ -200,7 +200,7 @@ void CostModel::observe(const KernelProfile& profile, const GpuConfig& config,
   const double analytic = analytic_cycles(profile, config, global_size, wg_size);
   if (analytic <= 0.0 || measured_cycles == 0) return;
   const double observed = static_cast<double>(measured_cycles) / analytic;
-  std::lock_guard<std::mutex> lock(m_);
+  util::MutexLock lock(m_);
   const std::uint64_t pair_key = mix(profile.key, config_key(config));
   const double prior = ratio_locked(pair_key, profile.key);
   pair_ratio_[pair_key] = prior + alpha_ * (observed - prior);

@@ -32,11 +32,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/isa/program.hpp"
 #include "src/sim/config.hpp"
+#include "src/util/annotated_mutex.hpp"
 
 namespace gpup::sim {
 
@@ -140,16 +140,21 @@ class CostModel {
     int count = 0;
   };
 
-  /// The fallback chain pair -> program -> global -> 1.0; expects m_ held.
-  [[nodiscard]] double ratio_locked(std::uint64_t pair_key, std::uint64_t program_key) const;
+  /// The fallback chain pair -> program -> global -> 1.0.
+  [[nodiscard]] double ratio_locked(std::uint64_t pair_key, std::uint64_t program_key) const
+      GPUP_REQUIRES(m_);
 
   double alpha_ = 0.25;
-  mutable std::mutex m_;
-  mutable std::unordered_map<std::uint64_t, KernelProfile> profile_cache_;
-  std::unordered_map<std::uint64_t, double> frozen_ratio_;  ///< predict_stable pins
-  std::unordered_map<std::uint64_t, double> pair_ratio_;
-  std::unordered_map<std::uint64_t, MeanRatio> program_ratio_;
-  MeanRatio global_ratio_;
+  mutable util::Mutex m_;
+  // The ratio tables are lookup-only (find / try_emplace / operator[]):
+  // nothing iterates them, so their unordered layout can never order a
+  // result-affecting traversal.
+  mutable std::unordered_map<std::uint64_t, KernelProfile> profile_cache_ GPUP_GUARDED_BY(m_);
+  /// predict_stable pins.
+  std::unordered_map<std::uint64_t, double> frozen_ratio_ GPUP_GUARDED_BY(m_);
+  std::unordered_map<std::uint64_t, double> pair_ratio_ GPUP_GUARDED_BY(m_);
+  std::unordered_map<std::uint64_t, MeanRatio> program_ratio_ GPUP_GUARDED_BY(m_);
+  MeanRatio global_ratio_ GPUP_GUARDED_BY(m_);
 };
 
 }  // namespace gpup::sim

@@ -160,9 +160,11 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
   std::vector<CounterShard> shards(static_cast<std::size_t>(config_.cu_count));
 
   std::vector<ComputeUnit> cus;
-  cus.reserve(static_cast<std::size_t>(config_.cu_count));
+  // Launch setup: everything below up to the cycle loop allocates once per
+  // launch, before the first simulated cycle.
+  cus.reserve(static_cast<std::size_t>(config_.cu_count));  // gpup-lint: allow(hot-alloc) launch setup
   for (int cu = 0; cu < config_.cu_count; ++cu) {
-    cus.emplace_back(cu, config_, &memory,
+    cus.emplace_back(cu, config_, &memory,  // gpup-lint: allow(hot-alloc) launch setup
                      &shards[static_cast<std::size_t>(cu)].counters, &ctx);
   }
 
@@ -218,7 +220,7 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
   // Declared after everything the workers touch: the gang joins (in its
   // destructor) before cus/profiles die, even when a trap unwinds.
   std::unique_ptr<TickGang> gang;
-  if (lease.held > 0) gang = std::make_unique<TickGang>(lease.held);
+  if (lease.held > 0) gang = std::make_unique<TickGang>(lease.held);  // gpup-lint: allow(hot-alloc) launch setup
 
   // --- adaptive driver selection ---------------------------------------
   // Whether the per-cycle gang rendezvous pays off depends on the live
@@ -230,6 +232,8 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
   // re-probe. A gang window that falls badly behind the serial baseline
   // aborts early, so a descheduled worker costs microseconds, not the
   // window. Simulated results never depend on the mode sequence.
+  // gpup-lint: allow(wall-clock) adaptive driver selection times the host to
+  // pick serial vs gang mode; simulated results never depend on the choice.
   using AdaptClock = std::chrono::steady_clock;
   enum class DriveMode { kProbeSerial, kProbeGang, kStick };
   constexpr std::uint64_t kProbeWindow = 64;
@@ -288,9 +292,9 @@ LaunchStats Gpu::run_launch(const isa::Program& program,
   // cycle c's commit run at the start of cycle c+1's parallel phase — or
   // serially, if the driver switches mode in between.
   ComputeUnit::CommitCycle commit_cycle;
-  commit_cycle.all_lines.reserve(1024);
-  commit_cycle.store_lines.reserve(1024);
-  commit_cycle.deferred.reserve(cus.size());
+  commit_cycle.all_lines.reserve(1024);    // gpup-lint: allow(hot-alloc) launch setup
+  commit_cycle.store_lines.reserve(1024);  // gpup-lint: allow(hot-alloc) launch setup
+  commit_cycle.deferred.reserve(cus.size());  // gpup-lint: allow(hot-alloc) launch setup
   bool lanes_parked = false;
   const auto flush_parked = [&] {
     if (!lanes_parked) return;

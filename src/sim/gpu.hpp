@@ -14,6 +14,7 @@
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
 #include "src/sim/memory_system.hpp"
+#include "src/util/annotations.hpp"
 #include "src/util/status.hpp"
 
 namespace gpup::sim {
@@ -87,9 +88,12 @@ class Gpu {
                                    std::uint32_t global_size, std::uint32_t wg_size);
 
  private:
-  [[nodiscard]] LaunchStats run_launch(const isa::Program& program,
-                                       const std::vector<std::uint32_t>& params,
-                                       std::uint32_t global_size, std::uint32_t wg_size);
+  /// The per-cycle simulation loop — GPUP_HOT: gpup_lint proves nothing
+  /// it reaches allocates after launch setup (see annotations.hpp).
+  [[nodiscard]] GPUP_HOT LaunchStats run_launch(const isa::Program& program,
+                                                const std::vector<std::uint32_t>& params,
+                                                std::uint32_t global_size,
+                                                std::uint32_t wg_size);
 
   GpuConfig config_;
   GlobalMemory mem_;

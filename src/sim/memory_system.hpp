@@ -19,6 +19,7 @@
 
 #include "src/sim/config.hpp"
 #include "src/sim/counters.hpp"
+#include "src/util/annotations.hpp"
 #include "src/util/small_vec.hpp"
 
 namespace gpup::sim {
@@ -29,7 +30,7 @@ class LineCompletionSink {
   virtual ~LineCompletionSink() = default;
   /// `token` is the caller's opaque request tag; `done_cycle` is when the
   /// data is available at the requester.
-  virtual void line_done(std::uint32_t token, std::uint64_t done_cycle) = 0;
+  virtual GPUP_HOT void line_done(std::uint32_t token, std::uint64_t done_cycle) = 0;
 };
 
 /// A completion target: POD, no allocation. A null sink means fire-and-forget.
@@ -56,14 +57,14 @@ class MemorySystem {
   }
 
   /// True if bank queues can absorb one more request for this line.
-  [[nodiscard]] bool can_accept(std::uint64_t line_addr) const;
+  [[nodiscard]] GPUP_HOT bool can_accept(std::uint64_t line_addr) const;
 
   /// True if `bank` can absorb `n` more requests this cycle.
-  [[nodiscard]] bool accepts(std::uint32_t bank, int n) const;
+  [[nodiscard]] GPUP_HOT bool accepts(std::uint32_t bank, int n) const;
 
   /// Enqueue a line request (load fill or store allocate). `on_done` fires
   /// during a later tick with the completion cycle.
-  void request(std::uint64_t line_addr, bool is_store, LineCallback on_done);
+  GPUP_HOT void request(std::uint64_t line_addr, bool is_store, LineCallback on_done);
 
   /// Convenience overload for tests and one-off callers: wraps the
   /// function in a heap-owned sink. Not for the simulator hot path.
@@ -71,17 +72,17 @@ class MemorySystem {
                std::function<void(std::uint64_t)> on_done);
 
   /// Advance one cycle.
-  void tick(std::uint64_t now);
+  GPUP_HOT void tick(std::uint64_t now);
 
   /// True if all queues, MSHRs and in-flight DRAM traffic drained.
-  [[nodiscard]] bool idle() const;
+  [[nodiscard]] GPUP_HOT bool idle() const;
 
   /// Earliest cycle >= `now` at which tick() would do any work: `now`
   /// itself while any bank queue holds requests, else the earliest
   /// in-flight fill completion, else kNever. Ticks strictly before that
   /// cycle are provable no-ops, which is what lets the GPU driver loop
   /// fast-forward over idle stretches without disturbing any counter.
-  [[nodiscard]] std::uint64_t next_event(std::uint64_t now) const;
+  [[nodiscard]] GPUP_HOT std::uint64_t next_event(std::uint64_t now) const;
 
  private:
   struct Request {

@@ -1,0 +1,171 @@
+// Clang thread-safety (capability) analysis wrappers.
+//
+// The runtime's lock discipline — which mutex guards which field, which
+// functions expect a lock already held — used to live in comments
+// ("guarded by the Context's queues mutex") and was enforced only by TSan
+// and reviewer vigilance. These wrappers turn that prose into
+// compiler-checked facts: fields are declared `GPUP_GUARDED_BY(mu)`,
+// helper functions `GPUP_REQUIRES(mu)`, and an unlocked access becomes a
+// clang build error under `-Werror=thread-safety` (enabled by CMake's
+// GPUP_THREAD_SAFETY option, default ON for clang builds — see
+// docs/static-analysis.md).
+//
+// Everything here compiles away on non-clang compilers: the macros expand
+// to nothing, `util::Mutex` is a zero-overhead wrapper over std::mutex,
+// `util::MutexLock` over lock_guard-style RAII, and `util::CondVar` waits
+// on the wrapped std::mutex through std::condition_variable (adopt/release
+// — no condition_variable_any, no extra mutex, no perf change).
+//
+// Conventions the analysis imposes on calling code:
+//   * condition waits are written as inline `while (!pred) cv.wait(mu);`
+//     loops rather than predicate lambdas — clang analyzes a lambda body
+//     as a separate function that does not hold the capability, so a
+//     predicate reading guarded fields would (spuriously) warn;
+//   * a function that expects a caller-held lock says so with
+//     GPUP_REQUIRES instead of a "caller must hold X" comment;
+//   * the rare deliberate exception (e.g. reading a field that is frozen
+//     once the object reaches a documented state) is annotated
+//     GPUP_NO_THREAD_SAFETY_ANALYSIS with a comment carrying the proof.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- attribute macros (no-ops off clang) -----------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define GPUP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPUP_THREAD_ANNOTATION(x)  // no-op: gcc/msvc do not implement the analysis
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis can track.
+#define GPUP_CAPABILITY(x) GPUP_THREAD_ANNOTATION(capability(x))
+/// RAII types that acquire in their constructor and release in their
+/// destructor (util::MutexLock).
+#define GPUP_SCOPED_CAPABILITY GPUP_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read or written while holding the given mutex.
+#define GPUP_GUARDED_BY(x) GPUP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* may only be dereferenced under the mutex.
+#define GPUP_PT_GUARDED_BY(x) GPUP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the mutex(es) to be held by the caller.
+#define GPUP_REQUIRES(...) GPUP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and does not release them.
+#define GPUP_ACQUIRE(...) GPUP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases mutex(es) the caller held.
+#define GPUP_RELEASE(...) GPUP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns the given value.
+#define GPUP_TRY_ACQUIRE(...) GPUP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the mutex(es) held (deadlock guard).
+#define GPUP_EXCLUDES(...) GPUP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Declares the canonical lock acquisition order between two mutexes.
+#define GPUP_ACQUIRED_BEFORE(...) GPUP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GPUP_ACQUIRED_AFTER(...) GPUP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Getter whose return value aliases the given capability.
+#define GPUP_RETURN_CAPABILITY(x) GPUP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch; every use carries a comment proving why it is safe.
+#define GPUP_NO_THREAD_SAFETY_ANALYSIS GPUP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gpup::util {
+
+/// std::mutex with capability annotations. Satisfies BasicLockable, so it
+/// drops into std::lock_guard/std::scoped_lock where a scoped wrapper is
+/// not needed — but prefer util::MutexLock, which the analysis tracks.
+class GPUP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPUP_ACQUIRE() { m_.lock(); }
+  void unlock() GPUP_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() GPUP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped std::mutex, for std APIs that demand one (CondVar's
+  /// adopt/release wait). Does not transfer the capability — callers go
+  /// through CondVar, never lock the native handle directly.
+  [[nodiscard]] std::mutex& native_handle() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock for util::Mutex (the analysis-aware lock_guard). Supports
+/// manual unlock()/relock() so a worker loop can drop the lock around a
+/// long call — the analysis tracks the capability through those too.
+class GPUP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GPUP_ACQUIRE(mutex) : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~MutexLock() GPUP_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release (e.g. to run a command body outside the
+  /// scheduler lock); pair with lock().
+  void unlock() GPUP_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+  void lock() GPUP_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// Condition variable for util::Mutex. Same footprint and codegen as a
+/// bare std::condition_variable: wait() adopts the already-held native
+/// mutex into a unique_lock and releases it again, so no second mutex
+/// (condition_variable_any) is ever involved.
+///
+/// wait() takes the Mutex itself (not the MutexLock holding it) so the
+/// REQUIRES annotation names exactly the capability the caller holds —
+/// the analysis cannot see through a scoped object's member. The caller
+/// must pass the mutex its MutexLock locked, same contract as handing a
+/// std::condition_variable the wrong unique_lock.
+///
+/// No predicate overloads on purpose: write the loop inline
+/// (`while (!pred) cv.wait(mu);`) so the thread-safety analysis sees the
+/// guarded reads under the capability instead of inside an opaque lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Atomically release `mutex`, sleep, and reacquire before returning.
+  /// The capability is held across the call from the analysis' point of
+  /// view, which matches how callers use it (guarded predicate loops).
+  void wait(Mutex& mutex) GPUP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.native_handle(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // still locked: the caller's MutexLock keeps ownership
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mutex,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      GPUP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpup::util

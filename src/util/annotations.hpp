@@ -1,0 +1,22 @@
+// Cross-cutting function annotations.
+//
+// GPUP_HOT marks the simulator's per-cycle hot path: Gpu::run_launch's
+// cycle loop and everything it ticks every cycle (ComputeUnit,
+// MemorySystem). Two consumers:
+//
+//   * the compiler — expands to [[gnu::hot]] so GCC/clang optimize and
+//     lay out the marked functions accordingly;
+//   * tools/gpup_lint — treats marked functions as roots of its
+//     no-heap-allocation-on-the-hot-path rule (PR 1's allocation-free
+//     steady state, enforced by a checker instead of folklore). Setup
+//     work that legitimately allocates (launch-time reserves, MSHR
+//     waiter lists bounded by wavefront count) carries a
+//     `// gpup-lint: allow(hot-alloc) <reason>` comment; see
+//     docs/static-analysis.md for the allowlist policy.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPUP_HOT __attribute__((hot))
+#else
+#define GPUP_HOT
+#endif

@@ -44,7 +44,10 @@ enum class ErrorCode {
 
 /// Error with a human-readable message, optional source location context
 /// (e.g. "kernel.s:12" for assembler errors), and a machine-readable code.
-struct Error {
+/// [[nodiscard]] at the type level: a function handing back an Error is
+/// reporting a failure, and dropping it on the floor silently swallows
+/// that failure.
+struct [[nodiscard]] Error {
   std::string message;
   std::string context;
   ErrorCode code = ErrorCode::kUnknown;
@@ -55,9 +58,11 @@ struct Error {
 };
 
 /// Minimal expected-style result type (std::expected is C++23; we target
-/// C++20). Holds either a value or an Error.
+/// C++20). Holds either a value or an Error. [[nodiscard]] at the type
+/// level — every call returning a Result must be checked (or explicitly
+/// voided with a reason), not just the methods callers happen to remember.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
@@ -93,8 +98,9 @@ class Result {
 };
 
 /// Result-like type for operations with no value: either success or an
-/// Error. Default-constructed Status is success.
-class Status {
+/// Error. Default-constructed Status is success. [[nodiscard]] like
+/// Result: an ignored Status is an ignored failure.
+class [[nodiscard]] Status {
  public:
   Status() = default;                              // ok
   Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)

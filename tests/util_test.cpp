@@ -155,7 +155,8 @@ TEST(Status, ResultError) {
   Result<int> bad(Error{"boom", "ctx"});
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.error().to_string(), "ctx: boom");
-  EXPECT_THROW(bad.value(), std::runtime_error);
+  // The throw is the point here; void the [[nodiscard]] value deliberately.
+  EXPECT_THROW(static_cast<void>(bad.value()), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Golden-fixture check for gpup_lint.
+
+Each directory under fixtures/ is a miniature source tree holding exactly
+one violation of one rule (plus an allowlisted twin that must stay clean).
+For every fixture this driver runs gpup_lint with the fixture as --root
+and asserts:
+
+  * exit status 1 (the violation is flagged),
+  * every substring listed in the fixture's EXPECT file appears in stdout
+    (pinned file:line: [rule] prefixes),
+  * the total finding count matches EXPECT's `findings=N` line (so the
+    allowlisted twin was NOT flagged).
+
+Run directly or via ctest (gpup_lint.fixtures). Exit 0 = all fixtures
+behave, 1 = any mismatch.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "gpup_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def read_expect(path):
+    substrings = []
+    count = None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("findings="):
+                count = int(line.split("=", 1)[1])
+            else:
+                substrings.append(line)
+    return substrings, count
+
+
+def main():
+    failures = []
+    names = sorted(name for name in os.listdir(FIXTURES)
+                   if os.path.isdir(os.path.join(FIXTURES, name)))
+    if not names:
+        print("check_fixtures: no fixtures found", file=sys.stderr)
+        return 1
+    for name in names:
+        root = os.path.join(FIXTURES, name)
+        substrings, count = read_expect(os.path.join(root, "EXPECT"))
+        proc = subprocess.run([sys.executable, LINT, "--root", root],
+                              capture_output=True, text=True, check=False)
+        findings = [line for line in proc.stdout.splitlines() if line.strip()]
+        if proc.returncode != 1:
+            failures.append(f"{name}: expected exit 1, got {proc.returncode}\n"
+                            f"{proc.stdout}{proc.stderr}")
+            continue
+        for token in substrings:
+            if not any(token in line for line in findings):
+                failures.append(f"{name}: missing expected finding '{token}':\n"
+                                f"{proc.stdout}")
+        if count is not None and len(findings) != count:
+            failures.append(f"{name}: expected {count} finding(s), got "
+                            f"{len(findings)}:\n{proc.stdout}")
+        if not failures or not failures[-1].startswith(name):
+            print(f"check_fixtures: {name}: ok")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"check_fixtures: {len(failures)} fixture failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_fixtures: all {len(names)} fixtures behave")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+// gpup_lint fixture: heap allocation reachable from a GPUP_HOT root
+// through a helper (exercises the call-graph closure, not just the root's
+// own body). Not compiled — textual lint target only.
+#include <cstdint>
+#include <vector>
+
+namespace gpup::sim {
+
+class Widget {
+ public:
+  GPUP_HOT void tick(std::uint64_t now);
+
+ private:
+  void record(std::uint64_t now);
+  std::vector<std::uint64_t> events_;
+};
+
+void Widget::tick(std::uint64_t now) { record(now); }
+
+// VIOLATION: tick -> record -> unbounded vector growth, every cycle.
+void Widget::record(std::uint64_t now) { events_.push_back(now); }
+
+}  // namespace gpup::sim

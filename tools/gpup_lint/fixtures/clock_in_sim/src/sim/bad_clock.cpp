@@ -1,0 +1,22 @@
+// gpup_lint fixture: reading the host clock inside the simulator.
+// Not compiled — the linter is textual; this only has to look like the
+// real thing.
+#include <chrono>
+#include <cstdint>
+
+namespace gpup::sim {
+
+// VIOLATION: simulated state seeded from host time.
+std::uint64_t bad_seed() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// Allowed twin: the same read with a reasoned allow comment must be clean.
+std::uint64_t allowed_seed() {
+  // gpup-lint: allow(wall-clock) fixture: host-only diagnostics path
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace gpup::sim

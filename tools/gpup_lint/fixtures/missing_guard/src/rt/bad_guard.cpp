@@ -1,0 +1,24 @@
+// gpup_lint fixture: a GPUP_GUARDED_BY field touched by a function that
+// neither locks the mutex nor declares GPUP_REQUIRES on it. This is the
+// gcc-side backstop for the clang thread-safety analysis. Not compiled —
+// textual lint target only.
+#include <cstdint>
+
+namespace gpup::rt {
+
+class Counter {
+ public:
+  void bump() {
+    util::MutexLock lock(m_);
+    ++count_;
+  }
+
+  // VIOLATION: unlocked read of a guarded field.
+  std::uint64_t read_unlocked() const { return count_; }
+
+ private:
+  mutable util::Mutex m_;
+  std::uint64_t count_ GPUP_GUARDED_BY(m_) = 0;
+};
+
+}  // namespace gpup::rt

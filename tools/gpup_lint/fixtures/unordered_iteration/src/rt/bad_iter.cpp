@@ -1,0 +1,32 @@
+// gpup_lint fixture: iterating an unordered container in result-affecting
+// code. Not compiled — textual lint target only.
+#include <cstdint>
+#include <unordered_map>
+
+namespace gpup::rt {
+
+class PendingTable {
+ public:
+  // VIOLATION: hash-order fold; the visit order is unspecified.
+  std::uint64_t first_key() const {
+    std::uint64_t first = 0;
+    for (const auto& [key, value] : pending_) {
+      first = key;
+      break;
+    }
+    return first;
+  }
+
+  // Allowed twin: an order-independent sum carrying its proof.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    // gpup-lint: allow(unordered-iter) fixture: order-independent sum
+    for (const auto& [key, value] : pending_) sum += value;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_;
+};
+
+}  // namespace gpup::rt

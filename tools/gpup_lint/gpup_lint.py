@@ -1,0 +1,604 @@
+#!/usr/bin/env python3
+"""gpup_lint: project-specific determinism & hot-path checker.
+
+Token/regex-level static checks that the generic toolchain does not cover,
+tuned to this code base's invariants (see docs/static-analysis.md):
+
+  wall-clock      src/sim and src/rt must not read host time or host
+                  randomness (steady_clock, random_device, rand, sleep_for,
+                  ...). Simulated results must be a pure function of inputs;
+                  the few host-only spots (admission rate limiting, bounded
+                  host waits, adaptive driver selection) carry an explicit
+                  allow comment.
+  unordered-iter  no iteration over std::unordered_{map,set,...} in
+                  result-affecting code: hash-order is unspecified and
+                  varies across libstdc++ versions, so any fold over it
+                  must be proven order-independent and allowlisted, or
+                  rewritten over a sorted view.
+  hot-alloc       no heap allocation reachable from GPUP_HOT functions
+                  (the simulator's per-cycle loop). Roots are functions
+                  annotated GPUP_HOT (src/util/annotations.hpp); the check
+                  walks a textual call-graph closure over definitions in
+                  src/. Fixed-capacity containers (SortedUniqueBuf,
+                  FixedRing, std::array) are allocation-free by
+                  construction; launch-time setup allocations carry allow
+                  comments.
+  missing-guard   a field declared GPUP_GUARDED_BY(mu) may only be touched
+                  in functions that visibly lock mu (util::MutexLock /
+                  std::lock_guard / ...), are declared GPUP_REQUIRES(mu),
+                  or are GPUP_NO_THREAD_SAFETY_ANALYSIS. This is a
+                  compiler-independent backstop for the clang thread-safety
+                  analysis (which gcc cannot run). Field names declared
+                  more than once in the tree are skipped as ambiguous —
+                  the clang analysis still covers them.
+
+Allow comments:  // gpup-lint: allow(<rule>) <reason>
+A trailing comment covers its own line; a comment on a line of its own
+covers the next line that contains code. The reason is mandatory — a bare
+allow is itself reported.
+
+Pure Python 3 stdlib; no libclang. Exit status 0 = clean, 1 = findings,
+2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = ("wall-clock", "unordered-iter", "hot-alloc", "missing-guard")
+
+# Rules scoped to determinism-critical directories (relative to --root).
+DETERMINISM_DIRS = (os.path.join("src", "sim"), os.path.join("src", "rt"))
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "static_assert", "decltype", "noexcept", "new", "delete",
+    "throw", "do", "else", "case", "default", "using", "typedef", "template",
+    "operator", "co_await", "co_return", "co_yield", "assert", "defined",
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock|random_device|"
+    r"srand|rand|mt19937|mt19937_64|minstd_rand|default_random_engine|"
+    r"sleep_for|sleep_until|gettimeofday|clock_gettime|time)\s*(?=[(<:;])"
+)
+
+ALLOW_RE = re.compile(r"gpup-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+ALLOC_CALL_RE = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
+    r"\bmake_unique\s*<|\bmake_shared\s*<"
+)
+CONTAINER_GROW_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(push_back|emplace_back|emplace|insert|resize|reserve|assign|append)\s*\("
+)
+FIXED_CAP_DECL_RE = re.compile(
+    r"\b(?:SortedUniqueBuf|FixedRing|std::array)\s*<[^;{}]*>\s*&?\s*(\w+)\s*[;={(]"
+)
+FIXED_CAP_ALIAS_RE = re.compile(r"\bauto\s*&?\s*(\w+)\s*=\s*([A-Za-z_]\w*)\s*\[")
+
+GUARDED_FIELD_RE = re.compile(r"(\w+)\s+GPUP_GUARDED_BY\(([^)]+)\)")
+LOCK_CTOR_RE = re.compile(
+    r"\b(?:MutexLock|lock_guard|scoped_lock|unique_lock)\b"
+    r"(?:\s*<[^>]*>)?\s+\w+\s*[({]([^;]*?)[)}]\s*;"
+)
+REQUIRES_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*\([^;{}()]*(?:\([^()]*\)[^;{}()]*)*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?"
+    r"GPUP_REQUIRES\(([^)]+)\)"
+)
+NO_ANALYSIS_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*\([^;{}()]*(?:\([^()]*\)[^;{}()]*)*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?"
+    r"GPUP_NO_THREAD_SAFETY_ANALYSIS"
+)
+HOT_DECL_RE = re.compile(r"GPUP_HOT\b([^(;{]*)\(")
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+DEF_HEAD_RE = re.compile(r"\b((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\(")
+
+
+class SourceFile:
+    """One source file: raw lines, comment/string-stripped lines, allowlist."""
+
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.splitlines()
+        # line number (1-based) -> set of allowed rules; bad allows collected
+        # as findings by the caller.
+        self.allow, self.allow_errors = parse_allows(self.raw_lines)
+
+    def allowed(self, line_no, rule):
+        return rule in self.allow.get(line_no, ())
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line breaks
+    (so line numbers survive) and leaving a space where code was removed."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif ch == '"' or ch == "'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_allows(raw_lines):
+    """Map line numbers to allowed rules.
+
+    A trailing allow covers its own line; a comment-only allow line covers
+    the next line containing code. Returns (allow_map, errors)."""
+    allow = {}
+    errors = []
+    for idx, line in enumerate(raw_lines):
+        match = ALLOW_RE.search(line)
+        if not match:
+            continue
+        rule, reason = match.group(1), match.group(2).strip()
+        line_no = idx + 1
+        if rule not in RULES:
+            errors.append((line_no, f"allow names unknown rule '{rule}'"))
+            continue
+        if not reason:
+            errors.append((line_no, f"allow({rule}) is missing its reason"))
+            continue
+        stripped = line.strip()
+        if stripped.startswith("//"):
+            # Own-line comment: cover the next code-bearing line.
+            target = None
+            for j in range(idx + 1, len(raw_lines)):
+                candidate = raw_lines[j].strip()
+                if candidate and not candidate.startswith("//"):
+                    target = j + 1
+                    break
+            if target is None:
+                errors.append((line_no, f"allow({rule}) covers no code line"))
+                continue
+            allow.setdefault(target, set()).add(rule)
+        else:
+            allow.setdefault(line_no, set()).add(rule)
+    return allow, errors
+
+
+def match_paren(text, open_idx):
+    """Index just past the ')' matching the '(' at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def match_brace(text, open_idx):
+    """Index just past the '}' matching the '{' at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+class FunctionDef:
+    def __init__(self, name, src, body_start, body_end, noreturn):
+        self.name = name          # unqualified name
+        self.src = src            # SourceFile
+        self.body_start = body_start  # offset of '{' in src.code
+        self.body_end = body_end      # offset past matching '}'
+        self.noreturn = noreturn
+
+    def body(self):
+        return self.src.code[self.body_start:self.body_end]
+
+    def body_first_line(self):
+        return self.src.code.count("\n", 0, self.body_start) + 1
+
+
+def extract_functions(src):
+    """Heuristic scan for function definitions `name(...) ... {body}`.
+
+    Good enough for this tree's style: definitions start a statement, the
+    parameter list is parenthesis-balanced, and only const/noexcept/
+    override/final/-> trailing-return tokens sit between ')' and '{'."""
+    code = src.code
+    functions = []
+    pos = 0
+    while True:
+        match = DEF_HEAD_RE.search(code, pos)
+        if not match:
+            break
+        name = match.group(1).split("::")[-1].strip()
+        pos = match.end()
+        if name in CPP_KEYWORDS or name.startswith("~"):
+            continue
+        close = match_paren(code, match.end() - 1)
+        if close < 0:
+            continue
+        # Skip qualifiers between the parameter list and the body.
+        i = close
+        while i < len(code):
+            tail = code[i:i + 24]
+            stripped = tail.lstrip()
+            skipped = len(tail) - len(stripped)
+            if stripped.startswith(("const", "noexcept", "override", "final",
+                                    "mutable", "&&", "&")):
+                token = re.match(r"(const|noexcept|override|final|mutable|&&|&)",
+                                 stripped)
+                i += skipped + token.end()
+                # noexcept(...) / attribute-style parens
+                rest = code[i:].lstrip()
+                if rest.startswith("("):
+                    open_idx = code.index("(", i)
+                    nested = match_paren(code, open_idx)
+                    if nested < 0:
+                        break
+                    i = nested
+            elif stripped.startswith("->"):
+                # Trailing return type: scan to '{' or ';' at depth 0.
+                j = i + skipped + 2
+                while j < len(code) and code[j] not in "{;":
+                    j += 1
+                i = j
+                break
+            else:
+                i += skipped
+                break
+        if i >= len(code) or code[i] != "{":
+            continue
+        end = match_brace(code, i)
+        if end < 0:
+            continue
+        look_back = code[max(0, match.start() - 200):match.start()]
+        noreturn = "[[noreturn]]" in look_back
+        functions.append(FunctionDef(name, src, i, end, noreturn))
+        pos = i + 1  # also scan inside the body (local structs, etc.)
+    return functions
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+def in_determinism_scope(rel):
+    return any(rel.startswith(prefix + os.sep) or rel.startswith(prefix.replace(os.sep, "/") + "/")
+               for prefix in DETERMINISM_DIRS)
+
+
+def check_wall_clock(files, findings):
+    for src in files:
+        if not in_determinism_scope(src.rel):
+            continue
+        for idx, line in enumerate(src.code_lines):
+            match = WALL_CLOCK_RE.search(line)
+            if not match:
+                continue
+            line_no = idx + 1
+            if src.allowed(line_no, "wall-clock"):
+                continue
+            findings.append((src.rel, line_no, "wall-clock",
+                             f"host time/randomness source '{match.group(1)}' in "
+                             "determinism-critical code (simulated results must "
+                             "not depend on the host)"))
+
+
+def check_unordered_iter(files, findings):
+    for src in files:
+        if not in_determinism_scope(src.rel):
+            continue
+        names = set()
+        for line in src.code_lines:
+            for match in re.finditer(r"\bunordered_(?:map|set|multimap|multiset)\s*<", line):
+                tail = line[match.start():]
+                decl = re.search(r">\s*&?\s*(\w+)\s*[;={(]", tail)
+                if decl:
+                    names.add(decl.group(1))
+        if not names:
+            continue
+        name_alt = "|".join(sorted(names))
+        range_for = re.compile(r"for\s*\([^;)]*:\s*&?\s*(?:\w+(?:\.|->))*(" + name_alt + r")\b")
+        begin_call = re.compile(r"\b(" + name_alt + r")\s*(?:\.|->)\s*(?:c|r|cr)?begin\s*\(")
+        for idx, line in enumerate(src.code_lines):
+            match = range_for.search(line) or begin_call.search(line)
+            if not match:
+                continue
+            line_no = idx + 1
+            if src.allowed(line_no, "unordered-iter"):
+                continue
+            findings.append((src.rel, line_no, "unordered-iter",
+                             f"iteration over unordered container '{match.group(1)}' "
+                             "(hash-order is unspecified; sort first or prove the "
+                             "fold order-independent and allowlist it)"))
+
+
+def collect_fixed_capacity_names(files):
+    safe = set()
+    for src in files:
+        for line in src.code_lines:
+            for match in FIXED_CAP_DECL_RE.finditer(line):
+                safe.add(match.group(1))
+    # Propagate through `auto& alias = safe_container[...]` element refs.
+    changed = True
+    while changed:
+        changed = False
+        for src in files:
+            for line in src.code_lines:
+                for match in FIXED_CAP_ALIAS_RE.finditer(line):
+                    alias, origin = match.group(1), match.group(2)
+                    if origin in safe and alias not in safe:
+                        safe.add(alias)
+                        changed = True
+    return safe
+
+
+def check_hot_alloc(files, findings):
+    # Roots: names declared with GPUP_HOT anywhere.
+    roots = set()
+    for src in files:
+        for match in HOT_DECL_RE.finditer(src.code):
+            tokens = re.findall(r"[A-Za-z_]\w*", match.group(1))
+            if tokens:
+                roots.add(tokens[-1])
+    if not roots:
+        return
+
+    # The closure stays inside the simulator and its utilities: GPUP_HOT
+    # marks the per-cycle loop, and layering runs rt -> sim, never back.
+    # Following same-named rt/ functions (command submission, settling)
+    # would only add noise.
+    def in_hot_scope(rel):
+        rel = rel.replace(os.sep, "/")
+        return rel.startswith("src/sim/") or rel.startswith("src/util/")
+
+    defs_by_name = {}
+    all_defs = []
+    for src in files:
+        if not in_hot_scope(src.rel):
+            continue
+        for fn in extract_functions(src):
+            defs_by_name.setdefault(fn.name, []).append(fn)
+            all_defs.append(fn)
+
+    # Textual call-graph closure from the hot roots. Conservative: a call
+    # site `foo(` reaches every definition named foo in the tree.
+    reachable_names = set()
+    frontier = sorted(roots)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable_names:
+            continue
+        reachable_names.add(name)
+        for fn in defs_by_name.get(name, ()):
+            if fn.noreturn:
+                continue  # cold path: trap/abort helpers
+            for call in CALL_RE.finditer(fn.body()):
+                callee = call.group(1)
+                if callee in CPP_KEYWORDS or callee in reachable_names:
+                    continue
+                if callee in defs_by_name:
+                    frontier.append(callee)
+
+    safe_receivers = collect_fixed_capacity_names(files)
+
+    for fn in all_defs:
+        if fn.name not in reachable_names or fn.noreturn:
+            continue
+        first_line = fn.body_first_line()
+        for offset, line in enumerate(fn.body().splitlines()):
+            if "throw" in line:
+                continue  # trap path: allocation on the way out is fine
+            line_no = first_line + offset
+            hit = None
+            grow = CONTAINER_GROW_RE.search(line)
+            if grow and grow.group(1) not in safe_receivers:
+                hit = f"{grow.group(1)}.{grow.group(2)}()"
+            elif ALLOC_CALL_RE.search(line):
+                hit = ALLOC_CALL_RE.search(line).group(0).strip().rstrip("(<").strip()
+            if hit is None:
+                continue
+            if fn.src.allowed(line_no, "hot-alloc"):
+                continue
+            findings.append((fn.src.rel, line_no, "hot-alloc",
+                             f"heap allocation '{hit}' reachable from GPUP_HOT "
+                             f"roots (via '{fn.name}'); hoist to setup, use a "
+                             "fixed-capacity container, or allowlist with a "
+                             "bounded-capacity argument"))
+
+
+def check_missing_guard(files, findings):
+    # field name -> guard expression (from GPUP_GUARDED_BY declarations).
+    guards = {}
+    ambiguous = set()
+    for src in files:
+        for idx, line in enumerate(src.code_lines):
+            for match in GUARDED_FIELD_RE.finditer(line):
+                field, guard = match.group(1), match.group(2).strip()
+                if field in guards and guards[field] != guard:
+                    ambiguous.add(field)
+                guards[field] = guard
+    # A name also declared as a plain (unguarded) member elsewhere is
+    # ambiguous: a textual scan cannot tell the two apart. A declaration
+    # looks like `Type name;` / `Type name = ...` / `Type name{...}` —
+    # distinguish it from usages like `return name;` by requiring the
+    # preceding token to not be a statement keyword.
+    not_a_type = {"return", "co_return", "co_yield", "delete", "case",
+                  "goto", "new", "throw", "else", "typename"}
+    plain_decl = {field: re.compile(r"([A-Za-z_]\w*|[>&\*\]])\s+" + field + r"\s*[;={]")
+                  for field in guards}
+    for src in files:
+        for line in src.code_lines:
+            if "GPUP_GUARDED_BY" in line:
+                continue
+            for field, pattern in plain_decl.items():
+                if field in ambiguous:
+                    continue
+                match = pattern.search(line)
+                if match and match.group(1) not in not_a_type:
+                    ambiguous.add(field)
+    tracked = {field: guard for field, guard in guards.items() if field not in ambiguous}
+    if not tracked:
+        return
+
+    def normalize(expr):
+        expr = expr.strip()
+        expr = re.split(r"\.|->", expr)[-1]
+        return expr.split("(")[0].strip()
+
+    # function name -> set of normalized mutexes it REQUIRES; plus the
+    # opted-out set. Annotations live on declarations, definitions are
+    # looked up by name.
+    requires = {}
+    no_analysis = set()
+    for src in files:
+        for match in REQUIRES_RE.finditer(src.code):
+            held = requires.setdefault(match.group(1), set())
+            for mutex in match.group(2).split(","):
+                held.add(normalize(mutex))
+        for match in NO_ANALYSIS_RE.finditer(src.code):
+            no_analysis.add(match.group(1))
+
+    field_alt = re.compile(r"\b(" + "|".join(sorted(tracked)) + r")\b")
+    for src in files:
+        if not src.rel.startswith("src" + os.sep) and not src.rel.startswith("src/"):
+            continue
+        for fn in extract_functions(src):
+            if fn.name in no_analysis:
+                continue
+            body = fn.body()
+            held = set(requires.get(fn.name, ()))
+            for match in LOCK_CTOR_RE.finditer(body):
+                held.add(normalize(match.group(1)))
+            first_line = fn.body_first_line()
+            for offset, line in enumerate(body.splitlines()):
+                for match in field_alt.finditer(line):
+                    # `x.name(` is a member-function call that happens to
+                    # share the field's name, not a field access.
+                    if re.match(r"\s*\(", line[match.end():]):
+                        continue
+                    field = match.group(1)
+                    guard = normalize(tracked[field])
+                    if guard in held:
+                        continue
+                    line_no = first_line + offset
+                    if fn.src.allowed(line_no, "missing-guard"):
+                        continue
+                    findings.append((fn.src.rel, line_no, "missing-guard",
+                                     f"'{field}' is GPUP_GUARDED_BY({tracked[field]}) "
+                                     f"but '{fn.name}' neither locks it nor declares "
+                                     "GPUP_REQUIRES on it"))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def gather_files(root, compile_commands, explicit):
+    paths = []
+    if explicit:
+        for path in explicit:
+            paths.append(os.path.abspath(path))
+    else:
+        src_root = os.path.join(root, "src")
+        if compile_commands and os.path.exists(compile_commands):
+            with open(compile_commands, encoding="utf-8") as handle:
+                for entry in json.load(handle):
+                    path = os.path.abspath(
+                        os.path.join(entry.get("directory", ""), entry["file"]))
+                    if path.startswith(os.path.abspath(src_root) + os.sep):
+                        paths.append(path)
+        for dirpath, dirnames, filenames in os.walk(src_root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                    paths.append(os.path.join(dirpath, name))
+    seen = set()
+    files = []
+    for path in sorted(set(paths)):
+        real = os.path.realpath(path)
+        if real in seen or not os.path.exists(real):
+            continue
+        seen.add(real)
+        rel = os.path.relpath(real, root)
+        with open(real, encoding="utf-8") as handle:
+            files.append(SourceFile(real, rel, handle.read()))
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root; rules scope paths relative to it")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json; adds its src/ translation "
+                             "units to the linted set")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="run only the given rule(s); default: all")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint (default: all of <root>/src)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    files = gather_files(root, args.compile_commands, args.paths)
+    rules = tuple(args.rule) if args.rule else RULES
+
+    findings = []
+    for src in files:
+        for line_no, message in src.allow_errors:
+            findings.append((src.rel, line_no, "allow-syntax", message))
+    if "wall-clock" in rules:
+        check_wall_clock(files, findings)
+    if "unordered-iter" in rules:
+        check_unordered_iter(files, findings)
+    if "hot-alloc" in rules:
+        check_hot_alloc(files, findings)
+    if "missing-guard" in rules:
+        check_missing_guard(files, findings)
+
+    findings.sort()
+    for rel, line_no, rule, message in findings:
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"gpup_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"gpup_lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
