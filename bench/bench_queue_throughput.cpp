@@ -3,9 +3,11 @@
 // (one device per queue, workers = hardware concurrency), plus a
 // mixed-priority multi-tenant fairness scenario over the pluggable
 // scheduler policies and a heterogeneous-pool placement scenario over the
-// placement policies, and writes BENCH_queue_throughput.json so the
-// serving-throughput, fairness, and placement trajectories are visible
-// across PRs.
+// placement policies, plus a serving scenario that drives the same
+// closed loop through gpupd's wire protocol (in-process serve::Daemon
+// over a real Unix socket) to price the serve layer's tax, and writes
+// BENCH_queue_throughput.json so the serving-throughput, fairness, and
+// placement trajectories are visible across PRs.
 //
 // Throughput section: each queue is driven by a closed-loop client thread
 // — upload once, then repeatedly enqueue a launch + result read and block
@@ -50,6 +52,7 @@
 //
 // GPUP_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -65,6 +68,8 @@
 #include <vector>
 
 #include "src/rt/runtime.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/daemon.hpp"
 
 namespace {
 
@@ -618,6 +623,138 @@ struct OverloadReport {
   double goodput_ratio = 0.0;
 };
 
+// ---- serving (gpupd wire protocol) scenario -------------------------------
+
+// The serve layer's tax over the in-process API: N closed-loop sessions
+// speak the length-prefixed protocol to an in-process Daemon over a real
+// Unix socket (frame encode + socket hop + session dispatch per request),
+// each running launch + read + wait rounds against its own buffer. The
+// self-check mirrors the rest of the file — every read-back golden, and
+// after drain() the context gauges must be zero (no leaked reservations
+// from the serving path).
+constexpr int kServeRounds = 24;
+constexpr int kServeDevices = 2;
+
+struct ServePoint {
+  int clients = 0;
+  int rounds = 0;
+  double wall_s = 0.0;
+  double rounds_per_s = 0.0;
+};
+
+struct ServeRunResult {
+  double wall_s = 0.0;
+  bool valid = true;
+  bool settled = true;
+};
+
+ServeRunResult run_serve_point(int clients) {
+  const std::string path =
+      "/tmp/gpupd-bench-" + std::to_string(::getpid()) + "-" + std::to_string(clients) + ".sock";
+  gpup::serve::DaemonOptions options;
+  options.socket_path = path;
+  options.context.devices.assign(kServeDevices, bench_config());
+  options.max_sessions = clients;
+  gpup::serve::Daemon daemon(options);
+  GPUP_CHECK_MSG(daemon.start().ok(), "gpupd bench daemon failed to start");
+
+  std::vector<std::uint32_t> a(kN), golden(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    a[i] = i * 2654435761u + 1;
+    golden[i] = a[i] * 3 + 7;
+  }
+
+  constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+  std::vector<std::uint8_t> client_valid(static_cast<std::size_t>(clients), 0);
+  const auto session = [&](int index) {
+    gpup::serve::ClientOptions client_options;
+    client_options.tenant = static_cast<std::uint64_t>(index);
+    auto connected = gpup::serve::Client::connect(path, client_options);
+    GPUP_CHECK_MSG(connected.ok(), connected.error().to_string());
+    gpup::serve::Client client = std::move(connected).value();
+    const auto program = client.compile(kStepSource);
+    const auto buffer = client.alloc_words(kN);
+    GPUP_CHECK(program.ok() && buffer.ok());
+    bool valid = true;
+    for (int round = 0; round < kServeRounds; ++round) {
+      valid = valid && client.write(buffer.value(), a).ok();
+      gpup::serve::LaunchSpec spec;
+      spec.program = program.value();
+      spec.args = {{false, kN}, {true, buffer.value()}, {false, 7}};
+      spec.global_size = kN;
+      valid = valid && client.launch(spec).ok();
+      const auto read = client.read(buffer.value());
+      valid = valid && read.ok();
+      if (!valid) break;
+      const auto done = client.wait(read.value(), 30'000);
+      valid = valid && done.ok() &&
+              done.value().result == gpup::rt::WaitResult::kComplete &&
+              done.value().data == golden;
+    }
+    client_valid[static_cast<std::size_t>(index)] = valid ? 1 : 0;
+  };
+
+  const auto start = Clock::now();
+  std::vector<std::thread> sessions;
+  sessions.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) sessions.emplace_back(session, c);
+  for (auto& thread : sessions) thread.join();
+
+  ServeRunResult result;
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const std::uint8_t ok : client_valid) result.valid = result.valid && ok != 0;
+  daemon.drain();
+  const auto gauges = daemon.context().snapshot();
+  result.settled = gauges.inflight_cycles == 0 && gauges.admission_pending == 0 &&
+                   gauges.unsettled_commands == 0 && gauges.live_queues == 0;
+  return result;
+}
+
+/// Returns false (failing CI) when a serving read-back misses its golden
+/// or a drained daemon leaves nonzero context gauges behind.
+bool run_serving_report(std::vector<ServePoint>& points) {
+  std::printf("=== Serving (gpupd wire protocol, %d devices, %d rounds/session) ===\n",
+              kServeDevices, kServeRounds);
+  (void)run_serve_point(1);  // warm-up, discarded
+  bool ok = true;
+  for (const int clients : {1, 2, 4}) {
+    // Best of 3: session walls are tens of milliseconds on shared hosts.
+    double wall = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const ServeRunResult run = run_serve_point(clients);
+      ok = ok && run.valid && run.settled;
+      if (wall == 0.0 || run.wall_s < wall) wall = run.wall_s;
+    }
+    ServePoint point;
+    point.clients = clients;
+    point.rounds = clients * kServeRounds;
+    point.wall_s = wall;
+    point.rounds_per_s = wall > 0 ? point.rounds / wall : 0.0;
+    std::printf("%2d session(s): %3d rounds in %.3f s = %7.1f rounds/s\n", clients,
+                point.rounds, point.wall_s, point.rounds_per_s);
+    points.push_back(point);
+  }
+  std::printf("serving self-check (goldens + settled gauges after drain): %s\n",
+              ok ? "ok" : "FAILED");
+  return ok;
+}
+
 /// Measures closed-loop capacity (admission off), then drives 2x the
 /// saturation client count with admission on. Returns false (failing CI)
 /// when goodput under overload drops below 90% of capacity, the pending
@@ -678,7 +815,8 @@ bool run_overload_report(OverloadReport& report) {
 void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check,
                const std::vector<FairnessRun>& fairness, bool fairness_check,
                const std::vector<PlacementRun>& placement, bool placement_check,
-               const OverloadReport& overload, bool overload_check) {
+               const OverloadReport& overload, bool overload_check,
+               const std::vector<ServePoint>& serving, bool serving_check) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_queue_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -770,6 +908,21 @@ void emit_json(const std::vector<Point>& points, unsigned threads, bool self_che
                static_cast<unsigned long long>(overload.overload.shed),
                static_cast<unsigned long long>(overload.overload.max_pending));
   std::fprintf(out, "    \"goodput_ratio\": %.4f\n", overload.goodput_ratio);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"serving\": {\n");
+  std::fprintf(out, "    \"devices\": %d,\n", kServeDevices);
+  std::fprintf(out, "    \"rounds_per_session\": %d,\n", kServeRounds);
+  std::fprintf(out, "    \"self_check\": %s,\n", serving_check ? "true" : "false");
+  std::fprintf(out, "    \"points\": [\n");
+  for (std::size_t i = 0; i < serving.size(); ++i) {
+    const ServePoint& point = serving[i];
+    std::fprintf(out,
+                 "      {\"sessions\": %d, \"rounds\": %d, \"wall_s\": %.6f, "
+                 "\"rounds_per_s\": %.2f}%s\n",
+                 point.clients, point.rounds, point.wall_s, point.rounds_per_s,
+                 i + 1 < serving.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
@@ -875,9 +1028,12 @@ bool run_throughput_report() {
   OverloadReport overload;
   const bool overload_check = run_overload_report(overload);
 
+  std::vector<ServePoint> serving;
+  const bool serving_check = run_serving_report(serving);
+
   emit_json(points, threads, self_check, fairness, fairness_check, placement,
-            placement_check, overload, overload_check);
-  return self_check && fairness_check && placement_check && overload_check;
+            placement_check, overload, overload_check, serving, serving_check);
+  return self_check && fairness_check && placement_check && overload_check && serving_check;
 }
 
 void BM_EightQueues(benchmark::State& state) {

@@ -305,13 +305,17 @@ Event Context::make_detached_failed(Error error) {
   return Event(std::move(state));
 }
 
-Context::Gauges Context::gauges() {
+Context::Gauges Context::snapshot() {
   Gauges gauges;
   for (int i = 0; i < device_count(); ++i) {
     gauges.inflight_cycles += devices_.inflight_cycles(i);
     gauges.affinity_cache_entries += devices_.cache_entries(i);
+    gauges.devices_quarantined += devices_.quarantined(i) ? 1 : 0;
   }
   gauges.admission_pending = admission_.total_pending();
+  gauges.shed_total = admission_.rejected();
+  gauges.retries_total = retries_total_.load(std::memory_order_relaxed);
+  gauges.deadline_misses_total = deadline_misses_total_.load(std::memory_order_relaxed);
   util::MutexLock queues_lock(queues_mutex_);
   util::MutexLock graph_lock(graph_mutex());
   gauges.live_queues = static_cast<int>(queues_.size());
@@ -632,6 +636,7 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
         // Deadline admission: a launch the (frozen) cost model predicts
         // over its deadline fails up front, before occupying any device.
         if (deadline != 0 && stable_cost > static_cast<double>(deadline)) {
+          state.context->deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
           return Error{format("predicted %.0f cycles exceeds deadline of %llu", stable_cost,
                               static_cast<unsigned long long>(deadline)),
                        "rt.deadline", ErrorCode::kDeadlineExceeded};
@@ -639,11 +644,26 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
         const int attempts = std::max(1, retry.max_attempts);
         Status last;
         for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0) {
+            state.context->retries_total_.fetch_add(1, std::memory_order_relaxed);
+          }
           if (attempt > 0 && retry.backoff.count() > 0) {
-            // Exponential wall-clock backoff (shift-capped): host-side
-            // pacing only, never part of any simulated result.
-            // gpup-lint: allow(wall-clock) retry backoff paces the host, not the simulation
-            std::this_thread::sleep_for(retry.backoff * (1ll << std::min(attempt - 1, 20)));
+            // Exponential backoff, doubling-then-capped at max_backoff,
+            // optionally jittered into [delay/2, delay] by a pure hash of
+            // (jitter_seed, command seq, attempt) — deterministic, so
+            // chaos runs stay reproducible. Host-side pacing only, never
+            // part of any simulated result.
+            auto delay = static_cast<std::uint64_t>(retry.backoff.count());
+            for (int i = 0; i < attempt - 1 && delay < (1ull << 62); ++i) delay <<= 1;
+            const auto cap = static_cast<std::uint64_t>(retry.max_backoff.count());
+            if (cap > 0 && delay > cap) delay = cap;
+            if (retry.jitter_seed != 0 && delay > 1) {
+              const std::uint64_t scramble = schedule_key(
+                  retry.jitter_seed, state.tag.seq * 1000003ull + static_cast<std::uint64_t>(attempt));
+              delay = delay / 2 + scramble % (delay - delay / 2 + 1);
+            }
+            // gpup-lint: allow(wall-clock) retry backoff (capped + seeded-jitter) paces the host between attempts, not the simulation
+            std::this_thread::sleep_for(std::chrono::microseconds(delay));
           }
           // Relocatable launches walk the pool deterministically; pinned
           // launches retry in place. Attempt identity (seq, attempt, dev)
@@ -680,6 +700,7 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
           }
           if (outcome.ok()) {
             if (deadline != 0 && state.stats.cycles > deadline) {
+              state.context->deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
               return Error{format("launch took %llu cycles, deadline was %llu",
                                   static_cast<unsigned long long>(state.stats.cycles),
                                   static_cast<unsigned long long>(deadline)),
@@ -741,6 +762,21 @@ Result<CommandQueue::SharedUpload> CommandQueue::upload_shared(
       });
   if (!cached.ok()) return cached.error();
   return SharedUpload{cached.value().buffer, Event(cached.value().write)};
+}
+
+int CommandQueue::cancel_pending() {
+  GPUP_CHECK_MSG(valid(), "null command queue");
+  std::vector<std::shared_ptr<detail::EventState>> pending;
+  {
+    util::MutexLock lock(graph_mutex());
+    pending = state_->unsettled;
+  }
+  // cancel() claims only still-queued commands; running or terminal ones
+  // return false and settle through their own paths — this loop can never
+  // yank work off a device or double-settle anything.
+  int cancelled = 0;
+  for (const auto& event : pending) cancelled += Event(event).cancel() ? 1 : 0;
+  return cancelled;
 }
 
 bool CommandQueue::finish() {

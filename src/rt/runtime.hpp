@@ -242,15 +242,24 @@ struct QueueOptions {
 /// How a failed kernel launch is retried. Retries apply to *transient*
 /// failures only — device traps (kTrap, injected or real) and device loss
 /// (kDeviceLost); argument errors, OOM, and missed deadlines are
-/// permanent. Attempt k sleeps `backoff * 2^(k-1)` of host time first
-/// (wall-clock only: simulated results never depend on the backoff), and
-/// when `relocate` is set and the launch has no buffer arguments, attempt
-/// k runs on device `(bound + k) % pool_size` — a deterministic walk, so
+/// permanent. Attempt k sleeps `min(backoff * 2^(k-1), max_backoff)` of
+/// host time first (wall-clock only: simulated results never depend on
+/// the backoff); a non-zero `jitter_seed` scales that delay into
+/// [delay/2, delay] by a pure hash of (seed, command seq, attempt), so a
+/// retry storm de-synchronizes without losing reproducibility. When
+/// `relocate` is set and the launch has no buffer arguments, attempt k
+/// runs on device `(bound + k) % pool_size` — a deterministic walk, so
 /// chaos outcomes stay reproducible. Every attempt's outcome feeds the
 /// device's health window (quarantine).
 struct RetryPolicy {
   int max_attempts = 1;  ///< total attempts (1 = no retry)
   std::chrono::microseconds backoff{0};
+  /// Ceiling on the doubled backoff (0 = uncapped). Default one second:
+  /// an unbounded doubling turns a transient blip into a multi-minute
+  /// stall by attempt ~20.
+  std::chrono::microseconds max_backoff{1'000'000};
+  /// 0 = no jitter; otherwise seeds the deterministic delay scramble.
+  std::uint64_t jitter_seed = 0;
   bool relocate = true;
 };
 
@@ -354,6 +363,14 @@ class CommandQueue {
   /// completed (a failure anywhere in the queue's history returns false).
   bool finish();
 
+  /// Session-scoped cancel-all (the serving layer's disconnect hook):
+  /// cancel every still-queued command of this queue. Running commands
+  /// are untouched — they settle through the normal terminal paths — and
+  /// each successful cancel releases its device-load reservation and
+  /// admission slot exactly like Event::cancel(). Returns how many
+  /// commands this call cancelled.
+  int cancel_pending();
+
  private:
   friend class Context;
   CommandQueue(Context* context, std::shared_ptr<detail::QueueState> state)
@@ -432,18 +449,28 @@ class Context {
   /// terminal; true iff all completed.
   bool finish();
 
-  // ---- introspection (chaos / soak instrumentation) --------------------
-  /// Point-in-time resource gauges. After finish() on an otherwise idle
-  /// context every gauge must read zero pending work — the soak suite
-  /// asserts exactly that to pin the no-leak guarantee.
+  // ---- introspection (chaos / soak / serving instrumentation) ----------
+  /// Point-in-time resource gauges plus cumulative failure counters.
+  /// After finish() on an otherwise idle context every *gauge* must read
+  /// zero pending work — the soak suite asserts exactly that to pin the
+  /// no-leak guarantee. The `*_total` fields are monotonic counters (they
+  /// never reset) feeding the serving layer's metrics endpoint.
   struct Gauges {
     std::uint64_t inflight_cycles = 0;    ///< sum of device load gauges
     std::uint64_t admission_pending = 0;  ///< unsettled admitted commands
     std::uint64_t unsettled_commands = 0; ///< graph nodes not yet terminal
     int live_queues = 0;                  ///< registered (unpruned) queues
     std::size_t affinity_cache_entries = 0;
+    int devices_quarantined = 0;          ///< breakers currently open
+    std::uint64_t shed_total = 0;         ///< admission rejections, cumulative
+    std::uint64_t retries_total = 0;      ///< launch attempts beyond the first
+    std::uint64_t deadline_misses_total = 0;  ///< kDeadlineExceeded failures
   };
-  [[nodiscard]] Gauges gauges();
+  /// One concurrency-safe snapshot of every gauge and counter; callable
+  /// from any thread at any time (metrics scrapes race live traffic).
+  [[nodiscard]] Gauges snapshot() GPUP_EXCLUDES(queues_mutex_);
+  /// Back-compat alias for snapshot().
+  [[nodiscard]] Gauges gauges() { return snapshot(); }
   [[nodiscard]] bool device_quarantined(int device) const {
     return devices_.quarantined(device);
   }
@@ -499,6 +526,10 @@ class Context {
   DevicePool devices_;
   AdmissionController admission_;
   std::atomic<std::uint64_t> next_alloc_site_{0};  ///< alloc fault ordinals
+  // Cumulative failure counters surfaced by snapshot(); relaxed atomics —
+  // each is an independent monotonic count, never a synchronization edge.
+  std::atomic<std::uint64_t> retries_total_{0};
+  std::atomic<std::uint64_t> deadline_misses_total_{0};
 
   util::Mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue

@@ -1,0 +1,324 @@
+#include "src/serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace gpup::serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      alive_(other.alive_),
+      next_request_id_(other.next_request_id_),
+      device_count_(other.device_count_),
+      session_id_(other.session_id_),
+      options_(other.options_) {
+  other.fd_ = -1;
+  other.alive_ = false;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    alive_ = other.alive_;
+    next_request_id_ = other.next_request_id_;
+    device_count_ = other.device_count_;
+    session_id_ = other.session_id_;
+    options_ = other.options_;
+    other.fd_ = -1;
+    other.alive_ = false;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Client> Client::connect(const std::string& socket_path, const ClientOptions& options) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Error{"socket path empty or longer than sockaddr_un allows", "serve.client",
+                 ErrorCode::kInvalidArg};
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = -1;
+  const int attempts = options.connect_attempts > 0 ? options.connect_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Error{std::string("socket: ") + std::strerror(errno), "serve.client"};
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    const int err = errno;
+    ::close(fd);
+    fd = -1;
+    // The daemon may still be binding (ENOENT) or restarting
+    // (ECONNREFUSED): both are worth the bounded retry. Anything else
+    // (permissions, not-a-socket) will not heal with time.
+    if (err != ENOENT && err != ECONNREFUSED) {
+      return Error{std::string("connect ") + socket_path + ": " + std::strerror(err),
+                   "serve.client", ErrorCode::kSessionLost};
+    }
+    if (attempt + 1 < attempts) std::this_thread::sleep_for(options.connect_backoff);
+  }
+  if (fd < 0) {
+    return Error{"daemon not reachable at " + socket_path + " after " +
+                     std::to_string(attempts) + " attempts",
+                 "serve.client", ErrorCode::kSessionLost};
+  }
+
+  Client client;
+  client.fd_ = fd;
+  client.alive_ = true;
+  client.options_ = options;
+
+  WireWriter hello;
+  hello.u32(kProtocolVersion);
+  hello.u64(options.tenant);
+  hello.u32(static_cast<std::uint32_t>(options.priority));
+  hello.u64(options.deadline_cycles);
+  auto ack = client.round_trip(MsgType::kHello, hello.take());
+  if (!ack.ok()) return ack.error();
+  WireReader reader(ack.value().payload);
+  const std::uint32_t version = reader.u32();
+  client.device_count_ = static_cast<int>(reader.u32());
+  client.session_id_ = reader.u64();
+  if (!reader.done() || version != kProtocolVersion) {
+    return Error{"malformed hello ack", "serve.client", ErrorCode::kSessionLost};
+  }
+  return client;
+}
+
+Error Client::session_lost(const std::string& what) {
+  alive_ = false;
+  return Error{what + " (session lost; reconnect for a fresh session)", "serve.client",
+               ErrorCode::kSessionLost};
+}
+
+Status Client::send(MsgType type, std::uint64_t request_id,
+                    const std::vector<std::uint8_t>& payload) {
+  if (!alive()) return session_lost("send on dead session");
+  const IoStatus io = send_frame(fd_, type, WireStatus::kOk, request_id, payload,
+                                 options_.io_timeout);
+  if (io != IoStatus::kOk) {
+    // A refused send usually means the daemon rejected the connection and
+    // closed it — but its goodbye frame (kOverloaded/kDraining, request_id
+    // 0) may still be sitting in our receive buffer. Prefer that typed
+    // story over a generic session-lost.
+    if (io == IoStatus::kClosed || io == IoStatus::kError) {
+      FrameResult in = recv_frame(fd_, options_.max_payload, options_.io_timeout);
+      if (in.valid() && in.frame.header.type == MsgType::kError &&
+          in.frame.header.request_id == 0) {
+        WireReader reader(in.frame.payload);
+        const auto code = static_cast<ErrorCode>(reader.u16());
+        std::string message = reader.str();
+        const WireStatus status = in.frame.header.status;
+        alive_ = false;
+        return Error{reader.done() ? std::move(message) : std::string("(connection rejected)"),
+                     std::string("gpupd:") + to_string(status),
+                     status == WireStatus::kFailed ? code : to_error_code(status)};
+      }
+    }
+    return session_lost(std::string("send ") + to_string(type) + ": " + to_string(io));
+  }
+  return {};
+}
+
+Result<Frame> Client::receive(std::uint64_t expect_request_id, std::chrono::milliseconds extra) {
+  if (!alive()) return session_lost("receive on dead session");
+  FrameResult in = recv_frame(fd_, options_.max_payload, options_.io_timeout + extra);
+  if (in.io != IoStatus::kOk || in.malformed || in.oversized) {
+    return session_lost(std::string("receive: ") +
+                        (in.io != IoStatus::kOk ? to_string(in.io)
+                         : in.malformed          ? "malformed frame"
+                                                 : "oversized frame"));
+  }
+  // request_id 0 marks a connection-level error (pre-session reject such
+  // as kOverloaded/kDraining, or an unparsable stream): the daemon sends
+  // it before reading any request and closes. Surface it typed; the
+  // session is dead either way.
+  if (in.frame.header.type == MsgType::kError && in.frame.header.request_id == 0 &&
+      expect_request_id != 0) {
+    WireReader reader(in.frame.payload);
+    const auto code = static_cast<ErrorCode>(reader.u16());
+    std::string message = reader.str();
+    const WireStatus status = in.frame.header.status;
+    alive_ = false;
+    return Error{reader.done() ? std::move(message) : std::string("(connection rejected)"),
+                 std::string("gpupd:") + to_string(status),
+                 status == WireStatus::kFailed ? code : to_error_code(status)};
+  }
+  // Responses are strictly ordered, so an id mismatch means the stream is
+  // desynchronized — unrecoverable for this session.
+  if (in.frame.header.request_id != expect_request_id) {
+    return session_lost("response id " + std::to_string(in.frame.header.request_id) +
+                        ", expected " + std::to_string(expect_request_id));
+  }
+  if (in.frame.header.type == MsgType::kError) {
+    WireReader reader(in.frame.payload);
+    const auto code = static_cast<ErrorCode>(reader.u16());
+    std::string message = reader.str();
+    const WireStatus status = in.frame.header.status;
+    // The session survives typed request-level errors; only wire-level
+    // trouble kills it.
+    const ErrorCode mapped = status == WireStatus::kFailed ? code : to_error_code(status);
+    return Error{reader.done() ? std::move(message)
+                               : std::string("(malformed error payload)"),
+                 std::string("gpupd:") + to_string(status), mapped};
+  }
+  return std::move(in.frame);
+}
+
+Result<Frame> Client::round_trip(MsgType type, const std::vector<std::uint8_t>& payload) {
+  const std::uint64_t id = next_request_id_++;
+  Status sent = send(type, id, payload);
+  if (!sent.ok()) return sent.error();
+  return receive(id);
+}
+
+Result<std::uint64_t> Client::decode_handle(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::uint64_t handle = reader.u64();
+  if (frame.header.type != MsgType::kHandle || !reader.done()) {
+    return session_lost("malformed handle response");
+  }
+  return handle;
+}
+
+Result<std::uint64_t> Client::compile(const std::string& source) {
+  WireWriter writer;
+  writer.str(source);
+  auto response = round_trip(MsgType::kCompile, writer.take());
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+Result<std::uint64_t> Client::alloc_words(std::uint32_t words) {
+  WireWriter writer;
+  writer.u32(words);
+  auto response = round_trip(MsgType::kAlloc, writer.take());
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+Result<std::uint64_t> Client::write(std::uint64_t buffer,
+                                    const std::vector<std::uint32_t>& words) {
+  WireWriter writer;
+  writer.u64(buffer);
+  writer.words(words);
+  auto response = round_trip(MsgType::kWrite, writer.take());
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+std::vector<std::uint8_t> Client::encode_launch(const LaunchSpec& spec) {
+  WireWriter writer;
+  writer.u64(spec.program);
+  writer.u32(spec.global_size);
+  writer.u32(spec.wg_size);
+  writer.u64(spec.deadline_cycles);
+  writer.u32(spec.max_attempts);
+  writer.u64(spec.backoff_us);
+  writer.u64(spec.jitter_seed);
+  writer.u32(static_cast<std::uint32_t>(spec.args.size()));
+  for (const auto& arg : spec.args) {
+    writer.u8(arg.is_buffer ? 1 : 0);
+    writer.u64(arg.value);
+  }
+  return writer.take();
+}
+
+Result<std::uint64_t> Client::launch(const LaunchSpec& spec) {
+  auto response = round_trip(MsgType::kLaunch, encode_launch(spec));
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+Result<std::uint64_t> Client::read(std::uint64_t buffer) {
+  WireWriter writer;
+  writer.u64(buffer);
+  auto response = round_trip(MsgType::kRead, writer.take());
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+Result<WaitOutcome> Client::wait(std::uint64_t event, std::uint32_t timeout_ms) {
+  WireWriter writer;
+  writer.u64(event);
+  writer.u32(timeout_ms);
+  // The daemon sits on a kWait for up to timeout_ms before responding;
+  // the receive budget must cover that on top of the plain IO allowance.
+  const std::uint64_t id = next_request_id_++;
+  Status sent = send(MsgType::kWait, id, writer.take());
+  if (!sent.ok()) return sent.error();
+  auto response = receive(id, std::chrono::milliseconds(timeout_ms));
+  if (!response.ok()) return response.error();
+  WireReader reader(response.value().payload);
+  WaitOutcome outcome;
+  outcome.result = static_cast<rt::WaitResult>(reader.u8());
+  outcome.code = static_cast<ErrorCode>(reader.u16());
+  outcome.message = reader.str();
+  outcome.cycles = reader.u64();
+  outcome.data = reader.words();
+  if (response.value().header.type != MsgType::kWaitDone || !reader.done()) {
+    return session_lost("malformed wait response");
+  }
+  return outcome;
+}
+
+Result<bool> Client::cancel(std::uint64_t event) {
+  WireWriter writer;
+  writer.u64(event);
+  auto response = round_trip(MsgType::kCancel, writer.take());
+  if (!response.ok()) return response.error();
+  WireReader reader(response.value().payload);
+  const bool cancelled = reader.u8() != 0;
+  if (response.value().header.type != MsgType::kCancelAck || !reader.done()) {
+    return session_lost("malformed cancel response");
+  }
+  return cancelled;
+}
+
+Result<std::string> Client::metrics() {
+  auto response = round_trip(MsgType::kMetrics, {});
+  if (!response.ok()) return response.error();
+  WireReader reader(response.value().payload);
+  std::string json = reader.str();
+  if (response.value().header.type != MsgType::kMetricsJson || !reader.done()) {
+    return session_lost("malformed metrics response");
+  }
+  return json;
+}
+
+Status Client::ping() {
+  auto response = round_trip(MsgType::kPing, {});
+  if (!response.ok()) return response.error();
+  if (response.value().header.type != MsgType::kPong) {
+    return session_lost("malformed pong");
+  }
+  return {};
+}
+
+Result<std::uint64_t> Client::post_launch(const LaunchSpec& spec) {
+  const std::uint64_t id = next_request_id_++;
+  Status sent = send(MsgType::kLaunch, id, encode_launch(spec));
+  if (!sent.ok()) return sent.error();
+  return id;
+}
+
+Result<std::uint64_t> Client::collect_handle(std::uint64_t request_id) {
+  auto response = receive(request_id);
+  if (!response.ok()) return response.error();
+  return decode_handle(response.value());
+}
+
+}  // namespace gpup::serve

@@ -1,0 +1,138 @@
+// gpup::serve::Client — the library side of the gpupd wire protocol.
+//
+// A Client is one session: one Unix-socket connection, one Hello
+// handshake (tenant / priority / default deadline), and a set of u64
+// handles that are only meaningful to the daemon instance that issued
+// them. Single-threaded by contract, like an rt::CommandQueue handle.
+//
+// Failure model (crash-only, matching the daemon): every method returns a
+// typed Result. The moment any socket IO fails — daemon died, connection
+// cut, response timed out — the client marks itself dead and this and all
+// later calls fail with ErrorCode::kSessionLost. There is no transparent
+// reconnection: handles died with the session, so the honest recovery is
+// explicit — connect() a fresh session and rebuild (the reconnect test
+// drives exactly that path).
+//
+// Pipelining: post_*() sends a request without waiting; collect_handle()
+// reads the next response. Responses arrive strictly in request order, so
+// N posts followed by N collects keeps the daemon's pipe full without any
+// client-side matching table.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rt/runtime.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/status.hpp"
+
+namespace gpup::serve {
+
+struct ClientOptions {
+  std::uint64_t tenant = 0;
+  int priority = 0;
+  /// Default deadline (simulated cycles) for this session's launches.
+  std::uint64_t deadline_cycles = 0;
+  std::chrono::milliseconds io_timeout{5000};
+  /// connect() retries while the daemon is still binding its socket.
+  int connect_attempts = 40;
+  std::chrono::milliseconds connect_backoff{50};
+  std::uint32_t max_payload = kDefaultMaxPayload;
+};
+
+/// One kLaunch request. Buffer args carry daemon-issued buffer handles;
+/// scalar args carry the 32-bit word itself.
+struct LaunchSpec {
+  std::uint64_t program = 0;
+  struct Arg {
+    bool is_buffer = false;
+    std::uint64_t value = 0;
+  };
+  std::vector<Arg> args;
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 256;
+  std::uint64_t deadline_cycles = 0;  ///< 0 inherits the session default
+  std::uint32_t max_attempts = 1;
+  std::uint64_t backoff_us = 0;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Terminal (or timed-out) state of one awaited event, as reported by the
+/// daemon. `code`/`message` are set when result is kFailed/kCancelled;
+/// `data` holds the words of a completed read; `cycles` the simulated
+/// cycle count of a completed launch.
+struct WaitOutcome {
+  rt::WaitResult result = rt::WaitResult::kTimedOut;
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+  std::uint64_t cycles = 0;
+  std::vector<std::uint32_t> data;
+};
+
+class Client {
+ public:
+  /// Connect and handshake. Retries the connect (not the handshake) while
+  /// the socket file is missing or refusing, so "start daemon, connect
+  /// client" needs no external synchronization.
+  [[nodiscard]] static Result<Client> connect(const std::string& socket_path,
+                                              const ClientOptions& options);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// False once any IO failed — every later call is kSessionLost.
+  [[nodiscard]] bool alive() const { return fd_ >= 0 && alive_; }
+  [[nodiscard]] int device_count() const { return device_count_; }
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+
+  // ---- synchronous request/response ------------------------------------
+  [[nodiscard]] Result<std::uint64_t> compile(const std::string& source);
+  [[nodiscard]] Result<std::uint64_t> alloc_words(std::uint32_t words);
+  /// -> event handle (async on the daemon; wait() to settle).
+  [[nodiscard]] Result<std::uint64_t> write(std::uint64_t buffer,
+                                            const std::vector<std::uint32_t>& words);
+  [[nodiscard]] Result<std::uint64_t> launch(const LaunchSpec& spec);
+  [[nodiscard]] Result<std::uint64_t> read(std::uint64_t buffer);
+  [[nodiscard]] Result<WaitOutcome> wait(std::uint64_t event, std::uint32_t timeout_ms);
+  /// True iff the daemon cancelled it (false: already running/terminal).
+  [[nodiscard]] Result<bool> cancel(std::uint64_t event);
+  [[nodiscard]] Result<std::string> metrics();
+  [[nodiscard]] Status ping();
+
+  // ---- pipelining -------------------------------------------------------
+  /// Send a launch without waiting for its response; returns request id.
+  [[nodiscard]] Result<std::uint64_t> post_launch(const LaunchSpec& spec);
+  /// Read the next response (they arrive in request order) and decode it
+  /// as a handle ack for `request_id`.
+  [[nodiscard]] Result<std::uint64_t> collect_handle(std::uint64_t request_id);
+
+ private:
+  Client() = default;
+
+  [[nodiscard]] static std::vector<std::uint8_t> encode_launch(const LaunchSpec& spec);
+  [[nodiscard]] Status send(MsgType type, std::uint64_t request_id,
+                            const std::vector<std::uint8_t>& payload);
+  /// Receive one response; fails the session on IO trouble, decodes
+  /// kError frames into their typed Error. `extra` widens the IO budget
+  /// for requests the daemon legitimately sits on (kWait blocks up to its
+  /// requested timeout before responding).
+  [[nodiscard]] Result<Frame> receive(std::uint64_t expect_request_id,
+                                      std::chrono::milliseconds extra = {});
+  [[nodiscard]] Result<Frame> round_trip(MsgType type, const std::vector<std::uint8_t>& payload);
+  [[nodiscard]] Result<std::uint64_t> decode_handle(const Frame& frame);
+  [[nodiscard]] Error session_lost(const std::string& what);
+
+  int fd_ = -1;
+  bool alive_ = false;
+  std::uint64_t next_request_id_ = 1;
+  int device_count_ = 0;
+  std::uint64_t session_id_ = 0;
+  ClientOptions options_;
+};
+
+}  // namespace gpup::serve

@@ -1,0 +1,311 @@
+#include "src/serve/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gpup::serve {
+
+namespace {
+
+/// Best-effort error frame on paths where the connection is being dropped
+/// anyway (pre-session rejects, malformed streams): a failed send changes
+/// nothing, so the IoStatus is deliberately discarded.
+void send_error_best_effort(int fd, std::uint64_t request_id, WireStatus status, ErrorCode code,
+                            const std::string& message) {
+  const auto payload = encode_error_payload(code, message);
+  (void)send_frame(fd, MsgType::kError, status, request_id, payload,
+                   std::chrono::milliseconds(250));
+}
+
+bool is_work_creating(MsgType type) {
+  switch (type) {
+    case MsgType::kCompile:
+    case MsgType::kAlloc:
+    case MsgType::kWrite:
+    case MsgType::kLaunch:
+    case MsgType::kRead:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), context_(options_.context) {}
+
+Daemon::~Daemon() { hard_stop(); }
+
+Status Daemon::start() {
+  GPUP_CHECK_MSG(listen_fd_ < 0, "daemon already started");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Error{"socket path empty or longer than sockaddr_un allows", "serve.daemon",
+                 ErrorCode::kInvalidArg};
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error{std::string("socket: ") + std::strerror(errno), "serve.daemon"};
+  }
+  // Crash-only restart: a predecessor killed with -9 leaves its socket
+  // file behind; unlink it so bind() succeeds. Live daemons hold the
+  // listening fd, not the path, so this cannot break a running instance
+  // the operator intended to keep — two daemons on one path is operator
+  // error either way, and we resolve it in favor of the newcomer.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{std::string("bind ") + options_.socket_path + ": " + std::strerror(err),
+                 "serve.daemon"};
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return Error{std::string("listen: ") + std::strerror(err), "serve.daemon"};
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return Error{std::string("pipe2: ") + std::strerror(err), "serve.daemon"};
+  }
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void Daemon::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap(/*all=*/false);
+    struct pollfd pfds[2] = {};
+    pfds[0].fd = listen_fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_pipe_[0];
+    pfds[1].events = POLLIN;
+    const int ready = ::poll(pfds, 2, 100);
+    if (ready <= 0) continue;  // timeout (reap tick) or EINTR
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (draining_.load(std::memory_order_relaxed)) {
+      rejected_connects_.fetch_add(1, std::memory_order_relaxed);
+      send_error_best_effort(fd, 0, WireStatus::kDraining, ErrorCode::kRejected,
+                             "daemon draining");
+      ::close(fd);
+      continue;
+    }
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    bool admitted = false;
+    {
+      util::MutexLock lock(m_);
+      int live = 0;
+      for (const auto& c : conns_) live += c->done.load(std::memory_order_relaxed) ? 0 : 1;
+      if (live < options_.max_sessions) {
+        conn->id = next_session_id_++;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      rejected_connects_.fetch_add(1, std::memory_order_relaxed);
+      send_error_best_effort(fd, 0, WireStatus::kOverloaded, ErrorCode::kRejected,
+                             "session limit reached");
+      ::close(fd);
+      continue;
+    }
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    Conn* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve_connection(raw); });
+    util::MutexLock lock(m_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Daemon::serve_connection(Conn* conn) {
+  Session::Options session_options;
+  session_options.session_id = conn->id;
+  session_options.max_wait_ms = options_.max_wait_ms;
+  Session session(context_, metrics_, stop_, session_options);
+
+  for (;;) {
+    FrameResult in = recv_frame(conn->fd, options_.max_payload, options_.io_timeout);
+    if (in.io == IoStatus::kTimedOut) break;  // slowloris / idle: drop it
+    if (in.io != IoStatus::kOk) break;        // closed or error
+    if (in.malformed) {
+      malformed_total_.fetch_add(1, std::memory_order_relaxed);
+      // Bad magic: the stream cannot be resynchronized. Typed reply, close.
+      send_error_best_effort(conn->fd, 0, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                             "bad frame magic");
+      break;
+    }
+    if (in.oversized) {
+      oversized_total_.fetch_add(1, std::memory_order_relaxed);
+      send_error_best_effort(conn->fd, in.frame.header.request_id, WireStatus::kFrameTooLarge,
+                             ErrorCode::kInvalidArg,
+                             "payload of " + std::to_string(in.frame.header.payload_len) +
+                                 " bytes exceeds max " + std::to_string(options_.max_payload));
+      break;
+    }
+    frames_total_.fetch_add(1, std::memory_order_relaxed);
+
+    Frame out;
+    const MsgType type = in.frame.header.type;
+    const std::uint64_t id = in.frame.header.request_id;
+    if (type == MsgType::kPing) {
+      out = Session::make_response(MsgType::kPong, id, {});
+    } else if (type == MsgType::kMetrics) {
+      WireWriter writer;
+      writer.str(metrics_json());
+      out = Session::make_response(MsgType::kMetricsJson, id, writer.take());
+    } else if (draining_.load(std::memory_order_relaxed) && is_work_creating(type)) {
+      out = Session::make_error(id, WireStatus::kDraining, ErrorCode::kRejected,
+                                "daemon draining: not admitting new work");
+    } else {
+      out = session.handle_request(in.frame);
+    }
+    if (send_frame(conn->fd, out.header.type, out.header.status, out.header.request_id,
+                   out.payload, options_.io_timeout) != IoStatus::kOk) {
+      break;
+    }
+  }
+
+  // Teardown: whatever this session still has queued will never be
+  // awaited — cancel it so reservations and admission slots settle now
+  // (running commands finish normally and settle themselves).
+  cancelled_on_disconnect_.fetch_add(static_cast<std::uint64_t>(session.cancel_all()),
+                                     std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Daemon::reap(bool all) {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    util::MutexLock lock(m_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : dead) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+int Daemon::live_sessions() {
+  util::MutexLock lock(m_);
+  int live = 0;
+  for (const auto& c : conns_) live += c->done.load(std::memory_order_relaxed) ? 0 : 1;
+  return live;
+}
+
+bool Daemon::stop_common() {
+  if (stopped_.exchange(true)) return false;
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    const char byte = 'x';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  {
+    util::MutexLock lock(m_);
+    // Wakes every connection thread out of recv within one poll slice;
+    // their Session waits notice stop_ within one wait slice.
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  reap(/*all=*/true);
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  // Settle everything the sessions left behind: queued work was cancelled
+  // at teardown, running launches complete — bounded.
+  (void)context_.finish();
+  return true;
+}
+
+void Daemon::drain() {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  // Grace: connections keep serving waits/cancels/metrics so clients can
+  // collect in-flight results; new work and new connections are refused.
+  const auto deadline = std::chrono::steady_clock::now() + options_.drain_grace;
+  while (std::chrono::steady_clock::now() < deadline && live_sessions() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (stop_common()) {
+    std::FILE* sink = options_.stats_sink != nullptr ? options_.stats_sink : stderr;
+    const std::string json = metrics_json();
+    std::fprintf(sink, "%s\n", json.c_str());
+    std::fflush(sink);
+  }
+}
+
+void Daemon::hard_stop() {
+  draining_.store(true, std::memory_order_relaxed);
+  (void)stop_common();
+}
+
+std::string Daemon::metrics_json() {
+  const rt::Context::Gauges g = context_.snapshot();
+  std::string out = "{";
+  out += "\"context\": {";
+  out += "\"inflight_cycles\": " + std::to_string(g.inflight_cycles);
+  out += ", \"admission_pending\": " + std::to_string(g.admission_pending);
+  out += ", \"unsettled_commands\": " + std::to_string(g.unsettled_commands);
+  out += ", \"live_queues\": " + std::to_string(g.live_queues);
+  out += ", \"affinity_cache_entries\": " + std::to_string(g.affinity_cache_entries);
+  out += ", \"devices_quarantined\": " + std::to_string(g.devices_quarantined);
+  out += ", \"shed_total\": " + std::to_string(g.shed_total);
+  out += ", \"retries_total\": " + std::to_string(g.retries_total);
+  out += ", \"deadline_misses_total\": " + std::to_string(g.deadline_misses_total);
+  out += "}, \"daemon\": {";
+  out += "\"sessions_opened\": " +
+         std::to_string(sessions_opened_.load(std::memory_order_relaxed));
+  out += ", \"sessions_closed\": " +
+         std::to_string(sessions_closed_.load(std::memory_order_relaxed));
+  out += ", \"frames_total\": " + std::to_string(frames_total_.load(std::memory_order_relaxed));
+  out += ", \"malformed_total\": " +
+         std::to_string(malformed_total_.load(std::memory_order_relaxed));
+  out += ", \"oversized_total\": " +
+         std::to_string(oversized_total_.load(std::memory_order_relaxed));
+  out += ", \"rejected_connects\": " +
+         std::to_string(rejected_connects_.load(std::memory_order_relaxed));
+  out += ", \"cancelled_on_disconnect\": " +
+         std::to_string(cancelled_on_disconnect_.load(std::memory_order_relaxed));
+  out += ", \"draining\": ";
+  out += draining_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += "}, ";
+  metrics_.append_json(out);
+  out += "}";
+  return out;
+}
+
+}  // namespace gpup::serve

@@ -1,0 +1,129 @@
+// gpupd: the crash-only serving daemon wrapping one rt::Context.
+//
+// Threading model: one accept thread polling the listening socket plus a
+// wake pipe, one thread per client connection running that connection's
+// Session. Connections never share session state; everything shared
+// (connection registry, counters, metrics) is annotated and guarded.
+//
+// Lifecycle (see docs/serving.md "Drain semantics"):
+//
+//   start()      bind + listen (unlinking a stale socket file first, so a
+//                kill -9'd predecessor never blocks a restart), spawn the
+//                accept thread.
+//   drain()      SIGTERM path. Flip draining_ (work-creating requests now
+//                answer kDraining; waits/cancels/metrics still serve so
+//                clients can collect in-flight results), stop accepting,
+//                give connections a bounded grace to finish, then stop:
+//                shutdown every socket, cancel each session's queued
+//                work, finish the context, flush final metrics JSON.
+//   hard_stop()  crash-like teardown with zero grace and no stats flush —
+//                what tests use to simulate a dying daemon in-process.
+//
+// Both stops are idempotent and bounded; nothing in this class waits
+// without a deadline. The destructor hard-stops if the caller didn't.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rt/runtime.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/session.hpp"
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::serve {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// The wrapped runtime (devices, scheduler policy, admission quotas…).
+  rt::ContextOptions context;
+  /// Budget for each socket read/write (whole frame, slowloris-safe).
+  std::chrono::milliseconds io_timeout{5000};
+  /// How long drain() waits for connections to finish before stopping.
+  std::chrono::milliseconds drain_grace{2000};
+  std::uint32_t max_payload = kDefaultMaxPayload;
+  /// Connection limit; the (max_sessions+1)-th client gets kOverloaded.
+  int max_sessions = 64;
+  std::uint32_t max_wait_ms = 30'000;
+  /// Where drain() flushes the final metrics JSON (null = stderr).
+  std::FILE* stats_sink = nullptr;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind, listen, start accepting. Fails (typed) if the socket path is
+  /// unusable.
+  [[nodiscard]] Status start();
+
+  /// Graceful bounded drain (see file comment). Idempotent.
+  void drain();
+  /// Immediate teardown: zero grace, queued work cancelled, no stats
+  /// flush. Idempotent; safe after drain().
+  void hard_stop();
+
+  /// One metrics scrape: context gauges + per-tenant latency percentiles
+  /// + daemon counters, as a single JSON object.
+  [[nodiscard]] std::string metrics_json();
+
+  [[nodiscard]] rt::Context& context() { return context_; }
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Live connection count (tests poll this to sequence storms).
+  [[nodiscard]] int live_sessions();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  /// Join and drop finished connections; with `all`, wait for every one.
+  void reap(bool all);
+  /// Common tail of drain()/hard_stop(): stop accepting, shutdown
+  /// sockets, join threads, settle the context. Returns false if another
+  /// call already stopped the daemon.
+  bool stop_common();
+
+  DaemonOptions options_;
+  rt::Context context_;
+  MetricsRegistry metrics_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};      ///< interrupts in-slice waits + accept loop
+  std::atomic<bool> stopped_{false};   ///< stop_common already ran
+
+  util::Mutex m_;
+  std::vector<std::unique_ptr<Conn>> conns_ GPUP_GUARDED_BY(m_);
+  std::uint64_t next_session_id_ GPUP_GUARDED_BY(m_) = 1;
+
+  // Monotonic daemon counters (relaxed: independent counts, not edges).
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> frames_total_{0};
+  std::atomic<std::uint64_t> malformed_total_{0};
+  std::atomic<std::uint64_t> oversized_total_{0};
+  std::atomic<std::uint64_t> rejected_connects_{0};
+  std::atomic<std::uint64_t> cancelled_on_disconnect_{0};
+};
+
+}  // namespace gpup::serve

@@ -1,0 +1,261 @@
+#include "src/serve/protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gpup::serve {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kCompile: return "compile";
+    case MsgType::kAlloc: return "alloc";
+    case MsgType::kWrite: return "write";
+    case MsgType::kLaunch: return "launch";
+    case MsgType::kRead: return "read";
+    case MsgType::kWait: return "wait";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kPing: return "ping";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kHandle: return "handle";
+    case MsgType::kWaitDone: return "wait_done";
+    case MsgType::kCancelAck: return "cancel_ack";
+    case MsgType::kMetricsJson: return "metrics_json";
+    case MsgType::kPong: return "pong";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kMalformedFrame: return "malformed_frame";
+    case WireStatus::kFrameTooLarge: return "frame_too_large";
+    case WireStatus::kUnknownType: return "unknown_type";
+    case WireStatus::kProtocolMismatch: return "protocol_mismatch";
+    case WireStatus::kBadHandle: return "bad_handle";
+    case WireStatus::kFailed: return "failed";
+    case WireStatus::kDraining: return "draining";
+    case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kSessionLost: return "session_lost";
+  }
+  return "?";
+}
+
+ErrorCode to_error_code(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return ErrorCode::kUnknown;  // not an error
+    case WireStatus::kMalformedFrame:
+    case WireStatus::kFrameTooLarge:
+    case WireStatus::kUnknownType:
+    case WireStatus::kProtocolMismatch:
+    case WireStatus::kBadHandle: return ErrorCode::kInvalidArg;
+    case WireStatus::kFailed: return ErrorCode::kUnknown;  // payload carries the real code
+    case WireStatus::kDraining:
+    case WireStatus::kOverloaded: return ErrorCode::kRejected;
+    case WireStatus::kSessionLost: return ErrorCode::kSessionLost;
+  }
+  return ErrorCode::kUnknown;
+}
+
+const char* to_string(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kTimedOut: return "timed_out";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+void WireWriter::str(const std::string& value) {
+  u32(static_cast<std::uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void WireWriter::words(std::span<const std::uint32_t> value) {
+  u32(static_cast<std::uint32_t>(value.size()));
+  for (std::uint32_t word : value) u32(word);
+}
+
+std::uint64_t WireReader::take(int count) {
+  if (!ok_ || bytes_.size() - pos_ < static_cast<std::size_t>(count)) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    value |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(count);
+  return value;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t size = u32();
+  if (!ok_ || bytes_.size() - pos_ < size) {
+    ok_ = false;
+    return {};
+  }
+  std::string value(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+  pos_ += size;
+  return value;
+}
+
+std::vector<std::uint32_t> WireReader::words() {
+  const std::uint32_t count = u32();
+  // Guard the multiply: a hostile count must not reserve gigabytes. The
+  // payload itself is already bounded by max_payload, so counts that
+  // cannot fit in the remaining bytes are simply malformed.
+  if (!ok_ || (bytes_.size() - pos_) / 4 < count) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint32_t> value(count);
+  for (std::uint32_t i = 0; i < count; ++i) value[i] = u32();
+  return value;
+}
+
+void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderBytes]) {
+  auto put32 = [&](int at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  auto put16 = [&](int at, std::uint16_t v) {
+    out[at] = static_cast<std::uint8_t>(v);
+    out[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  };
+  put32(0, kWireMagic);
+  put32(4, header.payload_len);
+  put16(8, static_cast<std::uint16_t>(header.type));
+  put16(10, static_cast<std::uint16_t>(header.status));
+  for (int i = 0; i < 8; ++i) out[12 + i] = static_cast<std::uint8_t>(header.request_id >> (8 * i));
+}
+
+namespace {
+
+// Milliseconds of deadline left, clamped to [0, INT_MAX] for poll().
+// gpup-lint exemption: src/serve is a host-facing network layer; wall
+// clock here bounds socket IO and never feeds simulation results.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+  return left > 1'000'000'000 ? 1'000'000'000 : static_cast<int>(left);
+}
+
+enum class IoDir { kRead, kWrite };
+
+// Shared skeleton of read_exact / write_all: poll for readiness with the
+// *overall* deadline (a peer trickling one byte per poll still has to fit
+// the whole transfer in one timeout budget), then transfer what we can.
+IoStatus transfer_all(int fd, void* rbuf, const void* wbuf, std::size_t size, IoDir dir,
+                      std::chrono::milliseconds timeout) {
+  std::size_t done = 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (done < size) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = dir == IoDir::kRead ? POLLIN : POLLOUT;
+    const int left = remaining_ms(deadline);
+    if (left == 0) return IoStatus::kTimedOut;
+    const int ready = ::poll(&pfd, 1, left);
+    if (ready == 0) return IoStatus::kTimedOut;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    ssize_t n = 0;
+    if (dir == IoDir::kRead) {
+      n = ::recv(fd, static_cast<std::uint8_t*>(rbuf) + done, size - done, 0);
+      if (n == 0) return IoStatus::kClosed;  // orderly EOF
+    } else {
+      // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+      // process-killing SIGPIPE.
+      n = ::send(fd, static_cast<const std::uint8_t*>(wbuf) + done, size - done, MSG_NOSIGNAL);
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+      return IoStatus::kError;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+IoStatus read_exact(int fd, void* data, std::size_t size, std::chrono::milliseconds timeout) {
+  return transfer_all(fd, data, nullptr, size, IoDir::kRead, timeout);
+}
+
+IoStatus write_all(int fd, const void* data, std::size_t size, std::chrono::milliseconds timeout) {
+  return transfer_all(fd, nullptr, data, size, IoDir::kWrite, timeout);
+}
+
+IoStatus send_frame(int fd, MsgType type, WireStatus status, std::uint64_t request_id,
+                    std::span<const std::uint8_t> payload, std::chrono::milliseconds timeout) {
+  FrameHeader header;
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.type = type;
+  header.status = status;
+  header.request_id = request_id;
+  // One buffer, one write path: avoids a short-write window where the
+  // header lands but the payload times out and a later frame interleaves.
+  std::vector<std::uint8_t> wire(kHeaderBytes + payload.size());
+  encode_header(header, wire.data());
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  return write_all(fd, wire.data(), wire.size(), timeout);
+}
+
+FrameResult recv_frame(int fd, std::uint32_t max_payload, std::chrono::milliseconds timeout) {
+  FrameResult result;
+  std::uint8_t raw[kHeaderBytes];
+  result.io = read_exact(fd, raw, kHeaderBytes, timeout);
+  if (result.io != IoStatus::kOk) return result;
+
+  auto get32 = [&](int at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(raw[at + i]) << (8 * i);
+    return v;
+  };
+  if (get32(0) != kWireMagic) {
+    result.malformed = true;
+    return result;
+  }
+  result.frame.header.payload_len = get32(4);
+  result.frame.header.type =
+      static_cast<MsgType>(static_cast<std::uint16_t>(raw[8]) | (static_cast<std::uint16_t>(raw[9]) << 8));
+  result.frame.header.status =
+      static_cast<WireStatus>(static_cast<std::uint16_t>(raw[10]) | (static_cast<std::uint16_t>(raw[11]) << 8));
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id |= static_cast<std::uint64_t>(raw[12 + i]) << (8 * i);
+  result.frame.header.request_id = id;
+
+  if (result.frame.header.payload_len > max_payload) {
+    result.oversized = true;  // payload never read: nothing allocated
+    return result;
+  }
+  result.frame.payload.resize(result.frame.header.payload_len);
+  if (result.frame.header.payload_len > 0) {
+    result.io = read_exact(fd, result.frame.payload.data(), result.frame.payload.size(), timeout);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> encode_error_payload(ErrorCode code, const std::string& message) {
+  WireWriter writer;
+  writer.u16(static_cast<std::uint16_t>(code));
+  writer.str(message);
+  return writer.take();
+}
+
+}  // namespace gpup::serve

@@ -1,0 +1,208 @@
+// Wire protocol of the gpupd serving daemon (docs/serving.md).
+//
+// A hardened length-prefixed binary framing over a Unix-domain stream
+// socket. Every frame is a fixed 20-byte header followed by a bounded
+// payload:
+//
+//   offset  size  field
+//   0       4     magic        0x47505550 ("GPUP"), little-endian
+//   4       4     payload_len  bytes of payload after the header
+//   8       2     type         MsgType
+//   10      2     status       WireStatus (requests: kOk)
+//   12      8     request_id   echoed verbatim in the response
+//
+// Hardening rules, in decode order:
+//   * a header whose magic is wrong is *malformed*: the stream cannot be
+//     resynchronized, so the peer answers kMalformedFrame (best effort)
+//     and closes;
+//   * a header advertising payload_len > the receiver's max is
+//     *oversized*: answered kFrameTooLarge without ever allocating or
+//     reading the payload, then the connection closes;
+//   * payloads parse through the bounds-checked WireReader — a truncated
+//     or trailing-garbage payload is a typed kMalformedFrame error, never
+//     a crash or an out-of-bounds read;
+//   * every socket read and write is bounded by a poll() deadline
+//     (read_exact / write_all), so a peer that stops mid-frame
+//     (slowloris) costs one io timeout, never a wedged thread.
+//
+// Responses travel in request order on each connection (the daemon's
+// per-connection loop is serial), which is what makes client-side request
+// pipelining trivial: send N requests, then read N responses and match
+// request_ids.
+//
+// The protocol deliberately has no retransmission, no sequence recovery,
+// and no session resurrection: gpupd is crash-only, and a broken
+// connection means "make a new session" (ErrorCode::kSessionLost).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace gpup::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x47505550;  // "GPUP"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 20;
+/// Default ceiling on a frame payload (DaemonOptions/ClientOptions can
+/// lower it). 4 MiB holds a 1M-word buffer write with room to spare.
+inline constexpr std::uint32_t kDefaultMaxPayload = 4u << 20;
+
+enum class MsgType : std::uint16_t {
+  // ---- requests -------------------------------------------------------
+  kHello = 1,    ///< version, tenant, priority, default deadline
+  kCompile = 2,  ///< kernel source -> program handle
+  kAlloc = 3,    ///< word count -> buffer handle
+  kWrite = 4,    ///< buffer handle + words -> event handle (async)
+  kLaunch = 5,   ///< program + args + range + deadline/retry -> event handle
+  kRead = 6,     ///< buffer handle -> event handle (async)
+  kWait = 7,     ///< event handle + timeout -> terminal status/stats/data
+  kCancel = 8,   ///< event handle -> cancelled?
+  kMetrics = 9,  ///< -> metrics JSON
+  kPing = 10,    ///< liveness probe
+  // ---- responses ------------------------------------------------------
+  kHelloAck = 100,
+  kHandle = 101,       ///< compile/alloc/write/launch/read ack
+  kWaitDone = 102,
+  kCancelAck = 103,
+  kMetricsJson = 104,
+  kPong = 105,
+  kError = 106,        ///< any request can fail; header carries the status
+};
+
+[[nodiscard]] const char* to_string(MsgType type);
+
+/// Protocol-level failure taxonomy. Each maps onto a gpup::ErrorCode via
+/// to_error_code() so callers branch on one enum whether a failure came
+/// from the wire or from the runtime (see docs/serving.md "Failure
+/// taxonomy").
+enum class WireStatus : std::uint16_t {
+  kOk = 0,
+  kMalformedFrame = 1,    ///< bad magic / unparsable payload; connection closes
+  kFrameTooLarge = 2,     ///< advertised payload over the receiver's max
+  kUnknownType = 3,       ///< unrecognized MsgType
+  kProtocolMismatch = 4,  ///< wrong version, or a request before kHello
+  kBadHandle = 5,         ///< handle not in this session's tables
+  kFailed = 6,            ///< runtime op failed; payload = ErrorCode + message
+  kDraining = 7,          ///< daemon refuses new work while draining
+  kOverloaded = 8,        ///< session limit reached
+  kSessionLost = 9,       ///< session/daemon gone (mostly client-synthesized)
+};
+
+[[nodiscard]] const char* to_string(WireStatus status);
+/// The failure-taxonomy mapping: what ErrorCode a non-kOk WireStatus
+/// presents as in a client-side Result (kFailed carries its own code in
+/// the payload and is mapped by the caller).
+[[nodiscard]] ErrorCode to_error_code(WireStatus status);
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  MsgType type = MsgType::kPing;
+  WireStatus status = WireStatus::kOk;
+  std::uint64_t request_id = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- payload encoding -------------------------------------------------
+
+/// Little-endian append-only payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+  void u16(std::uint16_t value) { append(value, 2); }
+  void u32(std::uint32_t value) { append(value, 4); }
+  void u64(std::uint64_t value) { append(value, 8); }
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& value);
+  /// u32 count prefix + words.
+  void words(std::span<const std::uint32_t> value);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  void append(std::uint64_t value, int count) {
+    for (int i = 0; i < count; ++i) bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian payload reader. Fail-sticky: any
+/// out-of-bounds read sets ok() false and every later read returns zero,
+/// so decoders check ok() once at the end (plus done() to reject frames
+/// with trailing garbage).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  [[nodiscard]] std::uint64_t u64() { return take(8); }
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint32_t> words();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// ok() and every payload byte consumed — what a strict decoder wants.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t take(int count);
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderBytes]);
+
+// ---- bounded socket IO ------------------------------------------------
+
+/// Outcome of a bounded read/write. kTimedOut means the whole transfer
+/// did not complete within the deadline (slowloris defense: the budget
+/// covers the full n bytes, not each byte).
+enum class IoStatus { kOk, kTimedOut, kClosed, kError };
+
+[[nodiscard]] const char* to_string(IoStatus status);
+
+[[nodiscard]] IoStatus read_exact(int fd, void* data, std::size_t size,
+                                  std::chrono::milliseconds timeout);
+[[nodiscard]] IoStatus write_all(int fd, const void* data, std::size_t size,
+                                 std::chrono::milliseconds timeout);
+
+/// Encode and send one frame (header + payload) within `timeout`.
+[[nodiscard]] IoStatus send_frame(int fd, MsgType type, WireStatus status,
+                                  std::uint64_t request_id,
+                                  std::span<const std::uint8_t> payload,
+                                  std::chrono::milliseconds timeout);
+
+/// Receive one frame within `timeout`. `io` reports the socket-level
+/// outcome; when it is kOk, exactly one of {malformed, oversized, valid
+/// frame} holds. An oversized frame's payload is never read or allocated.
+struct FrameResult {
+  IoStatus io = IoStatus::kOk;
+  bool malformed = false;
+  bool oversized = false;
+  Frame frame;
+
+  [[nodiscard]] bool valid() const {
+    return io == IoStatus::kOk && !malformed && !oversized;
+  }
+};
+
+[[nodiscard]] FrameResult recv_frame(int fd, std::uint32_t max_payload,
+                                     std::chrono::milliseconds timeout);
+
+/// Convenience: an error-response payload (ErrorCode + message), the body
+/// of every kError frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_error_payload(ErrorCode code,
+                                                             const std::string& message);
+
+}  // namespace gpup::serve

@@ -1,0 +1,353 @@
+#include "src/serve/session.hpp"
+
+#include <utility>
+
+namespace gpup::serve {
+
+// ---- MetricsRegistry ---------------------------------------------------
+
+void MetricsRegistry::record_latency(std::uint64_t tenant, std::uint64_t micros) {
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && (1ull << (bucket + 1)) <= micros) ++bucket;
+  util::MutexLock lock(m_);
+  Histogram& h = tenants_[tenant];
+  h.count += 1;
+  h.buckets[static_cast<std::size_t>(bucket)] += 1;
+}
+
+std::uint64_t MetricsRegistry::percentile(const Histogram& h, double q) {
+  if (h.count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(h.count) + 0.5);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += h.buckets[static_cast<std::size_t>(i)];
+    if (seen >= target) return (1ull << (i + 1)) - 1;  // bucket upper bound
+  }
+  return (1ull << kBuckets) - 1;
+}
+
+void MetricsRegistry::append_json(std::string& out) const {
+  util::MutexLock lock(m_);
+  out += "\"tenants\": {";
+  bool first = true;
+  for (const auto& [tenant, h] : tenants_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += std::to_string(tenant);
+    out += "\": {";
+    out += "\"completed\": " + std::to_string(h.count);
+    out += ", \"latency_us_p50\": " + std::to_string(percentile(h, 0.50));
+    out += ", \"latency_us_p90\": " + std::to_string(percentile(h, 0.90));
+    out += ", \"latency_us_p99\": " + std::to_string(percentile(h, 0.99));
+    out += "}";
+  }
+  out += "}";
+}
+
+// ---- Session -----------------------------------------------------------
+
+Session::Session(rt::Context& context, MetricsRegistry& metrics, const std::atomic<bool>& stop,
+                 Options options)
+    : context_(context), metrics_(metrics), stop_(stop), options_(options) {}
+
+Frame Session::make_response(MsgType type, std::uint64_t request_id,
+                             std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.header.type = type;
+  frame.header.status = WireStatus::kOk;
+  frame.header.request_id = request_id;
+  frame.header.payload_len = static_cast<std::uint32_t>(payload.size());
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Frame Session::make_error(std::uint64_t request_id, WireStatus status, ErrorCode code,
+                          const std::string& message) {
+  Frame frame;
+  frame.header.type = MsgType::kError;
+  frame.header.status = status;
+  frame.header.request_id = request_id;
+  frame.payload = encode_error_payload(code, message);
+  frame.header.payload_len = static_cast<std::uint32_t>(frame.payload.size());
+  return frame;
+}
+
+Frame Session::handle_request(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  if (request.header.type == MsgType::kHello) return on_hello(request);
+  if (!hello_done()) {
+    return make_error(id, WireStatus::kProtocolMismatch, ErrorCode::kInvalidArg,
+                      "first request must be hello");
+  }
+  switch (request.header.type) {
+    case MsgType::kCompile: return on_compile(request);
+    case MsgType::kAlloc: return on_alloc(request);
+    case MsgType::kWrite: return on_write(request);
+    case MsgType::kLaunch: return on_launch(request);
+    case MsgType::kRead: return on_read(request);
+    case MsgType::kWait: return on_wait(request);
+    case MsgType::kCancel: return on_cancel(request);
+    default:
+      return make_error(id, WireStatus::kUnknownType, ErrorCode::kInvalidArg,
+                        "unknown request type " +
+                            std::to_string(static_cast<int>(request.header.type)));
+  }
+}
+
+int Session::cancel_all() {
+  return queue_.valid() ? queue_.cancel_pending() : 0;
+}
+
+Frame Session::track_event(std::uint64_t request_id, rt::Event event, bool is_read) {
+  const std::uint64_t handle = next_handle();
+  events_[handle] = PendingEvent{std::move(event), std::chrono::steady_clock::now(), is_read};
+  WireWriter writer;
+  writer.u64(handle);
+  return make_response(MsgType::kHandle, request_id, writer.take());
+}
+
+Frame Session::on_hello(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint32_t version = reader.u32();
+  const std::uint64_t tenant = reader.u64();
+  const auto priority = static_cast<int>(reader.u32());
+  const std::uint64_t deadline_cycles = reader.u64();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad hello payload");
+  }
+  if (version != kProtocolVersion) {
+    return make_error(id, WireStatus::kProtocolMismatch, ErrorCode::kInvalidArg,
+                      "protocol version " + std::to_string(version) + ", daemon speaks " +
+                          std::to_string(kProtocolVersion));
+  }
+  if (hello_done()) {
+    return make_error(id, WireStatus::kProtocolMismatch, ErrorCode::kInvalidArg,
+                      "duplicate hello");
+  }
+  rt::QueueOptions options;
+  options.tenant = tenant;
+  options.priority = priority;
+  options.deadline_cycles = deadline_cycles;
+  auto queue = context_.create_queue(options);
+  if (!queue.ok()) {
+    return make_error(id, WireStatus::kFailed, queue.error().code, queue.error().to_string());
+  }
+  queue_ = queue.value();
+  tenant_ = tenant;
+  WireWriter writer;
+  writer.u32(kProtocolVersion);
+  writer.u32(static_cast<std::uint32_t>(context_.device_count()));
+  writer.u64(options_.session_id);
+  return make_response(MsgType::kHelloAck, id, writer.take());
+}
+
+Frame Session::on_compile(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::string source = reader.str();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad compile payload");
+  }
+  auto program = rt::Context::compile(source);
+  if (!program.ok()) {
+    return make_error(id, WireStatus::kFailed, program.error().code,
+                      program.error().to_string());
+  }
+  const std::uint64_t handle = next_handle();
+  programs_[handle] = std::move(program).value();
+  WireWriter writer;
+  writer.u64(handle);
+  return make_response(MsgType::kHandle, id, writer.take());
+}
+
+Frame Session::on_alloc(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint32_t words = reader.u32();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad alloc payload");
+  }
+  auto buffer = queue_.alloc_words(words);
+  if (!buffer.ok()) {
+    return make_error(id, WireStatus::kFailed, buffer.error().code, buffer.error().to_string());
+  }
+  const std::uint64_t handle = next_handle();
+  buffers_[handle] = buffer.value();
+  WireWriter writer;
+  writer.u64(handle);
+  return make_response(MsgType::kHandle, id, writer.take());
+}
+
+Frame Session::on_write(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint64_t buffer_handle = reader.u64();
+  std::vector<std::uint32_t> words = reader.words();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad write payload");
+  }
+  const auto it = buffers_.find(buffer_handle);
+  if (it == buffers_.end()) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown buffer handle " + std::to_string(buffer_handle));
+  }
+  return track_event(id, queue_.enqueue_write(it->second, std::move(words)), /*is_read=*/false);
+}
+
+Frame Session::on_launch(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint64_t program_handle = reader.u64();
+  rt::NdRange range;
+  range.global_size = reader.u32();
+  range.wg_size = reader.u32();
+  rt::LaunchOptions launch;
+  launch.deadline_cycles = reader.u64();
+  launch.retry.max_attempts = static_cast<int>(reader.u32());
+  launch.retry.backoff = std::chrono::microseconds(reader.u64());
+  launch.retry.jitter_seed = reader.u64();
+  const std::uint32_t nargs = reader.u32();
+  rt::Args args;
+  bool bad_handle = false;
+  std::uint64_t missing = 0;
+  for (std::uint32_t i = 0; i < nargs && reader.ok(); ++i) {
+    const std::uint8_t is_buffer = reader.u8();
+    const std::uint64_t value = reader.u64();
+    if (is_buffer != 0) {
+      const auto it = buffers_.find(value);
+      if (it == buffers_.end()) {
+        bad_handle = true;
+        missing = value;
+      } else {
+        args.add(it->second);
+      }
+    } else {
+      args.add(static_cast<std::uint32_t>(value));
+    }
+  }
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad launch payload");
+  }
+  if (bad_handle) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown buffer handle " + std::to_string(missing) + " in launch args");
+  }
+  const auto program = programs_.find(program_handle);
+  if (program == programs_.end()) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown program handle " + std::to_string(program_handle));
+  }
+  if (launch.retry.max_attempts < 1) launch.retry.max_attempts = 1;
+  return track_event(id, queue_.enqueue_kernel(program->second, args, range, launch),
+                     /*is_read=*/false);
+}
+
+Frame Session::on_read(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint64_t buffer_handle = reader.u64();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad read payload");
+  }
+  const auto it = buffers_.find(buffer_handle);
+  if (it == buffers_.end()) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown buffer handle " + std::to_string(buffer_handle));
+  }
+  return track_event(id, queue_.enqueue_read(it->second), /*is_read=*/true);
+}
+
+Frame Session::on_wait(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint64_t event_handle = reader.u64();
+  std::uint32_t timeout_ms = reader.u32();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad wait payload");
+  }
+  const auto it = events_.find(event_handle);
+  if (it == events_.end()) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown event handle " + std::to_string(event_handle));
+  }
+  if (timeout_ms > options_.max_wait_ms) timeout_ms = options_.max_wait_ms;
+
+  // Wait in bounded slices so the daemon's stop flag (post-drain hard
+  // stop) interrupts within ~one slice instead of wedging the connection
+  // thread for the client's whole timeout.
+  constexpr auto kSlice = std::chrono::milliseconds(50);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  rt::WaitResult result = it->second.event.wait_for(std::chrono::nanoseconds(0));
+  while (result == rt::WaitResult::kTimedOut && !stop_.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto left = deadline - now;
+    result = it->second.event.wait_for(left < kSlice ? left : kSlice);
+  }
+  if (result == rt::WaitResult::kTimedOut && stop_.load(std::memory_order_relaxed)) {
+    return make_error(id, WireStatus::kDraining, ErrorCode::kRejected, "daemon stopping");
+  }
+
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(result));
+  if (result == rt::WaitResult::kTimedOut) {
+    writer.u16(0);
+    writer.str("");
+    writer.u64(0);
+    writer.words({});
+    return make_response(MsgType::kWaitDone, id, writer.take());
+  }
+
+  // Terminal: record the request's end-to-end latency once and drop the
+  // handle (a second wait on it is kBadHandle — the table stays bounded).
+  const auto elapsed = std::chrono::steady_clock::now() - it->second.submitted;
+  metrics_.record_latency(
+      tenant_,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  if (result == rt::WaitResult::kComplete) {
+    writer.u16(0);
+    writer.str("");
+    writer.u64(it->second.is_read ? 0 : it->second.event.stats().cycles);
+    writer.words(it->second.is_read ? std::span<const std::uint32_t>(it->second.event.data())
+                                    : std::span<const std::uint32_t>{});
+  } else {
+    const Error error = it->second.event.error();
+    writer.u16(static_cast<std::uint16_t>(error.code));
+    writer.str(error.to_string());
+    writer.u64(0);
+    writer.words({});
+  }
+  events_.erase(it);
+  return make_response(MsgType::kWaitDone, id, writer.take());
+}
+
+Frame Session::on_cancel(const Frame& request) {
+  const std::uint64_t id = request.header.request_id;
+  WireReader reader(request.payload);
+  const std::uint64_t event_handle = reader.u64();
+  if (!reader.done()) {
+    return make_error(id, WireStatus::kMalformedFrame, ErrorCode::kInvalidArg,
+                      "bad cancel payload");
+  }
+  const auto it = events_.find(event_handle);
+  if (it == events_.end()) {
+    return make_error(id, WireStatus::kBadHandle, ErrorCode::kInvalidArg,
+                      "unknown event handle " + std::to_string(event_handle));
+  }
+  const bool cancelled = it->second.event.cancel();
+  WireWriter writer;
+  writer.u8(cancelled ? 1 : 0);
+  return make_response(MsgType::kCancelAck, id, writer.take());
+}
+
+}  // namespace gpup::serve

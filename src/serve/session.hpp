@@ -1,0 +1,120 @@
+// One serving session: the daemon-side state of one client connection.
+//
+// A session owns a handle table (u64 -> program / buffer / event) and one
+// in-order rt::CommandQueue created from the client's Hello (tenant,
+// priority, default deadline), so the runtime's admission quotas and
+// fair-share/priority scheduling apply per connection. All methods are
+// called from the connection's own thread — a session is single-threaded
+// by construction except cancel_all(), which the daemon may call from its
+// teardown path after the connection thread has stopped dispatching.
+//
+// Degradation-first dispatch contract: handle_request() ALWAYS returns a
+// response frame. Unknown types, handles outside the table, runtime
+// failures, and requests sent before Hello all come back as typed kError
+// frames; nothing a client sends can crash the daemon or vanish silently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/rt/runtime.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::serve {
+
+/// Per-tenant latency histograms feeding the metrics endpoint. Shared by
+/// every session of a daemon; safe to record from connection threads
+/// while a metrics scrape serializes. Buckets are log2 of microseconds,
+/// so percentiles are upper-bound estimates (factor-of-two resolution) —
+/// plenty for "is p99 drifting" dashboards, cheap enough for the hot path.
+class MetricsRegistry {
+ public:
+  static constexpr int kBuckets = 40;  ///< 2^40 us ≈ 12 days: effectively +inf
+
+  void record_latency(std::uint64_t tenant, std::uint64_t micros);
+
+  /// Append `"tenants": {...}` (per-tenant count + p50/p90/p99 in
+  /// microseconds) to a JSON string under construction. Tenants serialize
+  /// in ascending id order (ordered map) so scrapes are deterministic.
+  void append_json(std::string& out) const;
+
+ private:
+  struct Histogram {
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  static std::uint64_t percentile(const Histogram& h, double q);
+
+  mutable util::Mutex m_;
+  std::map<std::uint64_t, Histogram> tenants_ GPUP_GUARDED_BY(m_);
+};
+
+class Session {
+ public:
+  struct Options {
+    std::uint64_t session_id = 0;
+    /// Ceiling on one kWait request's blocking time; longer client
+    /// timeouts are clamped so a connection thread can always notice
+    /// drain/stop within this bound plus one slice.
+    std::uint32_t max_wait_ms = 30'000;
+  };
+
+  /// `stop` is the daemon's stop flag: a blocking kWait polls it between
+  /// bounded slices and gives up (typed, not hung) once it flips.
+  Session(rt::Context& context, MetricsRegistry& metrics, const std::atomic<bool>& stop,
+          Options options);
+
+  /// Dispatch one request frame to a response frame (see file comment).
+  [[nodiscard]] Frame handle_request(const Frame& request);
+
+  /// Disconnect hook: cancel every still-queued command of this session's
+  /// queue (running commands settle normally). Returns the cancel count.
+  int cancel_all();
+
+  [[nodiscard]] bool hello_done() const { return queue_.valid(); }
+  [[nodiscard]] std::uint64_t tenant() const { return tenant_; }
+
+  // ---- response builders (shared with the daemon's pre-session paths) --
+  static Frame make_response(MsgType type, std::uint64_t request_id,
+                             std::vector<std::uint8_t> payload);
+  static Frame make_error(std::uint64_t request_id, WireStatus status, ErrorCode code,
+                          const std::string& message);
+
+ private:
+  struct PendingEvent {
+    rt::Event event;
+    std::chrono::steady_clock::time_point submitted;
+    bool is_read = false;
+  };
+
+  Frame on_hello(const Frame& request);
+  Frame on_compile(const Frame& request);
+  Frame on_alloc(const Frame& request);
+  Frame on_write(const Frame& request);
+  Frame on_launch(const Frame& request);
+  Frame on_read(const Frame& request);
+  Frame on_wait(const Frame& request);
+  Frame on_cancel(const Frame& request);
+
+  Frame track_event(std::uint64_t request_id, rt::Event event, bool is_read);
+  [[nodiscard]] std::uint64_t next_handle() { return next_handle_++; }
+
+  rt::Context& context_;
+  MetricsRegistry& metrics_;
+  const std::atomic<bool>& stop_;
+  Options options_;
+
+  rt::CommandQueue queue_;  ///< invalid until Hello succeeds
+  std::uint64_t tenant_ = 0;
+  std::uint64_t next_handle_ = 1;
+  std::map<std::uint64_t, isa::Program> programs_;
+  std::map<std::uint64_t, rt::Buffer> buffers_;
+  std::map<std::uint64_t, PendingEvent> events_;
+};
+
+}  // namespace gpup::serve

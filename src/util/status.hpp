@@ -26,6 +26,7 @@ enum class ErrorCode {
   kCancelled,         ///< host cancelled before the command ran
   kDeadlineExceeded,  ///< missed its simulated-cycle deadline
   kDeviceLost,        ///< device marked dead (injected or detected)
+  kSessionLost,       ///< serving session/daemon gone (handles invalid)
 };
 
 [[nodiscard]] inline const char* to_string(ErrorCode code) {
@@ -38,6 +39,7 @@ enum class ErrorCode {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kDeviceLost: return "device_lost";
+    case ErrorCode::kSessionLost: return "session_lost";
   }
   return "?";
 }

@@ -885,5 +885,83 @@ TEST(ChaosFuzz, NonFaultedLaunchesMatchFaultFreeRunBitForBit) {
   EXPECT_GT(compared, 0) << "the comparison set must not be vacuous";
 }
 
+
+// ---- cross-thread edges the serve layer leans on --------------------------
+// (PR 8 satellites: a daemon session thread calls wait_for while its
+// teardown path calls cancel; placement storms race the quarantine
+// breaker's half-open probe.)
+
+TEST(WaitFor, RacingCancelSettlesExactlyOnceEitherWay) {
+  Context context(sim::GpuConfig{});
+  for (int round = 0; round < 200; ++round) {
+    auto queue = context.create_queue();
+    auto gate = context.create_user_event();
+    const auto pending = queue.enqueue_native([] { return Status{}; }, {gate.event()});
+
+    WaitResult waited = WaitResult::kTimedOut;
+    bool cancelled = false;
+    std::thread waiter([&] { waited = pending.wait_for(kTestWaitTimeout); });
+    std::thread canceller([&] { cancelled = pending.cancel(); });
+    std::thread releaser([&] { gate.complete(); });
+    canceller.join();
+    releaser.join();
+    waiter.join();
+
+    // Exactly one side wins the settle, and the waiter observes whichever
+    // did — never a hang, never both, never a torn state.
+    if (cancelled) {
+      EXPECT_EQ(waited, WaitResult::kCancelled) << "round " << round;
+      EXPECT_EQ(pending.error().code, ErrorCode::kCancelled);
+    } else {
+      EXPECT_EQ(waited, WaitResult::kComplete) << "round " << round;
+    }
+  }
+  context.finish();
+  const auto gauges = context.snapshot();
+  EXPECT_EQ(gauges.unsettled_commands, 0u);
+  EXPECT_EQ(gauges.inflight_cycles, 0u);
+}
+
+TEST(Quarantine, HalfOpenProbeRacesPlacementStorm) {
+  HealthPolicy health;
+  health.window = 4;
+  health.min_samples = 2;
+  health.quarantine_threshold = 0.5;
+  health.probe_interval = 2;
+  DevicePool pool({sim::GpuConfig{}, sim::GpuConfig{}, sim::GpuConfig{}},
+                  PlacementPolicy::kLeastBound, health);
+
+  // One thread flips device 0 between quarantined and healthy while four
+  // placement threads hammer place(): every placement must succeed with a
+  // valid index (the breaker's probe counter and the quarantined flag are
+  // racing, but degradation never becomes refusal).
+  std::atomic<bool> placers_done{false};
+  std::thread chaos([&] {
+    while (!placers_done.load()) {
+      pool.record_launch_outcome(0, false, true);  // device-fatal: trips
+      pool.record_launch_outcome(0, true, false);  // success: readmits
+    }
+    pool.record_launch_outcome(0, true, false);  // leave it readmitted
+  });
+  std::vector<std::thread> placers;
+  std::atomic<int> placements{0};
+  for (int t = 0; t < 4; ++t) {
+    placers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        const auto placed = pool.place(DeviceRequirements{});
+        ASSERT_TRUE(placed.ok());
+        ASSERT_GE(placed.value(), 0);
+        ASSERT_LT(placed.value(), 3);
+        placements.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : placers) thread.join();
+  placers_done.store(true);
+  chaos.join();
+  EXPECT_EQ(placements.load(), 4 * 2000);
+  EXPECT_FALSE(pool.quarantined(0)) << "last outcome was a success: readmitted";
+}
+
 }  // namespace
 }  // namespace gpup::rt

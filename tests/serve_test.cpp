@@ -1,0 +1,848 @@
+// Serving-layer tests: wire protocol units, daemon round-trips against an
+// in-process gpupd, client recovery, and a chaos section driving a REAL
+// gpupd subprocess through disconnect / drain / kill storms.
+//
+// Everything here is bounded: every socket op carries a timeout, every
+// subprocess wait polls with a deadline, and the invariant checked after
+// every storm is the ISSUE's acceptance criterion — all sessions end
+// completed or typed-failed, and Context::Gauges::snapshot() returns to
+// zero (no leaked reservations, admission slots, or graph nodes).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/client.hpp"
+#include "src/serve/daemon.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace gpup::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Buffer step kernel: buf[tid] = buf[tid] * 3 + c (same as the rt suites).
+constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+// Scalar-only spin kernel (cheap to queue in bulk).
+constexpr const char* kSpinSource = R"(.kernel spin
+  tid   r1
+  param r2, 0
+  add   r3, r1, r2
+  mul   r3, r3, r2
+  addi  r3, r3, 7
+  ret
+)";
+
+std::string test_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/gpupd-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+DaemonOptions base_options(const std::string& path) {
+  DaemonOptions options;
+  options.socket_path = path;
+  options.context.devices = {sim::GpuConfig{}};
+  options.context.threads = 2;
+  options.io_timeout = 2000ms;
+  options.drain_grace = 1500ms;
+  return options;
+}
+
+ClientOptions client_options() {
+  ClientOptions options;
+  options.io_timeout = 5000ms;
+  return options;
+}
+
+int connect_raw(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// One verified end-to-end launch through `client`; returns false (with
+/// test failures recorded) on any mismatch.
+[[nodiscard]] bool run_verified_launch(Client& client, std::uint32_t n) {
+  constexpr std::uint32_t kStep = 7;
+  auto program = client.compile(kStepSource);
+  EXPECT_TRUE(program.ok()) << (program.ok() ? "" : program.error().to_string());
+  if (!program.ok()) return false;
+  auto buffer = client.alloc_words(n);
+  if (!buffer.ok()) return false;
+  std::vector<std::uint32_t> input(n);
+  for (std::uint32_t i = 0; i < n; ++i) input[i] = i;
+  auto write_event = client.write(buffer.value(), input);
+  if (!write_event.ok()) return false;
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, n}, {true, buffer.value()}, {false, kStep}};
+  spec.global_size = n;
+  spec.wg_size = 64;
+  auto launch_event = client.launch(spec);
+  if (!launch_event.ok()) return false;
+  auto read_event = client.read(buffer.value());
+  if (!read_event.ok()) return false;
+  auto done = client.wait(read_event.value(), 30'000);
+  EXPECT_TRUE(done.ok()) << (done.ok() ? "" : done.error().to_string());
+  if (!done.ok()) return false;
+  EXPECT_EQ(done.value().result, rt::WaitResult::kComplete) << done.value().message;
+  if (done.value().result != rt::WaitResult::kComplete) return false;
+  EXPECT_EQ(done.value().data.size(), n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (done.value().data[i] != i * 3 + kStep) {
+      ADD_FAILURE() << "word " << i << " is " << done.value().data[i];
+      return false;
+    }
+  }
+  return true;
+}
+
+void expect_settled(rt::Context& context) {
+  // finish() may report false after a storm (cancelled/failed commands);
+  // what matters here is that everything settled and nothing leaked.
+  (void)context.finish();
+  const auto gauges = context.snapshot();
+  EXPECT_EQ(gauges.inflight_cycles, 0u);
+  EXPECT_EQ(gauges.admission_pending, 0u);
+  EXPECT_EQ(gauges.unsettled_commands, 0u);
+}
+
+// ---- protocol units -------------------------------------------------------
+
+TEST(ServeProtocol, WriterReaderRoundTrip) {
+  WireWriter writer;
+  writer.u8(0xab);
+  writer.u16(0xbeef);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefull);
+  writer.str("hello gpupd");
+  writer.words(std::vector<std::uint32_t>{1, 2, 3, 0xffffffff});
+
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u16(), 0xbeef);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.str(), "hello gpupd");
+  EXPECT_EQ(reader.words(), (std::vector<std::uint32_t>{1, 2, 3, 0xffffffff}));
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ServeProtocol, ReaderIsFailStickyOnTruncation) {
+  WireWriter writer;
+  writer.u32(7);
+  WireReader reader(writer.bytes());
+  (void)reader.u64();  // 8 bytes from a 4-byte payload
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.u32(), 0u) << "after a failure every read must return zero";
+  EXPECT_FALSE(reader.done());
+}
+
+TEST(ServeProtocol, ReaderRejectsTrailingGarbageViaDone) {
+  WireWriter writer;
+  writer.u32(7);
+  writer.u32(9);
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.u32(), 7u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.done()) << "4 unconsumed bytes";
+}
+
+TEST(ServeProtocol, ReaderGuardsHostileWordCount) {
+  WireWriter writer;
+  writer.u32(0xffffffff);  // claims 4 billion words in an 8-byte payload
+  writer.u32(1);
+  WireReader reader(writer.bytes());
+  EXPECT_TRUE(reader.words().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_EQ(send_frame(fds[0], MsgType::kLaunch, WireStatus::kOk, 42, payload, 1000ms),
+            IoStatus::kOk);
+  FrameResult in = recv_frame(fds[1], kDefaultMaxPayload, 1000ms);
+  ASSERT_TRUE(in.valid());
+  EXPECT_EQ(in.frame.header.type, MsgType::kLaunch);
+  EXPECT_EQ(in.frame.header.status, WireStatus::kOk);
+  EXPECT_EQ(in.frame.header.request_id, 42u);
+  EXPECT_EQ(in.frame.payload, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, BadMagicIsMalformedNotCrash) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::uint8_t garbage[kHeaderBytes];
+  std::memset(garbage, 0x5a, sizeof(garbage));
+  ASSERT_EQ(write_all(fds[0], garbage, sizeof(garbage), 1000ms), IoStatus::kOk);
+  FrameResult in = recv_frame(fds[1], kDefaultMaxPayload, 1000ms);
+  EXPECT_EQ(in.io, IoStatus::kOk);
+  EXPECT_TRUE(in.malformed);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, OversizedHeaderRejectedWithoutAllocation) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameHeader header;
+  header.payload_len = 100u << 20;  // 100 MiB claim, nothing behind it
+  header.type = MsgType::kWrite;
+  header.request_id = 9;
+  std::uint8_t raw[kHeaderBytes];
+  encode_header(header, raw);
+  ASSERT_EQ(write_all(fds[0], raw, sizeof(raw), 1000ms), IoStatus::kOk);
+  FrameResult in = recv_frame(fds[1], 1u << 20, 1000ms);
+  EXPECT_EQ(in.io, IoStatus::kOk);
+  EXPECT_TRUE(in.oversized);
+  EXPECT_EQ(in.frame.header.request_id, 9u) << "header fields survive for the typed reply";
+  EXPECT_TRUE(in.frame.payload.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, ReadExactTimesOutOnSlowPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::uint8_t byte = 1;
+  ASSERT_EQ(write_all(fds[0], &byte, 1, 100ms), IoStatus::kOk);
+  std::uint8_t buf[4];
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(read_exact(fds[1], buf, sizeof(buf), 150ms), IoStatus::kTimedOut)
+      << "one byte of four within the budget is a timeout, not a hang";
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, ErrorTaxonomyMapsOntoErrorCodes) {
+  EXPECT_EQ(to_error_code(WireStatus::kMalformedFrame), ErrorCode::kInvalidArg);
+  EXPECT_EQ(to_error_code(WireStatus::kFrameTooLarge), ErrorCode::kInvalidArg);
+  EXPECT_EQ(to_error_code(WireStatus::kUnknownType), ErrorCode::kInvalidArg);
+  EXPECT_EQ(to_error_code(WireStatus::kProtocolMismatch), ErrorCode::kInvalidArg);
+  EXPECT_EQ(to_error_code(WireStatus::kBadHandle), ErrorCode::kInvalidArg);
+  EXPECT_EQ(to_error_code(WireStatus::kDraining), ErrorCode::kRejected);
+  EXPECT_EQ(to_error_code(WireStatus::kOverloaded), ErrorCode::kRejected);
+  EXPECT_EQ(to_error_code(WireStatus::kSessionLost), ErrorCode::kSessionLost);
+}
+
+// ---- in-process daemon ----------------------------------------------------
+
+TEST(ServeDaemon, VerifiedLaunchRoundTrip) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto client = Client::connect(path, client_options());
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  Client session = std::move(client).value();
+  EXPECT_EQ(session.device_count(), 1);
+  EXPECT_TRUE(run_verified_launch(session, 256));
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, PipelinedLaunchesCompleteInOrder) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+
+  auto program = client.compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, 5}};
+  spec.global_size = 256;
+  spec.wg_size = 64;
+
+  constexpr int kDepth = 16;
+  std::vector<std::uint64_t> request_ids;
+  for (int i = 0; i < kDepth; ++i) {
+    auto id = client.post_launch(spec);
+    ASSERT_TRUE(id.ok());
+    request_ids.push_back(id.value());
+  }
+  std::vector<std::uint64_t> handles;
+  for (const std::uint64_t id : request_ids) {
+    auto handle = client.collect_handle(id);
+    ASSERT_TRUE(handle.ok()) << handle.error().to_string();
+    handles.push_back(handle.value());
+  }
+  for (const std::uint64_t handle : handles) {
+    auto done = client.wait(handle, 30'000);
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(done.value().result, rt::WaitResult::kComplete) << done.value().message;
+    EXPECT_GT(done.value().cycles, 0u);
+  }
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, PerRequestDeadlineRidesDeadlineCycles) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+
+  auto program = client.compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, 3}};
+  spec.global_size = 256;
+  spec.wg_size = 32;
+  spec.deadline_cycles = 1;  // nothing real fits in one cycle
+  auto event = client.launch(spec);
+  ASSERT_TRUE(event.ok());
+  auto done = client.wait(event.value(), 30'000);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().result, rt::WaitResult::kFailed);
+  EXPECT_EQ(done.value().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(daemon.context().snapshot().deadline_misses_total, 1u);
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, MalformedFrameGetsTypedErrorAndDaemonSurvives) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  const int fd = connect_raw(path);
+  std::uint8_t garbage[kHeaderBytes + 4];
+  std::memset(garbage, 0x77, sizeof(garbage));
+  ASSERT_EQ(write_all(fd, garbage, sizeof(garbage), 1000ms), IoStatus::kOk);
+  FrameResult reply = recv_frame(fd, kDefaultMaxPayload, 2000ms);
+  ASSERT_TRUE(reply.valid());
+  EXPECT_EQ(reply.frame.header.type, MsgType::kError);
+  EXPECT_EQ(reply.frame.header.status, WireStatus::kMalformedFrame);
+  // The daemon closes the poisoned stream...
+  std::uint8_t byte;
+  EXPECT_EQ(read_exact(fd, &byte, 1, 2000ms), IoStatus::kClosed);
+  ::close(fd);
+
+  // ...and keeps serving everyone else.
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  EXPECT_TRUE(client.ping().ok());
+  EXPECT_NE(daemon.metrics_json().find("\"malformed_total\": 1"), std::string::npos);
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, OversizedFrameGetsTypedErrorNeverAllocated) {
+  const std::string path = test_socket_path();
+  DaemonOptions options = base_options(path);
+  options.max_payload = 1024;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  auto buffer = client.alloc_words(16);
+  ASSERT_TRUE(buffer.ok());
+  // 2000 words = an 8KB payload against the daemon's 1KB ceiling.
+  auto rejected = client.write(buffer.value(), std::vector<std::uint32_t>(2000, 1));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kInvalidArg);
+  EXPECT_NE(rejected.error().to_string().find("frame_too_large"), std::string::npos);
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, BadHandleIsTypedNotFatal) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+
+  auto outcome = client.wait(0xdead, 1000);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kInvalidArg);
+  EXPECT_NE(outcome.error().to_string().find("bad_handle"), std::string::npos);
+  EXPECT_TRUE(client.ping().ok()) << "typed request errors must not kill the session";
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, RequestBeforeHelloIsProtocolMismatch) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  const int fd = connect_raw(path);
+  WireWriter writer;
+  writer.u32(64);
+  ASSERT_EQ(send_frame(fd, MsgType::kAlloc, WireStatus::kOk, 1, writer.bytes(), 1000ms),
+            IoStatus::kOk);
+  FrameResult reply = recv_frame(fd, kDefaultMaxPayload, 2000ms);
+  ASSERT_TRUE(reply.valid());
+  EXPECT_EQ(reply.frame.header.type, MsgType::kError);
+  EXPECT_EQ(reply.frame.header.status, WireStatus::kProtocolMismatch);
+  ::close(fd);
+  daemon.drain();
+}
+
+TEST(ServeDaemon, SlowlorisConnectionIsDroppedWithinTimeout) {
+  const std::string path = test_socket_path();
+  DaemonOptions options = base_options(path);
+  options.io_timeout = 200ms;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  const int fd = connect_raw(path);
+  // Half a header, then silence: the daemon must cut us loose within its
+  // io timeout instead of wedging the connection thread.
+  std::uint8_t partial[4] = {0x50, 0x55, 0x50, 0x47};
+  ASSERT_EQ(write_all(fd, partial, sizeof(partial), 1000ms), IoStatus::kOk);
+  std::uint8_t byte;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(read_exact(fd, &byte, 1, 5000ms), IoStatus::kClosed);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 3s);
+  ::close(fd);
+
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  EXPECT_TRUE(client.ping().ok());
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, DisconnectCancelsQueuedWorkAndLeaksNothing) {
+  const std::string path = test_socket_path();
+  DaemonOptions options = base_options(path);
+  options.context.threads = 1;  // one worker: a deep backlog is guaranteed
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  {
+    auto connected = Client::connect(path, client_options());
+    ASSERT_TRUE(connected.ok());
+    Client client = std::move(connected).value();
+    auto program = client.compile(kSpinSource);
+    ASSERT_TRUE(program.ok());
+    LaunchSpec spec;
+    spec.program = program.value();
+    spec.args = {{false, 9}};
+    spec.global_size = 8192;
+    spec.wg_size = 64;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 64; ++i) {
+      auto id = client.post_launch(spec);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (const std::uint64_t id : ids) ASSERT_TRUE(client.collect_handle(id).ok());
+    // Client vanishes here with ~64 launches queued and none awaited.
+  }
+
+  // The daemon notices the disconnect, cancels the backlog, and settles
+  // every reservation — the crash-only invariant.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (daemon.live_sessions() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(daemon.live_sessions(), 0);
+  expect_settled(daemon.context());
+  const std::string metrics = daemon.metrics_json();
+  const char* key = "\"cancelled_on_disconnect\": ";
+  const auto at = metrics.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const long cancelled = std::strtol(metrics.c_str() + at + std::strlen(key), nullptr, 10);
+  EXPECT_GT(cancelled, 0)
+      << "a one-worker daemon with 64 queued launches must cancel some on disconnect: "
+      << metrics;
+  daemon.drain();
+}
+
+TEST(ServeDaemon, DrainRefusesNewWorkButServesWaits) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+
+  auto program = client.compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, 2}};
+  spec.global_size = 4096;
+  spec.wg_size = 64;
+  auto inflight = client.launch(spec);
+  ASSERT_TRUE(inflight.ok());
+
+  std::thread drainer([&daemon] { daemon.drain(); });
+  while (!daemon.draining()) std::this_thread::sleep_for(1ms);
+
+  // New work: typed kRejected. In-flight work: still awaitable.
+  auto refused = client.launch(spec);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, ErrorCode::kRejected);
+  EXPECT_NE(refused.error().to_string().find("draining"), std::string::npos);
+  auto done = client.wait(inflight.value(), 10'000);
+  ASSERT_TRUE(done.ok()) << done.error().to_string();
+  EXPECT_EQ(done.value().result, rt::WaitResult::kComplete);
+
+  // New connections: refused, typed.
+  ClientOptions quick = client_options();
+  quick.connect_attempts = 1;
+  auto late = Client::connect(path, quick);
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code, ErrorCode::kRejected);
+
+  drainer.join();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, TenantQuotaShedsTyped) {
+  const std::string path = test_socket_path();
+  DaemonOptions options = base_options(path);
+  options.context.threads = 1;
+  options.context.admission.max_pending_per_tenant = 2;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+
+  auto program = client.compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, 4}};
+  spec.global_size = 8192;
+  spec.wg_size = 64;
+
+  int shed = 0;
+  int completed = 0;
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 16; ++i) {
+    auto event = client.launch(spec);
+    ASSERT_TRUE(event.ok());
+    handles.push_back(event.value());
+  }
+  for (const std::uint64_t handle : handles) {
+    auto done = client.wait(handle, 30'000);
+    ASSERT_TRUE(done.ok());
+    if (done.value().result == rt::WaitResult::kComplete) {
+      ++completed;
+    } else {
+      EXPECT_EQ(done.value().result, rt::WaitResult::kFailed);
+      EXPECT_EQ(done.value().code, ErrorCode::kRejected) << done.value().message;
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0) << "depth 2 against a 16-launch burst must shed";
+  EXPECT_GT(completed, 0) << "shedding must not poison admitted work";
+  EXPECT_GT(daemon.context().snapshot().shed_total, 0u);
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, OverloadedConnectIsTypedReject) {
+  const std::string path = test_socket_path();
+  DaemonOptions options = base_options(path);
+  options.max_sessions = 1;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto first = Client::connect(path, client_options());
+  ASSERT_TRUE(first.ok());
+  Client keeper = std::move(first).value();
+  ASSERT_TRUE(keeper.ping().ok());
+
+  ClientOptions quick = client_options();
+  quick.connect_attempts = 1;
+  auto second = Client::connect(path, quick);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, ErrorCode::kRejected);
+  EXPECT_NE(second.error().to_string().find("overloaded"), std::string::npos);
+
+  EXPECT_TRUE(keeper.ping().ok()) << "the admitted session must be unaffected";
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+TEST(ServeDaemon, MetricsScrapeCarriesGaugesAndPercentiles) {
+  const std::string path = test_socket_path();
+  Daemon daemon(base_options(path));
+  ASSERT_TRUE(daemon.start().ok());
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  ASSERT_TRUE(run_verified_launch(client, 128));
+
+  auto json = client.metrics();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"inflight_cycles\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"devices_quarantined\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"shed_total\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"sessions_opened\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"latency_us_p50\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"latency_us_p99\""), std::string::npos);
+  daemon.drain();
+  expect_settled(daemon.context());
+}
+
+// ---- client recovery ------------------------------------------------------
+
+TEST(ServeClient, ReconnectAfterDaemonDeathGetsTypedFailuresThenResumes) {
+  const std::string path = test_socket_path();
+  auto daemon1 = std::make_unique<Daemon>(base_options(path));
+  ASSERT_TRUE(daemon1->start().ok());
+
+  auto connected = Client::connect(path, client_options());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  ASSERT_TRUE(run_verified_launch(client, 64));
+  auto stale_buffer = client.alloc_words(16);
+  ASSERT_TRUE(stale_buffer.ok());
+
+  daemon1->hard_stop();
+
+  // Every call on the dead session: typed kSessionLost, never a hang.
+  const gpup::Status dead_ping = client.ping();
+  ASSERT_FALSE(dead_ping.ok());
+  EXPECT_EQ(dead_ping.error().code, ErrorCode::kSessionLost);
+  auto dead_launch = client.read(stale_buffer.value());
+  ASSERT_FALSE(dead_launch.ok());
+  EXPECT_EQ(dead_launch.error().code, ErrorCode::kSessionLost);
+  EXPECT_FALSE(client.alive());
+
+  // Crash-only restart on the same path; the socket file is reclaimed.
+  daemon1.reset();
+  Daemon daemon2(base_options(path));
+  ASSERT_TRUE(daemon2.start().ok());
+
+  auto reconnected = Client::connect(path, client_options());
+  ASSERT_TRUE(reconnected.ok()) << reconnected.error().to_string();
+  Client fresh = std::move(reconnected).value();
+  // Handles died with the old session: a fresh daemon answers kBadHandle.
+  auto stale_read = fresh.read(stale_buffer.value());
+  ASSERT_FALSE(stale_read.ok());
+  EXPECT_EQ(stale_read.error().code, ErrorCode::kInvalidArg);
+  EXPECT_NE(stale_read.error().to_string().find("bad_handle"), std::string::npos);
+  // And a rebuilt workload runs fine.
+  EXPECT_TRUE(run_verified_launch(fresh, 64));
+  daemon2.drain();
+  expect_settled(daemon2.context());
+}
+
+// ---- chaos: a real gpupd subprocess ---------------------------------------
+// fork+exec (exec immediately follows the fork, so this is sanitizer-safe)
+// against the gpupd binary CMake points us at.
+
+#ifdef GPUPD_BINARY
+
+pid_t spawn_gpupd(const std::string& path, const std::string& drain_grace_ms = "500") {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(GPUPD_BINARY, "gpupd", "--socket", path.c_str(), "--devices", "2", "--threads",
+            "2", "--drain-grace-ms", drain_grace_ms.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0);
+  return pid;
+}
+
+/// Bounded waitpid: the exit status, or -1 if the child outlived the
+/// timeout (reported as a failure — a hung daemon is exactly the bug).
+int wait_exit_bounded(pid_t pid, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) return status;
+    std::this_thread::sleep_for(10ms);
+  }
+  ADD_FAILURE() << "gpupd (pid " << pid << ") still alive after " << timeout.count() << "ms";
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return -1;
+}
+
+TEST(ServeChaos, KillNineMidLoadThenRestartRecovers) {
+  const std::string path = test_socket_path();
+  const pid_t pid1 = spawn_gpupd(path);
+
+  ClientOptions options = client_options();
+  options.io_timeout = 3000ms;
+  auto connected = Client::connect(path, options);
+  ASSERT_TRUE(connected.ok()) << connected.error().to_string();
+  Client client = std::move(connected).value();
+  auto program = client.compile(kSpinSource);
+  ASSERT_TRUE(program.ok());
+  LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, 6}};
+  spec.global_size = 8192;
+  spec.wg_size = 64;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto id = client.post_launch(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+
+  // The daemon dies mid-pipeline.
+  ASSERT_EQ(::kill(pid1, SIGKILL), 0);
+  (void)wait_exit_bounded(pid1, 5000ms);
+
+  // Every outstanding interaction resolves to a typed failure, bounded.
+  bool lost = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::uint64_t id : ids) {
+    auto handle = client.collect_handle(id);
+    if (!handle.ok()) {
+      EXPECT_EQ(handle.error().code, ErrorCode::kSessionLost);
+      lost = true;
+      break;
+    }
+  }
+  if (!lost) {
+    const gpup::Status ping = client.ping();
+    ASSERT_FALSE(ping.ok());
+    EXPECT_EQ(ping.error().code, ErrorCode::kSessionLost);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 30s) << "failure must be bounded";
+
+  // Crash-only restart on the SAME socket path (stale file reclaimed),
+  // and a fresh session does real work.
+  const pid_t pid2 = spawn_gpupd(path);
+  auto reconnected = Client::connect(path, options);
+  ASSERT_TRUE(reconnected.ok()) << reconnected.error().to_string();
+  Client fresh = std::move(reconnected).value();
+  EXPECT_TRUE(run_verified_launch(fresh, 128));
+
+  ASSERT_EQ(::kill(pid2, SIGTERM), 0);
+  const int status = wait_exit_bounded(pid2, 15000ms);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "SIGTERM must drain to a clean exit";
+}
+
+TEST(ServeChaos, SigtermDrainUnderLoadEndsTypedEverywhere) {
+  const std::string path = test_socket_path();
+  const pid_t pid = spawn_gpupd(path);
+
+  // Four tenants hammering the daemon while it is told to drain. The
+  // acceptance bar: every request ends completed or typed-failed
+  // (kRejected from the drain gate, kSessionLost after the stop) and the
+  // daemon exits 0 — no hangs anywhere.
+  constexpr int kClients = 4;
+  std::atomic<int> completed{0};
+  std::atomic<int> typed_failures{0};
+  std::atomic<int> untyped_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      ClientOptions options = client_options();
+      options.tenant = static_cast<std::uint64_t>(t);
+      options.io_timeout = 3000ms;
+      auto connected = Client::connect(path, options);
+      if (!connected.ok()) {
+        ++untyped_failures;
+        return;
+      }
+      Client client = std::move(connected).value();
+      auto program = client.compile(kSpinSource);
+      if (!program.ok()) {
+        ++untyped_failures;
+        return;
+      }
+      LaunchSpec spec;
+      spec.program = program.value();
+      spec.args = {{false, static_cast<std::uint64_t>(t + 1)}};
+      spec.global_size = 2048;
+      spec.wg_size = 64;
+      for (int i = 0; i < 500; ++i) {
+        auto event = client.launch(spec);
+        if (!event.ok()) {
+          const ErrorCode code = event.error().code;
+          if (code == ErrorCode::kRejected || code == ErrorCode::kSessionLost) {
+            ++typed_failures;
+          } else {
+            ++untyped_failures;
+          }
+          return;  // drain or death reached this tenant — done
+        }
+        auto done = client.wait(event.value(), 30'000);
+        if (!done.ok()) {
+          const ErrorCode code = done.error().code;
+          if (code == ErrorCode::kRejected || code == ErrorCode::kSessionLost) {
+            ++typed_failures;
+          } else {
+            ++untyped_failures;
+          }
+          return;
+        }
+        if (done.value().result == rt::WaitResult::kComplete) ++completed;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(300ms);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  for (auto& thread : threads) thread.join();
+
+  const int status = wait_exit_bounded(pid, 15000ms);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(untyped_failures.load(), 0)
+      << "every failure during drain must carry kRejected or kSessionLost";
+  EXPECT_GT(completed.load() + typed_failures.load(), 0);
+}
+
+#endif  // GPUPD_BINARY
+
+}  // namespace
+}  // namespace gpup::serve

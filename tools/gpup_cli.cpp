@@ -1,0 +1,149 @@
+// gpup-cli — smoke client for a running gpupd.
+//
+//   gpup-cli --socket PATH ping
+//   gpup-cli --socket PATH launch [--n WORDS] [--wg SIZE]
+//   gpup-cli --socket PATH metrics
+//
+// `launch` runs the full serving path end to end: compile a built-in
+// kernel, alloc, write, launch, read, wait — then verifies every output
+// word host-side. Exit status is the health signal (CI's smoke step
+// asserts 0), output is one line per step.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/serve/client.hpp"
+
+namespace {
+
+// Same shape as the test suites' step kernel: out[i] = in[i] * 3 + c.
+constexpr const char* kKernelSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+int fail(const char* step, const gpup::Error& error) {
+  std::fprintf(stderr, "gpup-cli: %s failed [%s]: %s\n", step, gpup::to_string(error.code),
+               error.to_string().c_str());
+  return 1;
+}
+
+int run_launch(gpup::serve::Client& client, std::uint32_t n, std::uint32_t wg) {
+  constexpr std::uint32_t kStep = 7;
+  auto program = client.compile(kKernelSource);
+  if (!program.ok()) return fail("compile", program.error());
+  auto buffer = client.alloc_words(n);
+  if (!buffer.ok()) return fail("alloc", buffer.error());
+
+  std::vector<std::uint32_t> input(n);
+  for (std::uint32_t i = 0; i < n; ++i) input[i] = i;
+  auto write_event = client.write(buffer.value(), input);
+  if (!write_event.ok()) return fail("write", write_event.error());
+
+  gpup::serve::LaunchSpec spec;
+  spec.program = program.value();
+  spec.args = {{false, n}, {true, buffer.value()}, {false, kStep}};
+  spec.global_size = n;
+  spec.wg_size = wg;
+  auto launch_event = client.launch(spec);
+  if (!launch_event.ok()) return fail("launch", launch_event.error());
+  auto read_event = client.read(buffer.value());
+  if (!read_event.ok()) return fail("read", read_event.error());
+
+  auto done = client.wait(read_event.value(), 30'000);
+  if (!done.ok()) return fail("wait", done.error());
+  if (done.value().result != gpup::rt::WaitResult::kComplete) {
+    std::fprintf(stderr, "gpup-cli: launch ended %s [%s]: %s\n",
+                 gpup::rt::to_string(done.value().result),
+                 gpup::to_string(done.value().code), done.value().message.c_str());
+    return 1;
+  }
+  const auto& data = done.value().data;
+  if (data.size() != n) {
+    std::fprintf(stderr, "gpup-cli: read %zu words, expected %u\n", data.size(), n);
+    return 1;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (data[i] != i * 3 + kStep) {
+      std::fprintf(stderr, "gpup-cli: word %u is %u, expected %u\n", i, data[i], i * 3 + kStep);
+      return 1;
+    }
+  }
+  std::printf("gpup-cli: launch ok (%u words verified)\n", n);
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--tenant N] ping|metrics|launch "
+               "[--n WORDS] [--wg SIZE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/gpupd.sock";
+  gpup::serve::ClientOptions options;
+  std::string command;
+  std::uint32_t n = 256;
+  std::uint32_t wg = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next())) {
+      socket_path = value;
+    } else if (arg == "--tenant" && (value = next())) {
+      options.tenant = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--n" && (value = next())) {
+      n = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--wg" && (value = next())) {
+      wg = static_cast<std::uint32_t>(std::atoi(value));
+    } else if (command.empty() && arg[0] != '-') {
+      command = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (command.empty()) return usage(argv[0]);
+
+  auto connected = gpup::serve::Client::connect(socket_path, options);
+  if (!connected.ok()) return fail("connect", connected.error());
+  gpup::serve::Client client = std::move(connected).value();
+
+  if (command == "ping") {
+    const gpup::Status pong = client.ping();
+    if (!pong.ok()) return fail("ping", pong.error());
+    std::printf("gpup-cli: pong (%d devices, session %llu)\n", client.device_count(),
+                static_cast<unsigned long long>(client.session_id()));
+    return 0;
+  }
+  if (command == "metrics") {
+    auto json = client.metrics();
+    if (!json.ok()) return fail("metrics", json.error());
+    std::printf("%s\n", json.value().c_str());
+    return 0;
+  }
+  if (command == "launch") {
+    if (n == 0 || wg == 0) return usage(argv[0]);
+    return run_launch(client, n, wg);
+  }
+  return usage(argv[0]);
+}

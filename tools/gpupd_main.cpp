@@ -1,0 +1,117 @@
+// gpupd — the G-GPU serving daemon.
+//
+// Wraps one rt::Context behind a Unix-domain socket (src/serve/) and runs
+// until SIGTERM/SIGINT, which triggers the bounded graceful drain: stop
+// admitting, let in-flight work settle, flush final metrics to stderr,
+// exit 0. Signal handling is the classic self-pipe: the handler writes
+// one byte, main's poll() wakes, the drain runs on the main thread.
+//
+//   gpupd --socket /tmp/gpupd.sock --devices 2 --policy fair
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/daemon.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  // write() is async-signal-safe; the result is irrelevant (a full pipe
+  // means a wake is already pending).
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--devices N] [--threads N]\n"
+               "          [--policy fifo|priority|fair] [--admission-depth N]\n"
+               "          [--io-timeout-ms N] [--drain-grace-ms N] [--max-sessions N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gpup::serve::DaemonOptions options;
+  options.socket_path = "/tmp/gpupd.sock";
+  int devices = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next())) {
+      options.socket_path = value;
+    } else if (arg == "--devices" && (value = next())) {
+      devices = std::atoi(value);
+    } else if (arg == "--threads" && (value = next())) {
+      options.context.threads = static_cast<unsigned>(std::atoi(value));
+    } else if (arg == "--policy" && (value = next())) {
+      if (std::strcmp(value, "fifo") == 0) {
+        options.context.scheduler.policy = gpup::rt::SchedulerPolicy::kFifo;
+      } else if (std::strcmp(value, "priority") == 0) {
+        options.context.scheduler.policy = gpup::rt::SchedulerPolicy::kPriority;
+      } else if (std::strcmp(value, "fair") == 0) {
+        options.context.scheduler.policy = gpup::rt::SchedulerPolicy::kFairShare;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--admission-depth" && (value = next())) {
+      options.context.admission.max_pending_per_tenant =
+          static_cast<std::uint32_t>(std::atoi(value));
+    } else if (arg == "--io-timeout-ms" && (value = next())) {
+      options.io_timeout = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--drain-grace-ms" && (value = next())) {
+      options.drain_grace = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--max-sessions" && (value = next())) {
+      options.max_sessions = std::atoi(value);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (devices < 1) devices = 1;
+  options.context.devices.assign(static_cast<std::size_t>(devices), gpup::sim::GpuConfig{});
+
+  if (::pipe(g_signal_pipe) < 0) {
+    std::perror("gpupd: pipe");
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  gpup::serve::Daemon daemon(options);
+  const gpup::Status started = daemon.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "gpupd: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("gpupd: listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+
+  // Park until a signal arrives; everything else happens on the daemon's
+  // accept/connection threads.
+  struct pollfd pfd {};
+  pfd.fd = g_signal_pipe[0];
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, -1);
+    if (ready > 0 || (ready < 0 && errno != EINTR)) break;
+  }
+
+  std::fprintf(stderr, "gpupd: draining\n");
+  daemon.drain();
+  std::fprintf(stderr, "gpupd: drained, exiting\n");
+  return 0;
+}
