@@ -5,9 +5,11 @@
 // scheduler policies and a heterogeneous-pool placement scenario over the
 // placement policies, plus a serving scenario that drives the same
 // closed loop through gpupd's wire protocol (in-process serve::Daemon
-// over a real Unix socket) to price the serve layer's tax, and writes
-// BENCH_queue_throughput.json so the serving-throughput, fairness, and
-// placement trajectories are visible across PRs.
+// over a real Unix socket) to price the serve layer's tax, plus a
+// continuous-batching scenario (1000 tiny launches, 4 tenants, batched
+// vs unbatched, win floor 1.5x with bit-identical per-launch counters),
+// and writes BENCH_queue_throughput.json so the serving-throughput,
+// fairness, placement, and batching trajectories are visible across PRs.
 //
 // Throughput section: each queue is driven by a closed-loop client thread
 // — upload once, then repeatedly enqueue a launch + result read and block
@@ -812,11 +814,232 @@ bool run_overload_report(OverloadReport& report) {
   return ok;
 }
 
+// ---- continuous batching scenario -----------------------------------------
+
+// 1000 tiny launches across 4 tenants on one device, every launch on its
+// own buffer (so the batch assembler can fuse freely), released by one
+// gate — the dispatch-bound regime continuous batching exists for. The
+// same workload runs with batching on and with BatchConfig::off(); the
+// win is fused kernels/s over unbatched kernels/s.
+//
+// Self-check (CI gate): the win must reach kBatchWinFloor, every
+// per-launch cycle count AND PerfCounters snapshot must be bit-identical
+// between the batched and unbatched runs (batching changes wall-clock
+// only), every read-back must match the host golden, batches must
+// actually form when enabled (and never when disabled), and — the
+// preemption check — tenant 0 at high priority must finish before every
+// low-priority tenant even while the assembler is fusing, because the
+// scheduler policy is re-consulted at every batch boundary.
+constexpr int kBatchTenants = 4;
+constexpr int kBatchLaunchesPerTenant = 250;  // 1000 total
+constexpr std::uint32_t kBatchN = 32;
+constexpr double kBatchWinFloor = 1.5;
+
+constexpr const char* kBatchStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+struct BatchingRun {
+  double wall_s = 0.0;
+  double kernels_per_s = 0.0;
+  std::uint64_t batches_formed = 0;
+  std::uint64_t launches_batched = 0;
+  bool all_valid = true;
+  bool high_priority_first = true;
+  std::vector<std::uint64_t> cycles;              // per launch, enqueue order
+  std::vector<gpup::sim::PerfCounters> counters;  // per launch, enqueue order
+};
+
+BatchingRun run_batching(bool batched) {
+  gpup::rt::ContextOptions options;
+  gpup::sim::GpuConfig config = bench_config();
+  config.global_mem_bytes = 4 << 20;  // 1000 per-launch scratch buffers
+  options.devices = {config};
+  options.threads = 2;
+  options.scheduler.policy = gpup::rt::SchedulerPolicy::kPriority;
+  gpup::rt::Context context(std::move(options));
+  const auto program = gpup::rt::Context::compile(kBatchStepSource);
+  GPUP_CHECK_MSG(program.ok(), program.error().to_string());
+
+  struct Tenant {
+    gpup::rt::CommandQueue queue;
+    std::vector<gpup::rt::Buffer> buffers;
+    std::vector<gpup::rt::Event> kernels;
+  };
+  std::vector<Tenant> tenants(kBatchTenants);
+  gpup::rt::UserEvent gate = context.create_user_event();
+  auto completion_seq = std::make_shared<std::atomic<int>>(0);
+  std::vector<int> completion_order(kBatchTenants, 0);
+
+  // Setup (unmeasured): out-of-order queues so the whole wave is ready at
+  // once, one pre-written buffer per launch, kernels gated. kPriority
+  // requires an explicit batching opt-in — exactly what we're comparing.
+  std::vector<gpup::rt::Event> writes;
+  for (int t = 0; t < kBatchTenants; ++t) {
+    auto& tenant = tenants[static_cast<std::size_t>(t)];
+    gpup::rt::QueueOptions queue_options;
+    queue_options.mode = gpup::rt::QueueMode::kOutOfOrder;
+    queue_options.device = 0;
+    queue_options.tenant = static_cast<std::uint64_t>(t);
+    queue_options.priority = t == 0 ? 8 : 0;
+    queue_options.batch =
+        batched ? gpup::rt::BatchConfig::on() : gpup::rt::BatchConfig::off();
+    auto created = context.create_queue(queue_options);
+    GPUP_CHECK_MSG(created.ok(), created.error().to_string());
+    tenant.queue = created.value();
+    for (int l = 0; l < kBatchLaunchesPerTenant; ++l) {
+      auto buffer = tenant.queue.alloc_words(kBatchN);
+      GPUP_CHECK_MSG(buffer.ok(), buffer.error().to_string());
+      tenant.buffers.push_back(buffer.value());
+      writes.push_back(tenant.queue.enqueue_write(
+          buffer.value(), std::vector<std::uint32_t>(kBatchN, 1)));
+    }
+  }
+  for (const auto& write : writes) GPUP_CHECK(write.wait());
+  for (int t = 0; t < kBatchTenants; ++t) {
+    auto& tenant = tenants[static_cast<std::size_t>(t)];
+    for (int l = 0; l < kBatchLaunchesPerTenant; ++l) {
+      tenant.kernels.push_back(tenant.queue.enqueue_kernel(
+          program.value(),
+          gpup::rt::Args()
+              .add(kBatchN)
+              .add(tenant.buffers[static_cast<std::size_t>(l)])
+              .add(static_cast<std::uint32_t>(l % 9 + 1)),
+          {kBatchN, 32}, gpup::rt::LaunchOptions{}, {gate.event()}));
+    }
+    // Completion stamp: settles the moment this tenant's last kernel
+    // does, so the order reflects actual service order.
+    tenant.queue.enqueue_native(
+        [completion_seq, &completion_order, t]() -> gpup::Status {
+          completion_order[static_cast<std::size_t>(t)] =
+              completion_seq->fetch_add(1, std::memory_order_relaxed);
+          return {};
+        },
+        tenant.kernels);
+  }
+
+  const auto start = Clock::now();
+  gate.complete();
+  GPUP_CHECK(context.finish());
+  BatchingRun run;
+  run.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  const int total = kBatchTenants * kBatchLaunchesPerTenant;
+  run.kernels_per_s = run.wall_s > 0 ? total / run.wall_s : 0.0;
+
+  const auto gauges = context.snapshot();
+  run.batches_formed = gauges.batches_formed_total;
+  run.launches_batched = gauges.launches_batched_total;
+  for (int t = 1; t < kBatchTenants; ++t) {
+    if (completion_order[static_cast<std::size_t>(t)] < completion_order[0]) {
+      run.high_priority_first = false;
+    }
+  }
+  for (auto& tenant : tenants) {
+    for (int l = 0; l < kBatchLaunchesPerTenant; ++l) {
+      const auto& kernel = tenant.kernels[static_cast<std::size_t>(l)];
+      run.all_valid = run.all_valid && kernel.status() == gpup::rt::EventStatus::kComplete;
+      run.cycles.push_back(kernel.stats().cycles);
+      run.counters.push_back(kernel.stats().counters);
+      const auto read =
+          tenant.queue.enqueue_read(tenant.buffers[static_cast<std::size_t>(l)]);
+      run.all_valid = run.all_valid && read.wait() &&
+                      read.data() == std::vector<std::uint32_t>(
+                                         kBatchN, 3 + static_cast<std::uint32_t>(l % 9 + 1));
+    }
+  }
+  return run;
+}
+
+struct BatchingReport {
+  BatchingRun batched;
+  BatchingRun unbatched;
+  double win = 0.0;
+};
+
+/// Returns false (failing CI) when fused throughput misses the win floor,
+/// when any per-launch cycle count or PerfCounters field differs between
+/// the batched and unbatched runs, when batches fail to form (or form
+/// with batching off), when a read-back misses its golden, or when the
+/// high-priority tenant does not finish first in either mode.
+bool run_batching_report(BatchingReport& report) {
+  std::printf("=== Continuous batching (%d tenants x %d launches, 1 device, kPriority; "
+              "tenant 0 priority 8) ===\n",
+              kBatchTenants, kBatchLaunchesPerTenant);
+  (void)run_batching(true);  // warm-up, discarded
+  // Best of 3 per mode: walls are tens of milliseconds on shared hosts.
+  for (int rep = 0; rep < 3; ++rep) {
+    const BatchingRun batched = run_batching(true);
+    if (report.batched.kernels_per_s == 0.0 ||
+        batched.kernels_per_s > report.batched.kernels_per_s) {
+      report.batched = batched;
+    }
+    const BatchingRun unbatched = run_batching(false);
+    if (report.unbatched.kernels_per_s == 0.0 ||
+        unbatched.kernels_per_s > report.unbatched.kernels_per_s) {
+      report.unbatched = unbatched;
+    }
+  }
+  report.win = report.unbatched.kernels_per_s > 0
+                   ? report.batched.kernels_per_s / report.unbatched.kernels_per_s
+                   : 0.0;
+
+  bool ok = report.batched.all_valid && report.unbatched.all_valid;
+  if (!ok) std::printf("  !! a read-back missed its golden\n");
+  if (report.batched.cycles != report.unbatched.cycles ||
+      report.batched.counters != report.unbatched.counters) {
+    std::printf("  !! per-launch cycles/counters diverged between batched and "
+                "unbatched runs\n");
+    ok = false;
+  }
+  if (report.batched.batches_formed == 0) {
+    std::printf("  !! batching enabled but no batch ever formed: the scenario is vacuous\n");
+    ok = false;
+  }
+  if (report.unbatched.launches_batched != 0) {
+    std::printf("  !! BatchConfig::off() still fused %llu launches\n",
+                static_cast<unsigned long long>(report.unbatched.launches_batched));
+    ok = false;
+  }
+  if (!report.batched.high_priority_first || !report.unbatched.high_priority_first) {
+    std::printf("  !! high-priority tenant did not finish first (batched %s, unbatched %s)"
+                " — a batch swallowed its turn?\n",
+                report.batched.high_priority_first ? "ok" : "LOST",
+                report.unbatched.high_priority_first ? "ok" : "LOST");
+    ok = false;
+  }
+  if (report.win < kBatchWinFloor) {
+    std::printf("  !! batching win %.2fx below the %.1fx floor\n", report.win,
+                kBatchWinFloor);
+    ok = false;
+  }
+  std::printf("unbatched: %8.1f kernels/s\n", report.unbatched.kernels_per_s);
+  std::printf("  batched: %8.1f kernels/s = %.2fx (%llu batches, %llu launches fused)\n",
+              report.batched.kernels_per_s, report.win,
+              static_cast<unsigned long long>(report.batched.batches_formed),
+              static_cast<unsigned long long>(report.batched.launches_batched));
+  std::printf("batching self-check: %s\n", ok ? "ok" : "FAILED");
+  return ok;
+}
+
 void emit_json(const std::vector<Point>& points, unsigned threads, bool self_check,
                const std::vector<FairnessRun>& fairness, bool fairness_check,
                const std::vector<PlacementRun>& placement, bool placement_check,
                const OverloadReport& overload, bool overload_check,
-               const std::vector<ServePoint>& serving, bool serving_check) {
+               const std::vector<ServePoint>& serving, bool serving_check,
+               const BatchingReport& batching, bool batching_check) {
   const char* env = std::getenv("GPUP_BENCH_JSON");
   const std::string path = env != nullptr ? env : "BENCH_queue_throughput.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -923,6 +1146,26 @@ void emit_json(const std::vector<Point>& points, unsigned threads, bool self_che
                  i + 1 < serving.size() ? "," : "");
   }
   std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"batching\": {\n");
+  std::fprintf(out, "    \"tenants\": %d,\n", kBatchTenants);
+  std::fprintf(out, "    \"launches\": %d,\n", kBatchTenants * kBatchLaunchesPerTenant);
+  std::fprintf(out, "    \"win_floor\": %.2f,\n", kBatchWinFloor);
+  std::fprintf(out, "    \"self_check\": %s,\n", batching_check ? "true" : "false");
+  std::fprintf(out,
+               "    \"batched\": {\"kernels_per_s\": %.2f, \"wall_s\": %.6f, "
+               "\"batches_formed\": %llu, \"launches_batched\": %llu, "
+               "\"high_priority_first\": %s},\n",
+               batching.batched.kernels_per_s, batching.batched.wall_s,
+               static_cast<unsigned long long>(batching.batched.batches_formed),
+               static_cast<unsigned long long>(batching.batched.launches_batched),
+               batching.batched.high_priority_first ? "true" : "false");
+  std::fprintf(out,
+               "    \"unbatched\": {\"kernels_per_s\": %.2f, \"wall_s\": %.6f, "
+               "\"high_priority_first\": %s},\n",
+               batching.unbatched.kernels_per_s, batching.unbatched.wall_s,
+               batching.unbatched.high_priority_first ? "true" : "false");
+  std::fprintf(out, "    \"win\": %.4f\n", batching.win);
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
@@ -1031,9 +1274,14 @@ bool run_throughput_report() {
   std::vector<ServePoint> serving;
   const bool serving_check = run_serving_report(serving);
 
+  BatchingReport batching;
+  const bool batching_check = run_batching_report(batching);
+
   emit_json(points, threads, self_check, fairness, fairness_check, placement,
-            placement_check, overload, overload_check, serving, serving_check);
-  return self_check && fairness_check && placement_check && overload_check && serving_check;
+            placement_check, overload, overload_check, serving, serving_check,
+            batching, batching_check);
+  return self_check && fairness_check && placement_check && overload_check &&
+         serving_check && batching_check;
 }
 
 void BM_EightQueues(benchmark::State& state) {

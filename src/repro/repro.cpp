@@ -139,6 +139,12 @@ std::vector<CycleRow> run_cycle_matrix(std::uint32_t scale, unsigned threads,
     rt::QueueOptions queue_options;
     queue_options.device = 0;
     queue_options.priority = static_cast<int>(cell_cost(*benchmarks[b], target));
+    // The sweep's determinism contract is bit-identical goldens across
+    // hosts and thread counts with NO caveats, so the cells opt out of
+    // continuous batching explicitly rather than lean on the (equally
+    // bit-identical, but policy-dependent) batched path — cycle-matrix
+    // numbers must never move because a scheduling-layer default did.
+    queue_options.batch = rt::BatchConfig::off();
     auto created = context.create_queue(queue_options);
     GPUP_CHECK(created.ok());
     rt::CommandQueue queue = created.value();

@@ -65,6 +65,7 @@ class Context;
 namespace detail {
 
 struct QueueState;
+struct KernelWork;  // runtime.hpp: batchable-kernel description
 
 struct EventState {
   // ---- result, guarded by `m` -----------------------------------------
@@ -87,6 +88,11 @@ struct EventState {
 
   // ---- scheduling metadata (immutable after submit) --------------------
   CommandTag tag;
+  /// Kernel commands only: everything the batching layer needs to decide
+  /// whether this command can fuse with others (program identity, buffer
+  /// footprint, knobs resolved from its queue) and to run its segment.
+  /// Null for transfers, natives and user events — those never batch.
+  std::shared_ptr<const KernelWork> kernel;
 
   // ---- device-load reservation (immutable after submit) ----------------
   // Kernel commands reserve their predicted cycles on their device's load
@@ -123,6 +129,14 @@ struct QueueState {
   /// Default per-command deadline in simulated cycles (0 = none); a
   /// per-enqueue LaunchOptions deadline overrides it.
   std::uint64_t deadline_cycles = 0;
+
+  // Continuous-batching knobs, resolved once at queue registration from
+  // QueueOptions::batch (kAuto inherits the context's BatchConfig; see
+  // runtime.hpp BatchConfig). Immutable after registration.
+  bool batch_enabled = false;
+  std::uint32_t batch_max_launches = 0;
+  std::uint64_t batch_max_wait_cycles = 0;
+  double batch_small_launch_cycles = 0.0;
 
   // `last` is the in-order chain tail; `unsettled` holds every
   // non-terminal command of the queue (both modes) so finish() can wait

@@ -6,6 +6,7 @@
 
 #include "src/util/strings.hpp"
 
+
 namespace gpup::rt {
 
 // ---- Event ----------------------------------------------------------------
@@ -164,6 +165,7 @@ Context::Context(ContextOptions options)
                            budget_),
                options.placement, options.health),
       admission_(options.admission),
+      batch_config_(options.batch),
       scheduler_(Scheduler::create(sched_config_)) {
   const unsigned threads = resolve_threads(options.threads);
   workers_.reserve(threads);
@@ -198,6 +200,21 @@ CommandQueue Context::register_queue(int device, const QueueOptions& options) {
   state->priority = options.priority;
   state->tenant = options.tenant;
   state->deadline_cycles = options.deadline_cycles;
+  // Resolve the continuous-batching knobs once: kAuto inherits the
+  // context's BatchConfig wholesale, an explicit mode makes this queue's
+  // own knobs authoritative. A still-kAuto resolved mode means "on under
+  // kFifo / kFairShare" — the policies whose pop order the batch
+  // assembler's consecutive-picks rule provably preserves; kPriority
+  // queues must opt in explicitly (BatchConfig::on()).
+  const BatchConfig batch =
+      options.batch.mode == BatchMode::kAuto ? batch_config_ : options.batch;
+  const bool auto_on = sched_config_.policy == SchedulerPolicy::kFifo ||
+                       sched_config_.policy == SchedulerPolicy::kFairShare;
+  state->batch_enabled =
+      batch.mode == BatchMode::kOn || (batch.mode == BatchMode::kAuto && auto_on);
+  state->batch_max_launches = batch.max_launches;
+  state->batch_max_wait_cycles = batch.max_wait_cycles;
+  state->batch_small_launch_cycles = batch.small_launch_cycles;
   devices_.bind(device);
   queues_.push_back(state);
   return CommandQueue(this, std::move(state));
@@ -316,6 +333,19 @@ Context::Gauges Context::snapshot() {
   gauges.shed_total = admission_.rejected();
   gauges.retries_total = retries_total_.load(std::memory_order_relaxed);
   gauges.deadline_misses_total = deadline_misses_total_.load(std::memory_order_relaxed);
+  gauges.batches_inflight = batches_inflight_.load(std::memory_order_relaxed);
+  gauges.batches_formed_total = batches_formed_total_.load(std::memory_order_relaxed);
+  gauges.launches_batched_total = launches_batched_total_.load(std::memory_order_relaxed);
+  gauges.batch_close_drained_total =
+      batch_close_drained_total_.load(std::memory_order_relaxed);
+  gauges.batch_close_incompatible_total =
+      batch_close_incompatible_total_.load(std::memory_order_relaxed);
+  gauges.batch_close_unamortized_total =
+      batch_close_unamortized_total_.load(std::memory_order_relaxed);
+  gauges.batch_close_size_cap_total =
+      batch_close_size_cap_total_.load(std::memory_order_relaxed);
+  gauges.batch_close_cycle_cap_total =
+      batch_close_cycle_cap_total_.load(std::memory_order_relaxed);
   util::MutexLock queues_lock(queues_mutex_);
   util::MutexLock graph_lock(graph_mutex());
   gauges.live_queues = static_cast<int>(queues_.size());
@@ -328,7 +358,8 @@ Context::Gauges Context::snapshot() {
 Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
                       std::function<Status(detail::EventState&)> run,
                       const std::vector<Event>& wait_list, double cost,
-                      int reserve_device, std::uint64_t reserved_cycles) {
+                      int reserve_device, std::uint64_t reserved_cycles,
+                      std::shared_ptr<const detail::KernelWork> kernel) {
   // Admission control runs before the command touches the graph or the
   // policy: an over-limit submission is rejected right here in O(1),
   // without blocking and without aborting anything already accepted.
@@ -348,6 +379,7 @@ Event Context::submit(const std::shared_ptr<detail::QueueState>& queue,
   state->tag.cost = cost;
   state->pool_device = reserve_device;
   state->pool_reserved = reserved_cycles;
+  state->kernel = std::move(kernel);
 
   bool ready = false;
   {
@@ -383,16 +415,245 @@ void Context::schedule(std::shared_ptr<detail::EventState> state) {
 
 void Context::worker_loop() {
   util::MutexLock lock(sched_mutex_);
+  std::vector<std::shared_ptr<detail::EventState>> batch;
   while (true) {
     // Inline predicate loop: a wait lambda would read the guarded fields
     // outside the capability as far as the analysis can tell.
     while (!stopping_ && scheduler_->empty()) sched_cv_.wait(sched_mutex_);
     if (scheduler_->empty()) return;  // stopping_, fully drained
     auto state = scheduler_->pop();
-    lock.unlock();
-    execute(state);
-    lock.lock();
+    // A popped kernel command on a batching queue tries to fuse with the
+    // policy's NEXT picks while we still hold the scheduler lock; anything
+    // else (transfers, natives, big launches, batching off) runs alone
+    // through the path every command took before batching existed.
+    if (state->kernel != nullptr && state->kernel->batchable && state->kernel->amortizable) {
+      batch.clear();
+      batch.push_back(std::move(state));
+      assemble_batch(batch);
+      lock.unlock();
+      execute_batch(batch);
+      batch.clear();  // drop the member refs promptly
+      lock.lock();
+    } else {
+      lock.unlock();
+      execute(state);
+      lock.lock();
+    }
   }
+}
+
+namespace {
+
+/// Could any buffer span of `a` alias one of `b`? 64-bit arithmetic so
+/// addr + bytes at the top of the 4 GiB device address space cannot wrap.
+/// All-scalar launches (empty span lists) trivially never overlap.
+bool buffers_overlap(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& a,
+                     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& b) {
+  for (const auto& [a_addr, a_bytes] : a) {
+    const std::uint64_t a_begin = a_addr;
+    const std::uint64_t a_end = a_begin + a_bytes;
+    for (const auto& [b_addr, b_bytes] : b) {
+      const std::uint64_t b_begin = b_addr;
+      const std::uint64_t b_end = b_begin + b_bytes;
+      if (a_begin < b_end && b_begin < a_end) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Context::assemble_batch(std::vector<std::shared_ptr<detail::EventState>>& batch) {
+  const auto& leader = *batch.front()->kernel;
+  const std::uint32_t max_launches = std::max<std::uint32_t>(1, leader.batch_max_launches);
+  const std::uint64_t max_wait = leader.batch_max_wait_cycles;
+  // Summed predict_stable cycles of the members so far — the batch-close
+  // policy's estimate of how long the fused launch occupies the device.
+  double summed = leader.stable_cost;
+  // The candidate test runs inside the policy's own selection scan
+  // (Scheduler::pop_if), so admitting a member costs ONE pass over the
+  // ready set instead of peek's pass plus pop's. Popping each member
+  // individually (instead of bulk-extracting) is what keeps fair-share
+  // accounting per segment: every pop debits ITS tenant the command's own
+  // cost, exactly as the unbatched run would have.
+  const auto admit = [&](const detail::EventState& next) {
+    // Compatibility: a kernel command, batching enabled on its queue, the
+    // leader's device and program, and buffer spans disjoint from EVERY
+    // member already aboard (disjointness is what makes each segment's
+    // result independent of segment order — the bit-identity contract).
+    const auto* work = next.kernel.get();
+    bool compatible = work != nullptr && work->batchable && work->device == leader.device &&
+                      work->program_key == leader.program_key &&
+                      work->program.words() == leader.program.words();
+    if (compatible) {
+      for (const auto& member : batch) {
+        if (buffers_overlap(work->buffers, member->kernel->buffers)) {
+          compatible = false;
+          break;
+        }
+      }
+    }
+    if (!compatible) {
+      batch_close_incompatible_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Amortization: fusing a launch that is big enough to amortize its own
+    // fixed costs buys nothing and delays everyone behind the batch.
+    if (!work->amortizable) {
+      batch_close_unamortized_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (max_wait != 0 && summed + work->stable_cost > static_cast<double>(max_wait)) {
+      batch_close_cycle_cap_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+  while (true) {
+    if (batch.size() >= max_launches) {
+      batch_close_size_cap_total_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    bool rejected = false;
+    auto popped = scheduler_->pop_if(admit, &rejected);
+    if (popped == nullptr) {
+      // A rejecting admit() recorded its own close reason; null without a
+      // rejection means the ready set ran dry.
+      if (!rejected) batch_close_drained_total_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    summed += popped->kernel->stable_cost;
+    batch.push_back(std::move(popped));
+  }
+}
+
+void Context::execute_batch(std::vector<std::shared_ptr<detail::EventState>>& batch) {
+  if (batch.size() == 1) {
+    execute(batch.front());
+    return;
+  }
+  auto& pool = devices_;
+  const auto& plan = fault_plan_;
+  const int dev = batch.front()->kernel->device;  // attempt 0 never relocates
+
+  // Per-member pre-flight, mirroring execute() + run_kernel_command up to
+  // the first dispatch: dependency failures, lost cancellation races, and
+  // deadline-admission busts settle here and never reach the device;
+  // members whose attempt 0 falls into an injected device-down window get
+  // that outcome precomputed and skip the fused launch. Everything else
+  // becomes a segment.
+  std::vector<std::shared_ptr<detail::EventState>> members;  // fused, in batch order
+  std::vector<sim::InjectedFault> faults;                    // parallel to members
+  std::vector<std::pair<std::shared_ptr<detail::EventState>, Status>> downed;
+  members.reserve(batch.size());
+  faults.reserve(batch.size());
+  for (auto& state : batch) {
+    bool dep_failed = false;
+    Error dep_error;
+    {
+      util::MutexLock graph_lock(graph_mutex());
+      dep_failed = state->dep_failed;
+      dep_error = state->dep_error;
+    }
+    if (dep_failed) {
+      const bool cancelled = dep_error.code == ErrorCode::kCancelled;
+      state->run = nullptr;
+      settle_and_route(
+          state,
+          Status{Error{std::string(cancelled ? "dependency cancelled: " : "dependency failed: ") +
+                           dep_error.to_string(),
+                       "rt", cancelled ? ErrorCode::kCancelled : ErrorCode::kUnknown}});
+      continue;
+    }
+    {
+      util::MutexLock lock(state->m);
+      if (state->settle_claimed) {  // cancel() won; it settles on its own thread
+        state->run = nullptr;
+        continue;
+      }
+      state->status = EventStatus::kRunning;
+    }
+    const auto& work = *state->kernel;
+    if (work.deadline != 0 && work.stable_cost > static_cast<double>(work.deadline)) {
+      deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
+      state->run = nullptr;
+      settle_and_route(
+          state, Status{Error{format("predicted %.0f cycles exceeds deadline of %llu",
+                                     work.stable_cost,
+                                     static_cast<unsigned long long>(work.deadline)),
+                              "rt.deadline", ErrorCode::kDeadlineExceeded}});
+      continue;
+    }
+    if (plan != nullptr && plan->device_down(dev, state->tag.seq)) {
+      downed.emplace_back(
+          state, Status{Error{format("injected device loss: device %d is down", dev),
+                              "rt.launch", ErrorCode::kDeviceLost}});
+      continue;
+    }
+    sim::InjectedFault fault;
+    if (plan != nullptr) {
+      fault.trap = plan->should_trap(state->tag.seq, 0);
+      fault.stall_cycles = plan->stall_cycles(state->tag.seq, 0);
+    }
+    members.push_back(state);
+    faults.push_back(fault);
+  }
+
+
+  // One budget token for the whole fused execution — the same token a
+  // worker would hold for one command, because the fused launch occupies
+  // exactly one worker.
+  const unsigned token = budget_->try_acquire(1);
+  std::vector<Result<sim::LaunchStats>> results;
+  if (!members.empty()) {
+    if (members.size() >= 2) {
+      batches_formed_total_.fetch_add(1, std::memory_order_relaxed);
+      launches_batched_total_.fetch_add(members.size(), std::memory_order_relaxed);
+    }
+    std::vector<sim::LaunchSegment> segments;
+    segments.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto& work = *members[i]->kernel;
+      segments.push_back(sim::LaunchSegment{&work.args, work.range.global_size,
+                                            work.range.wg_size,
+                                            plan != nullptr ? &faults[i] : nullptr});
+    }
+    batches_inflight_.fetch_add(1, std::memory_order_relaxed);
+    results = [&] {
+      util::MutexLock lock(pool.exec_mutex(dev));
+      return pool.gpu(dev).try_launch_batch(members.front()->kernel->program, segments);
+    }();
+    batches_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Per-member continuation: the fused result IS attempt 0. Retries,
+  // health accounting, cost-model observation and the completion-deadline
+  // check all run through the same loop as a standalone command, so a
+  // batched launch's terminal state can never diverge from the unbatched
+  // run's.
+  auto continue_member = [this](const std::shared_ptr<detail::EventState>& state,
+                                const Status& first) {
+    Status final_status;
+    try {
+      final_status = kernel_attempt_loop(*state, &first);
+    } catch (const std::exception& e) {
+      final_status = Error{e.what(), "rt"};
+    }
+    state->run = nullptr;
+    state->kernel = nullptr;  // drop captured program/args promptly
+    settle_and_route(state, std::move(final_status));
+  };
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Status first;
+    if (results[i].ok()) {
+      members[i]->stats = std::move(results[i]).value();
+    } else {
+      first = results[i].error();
+    }
+    continue_member(members[i], first);
+  }
+  for (const auto& [state, first] : downed) continue_member(state, first);
+  budget_->release(token);
 }
 
 void Context::execute(const std::shared_ptr<detail::EventState>& state) {
@@ -437,7 +698,8 @@ void Context::execute(const std::shared_ptr<detail::EventState>& state) {
     }
     budget_->release(token);
   }
-  state->run = nullptr;  // drop captured buffers/programs promptly
+  state->run = nullptr;     // drop captured buffers/programs promptly
+  state->kernel = nullptr;  // ...and the kernel work (program + argument words)
   settle_and_route(state, std::move(result));
 }
 
@@ -504,6 +766,109 @@ void Context::finish_settle(const std::shared_ptr<detail::EventState>& state, St
     }
     start = end;
   }
+}
+
+// ---- kernel command bodies ------------------------------------------------
+
+Status Context::run_kernel_command(detail::EventState& state) {
+  const auto& work = *state.kernel;
+  // Deadline admission: a launch the (frozen) cost model predicts over
+  // its deadline fails up front, before occupying any device.
+  if (work.deadline != 0 && work.stable_cost > static_cast<double>(work.deadline)) {
+    deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
+    return Error{format("predicted %.0f cycles exceeds deadline of %llu", work.stable_cost,
+                        static_cast<unsigned long long>(work.deadline)),
+                 "rt.deadline", ErrorCode::kDeadlineExceeded};
+  }
+  return kernel_attempt_loop(state, nullptr);
+}
+
+Status Context::kernel_attempt_loop(detail::EventState& state, const Status* first_outcome) {
+  const auto& work = *state.kernel;
+  auto& pool = devices_;
+  const int attempts = std::max(1, work.retry.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (attempt > 0 && work.retry.backoff.count() > 0) {
+      // Exponential backoff, doubling-then-capped at max_backoff,
+      // optionally jittered into [delay/2, delay] by a pure hash of
+      // (jitter_seed, command seq, attempt) — deterministic, so
+      // chaos runs stay reproducible. Host-side pacing only, never
+      // part of any simulated result.
+      auto delay = static_cast<std::uint64_t>(work.retry.backoff.count());
+      for (int i = 0; i < attempt - 1 && delay < (1ull << 62); ++i) delay <<= 1;
+      const auto cap = static_cast<std::uint64_t>(work.retry.max_backoff.count());
+      if (cap > 0 && delay > cap) delay = cap;
+      if (work.retry.jitter_seed != 0 && delay > 1) {
+        const std::uint64_t scramble =
+            schedule_key(work.retry.jitter_seed,
+                         state.tag.seq * 1000003ull + static_cast<std::uint64_t>(attempt));
+        delay = delay / 2 + scramble % (delay - delay / 2 + 1);
+      }
+      // gpup-lint: allow(wall-clock) retry backoff (capped + seeded-jitter) paces the host between attempts, not the simulation
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    // Relocatable launches walk the pool deterministically; pinned
+    // launches retry in place. Attempt identity (seq, attempt, dev)
+    // fully determines every injected fault, so retried commands
+    // reach the same terminal state at any worker count — and whether
+    // attempt 0 ran fused (`first_outcome`) or standalone.
+    const int dev = work.can_relocate ? (work.device + attempt) % pool.size() : work.device;
+    Status outcome = attempt == 0 && first_outcome != nullptr
+                         ? *first_outcome
+                         : kernel_attempt(state, attempt, dev);
+    if (outcome.ok()) {
+      cost_model_->observe(work.profile, pool.gpu(dev).config(), state.stats.global_size,
+                           state.stats.wg_size, state.stats.cycles);
+    }
+    // Health accounting: only outcomes that say something about the
+    // DEVICE count — traps, device loss, success. Argument errors
+    // would slander a healthy device.
+    const ErrorCode code = outcome.ok() ? ErrorCode::kUnknown : outcome.error().code;
+    if (outcome.ok() || code == ErrorCode::kTrap || code == ErrorCode::kDeviceLost) {
+      pool.record_launch_outcome(dev, outcome.ok(), code == ErrorCode::kDeviceLost);
+    }
+    if (outcome.ok()) {
+      if (work.deadline != 0 && state.stats.cycles > work.deadline) {
+        deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
+        return Error{format("launch took %llu cycles, deadline was %llu",
+                            static_cast<unsigned long long>(state.stats.cycles),
+                            static_cast<unsigned long long>(work.deadline)),
+                     "rt.deadline", ErrorCode::kDeadlineExceeded};
+      }
+      return {};
+    }
+    last = std::move(outcome);
+    // Only transient failures are worth retrying.
+    if (code != ErrorCode::kTrap && code != ErrorCode::kDeviceLost) break;
+  }
+  return last;
+}
+
+Status Context::kernel_attempt(detail::EventState& state, int attempt, int dev) {
+  const auto& work = *state.kernel;
+  auto& pool = devices_;
+  const auto& plan = fault_plan_;
+  if (plan != nullptr && plan->device_down(dev, state.tag.seq)) {
+    return Error{format("injected device loss: device %d is down", dev), "rt.launch",
+                 ErrorCode::kDeviceLost};
+  }
+  sim::InjectedFault fault;
+  if (plan != nullptr) {
+    fault.trap = plan->should_trap(state.tag.seq, attempt);
+    fault.stall_cycles = plan->stall_cycles(state.tag.seq, attempt);
+  }
+  Result<sim::LaunchStats> stats = [&] {
+    util::MutexLock lock(pool.exec_mutex(dev));
+    return pool.gpu(dev).try_launch(work.program, work.args, work.range.global_size,
+                                    work.range.wg_size, plan != nullptr ? &fault : nullptr);
+  }();
+  if (!stats.ok()) return stats.error();
+  state.stats = std::move(stats).value();
+  return {};
 }
 
 // ---- CommandQueue ---------------------------------------------------------
@@ -584,21 +949,25 @@ Event CommandQueue::enqueue_kernel(const isa::Program& program,
                                    const std::vector<Event>& wait_list) {
   // Raw word packs give no way to tell buffer addresses from scalars:
   // assume device memory is referenced, so retries stay on the bound
-  // device (the Args overload can prove otherwise).
+  // device (the Args overload can prove otherwise) — and the launch's
+  // buffer footprint is unknown, so it can never join a batch.
   return enqueue_kernel_impl(program, std::move(args), range, launch, /*relocatable=*/false,
-                             wait_list);
+                             /*buffers_known=*/false, {}, wait_list);
 }
 
 Event CommandQueue::enqueue_kernel(const isa::Program& program, const Args& args,
                                    const NdRange& range, const LaunchOptions& launch,
                                    const std::vector<Event>& wait_list) {
   return enqueue_kernel_impl(program, args.words(), range, launch,
-                             /*relocatable=*/!args.has_buffers(), wait_list);
+                             /*relocatable=*/!args.has_buffers(),
+                             /*buffers_known=*/true, args.buffers(), wait_list);
 }
 
 Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
                                         std::vector<std::uint32_t> args, const NdRange& range,
                                         const LaunchOptions& launch, bool relocatable,
+                                        bool buffers_known,
+                                        std::vector<std::pair<std::uint32_t, std::uint32_t>> buffers,
                                         const std::vector<Event>& wait_list) {
   GPUP_CHECK_MSG(valid(), "null command queue");
   auto& pool = context_->devices_;
@@ -626,95 +995,35 @@ Event CommandQueue::enqueue_kernel_impl(const isa::Program& program,
   const auto reserved =
       static_cast<std::uint64_t>(std::llround(std::max(0.0, predicted)));
   pool.reserve(device, reserved);
-  const RetryPolicy retry = launch.retry;
-  const auto plan = context_->fault_plan_;
-  const bool can_relocate = relocatable && retry.relocate && pool.size() > 1;
+  // Kernel commands are data, not closures: everything the attempt loop
+  // (and the batching layer's compatibility checks) needs hangs off the
+  // EventState as one immutable KernelWork.
+  auto work = std::make_shared<detail::KernelWork>();
+  work->program = program;
+  work->args = std::move(args);
+  work->range = range;
+  work->program_key = profile.key;
+  work->profile = profile;
+  work->stable_cost = stable_cost;
+  work->deadline = deadline;
+  work->retry = launch.retry;
+  work->can_relocate = relocatable && launch.retry.relocate && pool.size() > 1;
+  work->device = device;
+  work->buffers = std::move(buffers);
+  work->buffers_known = buffers_known;
+  // Batch eligibility, resolved against the owning queue right here:
+  // only launches whose buffer footprint is declared (Args builder) can
+  // prove disjointness, and only small launches amortize.
+  work->batchable = state_->batch_enabled && buffers_known;
+  work->amortizable = stable_cost <= state_->batch_small_launch_cycles;
+  work->batch_max_launches = state_->batch_max_launches;
+  work->batch_max_wait_cycles = state_->batch_max_wait_cycles;
   return context_->submit(
       state_,
-      [&pool, device, program, args = std::move(args), range, cost_model, profile, deadline,
-       stable_cost, retry, plan, can_relocate](detail::EventState& state) -> Status {
-        // Deadline admission: a launch the (frozen) cost model predicts
-        // over its deadline fails up front, before occupying any device.
-        if (deadline != 0 && stable_cost > static_cast<double>(deadline)) {
-          state.context->deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
-          return Error{format("predicted %.0f cycles exceeds deadline of %llu", stable_cost,
-                              static_cast<unsigned long long>(deadline)),
-                       "rt.deadline", ErrorCode::kDeadlineExceeded};
-        }
-        const int attempts = std::max(1, retry.max_attempts);
-        Status last;
-        for (int attempt = 0; attempt < attempts; ++attempt) {
-          if (attempt > 0) {
-            state.context->retries_total_.fetch_add(1, std::memory_order_relaxed);
-          }
-          if (attempt > 0 && retry.backoff.count() > 0) {
-            // Exponential backoff, doubling-then-capped at max_backoff,
-            // optionally jittered into [delay/2, delay] by a pure hash of
-            // (jitter_seed, command seq, attempt) — deterministic, so
-            // chaos runs stay reproducible. Host-side pacing only, never
-            // part of any simulated result.
-            auto delay = static_cast<std::uint64_t>(retry.backoff.count());
-            for (int i = 0; i < attempt - 1 && delay < (1ull << 62); ++i) delay <<= 1;
-            const auto cap = static_cast<std::uint64_t>(retry.max_backoff.count());
-            if (cap > 0 && delay > cap) delay = cap;
-            if (retry.jitter_seed != 0 && delay > 1) {
-              const std::uint64_t scramble = schedule_key(
-                  retry.jitter_seed, state.tag.seq * 1000003ull + static_cast<std::uint64_t>(attempt));
-              delay = delay / 2 + scramble % (delay - delay / 2 + 1);
-            }
-            // gpup-lint: allow(wall-clock) retry backoff (capped + seeded-jitter) paces the host between attempts, not the simulation
-            std::this_thread::sleep_for(std::chrono::microseconds(delay));
-          }
-          // Relocatable launches walk the pool deterministically; pinned
-          // launches retry in place. Attempt identity (seq, attempt, dev)
-          // fully determines every injected fault, so retried commands
-          // reach the same terminal state at any worker count.
-          const int dev = can_relocate ? (device + attempt) % pool.size() : device;
-          Status outcome = [&]() -> Status {
-            if (plan != nullptr && plan->device_down(dev, state.tag.seq)) {
-              return Error{format("injected device loss: device %d is down", dev),
-                           "rt.launch", ErrorCode::kDeviceLost};
-            }
-            sim::InjectedFault fault;
-            if (plan != nullptr) {
-              fault.trap = plan->should_trap(state.tag.seq, attempt);
-              fault.stall_cycles = plan->stall_cycles(state.tag.seq, attempt);
-            }
-            Result<sim::LaunchStats> stats = [&] {
-              util::MutexLock lock(pool.exec_mutex(dev));
-              return pool.gpu(dev).try_launch(program, args, range.global_size, range.wg_size,
-                                              plan != nullptr ? &fault : nullptr);
-            }();
-            if (!stats.ok()) return stats.error();
-            state.stats = std::move(stats).value();
-            cost_model->observe(profile, pool.gpu(dev).config(), state.stats.global_size,
-                                state.stats.wg_size, state.stats.cycles);
-            return {};
-          }();
-          // Health accounting: only outcomes that say something about the
-          // DEVICE count — traps, device loss, success. Argument errors
-          // would slander a healthy device.
-          const ErrorCode code = outcome.ok() ? ErrorCode::kUnknown : outcome.error().code;
-          if (outcome.ok() || code == ErrorCode::kTrap || code == ErrorCode::kDeviceLost) {
-            pool.record_launch_outcome(dev, outcome.ok(), code == ErrorCode::kDeviceLost);
-          }
-          if (outcome.ok()) {
-            if (deadline != 0 && state.stats.cycles > deadline) {
-              state.context->deadline_misses_total_.fetch_add(1, std::memory_order_relaxed);
-              return Error{format("launch took %llu cycles, deadline was %llu",
-                                  static_cast<unsigned long long>(state.stats.cycles),
-                                  static_cast<unsigned long long>(deadline)),
-                           "rt.deadline", ErrorCode::kDeadlineExceeded};
-            }
-            return {};
-          }
-          last = std::move(outcome);
-          // Only transient failures are worth retrying.
-          if (code != ErrorCode::kTrap && code != ErrorCode::kDeviceLost) break;
-        }
-        return last;
+      [](detail::EventState& state) -> Status {
+        return state.context->run_kernel_command(state);
       },
-      wait_list, std::max(1.0, stable_cost), device, reserved);
+      wait_list, std::max(1.0, stable_cost), device, reserved, std::move(work));
 }
 
 Event CommandQueue::enqueue_read(const Buffer& buffer, const std::vector<Event>& wait_list) {

@@ -106,7 +106,7 @@ class Args {
  public:
   Args& add(const Buffer& buffer) {
     words_.push_back(buffer.addr);
-    buffer_args_ += 1;
+    buffers_.emplace_back(buffer.addr, buffer.bytes);
     return *this;
   }
   Args& add(std::uint32_t value) {
@@ -114,11 +114,18 @@ class Args {
     return *this;
   }
   [[nodiscard]] const std::vector<std::uint32_t>& words() const { return words_; }
-  [[nodiscard]] bool has_buffers() const { return buffer_args_ > 0; }
+  [[nodiscard]] bool has_buffers() const { return !buffers_.empty(); }
+  /// (addr, bytes) of every buffer argument in add() order. The batching
+  /// layer's disjointness check reads these: launches enqueued through
+  /// this builder declare exactly which device memory they may touch, so
+  /// two of them fuse only when those spans cannot alias.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>& buffers() const {
+    return buffers_;
+  }
 
  private:
   std::vector<std::uint32_t> words_;
-  int buffer_args_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> buffers_;
 };
 
 class Context;
@@ -215,6 +222,45 @@ struct WorkloadHint {
   int launches = 1;
 };
 
+/// Whether a queue's kernel launches may join fused batches.
+enum class BatchMode {
+  kAuto,  ///< policy default: on under kFifo / kFairShare, off otherwise
+  kOn,
+  kOff,
+};
+
+/// Continuous-batching knobs (docs/runtime.md "Continuous batching").
+/// Compatible small launches popped back-to-back by the scheduling policy
+/// are fused into one Gpu::try_launch_batch, amortizing per-launch fixed
+/// host costs; per-launch results stay bit-identical to the unbatched
+/// run, so `BatchMode::kOff` changes wall-clock only, never a result.
+struct BatchConfig {
+  BatchMode mode = BatchMode::kAuto;
+  /// Batch-size cap: a fused launch never carries more segments than this.
+  std::uint32_t max_launches = 32;
+  /// Close the batch before its summed predict_stable cycles would exceed
+  /// this — the `max_batch_wait` bound in simulated cycles; 0 = uncapped.
+  /// Together with the policy-consultation rule (a command joins only if
+  /// the policy would pick it next anyway) this bounds how long any tenant
+  /// can sit behind one fused launch.
+  std::uint64_t max_wait_cycles = 1u << 16;
+  /// Only launches whose predict_stable cycles are at or below this join
+  /// a batch: a bigger launch amortizes its own fixed costs already, so
+  /// fusing it buys nothing and delays its neighbours.
+  double small_launch_cycles = 8192.0;
+
+  [[nodiscard]] static BatchConfig off() {
+    BatchConfig config;
+    config.mode = BatchMode::kOff;
+    return config;
+  }
+  [[nodiscard]] static BatchConfig on() {
+    BatchConfig config;
+    config.mode = BatchMode::kOn;
+    return config;
+  }
+};
+
 /// How a new queue binds to the pool and presents itself to the
 /// scheduling policy.
 struct QueueOptions {
@@ -237,6 +283,11 @@ struct QueueOptions {
   /// at completion against the measured cycles. A per-enqueue
   /// LaunchOptions deadline overrides this default.
   std::uint64_t deadline_cycles = 0;
+  /// Continuous batching for this queue's kernel launches. kAuto inherits
+  /// the context's BatchConfig wholesale (whose kAuto in turn means "on
+  /// under kFifo / kFairShare"); any explicit mode makes this queue's own
+  /// knobs authoritative.
+  BatchConfig batch;
 };
 
 /// How a failed kernel launch is retried. Retries apply to *transient*
@@ -293,7 +344,40 @@ struct ContextOptions {
   /// plan (null = no injection, zero overhead on the hot path). Shared so
   /// a chaos harness can drive several contexts from one plan.
   std::shared_ptr<const FaultPlan> fault_plan;
+  /// Context-wide continuous-batching default; queues created with
+  /// BatchMode::kAuto inherit this config (see QueueOptions::batch).
+  BatchConfig batch;
 };
+
+namespace detail {
+
+/// Everything the Context needs to (re-)run one kernel launch command,
+/// captured at enqueue time. Kernel commands used to be opaque closures;
+/// the batching layer needs to *inspect* pending commands — same program?
+/// same device? disjoint buffers? — so their work is data now, hung off
+/// the EventState (EventState::kernel). Immutable after submit.
+struct KernelWork {
+  isa::Program program;
+  std::vector<std::uint32_t> args;  ///< argument words
+  NdRange range;
+  std::uint64_t program_key = 0;  ///< sim::KernelProfile identity (FNV of the words)
+  sim::KernelProfile profile;
+  double stable_cost = 0.0;  ///< predict_stable cycles on the bound device
+  std::uint64_t deadline = 0;  ///< simulated-cycle deadline, 0 = none
+  RetryPolicy retry;
+  bool can_relocate = false;  ///< all-scalar args: retries may walk devices
+  int device = 0;             ///< the queue's bound device
+  /// (addr, bytes) of each buffer argument; trustworthy iff buffers_known.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> buffers;
+  bool buffers_known = false;  ///< built via rt::Args (raw packs hide buffers)
+  // ---- batching, resolved against the owning queue at enqueue ----------
+  bool batchable = false;    ///< queue batching enabled && buffers_known
+  bool amortizable = false;  ///< stable_cost <= the queue's small-launch bound
+  std::uint32_t batch_max_launches = 0;
+  std::uint64_t batch_max_wait_cycles = 0;
+};
+
+}  // namespace detail
 
 /// Command queue bound to one device of the Context's pool. Lightweight
 /// handle; copy freely. Create via Context::create_queue().
@@ -378,10 +462,14 @@ class CommandQueue {
 
   /// Shared body of the enqueue_kernel overloads. `relocatable` = the
   /// argument pack references no device memory, so retries may walk to
-  /// other devices.
+  /// other devices. `buffers_known` = the pack came through the Args
+  /// builder, so `buffers` lists every device span the launch may touch
+  /// (empty = all-scalar) — the precondition for batch eligibility.
   Event enqueue_kernel_impl(const isa::Program& program, std::vector<std::uint32_t> args,
                             const NdRange& range, const LaunchOptions& launch,
-                            bool relocatable, const std::vector<Event>& wait_list);
+                            bool relocatable, bool buffers_known,
+                            std::vector<std::pair<std::uint32_t, std::uint32_t>> buffers,
+                            const std::vector<Event>& wait_list);
 
   Context* context_ = nullptr;
   std::shared_ptr<detail::QueueState> state_;
@@ -465,6 +553,16 @@ class Context {
     std::uint64_t shed_total = 0;         ///< admission rejections, cumulative
     std::uint64_t retries_total = 0;      ///< launch attempts beyond the first
     std::uint64_t deadline_misses_total = 0;  ///< kDeadlineExceeded failures
+    // ---- continuous batching (docs/runtime.md) -------------------------
+    std::uint64_t batches_inflight = 0;  ///< fused launches executing NOW (gauge)
+    std::uint64_t batches_formed_total = 0;    ///< fused executions with >= 2 segments
+    std::uint64_t launches_batched_total = 0;  ///< client launches those carried
+    // Why each assembled batch stopped growing (one increment per close):
+    std::uint64_t batch_close_drained_total = 0;       ///< ready set ran dry
+    std::uint64_t batch_close_incompatible_total = 0;  ///< policy's next pick can't fuse
+    std::uint64_t batch_close_unamortized_total = 0;   ///< next pick too big to pay off
+    std::uint64_t batch_close_size_cap_total = 0;      ///< BatchConfig::max_launches
+    std::uint64_t batch_close_cycle_cap_total = 0;     ///< BatchConfig::max_wait_cycles
   };
   /// One concurrency-safe snapshot of every gauge and counter; callable
   /// from any thread at any time (metrics scrapes race live traffic).
@@ -500,7 +598,8 @@ class Context {
   Event submit(const std::shared_ptr<detail::QueueState>& queue,
                std::function<Status(detail::EventState&)> run,
                const std::vector<Event>& wait_list, double cost = 0.0,
-               int reserve_device = -1, std::uint64_t reserved_cycles = 0);
+               int reserve_device = -1, std::uint64_t reserved_cycles = 0,
+               std::shared_ptr<const detail::KernelWork> kernel = nullptr);
   /// Push a ready command to the policy and wake a worker.
   void schedule(std::shared_ptr<detail::EventState> state) GPUP_EXCLUDES(sched_mutex_);
   /// Settle a node and route every newly-ready dependent to its own
@@ -519,6 +618,36 @@ class Context {
   void worker_loop();
   void execute(const std::shared_ptr<detail::EventState>& state);
 
+  // ---- continuous batching (docs/runtime.md "Continuous batching") -----
+  /// Grow `batch` (seeded with one popped, batch-eligible kernel command)
+  /// by repeatedly peeking the policy and popping while its next pick
+  /// stays compatible with the leader. Only consecutive policy picks ever
+  /// fuse — that IS the preemption guarantee: the moment the policy would
+  /// rather run someone else (another tenant's turn under DRR, a higher
+  /// priority), the batch closes and that someone runs next. Each member
+  /// is popped individually, so kFairShare debits every segment's tenant
+  /// its own predict_stable cost exactly as unbatched.
+  void assemble_batch(std::vector<std::shared_ptr<detail::EventState>>& batch)
+      GPUP_REQUIRES(sched_mutex_);
+  /// Run an assembled batch: one fused Gpu::try_launch_batch for attempt 0
+  /// of every runnable member (per-member dep-failures, cancellations,
+  /// deadline admission and device-down windows are carved out first and
+  /// handled exactly as execute() would), then per-member retry
+  /// continuation, completion-deadline check and settle. A batch of one
+  /// falls back to execute().
+  void execute_batch(std::vector<std::shared_ptr<detail::EventState>>& batch)
+      GPUP_EXCLUDES(sched_mutex_);
+  /// Kernel command body (EventState::run for kernel commands): deadline
+  /// admission + the attempt loop.
+  Status run_kernel_command(detail::EventState& state);
+  /// The retry loop of one kernel command. `first_outcome` non-null skips
+  /// attempt 0's dispatch and consumes that outcome instead — the batched
+  /// path's fused launch IS attempt 0, so retries behave identically
+  /// whether the first attempt ran fused or standalone.
+  Status kernel_attempt_loop(detail::EventState& state, const Status* first_outcome);
+  /// One standalone launch attempt on device `dev`.
+  [[nodiscard]] Status kernel_attempt(detail::EventState& state, int attempt, int dev);
+
   SchedulerConfig sched_config_;
   std::shared_ptr<ConcurrencyBudget> budget_;
   std::shared_ptr<sim::CostModel> cost_model_;
@@ -530,6 +659,20 @@ class Context {
   // each is an independent monotonic count, never a synchronization edge.
   std::atomic<std::uint64_t> retries_total_{0};
   std::atomic<std::uint64_t> deadline_misses_total_{0};
+  // Continuous-batching instrumentation (same relaxed-counter discipline;
+  // batches_inflight_ is a gauge — ++ before the fused launch, -- after —
+  // and must read zero on an idle context, which the soak suite asserts).
+  std::atomic<std::uint64_t> batches_inflight_{0};
+  std::atomic<std::uint64_t> batches_formed_total_{0};
+  std::atomic<std::uint64_t> launches_batched_total_{0};
+  std::atomic<std::uint64_t> batch_close_drained_total_{0};
+  std::atomic<std::uint64_t> batch_close_incompatible_total_{0};
+  std::atomic<std::uint64_t> batch_close_unamortized_total_{0};
+  std::atomic<std::uint64_t> batch_close_size_cap_total_{0};
+  std::atomic<std::uint64_t> batch_close_cycle_cap_total_{0};
+  /// Context-wide batching default (ContextOptions::batch), consulted when
+  /// a queue registers with BatchMode::kAuto. Immutable after construction.
+  BatchConfig batch_config_;
 
   util::Mutex queues_mutex_;
   // Strong refs: finish() (and so the destructor) must see every queue

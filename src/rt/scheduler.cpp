@@ -39,15 +39,35 @@ class FifoScheduler final : public Scheduler {
  public:
   explicit FifoScheduler(const SchedulerConfig& config) : seed_(config.seed) {}
 
-  void push(Node node) override { nodes_.push_back(std::move(node)); }
+  void push(Node node) override {
+    // The key is a pure function of (seed, seq): computing it once here
+    // keeps the selection scans below at one integer compare per entry —
+    // with a batch-deep ready set the scan runs once per pop AND once per
+    // batch-assembly candidate, so its inner loop is the scheduler's
+    // hottest code.
+    const std::uint64_t key = schedule_key(seed_, node->tag.seq);
+    nodes_.push_back({std::move(node), key});
+  }
 
   Node pop() override {
-    if (nodes_.empty()) return nullptr;
-    auto best = nodes_.begin();
-    for (auto it = std::next(best); it != nodes_.end(); ++it) {
-      if (schedule_key(seed_, (*it)->tag.seq) < schedule_key(seed_, (*best)->tag.seq)) {
-        best = it;
-      }
+    const auto best = select();
+    if (best == nodes_.end()) return nullptr;
+    return take(best);
+  }
+
+  [[nodiscard]] Node peek() const override {
+    const auto best = select();
+    return best == nodes_.end() ? nullptr : best->node;
+  }
+
+  Node pop_if(const std::function<bool(const detail::EventState&)>& accept,
+              bool* rejected) override {
+    *rejected = false;
+    const auto best = select();
+    if (best == nodes_.end()) return nullptr;
+    if (!accept(*best->node)) {
+      *rejected = true;
+      return nullptr;
     }
     return take(best);
   }
@@ -55,19 +75,39 @@ class FifoScheduler final : public Scheduler {
   [[nodiscard]] bool empty() const override { return nodes_.empty(); }
   [[nodiscard]] const char* name() const override { return "fifo"; }
 
- protected:
-  Node take(std::vector<Node>::iterator it) {
-    Node node = std::move(*it);
+ private:
+  struct Entry {
+    Node node;
+    std::uint64_t key = 0;  ///< schedule_key(seed, seq), cached at push
+  };
+
+  [[nodiscard]] std::vector<Entry>::iterator select() {
+    auto best = nodes_.begin();
+    for (auto it = best; it != nodes_.end(); ++it) {
+      if (it->key < best->key) best = it;
+    }
+    return best;
+  }
+  [[nodiscard]] std::vector<Entry>::const_iterator select() const {
+    auto best = nodes_.begin();
+    for (auto it = best; it != nodes_.end(); ++it) {
+      if (it->key < best->key) best = it;
+    }
+    return best;
+  }
+
+  Node take(std::vector<Entry>::iterator it) {
+    Node node = std::move(it->node);
     *it = std::move(nodes_.back());
     nodes_.pop_back();
     return node;
   }
 
   std::uint64_t seed_;
-  // The ready set is small (bounded by queues in flight), so an O(n) scan
-  // per pop stays cheap and keeps the policies trivially deterministic —
-  // no heap whose layout could depend on interleaving.
-  std::vector<Node> nodes_;
+  // The ready set is bounded by commands in flight, so an O(n) scan per
+  // pop stays cheap and keeps the policies trivially deterministic — no
+  // heap whose layout could depend on interleaving.
+  std::vector<Entry> nodes_;
 };
 
 /// Highest effective priority first, where a command waiting in the ready
@@ -79,13 +119,47 @@ class PriorityScheduler final : public Scheduler {
   explicit PriorityScheduler(const SchedulerConfig& config)
       : seed_(config.seed), aging_period_(std::max<std::uint32_t>(1, config.aging_period)) {}
 
-  void push(Node node) override { nodes_.push_back({std::move(node), pops_}); }
+  void push(Node node) override {
+    // Cache the tie-break key and materialize the aging schedule as
+    // (level, promote_at): the entry sits at `level` until the pop counter
+    // reaches `promote_at`, then gains one level per further aging period.
+    // effective(entry) = priority + age / aging_period exactly as before,
+    // but the selection scan pays one compare instead of a division per
+    // entry — with a batch-deep ready set that scan runs once per pop and
+    // once per batch-assembly candidate, so it dominates scheduler cost.
+    const std::int64_t level = node->tag.priority;
+    const std::uint64_t key = schedule_key(seed_, node->tag.seq);
+    nodes_.push_back({std::move(node), level, pops_ + aging_period_, key});
+  }
 
   Node pop() override {
-    if (nodes_.empty()) return nullptr;
-    auto best = nodes_.begin();
-    for (auto it = std::next(best); it != nodes_.end(); ++it) {
-      if (before(*it, *best)) best = it;
+    const auto best = select();
+    if (best == nodes_.end()) return nullptr;
+    ++pops_;
+    Node node = std::move(best->node);
+    *best = std::move(nodes_.back());
+    nodes_.pop_back();
+    return node;
+  }
+
+  [[nodiscard]] Node peek() const override {
+    // Identical scan to pop(): aging advances AFTER pop's selection, so
+    // the effective priorities the peek sees are exactly what the next
+    // pop will evaluate. Promotion rewrites entries into an equivalent
+    // representation without changing any effective priority, which is
+    // why a const peek may apply it.
+    const auto best = select();
+    return best == nodes_.end() ? nullptr : best->node;
+  }
+
+  Node pop_if(const std::function<bool(const detail::EventState&)>& accept,
+              bool* rejected) override {
+    *rejected = false;
+    const auto best = select();
+    if (best == nodes_.end()) return nullptr;
+    if (!accept(*best->node)) {
+      *rejected = true;
+      return nullptr;
     }
     ++pops_;
     Node node = std::move(best->node);
@@ -100,26 +174,40 @@ class PriorityScheduler final : public Scheduler {
  private:
   struct Entry {
     Node node;
-    std::uint64_t enqueue_pop = 0;  ///< pops_ value when it became ready
+    std::int64_t level = 0;         ///< current effective priority
+    std::uint64_t promote_at = 0;   ///< pops_ value of the next level gain
+    std::uint64_t key = 0;          ///< schedule_key(seed, seq), cached
   };
 
-  [[nodiscard]] std::int64_t effective(const Entry& entry) const {
-    const std::uint64_t age = pops_ - entry.enqueue_pop;
-    return static_cast<std::int64_t>(entry.node->tag.priority) +
-           static_cast<std::int64_t>(age / aging_period_);
+  /// Apply any promotions the entry has earned since it was last looked
+  /// at. Amortized O(1): each entry promotes at most once per aging
+  /// period, and the common scan case is a single predicted-false branch.
+  void maybe_promote(Entry& entry) const {
+    if (pops_ >= entry.promote_at) {
+      const std::uint64_t steps = 1 + (pops_ - entry.promote_at) / aging_period_;
+      entry.level += static_cast<std::int64_t>(steps);
+      entry.promote_at += steps * aging_period_;
+    }
   }
 
-  [[nodiscard]] bool before(const Entry& a, const Entry& b) const {
-    const std::int64_t ea = effective(a);
-    const std::int64_t eb = effective(b);
-    if (ea != eb) return ea > eb;
-    return schedule_key(seed_, a.node->tag.seq) < schedule_key(seed_, b.node->tag.seq);
+  [[nodiscard]] std::vector<Entry>::iterator select() const {
+    auto best = nodes_.begin();
+    for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+      maybe_promote(*it);
+      if (it == best) continue;
+      if (it->level != best->level ? it->level > best->level : it->key < best->key) {
+        best = it;
+      }
+    }
+    return best;
   }
 
   std::uint64_t seed_;
   std::uint64_t aging_period_;
   std::uint64_t pops_ = 0;
-  std::vector<Entry> nodes_;
+  // mutable: peek()'s scan normalizes (level, promote_at) pairs in place;
+  // observable effective priorities never change (see maybe_promote).
+  mutable std::vector<Entry> nodes_;
 };
 
 /// Deficit round-robin over tenants: tenants are visited in id order by a
@@ -199,6 +287,55 @@ class FairShareScheduler final : public Scheduler {
     }
   }
 
+  [[nodiscard]] Node peek() const override {
+    if (size_ == 0) return nullptr;
+    // Simulate pop() on copied per-tenant state: the same cursor walk,
+    // idle-deficit forfeit, per-visit quantum grant and fruitless-round
+    // bulk grant — but against scratch deficits, so neither the cursor
+    // nor any tenant's real deficit moves. The eventual pop then replays
+    // the identical walk on the real state and must return this node
+    // (the batch assembler asserts it).
+    struct Sim {
+      double deficit = 0.0;
+      const Node* head = nullptr;  ///< null = idle tenant
+    };
+    std::map<std::uint64_t, Sim> sims;
+    for (const auto& [id, tenant] : tenants_) {
+      sims.emplace(id, Sim{tenant.deficit,
+                           tenant.backlog.empty() ? nullptr : &tenant.backlog.front()});
+    }
+    while (true) {
+      auto it = sims.lower_bound(cursor_);
+      for (std::size_t hops = 0; hops < sims.size(); ++hops) {
+        if (it == sims.end()) it = sims.begin();
+        auto& tenant = it->second;
+        if (tenant.head == nullptr) {
+          tenant.deficit = 0.0;
+        } else if (tenant.deficit >= charge(*tenant.head)) {
+          return *tenant.head;
+        } else {
+          tenant.deficit += quantum_;
+        }
+        ++it;
+      }
+      double min_rounds = 0.0;
+      bool first = true;
+      for (const auto& [id, tenant] : sims) {
+        if (tenant.head == nullptr) continue;
+        const double rounds = std::ceil((charge(*tenant.head) - tenant.deficit) / quantum_);
+        if (first || rounds < min_rounds) min_rounds = rounds;
+        first = false;
+      }
+      if (first) return nullptr;  // defensive: size_ said otherwise
+      if (min_rounds > 1.0) {
+        const double grant = (min_rounds - 1.0) * quantum_;
+        for (auto& [id, tenant] : sims) {
+          if (tenant.head != nullptr) tenant.deficit += grant;
+        }
+      }
+    }
+  }
+
   [[nodiscard]] bool empty() const override { return size_ == 0; }
   [[nodiscard]] const char* name() const override { return "fair_share"; }
 
@@ -224,6 +361,24 @@ class FairShareScheduler final : public Scheduler {
 };
 
 }  // namespace
+
+std::shared_ptr<detail::EventState> Scheduler::pop_if(
+    const std::function<bool(const detail::EventState&)>& accept, bool* rejected) {
+  // Generic fallback: peek, test, then pop and check the policy kept its
+  // word. kFairShare uses this (its peek simulates the DRR walk, so a
+  // single-scan variant would buy nothing); the O(n)-scan policies
+  // override it with a true single scan.
+  *rejected = false;
+  auto next = peek();
+  if (next == nullptr) return nullptr;
+  if (!accept(*next)) {
+    *rejected = true;
+    return nullptr;
+  }
+  auto popped = pop();
+  GPUP_CHECK_MSG(popped == next, "scheduler peek/pop disagreement");
+  return popped;
+}
 
 std::unique_ptr<Scheduler> Scheduler::create(const SchedulerConfig& config) {
   switch (config.policy) {

@@ -33,6 +33,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -153,6 +154,24 @@ class Scheduler {
   virtual void push(std::shared_ptr<detail::EventState> node) = 0;
   /// The policy's next command; null when empty.
   [[nodiscard]] virtual std::shared_ptr<detail::EventState> pop() = 0;
+  /// The command the next pop() would return, WITHOUT removing it or
+  /// mutating any policy state (kFairShare simulates its DRR walk on
+  /// copies; kPriority ages on pops, which happen after the peek's scan).
+  /// Null when empty. The batching layer re-consults the policy through
+  /// this at every batch boundary: a candidate may only join a batch if
+  /// the policy would have picked it next anyway, so batch assembly can
+  /// never reorder — or starve — what the policy wants to run.
+  [[nodiscard]] virtual std::shared_ptr<detail::EventState> peek() const = 0;
+  /// Single-scan conditional pop: selects exactly the command peek() would
+  /// return and calls `accept` on it. Accepted → the command is popped and
+  /// returned, with policy state advancing exactly as pop() would have
+  /// advanced it. Rejected → the ready set is left untouched, null is
+  /// returned and `*rejected` is set. An empty ready set returns null with
+  /// `*rejected` false. The batch assembler drives this instead of
+  /// peek()-then-pop(): one scan of the ready set per admitted member
+  /// instead of two, with a pick order identical by construction.
+  [[nodiscard]] virtual std::shared_ptr<detail::EventState> pop_if(
+      const std::function<bool(const detail::EventState&)>& accept, bool* rejected);
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual const char* name() const = 0;
 

@@ -286,6 +286,16 @@ std::string Daemon::metrics_json() {
   out += ", \"shed_total\": " + std::to_string(g.shed_total);
   out += ", \"retries_total\": " + std::to_string(g.retries_total);
   out += ", \"deadline_misses_total\": " + std::to_string(g.deadline_misses_total);
+  out += ", \"batches_inflight\": " + std::to_string(g.batches_inflight);
+  out += ", \"batches_formed_total\": " + std::to_string(g.batches_formed_total);
+  out += ", \"launches_batched_total\": " + std::to_string(g.launches_batched_total);
+  out += ", \"batch_close_drained_total\": " + std::to_string(g.batch_close_drained_total);
+  out += ", \"batch_close_incompatible_total\": " +
+         std::to_string(g.batch_close_incompatible_total);
+  out += ", \"batch_close_unamortized_total\": " +
+         std::to_string(g.batch_close_unamortized_total);
+  out += ", \"batch_close_size_cap_total\": " + std::to_string(g.batch_close_size_cap_total);
+  out += ", \"batch_close_cycle_cap_total\": " + std::to_string(g.batch_close_cycle_cap_total);
   out += "}, \"daemon\": {";
   out += "\"sessions_opened\": " +
          std::to_string(sessions_opened_.load(std::memory_order_relaxed));

@@ -131,6 +131,11 @@ Frame Session::on_hello(const Frame& request) {
   options.tenant = tenant;
   options.priority = priority;
   options.deadline_cycles = deadline_cycles;
+  // Daemon sessions batch explicitly, whatever the context's policy: a
+  // serving workload is exactly the many-small-launches-from-many-tenants
+  // shape continuous batching exists for, and per-launch results stay
+  // bit-identical either way (docs/runtime.md "Continuous batching").
+  options.batch = rt::BatchConfig::on();
   auto queue = context_.create_queue(options);
   if (!queue.ok()) {
     return make_error(id, WireStatus::kFailed, queue.error().code, queue.error().to_string());

@@ -75,6 +75,29 @@ void ComputeUnit::assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid,
   wg_states_.push_back({wg_id, new_wfs, 0});
 }
 
+void ComputeUnit::reset_for_launch(bool clear_lram) {
+  for (auto& wf : wavefronts_) wf.valid = false;
+  wg_states_.clear();
+  if (clear_lram) std::fill(lram_.begin(), lram_.end(), 0u);
+  pipe_free_ = 0;
+  outstanding_stores_ = 0;
+  next_wf_ = 0;
+  busy_cycles_ = 0;
+  free_slots_ = config_.max_wavefronts_per_cu;
+  free_slots_changed();
+  plan_.clear();
+  plan_demand_.clear();
+  deferred_ = DeferredLanes{};
+  cached_profile_ = IdleProfile{};
+  profile_cache_cycle_ = 0;
+  profile_cache_valid_ = false;
+  staged_count_ = 0;
+  // bank_extra_ is re-zeroed after every use on the issue path, but a trap
+  // unwinding mid-launch must not be able to leak demand counts into the
+  // next segment.
+  std::fill(bank_extra_.begin(), bank_extra_.end(), 0);
+}
+
 ComputeUnit::WgState* ComputeUnit::find_wg(std::uint32_t wg_id) {
   for (auto& state : wg_states_) {
     if (state.wg_id == wg_id) return &state;

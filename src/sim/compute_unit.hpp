@@ -77,6 +77,16 @@ class ComputeUnit final : public LineCompletionSink {
   /// `base_gid`). Caller must have checked free_slots().
   void assign_workgroup(std::uint32_t wg_id, std::uint32_t base_gid, std::uint32_t items);
 
+  /// Return to the pristine post-construction state without reallocating
+  /// (the batched launch path reuses one CU across segments — see
+  /// Gpu::try_launch_batch). Invalidating the slots suffices for wavefront
+  /// state: assign_workgroup() re-initializes every field a new wavefront
+  /// can expose, and every lane loop is bounded by the new wf.lanes.
+  /// `clear_lram` re-zeroes the scratchpad; only needed when the previous
+  /// segment may have stored to local memory (a loads-only program reads
+  /// the same zeroes a fresh CU holds).
+  void reset_for_launch(bool clear_lram);
+
   /// Advance one cycle (fused serial driver): probe wavefronts round-robin
   /// and issue at most one instruction against live memory-system state.
   GPUP_HOT void tick(std::uint64_t now);

@@ -95,10 +95,10 @@ void Gpu::read(std::uint32_t byte_addr, std::span<std::uint32_t> words) const {
 
 void Gpu::reset_allocator() { alloc_next_ = 0; }
 
-Result<LaunchStats> Gpu::try_launch(const isa::Program& program,
-                                    const std::vector<std::uint32_t>& params,
-                                    std::uint32_t global_size, std::uint32_t wg_size,
-                                    const InjectedFault* fault) {
+Status Gpu::validate_launch(const isa::Program& program,
+                            const std::vector<std::uint32_t>& params,
+                            std::uint32_t global_size, std::uint32_t wg_size,
+                            const InjectedFault* fault) const {
   if (program.empty()) return Error{"empty kernel program", "gpu.launch", ErrorCode::kInvalidArg};
   if (global_size == 0) return Error{"empty NDRange", "gpu.launch", ErrorCode::kInvalidArg};
   const auto max_wg =
@@ -120,6 +120,17 @@ Result<LaunchStats> Gpu::try_launch(const isa::Program& program,
     return Error{format("injected device trap on kernel '%s'", program.name().c_str()),
                  "gpu.launch", ErrorCode::kTrap};
   }
+  return {};
+}
+
+Result<LaunchStats> Gpu::try_launch(const isa::Program& program,
+                                    const std::vector<std::uint32_t>& params,
+                                    std::uint32_t global_size, std::uint32_t wg_size,
+                                    const InjectedFault* fault) {
+  if (Status valid = validate_launch(program, params, global_size, wg_size, fault);
+      !valid.ok()) {
+    return valid.error();
+  }
   // Runtime traps (out-of-bounds access, watchdog expiry) are raised as
   // exceptions deep in the simulation; convert them to an Error so the
   // asynchronous runtime can fail the event instead of the process.
@@ -140,6 +151,177 @@ LaunchStats Gpu::launch(const isa::Program& program, const std::vector<std::uint
   auto stats = try_launch(program, params, global_size, wg_size);
   if (!stats.ok()) throw std::logic_error("launch failed: " + stats.error().to_string());
   return std::move(stats).value();
+}
+
+std::vector<Result<LaunchStats>> Gpu::try_launch_batch(const isa::Program& program,
+                                                       std::span<const LaunchSegment> segments) {
+  std::vector<Result<LaunchStats>> results;
+  results.reserve(segments.size());
+  if (segments.empty()) return results;
+
+  // Does the program write CU-local memory? Only then must the scratchpad
+  // be re-zeroed between segments: a program that only loads from LRAM
+  // reads the same zeroes a freshly constructed CU holds.
+  bool stores_lram = false;
+  for (const std::uint32_t word : program.words()) {
+    if (isa::Instruction::decode(word).opcode == isa::Opcode::kSwl) {
+      stores_lram = true;
+      break;
+    }
+  }
+
+  // The batch's whole point: the launch machinery below — counter shards,
+  // memory system with its cache geometry, compute units — is constructed
+  // ONCE and reset to pristine post-construction state between segments,
+  // so each segment pays only the simulation it actually runs while still
+  // observing device state bit-identical to a standalone launch.
+  PerfCounters counters;
+  LaunchContext ctx{&program, &mem_, {}, 0, 0};
+  MemorySystem memory(config_, &counters);
+  struct alignas(128) CounterShard {
+    PerfCounters counters;
+  };
+  std::vector<CounterShard> shards(static_cast<std::size_t>(config_.cu_count));
+  std::vector<ComputeUnit> cus;
+  cus.reserve(static_cast<std::size_t>(config_.cu_count));
+  for (int cu = 0; cu < config_.cu_count; ++cu) {
+    cus.emplace_back(cu, config_, &memory, &shards[static_cast<std::size_t>(cu)].counters, &ctx);
+  }
+  std::atomic<bool> free_slots_dirty{true};
+  for (auto& cu : cus) cu.set_free_slots_signal(&free_slots_dirty);
+  std::vector<ComputeUnit::IdleProfile> profiles(cus.size());
+
+  // Serial-only cycle driver: the runtime's close policy only batches
+  // launches too small to amortize their own fixed costs, and those run
+  // below GpuConfig::parallel_min_wavefronts anyway; the serial and gang
+  // drivers are bit-identical by contract (docs/simulator.md), so skipping
+  // the gang machinery changes wall-clock only, never a result.
+  const auto run_segment = [&]() -> LaunchStats {
+    const std::uint32_t global_size = ctx.global_size;
+    const std::uint32_t wg_size = ctx.wg_size;
+    int max_free_slots = 0;
+    const auto refresh_free_slots = [&] {
+      if (!free_slots_dirty.load(std::memory_order_relaxed)) return;
+      free_slots_dirty.store(false, std::memory_order_relaxed);
+      int max_free = 0;
+      for (const auto& cu : cus) max_free = std::max(max_free, cu.free_slots());
+      max_free_slots = max_free;
+    };
+    const std::uint32_t wg_count =
+        static_cast<std::uint32_t>(ceil_div(global_size, wg_size));
+    std::uint32_t next_wg = 0;
+    int dispatch_cu = 0;
+    const auto slots_needed_for = [&](std::uint32_t wg) {
+      const std::uint32_t base = wg * wg_size;
+      const std::uint32_t items = std::min(wg_size, global_size - base);
+      return static_cast<int>(
+          ceil_div(items, static_cast<std::uint32_t>(config_.wavefront_size)));
+    };
+    std::uint64_t cycle = 0;
+    while (true) {
+      // Same dispatcher, drain check and idle fast-forward as run_launch's
+      // serial path — one work-group per cycle, O(1) placeability summary.
+      if (next_wg < wg_count) {
+        refresh_free_slots();
+        const int slots_needed = slots_needed_for(next_wg);
+        if (max_free_slots >= slots_needed) {
+          const std::uint32_t base = next_wg * wg_size;
+          const std::uint32_t items = std::min(wg_size, global_size - base);
+          for (int probe = 0; probe < config_.cu_count; ++probe) {
+            const int cu = (dispatch_cu + probe) % config_.cu_count;
+            if (cus[static_cast<std::size_t>(cu)].free_slots() >= slots_needed) {
+              cus[static_cast<std::size_t>(cu)].assign_workgroup(next_wg, base, items);
+              ++next_wg;
+              ++counters.workgroups_dispatched;
+              dispatch_cu = (cu + 1) % config_.cu_count;
+              break;
+            }
+          }
+        }
+      }
+
+      memory.tick(cycle);
+      for (auto& cu : cus) cu.tick(cycle);
+      ++cycle;
+
+      if (next_wg == wg_count) {
+        bool busy = !memory.idle();
+        for (const auto& cu : cus) {
+          if (busy) break;
+          busy = cu.busy();
+        }
+        if (!busy) break;
+      }
+      GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
+
+      if (!config_.idle_fast_forward) continue;
+      if (next_wg < wg_count) {
+        refresh_free_slots();
+        if (max_free_slots >= slots_needed_for(next_wg)) {
+          continue;  // dispatch will act next cycle
+        }
+      }
+      std::uint64_t wake = memory.next_event(cycle);
+      if (wake == cycle) continue;  // memory acts next tick: nothing to skip
+      for (std::size_t i = 0; i < cus.size() && wake > cycle; ++i) {
+        profiles[i] = cus[i].idle_profile(cycle);
+        wake = std::min(wake, profiles[i].wake);
+      }
+      if (wake > cycle) {
+        wake = std::min(wake, config_.max_cycles);
+        const std::uint64_t skipped = wake - cycle;
+        for (std::size_t i = 0; i < cus.size(); ++i) cus[i].apply_idle(profiles[i], skipped);
+        cycle = wake;
+        GPUP_CHECK_MSG(cycle < config_.max_cycles, "simulation watchdog expired");
+      }
+    }
+
+    for (const auto& shard : shards) counters += shard.counters;
+    counters.cycles = cycle;
+    LaunchStats stats;
+    stats.cycles = cycle;
+    stats.global_size = global_size;
+    stats.wg_size = wg_size;
+    stats.counters = counters;
+    return stats;
+  };
+
+  bool pristine = true;  // workspace untouched since construction
+  for (const auto& segment : segments) {
+    GPUP_CHECK_MSG(segment.params != nullptr, "null params in launch segment");
+    if (Status valid = validate_launch(program, *segment.params, segment.global_size,
+                                       segment.wg_size, segment.fault);
+        !valid.ok()) {
+      // Validation failures and injected traps precede any simulation: the
+      // workspace is untouched, exactly like a standalone failed attempt.
+      results.push_back(valid.error());
+      continue;
+    }
+    if (!pristine) {
+      counters = PerfCounters{};
+      for (auto& shard : shards) shard.counters = PerfCounters{};
+      memory.reset_for_launch();
+      for (auto& cu : cus) cu.reset_for_launch(stores_lram);
+      free_slots_dirty.store(true, std::memory_order_relaxed);
+    }
+    pristine = false;
+    ctx.params = *segment.params;
+    ctx.global_size = segment.global_size;
+    ctx.wg_size = segment.wg_size;
+    try {
+      auto stats = run_segment();
+      if (segment.fault != nullptr && segment.fault->stall_cycles > 0) {
+        stats.cycles += segment.fault->stall_cycles;
+        stats.counters.cycles += segment.fault->stall_cycles;
+      }
+      results.push_back(std::move(stats));
+    } catch (const std::exception& e) {
+      // A trap fails only its own segment; the next segment's reset
+      // restores pristine state no matter where the unwind happened.
+      results.push_back(Error{e.what(), "gpu.launch", ErrorCode::kTrap});
+    }
+  }
+  return results;
 }
 
 LaunchStats Gpu::run_launch(const isa::Program& program,

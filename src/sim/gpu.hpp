@@ -42,6 +42,16 @@ struct InjectedFault {
   std::uint64_t stall_cycles = 0;
 };
 
+/// One client launch inside a fused batch: exactly the arguments of one
+/// try_launch call (the program is shared by the whole batch). `params`
+/// and `fault` are borrowed for the duration of try_launch_batch.
+struct LaunchSegment {
+  const std::vector<std::uint32_t>* params = nullptr;
+  std::uint32_t global_size = 0;
+  std::uint32_t wg_size = 0;
+  const InjectedFault* fault = nullptr;  ///< per-segment injection, may be null
+};
+
 class Gpu {
  public:
   explicit Gpu(GpuConfig config);
@@ -87,7 +97,29 @@ class Gpu {
                                    const std::vector<std::uint32_t>& params,
                                    std::uint32_t global_size, std::uint32_t wg_size);
 
+  /// Fused execution of several launches of the SAME program — the device
+  /// half of the runtime's continuous-batching layer (docs/runtime.md).
+  /// The per-launch fixed costs (machinery construction, cache-geometry
+  /// setup) are paid once for the whole batch, while each segment still
+  /// runs on pristine device state — cold cache, cycle 0, empty CUs — so
+  /// its LaunchStats, memory writes and failure mode are bit-identical to
+  /// a standalone try_launch of the same arguments. Segments must touch
+  /// disjoint buffers (the caller's contract, enforced by the runtime's
+  /// batch assembly; this function cannot check it), which is what makes
+  /// every per-segment result independent of segment order. A segment that
+  /// fails validation or carries an injected trap fails alone; the rest of
+  /// the batch runs. Returns one Result per segment, in order.
+  [[nodiscard]] std::vector<Result<LaunchStats>> try_launch_batch(
+      const isa::Program& program, std::span<const LaunchSegment> segments);
+
  private:
+  /// Shared validation of one launch attempt: geometry, argument-word
+  /// count, injected trap. Both the standalone and the batched path go
+  /// through here, so their error strings can never drift apart.
+  [[nodiscard]] Status validate_launch(const isa::Program& program,
+                                       const std::vector<std::uint32_t>& params,
+                                       std::uint32_t global_size, std::uint32_t wg_size,
+                                       const InjectedFault* fault) const;
   /// The per-cycle simulation loop — GPUP_HOT: gpup_lint proves nothing
   /// it reaches allocates after launch setup (see annotations.hpp).
   [[nodiscard]] GPUP_HOT LaunchStats run_launch(const isa::Program& program,

@@ -54,6 +54,17 @@ MemorySystem::MemorySystem(const GpuConfig& config, PerfCounters* counters)
   axi_port_free_.resize(config_.axi_ports, 0);
 }
 
+void MemorySystem::reset_for_launch() {
+  for (auto& queue : bank_queues_) queue.clear();
+  for (auto& mshrs : bank_mshrs_) mshrs.clear();
+  std::fill(lines_.begin(), lines_.end(), CacheLine{});
+  std::fill(axi_port_free_.begin(), axi_port_free_.end(), 0);
+  inflight_ = 0;
+  queued_ = 0;
+  earliest_fill_ = kNever;
+  owned_sinks_.clear();
+}
+
 std::uint32_t MemorySystem::set_index(std::uint64_t line_addr) const {
   // Bank-interleaved direct-mapped: line -> (bank, set within bank), all
   // factors precomputed in the constructor.

@@ -84,6 +84,13 @@ class MemorySystem {
   /// fast-forward over idle stretches without disturbing any counter.
   [[nodiscard]] GPUP_HOT std::uint64_t next_event(std::uint64_t now) const;
 
+  /// Return to the pristine post-construction state — cache cold, bank
+  /// queues / MSHRs / AXI ports drained — without reallocating anything.
+  /// The batched launch path reuses one MemorySystem across segments, and
+  /// every segment must observe state bit-identical to a freshly
+  /// constructed system (see Gpu::try_launch_batch).
+  void reset_for_launch();
+
  private:
   struct Request {
     std::uint64_t line_addr = 0;

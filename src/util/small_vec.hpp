@@ -78,6 +78,13 @@ class FixedRing {
     --size_;
   }
 
+  /// Drop every element; capacity is untouched. Reset support for the
+  /// reusable per-batch launch machinery, not a hot-path operation.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
  private:
   std::vector<T> data_;
   std::size_t head_ = 0;

@@ -1,0 +1,562 @@
+// Continuous-batching tests (docs/runtime.md "Continuous batching").
+//
+// The contract under test is bit-identity: fusing compatible small
+// launches into one Gpu::try_launch_batch must change wall-clock only —
+// per-launch LaunchStats (cycles AND every PerfCounters field), memory
+// contents, and terminal event states are exactly those of the unbatched
+// run. The suites cover the device half (try_launch_batch vs standalone
+// try_launch), the runtime half (batch-close policy, disjointness
+// rejection, per-segment fault injection, preemption at batch
+// boundaries), and a randomized batched-vs-unbatched fuzz at worker
+// counts {1, 4, hw}.
+//
+// Structural note: in-order queues chain every command behind the
+// previous one, so at most ONE command per in-order queue is ever in the
+// ready set — fusion only happens across queues or within out-of-order
+// queues. Every rig here uses out-of-order queues whose kernels depend
+// on a single user-event gate (and nothing else still in flight), so
+// releasing the gate pushes the whole wave into the scheduler as one
+// group and the assembler sees a deterministic ready set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/rt/fault.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/util/rng.hpp"
+
+#include "tests/bounded_wait.hpp"
+
+namespace gpup::rt {
+namespace {
+
+// y[i] = y[i] * 3 + c over n items — non-commutative across steps, so
+// chained launches prove ordering, and the buffer + scalar params give
+// the Args builder a real footprint to declare.
+constexpr const char* kStepSource = R"(.kernel step
+  tid   r1
+  param r2, 0          ; n
+  bgeu  r1, r2, done
+  slli  r3, r1, 2
+  param r4, 1          ; buf
+  add   r4, r4, r3
+  lw    r5, 0(r4)
+  addi  r6, r0, 3
+  mul   r5, r5, r6
+  param r7, 2          ; step constant
+  add   r5, r5, r7
+  sw    r5, 0(r4)
+done:
+  ret
+)";
+
+isa::Program step_program() {
+  auto program = Context::compile(kStepSource);
+  GPUP_CHECK_MSG(program.ok(), "step kernel must assemble");
+  return program.value();
+}
+
+bool same_stats(const sim::LaunchStats& a, const sim::LaunchStats& b) {
+  return a.cycles == b.cycles && a.global_size == b.global_size && a.wg_size == b.wg_size &&
+         a.counters == b.counters;
+}
+
+// ---- device half: Gpu::try_launch_batch ----------------------------------
+
+TEST(GpuBatch, FusedSegmentsMatchStandaloneLaunchesBitForBit) {
+  const auto program = step_program();
+  constexpr std::uint32_t kN = 96;
+
+  // Reference: each launch standalone on its own fresh device. Same alloc
+  // sequence on both devices, so addresses (and thus param words) agree.
+  sim::Gpu reference(sim::GpuConfig{});
+  sim::Gpu fused(sim::GpuConfig{});
+  std::vector<std::uint32_t> addrs;
+  std::vector<std::vector<std::uint32_t>> params;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const std::uint32_t addr = reference.alloc(kN * 4);
+    ASSERT_EQ(addr, fused.alloc(kN * 4));
+    addrs.push_back(addr);
+    std::vector<std::uint32_t> data(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) data[i] = s * 1000 + i;
+    reference.write(addr, data);
+    fused.write(addr, data);
+    params.push_back({kN, addr, s + 7});
+  }
+
+  std::vector<sim::LaunchSegment> segments;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    segments.push_back(sim::LaunchSegment{&params[s], kN, 32, nullptr});
+  }
+  const auto fused_results = fused.try_launch_batch(program, segments);
+  ASSERT_EQ(fused_results.size(), 3u);
+
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    auto standalone = reference.try_launch(program, params[s], kN, 32);
+    ASSERT_TRUE(standalone.ok()) << s;
+    ASSERT_TRUE(fused_results[s].ok()) << s;
+    EXPECT_TRUE(same_stats(standalone.value(), fused_results[s].value()))
+        << "segment " << s << ": fused stats diverged from standalone";
+    std::vector<std::uint32_t> ref_words(kN);
+    std::vector<std::uint32_t> fused_words(kN);
+    reference.read(addrs[s], ref_words);
+    fused.read(addrs[s], fused_words);
+    EXPECT_EQ(ref_words, fused_words) << "segment " << s << ": memory diverged";
+  }
+}
+
+TEST(GpuBatch, FailingSegmentFailsAloneWithStandaloneErrorStrings) {
+  const auto program = step_program();
+  constexpr std::uint32_t kN = 64;
+  sim::Gpu gpu(sim::GpuConfig{});
+  const std::uint32_t addr = gpu.alloc(kN * 4);
+  const std::vector<std::uint32_t> fives(kN, 5);
+  gpu.write(addr, fives);
+
+  std::vector<std::uint32_t> good_params = {kN, addr, 1};
+  std::vector<std::uint32_t> short_params = {kN};  // program reads 3 params
+  const sim::InjectedFault trap{/*trap=*/true, /*stall_cycles=*/0};
+
+  std::vector<sim::LaunchSegment> segments = {
+      {&good_params, kN, 32, nullptr},
+      {&short_params, kN, 32, nullptr},  // validation failure
+      {&good_params, 0, 32, nullptr},    // empty NDRange
+      {&good_params, kN, 32, &trap},     // injected trap
+      {&good_params, kN, 32, nullptr},   // must still run
+  };
+  const auto results = gpu.try_launch_batch(program, segments);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  ASSERT_FALSE(results[2].ok());
+  ASSERT_FALSE(results[3].ok());
+  EXPECT_TRUE(results[4].ok());
+
+  // Error strings must be the standalone ones (shared validate_launch).
+  sim::Gpu standalone(sim::GpuConfig{});
+  (void)standalone.alloc(kN * 4);
+  const auto want_params = standalone.try_launch(program, short_params, kN, 32);
+  const auto want_range = standalone.try_launch(program, good_params, 0, 32);
+  const auto want_trap = standalone.try_launch(program, good_params, kN, 32, &trap);
+  ASSERT_FALSE(want_params.ok());
+  ASSERT_FALSE(want_range.ok());
+  ASSERT_FALSE(want_trap.ok());
+  EXPECT_EQ(results[1].error().to_string(), want_params.error().to_string());
+  EXPECT_EQ(results[2].error().to_string(), want_range.error().to_string());
+  EXPECT_EQ(results[3].error().to_string(), want_trap.error().to_string());
+  EXPECT_EQ(results[3].error().code, ErrorCode::kTrap);
+
+  // The two good segments ran on pristine per-launch state despite the
+  // failures in between.
+  EXPECT_TRUE(same_stats(results[0].value(), results[4].value()));
+
+  const sim::InjectedFault stall{/*trap=*/false, /*stall_cycles=*/1234};
+  std::vector<sim::LaunchSegment> stalled = {{&good_params, kN, 32, &stall}};
+  const auto stalled_results = gpu.try_launch_batch(program, stalled);
+  ASSERT_EQ(stalled_results.size(), 1u);
+  ASSERT_TRUE(stalled_results[0].ok());
+  EXPECT_EQ(stalled_results[0].value().cycles, results[0].value().cycles + 1234)
+      << "per-segment stall injection must add to that segment's cycles";
+}
+
+// ---- runtime half: batch formation and close policy -----------------------
+
+/// An out-of-order queue whose kernels all become ready at once when the
+/// gate completes. Buffer writes are waited for BEFORE the kernel is
+/// enqueued, so the gate is each kernel's only unsettled dependency and
+/// gate.complete() pushes the whole wave to the scheduler as one group.
+struct BatchRig {
+  explicit BatchRig(BatchConfig batch, unsigned threads = 1,
+                    std::shared_ptr<const FaultPlan> plan = nullptr,
+                    SchedulerConfig scheduler = {}) {
+    sim::GpuConfig config;
+    config.global_mem_bytes = 4u << 20;
+    ContextOptions options;
+    options.devices = {config};
+    options.threads = threads;
+    options.scheduler = scheduler;
+    options.fault_plan = std::move(plan);
+    context = std::make_unique<Context>(std::move(options));
+    QueueOptions queue_options;
+    queue_options.mode = QueueMode::kOutOfOrder;
+    queue_options.device = 0;
+    queue_options.batch = batch;
+    auto created = context->create_queue(queue_options);
+    GPUP_CHECK_MSG(created.ok(), "rig queue must register");
+    queue = created.value();
+    gate = context->create_user_event();
+  }
+
+  /// Enqueue one gated step launch on its own freshly-written buffer.
+  Event add_kernel(const isa::Program& program, std::uint32_t n, std::uint32_t c) {
+    auto buffer = queue.alloc_words(n);
+    GPUP_CHECK_MSG(buffer.ok(), "rig buffer must allocate");
+    buffers.push_back(buffer.value());
+    const Event write = queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(n, 1));
+    GPUP_CHECK_MSG(wait_bounded(write), "rig write must settle");
+    return queue.enqueue_kernel(program, Args().add(n).add(buffer.value()).add(c), {n, 32},
+                                LaunchOptions{}, {gate.event()});
+  }
+
+  std::unique_ptr<Context> context;
+  CommandQueue queue;
+  UserEvent gate;
+  std::vector<Buffer> buffers;
+};
+
+BatchConfig wide_open_batching() {
+  BatchConfig batch = BatchConfig::on();
+  batch.max_launches = 32;
+  batch.max_wait_cycles = 0;         // no cycle cap
+  batch.small_launch_cycles = 1e18;  // everything amortizes
+  return batch;
+}
+
+TEST(RuntimeBatch, ClosePolicyCountsSizeCapAndDrain) {
+  const auto program = step_program();
+  BatchRig rig(wide_open_batching(), /*threads=*/1);
+  std::vector<Event> kernels;
+  for (std::uint32_t i = 0; i < 40; ++i) kernels.push_back(rig.add_kernel(program, 64, i + 1));
+  rig.gate.complete();
+  for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+  ASSERT_TRUE(rig.context->finish());
+
+  // One worker, all 40 ready at once: a 32-segment batch (size cap), then
+  // the remaining 8 (ready set drained). Every launch rode a fused batch.
+  const auto gauges = rig.context->snapshot();
+  EXPECT_EQ(gauges.batches_formed_total, 2u);
+  EXPECT_EQ(gauges.launches_batched_total, 40u);
+  EXPECT_EQ(gauges.batch_close_size_cap_total, 1u);
+  EXPECT_EQ(gauges.batch_close_drained_total, 1u);
+  EXPECT_EQ(gauges.batch_close_incompatible_total, 0u);
+  EXPECT_EQ(gauges.batch_close_unamortized_total, 0u);
+  EXPECT_EQ(gauges.batch_close_cycle_cap_total, 0u);
+  EXPECT_EQ(gauges.batches_inflight, 0u);
+
+  // Results are the unbatched ones: every word holds 1*3 + c.
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const auto read = rig.queue.enqueue_read(rig.buffers[i]);
+    ASSERT_TRUE(wait_bounded(read));
+    for (const std::uint32_t word : read.data()) ASSERT_EQ(word, 3 + i + 1) << "kernel " << i;
+  }
+}
+
+TEST(RuntimeBatch, SmallLaunchBoundGatesAmortization) {
+  // With small_launch_cycles below any real launch's predicted cost,
+  // nothing is amortizable: every launch runs standalone and the batch
+  // machinery never engages.
+  const auto program = step_program();
+  BatchConfig batch = BatchConfig::on();
+  batch.small_launch_cycles = 0.5;
+  BatchRig rig(batch, /*threads=*/1);
+  std::vector<Event> kernels;
+  for (std::uint32_t i = 0; i < 8; ++i) kernels.push_back(rig.add_kernel(program, 64, 1));
+  rig.gate.complete();
+  for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+  const auto gauges = rig.context->snapshot();
+  EXPECT_EQ(gauges.batches_formed_total, 0u);
+  EXPECT_EQ(gauges.launches_batched_total, 0u);
+}
+
+TEST(RuntimeBatch, CycleCapClosesBatch) {
+  // max_wait_cycles = 1 admits the leader but no follower (any launch
+  // predicts more than one cycle): every assembly closes on the cycle
+  // cap, batches never form, everything still runs.
+  const auto program = step_program();
+  BatchConfig batch = wide_open_batching();
+  batch.max_wait_cycles = 1;
+  BatchRig rig(batch, /*threads=*/1);
+  std::vector<Event> kernels;
+  for (std::uint32_t i = 0; i < 4; ++i) kernels.push_back(rig.add_kernel(program, 64, 1));
+  rig.gate.complete();
+  for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+  const auto gauges = rig.context->snapshot();
+  EXPECT_EQ(gauges.batches_formed_total, 0u);
+  EXPECT_GE(gauges.batch_close_cycle_cap_total, 3u);
+}
+
+TEST(RuntimeBatch, SharedBufferRejectsFusion) {
+  // Two simultaneously-ready kernels naming the SAME buffer must not
+  // fuse — argument disjointness is what makes per-segment results
+  // order-independent. The assembler closes on incompatibility and both
+  // run as singletons.
+  const auto program = step_program();
+  BatchRig rig(wide_open_batching(), /*threads=*/1);
+  auto buffer = rig.queue.alloc_words(64);
+  ASSERT_TRUE(buffer.ok());
+  const Event seed = rig.queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(64, 1));
+  ASSERT_TRUE(wait_bounded(seed));
+  const Event a = rig.queue.enqueue_kernel(program, Args().add(64u).add(buffer.value()).add(1u),
+                                           {64, 32}, LaunchOptions{}, {rig.gate.event()});
+  const Event b = rig.queue.enqueue_kernel(program, Args().add(64u).add(buffer.value()).add(1u),
+                                           {64, 32}, LaunchOptions{}, {rig.gate.event()});
+  rig.gate.complete();
+  EXPECT_TRUE(wait_bounded(a));
+  EXPECT_TRUE(wait_bounded(b));
+  const auto gauges = rig.context->snapshot();
+  EXPECT_EQ(gauges.batches_formed_total, 0u);
+  EXPECT_EQ(gauges.launches_batched_total, 0u);
+  EXPECT_GE(gauges.batch_close_incompatible_total, 1u);
+  // Both applied y = y*3 + 1 in some serial order: (1*3+1)*3 + 1.
+  const auto read = rig.queue.enqueue_read(buffer.value(), {a, b});
+  ASSERT_TRUE(wait_bounded(read));
+  for (const std::uint32_t word : read.data()) ASSERT_EQ(word, 13u);
+
+  // Disjoint buffers under the identical setup DO fuse — the rejection
+  // above is about overlap, not a side effect of the rig's shape.
+  BatchRig disjoint(wide_open_batching(), /*threads=*/1);
+  std::vector<Event> kernels;
+  for (std::uint32_t i = 0; i < 2; ++i) kernels.push_back(disjoint.add_kernel(program, 64, 1));
+  disjoint.gate.complete();
+  for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+  EXPECT_EQ(disjoint.context->snapshot().launches_batched_total, 2u);
+}
+
+TEST(RuntimeBatch, PerSegmentFaultInjectionFailsOnlyItsSegment) {
+  // A trap-happy fault plan with single-attempt launches: some fused
+  // segments trap, the rest complete — and the SAME plan against a
+  // batching-off context produces the identical terminal vector, because
+  // injection is keyed by submission identity, not execution shape.
+  const auto program = step_program();
+  FaultSpec spec;
+  spec.trap_rate = 0.3;
+  const auto plan = std::make_shared<const FaultPlan>(0xfa17u, spec);
+
+  auto run = [&](BatchConfig batch) {
+    BatchRig rig(batch, /*threads=*/1, plan);
+    std::vector<Event> kernels;
+    for (std::uint32_t i = 0; i < 16; ++i) kernels.push_back(rig.add_kernel(program, 64, 3));
+    rig.gate.complete();
+    std::vector<int> terminal;
+    std::vector<std::string> errors;
+    for (const auto& kernel : kernels) {
+      (void)wait_bounded(kernel);
+      terminal.push_back(static_cast<int>(kernel.status()));
+      errors.push_back(kernel.error().to_string());
+    }
+    const auto gauges = rig.context->snapshot();
+    return std::tuple{terminal, errors, gauges.batches_formed_total};
+  };
+
+  const auto [batched, batched_errors, formed] = run(wide_open_batching());
+  const auto [unbatched, unbatched_errors, formed_off] = run(BatchConfig::off());
+  EXPECT_EQ(batched, unbatched);
+  EXPECT_EQ(batched_errors, unbatched_errors);
+  EXPECT_GE(formed, 1u) << "fault plan suppressed batching entirely";
+  EXPECT_EQ(formed_off, 0u) << "BatchConfig::off() must disable fusion";
+  EXPECT_TRUE(std::any_of(batched.begin(), batched.end(), [](int status) {
+    return status == static_cast<int>(EventStatus::kFailed);
+  })) << "trap rate 0.3 over 16 launches injected nothing — seed drifted?";
+  EXPECT_TRUE(std::any_of(batched.begin(), batched.end(), [](int status) {
+    return status == static_cast<int>(EventStatus::kComplete);
+  }));
+}
+
+TEST(RuntimeBatch, PreemptionAtBatchBoundaries) {
+  // Fair-share, two tenants with equal-cost work, but tenant B's queue
+  // has batching off (so B's commands can never fuse). DRR alternates
+  // A, B, A, B — and the batch assembler must honor that: every time it
+  // peeks past an A command it sees B's turn and closes the batch
+  // instead of swallowing it. Zero fused batches means the policy
+  // preempted at every batch boundary.
+  const auto program = step_program();
+  sim::GpuConfig config;
+  config.global_mem_bytes = 4u << 20;
+
+  auto run_two_tenants = [&](BatchConfig tenant_b_batch) {
+    ContextOptions options;
+    options.devices = {config};
+    options.threads = 1;
+    options.scheduler.policy = SchedulerPolicy::kFairShare;
+    Context context(std::move(options));
+    auto make_queue = [&](std::uint64_t tenant, BatchConfig batch) {
+      QueueOptions queue_options;
+      queue_options.mode = QueueMode::kOutOfOrder;
+      queue_options.device = 0;
+      queue_options.tenant = tenant;
+      queue_options.batch = batch;
+      auto created = context.create_queue(queue_options);
+      GPUP_CHECK_MSG(created.ok(), "tenant queue must register");
+      return created.value();
+    };
+    CommandQueue tenant_a = make_queue(1, wide_open_batching());
+    CommandQueue tenant_b = make_queue(2, tenant_b_batch);
+
+    UserEvent gate = context.create_user_event();
+    std::vector<Event> kernels;
+    auto add = [&](CommandQueue& queue, std::uint32_t c) {
+      auto buffer = queue.alloc_words(64);
+      GPUP_CHECK_MSG(buffer.ok(), "tenant buffer must allocate");
+      const Event write = queue.enqueue_write(buffer.value(), std::vector<std::uint32_t>(64, 1));
+      GPUP_CHECK_MSG(wait_bounded(write), "tenant write must settle");
+      kernels.push_back(queue.enqueue_kernel(program, Args().add(64u).add(buffer.value()).add(c),
+                                             {64, 32}, LaunchOptions{}, {gate.event()}));
+    };
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      add(tenant_a, i + 1);
+      add(tenant_b, i + 1);
+    }
+    gate.complete();
+    for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+    GPUP_CHECK_MSG(context.finish(), "context must drain");
+    return context.snapshot();
+  };
+
+  const auto preempted = run_two_tenants(BatchConfig::off());
+  EXPECT_EQ(preempted.batches_formed_total, 0u)
+      << "a batch swallowed another tenant's DRR turn";
+  EXPECT_GE(preempted.batch_close_incompatible_total, 3u);
+
+  // With BOTH tenants batchable, fusing across the tenant boundary is
+  // legitimate — each pop debited its own tenant — and batches form.
+  const auto fused = run_two_tenants(wide_open_batching());
+  EXPECT_GE(fused.launches_batched_total, 2u);
+}
+
+TEST(RuntimeBatch, PriorityPolicyStaysUnbatchedUnlessOptedIn) {
+  // kAuto resolves to off under kPriority; an explicit kOn overrides.
+  const auto program = step_program();
+  SchedulerConfig priority;
+  priority.policy = SchedulerPolicy::kPriority;
+  {
+    BatchRig rig(BatchConfig{}, /*threads=*/1, nullptr, priority);  // kAuto
+    std::vector<Event> kernels;
+    for (std::uint32_t i = 0; i < 6; ++i) kernels.push_back(rig.add_kernel(program, 64, 1));
+    rig.gate.complete();
+    for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+    EXPECT_EQ(rig.context->snapshot().launches_batched_total, 0u);
+  }
+  {
+    BatchRig rig(wide_open_batching(), /*threads=*/1, nullptr, priority);
+    std::vector<Event> kernels;
+    for (std::uint32_t i = 0; i < 6; ++i) kernels.push_back(rig.add_kernel(program, 64, 1));
+    rig.gate.complete();
+    for (const auto& kernel : kernels) EXPECT_TRUE(wait_bounded(kernel));
+    EXPECT_GE(rig.context->snapshot().launches_batched_total, 2u);
+  }
+}
+
+// ---- the fuzz: batched vs unbatched, bit for bit --------------------------
+
+struct FuzzOutcome {
+  std::vector<int> terminal;                       // per launch, enqueue order
+  std::vector<std::uint64_t> cycles;               // 0 for failed launches
+  std::vector<sim::PerfCounters> counters;         // default for failed launches
+  std::vector<std::vector<std::uint32_t>> memory;  // per queue, final words
+
+  friend bool operator==(const FuzzOutcome&, const FuzzOutcome&) = default;
+};
+
+/// Random many-small-kernel DAG: kQueues out-of-order queues pinned to
+/// explicit devices, per-queue chains of tiny step launches released by
+/// one gate, some launches trapped or stalled by a deterministic fault
+/// plan and sometimes retried once. Per-launch results are a pure
+/// function of (seed, submission order) — never of worker interleaving
+/// or of whether the dispatcher fused anything — which is exactly what
+/// the batching determinism contract promises.
+FuzzOutcome run_fuzz(std::uint64_t seed, unsigned threads, bool batching) {
+  constexpr std::size_t kQueues = 6;
+  constexpr int kSteps = 5;
+
+  const auto program = step_program();
+  sim::GpuConfig config;
+  config.global_mem_bytes = 4u << 20;
+  ContextOptions options;
+  options.devices = {config, config};
+  options.threads = threads;
+  FaultSpec spec;
+  spec.trap_rate = 0.15;
+  spec.stall_rate = 0.1;
+  options.fault_plan = std::make_shared<const FaultPlan>(seed, spec);
+  Context context(std::move(options));
+
+  std::vector<CommandQueue> queues;
+  std::vector<Buffer> buffers;
+  std::vector<std::uint32_t> sizes;
+  UserEvent gate = context.create_user_event();
+  Rng rng(seed);
+  for (std::size_t q = 0; q < kQueues; ++q) {
+    QueueOptions queue_options;
+    queue_options.mode = QueueMode::kOutOfOrder;
+    queue_options.device = static_cast<int>(q % 2);
+    queue_options.batch = batching ? wide_open_batching() : BatchConfig::off();
+    auto created = context.create_queue(queue_options);
+    GPUP_CHECK_MSG(created.ok(), "fuzz queue must register");
+    queues.push_back(created.value());
+    const std::uint32_t n = 32 + 32 * rng.next_below(3);
+    sizes.push_back(n);
+    auto buffer = queues.back().alloc_words(n);
+    GPUP_CHECK_MSG(buffer.ok(), "fuzz buffer must allocate");
+    buffers.push_back(buffer.value());
+  }
+
+  std::vector<Event> kernels;
+  std::vector<Event> tails;
+  for (std::size_t q = 0; q < kQueues; ++q) {
+    tails.push_back(queues[q].enqueue_write(
+        buffers[q], std::vector<std::uint32_t>(sizes[q], static_cast<std::uint32_t>(q + 1))));
+  }
+  for (int s = 0; s < kSteps; ++s) {
+    for (std::size_t q = 0; q < kQueues; ++q) {
+      LaunchOptions launch;
+      launch.retry.max_attempts = rng.next_below(2) == 0 ? 1 : 2;
+      const std::uint32_t c = 1 + rng.next_below(9);
+      kernels.push_back(queues[q].enqueue_kernel(
+          program, Args().add(sizes[q]).add(buffers[q]).add(c), {sizes[q], 32}, launch,
+          {gate.event(), tails[q]}));
+      tails[q] = kernels.back();
+    }
+  }
+  gate.complete();
+
+  FuzzOutcome outcome;
+  for (const auto& kernel : kernels) {
+    (void)wait_bounded(kernel);
+    outcome.terminal.push_back(static_cast<int>(kernel.status()));
+    const bool ok = kernel.status() == EventStatus::kComplete;
+    outcome.cycles.push_back(ok ? kernel.stats().cycles : 0);
+    outcome.counters.push_back(ok ? kernel.stats().counters : sim::PerfCounters{});
+  }
+  for (std::size_t q = 0; q < kQueues; ++q) {
+    const auto read = queues[q].enqueue_read(buffers[q]);
+    GPUP_CHECK_MSG(wait_bounded(read), "fuzz readback must settle");
+    outcome.memory.push_back(read.data());
+  }
+  // finish() drains but reports false here by design: injected traps
+  // leave failed events behind, and that is part of the outcome vector.
+  (void)context.finish();
+  EXPECT_EQ(context.snapshot().batches_inflight, 0u);
+  if (!batching) {
+    EXPECT_EQ(context.snapshot().launches_batched_total, 0u);
+  }
+  return outcome;
+}
+
+TEST(BatchFuzz, BatchedRunsBitIdenticalToUnbatchedAcrossWorkerCounts) {
+  // The tentpole acceptance gate: for random small-kernel DAGs, batching
+  // changes NO per-launch LaunchStats field, no memory word, and no
+  // terminal state — at 1, 4, and hardware_concurrency workers. The
+  // unbatched single-worker run is the reference (it is exactly the
+  // pre-batching runtime).
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const std::uint64_t seed :
+       {std::uint64_t{1}, std::uint64_t{0xbeef}, std::uint64_t{20260808}}) {
+    const FuzzOutcome reference = run_fuzz(seed, 1, /*batching=*/false);
+    for (const unsigned threads : {1u, 4u, hw}) {
+      EXPECT_EQ(run_fuzz(seed, threads, /*batching=*/true), reference)
+          << "seed " << seed << ", " << threads << " workers, batching on";
+      EXPECT_EQ(run_fuzz(seed, threads, /*batching=*/false), reference)
+          << "seed " << seed << ", " << threads << " workers, batching off";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpup::rt

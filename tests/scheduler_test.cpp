@@ -173,6 +173,85 @@ TEST(SchedulerPolicy, FairShareChargesMinimumCostForFreeCommands) {
   }
 }
 
+TEST(SchedulerPolicy, FairShareChargesPerSegmentBelowUnitCost) {
+  // The batching layer pops every batch member individually, so each
+  // segment debits ITS OWN charge max(tag.cost, min_command_cost). With
+  // the minimum lowered to 0.25 a tenant of quarter-cost commands drains
+  // four per DRR visit — four segments, four debits — before the other
+  // tenant's turn; with the default minimum (1.0) the same submissions
+  // alternate, because every segment still pays the floor. This is the
+  // per-segment-charging contract the batch assembler relies on.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kFairShare;
+  config.min_command_cost = 0.25;
+  auto scheduler = Scheduler::create(config);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    scheduler->push(make_node(1 + i, 0, /*tenant=*/1, /*cost=*/0.25));
+  }
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    scheduler->push(make_node(10 + i, 0, /*tenant=*/2, /*cost=*/0.25));
+  }
+  std::vector<std::uint64_t> tenants;
+  while (auto node = scheduler->pop()) tenants.push_back(node->tag.tenant);
+  EXPECT_EQ(tenants, (std::vector<std::uint64_t>{1, 1, 1, 1, 2, 2, 2, 2,
+                                                 1, 1, 1, 1, 2, 2, 2, 2}));
+
+  SchedulerConfig floor_config;
+  floor_config.policy = SchedulerPolicy::kFairShare;  // min_command_cost = 1.0
+  auto floored = Scheduler::create(floor_config);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    floored->push(make_node(1 + i, 0, /*tenant=*/1, /*cost=*/0.25));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    floored->push(make_node(10 + i, 0, /*tenant=*/2, /*cost=*/0.25));
+  }
+  tenants.clear();
+  while (auto node = floored->pop()) tenants.push_back(node->tag.tenant);
+  EXPECT_EQ(tenants, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2, 1, 2}));
+}
+
+TEST(SchedulerPolicy, PeekMatchesPopUnderEveryPolicy) {
+  // peek() must predict pop() exactly, without mutating policy state —
+  // the batch assembler closes batches on this contract (and asserts it).
+  // Exercise all three policies, with seeds, aging, mixed costs and
+  // interleaved pushes, peeking (twice — peek must be idempotent) before
+  // every pop.
+  std::vector<SchedulerConfig> configs(4);
+  configs[1].seed = 0x5eed;
+  configs[2].policy = SchedulerPolicy::kPriority;
+  configs[2].aging_period = 2;
+  configs[3].policy = SchedulerPolicy::kFairShare;
+  configs[3].drr_quantum = 0.5;
+  for (const auto& config : configs) {
+    auto scheduler = Scheduler::create(config);
+    Rng rng(7u + static_cast<std::uint64_t>(config.policy));
+    std::uint64_t next_seq = 1;
+    EXPECT_EQ(scheduler->peek(), nullptr);
+    for (int round = 0; round < 40; ++round) {
+      const int pushes = static_cast<int>(rng.next_below(3));
+      for (int p = 0; p < pushes; ++p) {
+        scheduler->push(make_node(next_seq++, static_cast<int>(rng.next_below(3)),
+                                  /*tenant=*/rng.next_below(3),
+                                  /*cost=*/0.5 + static_cast<double>(rng.next_below(4))));
+      }
+      if (scheduler->empty()) {
+        EXPECT_EQ(scheduler->peek(), nullptr);
+        continue;
+      }
+      const auto first = scheduler->peek();
+      const auto second = scheduler->peek();
+      EXPECT_EQ(first, second) << "peek mutated policy state";
+      EXPECT_EQ(scheduler->pop(), first)
+          << to_string(config.policy) << ": peek disagreed with pop at round " << round;
+    }
+    while (!scheduler->empty()) {
+      const auto next = scheduler->peek();
+      EXPECT_EQ(scheduler->pop(), next) << to_string(config.policy);
+    }
+    EXPECT_EQ(scheduler->peek(), nullptr);
+  }
+}
+
 // ---- heterogeneous placement ---------------------------------------------
 
 ContextOptions het_pool() {

@@ -628,6 +628,12 @@ TEST(ServeDaemon, MetricsScrapeCarriesGaugesAndPercentiles) {
   EXPECT_NE(json.value().find("\"sessions_opened\""), std::string::npos);
   EXPECT_NE(json.value().find("\"latency_us_p50\""), std::string::npos);
   EXPECT_NE(json.value().find("\"latency_us_p99\""), std::string::npos);
+  // Continuous-batching counters ride the same scrape; the gauge must be
+  // quiescent (no launch in flight) when nothing is running.
+  EXPECT_NE(json.value().find("\"batches_inflight\": 0"), std::string::npos);
+  EXPECT_NE(json.value().find("\"batches_formed_total\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"launches_batched_total\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"batch_close_drained_total\""), std::string::npos);
   daemon.drain();
   expect_settled(daemon.context());
 }

@@ -105,6 +105,7 @@ TEST(Soak, ChurnUnderChaosLeaksNothing) {
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
   std::uint64_t quarantine_sightings = 0;
+  std::uint64_t batches_formed_seen = 0;
 
   while (std::chrono::steady_clock::now() < deadline) {
     Rng rng(0x5eed + rounds);
@@ -218,6 +219,14 @@ TEST(Soak, ChurnUnderChaosLeaksNothing) {
     ASSERT_LE(gauges.affinity_cache_entries,
               kSharedKeys * static_cast<std::size_t>(context.device_count()))
         << "round " << rounds << ": affinity cache grew past the key set";
+    // Batching gauges: nothing may still be fused-in-flight after a
+    // drain, every formed batch carried at least two launches, and the
+    // totals only ever grow.
+    ASSERT_EQ(gauges.batches_inflight, 0u) << "round " << rounds;
+    ASSERT_GE(gauges.launches_batched_total, 2 * gauges.batches_formed_total)
+        << "round " << rounds << ": a \"batch\" with fewer than two launches";
+    ASSERT_GE(gauges.batches_formed_total, batches_formed_seen) << "round " << rounds;
+    batches_formed_seen = gauges.batches_formed_total;
     ++rounds;
   }
 
