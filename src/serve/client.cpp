@@ -88,6 +88,11 @@ Result<Client> Client::connect(const std::string& socket_path, const ClientOptio
   hello.u64(options.deadline_cycles);
   auto ack = client.round_trip(MsgType::kHello, hello.take());
   if (!ack.ok()) return ack.error();
+  if (ack.value().header.type != MsgType::kHelloAck) {
+    return Error{"expected hello ack, daemon sent " +
+                     std::string(to_string(ack.value().header.type)),
+                 "serve.client", ErrorCode::kSessionLost};
+  }
   WireReader reader(ack.value().payload);
   const std::uint32_t version = reader.u32();
   client.device_count_ = static_cast<int>(reader.u32());

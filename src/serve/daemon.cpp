@@ -24,6 +24,11 @@ void send_error_best_effort(int fd, std::uint64_t request_id, WireStatus status,
                    std::chrono::milliseconds(250));
 }
 
+/// Drain-mode gate: which request types create new work (and are refused
+/// while draining) vs. which collect or cancel existing work (and keep
+/// flowing so clients can harvest in-flight results). Exhaustive over
+/// MsgType so adding an enumerator forces a drain-policy decision here
+/// (-Wswitch and gpup-verify's protocol rule both trip on an omission).
 bool is_work_creating(MsgType type) {
   switch (type) {
     case MsgType::kCompile:
@@ -32,9 +37,21 @@ bool is_work_creating(MsgType type) {
     case MsgType::kLaunch:
     case MsgType::kRead:
       return true;
-    default:
+    case MsgType::kHello:     // session setup, creates no commands
+    case MsgType::kWait:      // harvests results — must survive drain
+    case MsgType::kCancel:    // sheds work — must survive drain
+    case MsgType::kMetrics:
+    case MsgType::kPing:
+    case MsgType::kHelloAck:  // responses: never dispatched as requests
+    case MsgType::kHandle:
+    case MsgType::kWaitDone:
+    case MsgType::kCancelAck:
+    case MsgType::kMetricsJson:
+    case MsgType::kPong:
+    case MsgType::kError:
       return false;
   }
+  return false;  // out-of-range wire value; Session rejects it as unknown
 }
 
 }  // namespace

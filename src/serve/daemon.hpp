@@ -68,10 +68,10 @@ class Daemon {
   [[nodiscard]] Status start();
 
   /// Graceful bounded drain (see file comment). Idempotent.
-  void drain();
+  void drain() GPUP_EXCLUDES(m_);
   /// Immediate teardown: zero grace, queued work cancelled, no stats
   /// flush. Idempotent; safe after drain().
-  void hard_stop();
+  void hard_stop() GPUP_EXCLUDES(m_);
 
   /// One metrics scrape: context gauges + per-tenant latency percentiles
   /// + daemon counters, as a single JSON object.
@@ -82,7 +82,7 @@ class Daemon {
   [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
   /// Live connection count (tests poll this to sequence storms).
-  [[nodiscard]] int live_sessions();
+  [[nodiscard]] int live_sessions() GPUP_EXCLUDES(m_);
 
  private:
   struct Conn {
@@ -92,14 +92,15 @@ class Daemon {
     std::atomic<bool> done{false};
   };
 
-  void accept_loop();
+  void accept_loop() GPUP_EXCLUDES(m_);
   void serve_connection(Conn* conn);
   /// Join and drop finished connections; with `all`, wait for every one.
-  void reap(bool all);
+  /// Takes m_ only to detach the dead list; the joins run unlocked.
+  void reap(bool all) GPUP_EXCLUDES(m_);
   /// Common tail of drain()/hard_stop(): stop accepting, shutdown
   /// sockets, join threads, settle the context. Returns false if another
   /// call already stopped the daemon.
-  bool stop_common();
+  bool stop_common() GPUP_EXCLUDES(m_);
 
   DaemonOptions options_;
   rt::Context context_;

@@ -80,6 +80,9 @@ Frame Session::handle_request(const Frame& request) {
     return make_error(id, WireStatus::kProtocolMismatch, ErrorCode::kInvalidArg,
                       "first request must be hello");
   }
+  // Exhaustive over MsgType: every enumerator names its disposition, so a
+  // new message type fails to compile (-Wswitch) and trips gpup-verify's
+  // protocol rule until someone decides what the session does with it.
   switch (request.header.type) {
     case MsgType::kCompile: return on_compile(request);
     case MsgType::kAlloc: return on_alloc(request);
@@ -88,11 +91,30 @@ Frame Session::handle_request(const Frame& request) {
     case MsgType::kRead: return on_read(request);
     case MsgType::kWait: return on_wait(request);
     case MsgType::kCancel: return on_cancel(request);
-    default:
+    case MsgType::kHello:
+      return on_hello(request);  // dispatched before the switch; kept for coverage
+    case MsgType::kMetrics:
+    case MsgType::kPing:
+      // The daemon answers these itself, before the session sees the frame
+      // (they must work even mid-drain). Reaching here means a caller
+      // bypassed that dispatch — refuse rather than silently double-serve.
       return make_error(id, WireStatus::kUnknownType, ErrorCode::kInvalidArg,
-                        "unknown request type " +
-                            std::to_string(static_cast<int>(request.header.type)));
+                        std::string(to_string(request.header.type)) +
+                            " is served by the daemon dispatch, not the session");
+    case MsgType::kHelloAck:
+    case MsgType::kHandle:
+    case MsgType::kWaitDone:
+    case MsgType::kCancelAck:
+    case MsgType::kMetricsJson:
+    case MsgType::kPong:
+    case MsgType::kError:
+      return make_error(id, WireStatus::kUnknownType, ErrorCode::kInvalidArg,
+                        std::string("response type ") + to_string(request.header.type) +
+                            " sent as a request");
   }
+  return make_error(id, WireStatus::kUnknownType, ErrorCode::kInvalidArg,
+                    "unknown request type " +
+                        std::to_string(static_cast<int>(request.header.type)));
 }
 
 int Session::cancel_all() {

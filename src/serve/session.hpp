@@ -36,12 +36,12 @@ class MetricsRegistry {
  public:
   static constexpr int kBuckets = 40;  ///< 2^40 us ≈ 12 days: effectively +inf
 
-  void record_latency(std::uint64_t tenant, std::uint64_t micros);
+  void record_latency(std::uint64_t tenant, std::uint64_t micros) GPUP_EXCLUDES(m_);
 
   /// Append `"tenants": {...}` (per-tenant count + p50/p90/p99 in
   /// microseconds) to a JSON string under construction. Tenants serialize
   /// in ascending id order (ordered map) so scrapes are deterministic.
-  void append_json(std::string& out) const;
+  void append_json(std::string& out) const GPUP_EXCLUDES(m_);
 
  private:
   struct Histogram {
@@ -74,16 +74,16 @@ class Session {
 
   /// Disconnect hook: cancel every still-queued command of this session's
   /// queue (running commands settle normally). Returns the cancel count.
-  int cancel_all();
+  [[nodiscard]] int cancel_all();
 
   [[nodiscard]] bool hello_done() const { return queue_.valid(); }
   [[nodiscard]] std::uint64_t tenant() const { return tenant_; }
 
   // ---- response builders (shared with the daemon's pre-session paths) --
-  static Frame make_response(MsgType type, std::uint64_t request_id,
-                             std::vector<std::uint8_t> payload);
-  static Frame make_error(std::uint64_t request_id, WireStatus status, ErrorCode code,
-                          const std::string& message);
+  [[nodiscard]] static Frame make_response(MsgType type, std::uint64_t request_id,
+                                           std::vector<std::uint8_t> payload);
+  [[nodiscard]] static Frame make_error(std::uint64_t request_id, WireStatus status,
+                                        ErrorCode code, const std::string& message);
 
  private:
   struct PendingEvent {

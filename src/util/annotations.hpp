@@ -11,7 +11,7 @@
 //     steady state, enforced by a checker instead of folklore). Setup
 //     work that legitimately allocates (launch-time reserves, MSHR
 //     waiter lists bounded by wavefront count) carries a
-//     `// gpup-lint: allow(hot-alloc) <reason>` comment; see
+//     `// gpup-lint: allow(<rule>) <reason>` comment (rule hot-alloc); see
 //     docs/static-analysis.md for the allowlist policy.
 #pragma once
 

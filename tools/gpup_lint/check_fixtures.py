@@ -3,8 +3,10 @@
 
 Each directory under fixtures/ is a miniature source tree holding exactly
 one violation of one rule (plus an allowlisted twin that must stay clean).
-For every fixture this driver runs gpup_lint with the fixture as --root
-and asserts:
+A fixture is checked by gpup_lint unless it carries a TOOL file naming
+`verify`, in which case gpup_verify (the whole-program superset) runs
+instead. For every fixture this driver runs the tool with the fixture as
+--root and asserts:
 
   * exit status 1 (the violation is flagged),
   * every substring listed in the fixture's EXPECT file appears in stdout
@@ -22,7 +24,17 @@ import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 LINT = os.path.join(HERE, "gpup_lint.py")
+VERIFY = os.path.join(HERE, "gpup_verify.py")
 FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def tool_for(root):
+    marker = os.path.join(root, "TOOL")
+    if os.path.exists(marker):
+        with open(marker, encoding="utf-8") as handle:
+            if handle.read().strip() == "verify":
+                return VERIFY
+    return LINT
 
 
 def read_expect(path):
@@ -50,7 +62,7 @@ def main():
     for name in names:
         root = os.path.join(FIXTURES, name)
         substrings, count = read_expect(os.path.join(root, "EXPECT"))
-        proc = subprocess.run([sys.executable, LINT, "--root", root],
+        proc = subprocess.run([sys.executable, tool_for(root), "--root", root],
                               capture_output=True, text=True, check=False)
         findings = [line for line in proc.stdout.splitlines() if line.strip()]
         if proc.returncode != 1:

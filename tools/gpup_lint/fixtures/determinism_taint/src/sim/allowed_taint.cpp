@@ -1,0 +1,26 @@
+// Allowlisted twin: the same pointer-derived flow, but into a debug-only
+// histogram that never feeds simulated results — the allow comment
+// carries that proof. Must stay clean.
+#include <cstdint>
+
+namespace gpup::sim {
+
+struct DebugCounters {
+  unsigned long long samples = 0;
+};
+
+class DebugDump {
+ public:
+  void observe(const void* buffer);
+
+ private:
+  DebugCounters counters_;
+};
+
+void DebugDump::observe(const void* buffer) {
+  const auto key = reinterpret_cast<std::uintptr_t>(buffer);
+  // gpup-lint: allow(det-taint) debug-only allocation histogram; never read by the simulator or any result path
+  counters_.samples += key & 1u;
+}
+
+}  // namespace gpup::sim

@@ -1,0 +1,27 @@
+// Fixture: a host pointer value flows into a simulated counter. The
+// line-regex wall-clock rule cannot see this (no clock call anywhere);
+// only taint tracking from the reinterpret_cast source to the counter
+// sink catches it.
+#include <cstdint>
+
+namespace gpup::sim {
+
+struct Counters {
+  unsigned long long retired = 0;
+};
+
+class Accounting {
+ public:
+  void observe(const void* buffer);
+
+ private:
+  Counters counters_;
+};
+
+void Accounting::observe(const void* buffer) {
+  const auto key = reinterpret_cast<std::uintptr_t>(buffer);
+  const auto bucket = key & 0xffu;
+  counters_.retired += bucket;
+}
+
+}  // namespace gpup::sim

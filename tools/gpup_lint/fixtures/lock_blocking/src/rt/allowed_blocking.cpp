@@ -1,0 +1,27 @@
+// Allowlisted twin: the same shape with its justification — a best-effort
+// goodbye frame on a teardown path where the lock is private to the dying
+// object and the write is bounded by a short deadline. Must stay clean.
+#include <chrono>
+
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::rt {
+
+class Farewell {
+ public:
+  void send_goodbye(const void* data, unsigned long size);
+
+ private:
+  util::Mutex m_;
+  int fd_ = -1;
+  unsigned long sent_ = 0;
+};
+
+void Farewell::send_goodbye(const void* data, unsigned long size) {
+  util::MutexLock lock(m_);
+  // gpup-lint: allow(lock-blocking) teardown-only goodbye; m_ is private to this dying object and the write is bounded by 250ms
+  write_all(fd_, data, size, std::chrono::milliseconds(250));
+  sent_ += size;
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,26 @@
+// Fixture: socket write held under a mutex. write_all() is a bounded-but-
+// blocking protocol primitive; performing it while holding m_ stalls every
+// other thread that needs the lock for the full IO timeout.
+#include <chrono>
+
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::rt {
+
+class Channel {
+ public:
+  void publish(const void* data, unsigned long size);
+
+ private:
+  util::Mutex m_;
+  int fd_ = -1;
+  unsigned long sent_ = 0;
+};
+
+void Channel::publish(const void* data, unsigned long size) {
+  util::MutexLock lock(m_);
+  write_all(fd_, data, size, std::chrono::milliseconds(250));
+  sent_ += size;
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,32 @@
+// Allowlisted twin: the same ABBA shape, but the out-of-order acquisition
+// carries an allow(lock-order) with its safety argument, which drops the
+// reverse edge (and the cycle) from the graph. Must stay clean.
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::rt {
+
+class PairB {
+ public:
+  void forward();
+  void backward();
+
+ private:
+  util::Mutex outer_;
+  util::Mutex inner_;
+  int value_ = 0;
+};
+
+void PairB::forward() {
+  util::MutexLock a(outer_);
+  util::MutexLock b(inner_);
+  ++value_;
+}
+
+void PairB::backward() {
+  util::MutexLock b(inner_);
+  // gpup-lint: allow(lock-order) outer_ is only ever try_lock'd on this path in the real code this models; documented deliberate exception
+  util::MutexLock a(outer_);
+  --value_;
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,31 @@
+// Fixture: ABBA lock-order cycle. first_then_second() establishes the
+// edge first_ -> second_; second_then_first() establishes the reverse
+// edge, closing a cycle gpup-verify must report as a potential deadlock.
+#include "src/util/annotated_mutex.hpp"
+
+namespace gpup::rt {
+
+class PairA {
+ public:
+  void first_then_second();
+  void second_then_first();
+
+ private:
+  util::Mutex first_;
+  util::Mutex second_;
+  int value_ = 0;
+};
+
+void PairA::first_then_second() {
+  util::MutexLock a(first_);
+  util::MutexLock b(second_);
+  ++value_;
+}
+
+void PairA::second_then_first() {
+  util::MutexLock b(second_);
+  util::MutexLock a(first_);
+  --value_;
+}
+
+}  // namespace gpup::rt

@@ -1,0 +1,23 @@
+// Client side of the fixture protocol: decodes both response types (the
+// dispatch-coverage rule requires it), and carries the allowlisted twin —
+// a deliberately partial WireStatus switch whose justification rides the
+// allow comment. Must stay clean.
+#include "src/serve/protocol.hpp"
+
+namespace gpup::serve {
+
+const char* describe(MsgType type) {
+  if (type == MsgType::kPong) return "pong";
+  if (type == MsgType::kDataAck) return "data_ack";
+  return "?";
+}
+
+bool is_ok(WireStatus status) {
+  // gpup-lint: allow(protocol) teardown path only cares about kOk; the dispatcher's switch is the exhaustive one
+  switch (status) {
+    case WireStatus::kOk: return true;
+    default: return false;
+  }
+}
+
+}  // namespace gpup::serve

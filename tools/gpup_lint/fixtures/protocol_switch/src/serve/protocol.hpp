@@ -1,0 +1,34 @@
+// Fixture protocol header: a miniature of the real wire contract, enough
+// for the exhaustiveness rule to extract ground truth.
+//
+//   offset  size  field
+//   0       4     magic
+//   4       4     payload_len
+#pragma once
+#include <cstdint>
+
+namespace gpup::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x47505550;
+inline constexpr std::uint32_t kHeaderBytes = 8;
+
+enum class MsgType : std::uint16_t {
+  // requests
+  kPing = 1,
+  kData = 2,
+  // responses
+  kPong = 100,
+  kDataAck = 101,
+};
+
+enum class WireStatus : std::uint16_t {
+  kOk = 0,
+  kBad = 1,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kUnknown = 0,
+  kInvalidArg = 1,
+};
+
+}  // namespace gpup::serve

@@ -1,0 +1,16 @@
+// Fixture: the dispatch switch misses the response enumerators and hides
+// the omission behind a default — the silent-swallow shape gpup-verify
+// must flag.
+#include "src/serve/protocol.hpp"
+
+namespace gpup::serve {
+
+int dispatch(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return 1;
+    case MsgType::kData: return 2;
+    default: return 0;
+  }
+}
+
+}  // namespace gpup::serve

@@ -18,11 +18,12 @@ tuned to this code base's invariants (see docs/static-analysis.md):
   hot-alloc       no heap allocation reachable from GPUP_HOT functions
                   (the simulator's per-cycle loop). Roots are functions
                   annotated GPUP_HOT (src/util/annotations.hpp); the check
-                  walks a textual call-graph closure over definitions in
-                  src/. Fixed-capacity containers (SortedUniqueBuf,
-                  FixedRing, std::array) are allocation-free by
-                  construction; launch-time setup allocations carry allow
-                  comments.
+                  walks a receiver-type-resolved call-graph closure over
+                  definitions in src/ (a call `cu.tick(...)` only reaches
+                  ComputeUnit::tick, not every `tick` in the tree).
+                  Fixed-capacity containers (SortedUniqueBuf, FixedRing,
+                  std::array) are allocation-free by construction;
+                  launch-time setup allocations carry allow comments.
   missing-guard   a field declared GPUP_GUARDED_BY(mu) may only be touched
                   in functions that visibly lock mu (util::MutexLock /
                   std::lock_guard / ...), are declared GPUP_REQUIRES(mu),
@@ -32,12 +33,18 @@ tuned to this code base's invariants (see docs/static-analysis.md):
                   more than once in the tree are skipped as ambiguous —
                   the clang analysis still covers them.
 
+The whole-program rule families (lock-order, lock-blocking, protocol,
+det-taint, stale-allow) live in gpup_verify.py, which runs everything in
+this module plus those; `--target verify` is a strict superset of
+`--target lint`.
+
 Allow comments:  // gpup-lint: allow(<rule>) <reason>
 A trailing comment covers its own line; a comment on a line of its own
 covers the next line that contains code. The reason is mandatory — a bare
 allow is itself reported.
 
-Pure Python 3 stdlib; no libclang. Exit status 0 = clean, 1 = findings,
+Pure Python 3 stdlib; no libclang required (gpup_verify can use the
+libclang bindings when present). Exit status 0 = clean, 1 = findings,
 2 = usage error.
 """
 
@@ -47,7 +54,14 @@ import os
 import re
 import sys
 
-RULES = ("wall-clock", "unordered-iter", "hot-alloc", "missing-guard")
+# Every rule an allow() comment may name. Rules after missing-guard are
+# implemented in gpup_verify.py; they are listed here so their allow
+# comments parse everywhere the shared allowlist machinery runs.
+RULES = ("wall-clock", "unordered-iter", "hot-alloc", "missing-guard",
+         "lock-order", "lock-blocking", "protocol", "det-taint")
+
+# Rules this module's CLI can run on its own.
+LINT_RULES = ("wall-clock", "unordered-iter", "hot-alloc", "missing-guard")
 
 # Rules scoped to determinism-critical directories (relative to --root).
 DETERMINISM_DIRS = (os.path.join("src", "sim"), os.path.join("src", "rt"))
@@ -99,6 +113,42 @@ HOT_DECL_RE = re.compile(r"GPUP_HOT\b([^(;{]*)\(")
 
 CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
 DEF_HEAD_RE = re.compile(r"\b((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\(")
+CLASS_RE = re.compile(r"\b(?<!enum )(?:class|struct)\s+([A-Za-z_]\w*)\s*"
+                      r"(?:final\s*)?(?::[^{;]*)?\{")
+MEMBER_CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+# `Type name` declarations: a (possibly qualified, possibly templated)
+# type followed by a plain identifier and a declarator terminator. Used
+# only to resolve member-call receivers; a miss costs precision, never
+# soundness (unresolved receivers stay conservative).
+VAR_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*"
+    r"(?:<([^<>;(){}]*)>)?\s*[&\*]*\s+([A-Za-z_]\w*)\s*[;={(,)]"
+)
+
+# Wrapper templates to see through when resolving a receiver's type:
+# `shared_ptr<EventState> state` makes `state->m` an EventState member.
+TYPE_WRAPPERS = {"shared_ptr", "unique_ptr", "weak_ptr", "optional",
+                 "reference_wrapper", "atomic"}
+
+
+def _decl_type(match):
+    """Unqualified type name of a VAR_DECL_RE match, unwrapping smart
+    pointers to their pointee."""
+    type_name = match.group(1).split("::")[-1]
+    inner = match.group(2)
+    if type_name in TYPE_WRAPPERS and inner:
+        head = inner.split(",")[0].strip()
+        head = re.match(r"(?:const\s+)?([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)", head)
+        if head:
+            type_name = head.group(1).split("::")[-1]
+    return type_name
+
+NOT_A_TYPE = {"return", "co_return", "co_yield", "delete", "case", "goto",
+              "new", "throw", "else", "typename", "const", "constexpr",
+              "static", "inline", "mutable", "explicit", "virtual", "auto",
+              "using", "struct", "class", "public", "private", "protected",
+              "if", "while", "for", "switch", "do", "break", "continue",
+              "default", "template", "operator", "sizeof", "namespace"}
 
 
 class SourceFile:
@@ -113,9 +163,29 @@ class SourceFile:
         # line number (1-based) -> set of allowed rules; bad allows collected
         # as findings by the caller.
         self.allow, self.allow_errors = parse_allows(self.raw_lines)
+        # (line_no, rule) pairs that actually suppressed a finding — the
+        # stale-allow rule (gpup_verify) reports allow entries never used.
+        self.allow_used = set()
+        self._class_spans = None
 
     def allowed(self, line_no, rule):
-        return rule in self.allow.get(line_no, ())
+        hit = rule in self.allow.get(line_no, ())
+        if hit:
+            self.allow_used.add((line_no, rule))
+        return hit
+
+    def class_spans(self):
+        if self._class_spans is None:
+            self._class_spans = extract_class_spans(self.code)
+        return self._class_spans
+
+    def enclosing_class(self, offset):
+        """Innermost class/struct name containing the given code offset."""
+        best = None
+        for name, start, end in self.class_spans():
+            if start <= offset < end and (best is None or start > best[1]):
+                best = (name, start)
+        return best[0] if best else None
 
 
 def strip_comments_and_strings(text):
@@ -190,6 +260,31 @@ def parse_allows(raw_lines):
     return allow, errors
 
 
+def iter_allow_entries(src):
+    """Yield (line_no, rule, covered_line) for each well-formed allow
+    comment in the file — the unit the stale-allow rule audits."""
+    for idx, line in enumerate(src.raw_lines):
+        match = ALLOW_RE.search(line)
+        if not match:
+            continue
+        rule = match.group(1)
+        if rule not in RULES or not match.group(2).strip():
+            continue  # already an allow-syntax finding
+        line_no = idx + 1
+        if line.strip().startswith("//"):
+            covered = None
+            for j in range(idx + 1, len(src.raw_lines)):
+                candidate = src.raw_lines[j].strip()
+                if candidate and not candidate.startswith("//"):
+                    covered = j + 1
+                    break
+            if covered is None:
+                continue
+        else:
+            covered = line_no
+        yield line_no, rule, covered
+
+
 def match_paren(text, open_idx):
     """Index just past the ')' matching the '(' at open_idx, or -1."""
     depth = 0
@@ -216,19 +311,78 @@ def match_brace(text, open_idx):
     return -1
 
 
+def extract_class_spans(code):
+    """(name, body_start, body_end) for every class/struct body."""
+    spans = []
+    for match in CLASS_RE.finditer(code):
+        open_idx = match.end() - 1
+        end = match_brace(code, open_idx)
+        if end > 0:
+            spans.append((match.group(1), open_idx, end))
+    return spans
+
+
 class FunctionDef:
-    def __init__(self, name, src, body_start, body_end, noreturn):
-        self.name = name          # unqualified name
-        self.src = src            # SourceFile
+    def __init__(self, name, cls, src, head_start, params_text, body_start,
+                 body_end, noreturn, ret=None):
+        self.name = name              # unqualified name
+        self.cls = cls                # enclosing/qualifying class, or None
+        self.src = src                # SourceFile
+        self.head_start = head_start  # offset of the name token in src.code
+        self.params_text = params_text
         self.body_start = body_start  # offset of '{' in src.code
         self.body_end = body_end      # offset past matching '}'
         self.noreturn = noreturn
+        self.ret = ret                # unqualified return type name, or None
+        self._types = None
+        self._callables = None
 
     def body(self):
         return self.src.code[self.body_start:self.body_end]
 
     def body_first_line(self):
         return self.src.code.count("\n", 0, self.body_start) + 1
+
+    def head_line(self):
+        return self.src.code.count("\n", 0, self.head_start) + 1
+
+    def qualified(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def local_types(self, member_types=None):
+        """identifier -> unqualified type name, from parameters and local
+        declarations (plus the enclosing class's member fields when given).
+        Names bound to more than one type resolve to None (ambiguous)."""
+        if self._types is None:
+            types = {}
+            for text in (self.params_text, self.body()):
+                for match in VAR_DECL_RE.finditer(text):
+                    type_name = _decl_type(match)
+                    var = match.group(3)
+                    if type_name in NOT_A_TYPE or var in NOT_A_TYPE:
+                        continue
+                    if var in types and types[var] != type_name:
+                        types[var] = None
+                    else:
+                        types[var] = type_name
+            self._types = types
+        merged = dict(member_types or {})
+        merged.update(self._types)
+        return merged
+
+    def callable_returns(self):
+        """var -> unqualified return type, for std::function-typed
+        parameters/locals (`std::function<Result<T>()> make` means
+        `make()` yields a Result)."""
+        if self._callables is None:
+            callables = {}
+            for text in (self.params_text, self.body()):
+                for match in re.finditer(
+                        r"\bfunction\s*<\s*([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)"
+                        r"[^;{}]*?>\s*&?\s*([A-Za-z_]\w*)", text):
+                    callables[match.group(2)] = match.group(1).split("::")[-1]
+            self._callables = callables
+        return self._callables
 
 
 def extract_functions(src):
@@ -244,13 +398,15 @@ def extract_functions(src):
         match = DEF_HEAD_RE.search(code, pos)
         if not match:
             break
-        name = match.group(1).split("::")[-1].strip()
+        qualified = match.group(1)
+        name = qualified.split("::")[-1].strip()
         pos = match.end()
         if name in CPP_KEYWORDS or name.startswith("~"):
             continue
         close = match_paren(code, match.end() - 1)
         if close < 0:
             continue
+        params_text = code[match.end():close - 1]
         # Skip qualifiers between the parameter list and the body.
         i = close
         while i < len(code):
@@ -263,6 +419,18 @@ def extract_functions(src):
                                  stripped)
                 i += skipped + token.end()
                 # noexcept(...) / attribute-style parens
+                rest = code[i:].lstrip()
+                if rest.startswith("("):
+                    open_idx = code.index("(", i)
+                    nested = match_paren(code, open_idx)
+                    if nested < 0:
+                        break
+                    i = nested
+            elif stripped.startswith("GPUP_"):
+                # Thread-safety annotation macro, possibly with arguments:
+                # GPUP_REQUIRES(mu), GPUP_EXCLUDES(a, b), ...
+                macro = re.match(r"GPUP_[A-Z_]*", stripped)
+                i += skipped + macro.end()
                 rest = code[i:].lstrip()
                 if rest.startswith("("):
                     open_idx = code.index("(", i)
@@ -287,9 +455,249 @@ def extract_functions(src):
             continue
         look_back = code[max(0, match.start() - 200):match.start()]
         noreturn = "[[noreturn]]" in look_back
-        functions.append(FunctionDef(name, src, i, end, noreturn))
+        # Return type: the head segment between the previous statement end
+        # and the (qualified) name. `Result<T> DevicePool::place(` -> Result.
+        head = re.split(r"[;{}]", look_back)[-1]
+        head = re.sub(r"\[\[[^\]]*\]\]", " ", head)
+        head = re.sub(r"\b(?:static|inline|constexpr|virtual|explicit|"
+                      r"friend|extern|const|typename)\b", " ", head)
+        ret_match = re.match(r"\s*([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)"
+                             r"\s*(?:<[^;{}]*>)?\s*[&\s\*]*$", head)
+        ret = ret_match.group(1).split("::")[-1] if ret_match else None
+        parts = [p.strip() for p in qualified.split("::") if p.strip()]
+        cls = parts[-2] if len(parts) >= 2 else src.enclosing_class(match.start())
+        functions.append(FunctionDef(name, cls, src, match.start(), params_text,
+                                     i, end, noreturn, ret))
         pos = i + 1  # also scan inside the body (local structs, etc.)
     return functions
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    def __init__(self, name, receiver, qualifier, offset):
+        self.name = name          # callee name
+        self.receiver = receiver  # `x` of `x.name(` / `x->name(`, or None
+        self.qualifier = qualifier  # `C` of `C::name(`, or None
+        self.offset = offset      # offset in the enclosing body text
+
+
+def extract_calls(body):
+    """All call sites in a body, with receiver / qualifier context."""
+    calls = []
+    for match in CALL_RE.finditer(body):
+        name = match.group(1)
+        if name in CPP_KEYWORDS:
+            continue
+        before = body[:match.start()].rstrip()
+        receiver = qualifier = None
+        if before.endswith("::"):
+            qual = re.search(r"([A-Za-z_]\w*)\s*::$", before)
+            if qual:
+                qualifier = qual.group(1)
+            else:
+                continue  # `::foo(` — global-namespace (OS) call
+        elif before.endswith(".") or before.endswith("->"):
+            stem = before[:-2] if before.endswith("->") else before[:-1]
+            recv = re.search(r"([A-Za-z_]\w*)\s*$", stem.rstrip())
+            receiver = recv.group(1) if recv else "<expr>"
+        calls.append(CallSite(name, receiver, qualifier, match.start()))
+    return calls
+
+
+def top_level_calls(expr):
+    """(name, depth0_prefix) for each call at parenthesis depth 0 of expr,
+    in order — nested argument calls are invisible, so the result is the
+    outer call chain of the expression."""
+    calls = []
+    depth = 0
+    buf = []
+    for ch in expr:
+        if ch == "(":
+            if depth == 0:
+                text = "".join(buf)
+                name = re.search(r"([A-Za-z_]\w*)\s*$", text)
+                if name:
+                    calls.append((name.group(1), text[:name.start()]))
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            buf.append(ch)
+    return calls
+
+
+def collect_member_types(files):
+    """class -> {field: unqualified type} from every class/struct body.
+    A field name bound to more than one type within a class maps to None."""
+    member_types = {}
+    for src in files:
+        for name, start, end in src.class_spans():
+            fields = member_types.setdefault(name, {})
+            for match in VAR_DECL_RE.finditer(src.code[start:end]):
+                type_name = _decl_type(match)
+                var = match.group(3)
+                if type_name in NOT_A_TYPE or var in NOT_A_TYPE:
+                    continue
+                if var in fields and fields[var] != type_name:
+                    fields[var] = None
+                else:
+                    fields[var] = type_name
+    return member_types
+
+
+class CallGraph:
+    """Receiver-type-resolved call graph over a set of FunctionDefs.
+
+    A call only reaches the definitions it can plausibly name:
+      * `C::f(...)`      -> C::f
+      * `x.f(...)`       -> T::f where T is x's declared type (when the
+                            declaration is visible); unresolvable
+                            receivers stay conservative (every f);
+      * `f(...)`/`this->` -> the enclosing class's f, else the free f,
+                            else every f (conservative).
+    """
+
+    def __init__(self, files, in_scope):
+        self.defs = []
+        self.by_name = {}
+        self.by_cls_name = {}
+        self.member_types = collect_member_types(files)
+        self.known_classes = set(self.member_types)
+        self._overlays = {}
+        for src in files:
+            if not in_scope(src.rel):
+                continue
+            for fn in extract_functions(src):
+                self.defs.append(fn)
+                self.by_name.setdefault(fn.name, []).append(fn)
+                if fn.cls:
+                    self.by_cls_name.setdefault((fn.cls, fn.name), []).append(fn)
+                else:
+                    self.by_cls_name.setdefault((None, fn.name), []).append(fn)
+
+    # A type we positively traced into a class whose method is outside the
+    # analysis scope: the receiver is NOT one of our in-scope classes, so
+    # same-named in-scope methods must not be pulled in conservatively.
+    EXTERNAL = "?external"
+
+    def expr_type(self, expr, fn, types):
+        """Type of a call-chain expression (`pool.gpu(d).try_alloc(n)`),
+        evaluated left to right through definition return types."""
+        chain = top_level_calls(expr)
+        if not chain:
+            # Pure member chain: `context_->devices_` types through fields.
+            tokens = [t.strip().lstrip("*&") for t in re.split(r"->|\.", expr.strip())]
+            if not tokens or not all(re.fullmatch(r"[A-Za-z_]\w*", t)
+                                     for t in tokens):
+                return None
+            current = (fn.cls if tokens[0] == "this"
+                       else types.get(tokens[0]))
+            for token in tokens[1:]:
+                if current is None or current == self.EXTERNAL:
+                    return current
+                current = self.member_types.get(current, {}).get(token)
+            return current
+        current = None
+        for index, (name, prefix) in enumerate(chain):
+            recv_match = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*$", prefix)
+            if recv_match is None:
+                # Bare call: a callable variable, a constructor expression,
+                # or an in-scope function.
+                callable_ret = fn.callable_returns().get(name)
+                if callable_ret:
+                    current = callable_ret
+                    continue
+                if name in self.known_classes:
+                    current = name
+                    continue
+                target = (self.by_cls_name.get((fn.cls, name))
+                          or self.by_cls_name.get((None, name)))
+                current = target[0].ret if target and target[0].ret else None
+                if current is None:
+                    return None
+                continue
+            recv = recv_match.group(1)
+            if index > 0 and recv == chain[index - 1][0]:
+                rtype = current  # chained onto the previous call's result
+            elif recv == "this":
+                rtype = fn.cls
+            else:
+                rtype = types.get(recv)
+            if rtype == self.EXTERNAL:
+                return self.EXTERNAL
+            if rtype is None:
+                return None
+            target = self.by_cls_name.get((rtype, name))
+            if target and target[0].ret:
+                current = target[0].ret
+            elif rtype in self.known_classes:
+                current = self.EXTERNAL
+            else:
+                return None
+        return current
+
+    def auto_overlay(self, fn):
+        """var -> inferred type for `auto var = <call chain>;` bindings."""
+        if id(fn) not in self._overlays:
+            overlay = {}
+            types = fn.local_types(self.member_types.get(fn.cls))
+            for match in re.finditer(
+                    r"\bauto\s*[&\*]*\s+(\w+)\s*=\s*([^;]+?)\s*;", fn.body()):
+                merged = dict(types)
+                merged.update(overlay)
+                inferred = self.expr_type(match.group(2), fn, merged)
+                if inferred:
+                    overlay[match.group(1)] = inferred
+            self._overlays[id(fn)] = overlay
+        return self._overlays[id(fn)]
+
+    def resolve(self, call, fn):
+        """Candidate definitions a call site may reach."""
+        if call.qualifier is not None:
+            return self.by_cls_name.get((call.qualifier, call.name), [])
+        if call.receiver is not None:
+            if call.receiver == "this":
+                exact = self.by_cls_name.get((fn.cls, call.name))
+                return exact if exact else self.by_name.get(call.name, [])
+            types = fn.local_types(self.member_types.get(fn.cls))
+            types.update(self.auto_overlay(fn))
+            rtype = types.get(call.receiver)
+            if rtype == self.EXTERNAL:
+                return []
+            if rtype:
+                exact = self.by_cls_name.get((rtype, call.name))
+                if exact:
+                    return exact
+                if rtype in self.known_classes:
+                    # Known class without such a member in scope: the call
+                    # targets code outside the analysis scope (layering) —
+                    # not a reason to pull in same-named strangers.
+                    return []
+                return []  # std:: / external type: no in-scope definition
+            return self.by_name.get(call.name, [])  # unresolved: conservative
+        exact = self.by_cls_name.get((fn.cls, call.name))
+        if exact:
+            return exact
+        free = self.by_cls_name.get((None, call.name))
+        if free:
+            return free
+        return self.by_name.get(call.name, [])
+
+    def reachable(self, roots):
+        """Transitive closure (set of FunctionDefs) from root defs."""
+        seen = set()
+        frontier = list(roots)
+        while frontier:
+            fn = frontier.pop()
+            if id(fn) in seen or fn.noreturn:
+                continue
+            seen.add(id(fn))
+            for call in extract_calls(fn.body()):
+                for callee in self.resolve(call, fn):
+                    if id(callee) not in seen:
+                        frontier.append(callee)
+        return seen
 
 
 # ---------------------------------------------------------------------------
@@ -318,33 +726,96 @@ def check_wall_clock(files, findings):
                              "not depend on the host)"))
 
 
+def _container_decl_names(files, head_re):
+    """(enclosing_class_or_None, name) for every declaration whose type
+    matches head_re (which must end at the opening '<'), collected
+    tree-wide with balanced angle-bracket matching — members are declared
+    in headers, iterated in .cpp files, and declarations wrap across
+    lines and carry GPUP_GUARDED_BY suffixes."""
+    decls = set()
+    for src in files:
+        code = src.code
+        for match in head_re.finditer(code):
+            i = match.end() - 1
+            depth = 0
+            j = i
+            while j < len(code):
+                if code[j] == "<":
+                    depth += 1
+                elif code[j] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if j >= len(code):
+                continue
+            tail = code[j + 1:j + 200]
+            decl = re.match(
+                r"\s*&?\s*(\w+)\s*(?:GPUP_\w+\([^)]*\)\s*)?[;={,)]", tail)
+            if decl:
+                decls.add((src.enclosing_class(match.start()), decl.group(1)))
+    return decls
+
+
+UNORDERED_HEAD_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+ORDERED_HEAD_RE = re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset|"
+                             r"vector|deque|list|array)\s*<")
+ITER_EXPR_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*(?:\.|->)\s*)?([A-Za-z_]\w*)\s*$")
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*&?\s*([^)]+?)\s*\)")
+BEGIN_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:\.|->)\s*)?[A-Za-z_]\w*)\s*"
+    r"(?:\.|->)\s*(?:c|r|cr)?begin\s*\(")
+
+
 def check_unordered_iter(files, findings):
+    decls = _container_decl_names(files, UNORDERED_HEAD_RE)
+    if not decls:
+        return
+    unordered_names = {name for _, name in decls}
+    # A name also declared with an ordered/sequence container elsewhere is
+    # ambiguous: flag it only when the owning class resolves positively.
+    ordered_names = {name for _, name in _container_decl_names(files, ORDERED_HEAD_RE)}
+    ambiguous = unordered_names & ordered_names
+
+    member_types = collect_member_types(files)
+
+    def is_unordered(expr, fn):
+        match = ITER_EXPR_RE.search(expr.strip())
+        if not match:
+            return None
+        receiver, name = match.group(1), match.group(2)
+        if name not in unordered_names:
+            return None
+        if receiver is None or receiver == "this":
+            if (fn.cls, name) in decls or (None, name) in decls:
+                return name
+        else:
+            types = fn.local_types(member_types.get(fn.cls))
+            rtype = types.get(receiver)
+            if rtype:
+                return name if (rtype, name) in decls else None
+        return name if name not in ambiguous else None
+
     for src in files:
         if not in_determinism_scope(src.rel):
             continue
-        names = set()
-        for line in src.code_lines:
-            for match in re.finditer(r"\bunordered_(?:map|set|multimap|multiset)\s*<", line):
-                tail = line[match.start():]
-                decl = re.search(r">\s*&?\s*(\w+)\s*[;={(]", tail)
-                if decl:
-                    names.add(decl.group(1))
-        if not names:
-            continue
-        name_alt = "|".join(sorted(names))
-        range_for = re.compile(r"for\s*\([^;)]*:\s*&?\s*(?:\w+(?:\.|->))*(" + name_alt + r")\b")
-        begin_call = re.compile(r"\b(" + name_alt + r")\s*(?:\.|->)\s*(?:c|r|cr)?begin\s*\(")
-        for idx, line in enumerate(src.code_lines):
-            match = range_for.search(line) or begin_call.search(line)
-            if not match:
-                continue
-            line_no = idx + 1
-            if src.allowed(line_no, "unordered-iter"):
-                continue
-            findings.append((src.rel, line_no, "unordered-iter",
-                             f"iteration over unordered container '{match.group(1)}' "
-                             "(hash-order is unspecified; sort first or prove the "
-                             "fold order-independent and allowlist it)"))
+        for fn in extract_functions(src):
+            body = fn.body()
+            first_line = fn.body_first_line()
+            sites = [(m.start(), m.group(1)) for m in RANGE_FOR_RE.finditer(body)]
+            sites += [(m.start(), m.group(1)) for m in BEGIN_CALL_RE.finditer(body)]
+            for offset, expr in sites:
+                name = is_unordered(expr, fn)
+                if name is None:
+                    continue
+                line_no = first_line + body.count("\n", 0, offset)
+                if src.allowed(line_no, "unordered-iter"):
+                    continue
+                findings.append((src.rel, line_no, "unordered-iter",
+                                 f"iteration over unordered container '{name}' "
+                                 "(hash-order is unspecified; sort first or prove "
+                                 "the fold order-independent and allowlist it)"))
 
 
 def collect_fixed_capacity_names(files):
@@ -367,57 +838,38 @@ def collect_fixed_capacity_names(files):
     return safe
 
 
-def check_hot_alloc(files, findings):
-    # Roots: names declared with GPUP_HOT anywhere.
-    roots = set()
+def hot_roots(files, graph):
+    """FunctionDefs the GPUP_HOT declarations resolve to."""
+    roots = []
     for src in files:
         for match in HOT_DECL_RE.finditer(src.code):
             tokens = re.findall(r"[A-Za-z_]\w*", match.group(1))
-            if tokens:
-                roots.add(tokens[-1])
-    if not roots:
-        return
+            if not tokens:
+                continue
+            name = tokens[-1]
+            cls = src.enclosing_class(match.start())
+            exact = graph.by_cls_name.get((cls, name)) if cls else None
+            roots.extend(exact if exact else graph.by_name.get(name, []))
+    return roots
 
+
+def in_hot_scope(rel):
     # The closure stays inside the simulator and its utilities: GPUP_HOT
     # marks the per-cycle loop, and layering runs rt -> sim, never back.
-    # Following same-named rt/ functions (command submission, settling)
-    # would only add noise.
-    def in_hot_scope(rel):
-        rel = rel.replace(os.sep, "/")
-        return rel.startswith("src/sim/") or rel.startswith("src/util/")
+    rel = rel.replace(os.sep, "/")
+    return rel.startswith("src/sim/") or rel.startswith("src/util/")
 
-    defs_by_name = {}
-    all_defs = []
-    for src in files:
-        if not in_hot_scope(src.rel):
-            continue
-        for fn in extract_functions(src):
-            defs_by_name.setdefault(fn.name, []).append(fn)
-            all_defs.append(fn)
 
-    # Textual call-graph closure from the hot roots. Conservative: a call
-    # site `foo(` reaches every definition named foo in the tree.
-    reachable_names = set()
-    frontier = sorted(roots)
-    while frontier:
-        name = frontier.pop()
-        if name in reachable_names:
-            continue
-        reachable_names.add(name)
-        for fn in defs_by_name.get(name, ()):
-            if fn.noreturn:
-                continue  # cold path: trap/abort helpers
-            for call in CALL_RE.finditer(fn.body()):
-                callee = call.group(1)
-                if callee in CPP_KEYWORDS or callee in reachable_names:
-                    continue
-                if callee in defs_by_name:
-                    frontier.append(callee)
-
+def check_hot_alloc(files, findings):
+    graph = CallGraph(files, in_hot_scope)
+    roots = hot_roots(files, graph)
+    if not roots:
+        return
+    reachable = graph.reachable(roots)
     safe_receivers = collect_fixed_capacity_names(files)
 
-    for fn in all_defs:
-        if fn.name not in reachable_names or fn.noreturn:
+    for fn in graph.defs:
+        if id(fn) not in reachable or fn.noreturn:
             continue
         first_line = fn.body_first_line()
         for offset, line in enumerate(fn.body().splitlines()):
@@ -436,9 +888,9 @@ def check_hot_alloc(files, findings):
                 continue
             findings.append((fn.src.rel, line_no, "hot-alloc",
                              f"heap allocation '{hit}' reachable from GPUP_HOT "
-                             f"roots (via '{fn.name}'); hoist to setup, use a "
-                             "fixed-capacity container, or allowlist with a "
-                             "bounded-capacity argument"))
+                             f"roots (via '{fn.qualified()}'); hoist to setup, "
+                             "use a fixed-capacity container, or allowlist with "
+                             "a bounded-capacity argument"))
 
 
 def check_missing_guard(files, findings):
@@ -560,24 +1012,9 @@ def gather_files(root, compile_commands, explicit):
     return files
 
 
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", default=".",
-                        help="repository root; rules scope paths relative to it")
-    parser.add_argument("--compile-commands", default=None,
-                        help="compile_commands.json; adds its src/ translation "
-                             "units to the linted set")
-    parser.add_argument("--rule", action="append", choices=RULES,
-                        help="run only the given rule(s); default: all")
-    parser.add_argument("paths", nargs="*",
-                        help="explicit files to lint (default: all of <root>/src)")
-    args = parser.parse_args(argv)
-
-    root = os.path.abspath(args.root)
-    files = gather_files(root, args.compile_commands, args.paths)
-    rules = tuple(args.rule) if args.rule else RULES
-
-    findings = []
+def run_lint_rules(files, rules, findings):
+    """Run the lint-layer rules over already-gathered files, appending
+    (rel, line, rule, message) tuples. Shared with gpup_verify."""
     for src in files:
         for line_no, message in src.allow_errors:
             findings.append((src.rel, line_no, "allow-syntax", message))
@@ -590,7 +1027,28 @@ def main(argv):
     if "missing-guard" in rules:
         check_missing_guard(files, findings)
 
-    findings.sort()
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root; rules scope paths relative to it")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json; adds its src/ translation "
+                             "units to the linted set")
+    parser.add_argument("--rule", action="append", choices=LINT_RULES,
+                        help="run only the given rule(s); default: all")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint (default: all of <root>/src)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    files = gather_files(root, args.compile_commands, args.paths)
+    rules = tuple(args.rule) if args.rule else LINT_RULES
+
+    findings = []
+    run_lint_rules(files, rules, findings)
+
+    findings = sorted(set(findings))
     for rel, line_no, rule, message in findings:
         print(f"{rel}:{line_no}: [{rule}] {message}")
     if findings:

@@ -1,0 +1,1064 @@
+#!/usr/bin/env python3
+"""gpup-verify: whole-program checking on top of gpup_lint.
+
+Runs everything gpup_lint runs (wall-clock, unordered-iter, hot-alloc,
+missing-guard) plus four whole-program rule families the per-line engine
+cannot express:
+
+  lock-order      Extracts the mutex-acquisition graph across src/rt +
+                  src/serve: every `util::MutexLock`/`lock_guard` site,
+                  seeded by GPUP_REQUIRES annotations and closed over the
+                  receiver-type-resolved call graph, produces
+                  held -> acquired edges. A cycle in that graph is a
+                  potential ABBA deadlock and fails the build. Calling a
+                  function annotated GPUP_EXCLUDES(mu) while mu is held is
+                  reported by the same rule. `--emit-lock-table` prints
+                  the canonical acquisition-order table (docs/
+                  static-analysis.md carries it; `--check-lock-table`
+                  asserts the doc is current).
+  lock-blocking   No lock may be held across a blocking operation:
+                  socket I/O (read_exact / write_all / send_frame /
+                  recv_frame / transfer_all / poll / accept / connect),
+                  Event::wait*, thread join, sleeps. A CondVar wait
+                  releases exactly the mutex it waits on, so waiting is
+                  legal only when that is the sole lock held. The check
+                  is interprocedural: holding a lock while calling a
+                  function that may block (transitively) is a finding.
+  protocol        The serve wire protocol's enums (MsgType, WireStatus,
+                  ErrorCode) are extracted from their definitions; every
+                  `switch` over one of them must name every enumerator —
+                  a `default:` is permitted only on top of full coverage
+                  (it then guards hostile out-of-range wire values, not
+                  forgotten enumerators). Every request MsgType must be
+                  mentioned by the daemon/session dispatch and every
+                  response MsgType by the client decode; the header
+                  layout table in protocol.hpp must sum to kHeaderBytes;
+                  every serve-layer `max_payload` default must name
+                  kDefaultMaxPayload; the magic constant may exist only
+                  in protocol.hpp.
+  det-taint       Determinism taint in src/sim + src/rt: values derived
+                  from pointer identity (reinterpret_cast / uintptr_t
+                  casts / std::hash of a pointer) or host time must not
+                  flow (through local assignments, tracked to fixpoint)
+                  into result-affecting sinks — schedule_key inputs,
+                  simulated counters, error strings. Iterating an
+                  unordered container into an ordered output (push_back
+                  of the element) is the same bug by another route and
+                  is reported here.
+  stale-allow     After all rules run, any `gpup-lint: allow(...)` entry
+                  that suppressed nothing is dead and must be deleted —
+                  the allowlists can only shrink. `--check-allow-budget`
+                  additionally pins the per-rule allow counts to
+                  tools/gpup_lint/allow_budget.json so growth (or an
+                  un-recorded shrink) fails CI.
+
+Engine: pure-Python textual analysis by default. When the libclang Python
+bindings are importable (CI installs them; developer machines need not),
+`--engine auto` additionally harvests the clang AST call graph from
+compile_commands.json and uses those edges where available, falling back
+to the textual resolver per function. Any libclang failure degrades to
+the textual engine with a note — `ctest` stays green on any host.
+
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gpup_lint as gl  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+LOCK_DIRS = (os.path.join("src", "rt"), os.path.join("src", "serve"))
+SERVE_DIR = os.path.join("src", "serve")
+
+
+def in_lock_scope(rel):
+    rel = rel.replace(os.sep, "/")
+    return rel.startswith("src/rt/") or rel.startswith("src/serve/")
+
+
+def in_serve_scope(rel):
+    return rel.replace(os.sep, "/").startswith("src/serve/")
+
+
+# ---------------------------------------------------------------------------
+# Lock-order / lock-blocking analysis
+# ---------------------------------------------------------------------------
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:util\s*::\s*|std\s*::\s*)?"
+    r"(?:MutexLock|lock_guard|scoped_lock|unique_lock)\b"
+    r"(?:\s*<[^>]*>)?\s+(\w+)\s*[({]"
+)
+
+# Functions that block the calling thread. OS socket calls (::accept4,
+# ::connect, ::poll) are written qualified in this tree and the textual
+# call extractor treats `::name(` as out of scope, so only the project's
+# own blocking wrappers are listed. `wait`/`wait_for`/`wait_until` with a
+# receiver become WAIT events instead (CondVar vs. generic blocking is
+# decided by whether the waited mutex is held).
+BLOCKING_NAMES = {
+    "read_exact", "write_all", "send_frame", "recv_frame", "transfer_all",
+    "sleep_for", "sleep_until", "join", "wait", "wait_for", "wait_until",
+}
+
+WAIT_NAMES = ("wait", "wait_for", "wait_until")
+
+MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "timed_mutex"}
+
+
+class LockEvent:
+    """One event in a function body, in source order."""
+
+    ACQUIRE = "acquire"      # MutexLock var(expr) / var.lock()
+    RELEASE = "release"      # var.unlock()
+    SCOPE_END = "scope_end"  # end of a lock's enclosing scope
+    CALL = "call"            # any call site
+    WAIT = "wait"            # x.wait(mutex) / x.wait_for(mutex, ...)
+
+    def __init__(self, kind, offset, **kw):
+        self.kind = kind
+        self.offset = offset
+        self.__dict__.update(kw)
+
+
+class LockAnalysis:
+    """Builds the mutex-acquisition graph and blocking-under-lock findings.
+
+    Mutex identity is `OwnerClass::member` when the owner is resolvable
+    (receiver type, enclosing class, or a tree-wide unique declaration) and
+    the bare accessor/field name otherwise; a free accessor like
+    `graph_mutex()` keeps its global name so every site agrees.
+    """
+
+    def __init__(self, files, findings):
+        self.files = files
+        self.findings = findings
+        self.member_types = gl.collect_member_types(files)
+        # Classes declaring a mutex-typed field of a given name; used to
+        # resolve `device.cache_mutex` when `device` is an `auto&`.
+        self.mutex_owners = {}
+        for cls, fields in self.member_types.items():
+            for field, ftype in fields.items():
+                if ftype in MUTEX_TYPES:
+                    self.mutex_owners.setdefault(field, set()).add(cls)
+        self.graph = gl.CallGraph(files, in_lock_scope)
+        # Free functions (no class) that exist in scope — a bare name that
+        # is one of these keeps its global identity (e.g. graph_mutex()).
+        self.free_names = {fn.name for fn in self.graph.defs if fn.cls is None}
+        self.requires, self.excludes = self._collect_annotations()
+        self.events = {id(fn): self._scan(fn) for fn in self.graph.defs}
+        self.may_acquire = self._closure(self._direct_acquires())
+        self.may_block = self._closure(self._direct_blocks())
+        # (held, acquired) -> (rel, line) of the first site that created it
+        self.edges = {}
+
+    # -- identities ---------------------------------------------------------
+
+    def normalize(self, expr, fn):
+        expr = expr.split(",")[0].strip().lstrip("*&").strip()
+        if not expr:
+            return None
+        parts = [p for p in re.split(r"->|\.", expr) if p.strip()]
+        base = parts[-1].split("(")[0].strip().split("::")[-1].strip()
+        if not re.fullmatch(r"[A-Za-z_]\w*", base):
+            return None
+        if len(parts) >= 2:
+            recv = parts[-2].split("(")[0].strip().lstrip("*&(").strip()
+            recv = recv.split("::")[-1]
+            if recv == "this":
+                return f"{fn.cls}::{base}" if fn.cls else base
+            types = fn.local_types(self.member_types.get(fn.cls))
+            rtype = types.get(recv)
+            if rtype and (base in self.member_types.get(rtype, ())
+                          or any(d.name == base and d.cls == rtype
+                                 for d in self.graph.by_name.get(base, ()))):
+                return f"{rtype}::{base}"
+            owners = self.mutex_owners.get(base, ())
+            if len(owners) == 1:
+                return f"{next(iter(owners))}::{base}"
+            return f"?::{base}"
+        # Bare name: a free accessor keeps its global identity; a member
+        # field/accessor binds to the enclosing class.
+        if base in self.free_names:
+            return base
+        if fn.cls:
+            return f"{fn.cls}::{base}"
+        owners = self.mutex_owners.get(base, ())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{base}"
+        return base
+
+    def _collect_annotations(self):
+        """(cls, name) -> set of normalized mutexes, from GPUP_REQUIRES /
+        GPUP_EXCLUDES on declarations anywhere in the tree. Keyed by the
+        declaring class so `CondVar::wait GPUP_REQUIRES(mutex)` does not
+        leak onto every other `wait` in the tree."""
+        requires, excludes = {}, {}
+        ann_re = re.compile(
+            r"([A-Za-z_]\w*)\s*\([^;{}()]*(?:\([^()]*\)[^;{}()]*)*\)\s*"
+            r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?"
+            r"GPUP_(REQUIRES|EXCLUDES)\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+        for src in self.files:
+            for match in ann_re.finditer(src.code):
+                name = match.group(1)
+                target = requires if match.group(2) == "REQUIRES" else excludes
+                cls = src.enclosing_class(match.start())
+                shim = _AnnotationContext(cls, src)
+                bucket = target.setdefault((cls, name), set())
+                for arg in split_top_level(match.group(3)):
+                    mutex = self.normalize(arg, shim)
+                    if mutex:
+                        bucket.add(mutex)
+        return requires, excludes
+
+    def requires_for(self, fn):
+        return self.requires.get((fn.cls, fn.name), set())
+
+    def excludes_for(self, fn):
+        return self.excludes.get((fn.cls, fn.name), set())
+
+    # -- per-function event scan -------------------------------------------
+
+    def _scan(self, fn):
+        body = fn.body()
+        events = []
+        # Brace scopes inside the body, for lock lifetimes.
+        scope_end_of = {}
+        stack = []
+        for i, ch in enumerate(body):
+            if ch == "{":
+                stack.append(i)
+            elif ch == "}" and stack:
+                scope_end_of[stack.pop()] = i
+        def enclosing_scope_end(offset):
+            best = len(body)
+            for open_idx, close_idx in scope_end_of.items():
+                if open_idx < offset <= close_idx and close_idx < best:
+                    best = close_idx
+            return best
+
+        for match in LOCK_DECL_RE.finditer(body):
+            var = match.group(1)
+            open_idx = match.end() - 1
+            close = gl.match_paren(body, open_idx) if body[open_idx] == "(" else -1
+            if close < 0:
+                close = body.find("}", open_idx)
+                arg = body[open_idx + 1:close] if close > 0 else ""
+                close = close + 1 if close > 0 else open_idx + 1
+            else:
+                arg = body[open_idx + 1:close - 1]
+            mutex = self.normalize(arg, fn)
+            if mutex is None:
+                continue
+            events.append(LockEvent(LockEvent.ACQUIRE, match.start(), var=var,
+                                    mutex=mutex))
+            events.append(LockEvent(LockEvent.SCOPE_END,
+                                    enclosing_scope_end(match.start()),
+                                    var=var, mutex=mutex))
+        lock_vars = {e.var: e.mutex for e in events if e.kind == LockEvent.ACQUIRE}
+        for match in re.finditer(r"\b(\w+)\s*\.\s*(lock|unlock)\s*\(\s*\)", body):
+            var = match.group(1)
+            if var not in lock_vars:
+                continue
+            kind = (LockEvent.ACQUIRE if match.group(2) == "lock"
+                    else LockEvent.RELEASE)
+            events.append(LockEvent(kind, match.start(), var=var,
+                                    mutex=lock_vars[var]))
+
+        for call in gl.extract_calls(body):
+            if call.name in ("lock", "unlock") and call.receiver in lock_vars:
+                continue  # already modeled above
+            if call.name in WAIT_NAMES and call.receiver is not None:
+                continue  # modeled as a WAIT event below
+            events.append(LockEvent(LockEvent.CALL, call.offset, call=call))
+
+        # Member waits: if the first argument is a held mutex this is the
+        # CondVar idiom (the wait releases exactly that mutex); otherwise
+        # it is a generic blocking call (Event::wait_for and friends).
+        wait_re = re.compile(r"(?:\.|->)\s*(wait|wait_for|wait_until)\s*\(")
+        for match in wait_re.finditer(body):
+            open_idx = match.end() - 1
+            close = gl.match_paren(body, open_idx)
+            if close < 0:
+                continue
+            arg = split_top_level(body[open_idx + 1:close - 1])
+            mutex = self.normalize(arg[0], fn) if arg else None
+            events.append(LockEvent(LockEvent.WAIT, match.start(),
+                                    waited=mutex, name=match.group(1)))
+
+        events.sort(key=lambda e: e.offset)
+        return events
+
+    def _held_runs(self, fn):
+        """Yield (event, held_set) in order; held excludes the event's own
+        acquisition and includes GPUP_REQUIRES seeds."""
+        seeds = set(self.requires_for(fn))
+        held = dict.fromkeys(seeds)  # mutex -> None (seed) | var
+        released = set()
+        for event in self.events[id(fn)]:
+            if event.kind == LockEvent.ACQUIRE:
+                yield event, set(held)
+                held[event.mutex] = event.var
+                released.discard(event.var)
+            elif event.kind == LockEvent.RELEASE:
+                if held.get(event.mutex) == event.var:
+                    del held[event.mutex]
+            elif event.kind == LockEvent.SCOPE_END:
+                if held.get(event.mutex) == event.var:
+                    del held[event.mutex]
+            else:
+                yield event, set(held)
+
+    # -- interprocedural closures ------------------------------------------
+
+    def _direct_acquires(self):
+        direct = {}
+        for fn in self.graph.defs:
+            acquired = {e.mutex for e in self.events[id(fn)]
+                        if e.kind == LockEvent.ACQUIRE}
+            direct[id(fn)] = acquired
+        return direct
+
+    def _direct_blocks(self):
+        direct = {}
+        for fn in self.graph.defs:
+            blocks = set()
+            for event in self.events[id(fn)]:
+                if event.kind == LockEvent.WAIT:
+                    blocks.add(f"{event.name}()")
+                elif (event.kind == LockEvent.CALL
+                      and event.call.name in BLOCKING_NAMES
+                      and not self.graph.resolve(event.call, fn)):
+                    # Leaf blocking call (OS / protocol primitive); calls
+                    # resolved to in-scope defs propagate through closure.
+                    blocks.add(f"{event.call.name}()")
+            direct[id(fn)] = blocks
+        return direct
+
+    def _closure(self, direct):
+        """Fixpoint: each function's set unions its callees' sets."""
+        result = {k: set(v) for k, v in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.graph.defs:
+                mine = result[id(fn)]
+                before = len(mine)
+                for event in self.events[id(fn)]:
+                    if event.kind != LockEvent.CALL:
+                        continue
+                    for callee in self.graph.resolve(event.call, fn):
+                        mine |= result.get(id(callee), set())
+                if len(mine) != before:
+                    changed = True
+        return result
+
+    # -- rule drivers -------------------------------------------------------
+
+    def site(self, fn, offset):
+        line = fn.body_first_line() + fn.body().count("\n", 0, offset)
+        return fn.src.rel, line
+
+    def run(self):
+        for fn in self.graph.defs:
+            for event, held in self._held_runs(fn):
+                rel, line = self.site(fn, event.offset)
+                if event.kind == LockEvent.ACQUIRE:
+                    # allow(lock-order) on the acquisition site drops the
+                    # edge: a documented deliberate exception to the
+                    # canonical order (it also leaves the lock table).
+                    if fn.src.allowed(line, "lock-order"):
+                        continue
+                    for holder in held:
+                        if holder == event.mutex:
+                            continue
+                        self.edges.setdefault((holder, event.mutex),
+                                              (rel, line, fn.qualified()))
+                elif event.kind == LockEvent.WAIT:
+                    if event.waited in held:
+                        others = held - {event.waited}
+                        if others and not fn.src.allowed(line, "lock-blocking"):
+                            self.findings.append(
+                                (rel, line, "lock-blocking",
+                                 f"'{fn.qualified()}' waits on "
+                                 f"'{event.waited}' while also holding "
+                                 f"{fmt_set(others)} — the wait only "
+                                 "releases its own mutex, so the rest stay "
+                                 "held for an unbounded time"))
+                    elif held and not fn.src.allowed(line, "lock-blocking"):
+                        self.findings.append(
+                            (rel, line, "lock-blocking",
+                             f"'{fn.qualified()}' blocks in '{event.name}()' "
+                             f"while holding {fmt_set(held)}"))
+                elif event.kind == LockEvent.CALL and held:
+                    self._check_call(fn, event, held, rel, line)
+
+    def _check_call(self, fn, event, held, rel, line):
+        call = event.call
+        callees = self.graph.resolve(call, fn)
+        # Held across a blocking leaf (socket I/O, sleep, join).
+        if call.name in BLOCKING_NAMES and not callees:
+            if not fn.src.allowed(line, "lock-blocking"):
+                self.findings.append(
+                    (rel, line, "lock-blocking",
+                     f"'{fn.qualified()}' calls blocking '{call.name}()' "
+                     f"while holding {fmt_set(held)}"))
+            return
+        for callee in callees:
+            transitive = self.may_block.get(id(callee), set())
+            seeds = self.requires_for(callee)
+            # A callee that REQUIRES one of the held locks and waits on it
+            # is the CondVar idiom, already checked at its own site.
+            blocking = transitive - {f"{n}()" for n in WAIT_NAMES
+                                     if seeds & held}
+            if blocking and not fn.src.allowed(line, "lock-blocking"):
+                self.findings.append(
+                    (rel, line, "lock-blocking",
+                     f"'{fn.qualified()}' holds {fmt_set(held)} across "
+                     f"'{callee.qualified()}' which may block on "
+                     f"{fmt_set(blocking)}"))
+            acquired = self.may_acquire.get(id(callee), set())
+            for holder in held:
+                for mutex in acquired:
+                    if mutex != holder:
+                        self.edges.setdefault((holder, mutex),
+                                              (rel, line, fn.qualified()))
+            for mutex in self.excludes_for(callee) & held:
+                if not fn.src.allowed(line, "lock-order"):
+                    self.findings.append(
+                        (rel, line, "lock-order",
+                         f"'{fn.qualified()}' calls '{callee.qualified()}' "
+                         f"(GPUP_EXCLUDES({mutex})) while holding "
+                         f"'{mutex}'"))
+
+    def check_cycles(self):
+        adjacency = {}
+        for (a, b), site in self.edges.items():
+            adjacency.setdefault(a, []).append(b)
+        state = {}
+        stack = []
+
+        def visit(node):
+            state[node] = "visiting"
+            stack.append(node)
+            for nxt in adjacency.get(node, ()):
+                if state.get(nxt) == "visiting":
+                    cycle = stack[stack.index(nxt):] + [nxt]
+                    pairs = list(zip(cycle, cycle[1:]))
+                    sites = "; ".join(
+                        f"{a} -> {b} at {self.edges[(a, b)][0]}:{self.edges[(a, b)][1]}"
+                        for a, b in pairs)
+                    rel, line, _ = self.edges[pairs[0]]
+                    self.findings.append(
+                        (rel, line, "lock-order",
+                         "lock acquisition cycle (potential ABBA deadlock): "
+                         + sites))
+                    return True
+                if nxt not in state and visit(nxt):
+                    return True
+            stack.pop()
+            state[node] = "done"
+            return False
+
+        for node in list(adjacency):
+            if node not in state and visit(node):
+                return
+
+    def lock_table(self):
+        """Markdown acquisition-order table from the (acyclic) edge set."""
+        nodes = set()
+        for a, b in self.edges:
+            nodes.update((a, b))
+        indegree = dict.fromkeys(nodes, 0)
+        for _, b in self.edges:
+            indegree[b] += 1
+        order = []
+        frontier = sorted(n for n, d in indegree.items() if d == 0)
+        indeg = dict(indegree)
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for (a, b) in sorted(self.edges):
+                if a == node:
+                    indeg[b] -= 1
+                    if indeg[b] == 0:
+                        frontier.append(b)
+            frontier.sort()
+        lines = ["| rank | mutex | acquired while holding it | first site |",
+                 "|------|-------|---------------------------|------------|"]
+        for rank, node in enumerate(order, 1):
+            succ = sorted(b for (a, b) in self.edges if a == node)
+            sites = sorted({f"{self.edges[(node, b)][0]}:{self.edges[(node, b)][1]}"
+                            for b in succ})
+            lines.append(f"| {rank} | `{node}` | "
+                         + (", ".join(f"`{s}`" for s in succ) if succ else "—")
+                         + " | " + (sites[0] if sites else "—") + " |")
+        return "\n".join(lines)
+
+
+class _AnnotationContext:
+    """Minimal FunctionDef stand-in for normalizing annotation arguments
+    found on declarations (they have a class context but no body)."""
+
+    def __init__(self, cls, src):
+        self.cls = cls
+        self.src = src
+
+    def local_types(self, member_types=None):
+        return dict(member_types or {})
+
+
+def split_top_level(text):
+    """Split on commas not nested in (), <>, [] or {}."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "(<[{":
+            depth += 1
+        elif ch in ")>]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def fmt_set(items):
+    return "{" + ", ".join(f"'{i}'" for i in sorted(items)) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Protocol state-machine exhaustiveness
+# ---------------------------------------------------------------------------
+
+ENUM_RE = re.compile(r"\benum\s+class\s+(\w+)\s*(?::\s*[\w:\s]+)?\{")
+SWITCH_RE = re.compile(r"\bswitch\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)\s*\{")
+CASE_RE = re.compile(r"\bcase\s+(?:(\w+)\s*::\s*)?(\w+)\s*:")
+
+PROTOCOL_ENUMS = ("MsgType", "WireStatus", "ErrorCode")
+
+
+def extract_enums(files):
+    """enum name -> {enumerator: value} for the protocol-relevant enums."""
+    enums = {}
+    for src in files:
+        code = src.code
+        for match in ENUM_RE.finditer(code):
+            name = match.group(1)
+            if name not in PROTOCOL_ENUMS:
+                continue
+            end = gl.match_brace(code, match.end() - 1)
+            if end < 0:
+                continue
+            body = code[match.end():end - 1]
+            value = -1
+            members = {}
+            for chunk in split_top_level(body):
+                token = re.match(r"([A-Za-z_]\w*)\s*(?:=\s*([0-9xXa-fA-F]+))?",
+                                 chunk)
+                if not token:
+                    continue
+                if token.group(2):
+                    value = int(token.group(2), 0)
+                else:
+                    value += 1
+                members[token.group(1)] = value
+            if members:
+                enums[name] = members
+    return enums
+
+
+def check_protocol(files, findings):
+    # A tree without the serve protocol header (fixtures, partial runs)
+    # has no wire contract to check.
+    if not any(src.rel.replace(os.sep, "/").endswith("src/serve/protocol.hpp")
+               for src in files):
+        return
+    enums = extract_enums(files)
+    for required in PROTOCOL_ENUMS:
+        if required not in enums:
+            findings.append(("src/serve/protocol.hpp", 1, "protocol",
+                             f"could not extract enum '{required}' — the "
+                             "protocol rule has lost its ground truth"))
+            return
+
+    # 1. Every switch over a protocol enum is exhaustive. A `default:` is
+    #    legal only when all enumerators are also listed (it then catches
+    #    hostile out-of-range wire values, not forgotten enumerators).
+    for src in files:
+        code = src.code
+        for match in SWITCH_RE.finditer(code):
+            end = gl.match_brace(code, match.end() - 1)
+            if end < 0:
+                continue
+            body = code[match.end():end - 1]
+            cases = CASE_RE.findall(body)
+            enum_name = next((q for q, _ in cases if q in enums), None)
+            if enum_name is None:
+                continue
+            listed = {c for q, c in cases if q == enum_name or not q}
+            missing = sorted(set(enums[enum_name]) - listed)
+            line = code.count("\n", 0, match.start()) + 1
+            if missing and not src.allowed(line, "protocol"):
+                has_default = re.search(r"\bdefault\s*:", body) is not None
+                swallow = (" — the `default:` silently swallows them"
+                           if has_default else "")
+                findings.append((src.rel, line, "protocol",
+                                 f"switch over {enum_name} is not exhaustive: "
+                                 f"missing {', '.join(missing)}{swallow}"))
+
+    # 2. Dispatch coverage: every request MsgType must appear in the
+    #    daemon/session dispatch code, every response MsgType in the
+    #    client decode — a new message type cannot be half-wired.
+    msg = enums["MsgType"]
+    requests = {name for name, value in msg.items() if value < 100}
+    responses = {name for name, value in msg.items() if value >= 100}
+    server_text = ""
+    client_text = ""
+    proto_hpp = None
+    for src in files:
+        base = os.path.basename(src.rel)
+        if base in ("daemon.cpp", "session.cpp"):
+            server_text += src.code
+        elif base in ("client.cpp", "client.hpp"):
+            client_text += src.code
+        if src.rel.replace(os.sep, "/").endswith("src/serve/protocol.hpp"):
+            proto_hpp = src
+    for name in sorted(requests):
+        if not re.search(r"\bMsgType\s*::\s*" + name + r"\b", server_text):
+            findings.append(("src/serve/session.cpp", 1, "protocol",
+                             f"request MsgType::{name} is never dispatched by "
+                             "the daemon/session layer"))
+    for name in sorted(responses):
+        if not re.search(r"\bMsgType\s*::\s*" + name + r"\b", client_text):
+            findings.append(("src/serve/client.cpp", 1, "protocol",
+                             f"response MsgType::{name} is never decoded by "
+                             "the client"))
+
+    if proto_hpp is None:
+        findings.append(("src/serve/protocol.hpp", 1, "protocol",
+                         "src/serve/protocol.hpp not in the analysis set"))
+        return
+
+    # 3. The header-layout comment is the wire contract humans read; its
+    #    field offsets must be contiguous from 0 and sum to kHeaderBytes.
+    header_bytes = None
+    match = re.search(r"kHeaderBytes\s*=\s*(\d+)", proto_hpp.code)
+    if match:
+        header_bytes = int(match.group(1))
+    rows = []
+    for line in proto_hpp.raw_lines:
+        row = re.match(r"//\s+(\d+)\s+(\d+)\s+(\w+)", line)
+        if row:
+            rows.append((int(row.group(1)), int(row.group(2)), row.group(3)))
+    if header_bytes is None or not rows:
+        findings.append((proto_hpp.rel, 1, "protocol",
+                         "could not parse kHeaderBytes and the header layout "
+                         "table from protocol.hpp"))
+    else:
+        expected = 0
+        for offset, size, field in rows:
+            if offset != expected:
+                findings.append((proto_hpp.rel, 1, "protocol",
+                                 f"header layout table: field '{field}' at "
+                                 f"offset {offset}, expected {expected} "
+                                 "(fields must be contiguous)"))
+            expected = offset + size
+        if expected != header_bytes:
+            findings.append((proto_hpp.rel, 1, "protocol",
+                             f"header layout table sums to {expected} bytes "
+                             f"but kHeaderBytes is {header_bytes}"))
+
+    # 4. Frame limits agree by construction: every serve-layer default for
+    #    max_payload names kDefaultMaxPayload, and the magic constant is
+    #    defined exactly once (protocol.hpp).
+    for src in files:
+        if not in_serve_scope(src.rel):
+            continue
+        for idx, line in enumerate(src.code_lines):
+            decl = re.search(r"\bmax_payload\s*=\s*([^;]+);", line)
+            if decl and "kDefaultMaxPayload" not in decl.group(1) \
+                    and src.rel != proto_hpp.rel \
+                    and not src.allowed(idx + 1, "protocol"):
+                findings.append((src.rel, idx + 1, "protocol",
+                                 "max_payload default must name "
+                                 "kDefaultMaxPayload, not restate the "
+                                 f"limit ('{decl.group(1).strip()}')"))
+            if "0x47505550" in line and src.rel != proto_hpp.rel \
+                    and not src.allowed(idx + 1, "protocol"):
+                findings.append((src.rel, idx + 1, "protocol",
+                                 "wire magic restated outside protocol.hpp — "
+                                 "use kWireMagic"))
+
+
+# ---------------------------------------------------------------------------
+# Determinism taint
+# ---------------------------------------------------------------------------
+
+TAINT_SOURCE_RES = (
+    re.compile(r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>"),
+    re.compile(r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?(?:size_t|"
+               r"u?int(?:8|16|32|64)_t|unsigned long|long)\s*>"),
+    re.compile(r"\(\s*(?:std\s*::\s*)?u?intptr_t\s*\)"),
+    re.compile(r"std\s*::\s*hash\s*<[^>]*\*\s*>"),
+    re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::"
+               r"\s*now\s*\("),
+    re.compile(r"\brandom_device\b"),
+)
+
+ASSIGN_RE = re.compile(
+    r"(?:^|[;{}]|\bauto\s+|\bconst\s+auto\s+)\s*"
+    r"(?:[A-Za-z_][\w:<>,\s]*[\s&\*])?"
+    r"([A-Za-z_]\w*)\s*(?:[+\-|^]?=)(?!=)")
+
+SINK_SCHEDULE_RE = re.compile(r"\bschedule_key\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+SINK_TO_STRING_RE = re.compile(r"\bto_string\s*\(\s*([A-Za-z_]\w*)\s*\)")
+SINK_COUNTER_RE = re.compile(
+    r"\bcounters?_?\s*(?:\.|->)\s*(\w+)\s*[+\-|^]?=\s*([^;]+);")
+
+
+def check_det_taint(files, findings):
+    for src in files:
+        if not gl.in_determinism_scope(src.rel):
+            continue
+        for fn in gl.extract_functions(src):
+            body = fn.body()
+            first_line = fn.body_first_line()
+            tainted = {}  # var -> (line_no, source description)
+
+            def line_of(offset):
+                return first_line + body.count("\n", 0, offset)
+
+            for source_re in TAINT_SOURCE_RES:
+                for match in source_re.finditer(body):
+                    stmt_start = max(body.rfind(";", 0, match.start()),
+                                     body.rfind("{", 0, match.start()),
+                                     body.rfind("}", 0, match.start()))
+                    stmt = body[stmt_start + 1:match.start()]
+                    assign = ASSIGN_RE.search(stmt)
+                    if assign:
+                        tainted.setdefault(
+                            assign.group(1),
+                            (line_of(match.start()), match.group(0).strip()))
+            if not tainted:
+                continue
+            # Propagate through assignments to fixpoint.
+            statements = re.split(r"[;{}]", body)
+            for _ in range(len(statements)):
+                changed = False
+                for stmt in statements:
+                    assign = re.match(
+                        r"\s*(?:[A-Za-z_][\w:<>,\s]*[\s&\*])?"
+                        r"([A-Za-z_]\w*)\s*[+\-|^]?=(?!=)(.*)", stmt)
+                    if not assign:
+                        continue
+                    lhs, rhs = assign.group(1), assign.group(2)
+                    if lhs in tainted:
+                        continue
+                    if any(re.search(r"\b" + re.escape(v) + r"\b", rhs)
+                           for v in tainted):
+                        origin = next(tainted[v] for v in tainted
+                                      if re.search(r"\b" + re.escape(v) + r"\b", rhs))
+                        tainted[lhs] = origin
+                        changed = True
+                if not changed:
+                    break
+
+            def report(offset, what, via):
+                line_no = line_of(offset)
+                if fn.src.allowed(line_no, "det-taint"):
+                    return
+                origin_line, origin = tainted[via]
+                findings.append(
+                    (fn.src.rel, line_no, "det-taint",
+                     f"{what} in '{fn.qualified()}' is tainted by "
+                     f"'{origin}' (line {origin_line}) — host/pointer-"
+                     "derived values must not reach result-affecting state"))
+
+            for match in SINK_SCHEDULE_RE.finditer(body):
+                for var in tainted:
+                    if re.search(r"\b" + re.escape(var) + r"\b", match.group(1)):
+                        report(match.start(), "schedule_key input", var)
+            for match in SINK_TO_STRING_RE.finditer(body):
+                if match.group(1) in tainted:
+                    report(match.start(),
+                           f"error-string value '{match.group(1)}'",
+                           match.group(1))
+            for match in SINK_COUNTER_RE.finditer(body):
+                for var in tainted:
+                    if re.search(r"\b" + re.escape(var) + r"\b", match.group(2)):
+                        report(match.start(),
+                               f"simulated counter '{match.group(1)}'", var)
+
+    # Hash-ordered elements appended to an ordered output: the same bug as
+    # unordered iteration, one step removed (the per-element values are
+    # fine; their order is not).
+    decls = gl._container_decl_names(files, gl.UNORDERED_HEAD_RE)
+    names = {name for _, name in decls}
+    if not names:
+        return
+    for src in files:
+        if not gl.in_determinism_scope(src.rel):
+            continue
+        for fn in gl.extract_functions(src):
+            body = fn.body()
+            first_line = fn.body_first_line()
+            for match in re.finditer(
+                    r"for\s*\(\s*(?:const\s+)?auto\s*&?\s*"
+                    r"(?:\[\s*(\w+)\s*,\s*(\w+)\s*\]|(\w+))\s*:\s*"
+                    r"([^)]+?)\s*\)\s*(\{[^{}]*\}|[^;{]*;)", body):
+                container = match.group(4)
+                tail = container.split(".")[-1].split("->")[-1].strip()
+                if tail not in names:
+                    continue
+                loop_vars = [v for v in match.groups()[:3] if v]
+                loop_body = match.group(5)
+                append = re.search(
+                    r"(\w+)\s*(?:\.|->)\s*(?:push_back|emplace_back)\s*\(([^;]*)\)",
+                    loop_body)
+                if not append:
+                    continue
+                if not any(re.search(r"\b" + v + r"\b", append.group(2))
+                           for v in loop_vars):
+                    continue
+                line_no = first_line + body.count("\n", 0, match.start())
+                if fn.src.allowed(line_no, "det-taint"):
+                    continue
+                findings.append(
+                    (src.rel, line_no, "det-taint",
+                     f"hash-ordered elements of '{tail}' appended to "
+                     f"'{append.group(1)}' in '{fn.qualified()}' — the output "
+                     "order depends on the hash seed; sort first"))
+
+
+# ---------------------------------------------------------------------------
+# Stale allows & allow budget
+# ---------------------------------------------------------------------------
+
+def check_stale_allows(files, findings):
+    for src in files:
+        for line_no, rule, covered in gl.iter_allow_entries(src):
+            if (covered, rule) not in src.allow_used:
+                findings.append((src.rel, line_no, "stale-allow",
+                                 f"allow({rule}) suppresses nothing — delete "
+                                 "it (allowlists only shrink)"))
+
+
+def check_allow_budget(files, budget_path, findings):
+    counts = {}
+    for src in files:
+        for _, rule, _ in gl.iter_allow_entries(src):
+            counts[rule] = counts.get(rule, 0) + 1
+    try:
+        with open(budget_path, encoding="utf-8") as handle:
+            budget = json.load(handle)
+    except (OSError, ValueError) as err:
+        findings.append((os.path.basename(budget_path), 1, "allow-budget",
+                         f"cannot read allow budget: {err}"))
+        return
+    budget = {k: v for k, v in budget.items() if not k.startswith("_")}
+    for rule in sorted(set(counts) | set(budget)):
+        have = counts.get(rule, 0)
+        want = budget.get(rule, 0)
+        if have > want:
+            findings.append((os.path.basename(budget_path), 1, "allow-budget",
+                             f"allow({rule}) count grew: {have} sites vs "
+                             f"budget {want} — remove the new suppression or "
+                             "justify it in the budget file's history"))
+        elif have < want:
+            findings.append((os.path.basename(budget_path), 1, "allow-budget",
+                             f"allow({rule}) count shrank to {have} but the "
+                             f"budget still says {want} — ratchet the budget "
+                             "down so it cannot silently regrow"))
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang backend
+# ---------------------------------------------------------------------------
+
+def try_libclang_edges(root, compile_commands):
+    """AST call edges via the libclang Python bindings, or None.
+
+    Returns {(file_rel, qualified_caller): set(qualified_callee)} harvested
+    from the clang AST. Any failure (missing bindings, missing native
+    library, parse errors) returns None and the textual resolver is used —
+    ctest must stay green on hosts without libclang.
+    """
+    try:
+        from clang import cindex  # noqa: PLC0415
+        index = cindex.Index.create()
+    except Exception as err:  # noqa: BLE001 — any failure means "fall back"
+        print(f"gpup_verify: libclang unavailable ({err}); using the "
+              "textual engine", file=sys.stderr)
+        return None
+    try:
+        with open(compile_commands, encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    edges = {}
+    try:
+        for entry in entries:
+            path = os.path.abspath(os.path.join(entry.get("directory", ""),
+                                                entry["file"]))
+            rel = os.path.relpath(path, root)
+            if not in_lock_scope(rel) and not gl.in_determinism_scope(rel):
+                continue
+            args = [a for a in entry.get("command", "").split()[1:]
+                    if a != entry["file"] and not a.endswith(".o")
+                    and a not in ("-c", "-o")]
+            tu = index.parse(path, args=args)
+            stack = [tu.cursor]
+            current = [None]
+
+            def walk(cursor, caller):
+                kind = cursor.kind
+                if kind in (cindex.CursorKind.CXX_METHOD,
+                            cindex.CursorKind.FUNCTION_DECL,
+                            cindex.CursorKind.CONSTRUCTOR,
+                            cindex.CursorKind.DESTRUCTOR) \
+                        and cursor.is_definition():
+                    caller = cursor.spelling
+                    parent = cursor.semantic_parent
+                    if parent and parent.kind in (
+                            cindex.CursorKind.CLASS_DECL,
+                            cindex.CursorKind.STRUCT_DECL):
+                        caller = f"{parent.spelling}::{caller}"
+                if kind == cindex.CursorKind.CALL_EXPR and caller:
+                    ref = cursor.referenced
+                    if ref is not None:
+                        callee = ref.spelling
+                        parent = ref.semantic_parent
+                        if parent and parent.kind in (
+                                cindex.CursorKind.CLASS_DECL,
+                                cindex.CursorKind.STRUCT_DECL):
+                            callee = f"{parent.spelling}::{callee}"
+                        edges.setdefault((rel, caller), set()).add(callee)
+                for child in cursor.get_children():
+                    walk(child, caller)
+
+            walk(tu.cursor, None)
+    except Exception as err:  # noqa: BLE001
+        print(f"gpup_verify: libclang parse failed ({err}); using the "
+              "textual engine", file=sys.stderr)
+        return None
+    print(f"gpup_verify: libclang AST edges for {len(edges)} functions",
+          file=sys.stderr)
+    return edges
+
+
+def apply_ast_edges(graph, ast_edges):
+    """Narrow the textual resolver with AST ground truth: when the AST saw
+    a caller, a textual candidate the AST never resolved to is dropped."""
+    if not ast_edges:
+        return
+    by_caller = {}
+    for (rel, caller), callees in ast_edges.items():
+        by_caller.setdefault(caller, set()).update(callees)
+    original = graph.resolve
+
+    def resolve(call, fn):
+        candidates = original(call, fn)
+        seen = by_caller.get(fn.qualified())
+        if seen is None or len(candidates) <= 1:
+            return candidates
+        narrowed = [c for c in candidates
+                    if c.qualified() in seen or c.name in seen]
+        return narrowed if narrowed else candidates
+
+    graph.resolve = resolve
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+LOCK_TABLE_BEGIN = "<!-- gpup-verify:lock-order:begin -->"
+LOCK_TABLE_END = "<!-- gpup-verify:lock-order:end -->"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--engine", choices=("auto", "textual"), default="auto",
+                        help="auto: use libclang AST edges when importable; "
+                             "textual: never try")
+    parser.add_argument("--emit-lock-table", action="store_true",
+                        help="print the canonical lock-order table and exit")
+    parser.add_argument("--check-lock-table", default=None, metavar="DOC",
+                        help="fail unless DOC contains the current lock-order "
+                             "table between the gpup-verify markers")
+    parser.add_argument("--check-allow-budget", default=None, metavar="JSON",
+                        help="fail unless per-rule allow counts equal JSON")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    files = gl.gather_files(root, args.compile_commands, args.paths)
+    findings = []
+
+    # Lint layer first (its rules also record allow usage for stale-allow).
+    gl.run_lint_rules(files, gl.LINT_RULES, findings)
+
+    analysis = LockAnalysis(files, findings)
+    if args.engine == "auto" and args.compile_commands:
+        apply_ast_edges(analysis.graph, try_libclang_edges(root, args.compile_commands))
+    analysis.run()
+    analysis.check_cycles()
+
+    check_protocol(files, findings)
+    check_det_taint(files, findings)
+    check_stale_allows(files, findings)
+    if args.check_allow_budget:
+        check_allow_budget(files, args.check_allow_budget, findings)
+
+    table = analysis.lock_table()
+    if args.emit_lock_table:
+        print(LOCK_TABLE_BEGIN)
+        print(table)
+        print(LOCK_TABLE_END)
+        return 0
+    if args.check_lock_table:
+        try:
+            with open(args.check_lock_table, encoding="utf-8") as handle:
+                doc = handle.read()
+        except OSError as err:
+            findings.append((args.check_lock_table, 1, "lock-order",
+                             f"cannot read lock-table doc: {err}"))
+            doc = ""
+        begin = doc.find(LOCK_TABLE_BEGIN)
+        end = doc.find(LOCK_TABLE_END)
+        current = doc[begin + len(LOCK_TABLE_BEGIN):end].strip() \
+            if 0 <= begin < end else None
+        if current != table.strip():
+            findings.append(
+                (os.path.relpath(args.check_lock_table, root), 1, "lock-order",
+                 "the lock-order table is out of date — regenerate with "
+                 "`gpup_verify.py --emit-lock-table` and paste it between "
+                 "the markers"))
+
+    findings = sorted(set(findings))
+    for rel, line_no, rule, message in findings:
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"gpup_verify: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"gpup_verify: clean ({len(files)} files, "
+          f"{len(analysis.edges)} lock-order edges)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
